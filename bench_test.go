@@ -1,0 +1,414 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// plus ablations of REV's design choices. One testing.B benchmark per
+// table/figure; simulated outcomes (IPC, overhead %) are attached as
+// custom metrics so `go test -bench` both times the harness and reports
+// the reproduced result shapes.
+//
+// Benchmarks use reduced workload scale and instruction budgets so the
+// whole suite completes in minutes; cmd/revbench runs the full-size
+// regeneration.
+package rev
+
+import (
+	"testing"
+
+	"rev/internal/asm"
+	"rev/internal/core"
+	"rev/internal/experiments"
+	"rev/internal/isa"
+	"rev/internal/power"
+	"rev/internal/prog"
+	"rev/internal/workload"
+)
+
+// benchSuiteConfig keeps `go test -bench .` interactive.
+func benchSuiteConfig() experiments.Config {
+	return experiments.Config{MaxInstrs: 120_000, Scale: 0.05}
+}
+
+func runFigure(b *testing.B, f func(s *experiments.Suite) error) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchSuiteConfig())
+		if err := f(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Attacks regenerates Table 1: all six attack classes
+// mounted and detected.
+func BenchmarkTable1Attacks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Table1(80_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) != 6 {
+			b.Fatalf("expected 6 attacks, got %d", len(tbl.Rows))
+		}
+	}
+}
+
+// BenchmarkTable2Config renders the machine configuration.
+func BenchmarkTable2Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table2() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+// BenchmarkBBStats regenerates the Sec. VIII basic-block statistics.
+func BenchmarkBBStats(b *testing.B) {
+	runFigure(b, func(s *experiments.Suite) error {
+		_, err := s.BBStats()
+		return err
+	})
+}
+
+// BenchmarkFig6IPC regenerates Figure 6 (IPC base vs REV 32/64KB) and
+// reports the harmonic-mean base IPC of the suite.
+func BenchmarkFig6IPC(b *testing.B) {
+	runFigure(b, func(s *experiments.Suite) error {
+		_, err := s.Fig6()
+		return err
+	})
+}
+
+// BenchmarkFig7Overhead regenerates Figure 7 and reports the suite-average
+// overhead percentage at 32KB as a custom metric.
+func BenchmarkFig7Overhead(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchSuiteConfig())
+		if _, err := s.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		n := 0
+		for _, name := range experiments.Benchmarks() {
+			base, _ := s.Run(name, experiments.Base, 0)
+			r32, _ := s.Run(name, experiments.REVNormal, 32)
+			sum += 100 * (base.IPC() - r32.IPC()) / base.IPC()
+			n++
+		}
+		avg = sum / float64(n)
+	}
+	b.ReportMetric(avg, "ovh32KB_%")
+}
+
+// BenchmarkFig8Branches regenerates Figure 8 (committed branches).
+func BenchmarkFig8Branches(b *testing.B) {
+	runFigure(b, func(s *experiments.Suite) error {
+		_, err := s.Fig8()
+		return err
+	})
+}
+
+// BenchmarkFig9UniqueBranches regenerates Figure 9 (unique branches).
+func BenchmarkFig9UniqueBranches(b *testing.B) {
+	runFigure(b, func(s *experiments.Suite) error {
+		_, err := s.Fig9()
+		return err
+	})
+}
+
+// BenchmarkFig10SCMisses regenerates Figure 10 (SC miss counts).
+func BenchmarkFig10SCMisses(b *testing.B) {
+	runFigure(b, func(s *experiments.Suite) error {
+		_, err := s.Fig10()
+		return err
+	})
+}
+
+// BenchmarkFig11SCServiceCacheStats regenerates Figure 11 (cache accesses
+// while servicing SC misses).
+func BenchmarkFig11SCServiceCacheStats(b *testing.B) {
+	runFigure(b, func(s *experiments.Suite) error {
+		_, err := s.Fig11()
+		return err
+	})
+}
+
+// BenchmarkFig12Aggressive regenerates Figure 12 (aggressive validation).
+func BenchmarkFig12Aggressive(b *testing.B) {
+	runFigure(b, func(s *experiments.Suite) error {
+		_, err := s.Fig12()
+		return err
+	})
+}
+
+// BenchmarkTableSizes regenerates the Sec. V signature-table size study.
+func BenchmarkTableSizes(b *testing.B) {
+	runFigure(b, func(s *experiments.Suite) error {
+		_, err := s.TableSizes()
+		return err
+	})
+}
+
+// BenchmarkCFIOnly regenerates the Sec. V.D CFI-only overhead study.
+func BenchmarkCFIOnly(b *testing.B) {
+	runFigure(b, func(s *experiments.Suite) error {
+		_, err := s.CFIOnly()
+		return err
+	})
+}
+
+// BenchmarkPowerModel regenerates the Sec. VI power/area estimates and
+// reports the core-power overhead percentage.
+func BenchmarkPowerModel(b *testing.B) {
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		r := power.Evaluate(power.DefaultTech(), power.REVConfig{SCKB: 32}, power.DefaultChipContext())
+		pct = r.PowerOverheadPct
+	}
+	b.ReportMetric(pct, "corePower_%")
+}
+
+// --- Ablation benches for the design choices called out in DESIGN.md ---
+
+// ablationRun simulates one benchmark with a tweaked configuration and
+// returns the REV overhead versus an untweaked base run.
+func ablationRun(b *testing.B, bench string, mut func(*core.RunConfig)) float64 {
+	b.Helper()
+	p, err := workload.ByName(bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p = p.Scaled(0.05)
+	baseCfg := core.DefaultRunConfig()
+	baseCfg.MaxInstrs = 120_000
+	base, err := core.Run(p.Builder(), baseCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rc := core.DefaultRunConfig()
+	rc.MaxInstrs = 120_000
+	rev := core.DefaultConfig()
+	rc.REV = &rev
+	mut(&rc)
+	res, err := core.Run(p.Builder(), rc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Violation != nil {
+		b.Fatalf("violation: %v", res.Violation)
+	}
+	return 100 * (base.IPC() - res.IPC()) / base.IPC()
+}
+
+// BenchmarkAblationSCSize sweeps the signature-cache capacity.
+func BenchmarkAblationSCSize(b *testing.B) {
+	for _, kb := range []int{8, 16, 32, 64, 128} {
+		kb := kb
+		b.Run(sizeName(kb), func(b *testing.B) {
+			var ovh float64
+			for i := 0; i < b.N; i++ {
+				ovh = ablationRun(b, "gobmk", func(rc *core.RunConfig) { rc.REV.SC.SizeKB = kb })
+			}
+			b.ReportMetric(ovh, "ovh_%")
+		})
+	}
+}
+
+// BenchmarkAblationCHGLatency sweeps the hash-generator latency H against
+// the fixed fetch-to-commit depth S: once H exceeds the overlap window the
+// overhead climbs (Sec. VI's H <= S requirement).
+func BenchmarkAblationCHGLatency(b *testing.B) {
+	for _, h := range []uint64{8, 16, 32, 64, 128} {
+		h := h
+		b.Run(sizeName(int(h)), func(b *testing.B) {
+			var ovh float64
+			for i := 0; i < b.N; i++ {
+				ovh = ablationRun(b, "hmmer", func(rc *core.RunConfig) { rc.REV.CHGLatency = h })
+			}
+			b.ReportMetric(ovh, "ovh_%")
+		})
+	}
+}
+
+// BenchmarkAblationExtensionDepth sweeps the post-commit ROB extension
+// (deferred state update buffering, requirement R5).
+func BenchmarkAblationExtensionDepth(b *testing.B) {
+	for _, e := range []int{8, 16, 64, 128} {
+		e := e
+		b.Run(sizeName(e), func(b *testing.B) {
+			var ovh float64
+			for i := 0; i < b.N; i++ {
+				ovh = ablationRun(b, "gcc", func(rc *core.RunConfig) {
+					rc.Pipe.ExtensionSize = e
+					if rc.REV.Limits.MaxInstrs > e {
+						rc.REV.Limits.MaxInstrs = e
+					}
+				})
+			}
+			b.ReportMetric(ovh, "ovh_%")
+		})
+	}
+}
+
+// BenchmarkAblationSCPriority compares the paper's arbitration (SC below
+// demand data) with promoting SC fills to demand priority.
+func BenchmarkAblationSCPriority(b *testing.B) {
+	for _, high := range []bool{false, true} {
+		high := high
+		name := "paper-low"
+		if high {
+			name = "promoted-high"
+		}
+		b.Run(name, func(b *testing.B) {
+			var ovh float64
+			for i := 0; i < b.N; i++ {
+				ovh = ablationRun(b, "gobmk", func(rc *core.RunConfig) { rc.Mem.HighSCPriority = high })
+			}
+			b.ReportMetric(ovh, "ovh_%")
+		})
+	}
+}
+
+// BenchmarkAblationMRUSlots sweeps the per-entry successor/predecessor MRU
+// list length (partial-miss trade-off of Sec. IV.C).
+func BenchmarkAblationMRUSlots(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		n := n
+		b.Run(sizeName(n), func(b *testing.B) {
+			var ovh float64
+			for i := 0; i < b.N; i++ {
+				ovh = ablationRun(b, "gcc", func(rc *core.RunConfig) {
+					rc.REV.SC.MaxTargets = n
+					rc.REV.SC.MaxPreds = n
+				})
+			}
+			b.ReportMetric(ovh, "ovh_%")
+		})
+	}
+}
+
+func sizeName(n int) string {
+	const digits = "0123456789"
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = digits[n%10]
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkSoftCFIBaseline regenerates the software-CFI comparison study
+// (inline label checks by binary rewriting vs REV).
+func BenchmarkSoftCFIBaseline(b *testing.B) {
+	runFigure(b, func(s *experiments.Suite) error {
+		_, err := s.SoftCFI()
+		return err
+	})
+}
+
+// BenchmarkAblationPageShadowing compares timing-level deferred update
+// (ROB/store-queue extensions) with the strict page-shadowing variant
+// (Sec. IV.A): functionally stronger, same pipeline cost in this model.
+func BenchmarkAblationPageShadowing(b *testing.B) {
+	for _, shadowing := range []bool{false, true} {
+		shadowing := shadowing
+		name := "extensions"
+		if shadowing {
+			name = "page-shadowing"
+		}
+		b.Run(name, func(b *testing.B) {
+			var ovh float64
+			for i := 0; i < b.N; i++ {
+				ovh = ablationRun(b, "hmmer", func(rc *core.RunConfig) { rc.PageShadowing = shadowing })
+			}
+			b.ReportMetric(ovh, "ovh_%")
+		})
+	}
+}
+
+// BenchmarkAblationContextSwitchSC measures requirement R4: SC retained vs
+// flushed across context switches (the table-reload cost of CAM designs).
+func BenchmarkAblationContextSwitchSC(b *testing.B) {
+	for _, flush := range []bool{false, true} {
+		flush := flush
+		name := "sc-retained"
+		if flush {
+			name = "sc-flushed"
+		}
+		b.Run(name, func(b *testing.B) {
+			var misses float64
+			for i := 0; i < b.N; i++ {
+				trc := core.DefaultThreadedRunConfig()
+				trc.MaxInstrs = 120_000
+				trc.Quantum = 500
+				rev := core.DefaultConfig()
+				trc.REV = &rev
+				trc.FlushSCOnSwitch = flush
+				res, err := core.RunThreads(twoThreadBuilder(), []string{"threadA", "threadB"}, trc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Violation != nil {
+					b.Fatalf("violation: %v", res.Violation)
+				}
+				misses = float64(res.SC.Misses)
+			}
+			b.ReportMetric(misses, "scMisses")
+		})
+	}
+}
+
+// twoThreadBuilder assembles two independent halting thread entries for
+// the context-switch ablation.
+func twoThreadBuilder() func() (*prog.Program, error) {
+	return func() (*prog.Program, error) {
+		b := asm.New("threads")
+		for _, th := range []struct {
+			entry, helper string
+		}{{"threadA", "helpA"}, {"threadB", "helpB"}} {
+			b.Func(th.entry)
+			b.LoadImm(1, 0)
+			b.LoadImm(2, 5000)
+			b.Label("loop")
+			b.Call(th.helper)
+			b.OpI(isa.ADDI, 1, 1, 1)
+			b.Br(isa.BLT, 1, 2, "loop")
+			b.Out(1)
+			b.Halt()
+			b.Func(th.helper)
+			b.Op3(isa.XOR, 3, 3, 1)
+			b.Ret()
+		}
+		b.Entry("threadA")
+		m, err := b.Assemble()
+		if err != nil {
+			return nil, err
+		}
+		p := prog.NewProgram()
+		if err := p.Load(m); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+}
+
+// BenchmarkAblationInterrupts sweeps the external-interrupt rate: REV
+// defers servicing to validated block boundaries (Sec. IV.A).
+func BenchmarkAblationInterrupts(b *testing.B) {
+	for _, interval := range []uint64{0, 10000, 2000} {
+		interval := interval
+		b.Run(sizeName(int(interval)), func(b *testing.B) {
+			var ovh float64
+			for i := 0; i < b.N; i++ {
+				ovh = ablationRun(b, "hmmer", func(rc *core.RunConfig) {
+					rc.Pipe.InterruptInterval = interval
+					rc.Pipe.InterruptHandler = 600
+				})
+			}
+			b.ReportMetric(ovh, "ovh_%")
+		})
+	}
+}

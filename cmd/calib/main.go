@@ -1,0 +1,29 @@
+// Command calib prints the Sec. VIII basic-block statistics of every
+// synthetic workload against the paper's reported values. It exists to
+// (re)calibrate the workload generator parameters after structural changes.
+package main
+
+import (
+	"fmt"
+
+	"rev/internal/experiments"
+	"rev/internal/workload"
+)
+
+func main() {
+	fmt.Printf("%-12s %8s %8s %7s %6s %6s %6s %9s\n",
+		"bench", "blocks", "paper", "i/BB", "paper", "s/BB", "paper", "code+data")
+	for _, p := range workload.Profiles() {
+		classic, _, err := experiments.BlockStats(p, 400_000)
+		if err != nil {
+			panic(err)
+		}
+		m, err := p.Generate()
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-12s %8d %8d %7.2f %6.2f %6.3f %6.3f %8.1fK\n",
+			p.Name, classic.NumBlocks, p.PaperBBs, classic.AvgInstrs, p.PaperInstrBB,
+			classic.AvgSuccessors, p.PaperSucc, float64(len(m.Code)+len(m.Data))/1024)
+	}
+}

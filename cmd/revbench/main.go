@@ -1,0 +1,82 @@
+// Command revbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	revbench -exp all                 # everything (long)
+//	revbench -exp fig7                # one experiment
+//	revbench -exp fig6 -instrs 2e6    # longer runs
+//	revbench -exp tablesize -scale 0.1
+//
+// Experiments: table1, table2, bbstats, fig6, fig7, fig8, fig9, fig10,
+// fig11, fig12, tablesize, cfionly, softcfi, power, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rev/internal/experiments"
+	"rev/internal/stats"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (comma separated), or 'all'")
+	instrs := flag.Uint64("instrs", 1_000_000, "committed instructions per benchmark run")
+	scale := flag.Float64("scale", 1.0, "workload static-size scale (1.0 = paper-matched)")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	attackInstrs := flag.Uint64("attackinstrs", 100_000, "instruction budget per attack scenario")
+	flag.Parse()
+
+	suite := experiments.NewSuite(experiments.Config{
+		MaxInstrs: *instrs,
+		Scale:     *scale,
+		Parallel:  *parallel,
+	})
+
+	type expFn func() (*stats.Table, error)
+	table := func(t *stats.Table) expFn { return func() (*stats.Table, error) { return t, nil } }
+	all := []struct {
+		id  string
+		run expFn
+	}{
+		{"table2", table(experiments.Table2())},
+		{"table1", func() (*stats.Table, error) { return experiments.Table1(*attackInstrs) }},
+		{"bbstats", suite.BBStats},
+		{"fig6", suite.Fig6},
+		{"fig7", suite.Fig7},
+		{"fig8", suite.Fig8},
+		{"fig9", suite.Fig9},
+		{"fig10", suite.Fig10},
+		{"fig11", suite.Fig11},
+		{"fig12", suite.Fig12},
+		{"tablesize", suite.TableSizes},
+		{"cfionly", suite.CFIOnly},
+		{"softcfi", suite.SoftCFI},
+		{"power", table(experiments.Power())},
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	ran := 0
+	for _, e := range all {
+		if !want["all"] && !want[e.id] {
+			continue
+		}
+		t, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "revbench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "revbench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

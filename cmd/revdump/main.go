@@ -1,0 +1,148 @@
+// Command revdump inspects the artifacts of the REV toolchain: module
+// disassembly, symbol tables, the recovered control-flow graph, and the
+// layout of the encrypted signature tables.
+//
+// Usage:
+//
+//	revdump -bench mcf -what symbols
+//	revdump -bench mcf -what dis -from main -count 40
+//	revdump -bench mcf -what cfg
+//	revdump -bench mcf -what table -format cfi-only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rev/internal/cfg"
+	"rev/internal/crypt"
+	"rev/internal/isa"
+	"rev/internal/prog"
+	"rev/internal/sigtable"
+	"rev/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "mcf", "benchmark name")
+	scale := flag.Float64("scale", 0.05, "workload static-size scale")
+	what := flag.String("what", "symbols", "what to dump: symbols, dis, cfg, table")
+	from := flag.String("from", "main", "function to start disassembly at")
+	count := flag.Int("count", 32, "instructions to disassemble")
+	format := flag.String("format", "normal", "table format: normal, aggressive, cfi-only")
+	profile := flag.Uint64("profile", 200_000, "profiling budget for CFG recovery")
+	flag.Parse()
+
+	p, err := workload.ByName(*bench)
+	if err != nil {
+		fail(err)
+	}
+	p = p.Scaled(*scale)
+	pr, err := p.Builder()()
+	if err != nil {
+		fail(err)
+	}
+	mod := pr.Main()
+
+	switch *what {
+	case "symbols":
+		syms := append([]prog.Symbol(nil), mod.Symbols...)
+		sort.Slice(syms, func(i, j int) bool { return syms[i].Addr < syms[j].Addr })
+		fmt.Printf("%s: %d symbols, %d instructions, %d data bytes\n",
+			mod.Name, len(syms), mod.NumInstrs(), len(mod.Data))
+		for _, s := range syms {
+			fmt.Printf("%#010x %s\n", mod.Base+s.Addr, s.Name)
+		}
+
+	case "dis":
+		start, ok := mod.Lookup(*from)
+		if !ok {
+			fail(fmt.Errorf("no symbol %q", *from))
+		}
+		for i := 0; i < *count; i++ {
+			addr := start + uint64(i)*isa.WordSize
+			if addr > mod.Limit() {
+				break
+			}
+			in := pr.FetchInstr(addr)
+			marker := "  "
+			if in.Kind().IsControlFlow() {
+				marker = "=>"
+			}
+			fmt.Printf("%#010x %s %s\n", addr, marker, in)
+		}
+
+	case "cfg":
+		g, err := buildGraph(p, pr, *profile)
+		if err != nil {
+			fail(err)
+		}
+		classic := g.ClassicStats()
+		dyn := g.Stats()
+		fmt.Printf("module %s\n", mod.Name)
+		fmt.Printf("classic blocks:   %d (%.2f instr/block, %.3f succ/block)\n",
+			classic.NumBlocks, classic.AvgInstrs, classic.AvgSuccessors)
+		fmt.Printf("dynamic blocks:   %d (%.2f instr/block)\n", dyn.NumBlocks, dyn.AvgInstrs)
+		fmt.Printf("branch blocks:    %d (%d computed, %.1f%%)\n",
+			dyn.TotalBranches, dyn.NumComputed, 100*dyn.ComputedShare)
+		fmt.Printf("return landings:  %d\n", dyn.NumRetLandings)
+
+	case "table":
+		g, err := buildGraph(p, pr, *profile)
+		if err != nil {
+			fail(err)
+		}
+		var f sigtable.Format
+		switch *format {
+		case "normal":
+			f = sigtable.Normal
+		case "aggressive":
+			f = sigtable.Aggressive
+		case "cfi-only":
+			f = sigtable.CFIOnly
+		default:
+			fail(fmt.Errorf("unknown format %q", *format))
+		}
+		ks := crypt.NewKeyStore(crypt.DeriveKey(0x5eed, "cpu-private"))
+		key := crypt.DeriveKey(0x5eed, "module-"+p.Name)
+		tbl, img, err := sigtable.Build(g, f, key, ks)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("format:        %s\n", tbl.Format)
+		fmt.Printf("buckets (P):   %d\n", tbl.Buckets)
+		fmt.Printf("records:       %d (%d bucket + %d overflow/spill)\n",
+			tbl.Records, tbl.Buckets, tbl.Records-tbl.Buckets)
+		fmt.Printf("image:         %d bytes (%.1f%% of executable)\n", len(img), 100*tbl.SizeRatio())
+		fmt.Printf("header:        %d bytes incl. wrapped AES key\n", sigtable.HeaderSize)
+		meta, err := sigtable.FromImage(img)
+		if err != nil {
+			fail(fmt.Errorf("image self-check: %w", err))
+		}
+		fmt.Printf("image check:   ok (%d records, format %s)\n", meta.Records, meta.Format)
+
+	default:
+		fail(fmt.Errorf("unknown -what %q", *what))
+	}
+}
+
+func buildGraph(p workload.Profile, pr *prog.Program, budget uint64) (*cfg.Graph, error) {
+	twin, err := p.Builder()()
+	if err != nil {
+		return nil, err
+	}
+	profiler, err := cfg.ProfileRun(twin, budget)
+	if err != nil {
+		return nil, err
+	}
+	bld := cfg.NewBuilder(pr.Main(), cfg.DefaultLimits())
+	profiler.Apply(bld)
+	cfg.Analyze(pr, cfg.DefaultAnalyzeOptions()).Apply(bld)
+	return bld.Build()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "revdump:", err)
+	os.Exit(1)
+}

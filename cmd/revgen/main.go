@@ -1,0 +1,92 @@
+// Command revgen builds the encrypted reference signature table for a
+// workload module — the offline step the trusted linker performs in the
+// REV deployment — and reports its layout and size statistics for all
+// three formats (Sec. V).
+//
+// Usage:
+//
+//	revgen -bench gcc
+//	revgen -bench mcf -scale 0.1 -profile 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rev/internal/cfg"
+	"rev/internal/crypt"
+	"rev/internal/sigtable"
+	"rev/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name")
+	scale := flag.Float64("scale", 1.0, "workload static-size scale")
+	profile := flag.Uint64("profile", 1_000_000, "profiling-run instruction budget for computed targets")
+	seed := flag.Uint64("seed", 0x5eed, "key-derivation seed")
+	out := flag.String("o", "", "write the normal-format encrypted table image to this file")
+	flag.Parse()
+
+	if *bench == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	p, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "revgen:", err)
+		os.Exit(1)
+	}
+	p = p.Scaled(*scale)
+
+	// Profile a twin for computed-control-flow targets.
+	twin, err := p.Builder()()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "revgen:", err)
+		os.Exit(1)
+	}
+	profiler, err := cfg.ProfileRun(twin, *profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "revgen: profiling:", err)
+		os.Exit(1)
+	}
+	inst, err := p.Builder()()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "revgen:", err)
+		os.Exit(1)
+	}
+	bld := cfg.NewBuilder(inst.Main(), cfg.DefaultLimits())
+	profiler.Apply(bld)
+	cfg.Analyze(inst, cfg.DefaultAnalyzeOptions()).Apply(bld)
+	g, err := bld.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "revgen: CFG:", err)
+		os.Exit(1)
+	}
+	st := g.Stats()
+	fmt.Printf("module           %s (scale %.2f)\n", p.Name, *scale)
+	fmt.Printf("code             %d bytes, data %d bytes\n", len(inst.Main().Code), len(inst.Main().Data))
+	fmt.Printf("blocks           %d (%.2f instr/block, %.3f successors/block)\n",
+		st.NumBlocks, st.AvgInstrs, st.AvgSuccessors)
+	fmt.Printf("computed blocks  %d of %d branch-terminated (%.1f%%)\n",
+		st.NumComputed, st.TotalBranches, 100*st.ComputedShare)
+
+	ks := crypt.NewKeyStore(crypt.DeriveKey(*seed, "cpu-private"))
+	key := crypt.DeriveKey(*seed, "module-"+p.Name)
+	for _, format := range []sigtable.Format{sigtable.Normal, sigtable.Aggressive, sigtable.CFIOnly} {
+		tbl, img, err := sigtable.Build(g, format, key, ks)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "revgen: build:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s table %9d bytes (%5.1f%% of executable), %d buckets, %d records, image %d bytes\n",
+			format, tbl.Size, 100*tbl.SizeRatio(), tbl.Buckets, tbl.Records, len(img))
+		if *out != "" && format == sigtable.Normal {
+			if err := os.WriteFile(*out, img, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "revgen: write:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d bytes, encrypted; loadable via sigtable.FromImage)\n", *out, len(img))
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Command revsim runs one SPEC-like workload on the simulated core, with
+// or without REV, and prints a run report.
+//
+// Usage:
+//
+//	revsim -list
+//	revsim -bench gcc
+//	revsim -bench gobmk -rev -sc 32
+//	revsim -bench mcf -rev -format cfi-only -instrs 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rev/internal/core"
+	"rev/internal/sigtable"
+	"rev/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (see -list)")
+	list := flag.Bool("list", false, "list available benchmarks")
+	rev := flag.Bool("rev", false, "attach the REV validator")
+	scKB := flag.Int("sc", 32, "signature cache size in KB")
+	format := flag.String("format", "normal", "validation format: normal, aggressive, cfi-only")
+	instrs := flag.Uint64("instrs", 1_000_000, "committed instructions to simulate")
+	scale := flag.Float64("scale", 1.0, "workload static-size scale")
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.Profiles() {
+			fmt.Printf("%-12s paper: %6d BBs, %5.2f instr/BB, %5.3f succ/BB\n",
+				p.Name, p.PaperBBs, p.PaperInstrBB, p.PaperSucc)
+		}
+		return
+	}
+	if *bench == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	p, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "revsim:", err)
+		os.Exit(1)
+	}
+	p = p.Scaled(*scale)
+
+	rc := core.DefaultRunConfig()
+	rc.MaxInstrs = *instrs
+	if *rev {
+		cfg := core.DefaultConfig()
+		cfg.SC.SizeKB = *scKB
+		switch *format {
+		case "normal":
+			cfg.Format = sigtable.Normal
+		case "aggressive":
+			cfg.Format = sigtable.Aggressive
+		case "cfi-only":
+			cfg.Format = sigtable.CFIOnly
+		default:
+			fmt.Fprintf(os.Stderr, "revsim: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+		rc.REV = &cfg
+	}
+
+	res, err := core.Run(p.Builder(), rc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "revsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark        %s (scale %.2f)\n", p.Name, *scale)
+	fmt.Printf("instructions     %d\n", res.Pipe.Instrs)
+	fmt.Printf("cycles           %d\n", res.Pipe.Cycles)
+	fmt.Printf("IPC              %.4f\n", res.IPC())
+	fmt.Printf("branches         %d committed, %d unique, %d mispredicted\n",
+		res.Pipe.CommittedBranches, res.UniqueBranches, res.Pipe.Mispredicts)
+	fmt.Printf("L1D              %d accesses, %.2f%% miss\n", res.L1D.TotalAccesses(), 100*res.L1D.MissRate())
+	fmt.Printf("L1I              %d accesses, %.2f%% miss\n", res.L1I.TotalAccesses(), 100*res.L1I.MissRate())
+	fmt.Printf("L2               %d accesses, %.2f%% miss\n", res.L2.TotalAccesses(), 100*res.L2.MissRate())
+	if *rev {
+		fmt.Printf("validated blocks %d\n", res.Engine.ValidatedBlocks)
+		fmt.Printf("SC               %d probes: %d hits, %d partial, %d complete misses (%.2f%% miss)\n",
+			res.SC.Probes, res.SC.Hits, res.SC.PartialMisses, res.SC.CompleteMisses, 100*res.SC.MissRate)
+		fmt.Printf("validation stall %d cycles\n", res.Pipe.ValidationStallCycles)
+		for _, tbl := range res.Tables {
+			fmt.Printf("sig table        %s: %d buckets, %d records, %d bytes (%.1f%% of executable)\n",
+				tbl.Module, tbl.Buckets, tbl.Records, tbl.Size, 100*tbl.SizeRatio())
+		}
+		if res.Violation != nil {
+			fmt.Printf("VIOLATION        %v\n", res.Violation)
+		}
+	}
+}

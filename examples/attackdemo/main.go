@@ -1,0 +1,33 @@
+// Attackdemo walks through the Table-1 attack classes: each attack is
+// mounted against an unprotected machine (where it silently corrupts the
+// victim's behaviour) and against a REV-protected machine (where it is
+// caught at the first invalid basic-block validation).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rev"
+)
+
+func main() {
+	fmt.Println("REV attack detection demo (paper Table 1)")
+	fmt.Println()
+	for _, s := range rev.Attacks() {
+		o, err := rev.RunAttack(s, 100_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", s.Table1Row)
+		fmt.Printf("  how:              %s\n", s.How)
+		fmt.Printf("  expected signal:  %s\n", s.Detect)
+		fmt.Printf("  unprotected run:  behaviour changed = %v\n", o.BehaviourChanged)
+		if o.Detected {
+			fmt.Printf("  protected run:    DETECTED as %q\n", o.Reason)
+		} else {
+			fmt.Printf("  protected run:    MISSED (saw %q)\n", o.Reason)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,61 @@
+// Cfionly compares the three validation coverage levels of Sec. V on one
+// workload: normal (code + computed control flow), aggressive (every
+// branch target verified), and CFI-only (computed control flow only, no
+// hashes) — showing the table-size / overhead / protection trade-off.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"rev"
+	"rev/internal/sigtable"
+)
+
+func main() {
+	bench := flag.String("bench", "gcc", "workload name")
+	instrs := flag.Uint64("instrs", 500_000, "committed instructions")
+	scale := flag.Float64("scale", 0.25, "workload static-size scale")
+	flag.Parse()
+
+	p, err := rev.Benchmark(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p = p.Scaled(*scale)
+
+	base := rev.DefaultRunConfig()
+	base.MaxInstrs = *instrs
+	bres, err := rev.Run(p.Builder(), base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s, %d instructions, scale %.2f (base IPC %.3f)\n\n", p.Name, *instrs, *scale, bres.IPC())
+	fmt.Printf("%-12s %10s %10s %12s %s\n", "format", "overhead", "SC probes", "table size", "protects against")
+	protection := map[sigtable.Format]string{
+		rev.FormatNormal:     "code integrity + computed CF + returns",
+		rev.FormatAggressive: "code integrity + every branch target",
+		rev.FormatCFIOnly:    "computed CF + returns only (no code integrity)",
+	}
+	for _, format := range []sigtable.Format{rev.FormatNormal, rev.FormatAggressive, rev.FormatCFIOnly} {
+		cfg := rev.DefaultRunConfig()
+		cfg.MaxInstrs = *instrs
+		rc := rev.DefaultREVConfig()
+		rc.Format = format
+		cfg.REV = rc
+		res, err := rev.Run(p.Builder(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Violation != nil {
+			log.Fatalf("unexpected violation: %v", res.Violation)
+		}
+		ovh := 100 * (bres.IPC() - res.IPC()) / bres.IPC()
+		fmt.Printf("%-12s %9.2f%% %10d %11.1f%% %s\n",
+			format, ovh, res.SC.Probes, 100*res.Tables[0].SizeRatio(), protection[format])
+	}
+	fmt.Println("\npaper: CFI-only tables are 3-20% of the binary (avg 9%) with 0.04-1.68% overhead;")
+	fmt.Println("about 10% of branches are computed, so validation traffic collapses.")
+}

@@ -1,0 +1,85 @@
+// Selfmod demonstrates the paper's handling of legitimate self-modifying
+// code (Sec. IV.E): a JIT-like sequence disables REV through its system
+// call, patches its own code, runs the generated code, and re-enables
+// validation. Without the window, the same program trips a hash violation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rev"
+	"rev/internal/asm"
+	"rev/internal/isa"
+	"rev/internal/prog"
+)
+
+// buildJIT assembles a program that rewrites a NOP into "out r5" at run
+// time. When windowed is true, the rewrite happens inside a REV-disable
+// window (the trusted-JIT discipline of Sec. IV.E).
+func buildJIT(windowed bool) func() (*rev.Program, error) {
+	return func() (*rev.Program, error) {
+		b := asm.New("jit")
+		b.Func("main")
+		b.Entry("main")
+		if windowed {
+			b.LoadImm(4, 0)
+			b.Sys(isa.SysREVEnable, 4) // disable validation
+		}
+		b.LoadImm(5, 0x1CED)
+		patch := isa.Instr{Op: isa.OUT, Rs1: 5}
+		enc := patch.Encode()
+		var word uint64
+		for i := 7; i >= 0; i-- {
+			word = word<<8 | uint64(enc[i])
+		}
+		b.LoadImm(6, int64(word))
+		b.CodeAddrFixup(7, "jitbuf")
+		b.Store(6, 7, 0)
+		b.Call("jitbuf")
+		if windowed {
+			b.LoadImm(4, 1)
+			b.Sys(isa.SysREVEnable, 4) // re-enable validation
+		}
+		b.Out(5)
+		b.Halt()
+		b.Func("jitbuf")
+		b.Nop() // placeholder the "JIT" overwrites
+		b.Ret()
+		m, err := b.Assemble()
+		if err != nil {
+			return nil, err
+		}
+		p := prog.NewProgram()
+		if err := p.Load(m); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+}
+
+func run(name string, windowed bool) {
+	cfg := rev.DefaultRunConfig()
+	cfg.MaxInstrs = 10_000
+	cfg.REV = rev.DefaultREVConfig()
+	res, err := rev.Run(buildJIT(windowed), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s:\n", name)
+	if res.Violation != nil {
+		fmt.Printf("  REV violation: %v\n", res.Violation)
+	} else {
+		fmt.Printf("  completed cleanly, output %v\n", res.Output)
+		fmt.Printf("  blocks validated: %d, blocks skipped while disabled: %d\n",
+			res.Engine.ValidatedBlocks, res.Engine.SkippedDisabled)
+	}
+	fmt.Println()
+}
+
+func main() {
+	fmt.Println("self-modifying code under REV (paper Sec. IV.E)")
+	fmt.Println()
+	run("JIT inside a REV-disable window (trusted discipline)", true)
+	run("JIT without the window (policy violation)", false)
+}

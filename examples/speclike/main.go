@@ -1,0 +1,53 @@
+// Speclike runs one SPEC-2006-like workload (gobmk by default — the
+// paper's worst case) across a sweep of signature-cache sizes, showing how
+// SC capacity buys back the validation overhead (the Figure 6/7 dynamic).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"rev"
+)
+
+func main() {
+	bench := flag.String("bench", "gobmk", "workload name")
+	instrs := flag.Uint64("instrs", 500_000, "committed instructions")
+	scale := flag.Float64("scale", 0.25, "workload static-size scale")
+	flag.Parse()
+
+	p, err := rev.Benchmark(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p = p.Scaled(*scale)
+
+	base := rev.DefaultRunConfig()
+	base.MaxInstrs = *instrs
+	bres, err := rev.Run(p.Builder(), base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s, %d instructions, scale %.2f\n\n", p.Name, *instrs, *scale)
+	fmt.Printf("%-10s %8s %10s %12s %12s\n", "config", "IPC", "overhead", "SC misses", "miss rate")
+	fmt.Printf("%-10s %8.3f %10s %12s %12s\n", "base", bres.IPC(), "-", "-", "-")
+
+	for _, kb := range []int{8, 16, 32, 64, 128} {
+		cfg := rev.DefaultRunConfig()
+		cfg.MaxInstrs = *instrs
+		rc := rev.DefaultREVConfig()
+		rc.SC.SizeKB = kb
+		cfg.REV = rc
+		res, err := rev.Run(p.Builder(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Violation != nil {
+			log.Fatalf("unexpected violation: %v", res.Violation)
+		}
+		ovh := 100 * (bres.IPC() - res.IPC()) / bres.IPC()
+		fmt.Printf("%-10s %8.3f %9.2f%% %12d %11.2f%%\n",
+			fmt.Sprintf("SC %dKB", kb), res.IPC(), ovh, res.SC.Misses, 100*res.SC.MissRate)
+	}
+}

@@ -1,0 +1,3 @@
+module rev
+
+go 1.22

@@ -1,0 +1,288 @@
+// Package asm is a programmatic assembler for the rev ISA.
+//
+// It is used by the synthetic workload generator, the attack injectors, and
+// the examples to build executable modules: functions with local labels,
+// forward references, data symbols with loader relocations, and jump tables
+// for computed control flow. The output is a prog.Module whose code bytes
+// are final except for data-address relocations, which the trusted loader
+// patches (mirroring a conventional static linker).
+package asm
+
+import (
+	"fmt"
+
+	"rev/internal/isa"
+	"rev/internal/prog"
+)
+
+// Builder accumulates instructions and emits a prog.Module.
+type Builder struct {
+	name     string
+	instrs   []isa.Instr
+	labels   map[string]int // label -> instruction index
+	fixups   []fixup
+	symbols  []prog.Symbol
+	data     []byte
+	dataSyms []prog.Symbol
+	relocs   []prog.Reloc
+	entry    string
+	err      error
+	curFunc  string
+}
+
+type fixup struct {
+	instr int    // index of the instruction to patch
+	label string // target label
+}
+
+// New returns a Builder for a module with the given name.
+func New(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("asm(%s): %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// pc returns the code offset of the next instruction.
+func (b *Builder) pc() uint64 { return uint64(len(b.instrs)) * isa.WordSize }
+
+// Func starts a new function: defines a global label and an exported
+// symbol. Local labels declared afterwards are scoped to this function.
+func (b *Builder) Func(name string) {
+	b.curFunc = name
+	b.defineLabel(name)
+	b.symbols = append(b.symbols, prog.Symbol{Name: name, Addr: b.pc()})
+}
+
+// Entry marks a previously or subsequently defined function as the entry
+// point of the module.
+func (b *Builder) Entry(fn string) { b.entry = fn }
+
+// Label defines a function-local label at the current position.
+func (b *Builder) Label(name string) { b.defineLabel(b.local(name)) }
+
+func (b *Builder) local(name string) string { return b.curFunc + "." + name }
+
+func (b *Builder) defineLabel(full string) {
+	if _, dup := b.labels[full]; dup {
+		b.fail("duplicate label %q", full)
+		return
+	}
+	b.labels[full] = len(b.instrs)
+}
+
+func (b *Builder) emit(in isa.Instr) int {
+	b.instrs = append(b.instrs, in)
+	return len(b.instrs) - 1
+}
+
+func (b *Builder) emitFixup(in isa.Instr, label string) {
+	idx := b.emit(in)
+	b.fixups = append(b.fixups, fixup{instr: idx, label: label})
+}
+
+// Op3 emits a register-register ALU/FPU operation rd = rs1 op rs2.
+func (b *Builder) Op3(op isa.Op, rd, rs1, rs2 uint8) {
+	b.emit(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// OpI emits a register-immediate operation rd = rs1 op imm.
+func (b *Builder) OpI(op isa.Op, rd, rs1 uint8, imm int32) {
+	b.emit(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(isa.Instr{Op: isa.NOP}) }
+
+// LoadImm loads a 64-bit constant into rd using at most two instructions.
+// Values representable in 32 bits (sign-extended) use a single ADDI from
+// the zero register; others use LUI (rd = hi<<32) followed by ORI, which
+// zero-extends its immediate.
+func (b *Builder) LoadImm(rd uint8, v int64) {
+	if v == int64(int32(v)) {
+		b.OpI(isa.ADDI, rd, isa.RegZero, int32(v))
+		return
+	}
+	b.OpI(isa.LUI, rd, isa.RegZero, int32(v>>32))
+	b.OpI(isa.ORI, rd, rd, int32(uint32(v)))
+}
+
+// Load emits rd = mem[rs1+imm].
+func (b *Builder) Load(rd, rs1 uint8, imm int32) {
+	b.emit(isa.Instr{Op: isa.LD, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Store emits mem[rs1+imm] = rs2.
+func (b *Builder) Store(rs2, rs1 uint8, imm int32) {
+	b.emit(isa.Instr{Op: isa.ST, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+
+// Br emits a conditional branch to a function-local label.
+func (b *Builder) Br(op isa.Op, rs1, rs2 uint8, label string) {
+	if isa.OpKind(op) != isa.KindCondBranch {
+		b.fail("Br with non-branch opcode %v", op)
+		return
+	}
+	b.emitFixup(isa.Instr{Op: op, Rs1: rs1, Rs2: rs2}, b.local(label))
+}
+
+// Jmp emits an unconditional jump to a function-local label.
+func (b *Builder) Jmp(label string) {
+	b.emitFixup(isa.Instr{Op: isa.JMP}, b.local(label))
+}
+
+// Call emits a direct call to a function (global label).
+func (b *Builder) Call(fn string) {
+	b.emitFixup(isa.Instr{Op: isa.CALL}, fn)
+}
+
+// Ret emits a return.
+func (b *Builder) Ret() { b.emit(isa.Instr{Op: isa.RET}) }
+
+// JmpReg emits a computed jump through a register.
+func (b *Builder) JmpReg(rs1 uint8) { b.emit(isa.Instr{Op: isa.JR, Rs1: rs1}) }
+
+// CallReg emits a computed call through a register.
+func (b *Builder) CallReg(rs1 uint8) { b.emit(isa.Instr{Op: isa.CALLR, Rs1: rs1}) }
+
+// Sys emits a system call.
+func (b *Builder) Sys(service int32, rs1 uint8) {
+	b.emit(isa.Instr{Op: isa.SYS, Rs1: rs1, Imm: service})
+}
+
+// Out emits an observable-output instruction for rs1.
+func (b *Builder) Out(rs1 uint8) { b.emit(isa.Instr{Op: isa.OUT, Rs1: rs1}) }
+
+// Halt stops the machine.
+func (b *Builder) Halt() { b.emit(isa.Instr{Op: isa.HALT}) }
+
+// Data appends bytes to the module's data segment under a symbol name and
+// returns the symbol's offset within the segment.
+func (b *Builder) Data(name string, bytes []byte) uint64 {
+	off := uint64(len(b.data))
+	b.dataSyms = append(b.dataSyms, prog.Symbol{Name: name, Addr: off})
+	b.data = append(b.data, bytes...)
+	return off
+}
+
+// DataWords appends 64-bit words to the data segment under a symbol name.
+func (b *Builder) DataWords(name string, words []uint64) uint64 {
+	buf := make([]byte, 8*len(words))
+	for i, w := range words {
+		for j := 0; j < 8; j++ {
+			buf[i*8+j] = byte(w >> (8 * j))
+		}
+	}
+	return b.Data(name, buf)
+}
+
+// LoadDataAddr emits an instruction loading the run-time virtual address of
+// a data symbol (plus offset) into rd. The loader patches the immediate.
+func (b *Builder) LoadDataAddr(rd uint8, sym string, off int64) {
+	idx := b.emit(isa.Instr{Op: isa.ADDI, Rd: rd, Rs1: isa.RegZero})
+	b.relocs = append(b.relocs, prog.Reloc{
+		InstrOff: uint64(idx) * isa.WordSize,
+		Sym:      sym,
+		Add:      off,
+	})
+}
+
+// CodeAddrFixup emits an instruction that will load the final virtual
+// address of a function entry into rd. Because code addresses are known
+// only after the loader assigns the module base, the address is expressed
+// as base-relative at assembly time and finalized by Assemble given that
+// module bases start at prog.CodeBase for the first module. For library
+// modules the caller should use jump-vector data initialized at link time
+// instead. The common case in this codebase is the first module, so
+// Assemble resolves these against prog.CodeBase.
+func (b *Builder) CodeAddrFixup(rd uint8, fn string) {
+	b.emitFixup(isa.Instr{Op: isa.ADDI, Rd: rd, Rs1: isa.RegZero, Imm: fixupAbsolute}, fn)
+}
+
+// fixupAbsolute marks a fixup that wants the absolute address of the label
+// (assuming the module is loaded at prog.CodeBase) rather than a
+// PC-relative displacement.
+const fixupAbsolute = -0x7eadbeef
+
+// FuncOffset returns the code offset of a defined function, for building
+// jump tables. It must be called after the function has been defined.
+func (b *Builder) FuncOffset(fn string) (uint64, bool) {
+	idx, ok := b.labels[fn]
+	if !ok {
+		return 0, false
+	}
+	return uint64(idx) * isa.WordSize, true
+}
+
+// LabelOffset returns the code offset of a function-local label, for
+// building jump tables over intra-function case blocks. It must be called
+// after the label has been defined.
+func (b *Builder) LabelOffset(fn, label string) (uint64, bool) {
+	idx, ok := b.labels[fn+"."+label]
+	if !ok {
+		return 0, false
+	}
+	return uint64(idx) * isa.WordSize, true
+}
+
+// Assemble resolves all fixups and returns the finished module.
+func (b *Builder) Assemble() (*prog.Module, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	code := make([]byte, len(b.instrs)*isa.WordSize)
+	for i, in := range b.instrs {
+		in.EncodeTo(code[i*isa.WordSize:])
+	}
+	for _, f := range b.fixups {
+		tgt, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm(%s): undefined label %q", b.name, f.label)
+		}
+		in := b.instrs[f.instr]
+		if in.Imm == fixupAbsolute && in.Op == isa.ADDI {
+			abs := int64(prog.CodeBase) + int64(tgt)*isa.WordSize
+			if abs != int64(int32(abs)) {
+				return nil, fmt.Errorf("asm(%s): absolute address of %q does not fit in imm32", b.name, f.label)
+			}
+			in.Imm = int32(abs)
+		} else {
+			disp := int64(tgt-f.instr) * isa.WordSize
+			if disp != int64(int32(disp)) {
+				return nil, fmt.Errorf("asm(%s): displacement to %q too large", b.name, f.label)
+			}
+			in.Imm = int32(disp)
+		}
+		in.EncodeTo(code[f.instr*isa.WordSize:])
+	}
+	var entry uint64
+	if b.entry != "" {
+		idx, ok := b.labels[b.entry]
+		if !ok {
+			return nil, fmt.Errorf("asm(%s): undefined entry %q", b.name, b.entry)
+		}
+		entry = uint64(idx) * isa.WordSize
+	}
+	return &prog.Module{
+		Name:     b.name,
+		Code:     code,
+		Entry:    entry,
+		Symbols:  b.symbols,
+		Data:     b.data,
+		DataSyms: b.dataSyms,
+		Relocs:   b.relocs,
+	}, nil
+}
+
+// MustAssemble is Assemble that panics on error, for tests and generators
+// whose input is known-valid by construction.
+func (b *Builder) MustAssemble() *prog.Module {
+	m, err := b.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,293 @@
+package asm
+
+import (
+	"testing"
+
+	"rev/internal/cpu"
+	"rev/internal/isa"
+	"rev/internal/prog"
+)
+
+// run assembles, loads and executes a module, returning the machine.
+func run(t *testing.T, b *Builder, maxInstrs uint64) *cpu.Machine {
+	t.Helper()
+	m, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prog.NewProgram()
+	if err := p.Load(m); err != nil {
+		t.Fatal(err)
+	}
+	mach := cpu.NewMachine(p)
+	if _, err := mach.Run(maxInstrs); err != nil {
+		t.Fatal(err)
+	}
+	if !mach.Halted {
+		t.Fatal("program did not halt")
+	}
+	return mach
+}
+
+func TestStraightLineArithmetic(t *testing.T) {
+	b := New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.LoadImm(1, 6)
+	b.LoadImm(2, 7)
+	b.Op3(isa.MUL, 3, 1, 2)
+	b.Out(3)
+	b.Halt()
+	mach := run(t, b, 100)
+	if len(mach.Output) != 1 || mach.Output[0] != 42 {
+		t.Errorf("output = %v, want [42]", mach.Output)
+	}
+}
+
+func TestLoadImm64(t *testing.T) {
+	b := New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.LoadImm(1, 0x1122334455667788)
+	b.Out(1)
+	b.LoadImm(2, -5)
+	b.Out(2)
+	b.LoadImm(3, 0x00000000_90000000) // >int32 positive, low bit31 set
+	b.Out(3)
+	b.Halt()
+	mach := run(t, b, 100)
+	want := []uint64{0x1122334455667788, ^uint64(0) - 4, 0x90000000}
+	for i, w := range want {
+		if mach.Output[i] != w {
+			t.Errorf("output[%d] = %#x, want %#x", i, mach.Output[i], w)
+		}
+	}
+}
+
+func TestLoopWithBackwardBranch(t *testing.T) {
+	b := New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.LoadImm(1, 0)  // i
+	b.LoadImm(2, 10) // n
+	b.LoadImm(3, 0)  // sum
+	b.Label("loop")
+	b.Op3(isa.ADD, 3, 3, 1)
+	b.OpI(isa.ADDI, 1, 1, 1)
+	b.Br(isa.BLT, 1, 2, "loop")
+	b.Out(3)
+	b.Halt()
+	mach := run(t, b, 1000)
+	if mach.Output[0] != 45 {
+		t.Errorf("sum = %d, want 45", mach.Output[0])
+	}
+}
+
+func TestForwardBranch(t *testing.T) {
+	b := New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.LoadImm(1, 1)
+	b.LoadImm(2, 2)
+	b.Br(isa.BLT, 1, 2, "less")
+	b.LoadImm(3, 111) // skipped
+	b.Out(3)
+	b.Label("less")
+	b.LoadImm(3, 222)
+	b.Out(3)
+	b.Halt()
+	mach := run(t, b, 100)
+	if len(mach.Output) != 1 || mach.Output[0] != 222 {
+		t.Errorf("output = %v, want [222]", mach.Output)
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	b := New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.LoadImm(1, 20)
+	b.Call("double")
+	b.Out(1)
+	b.Halt()
+	b.Func("double")
+	b.Op3(isa.ADD, 1, 1, 1)
+	b.Ret()
+	mach := run(t, b, 100)
+	if mach.Output[0] != 40 {
+		t.Errorf("output = %v, want [40]", mach.Output)
+	}
+}
+
+func TestNestedCallsWithStack(t *testing.T) {
+	// f(x) = g(x) + 1, g(x) = x*2; f must save/restore RA on the stack.
+	b := New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.LoadImm(1, 5)
+	b.Call("f")
+	b.Out(1)
+	b.Halt()
+	b.Func("f")
+	b.OpI(isa.ADDI, isa.RegSP, isa.RegSP, -8)
+	b.Store(isa.RegRA, isa.RegSP, 0)
+	b.Call("g")
+	b.OpI(isa.ADDI, 1, 1, 1)
+	b.Load(isa.RegRA, isa.RegSP, 0)
+	b.OpI(isa.ADDI, isa.RegSP, isa.RegSP, 8)
+	b.Ret()
+	b.Func("g")
+	b.Op3(isa.ADD, 1, 1, 1)
+	b.Ret()
+	mach := run(t, b, 100)
+	if mach.Output[0] != 11 {
+		t.Errorf("f(5) = %d, want 11", mach.Output[0])
+	}
+}
+
+func TestDataSegmentAndRelocation(t *testing.T) {
+	b := New("t")
+	b.DataWords("table", []uint64{100, 200, 300})
+	b.Func("main")
+	b.Entry("main")
+	b.LoadDataAddr(1, "table", 8) // &table[1]
+	b.Load(2, 1, 0)
+	b.Out(2)
+	b.Load(3, 1, 8) // table[2]
+	b.Out(3)
+	b.Halt()
+	mach := run(t, b, 100)
+	if mach.Output[0] != 200 || mach.Output[1] != 300 {
+		t.Errorf("output = %v, want [200 300]", mach.Output)
+	}
+}
+
+func TestComputedJumpThroughJumpTable(t *testing.T) {
+	// switch(i): dispatch through a data-resident jump table of absolute
+	// code addresses — the pattern compiled switches and vtables use, and
+	// the pattern REV must validate (computed branch targets).
+	b := New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.LoadImm(5, 1) // select case 1
+	b.LoadDataAddr(1, "jt", 0)
+	b.OpI(isa.SHLI, 6, 5, 3)
+	b.Op3(isa.ADD, 1, 1, 6)
+	b.Load(2, 1, 0)
+	b.JmpReg(2)
+	b.Func("case0")
+	b.LoadImm(3, 1000)
+	b.Out(3)
+	b.Halt()
+	b.Func("case1")
+	b.LoadImm(3, 2000)
+	b.Out(3)
+	b.Halt()
+
+	// Build the jump table after the cases so offsets resolve. The table
+	// holds absolute addresses assuming load at prog.CodeBase (first
+	// module), the same contract as CodeAddrFixup.
+	off0, ok0 := b.FuncOffset("case0")
+	off1, ok1 := b.FuncOffset("case1")
+	if !ok0 || !ok1 {
+		t.Fatal("FuncOffset failed")
+	}
+	b.DataWords("jt", []uint64{prog.CodeBase + off0, prog.CodeBase + off1})
+
+	mach := run(t, b, 100)
+	if mach.Output[0] != 2000 {
+		t.Errorf("dispatched output = %v, want [2000]", mach.Output)
+	}
+}
+
+func TestCallRegAndCodeAddrFixup(t *testing.T) {
+	b := New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.CodeAddrFixup(4, "target")
+	b.CallReg(4)
+	b.Out(1)
+	b.Halt()
+	b.Func("target")
+	b.LoadImm(1, 77)
+	b.Ret()
+	mach := run(t, b, 100)
+	if mach.Output[0] != 77 {
+		t.Errorf("output = %v, want [77]", mach.Output)
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	b := New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.LoadImm(1, 7)
+	b.Op3(isa.ITOF, 0, 1, 0) // f0 = 7.0
+	b.LoadImm(1, 2)
+	b.Op3(isa.ITOF, 1, 1, 0) // f1 = 2.0
+	b.Op3(isa.FDIV, 2, 0, 1) // f2 = 3.5
+	b.Op3(isa.FMUL, 2, 2, 1) // f2 = 7.0
+	b.Op3(isa.FTOI, 3, 2, 0) // r3 = 7
+	b.Out(3)
+	b.Halt()
+	mach := run(t, b, 100)
+	if mach.Output[0] != 7 {
+		t.Errorf("fp result = %d, want 7", mach.Output[0])
+	}
+}
+
+func TestDuplicateLabelFails(t *testing.T) {
+	b := New("t")
+	b.Func("main")
+	b.Label("x")
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Assemble(); err == nil {
+		t.Error("duplicate label should fail")
+	}
+}
+
+func TestUndefinedLabelFails(t *testing.T) {
+	b := New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.Jmp("nowhere")
+	b.Halt()
+	if _, err := b.Assemble(); err == nil {
+		t.Error("undefined label should fail")
+	}
+}
+
+func TestUndefinedEntryFails(t *testing.T) {
+	b := New("t")
+	b.Func("main")
+	b.Entry("nope")
+	b.Halt()
+	if _, err := b.Assemble(); err == nil {
+		t.Error("undefined entry should fail")
+	}
+}
+
+func TestLabelsAreFunctionLocal(t *testing.T) {
+	b := New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.Label("end")
+	b.Call("f")
+	b.Halt()
+	b.Func("f")
+	b.Label("end") // same local name, different function: fine
+	b.Ret()
+	if _, err := b.Assemble(); err != nil {
+		t.Errorf("function-local labels should not collide: %v", err)
+	}
+}
+
+func TestBrRejectsNonBranchOpcode(t *testing.T) {
+	b := New("t")
+	b.Func("main")
+	b.Br(isa.ADD, 1, 2, "x")
+	if _, err := b.Assemble(); err == nil {
+		t.Error("Br with ADD should fail")
+	}
+}

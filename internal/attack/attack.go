@@ -1,0 +1,443 @@
+// Package attack implements run-time attack injectors for every attack
+// class in Table 1 of the paper, exercised against REV-protected victims:
+//
+//	direct code injection, indirect code injection, return-oriented
+//	programming, jump-oriented programming, VTable compromise, and
+//	return-to-libc.
+//
+// Each scenario builds a deterministic victim program, supplies a run-time
+// attack hook that mutates simulated state exactly the way the real attack
+// would (overwriting code bytes, smashing saved return addresses,
+// corrupting function-pointer tables), and states which REV violation
+// reasons constitute detection. Scenarios also run unprotected to
+// demonstrate the attack actually changes the victim's observable
+// behaviour — detection without a real compromise would be meaningless.
+package attack
+
+import (
+	"fmt"
+
+	"rev/internal/asm"
+	"rev/internal/core"
+	"rev/internal/cpu"
+	"rev/internal/forensics"
+	"rev/internal/isa"
+	"rev/internal/prog"
+)
+
+// Scenario is one Table-1 attack.
+type Scenario struct {
+	Name      string
+	Table1Row string // the paper's attack-class name
+	// How describes the compromise, mirroring Table 1's middle column.
+	How string
+	// Detect describes REV's detection, mirroring Table 1's last column.
+	Detect string
+	// Build constructs a fresh victim program (deterministic).
+	Build func() (*prog.Program, error)
+	// Hook mutates machine state to mount the attack.
+	Hook func(m *cpu.Machine, pc uint64, in isa.Instr)
+	// Expect lists the REV violation reasons that count as detection.
+	Expect []core.ViolationReason
+	// reset re-arms one-shot state between runs.
+	reset func()
+}
+
+// Outcome reports one scenario's protected and unprotected runs.
+type Outcome struct {
+	Scenario *Scenario
+	// Detected and Reason report the REV-protected run.
+	Detected bool
+	Reason   core.ViolationReason
+	// BehaviourChanged reports whether the unprotected attacked run's
+	// output diverged from the clean run (the attack is real).
+	BehaviourChanged bool
+	// Evidence is the forensic capture of the offending block (Sec. X),
+	// when detection produced one.
+	Evidence *forensics.Record
+}
+
+// victim builds the shared victim: a program with a stack-using function,
+// a vtable-style computed call, and a libc-like second module. The layout
+// is deterministic so scenarios can aim their corruptions.
+type victim struct {
+	build   func() (*prog.Program, error)
+	gadget  uint64 // address of a legal-but-wrong block (ROP/JOP target)
+	libcFn  uint64 // entry of the library function (return-to-libc target)
+	grant   uint64 // entry of grantAccess (VTable diversion target)
+	vtSlot  uint64 // address of the vtable slot in data memory
+	codePat uint64 // address of victim code to overwrite (injection)
+}
+
+func buildVictim() *victim {
+	v := &victim{}
+	mainBuilder := func() (*asm.Builder, error) {
+		b := asm.New("victim")
+		b.Func("main")
+		b.Entry("main")
+		b.LoadImm(1, 0)
+		b.LoadImm(2, 50)
+		b.Label("loop")
+		b.Call("iter")
+		b.OpI(isa.ADDI, 1, 1, 1)
+		b.Br(isa.BLT, 1, 2, "loop")
+		b.Out(3)
+		b.Halt()
+
+		// One loop iteration: a stack-saving call, a virtual dispatch, and
+		// a switch dispatch whose cases converge on "finish".
+		b.Func("iter")
+		b.OpI(isa.ADDI, isa.RegSP, isa.RegSP, -8)
+		b.Store(isa.RegRA, isa.RegSP, 0)
+		b.Call("process")
+		// Virtual dispatch through the vtable (object-oriented call).
+		b.LoadDataAddr(8, "vtable", 0)
+		b.Load(9, 8, 0)
+		b.CallReg(9)
+		// Switch dispatch through the jump table.
+		b.OpI(isa.ANDI, 10, 1, 1)
+		b.LoadDataAddr(8, "jumptab", 0)
+		b.OpI(isa.SHLI, 11, 10, 3)
+		b.Op3(isa.ADD, 8, 8, 11)
+		b.Load(9, 8, 0)
+		b.JmpReg(9)
+		b.Func("finish") // jump-table cases converge here; iter's epilogue
+		b.Load(isa.RegRA, isa.RegSP, 0)
+		b.OpI(isa.ADDI, isa.RegSP, isa.RegSP, 8)
+		b.Ret()
+
+		// process: saves RA on the stack (the ROP surface), does work,
+		// returns.
+		b.Func("process")
+		b.OpI(isa.ADDI, isa.RegSP, isa.RegSP, -8)
+		b.Store(isa.RegRA, isa.RegSP, 0)
+		b.OpI(isa.ADDI, 3, 3, 7)
+		b.Call("helper")
+		b.Load(isa.RegRA, isa.RegSP, 0)
+		b.OpI(isa.ADDI, isa.RegSP, isa.RegSP, 8)
+		b.Ret()
+		b.Func("helper")
+		b.Op3(isa.XOR, 3, 3, 1)
+		b.Ret()
+
+		// Virtual method (the legal vtable target).
+		b.Func("method")
+		b.OpI(isa.ADDI, 3, 3, 1)
+		b.Ret()
+		// A privileged-looking routine a VTable attack would divert to:
+		// legal code, never a legal target of the virtual call site.
+		b.Func("grantAccess")
+		b.LoadImm(4, 0x600D)
+		b.Out(4)
+		b.Ret()
+
+		// Jump table cases.
+		b.Func("case0")
+		b.Nop()
+		b.CodeAddrFixup(12, "finish")
+		b.JmpReg(12)
+		b.Func("case1")
+		b.OpI(isa.ADDI, 3, 3, 2)
+		b.CodeAddrFixup(12, "finish")
+		b.JmpReg(12)
+
+		// Gadget: a block an attacker wants to run (e.g. spills a secret).
+		b.Func("gadget")
+		b.LoadImm(4, 0xBAD)
+		b.Out(4)
+		b.Ret()
+
+		m, _ := b.FuncOffset("method")
+		b.DataWords("vtable", []uint64{prog.CodeBase + m})
+		c0, _ := b.FuncOffset("case0")
+		c1, _ := b.FuncOffset("case1")
+		b.DataWords("jumptab", []uint64{prog.CodeBase + c0, prog.CodeBase + c1})
+		return b, nil
+	}
+
+	v.build = func() (*prog.Program, error) {
+		b, err := mainBuilder()
+		if err != nil {
+			return nil, err
+		}
+		mainMod, err := b.Assemble()
+		if err != nil {
+			return nil, err
+		}
+		lib := asm.New("libc")
+		lib.Func("system")
+		lib.LoadImm(5, 0xCA11)
+		lib.Out(5)
+		lib.Ret()
+		libMod, err := lib.Assemble()
+		if err != nil {
+			return nil, err
+		}
+		p := prog.NewProgram()
+		if err := p.Load(mainMod); err != nil {
+			return nil, err
+		}
+		if err := p.Load(libMod); err != nil {
+			return nil, err
+		}
+		if a, ok := mainMod.Lookup("gadget"); ok {
+			v.gadget = a
+		}
+		if a, ok := libMod.Lookup("system"); ok {
+			v.libcFn = a
+		}
+		if a, ok := mainMod.Lookup("process"); ok {
+			v.codePat = a + 2*isa.WordSize
+		}
+		if a, ok := mainMod.Lookup("grantAccess"); ok {
+			v.grant = a
+		}
+		// The main module's data segment is placed at DataBase; "vtable"
+		// is its first symbol.
+		v.vtSlot = mainMod.DataOff
+		return p, nil
+	}
+	return v
+}
+
+// Scenarios returns the six Table-1 attacks.
+func Scenarios() []*Scenario {
+	var out []*Scenario
+
+	// 1. Direct code injection: another (higher-privilege) process
+	// overwrites victim instructions in place.
+	{
+		v := buildVictim()
+		fired := false
+		s := &Scenario{
+			Name:      "direct-code-injection",
+			Table1Row: "Direct Code Injection",
+			How:       "binaries are overwritten on the fly by another process",
+			Detect:    "basic block crypto hash will not match reference hash value",
+			Build:     v.build,
+			Expect:    []core.ViolationReason{core.ViolationHash},
+			reset:     func() { fired = false },
+		}
+		s.Hook = func(m *cpu.Machine, pc uint64, in isa.Instr) {
+			if !fired && m.Instret == 300 {
+				fired = true
+				payload := []isa.Instr{
+					{Op: isa.ADDI, Rd: 4, Imm: 0x666},
+					{Op: isa.OUT, Rs1: 4},
+				}
+				for i, pi := range payload {
+					var buf [isa.WordSize]byte
+					pi.EncodeTo(buf[:])
+					m.Mem.WriteBytes(v.codePat+uint64(i*isa.WordSize), buf[:])
+				}
+			}
+		}
+		out = append(out, s)
+	}
+
+	// 2. Indirect code injection: a buffer overflow writes attacker code
+	// onto the stack and redirects the saved return address into it.
+	{
+		v := buildVictim()
+		fired := false
+		s := &Scenario{
+			Name:      "indirect-code-injection",
+			Table1Row: "Indirect Code Injection",
+			How:       "new code added to the call stack is executed because of buffer overflows",
+			Detect:    "hash mismatch; control flow path will not match the statically known path",
+			Build:     v.build,
+			Expect: []core.ViolationReason{
+				core.ViolationModule, core.ViolationHash, core.ViolationReturn,
+			},
+			reset: func() { fired = false },
+		}
+		s.Hook = func(m *cpu.Machine, pc uint64, in isa.Instr) {
+			if !fired && in.Op == isa.LD && in.Rd == isa.RegRA {
+				fired = true
+				sp := m.ReadReg(isa.RegSP)
+				// Shellcode on the stack...
+				shell := []isa.Instr{
+					{Op: isa.ADDI, Rd: 4, Imm: 0x31337},
+					{Op: isa.OUT, Rs1: 4},
+					{Op: isa.HALT},
+				}
+				base := sp + 64
+				for i, si := range shell {
+					var buf [isa.WordSize]byte
+					si.EncodeTo(buf[:])
+					m.Mem.WriteBytes(base+uint64(i*isa.WordSize), buf[:])
+				}
+				// ...and the saved RA now points at it.
+				m.Mem.Write64(sp, base)
+			}
+		}
+		out = append(out, s)
+	}
+
+	// 3. Return-oriented attack: the saved return address is redirected to
+	// an existing, legal block (a gadget) instead of injected code.
+	{
+		v := buildVictim()
+		fired := false
+		s := &Scenario{
+			Name:      "return-oriented",
+			Table1Row: "Return Oriented Attack",
+			How:       "function calls return to unintended basic blocks",
+			Detect:    "control flow path will not match path known from static analysis",
+			Build:     v.build,
+			Expect:    []core.ViolationReason{core.ViolationReturn, core.ViolationHash},
+			reset:     func() { fired = false },
+		}
+		s.Hook = func(m *cpu.Machine, pc uint64, in isa.Instr) {
+			if !fired && in.Op == isa.LD && in.Rd == isa.RegRA {
+				fired = true
+				m.Mem.Write64(m.ReadReg(isa.RegSP), v.gadget)
+			}
+		}
+		out = append(out, s)
+	}
+
+	// 4. Jump-oriented attack: a computed jump is steered to a gadget.
+	{
+		v := buildVictim()
+		fired := false
+		s := &Scenario{
+			Name:      "jump-oriented",
+			Table1Row: "Jump Oriented Attack",
+			How:       "gadgets (pieces of code) are used to construct a desired attack code",
+			Detect:    "gadget hash/target will not match; control flow path will not match",
+			Build:     v.build,
+			Expect:    []core.ViolationReason{core.ViolationTarget, core.ViolationHash},
+			reset:     func() { fired = false },
+		}
+		s.Hook = func(m *cpu.Machine, pc uint64, in isa.Instr) {
+			if !fired && m.Instret > 200 && in.Op == isa.JR {
+				fired = true
+				// Overwrite the jump-table slot in data memory; the
+				// in-flight dispatch register is refetched... the register
+				// was already loaded, so corrupt it directly, as a JOP
+				// chain does via controlled memory.
+				m.X[in.Rs1] = v.gadget + isa.WordSize // mid-gadget: not even a block start
+			}
+		}
+		out = append(out, s)
+	}
+
+	// 5. VTable compromise: the function pointer in the object's vtable is
+	// replaced with a different (legal) function, diverting the virtual
+	// call. No code is modified and the target is real code.
+	{
+		v := buildVictim()
+		fired := false
+		s := &Scenario{
+			Name:      "vtable-compromise",
+			Table1Row: "Vtable compromises",
+			How:       "overwriting Vtable at runtime to alter the control flow",
+			Detect:    "control flow path will not match path known from static analysis",
+			Build:     v.build,
+			Expect:    []core.ViolationReason{core.ViolationTarget},
+			reset:     func() { fired = false },
+		}
+		s.Hook = func(m *cpu.Machine, pc uint64, in isa.Instr) {
+			if !fired && m.Instret == 400 {
+				fired = true
+				// Replace the object's method pointer with grantAccess —
+				// real, legal code that this call site must never reach.
+				m.Mem.Write64(v.vtSlot, v.grant)
+			}
+		}
+		out = append(out, s)
+	}
+
+	// 6. Return-to-libc: the saved return address is pointed at a library
+	// function entry.
+	{
+		v := buildVictim()
+		fired := false
+		s := &Scenario{
+			Name:      "return-to-libc",
+			Table1Row: "Return to lib-C attacks",
+			How:       "overwriting the function return address to a lib-C function address",
+			Detect:    "control flow path will not match path known from static analysis",
+			Build:     v.build,
+			Expect:    []core.ViolationReason{core.ViolationReturn, core.ViolationHash},
+			reset:     func() { fired = false },
+		}
+		s.Hook = func(m *cpu.Machine, pc uint64, in isa.Instr) {
+			if !fired && in.Op == isa.LD && in.Rd == isa.RegRA {
+				fired = true
+				m.Mem.Write64(m.ReadReg(isa.RegSP), v.libcFn)
+			}
+		}
+		out = append(out, s)
+	}
+
+	return out
+}
+
+// Run executes one scenario three ways: clean-unprotected (reference
+// output), attacked-unprotected (must diverge), attacked-protected (must be
+// detected). maxInstrs bounds each run.
+func Run(s *Scenario, maxInstrs uint64) (*Outcome, error) {
+	if s.reset != nil {
+		s.reset()
+	}
+	rcClean := core.DefaultRunConfig()
+	rcClean.MaxInstrs = maxInstrs
+	clean, err := core.Run(s.Build, rcClean)
+	if err != nil {
+		return nil, fmt.Errorf("attack %s: clean run: %w", s.Name, err)
+	}
+
+	if s.reset != nil {
+		s.reset()
+	}
+	rcAtk := core.DefaultRunConfig()
+	rcAtk.MaxInstrs = maxInstrs
+	rcAtk.AttackHook = s.Hook
+	attacked, err := core.Run(s.Build, rcAtk)
+	if err != nil {
+		return nil, fmt.Errorf("attack %s: unprotected attacked run: %w", s.Name, err)
+	}
+
+	if s.reset != nil {
+		s.reset()
+	}
+	rcREV := core.DefaultRunConfig()
+	rcREV.MaxInstrs = maxInstrs
+	rcREV.AttackHook = s.Hook
+	rev := core.DefaultConfig()
+	rev.Forensics = true
+	rcREV.REV = &rev
+	protected, err := core.Run(s.Build, rcREV)
+	if err != nil {
+		return nil, fmt.Errorf("attack %s: protected run: %w", s.Name, err)
+	}
+
+	o := &Outcome{Scenario: s}
+	o.BehaviourChanged = !equalOutputs(clean.Output, attacked.Output)
+	if protected.Violation != nil {
+		o.Reason = protected.Violation.Reason
+		for _, want := range s.Expect {
+			if protected.Violation.Reason == want {
+				o.Detected = true
+			}
+		}
+		if len(protected.Forensics.Records) > 0 {
+			o.Evidence = &protected.Forensics.Records[0]
+		}
+	}
+	return o, nil
+}
+
+func equalOutputs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,104 @@
+package attack
+
+import (
+	"testing"
+
+	"rev/internal/core"
+)
+
+const attackBudget = 100_000
+
+func TestAllScenariosDetected(t *testing.T) {
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			o, err := Run(s, attackBudget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !o.BehaviourChanged {
+				t.Error("attack did not change unprotected behaviour; it is not a real attack")
+			}
+			if !o.Detected {
+				t.Errorf("REV failed to detect %s (reason seen: %v)", s.Name, o.Reason)
+			}
+		})
+	}
+}
+
+func TestScenarioCountMatchesTable1(t *testing.T) {
+	if len(Scenarios()) != 6 {
+		t.Errorf("Table 1 has 6 attack classes; got %d scenarios", len(Scenarios()))
+	}
+}
+
+func TestCleanVictimRunsCleanUnderREV(t *testing.T) {
+	// The victim itself, without any attack hook, must validate end to
+	// end: detection must come from the attack, not from a broken victim.
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			rc := core.DefaultRunConfig()
+			rc.MaxInstrs = attackBudget
+			rev := core.DefaultConfig()
+			rc.REV = &rev
+			res, err := core.Run(s.Build, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violation != nil {
+				t.Errorf("clean victim flagged: %v", res.Violation)
+			}
+		})
+	}
+}
+
+func TestScenarioMetadataComplete(t *testing.T) {
+	for _, s := range Scenarios() {
+		if s.Name == "" || s.Table1Row == "" || s.How == "" || s.Detect == "" {
+			t.Errorf("scenario %q missing Table-1 metadata", s.Name)
+		}
+		if len(s.Expect) == 0 {
+			t.Errorf("scenario %q lists no expected violations", s.Name)
+		}
+		if s.Build == nil || s.Hook == nil {
+			t.Errorf("scenario %q incomplete", s.Name)
+		}
+	}
+}
+
+func TestROPReasonIsReturnViolation(t *testing.T) {
+	for _, s := range Scenarios() {
+		if s.Name != "return-oriented" {
+			continue
+		}
+		o, err := Run(s, attackBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.Detected {
+			t.Fatal("ROP not detected")
+		}
+		if o.Reason != core.ViolationReturn {
+			t.Errorf("ROP detected as %v; the delayed return validation should flag it as illegal-return", o.Reason)
+		}
+	}
+}
+
+func TestVTableReasonIsTargetViolation(t *testing.T) {
+	for _, s := range Scenarios() {
+		if s.Name != "vtable-compromise" {
+			continue
+		}
+		o, err := Run(s, attackBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.Detected {
+			t.Fatal("vtable compromise not detected")
+		}
+		if o.Reason != core.ViolationTarget {
+			t.Errorf("vtable compromise detected as %v, want illegal-computed-target", o.Reason)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package branch implements the front-end branch prediction structures of
+// Table 2: a 32K-entry gshare direction predictor, a branch target buffer
+// for jump/call/computed-branch targets, and a return address stack. The
+// RAS here is a microarchitectural *predictor* only — REV never trusts it
+// for validation (the paper's delayed return validation replaces shadow
+// stacks, Sec. V.A); a RAS mispredict costs cycles, never correctness.
+package branch
+
+// Config sizes the prediction structures.
+type Config struct {
+	// GshareEntries is the number of 2-bit counters (Table 2: 32K).
+	GshareEntries int
+	// HistoryBits is the global history length.
+	HistoryBits int
+	// BTBEntries is the number of target buffer slots.
+	BTBEntries int
+	// RASEntries is the return address stack depth.
+	RASEntries int
+}
+
+// DefaultConfig mirrors Table 2 (32K gshare).
+func DefaultConfig() Config {
+	return Config{GshareEntries: 32 * 1024, HistoryBits: 15, BTBEntries: 4096, RASEntries: 32}
+}
+
+// Stats counts prediction outcomes by category.
+type Stats struct {
+	CondPredicts      uint64
+	CondMispredicts   uint64
+	TargetPredicts    uint64
+	TargetMispredicts uint64
+	RASPredicts       uint64
+	RASMispredicts    uint64
+}
+
+// Predictor bundles the direction predictor, BTB, and RAS.
+type Predictor struct {
+	cfg      Config
+	counters []uint8 // 2-bit saturating
+	history  uint64
+	histMask uint64
+
+	btbTags    []uint64
+	btbTargets []uint64
+
+	ras    []uint64
+	rasTop int
+
+	Stats Stats
+}
+
+// New builds a predictor.
+func New(cfg Config) *Predictor {
+	if cfg.GshareEntries&(cfg.GshareEntries-1) != 0 || cfg.BTBEntries&(cfg.BTBEntries-1) != 0 {
+		panic("branch: table sizes must be powers of two")
+	}
+	return &Predictor{
+		cfg:        cfg,
+		counters:   make([]uint8, cfg.GshareEntries),
+		histMask:   1<<uint(cfg.HistoryBits) - 1,
+		btbTags:    make([]uint64, cfg.BTBEntries),
+		btbTargets: make([]uint64, cfg.BTBEntries),
+		ras:        make([]uint64, cfg.RASEntries),
+	}
+}
+
+func (p *Predictor) gshareIndex(pc uint64) int {
+	return int(((pc >> 3) ^ p.history) & uint64(p.cfg.GshareEntries-1))
+}
+
+// PredictDirection predicts taken/not-taken for a conditional branch at pc.
+func (p *Predictor) PredictDirection(pc uint64) bool {
+	return p.counters[p.gshareIndex(pc)] >= 2
+}
+
+// UpdateDirection trains the predictor with the actual outcome and shifts
+// the global history. It returns whether the pre-update prediction was
+// correct and accounts it.
+func (p *Predictor) UpdateDirection(pc uint64, taken bool) bool {
+	idx := p.gshareIndex(pc)
+	pred := p.counters[idx] >= 2
+	if taken && p.counters[idx] < 3 {
+		p.counters[idx]++
+	} else if !taken && p.counters[idx] > 0 {
+		p.counters[idx]--
+	}
+	p.history = (p.history<<1 | b2u(taken)) & p.histMask
+	p.Stats.CondPredicts++
+	if pred != taken {
+		p.Stats.CondMispredicts++
+	}
+	return pred == taken
+}
+
+func (p *Predictor) btbIndex(pc uint64) int {
+	return int((pc >> 3) & uint64(p.cfg.BTBEntries-1))
+}
+
+// PredictTarget returns the BTB's target for the control instruction at pc.
+func (p *Predictor) PredictTarget(pc uint64) (uint64, bool) {
+	i := p.btbIndex(pc)
+	if p.btbTags[i] == pc+1 {
+		return p.btbTargets[i], true
+	}
+	return 0, false
+}
+
+// UpdateTarget trains the BTB and accounts whether the pre-update
+// prediction matched the actual target.
+func (p *Predictor) UpdateTarget(pc, target uint64) bool {
+	i := p.btbIndex(pc)
+	correct := p.btbTags[i] == pc+1 && p.btbTargets[i] == target
+	p.btbTags[i] = pc + 1
+	p.btbTargets[i] = target
+	p.Stats.TargetPredicts++
+	if !correct {
+		p.Stats.TargetMispredicts++
+	}
+	return correct
+}
+
+// PushRAS records a return address at a call.
+func (p *Predictor) PushRAS(ret uint64) {
+	p.ras[p.rasTop%p.cfg.RASEntries] = ret
+	p.rasTop++
+}
+
+// PopRAS predicts the target of a return and accounts against the actual
+// target. An empty or overflowed RAS mispredicts.
+func (p *Predictor) PopRAS(actual uint64) bool {
+	p.Stats.RASPredicts++
+	if p.rasTop == 0 {
+		p.Stats.RASMispredicts++
+		return false
+	}
+	p.rasTop--
+	pred := p.ras[p.rasTop%p.cfg.RASEntries]
+	if pred != actual {
+		p.Stats.RASMispredicts++
+		return false
+	}
+	return true
+}
+
+// CondAccuracy returns the conditional-direction accuracy so far.
+func (s *Stats) CondAccuracy() float64 {
+	if s.CondPredicts == 0 {
+		return 0
+	}
+	return 1 - float64(s.CondMispredicts)/float64(s.CondPredicts)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,122 @@
+package branch
+
+import "testing"
+
+func TestGshareLearnsBias(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x1000)
+	// The global history shifts on every update, so the gshare index only
+	// stabilizes once the history register is saturated with the repeated
+	// outcome; train past that point.
+	for i := 0; i < 40; i++ {
+		p.UpdateDirection(pc, true)
+	}
+	if !p.PredictDirection(pc) {
+		t.Error("always-taken branch should predict taken")
+	}
+	for i := 0; i < 40; i++ {
+		p.UpdateDirection(pc, false)
+	}
+	if p.PredictDirection(pc) {
+		t.Error("retrained branch should predict not-taken")
+	}
+}
+
+func TestGshareLearnsAlternatingWithHistory(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x2000)
+	// Alternating T/N/T/N is perfectly predictable with global history
+	// once warmed up.
+	for i := 0; i < 200; i++ {
+		p.UpdateDirection(pc, i%2 == 0)
+	}
+	correct := 0
+	for i := 200; i < 300; i++ {
+		want := i%2 == 0
+		if p.PredictDirection(pc) == want {
+			correct++
+		}
+		p.UpdateDirection(pc, want)
+	}
+	if correct < 95 {
+		t.Errorf("alternating pattern predicted %d/100 after warmup", correct)
+	}
+}
+
+func TestMispredictAccounting(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x3000)
+	for i := 0; i < 40; i++ {
+		p.UpdateDirection(pc, true)
+	}
+	mis := p.Stats.CondMispredicts
+	p.UpdateDirection(pc, false) // trained taken, actual not-taken
+	if p.Stats.CondMispredicts != mis+1 {
+		t.Error("mispredict not counted")
+	}
+	if acc := p.Stats.CondAccuracy(); acc <= 0 || acc >= 1 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}
+
+func TestBTB(t *testing.T) {
+	p := New(DefaultConfig())
+	if _, ok := p.PredictTarget(0x4000); ok {
+		t.Error("cold BTB should miss")
+	}
+	p.UpdateTarget(0x4000, 0x5000)
+	if tgt, ok := p.PredictTarget(0x4000); !ok || tgt != 0x5000 {
+		t.Errorf("BTB = %#x, %v", tgt, ok)
+	}
+	// Aliasing entry replaces.
+	alias := uint64(0x4000) + uint64(4096*8)
+	p.UpdateTarget(alias, 0x6000)
+	if _, ok := p.PredictTarget(0x4000); ok {
+		t.Error("aliased entry should evict")
+	}
+	if !p.UpdateTarget(alias, 0x6000) {
+		t.Error("stable target should be correct on second update")
+	}
+	if p.UpdateTarget(alias, 0x7000) {
+		t.Error("changed target should mispredict")
+	}
+}
+
+func TestRASMatchedCallsReturns(t *testing.T) {
+	p := New(DefaultConfig())
+	p.PushRAS(0x100)
+	p.PushRAS(0x200)
+	if !p.PopRAS(0x200) || !p.PopRAS(0x100) {
+		t.Error("RAS should predict nested returns")
+	}
+	if p.PopRAS(0x100) {
+		t.Error("empty RAS should mispredict")
+	}
+	if p.Stats.RASMispredicts != 1 || p.Stats.RASPredicts != 3 {
+		t.Errorf("RAS stats = %+v", p.Stats)
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RASEntries = 2
+	p := New(cfg)
+	p.PushRAS(1)
+	p.PushRAS(2)
+	p.PushRAS(3) // overwrites 1
+	if !p.PopRAS(3) || !p.PopRAS(2) {
+		t.Error("recent entries should survive overflow")
+	}
+	if p.PopRAS(1) {
+		t.Error("overwritten entry should mispredict")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two size should panic")
+		}
+	}()
+	New(Config{GshareEntries: 1000, HistoryBits: 10, BTBEntries: 512, RASEntries: 8})
+}

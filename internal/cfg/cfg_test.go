@@ -1,0 +1,436 @@
+package cfg
+
+import (
+	"testing"
+
+	"rev/internal/asm"
+	"rev/internal/cpu"
+	"rev/internal/isa"
+	"rev/internal/prog"
+)
+
+// buildProg assembles and loads a single-module program.
+func buildProg(t *testing.T, b *asm.Builder) (*prog.Program, *prog.Module) {
+	t.Helper()
+	m, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prog.NewProgram()
+	if err := p.Load(m); err != nil {
+		t.Fatal(err)
+	}
+	return p, m
+}
+
+func simpleLoop(t *testing.T) (*prog.Program, *prog.Module) {
+	b := asm.New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.LoadImm(1, 0)
+	b.LoadImm(2, 4)
+	b.Label("loop")
+	b.OpI(isa.ADDI, 1, 1, 1)
+	b.Br(isa.BLT, 1, 2, "loop")
+	b.Halt()
+	return buildProg(t, b)
+}
+
+func TestBuildSimpleLoop(t *testing.T) {
+	_, m := simpleLoop(t)
+	g, err := NewBuilder(m, DefaultLimits()).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks: [entry..branch] (entered at main), [loop..branch] (branch
+	// target), [halt] (fall-through).
+	if len(g.ByStart) != 3 {
+		t.Fatalf("got %d blocks, want 3: %+v", len(g.ByStart), g.Starts)
+	}
+	entry := g.ByStart[m.Base]
+	if entry == nil {
+		t.Fatal("no block at module base")
+	}
+	branchPC := m.Base + 3*isa.WordSize
+	if entry.End != branchPC || entry.Term != isa.KindCondBranch {
+		t.Errorf("entry block End=%#x Term=%v", entry.End, entry.Term)
+	}
+	loopStart := m.Base + 2*isa.WordSize
+	loop := g.ByStart[loopStart]
+	if loop == nil {
+		t.Fatal("no block at loop header")
+	}
+	if loop.End != branchPC {
+		t.Errorf("loop block End=%#x want %#x (overlapping blocks share terminator)", loop.End, branchPC)
+	}
+	if len(g.ByEnd[branchPC]) != 2 {
+		t.Errorf("ByEnd[branch] has %d blocks, want 2", len(g.ByEnd[branchPC]))
+	}
+	// Branch successors: taken (loop header) and fall-through (halt).
+	haltPC := branchPC + isa.WordSize
+	if !entry.HasSucc(loopStart) || !entry.HasSucc(haltPC) {
+		t.Errorf("branch successors = %#v", entry.Succs)
+	}
+	halt := g.ByStart[haltPC]
+	if halt == nil || halt.Term != isa.KindHalt || len(halt.Succs) != 0 {
+		t.Errorf("halt block wrong: %+v", halt)
+	}
+}
+
+func TestCallReturnGraph(t *testing.T) {
+	b := asm.New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.LoadImm(1, 3)
+	b.Call("f")
+	b.Out(1)
+	b.Halt()
+	b.Func("f")
+	b.Op3(isa.ADD, 1, 1, 1)
+	b.Ret()
+	p, m := buildProg(t, b)
+
+	pr, err := ProfileRun(p, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bld := NewBuilder(m, DefaultLimits())
+	pr.Apply(bld)
+	g, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	callPC := m.Base + 1*isa.WordSize
+	retSite := callPC + isa.WordSize
+	fEntry, ok := m.Lookup("f")
+	if !ok {
+		t.Fatal("no symbol f")
+	}
+	retPC := fEntry + isa.WordSize
+
+	caller := g.ByStart[m.Base]
+	if caller.End != callPC || caller.Term != isa.KindCall {
+		t.Fatalf("caller block: %+v", caller)
+	}
+	if !caller.HasSucc(fEntry) {
+		t.Errorf("call successor should be callee entry; got %#v", caller.Succs)
+	}
+	fblk := g.ByStart[fEntry]
+	if fblk == nil || fblk.Term != isa.KindRet {
+		t.Fatalf("callee block: %+v", fblk)
+	}
+	if !fblk.HasSucc(retSite) {
+		t.Errorf("profiled return successor missing: %#v", fblk.Succs)
+	}
+	landing := g.ByStart[retSite]
+	if landing == nil {
+		t.Fatal("no landing block at return site")
+	}
+	if !landing.HasRetPred(retPC) {
+		t.Errorf("landing block RetPreds = %#v, want to contain %#x", landing.RetPreds, retPC)
+	}
+}
+
+func TestComputedJumpProfiling(t *testing.T) {
+	// A loop dispatching through a data-resident jump table, visiting both
+	// cases, so the profiling run observes both computed targets.
+	b2 := asm.New("t2")
+	b2.Func("main")
+	b2.Entry("main")
+	b2.LoadImm(5, 0)
+	b2.Func("loophead") // function label so the jump table can target blocks
+	b2.LoadDataAddr(1, "jt", 0)
+	b2.OpI(isa.SHLI, 6, 5, 3)
+	b2.Op3(isa.ADD, 1, 1, 6)
+	b2.Load(2, 1, 0)
+	b2.JmpReg(2)
+	b2.Func("case0")
+	b2.OpI(isa.ADDI, 5, 5, 1)
+	b2.CodeAddrFixup(8, "loophead")
+	b2.JmpReg(8)
+	b2.Func("case1")
+	b2.Out(5)
+	b2.Halt()
+	off0, _ := b2.FuncOffset("case0")
+	off1, _ := b2.FuncOffset("case1")
+	b2.DataWords("jt", []uint64{prog.CodeBase + off0, prog.CodeBase + off1})
+	p, m := buildProg(t, b2)
+
+	pr, err := ProfileRun(p, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bld := NewBuilder(m, DefaultLimits())
+	pr.Apply(bld)
+	g, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	case0, _ := m.Lookup("case0")
+	case1, _ := m.Lookup("case1")
+	// The dispatch block ends with JR; profiling saw both targets.
+	var dispatch *Block
+	for _, blk := range g.ByStart {
+		if blk.Term == isa.KindIJump && blk.HasSucc(case0) {
+			dispatch = blk
+			break
+		}
+	}
+	if dispatch == nil {
+		t.Fatal("no dispatch block with profiled successors found")
+	}
+	if !dispatch.HasSucc(case1) {
+		t.Errorf("dispatch successors missing case1: %#v", dispatch.Succs)
+	}
+}
+
+func TestArtificialSplitOfLongBlock(t *testing.T) {
+	b := asm.New("t")
+	b.Func("main")
+	b.Entry("main")
+	for i := 0; i < 50; i++ {
+		b.OpI(isa.ADDI, 1, 1, 1)
+	}
+	b.Halt()
+	_, m := buildProg(t, b)
+	lim := Limits{MaxInstrs: 16, MaxStores: 8}
+	g, err := NewBuilder(m, lim).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 ADDIs + HALT = 51 instrs; blocks of 16/16/16/3.
+	first := g.ByStart[m.Base]
+	if first == nil || !first.Artificial || first.NumInstrs != 16 {
+		t.Fatalf("first split block: %+v", first)
+	}
+	next := g.ByStart[first.End+isa.WordSize]
+	if next == nil || !next.Artificial {
+		t.Fatalf("second split block missing")
+	}
+	if !first.HasSucc(next.Start) {
+		t.Errorf("artificial block must fall through: %#v", first.Succs)
+	}
+	// Count blocks along the chain.
+	count := 0
+	cur := first
+	for cur != nil {
+		count++
+		if len(cur.Succs) == 0 {
+			break
+		}
+		cur = g.ByStart[cur.Succs[0]]
+	}
+	if count != 4 {
+		t.Errorf("split chain length = %d, want 4", count)
+	}
+}
+
+func TestStoreLimitSplit(t *testing.T) {
+	b := asm.New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.LoadImm(1, int64(prog.DataBase))
+	for i := 0; i < 10; i++ {
+		b.Store(2, 1, int32(i*8))
+	}
+	b.Halt()
+	_, m := buildProg(t, b)
+	lim := Limits{MaxInstrs: 1000, MaxStores: 4}
+	g, err := NewBuilder(m, lim).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := g.ByStart[m.Base]
+	if !first.Artificial || first.NumStores != 4 {
+		t.Fatalf("store-limited block: %+v", first)
+	}
+}
+
+func TestStatsComputation(t *testing.T) {
+	_, m := simpleLoop(t)
+	g, err := NewBuilder(m, DefaultLimits()).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Stats()
+	if s.NumBlocks != 3 {
+		t.Errorf("NumBlocks = %d", s.NumBlocks)
+	}
+	if s.NumComputed != 0 {
+		t.Errorf("NumComputed = %d", s.NumComputed)
+	}
+	if s.TotalBranches != 2 {
+		// The two blocks ending at the conditional branch; HALT excluded.
+		t.Errorf("TotalBranches = %d", s.TotalBranches)
+	}
+	if s.AvgInstrs <= 0 || s.AvgSuccessors <= 0 {
+		t.Errorf("averages not computed: %+v", s)
+	}
+}
+
+func TestUnloadedModuleRejected(t *testing.T) {
+	b := asm.New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.Halt()
+	m, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBuilder(m, DefaultLimits()).Build(); err == nil {
+		t.Error("Build on unloaded module should fail")
+	}
+}
+
+func TestProfilerCapturesOnlyComputedEdges(t *testing.T) {
+	p, _ := simpleLoop(t)
+	mach := cpu.NewMachine(p)
+	pr := NewProfiler()
+	pr.Attach(mach)
+	if _, err := mach.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.ComputedEdges) != 0 {
+		t.Errorf("direct-only program should record no computed edges: %v", pr.ComputedEdges)
+	}
+}
+
+func TestBlockSuccAndRetPredLookup(t *testing.T) {
+	blk := &Block{Succs: []uint64{10, 20, 30}, RetPreds: []uint64{5, 15}}
+	if !blk.HasSucc(20) || blk.HasSucc(25) {
+		t.Error("HasSucc wrong")
+	}
+	if !blk.HasRetPred(15) || blk.HasRetPred(16) {
+		t.Error("HasRetPred wrong")
+	}
+}
+
+func TestStaticAnalyzeCallReturnPairing(t *testing.T) {
+	b := asm.New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.Call("f")
+	b.Call("f") // second call site
+	b.Halt()
+	b.Func("f")
+	b.Nop()
+	b.Ret()
+	p, m := buildProg(t, b)
+
+	facts := Analyze(p, DefaultAnalyzeOptions())
+	bld := NewBuilder(m, DefaultLimits())
+	facts.Apply(bld)
+	g, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fEntry, _ := m.Lookup("f")
+	retPC := fEntry + 8
+	fblk := g.ByStart[fEntry]
+	if fblk == nil {
+		t.Fatal("no callee block")
+	}
+	// Both return sites derived statically, without any profiling run.
+	if len(fblk.Succs) != 2 {
+		t.Errorf("static return targets = %#v, want 2", fblk.Succs)
+	}
+	site1 := m.Base + 8 // after first call
+	landing := g.ByStart[site1]
+	if landing == nil || !landing.HasRetPred(retPC) {
+		t.Errorf("landing block missing static RetPred: %+v", landing)
+	}
+}
+
+func TestStaticAnalyzeJumpTable(t *testing.T) {
+	b := asm.New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.LoadDataAddr(1, "jt", 0)
+	b.Load(2, 1, 0)
+	b.JmpReg(2)
+	b.Func("case0")
+	b.Halt()
+	b.Func("case1")
+	b.Halt()
+	c0, _ := b.FuncOffset("case0")
+	c1, _ := b.FuncOffset("case1")
+	b.DataWords("jt", []uint64{prog.CodeBase + c0, prog.CodeBase + c1})
+	p, m := buildProg(t, b)
+
+	facts := Analyze(p, DefaultAnalyzeOptions())
+	bld := NewBuilder(m, DefaultLimits())
+	facts.Apply(bld)
+	g, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr *Block
+	for _, blk := range g.ByStart {
+		if blk.Term == isa.KindIJump {
+			jr = blk
+		}
+	}
+	if jr == nil {
+		t.Fatal("no JR block")
+	}
+	// Both jump-table cases recovered statically.
+	case0, _ := m.Lookup("case0")
+	case1, _ := m.Lookup("case1")
+	if !jr.HasSucc(case0) || !jr.HasSucc(case1) {
+		t.Errorf("static JR targets = %#v", jr.Succs)
+	}
+}
+
+func TestStaticAnalyzeFanoutCap(t *testing.T) {
+	b := asm.New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.LoadDataAddr(1, "jt", 0)
+	b.Load(2, 1, 0)
+	b.JmpReg(2)
+	var addrs []uint64
+	for i := 0; i < 10; i++ {
+		name := "c" + string(rune('a'+i))
+		b.Func(name)
+		b.Halt()
+		off, _ := b.FuncOffset(name)
+		addrs = append(addrs, prog.CodeBase+off)
+	}
+	b.DataWords("jt", addrs)
+	p, m := buildProg(t, b)
+
+	facts := Analyze(p, AnalyzeOptions{FanoutCap: 4})
+	bld := NewBuilder(m, DefaultLimits())
+	facts.Apply(bld)
+	g, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, blk := range g.ByStart {
+		if blk.Term == isa.KindIJump && len(blk.Succs) > 0 {
+			t.Errorf("capped site should have no static targets, got %d", len(blk.Succs))
+		}
+	}
+}
+
+func TestClassicStatsNoOverlapInflation(t *testing.T) {
+	_, m := simpleLoop(t)
+	g, err := NewBuilder(m, DefaultLimits()).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic := g.ClassicStats()
+	dynamic := g.Stats()
+	// The overlapping loop blocks share instructions; the classic
+	// partition counts each instruction once, so its average block length
+	// is no longer than the dynamic model's.
+	if classic.AvgInstrs > dynamic.AvgInstrs {
+		t.Errorf("classic avg %v > dynamic avg %v", classic.AvgInstrs, dynamic.AvgInstrs)
+	}
+	if classic.NumBlocks != dynamic.NumBlocks {
+		t.Errorf("classic partition should have one block per leader: %d vs %d",
+			classic.NumBlocks, dynamic.NumBlocks)
+	}
+}

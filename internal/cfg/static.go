@@ -1,0 +1,203 @@
+package cfg
+
+import (
+	"sort"
+
+	"rev/internal/isa"
+	"rev/internal/prog"
+)
+
+// AnalyzeOptions tunes the static analysis.
+type AnalyzeOptions struct {
+	// FanoutCap bounds the number of statically derived targets attached
+	// to a single computed jump/call site. Sites with more candidates than
+	// the cap (degenerate dispatch tables) are left to profiling, exactly
+	// as the paper falls back to profiling runs for some benchmarks
+	// (Sec. IV.D). Return-edge pairing is never capped — it is precise.
+	FanoutCap int
+}
+
+// DefaultAnalyzeOptions caps computed-site fanout at 64.
+func DefaultAnalyzeOptions() AnalyzeOptions { return AnalyzeOptions{FanoutCap: 64} }
+
+// fnExtent is a function's inclusive code range.
+type fnExtent struct {
+	entry, limit uint64
+}
+
+// Analyze performs the static binary analysis the paper assumes is done
+// before execution (Vulcan-style, Sec. IV.D): it recovers computed
+// control-flow facts from the loaded program without running it and
+// returns them in a Profiler-compatible fact set that can be applied to
+// CFG builders alongside (or instead of) profiling results.
+//
+// Facts derived:
+//
+//   - Direct call/return pairing: a CALL at pc targeting function f means
+//     every RET inside f may return to pc+8.
+//   - Jump tables and address-taken functions: 8-byte words in loaded data
+//     segments whose values are in-module, instruction-aligned code
+//     addresses are treated as potential computed-branch targets. Computed
+//     jumps may target any of them; computed calls may target those that
+//     are function entries, pairing the callee's RETs with the call site.
+//
+// Function extents come from the module symbol tables (entry to next
+// symbol), the information a linker has when it builds the tables.
+func Analyze(p *prog.Program, opt AnalyzeOptions) *Profiler {
+	facts := NewProfiler()
+
+	// Collect function entries and extents across all modules.
+	entries := map[uint64]fnExtent{}
+	for _, m := range p.Modules {
+		syms := append([]prog.Symbol(nil), m.Symbols...)
+		sort.Slice(syms, func(i, j int) bool { return syms[i].Addr < syms[j].Addr })
+		for i, s := range syms {
+			limit := m.Limit()
+			if i+1 < len(syms) {
+				limit = m.Base + syms[i+1].Addr - isa.WordSize
+			}
+			entries[m.Base+s.Addr] = fnExtent{entry: m.Base + s.Addr, limit: limit}
+		}
+	}
+	retsIn := func(f fnExtent) []uint64 {
+		var rets []uint64
+		m, ok := p.ModuleAt(f.entry)
+		if !ok {
+			return nil
+		}
+		for pc := f.entry; pc <= f.limit; pc += isa.WordSize {
+			if m.InstrAt(pc-m.Base).Kind() == isa.KindRet {
+				rets = append(rets, pc)
+			}
+		}
+		return rets
+	}
+
+	// Scan loaded data segments (post-relocation memory, which is what the
+	// linker/loader sees) for code addresses: jump-table entries and
+	// address-taken functions.
+	var dataCodeAddrs []uint64
+	seen := map[uint64]bool{}
+	for _, m := range p.Modules {
+		for off := uint64(0); off+8 <= uint64(len(m.Data)); off += 8 {
+			v := p.Mem.Read64(m.DataOff + off)
+			if tm, ok := p.ModuleAt(v); ok && (v-tm.Base)%isa.WordSize == 0 && !seen[v] {
+				seen[v] = true
+				dataCodeAddrs = append(dataCodeAddrs, v)
+			}
+		}
+	}
+	var addrTakenFns []fnExtent
+	for _, a := range dataCodeAddrs {
+		if f, ok := entries[a]; ok {
+			addrTakenFns = append(addrTakenFns, f)
+		}
+	}
+
+	// Walk every instruction of every module. For computed sites, first
+	// try to bind the site to the specific jump table (data symbol) whose
+	// address feeds it — the relocation records give a linker exactly this
+	// information — and fall back to the global address-taken set when no
+	// binding is found.
+	for _, m := range p.Modules {
+		tableFor := siteTableBinder(p, m)
+		n := m.NumInstrs()
+		for i := 0; i < n; i++ {
+			pc := m.Base + uint64(i)*isa.WordSize
+			in := m.InstrAt(uint64(i) * isa.WordSize)
+			site := pc + isa.WordSize // return site for calls
+			switch in.Kind() {
+			case isa.KindCall:
+				t, _ := in.Target(pc)
+				if f, ok := entries[t]; ok {
+					for _, r := range retsIn(f) {
+						facts.record(r, isa.KindRet, site)
+					}
+				}
+			case isa.KindICall:
+				cands := addrTakenEntries(tableFor(i), entries, addrTakenFns)
+				if opt.FanoutCap > 0 && len(cands) > opt.FanoutCap {
+					continue // left to profiling
+				}
+				for _, f := range cands {
+					facts.record(pc, isa.KindICall, f.entry)
+					for _, r := range retsIn(f) {
+						facts.record(r, isa.KindRet, site)
+					}
+				}
+			case isa.KindIJump:
+				cands := tableFor(i)
+				if cands == nil {
+					cands = dataCodeAddrs
+				}
+				if opt.FanoutCap > 0 && len(cands) > opt.FanoutCap {
+					continue
+				}
+				for _, a := range cands {
+					facts.record(pc, isa.KindIJump, a)
+				}
+			}
+		}
+	}
+	return facts
+}
+
+// siteTableBinder returns a function mapping an instruction index of a
+// computed control-flow site to the code addresses stored in the jump
+// table feeding it, or nil when no table can be bound. A site is bound by
+// scanning a short window of preceding instructions for a data-address
+// relocation (the LoadDataAddr that materialized the table pointer).
+func siteTableBinder(p *prog.Program, m *prog.Module) func(i int) []uint64 {
+	relocSym := map[int]string{} // instruction index -> data symbol
+	for _, r := range m.Relocs {
+		relocSym[int(r.InstrOff/isa.WordSize)] = r.Sym
+	}
+	symExtent := map[string][2]uint64{} // symbol -> [start,end) data VAs
+	syms := append([]prog.Symbol(nil), m.DataSyms...)
+	sort.Slice(syms, func(i, j int) bool { return syms[i].Addr < syms[j].Addr })
+	for i, s := range syms {
+		end := uint64(len(m.Data))
+		if i+1 < len(syms) {
+			end = syms[i+1].Addr
+		}
+		symExtent[s.Name] = [2]uint64{m.DataOff + s.Addr, m.DataOff + end}
+	}
+	cache := map[string][]uint64{}
+	return func(i int) []uint64 {
+		for back := 1; back <= 8 && i-back >= 0; back++ {
+			sym, ok := relocSym[i-back]
+			if !ok {
+				continue
+			}
+			if addrs, hit := cache[sym]; hit {
+				return addrs
+			}
+			ext := symExtent[sym]
+			var addrs []uint64
+			for a := ext[0]; a+8 <= ext[1]; a += 8 {
+				v := p.Mem.Read64(a)
+				if tm, ok := p.ModuleAt(v); ok && (v-tm.Base)%isa.WordSize == 0 {
+					addrs = append(addrs, v)
+				}
+			}
+			cache[sym] = addrs
+			return addrs
+		}
+		return nil
+	}
+}
+
+// addrTakenEntries filters a candidate address list down to function
+// entries; with no binding (nil) it returns the global address-taken set.
+func addrTakenEntries(cands []uint64, entries map[uint64]fnExtent, global []fnExtent) []fnExtent {
+	if cands == nil {
+		return global
+	}
+	var out []fnExtent
+	for _, a := range cands {
+		if f, ok := entries[a]; ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}

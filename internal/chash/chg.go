@@ -1,0 +1,65 @@
+package chash
+
+// CHG models the pipelined crypto hash generator attached to the fetch
+// stages (Fig. 1). Instruction bytes of a basic block stream into the CHG
+// as they are fetched along the predicted path; the digest of the block is
+// available Latency cycles after its last instruction entered. Entries are
+// tagged so that blocks fetched along a mispredicted path can be flushed
+// (requirement R6).
+//
+// The functional digest itself is computed by BBSignature; CHG models only
+// the timing and occupancy.
+type CHG struct {
+	// Latency is H, the pipeline depth of the hash generator in cycles.
+	// The paper assumes H = 16, matched to the S = 16 stages between
+	// fetch and commit so that hash generation is fully overlapped.
+	Latency uint64
+
+	inflight map[uint64]uint64 // tag -> cycle the last input entered
+
+	// Stats.
+	Started uint64
+	Flushed uint64
+}
+
+// NewCHG returns a CHG with the given pipeline latency.
+func NewCHG(latency uint64) *CHG {
+	return &CHG{Latency: latency, inflight: make(map[uint64]uint64)}
+}
+
+// Feed records that an instruction of the block identified by tag entered
+// the CHG at the given cycle. The first Feed for a tag starts the block.
+func (c *CHG) Feed(tag, cycle uint64) {
+	if _, ok := c.inflight[tag]; !ok {
+		c.Started++
+	}
+	c.inflight[tag] = cycle
+}
+
+// ReadyAt returns the cycle at which the digest for tag is available:
+// Latency cycles after its last fed instruction. It reports false if the
+// tag is unknown (never fed or already flushed/retired).
+func (c *CHG) ReadyAt(tag uint64) (uint64, bool) {
+	last, ok := c.inflight[tag]
+	if !ok {
+		return 0, false
+	}
+	return last + c.Latency, true
+}
+
+// Retire removes a completed block from the pipeline.
+func (c *CHG) Retire(tag uint64) { delete(c.inflight, tag) }
+
+// Flush discards every in-flight block whose tag is >= fromTag — the
+// squash of all blocks younger than a mispredicted branch.
+func (c *CHG) Flush(fromTag uint64) {
+	for tag := range c.inflight {
+		if tag >= fromTag {
+			delete(c.inflight, tag)
+			c.Flushed++
+		}
+	}
+}
+
+// InFlight returns the number of blocks currently in the pipeline.
+func (c *CHG) InFlight() int { return len(c.inflight) }

@@ -1,0 +1,157 @@
+// Package chash implements the cryptographic hashing used by REV: a
+// from-scratch CubeHash (the SHA-3 candidate the paper selects for its
+// crypto hash generator, Sec. VI) plus the pipelined crypto hash generator
+// (CHG) timing model whose latency H is overlapped with the S pipeline
+// stages between fetch and commit.
+//
+// The paper uses a 5-round CubeHash whose hardware pipeline meets a
+// 16-cycle latency target and truncates the digest to its last 4 bytes to
+// keep signature-table entries small (Sec. V.C).
+package chash
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// CubeHash computes CubeHash r/b-h digests. The zero value is not usable;
+// use New or the package-level Sum helpers.
+type CubeHash struct {
+	r  int // rounds per message block
+	b  int // block size in bytes (1..128)
+	h  int // digest size in bits (8..512, multiple of 8)
+	iv [32]uint32
+}
+
+// Default parameters: the paper's 5-round variant over 32-byte blocks with
+// a 512-bit state-derived digest, truncated to 4 bytes for BB signatures.
+const (
+	DefaultRounds = 5
+	DefaultBlock  = 32
+	DefaultBits   = 512
+	// SigBytes is the truncated basic-block signature width (Sec. V.C).
+	SigBytes = 4
+)
+
+// New returns a CubeHash with the given parameters. The initial state is
+// derived with 10*r initialization rounds as in the CubeHash submission.
+func New(rounds, block, bitsOut int) *CubeHash {
+	if rounds <= 0 || block <= 0 || block > 128 || bitsOut <= 0 || bitsOut > 512 || bitsOut%8 != 0 {
+		panic("chash: invalid CubeHash parameters")
+	}
+	c := &CubeHash{r: rounds, b: block, h: bitsOut}
+	var x [32]uint32
+	x[0] = uint32(bitsOut / 8)
+	x[1] = uint32(block)
+	x[2] = uint32(rounds)
+	roundN(&x, 10*rounds)
+	c.iv = x
+	return c
+}
+
+var defaultHash = New(DefaultRounds, DefaultBlock, DefaultBits)
+
+// Sum computes the digest of msg with the default parameters.
+func Sum(msg []byte) []byte { return defaultHash.Sum(msg) }
+
+// Sum computes the CubeHash digest of msg.
+func (c *CubeHash) Sum(msg []byte) []byte {
+	x := c.iv
+	// Process whole blocks.
+	for len(msg) >= c.b {
+		xorBlock(&x, msg[:c.b])
+		roundN(&x, c.r)
+		msg = msg[c.b:]
+	}
+	// Pad: 0x80 then zeros to the block boundary.
+	blk := make([]byte, c.b)
+	copy(blk, msg)
+	blk[len(msg)] = 0x80
+	xorBlock(&x, blk)
+	roundN(&x, c.r)
+	// Finalize: flip the last state bit-word and run 10r rounds.
+	x[31] ^= 1
+	roundN(&x, 10*c.r)
+	out := make([]byte, c.h/8)
+	for i := range out {
+		out[i] = byte(x[i/4] >> (8 * (i % 4)))
+	}
+	return out
+}
+
+func xorBlock(x *[32]uint32, blk []byte) {
+	for i := 0; i+4 <= len(blk); i += 4 {
+		x[i/4] ^= binary.LittleEndian.Uint32(blk[i:])
+	}
+	if rem := len(blk) % 4; rem != 0 {
+		base := len(blk) - rem
+		var w uint32
+		for i := 0; i < rem; i++ {
+			w |= uint32(blk[base+i]) << (8 * i)
+		}
+		x[base/4] ^= w
+	}
+}
+
+// roundN applies n CubeHash rounds to the state.
+func roundN(x *[32]uint32, n int) {
+	for ; n > 0; n-- {
+		round(x)
+	}
+}
+
+// round is one CubeHash round: ten alternating add/rotate/swap/xor steps
+// over the 32-word state, exactly as in the CubeHash specification.
+func round(x *[32]uint32) {
+	for j := 0; j < 16; j++ {
+		x[16+j] += x[j]
+	}
+	for j := 0; j < 16; j++ {
+		x[j] = bits.RotateLeft32(x[j], 7)
+	}
+	for j := 0; j < 8; j++ {
+		x[j], x[8+j] = x[8+j], x[j]
+	}
+	for j := 0; j < 16; j++ {
+		x[j] ^= x[16+j]
+	}
+	for _, j := range [...]int{0, 1, 4, 5, 8, 9, 12, 13} {
+		x[16+j], x[18+j] = x[18+j], x[16+j]
+	}
+	for j := 0; j < 16; j++ {
+		x[16+j] += x[j]
+	}
+	for j := 0; j < 16; j++ {
+		x[j] = bits.RotateLeft32(x[j], 11)
+	}
+	for _, j := range [...]int{0, 1, 2, 3, 8, 9, 10, 11} {
+		x[j], x[4+j] = x[4+j], x[j]
+	}
+	for j := 0; j < 16; j++ {
+		x[j] ^= x[16+j]
+	}
+	for j := 0; j < 16; j += 2 {
+		x[16+j], x[17+j] = x[17+j], x[16+j]
+	}
+}
+
+// Sig is a truncated basic-block signature: the last SigBytes bytes of the
+// CubeHash digest, as the paper stores in signature-table entries.
+type Sig uint32
+
+// BBSignature computes the reference signature of a basic block: the hash
+// covers the raw instruction bytes plus the block's start and end virtual
+// addresses. Including the start address lets signature-table collision
+// chains discriminate overlapping blocks that share a terminating
+// instruction (Sec. V.B); the end address binds the signature to the
+// block's identity used for table lookup.
+func BBSignature(instrBytes []byte, start, end uint64) Sig {
+	buf := make([]byte, 0, len(instrBytes)+16)
+	buf = append(buf, instrBytes...)
+	var addrs [16]byte
+	binary.LittleEndian.PutUint64(addrs[0:], start)
+	binary.LittleEndian.PutUint64(addrs[8:], end)
+	buf = append(buf, addrs[:]...)
+	d := defaultHash.Sum(buf)
+	return Sig(binary.LittleEndian.Uint32(d[len(d)-SigBytes:]))
+}

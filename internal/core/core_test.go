@@ -1,0 +1,670 @@
+package core
+
+import (
+	"testing"
+
+	"rev/internal/asm"
+	"rev/internal/cpu"
+	"rev/internal/forensics"
+	"rev/internal/isa"
+	"rev/internal/prog"
+	"rev/internal/sigtable"
+)
+
+// builderOf wraps an assembly closure into a deterministic program builder.
+func builderOf(gen func(b *asm.Builder)) func() (*prog.Program, error) {
+	return func() (*prog.Program, error) {
+		b := asm.New("main")
+		gen(b)
+		m, err := b.Assemble()
+		if err != nil {
+			return nil, err
+		}
+		p := prog.NewProgram()
+		if err := p.Load(m); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+}
+
+// loopProgram: nested loops with calls and a computed dispatch — exercises
+// every validation path.
+func loopProgram(b *asm.Builder) {
+	b.Func("main")
+	b.Entry("main")
+	b.LoadImm(1, 0)   // i
+	b.LoadImm(2, 200) // n
+	b.Label("loop")
+	b.Call("work")
+	b.OpI(isa.ADDI, 1, 1, 1)
+	b.Br(isa.BLT, 1, 2, "loop")
+	b.Out(1)
+	b.Halt()
+	b.Func("work")
+	b.OpI(isa.ANDI, 10, 1, 1)
+	b.LoadDataAddr(11, "jt", 0)
+	b.OpI(isa.SHLI, 12, 10, 3)
+	b.Op3(isa.ADD, 11, 11, 12)
+	b.Load(13, 11, 0)
+	b.JmpReg(13)
+	b.Func("even")
+	b.Op3(isa.ADD, 20, 20, 1)
+	b.Ret()
+	b.Func("odd")
+	b.Op3(isa.SUB, 20, 20, 1)
+	b.Ret()
+	e, _ := b.FuncOffset("even")
+	o, _ := b.FuncOffset("odd")
+	b.DataWords("jt", []uint64{prog.CodeBase + e, prog.CodeBase + o})
+}
+
+func revConfig(format sigtable.Format, scKB int) *Config {
+	c := DefaultConfig()
+	c.Format = format
+	c.SC.SizeKB = scKB
+	return &Config{
+		Format: c.Format, SC: c.SC, SAG: c.SAG,
+		CHGLatency: c.CHGLatency, DecryptLatency: c.DecryptLatency, Limits: c.Limits,
+	}
+}
+
+func TestBaselineRun(t *testing.T) {
+	rc := DefaultRunConfig()
+	res, err := Run(builderOf(loopProgram), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("program did not halt")
+	}
+	if len(res.Output) != 1 || res.Output[0] != 200 {
+		t.Errorf("output = %v", res.Output)
+	}
+	if ipc := res.IPC(); ipc <= 0.1 || ipc > 4 {
+		t.Errorf("baseline IPC = %v, implausible", ipc)
+	}
+	if res.Pipe.CommittedBranches == 0 || res.UniqueBranches == 0 {
+		t.Error("branch statistics empty")
+	}
+}
+
+func TestREVRunValidatesCleanExecution(t *testing.T) {
+	rc := DefaultRunConfig()
+	rc.REV = revConfig(sigtable.Normal, 32)
+	res, err := Run(builderOf(loopProgram), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("clean run flagged: %v", res.Violation)
+	}
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	if len(res.Output) != 1 || res.Output[0] != 200 {
+		t.Errorf("output = %v (REV must not change behaviour)", res.Output)
+	}
+	if res.Engine.ValidatedBlocks == 0 {
+		t.Error("no blocks validated")
+	}
+	if res.SC.Probes == 0 {
+		t.Error("SC never probed")
+	}
+	if len(res.Tables) != 1 {
+		t.Errorf("tables = %d", len(res.Tables))
+	}
+}
+
+func TestREVOverheadOrdering(t *testing.T) {
+	base, err := Run(builderOf(loopProgram), DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := DefaultRunConfig()
+	rc.REV = revConfig(sigtable.Normal, 32)
+	rev, err := Run(builderOf(loopProgram), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.Pipe.Cycles < base.Pipe.Cycles {
+		t.Errorf("REV cycles (%d) < base cycles (%d): validation cannot speed the core up",
+			rev.Pipe.Cycles, base.Pipe.Cycles)
+	}
+	if rev.Pipe.Instrs != base.Pipe.Instrs {
+		t.Errorf("instruction counts differ: %d vs %d", rev.Pipe.Instrs, base.Pipe.Instrs)
+	}
+}
+
+func TestCodeInjectionDetected(t *testing.T) {
+	rc := DefaultRunConfig()
+	rc.REV = revConfig(sigtable.Normal, 32)
+	fired := false
+	rc.AttackHook = func(m *cpu.Machine, pc uint64, in isa.Instr) {
+		if m.Instret == 500 && !fired {
+			fired = true
+			// Overwrite the instruction at the loop head with an ADDI.
+			inj := isa.Instr{Op: isa.ADDI, Rd: 20, Imm: 666}
+			var buf [isa.WordSize]byte
+			inj.EncodeTo(buf[:])
+			m.Mem.WriteBytes(prog.CodeBase+2*isa.WordSize, buf[:])
+		}
+	}
+	res, err := Run(builderOf(loopProgram), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("code injection not detected")
+	}
+	if res.Violation.Reason != ViolationHash {
+		t.Errorf("reason = %v, want hash-mismatch", res.Violation.Reason)
+	}
+}
+
+func TestROPReturnOverwriteDetected(t *testing.T) {
+	// The victim saves RA to the stack and restores it before returning; a
+	// buffer-overflow-style attack rewrites the saved RA to point at
+	// "gadget" (a legal block that is never a legal return target of f).
+	victim := func(b *asm.Builder) {
+		b.Func("main")
+		b.Entry("main")
+		b.LoadImm(1, 7)
+		b.Call("f")
+		b.Out(1)
+		b.Halt()
+		b.Func("f")
+		b.OpI(isa.ADDI, isa.RegSP, isa.RegSP, -8)
+		b.Store(isa.RegRA, isa.RegSP, 0)
+		b.OpI(isa.ADDI, 1, 1, 1)
+		b.Load(isa.RegRA, isa.RegSP, 0)
+		b.OpI(isa.ADDI, isa.RegSP, isa.RegSP, 8)
+		b.Ret()
+		b.Func("gadget")
+		b.LoadImm(9, 0xbad)
+		b.Out(9)
+		b.Halt()
+	}
+	// Find the gadget address from a scratch assembly.
+	scratch := asm.New("main")
+	victim(scratch)
+	mod := scratch.MustAssemble()
+	var gadget uint64
+	for _, s := range mod.Symbols {
+		if s.Name == "gadget" {
+			gadget = prog.CodeBase + s.Addr
+		}
+	}
+
+	rc := DefaultRunConfig()
+	rc.REV = revConfig(sigtable.Normal, 32)
+	fired := false
+	rc.AttackHook = func(m *cpu.Machine, pc uint64, in isa.Instr) {
+		// When f is about to reload RA, smash the saved slot.
+		if !fired && in.Op == isa.LD && in.Rd == isa.RegRA {
+			fired = true
+			m.Mem.Write64(m.ReadReg(isa.RegSP), gadget)
+		}
+	}
+	res, err := Run(builderOf(victim), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("attack never fired")
+	}
+	if res.Violation == nil {
+		t.Fatal("ROP return overwrite not detected")
+	}
+	if res.Violation.Reason != ViolationReturn && res.Violation.Reason != ViolationHash {
+		t.Errorf("reason = %v", res.Violation.Reason)
+	}
+}
+
+func TestIllegalComputedJumpDetected(t *testing.T) {
+	rc := DefaultRunConfig()
+	rc.REV = revConfig(sigtable.Normal, 32)
+	fired := false
+	rc.AttackHook = func(m *cpu.Machine, pc uint64, in isa.Instr) {
+		// Corrupt the jump-table pointer register right before dispatch,
+		// redirecting the computed jump to main+8 (a legal block start but
+		// an illegal target for this JR).
+		if !fired && in.Op == isa.JR && m.Instret > 100 {
+			fired = true
+			m.X[13] = prog.CodeBase + 1*isa.WordSize
+		}
+	}
+	res, err := Run(builderOf(loopProgram), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("attack never fired")
+	}
+	if res.Violation == nil {
+		t.Fatal("illegal computed jump not detected")
+	}
+	if res.Violation.Reason != ViolationTarget && res.Violation.Reason != ViolationHash {
+		t.Errorf("reason = %v", res.Violation.Reason)
+	}
+}
+
+func TestCFIOnlyMode(t *testing.T) {
+	rc := DefaultRunConfig()
+	rc.REV = revConfig(sigtable.CFIOnly, 32)
+	res, err := Run(builderOf(loopProgram), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("clean CFI-only run flagged: %v", res.Violation)
+	}
+	if res.Output[0] != 200 {
+		t.Errorf("output = %v", res.Output)
+	}
+
+	// CFI-only still catches computed-flow attacks.
+	fired := false
+	rc.AttackHook = func(m *cpu.Machine, pc uint64, in isa.Instr) {
+		if !fired && in.Op == isa.JR && m.Instret > 100 {
+			fired = true
+			m.X[13] = prog.CodeBase + 1*isa.WordSize
+		}
+	}
+	res, err = Run(builderOf(loopProgram), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("CFI-only missed computed-target attack")
+	}
+
+	// But by design it cannot catch pure code injection that keeps control
+	// flow legal.
+	rc.AttackHook = func(m *cpu.Machine, pc uint64, in isa.Instr) {
+		if m.Instret == 500 {
+			inj := isa.Instr{Op: isa.ADDI, Rd: 20, Imm: 666}
+			var buf [isa.WordSize]byte
+			inj.EncodeTo(buf[:])
+			m.Mem.WriteBytes(prog.CodeBase+5*isa.WordSize, buf[:])
+		}
+	}
+	res, err = Run(builderOf(loopProgram), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil && res.Violation.Reason == ViolationHash {
+		t.Error("CFI-only should not perform hash validation")
+	}
+}
+
+func TestCFIOnlyCheaperThanNormal(t *testing.T) {
+	rcN := DefaultRunConfig()
+	rcN.REV = revConfig(sigtable.Normal, 32)
+	n, err := Run(builderOf(loopProgram), rcN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcC := DefaultRunConfig()
+	rcC.REV = revConfig(sigtable.CFIOnly, 32)
+	c, err := Run(builderOf(loopProgram), rcC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SC.Probes >= n.SC.Probes {
+		t.Errorf("CFI-only probes (%d) should be fewer than normal (%d)", c.SC.Probes, n.SC.Probes)
+	}
+	if c.Tables[0].Size >= n.Tables[0].Size {
+		t.Errorf("CFI-only table (%d) should be smaller than normal (%d)", c.Tables[0].Size, n.Tables[0].Size)
+	}
+}
+
+func TestSelfModifyingCodeWindow(t *testing.T) {
+	// A trusted JIT-like sequence: disable REV via the system call, patch
+	// its own code, run the patched code, re-enable. With the window, no
+	// violation; without it, detection.
+	gen := func(withWindow bool) func(b *asm.Builder) {
+		return func(b *asm.Builder) {
+			b.Func("main")
+			b.Entry("main")
+			if withWindow {
+				b.LoadImm(4, 0)
+				b.Sys(isa.SysREVEnable, 4) // disable
+			}
+			// Patch "patchme" (a NOP) into OUT r5.
+			b.LoadImm(5, 1234)
+			patch := isa.Instr{Op: isa.OUT, Rs1: 5}
+			enc := patch.Encode()
+			var word uint64
+			for i := 7; i >= 0; i-- {
+				word = word<<8 | uint64(enc[i])
+			}
+			b.LoadImm(6, int64(word))
+			b.CodeAddrFixup(7, "patchme")
+			b.Store(6, 7, 0)
+			b.Call("patchme")
+			if withWindow {
+				b.LoadImm(4, 1)
+				b.Sys(isa.SysREVEnable, 4) // re-enable
+			}
+			b.Out(5)
+			b.Halt()
+			b.Func("patchme")
+			b.Nop()
+			b.Ret()
+		}
+	}
+	rc := DefaultRunConfig()
+	rc.REV = revConfig(sigtable.Normal, 32)
+	res, err := Run(builderOf(gen(true)), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Errorf("windowed self-modification flagged: %v", res.Violation)
+	}
+	if len(res.Output) != 2 || res.Output[0] != 1234 {
+		t.Errorf("output = %v", res.Output)
+	}
+	if res.Engine.SkippedDisabled == 0 {
+		t.Error("no blocks skipped while disabled")
+	}
+
+	res, err = Run(builderOf(gen(false)), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil || res.Violation.Reason != ViolationHash {
+		t.Errorf("unwindowed self-modification should be a hash violation, got %v", res.Violation)
+	}
+}
+
+func TestMultiModuleCrossCalls(t *testing.T) {
+	build := func() (*prog.Program, error) {
+		p := prog.NewProgram()
+		lib := asm.New("libm")
+		lib.Func("triple")
+		lib.Op3(isa.ADD, 2, 1, 1)
+		lib.Op3(isa.ADD, 1, 2, 1)
+		lib.Ret()
+		libMod, err := lib.Assemble()
+		if err != nil {
+			return nil, err
+		}
+		// Main calls into the library through a jump vector initialized by
+		// the (trusted) loader after the library's base is known.
+		main := asm.New("main")
+		main.Func("main")
+		main.Entry("main")
+		main.LoadImm(1, 5)
+		main.LoadDataAddr(8, "vec", 0)
+		main.Load(9, 8, 0)
+		main.CallReg(9)
+		main.Out(1)
+		main.Halt()
+		main.DataWords("vec", []uint64{0}) // patched below
+		mainMod, err := main.Assemble()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Load(mainMod); err != nil {
+			return nil, err
+		}
+		if err := p.Load(libMod); err != nil {
+			return nil, err
+		}
+		addr, _ := libMod.Lookup("triple")
+		p.Mem.Write64(mainMod.DataOff, addr) // loader fills the vector
+		return p, nil
+	}
+	rc := DefaultRunConfig()
+	rc.REV = revConfig(sigtable.Normal, 32)
+	res, err := Run(build, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("cross-module call flagged: %v", res.Violation)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 15 {
+		t.Errorf("output = %v, want [15]", res.Output)
+	}
+	if len(res.Tables) != 2 {
+		t.Errorf("expected 2 signature tables, got %d", len(res.Tables))
+	}
+}
+
+func TestArtificialSplitBlocksValidate(t *testing.T) {
+	long := func(b *asm.Builder) {
+		b.Func("main")
+		b.Entry("main")
+		for i := 0; i < 300; i++ {
+			b.OpI(isa.ADDI, 1, 1, 1)
+		}
+		b.Out(1)
+		b.Halt()
+	}
+	rc := DefaultRunConfig()
+	rc.REV = revConfig(sigtable.Normal, 32)
+	res, err := Run(builderOf(long), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("long straight-line code flagged: %v", res.Violation)
+	}
+	if res.Output[0] != 300 {
+		t.Errorf("output = %v", res.Output)
+	}
+	// 300 instructions with a 64-instruction limit: several artificial
+	// blocks must have been validated.
+	if res.Engine.ValidatedBlocks < 5 {
+		t.Errorf("validated %d blocks, expected >= 5", res.Engine.ValidatedBlocks)
+	}
+}
+
+func TestSmallSCIncreasesStalls(t *testing.T) {
+	// A program with many distinct branches (poor control-flow locality).
+	many := func(b *asm.Builder) {
+		b.Func("main")
+		b.Entry("main")
+		b.LoadImm(1, 0)
+		b.LoadImm(2, 30)
+		b.Label("outer")
+		for i := 0; i < 120; i++ {
+			b.Call("f" + string(rune('a'+i%26)) + string(rune('a'+i/26)))
+		}
+		b.OpI(isa.ADDI, 1, 1, 1)
+		b.Br(isa.BLT, 1, 2, "outer")
+		b.Halt()
+		for i := 0; i < 120; i++ {
+			b.Func("f" + string(rune('a'+i%26)) + string(rune('a'+i/26)))
+			b.OpI(isa.ADDI, 3, 3, 1)
+			b.Br(isa.BNE, 3, 0, "skip")
+			b.Label("skip")
+			b.OpI(isa.ADDI, 4, 4, 1)
+			b.Ret()
+		}
+	}
+	run := func(kb int) *Result {
+		rc := DefaultRunConfig()
+		rc.MaxInstrs = 200_000
+		rev := revConfig(sigtable.Normal, kb)
+		rc.REV = rev
+		res, err := Run(builderOf(many), rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("clean run flagged at %d KB: %v", kb, res.Violation)
+		}
+		return res
+	}
+	tiny := run(1)
+	big := run(64)
+	if tiny.SC.Misses <= big.SC.Misses {
+		t.Errorf("tiny SC misses (%d) should exceed big SC misses (%d)", tiny.SC.Misses, big.SC.Misses)
+	}
+	if tiny.Pipe.Cycles < big.Pipe.Cycles {
+		t.Errorf("tiny SC cycles (%d) should be >= big SC cycles (%d)", tiny.Pipe.Cycles, big.Pipe.Cycles)
+	}
+}
+
+func TestValidationStallAccounting(t *testing.T) {
+	rc := DefaultRunConfig()
+	rc.REV = revConfig(sigtable.Normal, 32)
+	res, err := Run(builderOf(loopProgram), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// There must be at least some cold-start stalls (first SC fills).
+	if res.Pipe.ValidationStallCycles == 0 {
+		t.Error("no validation stalls recorded even cold")
+	}
+}
+
+// storeProgram writes a small table to data memory, then halts: exercises
+// the shadow-promotion path.
+func storeProgram(b *asm.Builder) {
+	b.Func("main")
+	b.Entry("main")
+	b.LoadDataAddr(1, "buf", 0)
+	b.LoadImm(2, 0)
+	b.LoadImm(3, 64)
+	b.Label("loop")
+	b.OpI(isa.SHLI, 4, 2, 3)
+	b.Op3(isa.ADD, 4, 4, 1)
+	b.Store(2, 4, 0)
+	b.OpI(isa.ADDI, 2, 2, 1)
+	b.Br(isa.BLT, 2, 3, "loop")
+	b.Out(2)
+	b.Halt()
+	b.DataWords("buf", make([]uint64, 64))
+}
+
+func TestPageShadowingCommitsCleanRun(t *testing.T) {
+	rc := DefaultRunConfig()
+	rc.REV = revConfig(sigtable.Normal, 32)
+	rc.PageShadowing = true
+	res, err := Run(builderOf(storeProgram), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("clean shadowed run flagged: %v", res.Violation)
+	}
+	if res.Output[0] != 64 {
+		t.Errorf("output = %v", res.Output)
+	}
+	if res.Shadow.Epochs != 1 || res.Shadow.PagesPromoted == 0 {
+		t.Errorf("shadow stats = %+v", res.Shadow)
+	}
+	if res.Shadow.PagesDropped != 0 {
+		t.Error("clean run must not drop pages")
+	}
+}
+
+func TestPageShadowingAbortsOnViolation(t *testing.T) {
+	// The attack writes into memory before being detected; with page
+	// shadowing the whole epoch is discarded, so the backing memory keeps
+	// no trace of the attack or of any unvalidated program stores.
+	rc := DefaultRunConfig()
+	rc.REV = revConfig(sigtable.Normal, 32)
+	rc.PageShadowing = true
+	fired := false
+	var poisonAddr uint64 = prog.DataBase + 0x800
+	rc.AttackHook = func(m *cpu.Machine, pc uint64, in isa.Instr) {
+		if m.Instret == 500 && !fired {
+			fired = true
+			m.Mem.Write64(poisonAddr, 0xE71)
+			inj := isa.Instr{Op: isa.ADDI, Rd: 1, Imm: 9999}
+			var buf [isa.WordSize]byte
+			inj.EncodeTo(buf[:])
+			m.Mem.WriteBytes(prog.CodeBase+2*isa.WordSize, buf[:])
+		}
+	}
+	res, err := Run(builderOf(loopProgram), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("attack not detected")
+	}
+	if res.Shadow.PagesDropped == 0 {
+		t.Error("violation must drop shadow pages")
+	}
+	if res.Shadow.PagesPromoted != 0 {
+		t.Error("violation must not promote any page")
+	}
+}
+
+func TestForensicsCaptureAndBlacklistReuse(t *testing.T) {
+	// First incident: code injection is detected and its payload captured.
+	payload := []isa.Instr{
+		{Op: isa.ADDI, Rd: 4, Imm: 0x666},
+		{Op: isa.OUT, Rs1: 4},
+	}
+	inject := func(m *cpu.Machine, at uint64) {
+		for i, pi := range payload {
+			var buf [isa.WordSize]byte
+			pi.EncodeTo(buf[:])
+			m.Mem.WriteBytes(at+uint64(i*isa.WordSize), buf[:])
+		}
+	}
+	rc := DefaultRunConfig()
+	rev := revConfig(sigtable.Normal, 32)
+	rev.Forensics = true
+	rc.REV = rev
+	fired := false
+	rc.AttackHook = func(m *cpu.Machine, pc uint64, in isa.Instr) {
+		if m.Instret == 500 && !fired {
+			fired = true
+			inject(m, prog.CodeBase+2*isa.WordSize)
+		}
+	}
+	res, err := Run(builderOf(loopProgram), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("injection not detected")
+	}
+	if len(res.Forensics.Records) == 0 {
+		t.Fatal("no forensic record captured")
+	}
+	rec := res.Forensics.Records[0]
+	if rec.Reason != "hash-mismatch" {
+		t.Errorf("captured reason = %s", rec.Reason)
+	}
+
+	// Second incident: the same payload injected at a DIFFERENT address is
+	// recognized by the blacklist before ordinary validation reasoning.
+	bl := forensics.NewBlacklist()
+	// Fingerprint the payload block exactly as it will appear: the
+	// injected block at the new site spans payload plus the following
+	// original instruction(s) up to the block end; blacklist by the bytes
+	// captured from the first incident.
+	bl.AddRecord(&rec)
+
+	rc2 := DefaultRunConfig()
+	rev2 := revConfig(sigtable.Normal, 32)
+	rev2.Blacklist = bl
+	rc2.REV = rev2
+	fired2 := false
+	rc2.AttackHook = func(m *cpu.Machine, pc uint64, in isa.Instr) {
+		if m.Instret == 500 && !fired2 {
+			fired2 = true
+			inject(m, prog.CodeBase+2*isa.WordSize)
+		}
+	}
+	res2, err := Run(builderOf(loopProgram), rc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Violation == nil {
+		t.Fatal("repeat attack not detected")
+	}
+	if res2.Violation.Reason != ViolationBlacklist {
+		t.Errorf("repeat attack reason = %v, want blacklisted-signature", res2.Violation.Reason)
+	}
+}

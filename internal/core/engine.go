@@ -1,0 +1,380 @@
+// Package core implements REV itself — the paper's contribution: the
+// run-time execution validator that wires the signature cache, the
+// pipelined crypto hash generator, the signature address generation unit
+// and the encrypted RAM signature tables into the out-of-order pipeline.
+//
+// The Engine validates every committed dynamic basic block: the crypto hash
+// of its fetched instruction bytes, the legality of computed control-flow
+// targets, and — via the paper's delayed return validation (Sec. V.A) —
+// that every return lands at a block that names the returning RET
+// instruction as a legal predecessor. Memory updates from a block are
+// deferred until the block validates (requirement R5), modeled by the
+// pipeline's post-commit ROB and store-queue extensions.
+package core
+
+import (
+	"fmt"
+
+	"rev/internal/cfg"
+	"rev/internal/chash"
+	"rev/internal/cpu"
+	"rev/internal/crypt"
+	"rev/internal/forensics"
+	"rev/internal/isa"
+	"rev/internal/mem"
+	"rev/internal/prog"
+	"rev/internal/sag"
+	"rev/internal/sigcache"
+	"rev/internal/sigtable"
+)
+
+// Config parameterizes the REV hardware.
+type Config struct {
+	// Format selects validation coverage: Normal, Aggressive, or CFIOnly.
+	Format sigtable.Format
+	// SC sizes the signature cache (32 KB / 64 KB in the evaluation).
+	SC sigcache.Config
+	// SAG sizes the cross-module register file.
+	SAG sag.Config
+	// CHGLatency is H, the hash-generator pipeline depth (16 in Sec. VI).
+	CHGLatency uint64
+	// DecryptLatency is charged per signature-table record decrypted
+	// during an SC miss (the AES unit is pipelined; a couple of cycles per
+	// 16-byte block).
+	DecryptLatency uint64
+	// Limits are the artificial block split limits; they must match the
+	// limits used when building the signature tables and the pipeline's.
+	Limits cfg.Limits
+	// Forensics, when enabled, captures the offending block of every
+	// violation (bytes, disassembly, signature) — the paper's Sec. X
+	// suggestion that failed validations reveal reusable attack
+	// signatures.
+	Forensics bool
+	// Blacklist, when non-nil, is checked before table validation: blocks
+	// whose signature matches a previously captured attack fingerprint are
+	// rejected immediately, even at addresses the attack never used.
+	Blacklist *forensics.Blacklist
+}
+
+// DefaultConfig is the paper's default REV: normal format, 32 KB SC, H=16.
+func DefaultConfig() Config {
+	return Config{
+		Format:         sigtable.Normal,
+		SC:             sigcache.DefaultConfig(),
+		SAG:            sag.DefaultConfig(),
+		CHGLatency:     16,
+		DecryptLatency: 2,
+		Limits:         cfg.DefaultLimits(),
+	}
+}
+
+// ViolationReason classifies a detected compromise (Table 1).
+type ViolationReason int
+
+const (
+	// ViolationHash: the block's instruction bytes (or the block itself)
+	// do not match any reference signature — code injection, or control
+	// flow through a block unknown to static analysis (gadget execution).
+	ViolationHash ViolationReason = iota
+	// ViolationTarget: a computed jump/call went to an address not in the
+	// block's legal target set (JOP, VTable compromise).
+	ViolationTarget
+	// ViolationReturn: a return landed at a block that does not list the
+	// returning RET as a predecessor (ROP, return-to-libc).
+	ViolationReturn
+	// ViolationModule: the executing address is covered by no registered
+	// module (illegal dynamic linking / jump outside known code).
+	ViolationModule
+	// ViolationBlacklist: the block matches a previously captured attack
+	// fingerprint (forensics blacklist hit).
+	ViolationBlacklist
+)
+
+func (r ViolationReason) String() string {
+	switch r {
+	case ViolationHash:
+		return "hash-mismatch"
+	case ViolationTarget:
+		return "illegal-computed-target"
+	case ViolationReturn:
+		return "illegal-return"
+	case ViolationModule:
+		return "unknown-module"
+	case ViolationBlacklist:
+		return "blacklisted-signature"
+	}
+	return "?"
+}
+
+// Violation is the validation-failure exception REV raises.
+type Violation struct {
+	Reason  ViolationReason
+	BBStart uint64
+	BBEnd   uint64
+	Target  uint64 // offending target/predecessor where applicable
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("rev: validation failed (%s) in block [%#x,%#x], offending address %#x",
+		v.Reason, v.BBStart, v.BBEnd, v.Target)
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	ValidatedBlocks uint64
+	SkippedDisabled uint64
+	RAMLookups      uint64
+	RecordsTouched  uint64
+	SAGPenalties    uint64
+}
+
+// Engine is the REV hardware model.
+type Engine struct {
+	Cfg  Config
+	Mem  prog.AddressSpace
+	Hier *mem.Hierarchy
+	SC   *sigcache.Cache
+	SAG  *sag.Unit
+	CHG  *chash.CHG
+	KS   *crypt.KeyStore
+
+	// Tables lists the installed per-module signature tables (size
+	// accounting for the Sec. V experiments).
+	Tables []*sigtable.Table
+	// Log holds captured violation evidence when Cfg.Forensics is set.
+	Log forensics.Log
+
+	Stats Stats
+
+	enabled bool
+	// Delayed return validation state: the address of the RET instruction
+	// that terminated the previous block, latched until the first block of
+	// the caller validates (Sec. V.A).
+	pendingRet    uint64
+	pendingRetSet bool
+
+	nextSigBase uint64
+	bbTag       uint64
+}
+
+// NewEngine creates a REV engine over a program's memory and hierarchy.
+func NewEngine(cfg Config, pmem prog.AddressSpace, hier *mem.Hierarchy, ks *crypt.KeyStore) *Engine {
+	return &Engine{
+		Cfg:         cfg,
+		Mem:         pmem,
+		Hier:        hier,
+		SC:          sigcache.New(cfg.SC),
+		SAG:         sag.New(cfg.SAG),
+		CHG:         chash.NewCHG(cfg.CHGLatency),
+		KS:          ks,
+		enabled:     true,
+		nextSigBase: prog.SigBase,
+	}
+}
+
+// AddModule builds the module's signature table from its reference CFG,
+// encrypts and installs it in RAM, and loads the SAG register group — the
+// work the trusted linker/loader performs before execution (Sec. IV.B).
+func (e *Engine) AddModule(g *cfg.Graph, key crypt.TableKey) error {
+	tbl, img, err := sigtable.Build(g, e.Cfg.Format, key, e.KS)
+	if err != nil {
+		return err
+	}
+	sigtable.Install(tbl, img, e.Mem, e.nextSigBase)
+	e.nextSigBase += (tbl.Size + prog.PageSize - 1) &^ (prog.PageSize - 1)
+	reader := sigtable.NewReader(tbl, e.Mem, e.KS)
+	e.Tables = append(e.Tables, tbl)
+	return e.SAG.Register(&sag.Region{
+		Module: g.Module.Name,
+		Start:  g.Module.Base,
+		Limit:  g.Module.Limit(),
+		Reader: reader,
+	})
+}
+
+// Enabled reports whether validation is active.
+func (e *Engine) Enabled() bool { return e.enabled }
+
+// OnContextSwitch clears the delayed-return latch: it is per-thread
+// microarchitectural state (in hardware it would be saved and restored
+// with the context; the switch path itself runs through validated kernel
+// code, so dropping the latch loses no protection).
+func (e *Engine) OnContextSwitch() { e.pendingRetSet = false }
+
+// SysHandler implements REV's two system calls (Sec. VII): enabling or
+// disabling validation (for trusted self-modifying code windows), and
+// loading table registers (a no-op here because AddModule pre-loads them;
+// the call is accepted for binary compatibility).
+func (e *Engine) SysHandler(service int32, arg uint64) {
+	switch service {
+	case isa.SysREVEnable:
+		e.enabled = arg != 0
+		if !e.enabled {
+			e.pendingRetSet = false
+		}
+	case isa.SysREVSetTable:
+		// Register groups are loaded by the trusted loader in this model.
+	}
+}
+
+// Hook is the cpu.BBHook: validate one dynamic basic block. It returns the
+// cycle at which validation data is ready; the pipeline stalls the block's
+// commit until then.
+func (e *Engine) Hook(info cpu.BBInfo) (uint64, error) {
+	if !e.enabled {
+		e.Stats.SkippedDisabled++
+		return 0, nil
+	}
+	if e.Cfg.Format == sigtable.CFIOnly {
+		return e.hookCFIOnly(info)
+	}
+	return e.hookHashed(info)
+}
+
+// violate raises a violation, capturing forensic evidence when enabled.
+func (e *Engine) violate(reason ViolationReason, info cpu.BBInfo, offending uint64) error {
+	if e.Cfg.Forensics {
+		e.Log.Capture(reason.String(), info.Start, info.End, offending, e.Mem)
+	}
+	return &Violation{Reason: reason, BBStart: info.Start, BBEnd: info.End, Target: offending}
+}
+
+func (e *Engine) hookHashed(info cpu.BBInfo) (uint64, error) {
+	e.bbTag++
+	e.CHG.Feed(e.bbTag, info.FirstFetch)
+	e.CHG.Feed(e.bbTag, info.LastFetch)
+	hashReady, _ := e.CHG.ReadyAt(e.bbTag)
+	e.CHG.Retire(e.bbTag)
+
+	region, sagPen, ok := e.SAG.Lookup(info.End)
+	if !ok {
+		return 0, e.violate(ViolationModule, info, info.End)
+	}
+	if sagPen > 0 {
+		e.Stats.SAGPenalties++
+	}
+
+	// The CHG hashes the bytes as fetched; functionally we read them from
+	// simulated memory, which is exactly what the fetch unit saw.
+	code := make([]byte, info.NumInstrs*isa.WordSize)
+	e.Mem.ReadBytes(info.Start, code)
+	sig := chash.BBSignature(code, info.Start, info.End)
+
+	// Known-attack fingerprint check (Sec. X): repeat payloads are
+	// rejected outright, wherever they were injected.
+	if e.Cfg.Blacklist != nil {
+		if _, hit := e.Cfg.Blacklist.MatchPlaced(sig); hit {
+			return 0, e.violate(ViolationBlacklist, info, info.Start)
+		}
+		if _, hit := e.Cfg.Blacklist.MatchCode(code); hit {
+			return 0, e.violate(ViolationBlacklist, info, info.Start)
+		}
+	}
+
+	// Which addresses must be validated explicitly?
+	need := sigcache.Need{}
+	switch {
+	case info.Term == isa.KindRet:
+		// Delayed return validation: latch the RET address; the landing
+		// block validates it as its predecessor. No target walk here.
+	case info.Term.IsComputed():
+		need.CheckTarget = true
+		need.Target = info.NextPC
+	case e.Cfg.Format == sigtable.Aggressive &&
+		info.Term.IsControlFlow() && info.Term != isa.KindHalt:
+		need.CheckTarget = true
+		need.Target = info.NextPC
+	}
+	if e.pendingRetSet {
+		need.CheckPred = true
+		need.Pred = e.pendingRet
+	}
+
+	scReady := info.LastFetch
+	if e.SC.Probe(info.End, sig, need) != sigcache.Hit {
+		want := sigtable.Want{
+			Target: need.Target, CheckTarget: need.CheckTarget,
+			Pred: need.Pred, CheckPred: need.CheckPred,
+		}
+		entry, touched, found := region.Reader.Lookup(info.End, sig, want)
+		e.Stats.RAMLookups++
+		e.Stats.RecordsTouched += uint64(len(touched))
+		// Timing: the miss walk goes through the memory hierarchy record
+		// by record, decrypting each.
+		t := info.LastFetch
+		for _, a := range touched {
+			t = e.Hier.SC(a, t) + e.Cfg.DecryptLatency
+		}
+		scReady = t
+		if !found {
+			return 0, e.violate(ViolationHash, info, info.End)
+		}
+		if need.CheckTarget && !contains(entry.Targets, need.Target) {
+			return 0, e.violate(ViolationTarget, info, need.Target)
+		}
+		if need.CheckPred && !contains(entry.RetPreds, need.Pred) {
+			return 0, e.violate(ViolationReturn, info, need.Pred)
+		}
+		e.SC.Fill(entry, need)
+	}
+
+	e.pendingRetSet = info.Term == isa.KindRet
+	if e.pendingRetSet {
+		e.pendingRet = info.End
+	}
+	e.Stats.ValidatedBlocks++
+
+	ready := maxU(hashReady, scReady) + sagPen
+	return ready, nil
+}
+
+// hookCFIOnly validates only computed control-flow edges (Sec. V.D): no
+// hashes, no direct-branch work, tiny tables. The SC caches recently
+// validated edges keyed by the source block's terminator.
+func (e *Engine) hookCFIOnly(info cpu.BBInfo) (uint64, error) {
+	if !info.Term.IsComputed() {
+		return 0, nil
+	}
+	region, sagPen, ok := e.SAG.Lookup(info.End)
+	if !ok {
+		return 0, e.violate(ViolationModule, info, info.End)
+	}
+	need := sigcache.Need{CheckTarget: true, Target: info.NextPC}
+	scReady := info.LastFetch
+	if e.SC.Probe(info.End, 0, need) != sigcache.Hit {
+		touched, legal := region.Reader.LookupEdge(info.End, info.NextPC)
+		e.Stats.RAMLookups++
+		e.Stats.RecordsTouched += uint64(len(touched))
+		t := info.LastFetch
+		for _, a := range touched {
+			t = e.Hier.SC(a, t) + e.Cfg.DecryptLatency
+		}
+		scReady = t
+		if !legal {
+			reason := ViolationTarget
+			if info.Term == isa.KindRet {
+				reason = ViolationReturn
+			}
+			return 0, e.violate(reason, info, info.NextPC)
+		}
+		e.SC.Fill(sigtable.Entry{End: info.End, Hash: 0, Targets: []uint64{info.NextPC}}, need)
+	}
+	e.Stats.ValidatedBlocks++
+	return scReady + sagPen, nil
+}
+
+func contains(list []uint64, a uint64) bool {
+	for _, x := range list {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

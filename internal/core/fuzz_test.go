@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rev/internal/cpu"
+	"rev/internal/isa"
+	"rev/internal/sigtable"
+	"rev/internal/workload"
+)
+
+// randomProfile derives a random-but-valid workload profile from a seed.
+func randomProfile(seed int64) workload.Profile {
+	r := rand.New(rand.NewSource(seed))
+	base := workload.Profiles()[r.Intn(len(workload.Profiles()))]
+	p := base.Scaled(0.01)
+	p.Seed = seed
+	p.Unpredictable = r.Float64() * 0.5
+	p.SwitchFanout = 2 + r.Intn(9)
+	p.DispPerCold = r.Intn(6)
+	p.InnerLoopIters = 1 + r.Intn(16)
+	p.ColdPerIter = r.Intn(3)
+	p.BlockLen = 4 + r.Intn(12)
+	return p
+}
+
+// TestFuzzCleanRunsNeverFlagged is the no-false-positive property: REV must
+// validate clean executions of arbitrary generated programs, across all
+// three table formats.
+func TestFuzzCleanRunsNeverFlagged(t *testing.T) {
+	formats := []sigtable.Format{sigtable.Normal, sigtable.Aggressive, sigtable.CFIOnly}
+	for seed := int64(1); seed <= 12; seed++ {
+		p := randomProfile(seed)
+		format := formats[seed%3]
+		rc := DefaultRunConfig()
+		rc.MaxInstrs = 40_000
+		rc.REV = revConfig(format, 32)
+		res, err := Run(p.Builder(), rc)
+		if err != nil {
+			t.Fatalf("seed %d (%s/%s): %v", seed, p.Name, format, err)
+		}
+		if res.Violation != nil {
+			t.Errorf("seed %d (%s/%s): clean run flagged: %v", seed, p.Name, format, res.Violation)
+		}
+	}
+}
+
+// TestFuzzBitflipsAlwaysDetected is the detection property: flipping any
+// bit of any re-executed instruction must raise a violation under the
+// hashed formats (the flipped block's signature cannot match).
+func TestFuzzBitflipsAlwaysDetected(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		r := rand.New(rand.NewSource(seed * 7919))
+		p := randomProfile(seed)
+		// Target an instruction inside a hot function: re-executed every
+		// outer iteration, so the corruption is always observed. (A flip in
+		// run-once prologue code is legitimately invisible to REV: the
+		// corrupted bytes are never fetched again.)
+		scratch, err := p.Builder()()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot0, ok := scratch.Main().Lookup("hot0")
+		if !ok {
+			t.Fatal("no hot0 symbol")
+		}
+		addrBase := hot0 + uint64(2+r.Intn(6))*isa.WordSize
+		bit := uint(r.Intn(64))
+		trigger := uint64(5000 + r.Intn(10000))
+
+		rc := DefaultRunConfig()
+		rc.MaxInstrs = 100_000
+		rc.REV = revConfig(sigtable.Normal, 32)
+		fired := false
+		rc.AttackHook = func(m *cpu.Machine, pc uint64, in isa.Instr) {
+			if !fired && m.Instret >= trigger {
+				fired = true
+				addr := addrBase + uint64(bit/8)
+				m.Mem.Write8(addr, m.Mem.Read8(addr)^(1<<(bit%8)))
+			}
+		}
+		res, err := Run(p.Builder(), rc)
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, p.Name, err)
+		}
+		if !fired {
+			t.Fatalf("seed %d: flip never fired", seed)
+		}
+		if res.Violation == nil {
+			t.Errorf("seed %d (%s): bit %d at %#x flipped at %d, not detected",
+				seed, p.Name, bit, addrBase, trigger)
+		}
+	}
+}
+
+// TestFuzzDeterminism: identical seeds must produce bit-identical results
+// (cycles, IPC, SC counters) — the whole reproduction depends on it.
+func TestFuzzDeterminism(t *testing.T) {
+	p := randomProfile(42)
+	run := func() *Result {
+		rc := DefaultRunConfig()
+		rc.MaxInstrs = 30_000
+		rc.REV = revConfig(sigtable.Normal, 32)
+		res, err := Run(p.Builder(), rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Pipe.Cycles != b.Pipe.Cycles || a.SC.Probes != b.SC.Probes ||
+		a.SC.Misses != b.SC.Misses || a.Pipe.Mispredicts != b.Pipe.Mispredicts {
+		t.Errorf("nondeterministic results: %+v vs %+v", a.Pipe, b.Pipe)
+	}
+}

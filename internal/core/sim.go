@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+
+	"rev/internal/branch"
+	"rev/internal/cfg"
+	"rev/internal/cpu"
+	"rev/internal/crypt"
+	"rev/internal/forensics"
+	"rev/internal/isa"
+	"rev/internal/mem"
+	"rev/internal/prog"
+	"rev/internal/shadow"
+	"rev/internal/sigtable"
+)
+
+// RunConfig assembles a full simulation.
+type RunConfig struct {
+	MaxInstrs uint64
+	Pipe      cpu.PipeConfig
+	Mem       mem.Config
+	Branch    branch.Config
+	// REV, when non-nil, attaches a REV engine; nil runs the base core.
+	REV *Config
+	// ProfileInstrs bounds the profiling run used to discover computed
+	// control-flow targets (0 = same as MaxInstrs).
+	ProfileInstrs uint64
+	// KeySeed derives per-module table keys deterministically.
+	KeySeed uint64
+	// AttackHook, if set, is installed as the Machine's BeforeStep (attack
+	// injectors mutate state mid-run through it).
+	AttackHook func(m *cpu.Machine, pc uint64, in isa.Instr)
+	// PageShadowing enables the paper's stricter deferred-update variant
+	// (Sec. IV.A): all memory updates of the run land in shadow pages,
+	// promoted to the program's real pages only if the whole execution
+	// validates and discarded on a violation.
+	PageShadowing bool
+}
+
+// DefaultRunConfig mirrors the paper's setup.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		MaxInstrs: 1_000_000,
+		Pipe:      cpu.DefaultPipeConfig(),
+		Mem:       mem.DefaultConfig(),
+		Branch:    branch.DefaultConfig(),
+		KeySeed:   0x5eed,
+	}
+}
+
+// Result reports a run.
+type Result struct {
+	Pipe           cpu.PipeStats
+	Branch         branch.Stats
+	UniqueBranches int
+	L1D, L1I, L2   mem.CacheStats
+	DRAM           mem.DRAMStats
+	// REV-side statistics (zero for baseline runs).
+	SC     SCView
+	Engine Stats
+	Tables []*sigtable.Table
+	// Violation is set when REV aborted the run.
+	Violation *Violation
+	// Shadow reports page-shadowing activity when PageShadowing was on.
+	Shadow shadow.Stats
+	// Forensics holds captured violation evidence (REV.Forensics).
+	Forensics forensics.Log
+	// Output is the program's observable output.
+	Output []uint64
+	Halted bool
+}
+
+// SCView copies the signature-cache counters into the result.
+type SCView struct {
+	Probes         uint64
+	Hits           uint64
+	PartialMisses  uint64
+	CompleteMisses uint64
+	Misses         uint64
+	MissRate       float64
+}
+
+// IPC is shorthand for the pipeline IPC.
+func (r *Result) IPC() float64 { return r.Pipe.IPC() }
+
+// Run executes a workload. The builder must deterministically construct a
+// fresh program instance on each call: one instance is consumed by the
+// profiling run that discovers computed-control-flow targets (the paper's
+// profiling pass, Sec. IV.D) and a pristine instance is used for the
+// measured run.
+func Run(build func() (*prog.Program, error), rc RunConfig) (*Result, error) {
+	if rc.MaxInstrs == 0 {
+		rc.MaxInstrs = 1_000_000
+	}
+	profInstrs := rc.ProfileInstrs
+	if profInstrs == 0 {
+		profInstrs = rc.MaxInstrs
+	}
+
+	measured, err := build()
+	if err != nil {
+		return nil, fmt.Errorf("core: building program: %w", err)
+	}
+
+	hier := mem.New(rc.Mem)
+	pred := branch.New(rc.Branch)
+	pipe := cpu.NewPipeline(rc.Pipe, hier, pred)
+
+	var space prog.AddressSpace = measured.Mem
+	var shadowMem *shadow.Memory
+	if rc.PageShadowing {
+		shadowMem = shadow.New(measured.Mem)
+		space = shadowMem
+	}
+	mach := cpu.NewMachineOver(measured, space)
+
+	var engine *Engine
+	if rc.REV != nil {
+		// Profile a twin instance so the measured instance's memory stays
+		// pristine.
+		twin, err := build()
+		if err != nil {
+			return nil, fmt.Errorf("core: building profiling twin: %w", err)
+		}
+		profiler, err := cfg.ProfileRun(twin, profInstrs)
+		if err != nil {
+			return nil, fmt.Errorf("core: profiling run: %w", err)
+		}
+		// Static binary analysis complements profiling: call/return pairing
+		// and jump-table target recovery (Sec. IV.D).
+		static := cfg.Analyze(measured, cfg.DefaultAnalyzeOptions())
+		ks := crypt.NewKeyStore(crypt.DeriveKey(rc.KeySeed, "cpu-private"))
+		engine = NewEngine(*rc.REV, space, hier, ks)
+		for i, mod := range measured.Modules {
+			bld := cfg.NewBuilder(mod, rc.REV.Limits)
+			profiler.Apply(bld)
+			static.Apply(bld)
+			g, err := bld.Build()
+			if err != nil {
+				return nil, fmt.Errorf("core: CFG for %s: %w", mod.Name, err)
+			}
+			key := crypt.DeriveKey(rc.KeySeed, fmt.Sprintf("module-%d-%s", i, mod.Name))
+			if err := engine.AddModule(g, key); err != nil {
+				return nil, fmt.Errorf("core: protecting %s: %w", mod.Name, err)
+			}
+		}
+		pipe.Hook = engine.Hook
+		mach.SysHandler = engine.SysHandler
+		// Keep pipeline split limits in lockstep with the table builder.
+		pipe.Cfg.MaxBBInstrs = rc.REV.Limits.MaxInstrs
+		pipe.Cfg.MaxBBStores = rc.REV.Limits.MaxStores
+	}
+
+	if rc.AttackHook != nil {
+		mach.BeforeStep = func(pc uint64, in isa.Instr) { rc.AttackHook(mach, pc, in) }
+	}
+	if shadowMem != nil {
+		shadowMem.Begin()
+	}
+
+	res := &Result{}
+	var vio *Violation
+	for !mach.Halted && pipe.Stats.Instrs < rc.MaxInstrs {
+		in0 := mach.Fetch()
+		var memAddr uint64
+		switch in0.Kind() {
+		case isa.KindLoad, isa.KindStore:
+			memAddr = mach.ReadReg(in0.Rs1) + uint64(int64(in0.Imm))
+		}
+		pc, in, err := mach.Step()
+		if err != nil {
+			// Illegal opcode: hardware would fault at decode; with REV the
+			// block containing it can never validate either. Surface it as
+			// a hash violation when REV is active, else as a plain error.
+			if engine != nil {
+				vio = &Violation{Reason: ViolationHash, BBStart: pc, BBEnd: pc, Target: pc}
+				break
+			}
+			return nil, err
+		}
+		di := cpu.DynInstr{PC: pc, In: in, NextPC: mach.PC, MemAddr: memAddr}
+		if err := pipe.Next(di); err != nil {
+			if v, ok := err.(*Violation); ok {
+				vio = v
+				break
+			}
+			return nil, err
+		}
+	}
+
+	res.Pipe = pipe.Stats
+	res.Branch = pred.Stats
+	res.UniqueBranches = pipe.UniqueBranches()
+	res.L1D = hier.L1D.Stats
+	res.L1I = hier.L1I.Stats
+	res.L2 = hier.L2.Stats
+	res.DRAM = hier.DRAM.Stats
+	res.Output = mach.Output
+	res.Halted = mach.Halted
+	res.Violation = vio
+	if shadowMem != nil {
+		// The epoch commits only if the whole execution validated
+		// (Sec. IV.A's strict model); a violation discards every update.
+		if vio == nil {
+			shadowMem.Commit()
+		} else {
+			shadowMem.Abort()
+		}
+		res.Shadow = shadowMem.Stats
+	}
+	if engine != nil {
+		res.Engine = engine.Stats
+		res.Tables = engine.Tables
+		res.Forensics = engine.Log
+		s := engine.SC.Stats
+		res.SC = SCView{
+			Probes:         s.Probes,
+			Hits:           s.Hits,
+			PartialMisses:  s.PartialMisses,
+			CompleteMisses: s.CompleteMisses,
+			Misses:         s.Misses(),
+			MissRate:       s.MissRate(),
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"rev/internal/asm"
+	"rev/internal/isa"
+	"rev/internal/sigtable"
+)
+
+// twoThreadProgram has two independent entry functions, each a loop over
+// its own helper, writing a distinct final value.
+func twoThreadProgram(b *asm.Builder) {
+	for _, th := range []struct {
+		entry, helper string
+		n             int64
+	}{{"threadA", "helpA", 300}, {"threadB", "helpB", 500}} {
+		b.Func(th.entry)
+		b.LoadImm(1, 0)
+		b.LoadImm(2, th.n)
+		b.Label("loop")
+		b.Call(th.helper)
+		b.OpI(isa.ADDI, 1, 1, 1)
+		b.Br(isa.BLT, 1, 2, "loop")
+		b.Out(1)
+		b.Halt()
+		b.Func(th.helper)
+		b.Op3(isa.ADD, 3, 3, 1)
+		b.Br(isa.BNE, 3, 0, "done")
+		b.Label("done")
+		b.Ret()
+	}
+	b.Entry("threadA")
+}
+
+func TestRunThreadsInterleavesAndCompletes(t *testing.T) {
+	trc := DefaultThreadedRunConfig()
+	trc.MaxInstrs = 200_000
+	trc.Quantum = 500
+	res, err := RunThreads(builderOf(twoThreadProgram), []string{"threadA", "threadB"}, trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("threads did not finish")
+	}
+	if res.Switches < 2 {
+		t.Errorf("switches = %d, expected interleaving", res.Switches)
+	}
+	if res.ThreadInstrs[0] == 0 || res.ThreadInstrs[1] == 0 {
+		t.Errorf("thread instr split = %v", res.ThreadInstrs)
+	}
+}
+
+func TestRunThreadsValidatesUnderREV(t *testing.T) {
+	trc := DefaultThreadedRunConfig()
+	trc.MaxInstrs = 200_000
+	trc.Quantum = 500
+	trc.REV = revConfig(sigtable.Normal, 32)
+	res, err := RunThreads(builderOf(twoThreadProgram), []string{"threadA", "threadB"}, trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("clean threaded run flagged: %v", res.Violation)
+	}
+	if !res.Halted {
+		t.Fatal("threads did not finish")
+	}
+	if res.Engine.ValidatedBlocks == 0 {
+		t.Error("nothing validated")
+	}
+}
+
+func TestSCSurvivesContextSwitches(t *testing.T) {
+	// Requirement R4: the address-tagged SC needs no flush on a context
+	// switch. Flushing it on every switch (the CAM-table ablation) must
+	// cost strictly more SC misses and cycles.
+	run := func(flush bool) *ThreadedResult {
+		trc := DefaultThreadedRunConfig()
+		trc.MaxInstrs = 300_000
+		trc.Quantum = 300
+		trc.REV = revConfig(sigtable.Normal, 32)
+		trc.FlushSCOnSwitch = flush
+		res, err := RunThreads(builderOf(twoThreadProgram), []string{"threadA", "threadB"}, trc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("flagged: %v", res.Violation)
+		}
+		return res
+	}
+	keep := run(false)
+	flush := run(true)
+	if flush.SC.Misses <= keep.SC.Misses {
+		t.Errorf("flush-on-switch misses (%d) should exceed retained-SC misses (%d)",
+			flush.SC.Misses, keep.SC.Misses)
+	}
+	if flush.Pipe.Cycles < keep.Pipe.Cycles {
+		t.Errorf("flush-on-switch cycles (%d) should be >= retained (%d)",
+			flush.Pipe.Cycles, keep.Pipe.Cycles)
+	}
+}
+
+func TestRunThreadsSingleThreadMatchesEntrySemantics(t *testing.T) {
+	trc := DefaultThreadedRunConfig()
+	trc.MaxInstrs = 100_000
+	res, err := RunThreads(builderOf(twoThreadProgram), []string{"threadB"}, trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 500 {
+		t.Errorf("output = %v, want [500]", res.Output)
+	}
+}
+
+func TestRunThreadsRejectsBadEntry(t *testing.T) {
+	trc := DefaultThreadedRunConfig()
+	if _, err := RunThreads(builderOf(twoThreadProgram), []string{"nope"}, trc); err == nil {
+		t.Error("unknown entry should fail")
+	}
+	if _, err := RunThreads(builderOf(twoThreadProgram), nil, trc); err == nil {
+		t.Error("no entries should fail")
+	}
+}

@@ -1,0 +1,456 @@
+package cpu
+
+import (
+	"testing"
+
+	"rev/internal/branch"
+	"rev/internal/isa"
+	"rev/internal/mem"
+	"rev/internal/prog"
+)
+
+// loadProgram builds a program from raw instructions.
+func loadProgram(t *testing.T, instrs ...isa.Instr) (*prog.Program, *Machine) {
+	t.Helper()
+	code := make([]byte, 0, len(instrs)*isa.WordSize)
+	for _, in := range instrs {
+		e := in.Encode()
+		code = append(code, e[:]...)
+	}
+	p := prog.NewProgram()
+	if err := p.Load(&prog.Module{Name: "t", Code: code}); err != nil {
+		t.Fatal(err)
+	}
+	return p, NewMachine(p)
+}
+
+func TestMachineArithmeticSemantics(t *testing.T) {
+	_, m := loadProgram(t,
+		isa.Instr{Op: isa.ADDI, Rd: 1, Imm: -7},
+		isa.Instr{Op: isa.ADDI, Rd: 2, Imm: 3},
+		isa.Instr{Op: isa.DIV, Rd: 3, Rs1: 1, Rs2: 2},  // -7/3 = -2
+		isa.Instr{Op: isa.REM, Rd: 4, Rs1: 1, Rs2: 2},  // -7%3 = -1
+		isa.Instr{Op: isa.SLT, Rd: 5, Rs1: 1, Rs2: 2},  // -7 < 3
+		isa.Instr{Op: isa.SHRI, Rd: 6, Rs1: 1, Imm: 1}, // logical shift
+		isa.Instr{Op: isa.HALT},
+	)
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if int64(m.X[3]) != -2 || int64(m.X[4]) != -1 || m.X[5] != 1 {
+		t.Errorf("div/rem/slt = %d, %d, %d", int64(m.X[3]), int64(m.X[4]), m.X[5])
+	}
+	if m.X[6] != (^uint64(0)-6)>>1 {
+		t.Errorf("logical shift = %#x", m.X[6])
+	}
+}
+
+func TestMachineDivideByZero(t *testing.T) {
+	_, m := loadProgram(t,
+		isa.Instr{Op: isa.ADDI, Rd: 1, Imm: 9},
+		isa.Instr{Op: isa.DIV, Rd: 2, Rs1: 1, Rs2: 0},
+		isa.Instr{Op: isa.REM, Rd: 3, Rs1: 1, Rs2: 0},
+		isa.Instr{Op: isa.HALT},
+	)
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.X[2] != 0 || m.X[3] != 9 {
+		t.Errorf("div0 = %d, rem0 = %d", m.X[2], m.X[3])
+	}
+}
+
+func TestMachineZeroRegisterImmutable(t *testing.T) {
+	_, m := loadProgram(t,
+		isa.Instr{Op: isa.ADDI, Rd: 0, Imm: 99},
+		isa.Instr{Op: isa.ADD, Rd: 1, Rs1: 0, Rs2: 0},
+		isa.Instr{Op: isa.HALT},
+	)
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.X[0] != 0 || m.X[1] != 0 {
+		t.Errorf("zero register wrote %d, read %d", m.X[0], m.X[1])
+	}
+}
+
+func TestMachineIllegalOpcode(t *testing.T) {
+	_, m := loadProgram(t, isa.Instr{Op: isa.Op(200)})
+	if _, _, err := m.Step(); err == nil {
+		t.Error("illegal opcode should error")
+	}
+}
+
+func TestMachineLogicalImmediatesZeroExtend(t *testing.T) {
+	_, m := loadProgram(t,
+		isa.Instr{Op: isa.ADDI, Rd: 1, Imm: -1},          // all ones
+		isa.Instr{Op: isa.ANDI, Rd: 2, Rs1: 1, Imm: -1},  // zext: 0xffffffff
+		isa.Instr{Op: isa.ORI, Rd: 3, Rs1: 0, Imm: -256}, // zext: 0xffffff00
+		isa.Instr{Op: isa.HALT},
+	)
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.X[2] != 0xffffffff {
+		t.Errorf("ANDI zext = %#x", m.X[2])
+	}
+	if m.X[3] != 0xffffff00 {
+		t.Errorf("ORI zext = %#x", m.X[3])
+	}
+}
+
+// pipeFor builds a pipeline with default Table-2 configuration.
+func pipeFor() *Pipeline {
+	return NewPipeline(DefaultPipeConfig(), mem.New(mem.DefaultConfig()), branch.New(branch.DefaultConfig()))
+}
+
+// feedStraight runs n independent ALU instructions through the pipeline,
+// cycling the PC over a small L1I-resident region (a warm loop body).
+func feedStraight(t *testing.T, p *Pipeline, n int) {
+	t.Helper()
+	const loop = 512 * isa.WordSize
+	for i := 0; i < n; i++ {
+		pc := prog.CodeBase + uint64(i*isa.WordSize)%loop
+		// Independent adds across several destination registers.
+		in := isa.Instr{Op: isa.ADD, Rd: uint8(1 + i%8), Rs1: 9, Rs2: 10}
+		if err := p.Next(DynInstr{PC: pc, In: in, NextPC: pc + isa.WordSize}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPipelineILPApproachesWidth(t *testing.T) {
+	p := pipeFor()
+	feedStraight(t, p, 20000)
+	ipc := p.Stats.IPC()
+	// Independent ALU ops, 2 ALUs: steady-state IPC -> 2.
+	if ipc < 1.6 || ipc > 2.2 {
+		t.Errorf("independent-op IPC = %v, want ~2 (ALU-port bound)", ipc)
+	}
+}
+
+func TestPipelineDependentChainSerializes(t *testing.T) {
+	p := pipeFor()
+	const loop = 512 * isa.WordSize
+	for i := 0; i < 10000; i++ {
+		pc := prog.CodeBase + uint64(i*isa.WordSize)%loop
+		in := isa.Instr{Op: isa.ADD, Rd: 1, Rs1: 1, Rs2: 2}
+		if err := p.Next(DynInstr{PC: pc, In: in, NextPC: pc + isa.WordSize}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ipc := p.Stats.IPC()
+	if ipc < 0.8 || ipc > 1.1 {
+		t.Errorf("dependent-chain IPC = %v, want ~1", ipc)
+	}
+}
+
+func TestPipelineMispredictsCostCycles(t *testing.T) {
+	run := func(takenPattern func(i int) bool) uint64 {
+		p := pipeFor()
+		// One warm branch at a fixed PC, taken or not per the pattern.
+		bpc := prog.CodeBase
+		tgt := prog.CodeBase + 64
+		ft := prog.CodeBase + isa.WordSize
+		for i := 0; i < 5000; i++ {
+			next := ft
+			if takenPattern(i) {
+				next = tgt
+			}
+			in := isa.Instr{Op: isa.BNE, Rs1: 1, Rs2: 2, Imm: 64}
+			if err := p.Next(DynInstr{PC: bpc, In: in, NextPC: next}); err != nil {
+				panic(err)
+			}
+			fill := isa.Instr{Op: isa.ADD, Rd: 3, Rs1: 4, Rs2: 5}
+			if err := p.Next(DynInstr{PC: next, In: fill, NextPC: bpc}); err != nil {
+				panic(err)
+			}
+		}
+		return p.Stats.Cycles
+	}
+	lcg := uint64(12345)
+	rnd := func(i int) bool {
+		lcg = lcg*6364136223846793005 + 1
+		return lcg>>63 == 1
+	}
+	always := func(i int) bool { return true }
+	cRandom := run(rnd)
+	cSteady := run(always)
+	if cRandom <= cSteady*2 {
+		t.Errorf("random branches (%d cycles) should cost far more than steady (%d)", cRandom, cSteady)
+	}
+}
+
+func TestPipelineLoadMissesSlowExecution(t *testing.T) {
+	run := func(stride uint64) uint64 {
+		p := pipeFor()
+		pc := prog.CodeBase
+		addr := prog.DataBase
+		for i := 0; i < 3000; i++ {
+			in := isa.Instr{Op: isa.LD, Rd: 1, Rs1: 2}
+			if err := p.Next(DynInstr{PC: pc, In: in, NextPC: pc + isa.WordSize, MemAddr: addr}); err != nil {
+				panic(err)
+			}
+			pc += isa.WordSize
+			addr += stride
+		}
+		return p.Stats.Cycles
+	}
+	sameLine := run(0)
+	farApart := run(8192) // new page every load: TLB + cache misses
+	if farApart <= sameLine*2 {
+		t.Errorf("scattered loads (%d cycles) should cost far more than hot loads (%d)", farApart, sameLine)
+	}
+}
+
+func TestPipelineStoreForwarding(t *testing.T) {
+	p := pipeFor()
+	pc := prog.CodeBase
+	addr := prog.DataBase + 0x100
+	st := isa.Instr{Op: isa.ST, Rs1: 2, Rs2: 3}
+	if err := p.Next(DynInstr{PC: pc, In: st, NextPC: pc + 8, MemAddr: addr}); err != nil {
+		t.Fatal(err)
+	}
+	ld := isa.Instr{Op: isa.LD, Rd: 4, Rs1: 2}
+	if err := p.Next(DynInstr{PC: pc + 8, In: ld, NextPC: pc + 16, MemAddr: addr}); err != nil {
+		t.Fatal(err)
+	}
+	// The load forwarded from the store queue: no ClassData L1D access
+	// beyond the store's own drain.
+	if p.Hier.L1D.Stats.Accesses[mem.ClassData] > 1 {
+		t.Errorf("L1D accesses = %d; load should have forwarded", p.Hier.L1D.Stats.Accesses[mem.ClassData])
+	}
+}
+
+func TestPipelineHookGatesCommit(t *testing.T) {
+	// A hook that delays validation by a huge constant must stretch the
+	// run by about that constant per block.
+	mkRun := func(delay uint64) uint64 {
+		p := pipeFor()
+		p.Hook = func(info BBInfo) (uint64, error) {
+			return info.LastFetch + delay, nil
+		}
+		pc := prog.CodeBase
+		for i := 0; i < 100; i++ {
+			in := isa.Instr{Op: isa.ADD, Rd: 1, Rs1: 1, Rs2: 2}
+			if err := p.Next(DynInstr{PC: pc, In: in, NextPC: pc + 8}); err != nil {
+				panic(err)
+			}
+			pc += 8
+			br := isa.Instr{Op: isa.JMP, Imm: 8}
+			if err := p.Next(DynInstr{PC: pc, In: br, NextPC: pc + 8}); err != nil {
+				panic(err)
+			}
+			pc += 8
+		}
+		return p.Stats.Cycles
+	}
+	// Validation delays overlap across the ROB window (they are not
+	// additive), but the run must stretch measurably and the stalls must
+	// be accounted.
+	fast := mkRun(0)
+	slow := mkRun(500)
+	if slow < fast+300 {
+		t.Errorf("hook delay not honored: fast=%d slow=%d", fast, slow)
+	}
+}
+
+func TestPipelineHookReceivesBlockShape(t *testing.T) {
+	p := pipeFor()
+	var got []BBInfo
+	p.Hook = func(info BBInfo) (uint64, error) {
+		got = append(got, info)
+		return 0, nil
+	}
+	pc := prog.CodeBase
+	// Three ALU ops then a branch: one block of 4 instructions.
+	for i := 0; i < 3; i++ {
+		in := isa.Instr{Op: isa.ADD, Rd: 1, Rs1: 1, Rs2: 2}
+		if err := p.Next(DynInstr{PC: pc, In: in, NextPC: pc + 8}); err != nil {
+			t.Fatal(err)
+		}
+		pc += 8
+	}
+	br := isa.Instr{Op: isa.BEQ, Rs1: 0, Rs2: 0, Imm: 8}
+	if err := p.Next(DynInstr{PC: pc, In: br, NextPC: pc + 8}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("hook calls = %d", len(got))
+	}
+	b := got[0]
+	if b.Start != prog.CodeBase || b.End != pc || b.NumInstrs != 4 || b.Artificial {
+		t.Errorf("BBInfo = %+v", b)
+	}
+	if b.Term != isa.KindCondBranch || b.NextPC != pc+8 {
+		t.Errorf("BBInfo term/next = %v %#x", b.Term, b.NextPC)
+	}
+	if b.LastFetch < b.FirstFetch {
+		t.Error("fetch cycle ordering wrong")
+	}
+}
+
+func TestPipelineArtificialSplit(t *testing.T) {
+	cfg := DefaultPipeConfig()
+	cfg.MaxBBInstrs = 8
+	p := NewPipeline(cfg, mem.New(mem.DefaultConfig()), branch.New(branch.DefaultConfig()))
+	count := 0
+	p.Hook = func(info BBInfo) (uint64, error) {
+		count++
+		if !info.Artificial {
+			t.Error("expected artificial block")
+		}
+		if info.NumInstrs != 8 {
+			t.Errorf("split block has %d instrs", info.NumInstrs)
+		}
+		return 0, nil
+	}
+	pc := prog.CodeBase
+	for i := 0; i < 24; i++ {
+		in := isa.Instr{Op: isa.ADD, Rd: 1, Rs1: 1, Rs2: 2}
+		if err := p.Next(DynInstr{PC: pc, In: in, NextPC: pc + 8}); err != nil {
+			t.Fatal(err)
+		}
+		pc += 8
+	}
+	if count != 3 {
+		t.Errorf("hook called %d times, want 3", count)
+	}
+}
+
+func TestPipelineStoreLimitSplit(t *testing.T) {
+	cfg := DefaultPipeConfig()
+	cfg.MaxBBStores = 2
+	p := NewPipeline(cfg, mem.New(mem.DefaultConfig()), branch.New(branch.DefaultConfig()))
+	count := 0
+	p.Hook = func(info BBInfo) (uint64, error) {
+		count++
+		return 0, nil
+	}
+	pc := prog.CodeBase
+	for i := 0; i < 6; i++ {
+		in := isa.Instr{Op: isa.ST, Rs1: 2, Rs2: 3}
+		if err := p.Next(DynInstr{PC: pc, In: in, NextPC: pc + 8, MemAddr: prog.DataBase + uint64(i*8)}); err != nil {
+			t.Fatal(err)
+		}
+		pc += 8
+	}
+	if count != 3 {
+		t.Errorf("store-limit splits = %d, want 3", count)
+	}
+}
+
+func TestPipelineRASPairsCallsAndReturns(t *testing.T) {
+	p := pipeFor()
+	pc := prog.CodeBase
+	callee := prog.CodeBase + 0x1000
+	for i := 0; i < 500; i++ {
+		call := isa.Instr{Op: isa.CALL, Imm: int32(int64(callee) - int64(pc))}
+		if err := p.Next(DynInstr{PC: pc, In: call, NextPC: callee}); err != nil {
+			t.Fatal(err)
+		}
+		body := isa.Instr{Op: isa.ADD, Rd: 1, Rs1: 1, Rs2: 2}
+		if err := p.Next(DynInstr{PC: callee, In: body, NextPC: callee + 8}); err != nil {
+			t.Fatal(err)
+		}
+		ret := isa.Instr{Op: isa.RET}
+		if err := p.Next(DynInstr{PC: callee + 8, In: ret, NextPC: pc + 8}); err != nil {
+			t.Fatal(err)
+		}
+		pc += 8
+	}
+	if p.Pred.Stats.RASMispredicts > 2 {
+		t.Errorf("RAS mispredicts = %d, matched call/return should predict", p.Pred.Stats.RASMispredicts)
+	}
+}
+
+func TestPipelineUniqueBranchCounting(t *testing.T) {
+	p := pipeFor()
+	pc := prog.CodeBase
+	for i := 0; i < 10; i++ {
+		br := isa.Instr{Op: isa.JMP, Imm: 8}
+		// Same two branch PCs repeatedly.
+		bpc := prog.CodeBase + uint64(i%2)*0x100
+		if err := p.Next(DynInstr{PC: bpc, In: br, NextPC: bpc + 8}); err != nil {
+			t.Fatal(err)
+		}
+		pc += 8
+	}
+	if p.UniqueBranches() != 2 {
+		t.Errorf("unique branches = %d, want 2", p.UniqueBranches())
+	}
+	if p.Stats.CommittedBranches != 10 {
+		t.Errorf("committed branches = %d, want 10", p.Stats.CommittedBranches)
+	}
+}
+
+func TestPipelineHaltNotCountedAsBranch(t *testing.T) {
+	p := pipeFor()
+	in := isa.Instr{Op: isa.HALT}
+	if err := p.Next(DynInstr{PC: prog.CodeBase, In: in, NextPC: prog.CodeBase}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.CommittedBranches != 0 {
+		t.Error("HALT counted as branch")
+	}
+	if p.Stats.BBCount != 1 {
+		t.Error("HALT should end a block")
+	}
+}
+
+func TestPipelineInterruptsDeferToBlockBoundary(t *testing.T) {
+	cfg := DefaultPipeConfig()
+	cfg.InterruptInterval = 500
+	cfg.InterruptHandler = 200
+	p := NewPipeline(cfg, mem.New(mem.DefaultConfig()), branch.New(branch.DefaultConfig()))
+	const loop = 256 * isa.WordSize
+	for i := 0; i < 20000; i++ {
+		pc := prog.CodeBase + uint64(i*isa.WordSize)%loop
+		var in isa.Instr
+		if i%10 == 9 {
+			in = isa.Instr{Op: isa.JMP, Imm: 8}
+		} else {
+			in = isa.Instr{Op: isa.ADD, Rd: 1, Rs1: 2, Rs2: 3}
+		}
+		if err := p.Next(DynInstr{PC: pc, In: in, NextPC: pc + isa.WordSize}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Stats.Interrupts == 0 {
+		t.Fatal("no interrupts serviced")
+	}
+	// Each interrupt costs at least the handler time; total cycles must
+	// reflect that compared to an interrupt-free run.
+	q := pipeFor()
+	feedStraight(t, q, 20000)
+	if p.Stats.Cycles < q.Stats.Cycles+p.Stats.Interrupts*cfg.InterruptHandler/2 {
+		t.Errorf("interrupt cost not visible: %d vs %d cycles (%d interrupts)",
+			p.Stats.Cycles, q.Stats.Cycles, p.Stats.Interrupts)
+	}
+}
+
+func TestPipelineInterruptDeferralAccounted(t *testing.T) {
+	cfg := DefaultPipeConfig()
+	cfg.InterruptInterval = 300
+	cfg.InterruptHandler = 50
+	p := NewPipeline(cfg, mem.New(mem.DefaultConfig()), branch.New(branch.DefaultConfig()))
+	// Long blocks with slow validation: interrupts must wait for the
+	// block-end commit.
+	p.Hook = func(info BBInfo) (uint64, error) { return info.LastFetch + 400, nil }
+	const loop = 256 * isa.WordSize
+	for i := 0; i < 5000; i++ {
+		pc := prog.CodeBase + uint64(i*isa.WordSize)%loop
+		var in isa.Instr
+		if i%20 == 19 {
+			in = isa.Instr{Op: isa.JMP, Imm: 8}
+		} else {
+			in = isa.Instr{Op: isa.ADD, Rd: 1, Rs1: 2, Rs2: 3}
+		}
+		if err := p.Next(DynInstr{PC: pc, In: in, NextPC: pc + isa.WordSize}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Stats.Interrupts == 0 || p.Stats.InterruptDeferCycles == 0 {
+		t.Errorf("deferral not observed: %+v", p.Stats)
+	}
+}

@@ -1,0 +1,257 @@
+// Package cpu implements the simulated processor: a functional execution
+// engine (Machine) defining the ISA semantics, and a cycle-level timing
+// model of the out-of-order pipeline described in Table 2 of the paper
+// (4-wide, 128-entry ROB, 92-entry LSQ, 2 ALU / 2 FPU / 2 load / 2 store
+// units, gshare prediction, two private cache levels and DRAM).
+//
+// The timing model follows the committed path produced by the Machine and
+// charges mispredictions, cache and TLB misses, structural hazards, and —
+// when a REV engine is attached — signature-cache miss stalls and deferred
+// state-update backpressure.
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"rev/internal/isa"
+	"rev/internal/prog"
+)
+
+// Machine is the functional execution engine. It executes instructions from
+// simulated memory, so code injected into memory at run time is executed
+// exactly as hardware would execute it.
+type Machine struct {
+	X   [isa.NumIntRegs]uint64 // integer registers; X[0] always reads 0
+	F   [isa.NumFPRegs]float64 // floating-point registers
+	PC  uint64
+	Mem prog.AddressSpace
+
+	// Output collects values written by OUT, the program's observable
+	// behaviour (used to check that attacks actually change behaviour and
+	// that validated runs behave identically to unvalidated ones).
+	Output []uint64
+
+	// Halted is set by HALT.
+	Halted bool
+
+	// Instret counts retired instructions.
+	Instret uint64
+
+	// SysHandler, if non-nil, receives SYS instructions (service, argument
+	// register value). The REV engine installs its two system calls here.
+	SysHandler func(service int32, arg uint64)
+
+	// BeforeStep, if non-nil, runs before each instruction executes, with
+	// the current PC and decoded instruction. Attack injectors and
+	// profilers hook here.
+	BeforeStep func(pc uint64, in isa.Instr)
+
+	instrBuf [isa.WordSize]byte
+}
+
+// NewMachine creates a machine over the program's memory with the stack
+// pointer initialized and the PC at the main module's entry.
+func NewMachine(p *prog.Program) *Machine {
+	return NewMachineOver(p, p.Mem)
+}
+
+// NewMachineOver creates a machine over an explicit address-space view of
+// the program (e.g. a shadow-paged view).
+func NewMachineOver(p *prog.Program, space prog.AddressSpace) *Machine {
+	m := &Machine{Mem: space}
+	m.X[isa.RegSP] = prog.StackBase
+	if main := p.Main(); main != nil {
+		m.PC = main.EntryAddr()
+	}
+	return m
+}
+
+// ReadReg returns an integer register honoring the zero register.
+func (m *Machine) ReadReg(r uint8) uint64 {
+	if r == isa.RegZero {
+		return 0
+	}
+	return m.X[r]
+}
+
+func (m *Machine) writeReg(r uint8, v uint64) {
+	if r != isa.RegZero {
+		m.X[r] = v
+	}
+}
+
+// Fetch decodes the instruction at the current PC from memory.
+func (m *Machine) Fetch() isa.Instr {
+	m.Mem.ReadBytes(m.PC, m.instrBuf[:])
+	return isa.Decode(m.instrBuf[:])
+}
+
+// Step executes one instruction. It returns the executed instruction, its
+// PC, and an error for illegal opcodes.
+func (m *Machine) Step() (pc uint64, in isa.Instr, err error) {
+	pc = m.PC
+	in = m.Fetch()
+	if m.BeforeStep != nil {
+		m.BeforeStep(pc, in)
+		// The hook may mutate memory (code injection); refetch so the
+		// executed bytes are the post-mutation bytes.
+		in = m.Fetch()
+	}
+	if !in.Op.Valid() {
+		return pc, in, fmt.Errorf("cpu: illegal opcode %d at %#x", uint8(in.Op), pc)
+	}
+	// Register fields are architecturally 5 bits; encodings with
+	// out-of-range fields fault at decode, like any undefined encoding.
+	if in.Rd >= isa.NumIntRegs || in.Rs1 >= isa.NumIntRegs || in.Rs2 >= isa.NumIntRegs {
+		return pc, in, fmt.Errorf("cpu: illegal register field in %v at %#x", in, pc)
+	}
+	next := pc + isa.WordSize
+	s1 := m.ReadReg(in.Rs1)
+	s2 := m.ReadReg(in.Rs2)
+	simm := uint64(int64(in.Imm))  // sign-extended immediate
+	zimm := uint64(uint32(in.Imm)) // zero-extended immediate
+
+	switch in.Op {
+	case isa.NOP:
+	case isa.ADD:
+		m.writeReg(in.Rd, s1+s2)
+	case isa.SUB:
+		m.writeReg(in.Rd, s1-s2)
+	case isa.AND:
+		m.writeReg(in.Rd, s1&s2)
+	case isa.OR:
+		m.writeReg(in.Rd, s1|s2)
+	case isa.XOR:
+		m.writeReg(in.Rd, s1^s2)
+	case isa.SHL:
+		m.writeReg(in.Rd, s1<<(s2&63))
+	case isa.SHR:
+		m.writeReg(in.Rd, s1>>(s2&63))
+	case isa.MUL:
+		m.writeReg(in.Rd, s1*s2)
+	case isa.DIV:
+		if s2 == 0 {
+			m.writeReg(in.Rd, 0)
+		} else {
+			m.writeReg(in.Rd, uint64(int64(s1)/int64(s2)))
+		}
+	case isa.REM:
+		if s2 == 0 {
+			m.writeReg(in.Rd, s1)
+		} else {
+			m.writeReg(in.Rd, uint64(int64(s1)%int64(s2)))
+		}
+	case isa.SLT:
+		m.writeReg(in.Rd, boolToReg(int64(s1) < int64(s2)))
+	case isa.SEQ:
+		m.writeReg(in.Rd, boolToReg(s1 == s2))
+	case isa.ADDI:
+		m.writeReg(in.Rd, s1+simm)
+	case isa.ANDI:
+		m.writeReg(in.Rd, s1&zimm)
+	case isa.ORI:
+		m.writeReg(in.Rd, s1|zimm)
+	case isa.XORI:
+		m.writeReg(in.Rd, s1^zimm)
+	case isa.SHLI:
+		m.writeReg(in.Rd, s1<<(uint32(in.Imm)&63))
+	case isa.SHRI:
+		m.writeReg(in.Rd, s1>>(uint32(in.Imm)&63))
+	case isa.MULI:
+		m.writeReg(in.Rd, s1*simm)
+	case isa.SLTI:
+		m.writeReg(in.Rd, boolToReg(int64(s1) < int64(in.Imm)))
+	case isa.LUI:
+		m.writeReg(in.Rd, uint64(int64(in.Imm))<<32)
+	case isa.FADD:
+		m.F[in.Rd%isa.NumFPRegs] = m.fp(in.Rs1) + m.fp(in.Rs2)
+	case isa.FSUB:
+		m.F[in.Rd%isa.NumFPRegs] = m.fp(in.Rs1) - m.fp(in.Rs2)
+	case isa.FMUL:
+		m.F[in.Rd%isa.NumFPRegs] = m.fp(in.Rs1) * m.fp(in.Rs2)
+	case isa.FDIV:
+		d := m.fp(in.Rs2)
+		if d == 0 {
+			m.F[in.Rd%isa.NumFPRegs] = 0
+		} else {
+			m.F[in.Rd%isa.NumFPRegs] = m.fp(in.Rs1) / d
+		}
+	case isa.FSLT:
+		m.writeReg(in.Rd, boolToReg(m.fp(in.Rs1) < m.fp(in.Rs2)))
+	case isa.ITOF:
+		m.F[in.Rd%isa.NumFPRegs] = float64(int64(s1))
+	case isa.FTOI:
+		f := m.fp(in.Rs1)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			m.writeReg(in.Rd, 0)
+		} else {
+			m.writeReg(in.Rd, uint64(int64(f)))
+		}
+	case isa.LD:
+		m.writeReg(in.Rd, m.Mem.Read64(s1+simm))
+	case isa.ST:
+		m.Mem.Write64(s1+simm, s2)
+	case isa.BEQ:
+		if s1 == s2 {
+			next = pc + simm
+		}
+	case isa.BNE:
+		if s1 != s2 {
+			next = pc + simm
+		}
+	case isa.BLT:
+		if int64(s1) < int64(s2) {
+			next = pc + simm
+		}
+	case isa.BGE:
+		if int64(s1) >= int64(s2) {
+			next = pc + simm
+		}
+	case isa.JMP:
+		next = pc + simm
+	case isa.CALL:
+		m.writeReg(isa.RegRA, pc+isa.WordSize)
+		next = pc + simm
+	case isa.RET:
+		next = m.ReadReg(isa.RegRA)
+	case isa.JR:
+		next = s1
+	case isa.CALLR:
+		m.writeReg(isa.RegRA, pc+isa.WordSize)
+		next = s1
+	case isa.SYS:
+		if m.SysHandler != nil {
+			m.SysHandler(in.Imm, s1)
+		}
+	case isa.OUT:
+		m.Output = append(m.Output, s1)
+	case isa.HALT:
+		m.Halted = true
+		next = pc
+	}
+	m.PC = next
+	m.Instret++
+	return pc, in, nil
+}
+
+// Run executes up to maxInstrs instructions or until HALT. It returns the
+// number executed and any execution error.
+func (m *Machine) Run(maxInstrs uint64) (uint64, error) {
+	start := m.Instret
+	for !m.Halted && m.Instret-start < maxInstrs {
+		if _, _, err := m.Step(); err != nil {
+			return m.Instret - start, err
+		}
+	}
+	return m.Instret - start, nil
+}
+
+func (m *Machine) fp(r uint8) float64 { return m.F[r%isa.NumFPRegs] }
+
+func boolToReg(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,594 @@
+package cpu
+
+import (
+	"rev/internal/branch"
+	"rev/internal/isa"
+	"rev/internal/mem"
+)
+
+// PipeConfig describes the out-of-order core (Table 2) plus the REV
+// deferred-update extensions of Sec. IV.A.
+type PipeConfig struct {
+	FetchWidth    int
+	DispatchWidth int
+	CommitWidth   int
+	ROBSize       int
+	LSQSize       int
+	// FrontendDepth is the pipeline depth in cycles between an
+	// instruction's fetch and its earliest execution; with the execute and
+	// commit stages (2 more cycles minimum) it realizes the paper's S = 16
+	// stages between final fetch and commit, chosen so the 16-cycle CHG
+	// latency is fully overlapped and never stalls commit on an SC hit
+	// (Sec. VI).
+	FrontendDepth uint64
+	// MispredictPenalty is the redirect bubble after a branch resolves on
+	// the wrong path (in addition to refilling FrontendDepth).
+	MispredictPenalty uint64
+	// BTBMissPenalty is the small decode-redirect bubble when a direct
+	// jump/call misses the BTB.
+	BTBMissPenalty uint64
+
+	// Function unit counts (Table 2: 2 ALU, 2 FPU, 2 load, 2 store).
+	IntALU     int
+	FPU        int
+	LoadPorts  int
+	StorePorts int
+
+	// Operation latencies in cycles.
+	LatALU, LatMul, LatDiv, LatFPU, LatFPDiv uint64
+
+	// REV deferred state update (0 disables the extension modelling):
+	// ExtensionSize is the post-commit ROB extension in instructions;
+	// StoreExtension is the store-queue extension in stores. Committed
+	// instructions occupy extension slots until their basic block
+	// validates; a full extension stalls commit (requirement R5).
+	ExtensionSize  int
+	StoreExtension int
+
+	// MaxBBInstrs/MaxBBStores are the artificial basic-block split limits
+	// the front end applies (must match the cfg.Limits used to build the
+	// signature tables).
+	MaxBBInstrs int
+	MaxBBStores int
+
+	// InterruptInterval, when non-zero, raises an external interrupt every
+	// that many cycles. Following Sec. IV.A, external interrupts are
+	// handled only after the current basic block completes validation:
+	// the pipeline is flushed (like a mispredict) and the handler runs for
+	// InterruptHandler cycles before fetch resumes.
+	InterruptInterval uint64
+	InterruptHandler  uint64
+}
+
+// DefaultPipeConfig mirrors Table 2.
+func DefaultPipeConfig() PipeConfig {
+	return PipeConfig{
+		FetchWidth:        4,
+		DispatchWidth:     4,
+		CommitWidth:       4,
+		ROBSize:           128,
+		LSQSize:           92,
+		FrontendDepth:     14,
+		MispredictPenalty: 3,
+		BTBMissPenalty:    2,
+		IntALU:            2,
+		FPU:               2,
+		LoadPorts:         2,
+		StorePorts:        2,
+		LatALU:            1,
+		LatMul:            3,
+		LatDiv:            12,
+		LatFPU:            4,
+		LatFPDiv:          12,
+		ExtensionSize:     64,
+		StoreExtension:    16,
+		MaxBBInstrs:       64,
+		MaxBBStores:       16,
+	}
+}
+
+// DynInstr is one committed-path dynamic instruction handed to the timing
+// model by the driver (the functional Machine produces the stream).
+type DynInstr struct {
+	PC      uint64
+	In      isa.Instr
+	NextPC  uint64 // where control actually went
+	MemAddr uint64 // effective address for LD/ST
+}
+
+// BBInfo describes a dynamic basic block at the moment its terminating
+// instruction has been fetched; the REV engine validates against it.
+type BBInfo struct {
+	Start      uint64
+	End        uint64
+	Term       isa.Kind
+	Artificial bool
+	NumInstrs  int
+	// FirstFetch/LastFetch are the fetch cycles of the block's first and
+	// last instructions (the CHG hashing window).
+	FirstFetch uint64
+	LastFetch  uint64
+	// NextPC is the actual address control flowed to after End.
+	NextPC uint64
+}
+
+// BBHook is implemented by the REV engine. It is invoked once per dynamic
+// basic block and returns the cycle at which validation data (SC entry +
+// CHG digest) is ready; commit of the block's terminating instruction
+// stalls until then. A non-nil error is a validation failure and aborts
+// the run.
+type BBHook func(info BBInfo) (validationReady uint64, err error)
+
+// PipeStats aggregates the run.
+type PipeStats struct {
+	Instrs            uint64
+	Cycles            uint64
+	CommittedBranches uint64
+	Mispredicts       uint64
+	// ValidationStallCycles accumulates commit delay attributable to REV
+	// validation (time validationReady exceeded the commit time the
+	// instruction would otherwise have had).
+	ValidationStallCycles uint64
+	BBCount               uint64
+	// Interrupts counts serviced external interrupts;
+	// InterruptDeferCycles accumulates how long each waited for the
+	// current block's validation boundary (Sec. IV.A).
+	Interrupts           uint64
+	InterruptDeferCycles uint64
+}
+
+// UniqueBranches returns the number of distinct committed control-flow
+// instruction addresses observed so far.
+func (p *Pipeline) UniqueBranches() int { return len(p.uniqueBranches) }
+
+// InBlock reports whether the front end is mid-basic-block (the next
+// instruction would continue the current block). Context switches must
+// wait for a block boundary, as interrupts do (Sec. IV.A).
+func (p *Pipeline) InBlock() bool { return p.bbValid }
+
+// ChargeSwitch models an OS context switch: fetch stops for the given
+// drain/refill penalty after the last commit, and the current fetch line
+// is forgotten.
+func (p *Pipeline) ChargeSwitch(penalty uint64) {
+	p.fetchEarliest = maxU(p.fetchEarliest, p.lastCommit+penalty)
+	p.curLine = 0
+	p.bbValid = false
+}
+
+// IPC returns instructions per cycle.
+func (s *PipeStats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instrs) / float64(s.Cycles)
+}
+
+type pendingStore struct {
+	seq       uint64 // producing store's sequence number
+	dataReady uint64 // cycle the store value is forwardable
+	release   uint64 // cycle the store leaves the (extended) store queue
+}
+
+// Pipeline is the timestamp-based cycle-level model of the OOO core. Every
+// dynamic instruction is assigned fetch, dispatch, execute-complete and
+// commit cycles subject to bandwidth, dependency, structural, memory and —
+// with a BBHook attached — REV validation constraints.
+type Pipeline struct {
+	Cfg  PipeConfig
+	Hier *mem.Hierarchy
+	Pred *branch.Predictor
+	Hook BBHook
+
+	Stats PipeStats
+
+	seq    uint64
+	nMem   uint64 // loads+stores, indexes the LSQ ring
+	nStore uint64 // stores only, indexes the store-extension ring
+
+	// Fetch state.
+	fetchEarliest uint64 // redirect constraint
+	fetchCycleCur uint64
+	fetchedInCur  int
+	curLine       uint64
+	curLineExtra  uint64 // stall contribution of the current line's fill
+
+	// Register scoreboard: int regs then FP regs.
+	regReady [isa.NumIntRegs + isa.NumFPRegs]uint64
+
+	// Function units: next-free cycle per unit, grouped by class.
+	fuALU, fuFPU, fuLoad, fuStore []uint64
+
+	// ROB / LSQ / REV-extension occupancy rings: cycle at which the slot
+	// frees (commit or validation release).
+	robRing   []uint64
+	lsqRing   []uint64
+	extRing   []uint64
+	storeRing []uint64
+
+	// Commit state.
+	lastCommit   uint64
+	commitCycle  uint64
+	commitsInCur int
+
+	// Store-to-load forwarding.
+	stores map[uint64]pendingStore
+
+	// uniqueBranches tracks distinct committed control-flow instruction
+	// addresses (Figure 9's metric).
+	uniqueBranches map[uint64]struct{}
+
+	// Interrupt state.
+	nextInterrupt uint64
+
+	// Current basic-block tracking (front-end view, mirrors the REV
+	// engine's dynamic block delimitation).
+	bbStart      uint64
+	bbFirstFetch uint64
+	bbInstrs     int
+	bbStores     int
+	bbValid      bool
+	// pendingRelease holds instructions of blocks whose validation time is
+	// not yet known; indexed by seq ring below.
+	uncommitted []pendingUnit
+}
+
+type pendingUnit struct {
+	seq      uint64
+	isStore  bool
+	storeIdx uint64 // index among stores (valid when isStore)
+	lsqIdx   uint64 // index in the LSQ ring (valid for loads and stores)
+	isMem    bool
+	memAddr  uint64
+}
+
+// NewPipeline builds a timing model over a memory hierarchy and predictor.
+func NewPipeline(cfg PipeConfig, h *mem.Hierarchy, p *branch.Predictor) *Pipeline {
+	pl := &Pipeline{
+		Cfg:            cfg,
+		Hier:           h,
+		Pred:           p,
+		fuALU:          make([]uint64, cfg.IntALU),
+		fuFPU:          make([]uint64, cfg.FPU),
+		fuLoad:         make([]uint64, cfg.LoadPorts),
+		fuStore:        make([]uint64, cfg.StorePorts),
+		robRing:        make([]uint64, cfg.ROBSize),
+		lsqRing:        make([]uint64, cfg.LSQSize),
+		stores:         make(map[uint64]pendingStore),
+		uniqueBranches: make(map[uint64]struct{}),
+	}
+	if cfg.ExtensionSize > 0 {
+		pl.extRing = make([]uint64, cfg.ExtensionSize)
+	}
+	if cfg.StoreExtension > 0 {
+		pl.storeRing = make([]uint64, cfg.StoreExtension)
+	}
+	pl.nextInterrupt = cfg.InterruptInterval
+	return pl
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// pickFU returns the start cycle on the earliest-free unit and books it.
+func pickFU(units []uint64, earliest, occupancy uint64) uint64 {
+	best := 0
+	for i := 1; i < len(units); i++ {
+		if units[i] < units[best] {
+			best = i
+		}
+	}
+	start := maxU(earliest, units[best])
+	units[best] = start + occupancy
+	return start
+}
+
+// fetchSlot assigns a fetch cycle honoring bandwidth and redirects.
+func (p *Pipeline) fetchSlot(pc uint64) uint64 {
+	c := maxU(p.fetchEarliest, p.fetchCycleCur)
+	// Instruction cache: a new line charges its miss stall to this and
+	// subsequent fetches (hit latency is pipelined away).
+	line := pc &^ (mem.LineSize - 1)
+	if line != p.curLine {
+		done := p.Hier.Instr(pc, c)
+		hit := p.Hier.L1I.Latency()
+		extra := uint64(0)
+		if done > c+hit {
+			extra = done - c - hit
+		}
+		p.curLine = line
+		p.curLineExtra = extra
+	}
+	c += p.curLineExtra
+	p.curLineExtra = 0 // charged once per line
+	if c == p.fetchCycleCur {
+		if p.fetchedInCur >= p.Cfg.FetchWidth {
+			c++
+			p.fetchCycleCur = c
+			p.fetchedInCur = 1
+		} else {
+			p.fetchedInCur++
+		}
+	} else {
+		p.fetchCycleCur = c
+		p.fetchedInCur = 1
+	}
+	return c
+}
+
+func regIdxFP(fp uint8) int { return isa.NumIntRegs + int(fp%isa.NumFPRegs) }
+
+// srcReady returns when the instruction's source operands are available.
+func (p *Pipeline) srcReady(in isa.Instr) uint64 {
+	var r uint64
+	k := in.Kind()
+	switch k {
+	case isa.KindFPU, isa.KindFPDiv:
+		switch in.Op {
+		case isa.ITOF:
+			r = p.regReady[in.Rs1]
+		case isa.FTOI, isa.FSLT:
+			r = maxU(p.regReady[regIdxFP(in.Rs1)], p.regReady[regIdxFP(in.Rs2)])
+		default:
+			r = maxU(p.regReady[regIdxFP(in.Rs1)], p.regReady[regIdxFP(in.Rs2)])
+		}
+	default:
+		r = maxU(p.regReady[in.Rs1], p.regReady[in.Rs2])
+	}
+	if k == isa.KindRet {
+		r = maxU(r, p.regReady[isa.RegRA])
+	}
+	return r
+}
+
+func (p *Pipeline) writeDest(in isa.Instr, done uint64) {
+	k := in.Kind()
+	switch k {
+	case isa.KindFPU, isa.KindFPDiv:
+		switch in.Op {
+		case isa.FTOI, isa.FSLT:
+			if in.Rd != isa.RegZero {
+				p.regReady[in.Rd] = done
+			}
+		default:
+			p.regReady[regIdxFP(in.Rd)] = done
+		}
+	case isa.KindCall, isa.KindICall:
+		p.regReady[isa.RegRA] = done
+	case isa.KindStore, isa.KindCondBranch, isa.KindJump, isa.KindRet, isa.KindIJump, isa.KindSys, isa.KindHalt:
+		// no register result
+	default:
+		if in.Rd != isa.RegZero {
+			p.regReady[in.Rd] = done
+		}
+	}
+}
+
+// predict runs the front-end predictors for a control-flow instruction and
+// returns whether the fetch redirects late (mispredict) plus the penalty
+// class. Called at fetch time; resolution applies at execDone.
+func (p *Pipeline) predict(di DynInstr) (mispredict bool, smallBubble bool) {
+	pc, in := di.PC, di.In
+	switch in.Kind() {
+	case isa.KindCondBranch:
+		taken := di.NextPC != pc+isa.WordSize
+		return !p.Pred.UpdateDirection(pc, taken), false
+	case isa.KindJump:
+		// Direct target, known at decode: BTB miss costs a decode bubble.
+		return false, !p.Pred.UpdateTarget(pc, di.NextPC)
+	case isa.KindCall:
+		p.Pred.PushRAS(pc + isa.WordSize)
+		return false, !p.Pred.UpdateTarget(pc, di.NextPC)
+	case isa.KindRet:
+		return !p.Pred.PopRAS(di.NextPC), false
+	case isa.KindIJump:
+		return !p.Pred.UpdateTarget(pc, di.NextPC), false
+	case isa.KindICall:
+		p.Pred.PushRAS(pc + isa.WordSize)
+		return !p.Pred.UpdateTarget(pc, di.NextPC), false
+	}
+	return false, false
+}
+
+// Next processes one committed dynamic instruction.
+func (p *Pipeline) Next(di DynInstr) error {
+	in := di.In
+	k := in.Kind()
+	i := p.seq
+	p.seq++
+
+	// ---- Fetch ----
+	fetch := p.fetchSlot(di.PC)
+	if !p.bbValid {
+		p.bbStart = di.PC
+		p.bbFirstFetch = fetch
+		p.bbInstrs = 0
+		p.bbStores = 0
+		p.bbValid = true
+	}
+	p.bbInstrs++
+	if k == isa.KindStore {
+		p.bbStores++
+	}
+
+	var mispredict, smallBubble bool
+	if k.IsControlFlow() && k != isa.KindHalt {
+		p.Stats.CommittedBranches++
+		p.uniqueBranches[di.PC] = struct{}{}
+		mispredict, smallBubble = p.predict(di)
+		if mispredict {
+			p.Stats.Mispredicts++
+		}
+	}
+
+	// ---- Dispatch: ROB and LSQ occupancy ----
+	dispatch := fetch + p.Cfg.FrontendDepth
+	dispatch = maxU(dispatch, p.robRing[i%uint64(p.Cfg.ROBSize)])
+	isMem := k == isa.KindLoad || k == isa.KindStore
+	var memSeq, storeIdx uint64
+	if isMem {
+		memSeq = p.nMem
+		p.nMem++
+		dispatch = maxU(dispatch, p.lsqRing[memSeq%uint64(p.Cfg.LSQSize)])
+	}
+	if k == isa.KindStore {
+		storeIdx = p.nStore
+		p.nStore++
+	}
+
+	// ---- Issue / execute ----
+	ready := maxU(dispatch, p.srcReady(in))
+	var done uint64
+	switch k {
+	case isa.KindLoad:
+		start := pickFU(p.fuLoad, ready, 1)
+		addrDone := start + p.Cfg.LatALU
+		if st, ok := p.stores[di.MemAddr]; ok && st.release > addrDone {
+			// Store-to-load forwarding from the (extended) store queue:
+			// the producing store has not yet drained to the cache.
+			done = maxU(addrDone, st.dataReady) + 1
+		} else {
+			done = p.Hier.Data(di.MemAddr, addrDone, false)
+		}
+	case isa.KindStore:
+		start := pickFU(p.fuStore, ready, 1)
+		done = start + p.Cfg.LatALU
+	case isa.KindMul:
+		done = pickFU(p.fuALU, ready, 1) + p.Cfg.LatMul
+	case isa.KindDiv:
+		done = pickFU(p.fuALU, ready, p.Cfg.LatDiv) + p.Cfg.LatDiv
+	case isa.KindFPU:
+		done = pickFU(p.fuFPU, ready, 1) + p.Cfg.LatFPU
+	case isa.KindFPDiv:
+		done = pickFU(p.fuFPU, ready, p.Cfg.LatFPDiv) + p.Cfg.LatFPDiv
+	default:
+		done = pickFU(p.fuALU, ready, 1) + p.Cfg.LatALU
+	}
+	p.writeDest(in, done)
+
+	// Branch resolution redirects the front end.
+	if mispredict {
+		p.fetchEarliest = maxU(p.fetchEarliest, done+p.Cfg.MispredictPenalty)
+		p.curLine = 0 // refetch the target line
+	} else if smallBubble {
+		p.fetchEarliest = maxU(p.fetchEarliest, fetch+p.Cfg.BTBMissPenalty)
+	}
+
+	// ---- Basic block end detection (front-end rule, mirrors cfg.Limits) ----
+	bbEnd := k.IsControlFlow() ||
+		p.bbInstrs >= p.Cfg.MaxBBInstrs || p.bbStores >= p.Cfg.MaxBBStores
+	var validationReady uint64
+	if bbEnd && p.Hook != nil {
+		vr, err := p.Hook(BBInfo{
+			Start:      p.bbStart,
+			End:        di.PC,
+			Term:       k,
+			Artificial: !k.IsControlFlow(),
+			NumInstrs:  p.bbInstrs,
+			FirstFetch: p.bbFirstFetch,
+			LastFetch:  fetch,
+			NextPC:     di.NextPC,
+		})
+		if err != nil {
+			return err
+		}
+		validationReady = vr
+	}
+	if bbEnd {
+		p.Stats.BBCount++
+	}
+
+	// ---- Commit (in order, bandwidth-limited) ----
+	c := maxU(done+1, p.lastCommit)
+	// REV extension occupancy: the slot used by instruction i-E must have
+	// been released (its block validated) before i may commit.
+	if p.extRing != nil {
+		c = maxU(c, p.extRing[i%uint64(len(p.extRing))])
+	}
+	if k == isa.KindStore && p.storeRing != nil {
+		c = maxU(c, p.storeRing[storeIdx%uint64(len(p.storeRing))])
+	}
+	if bbEnd && validationReady > c {
+		p.Stats.ValidationStallCycles += validationReady - c
+		c = validationReady
+	}
+	// Commit bandwidth.
+	if c == p.commitCycle {
+		if p.commitsInCur >= p.Cfg.CommitWidth {
+			c++
+			p.commitCycle = c
+			p.commitsInCur = 1
+		} else {
+			p.commitsInCur++
+		}
+	} else {
+		p.commitCycle = c
+		p.commitsInCur = 1
+	}
+	// External interrupts: serviced only at a validated block boundary.
+	// The wait from the interrupt's arrival to this commit is the deferral
+	// the paper accepts in exchange for precise validated state; servicing
+	// flushes the pipeline and runs the handler before fetch resumes.
+	if bbEnd && p.Cfg.InterruptInterval > 0 && c >= p.nextInterrupt {
+		p.Stats.Interrupts++
+		p.Stats.InterruptDeferCycles += c - p.nextInterrupt
+		resume := c + p.Cfg.InterruptHandler
+		p.fetchEarliest = maxU(p.fetchEarliest, resume)
+		p.curLine = 0 // refetch after the handler
+		for p.nextInterrupt <= c {
+			p.nextInterrupt += p.Cfg.InterruptInterval
+		}
+	}
+
+	p.lastCommit = c
+	p.robRing[i%uint64(p.Cfg.ROBSize)] = c + 1
+	if k == isa.KindLoad {
+		p.lsqRing[memSeq%uint64(p.Cfg.LSQSize)] = c + 1
+	}
+
+	// Deferred release: with REV, instructions (and stores) leave the
+	// extension — and stores drain to the cache — only when their block
+	// validates, which coincides with the block-end commit here (commit of
+	// the terminator already waited for validationReady). Without REV the
+	// release is simply the commit.
+	p.uncommitted = append(p.uncommitted, pendingUnit{
+		seq: i, isStore: k == isa.KindStore, storeIdx: storeIdx,
+		lsqIdx: memSeq, isMem: isMem, memAddr: di.MemAddr,
+	})
+	if k == isa.KindStore {
+		// Forwardable immediately; release filled in at block end.
+		p.stores[di.MemAddr] = pendingStore{seq: i, dataReady: done, release: ^uint64(0)}
+	}
+	if bbEnd {
+		release := c
+		for _, u := range p.uncommitted {
+			if p.extRing != nil {
+				p.extRing[u.seq%uint64(len(p.extRing))] = release + 1
+			}
+			if u.isStore {
+				if p.storeRing != nil {
+					p.storeRing[u.storeIdx%uint64(len(p.storeRing))] = release + 1
+				}
+				p.lsqRing[u.lsqIdx%uint64(p.Cfg.LSQSize)] = release + 1
+				// Drain to the data cache at release; the write is off the
+				// critical path but must touch tags for later accesses.
+				p.Hier.Data(u.memAddr, release, true)
+				if st, ok := p.stores[u.memAddr]; ok && st.seq == u.seq {
+					st.release = release
+					p.stores[u.memAddr] = st
+				}
+			}
+		}
+		p.uncommitted = p.uncommitted[:0]
+		p.bbValid = false
+	}
+
+	p.Stats.Instrs++
+	if c > p.Stats.Cycles {
+		p.Stats.Cycles = c
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+// Package crypt provides the encryption layer protecting REV's reference
+// signature tables in RAM and the CPU-internal key management the paper
+// assumes (Sec. VII, IX).
+//
+// Each module's signature table is encrypted with a per-module symmetric
+// key (AES-128 in counter mode, keyed per entry index so entries can be
+// decrypted at random access on an SC miss). The symmetric key itself is
+// wrapped by a CPU-private key — standing in for the paper's TPM-like
+// attestation inside the CPU — and the wrapped key is stored at the head of
+// the table. The plaintext table key therefore never appears in simulated
+// memory: only the KeyStore, representing logic inside the CPU package, can
+// unwrap it.
+package crypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+)
+
+// KeySize is the symmetric key size in bytes (AES-128).
+const KeySize = 16
+
+// TableKey is a per-module signature-table key.
+type TableKey [KeySize]byte
+
+// WrappedKey is a TableKey encrypted under the CPU-private key. It is safe
+// to store in RAM at the head of a signature table.
+type WrappedKey [KeySize]byte
+
+// Cipher en/decrypts fixed-size signature-table entries addressed by index.
+type Cipher struct {
+	block cipher.Block
+}
+
+// NewCipher returns a Cipher for the given table key.
+func NewCipher(key TableKey) *Cipher {
+	b, err := aes.NewCipher(key[:])
+	if err != nil {
+		// aes.NewCipher only fails on bad key sizes, which the TableKey
+		// type makes impossible.
+		panic(err)
+	}
+	return &Cipher{block: b}
+}
+
+// XORKeyStreamAt XORs data with the keystream for entry index idx. Because
+// CTR is an XOR stream, the same call both encrypts and decrypts. Entries
+// up to 4096 bytes are supported (256 blocks per index).
+func (c *Cipher) XORKeyStreamAt(idx uint64, data []byte) {
+	if len(data) > 4096 {
+		panic("crypt: entry too large")
+	}
+	var ctr, ks [aes.BlockSize]byte
+	for blk := 0; blk*aes.BlockSize < len(data); blk++ {
+		binary.LittleEndian.PutUint64(ctr[0:], idx)
+		ctr[8] = byte(blk)
+		c.block.Encrypt(ks[:], ctr[:])
+		lo := blk * aes.BlockSize
+		hi := lo + aes.BlockSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		for i := lo; i < hi; i++ {
+			data[i] ^= ks[i-lo]
+		}
+	}
+}
+
+// EncryptEntry encrypts an entry in place.
+func (c *Cipher) EncryptEntry(idx uint64, entry []byte) { c.XORKeyStreamAt(idx, entry) }
+
+// DecryptEntry decrypts an entry in place.
+func (c *Cipher) DecryptEntry(idx uint64, entry []byte) { c.XORKeyStreamAt(idx, entry) }
+
+// KeyStore models the TPM-like key facility inside the CPU: it holds the
+// CPU-private key and performs wrap/unwrap without ever exposing either the
+// private key or unwrapped table keys to simulated memory.
+type KeyStore struct {
+	cpu cipher.Block
+}
+
+// NewKeyStore creates a key store from the CPU-private key material.
+func NewKeyStore(cpuKey TableKey) *KeyStore {
+	b, err := aes.NewCipher(cpuKey[:])
+	if err != nil {
+		panic(err)
+	}
+	return &KeyStore{cpu: b}
+}
+
+// Wrap encrypts a table key under the CPU-private key for storage in RAM.
+func (ks *KeyStore) Wrap(k TableKey) WrappedKey {
+	var w WrappedKey
+	ks.cpu.Encrypt(w[:], k[:])
+	return w
+}
+
+// Unwrap recovers a table key from its wrapped form. In hardware this
+// happens inside the CPU only.
+func (ks *KeyStore) Unwrap(w WrappedKey) TableKey {
+	var k TableKey
+	ks.cpu.Decrypt(k[:], w[:])
+	return k
+}
+
+// DeriveKey deterministically derives key material from a seed and a label,
+// giving experiments reproducible per-module keys. Derivation runs the seed
+// through AES in a simple Davies–Meyer-like construction; it is a
+// simulation convenience, not a KDF recommendation.
+func DeriveKey(seed uint64, label string) TableKey {
+	var k TableKey
+	binary.LittleEndian.PutUint64(k[:8], seed)
+	binary.LittleEndian.PutUint64(k[8:], uint64(len(label))*0x9e3779b97f4a7c15+1)
+	b, err := aes.NewCipher(k[:])
+	if err != nil {
+		panic(err)
+	}
+	var in, out [aes.BlockSize]byte
+	copy(in[:], label)
+	b.Encrypt(out[:], in[:])
+	var res TableKey
+	copy(res[:], out[:])
+	for i := 0; i < len(label); i++ {
+		res[i%KeySize] ^= label[i]
+	}
+	// One more mix so trailing label bytes diffuse fully.
+	b2, err := aes.NewCipher(res[:])
+	if err != nil {
+		panic(err)
+	}
+	b2.Encrypt(out[:], in[:])
+	copy(res[:], out[:])
+	return res
+}
+
+// String renders a key fingerprint (first 4 bytes) for logs without leaking
+// the whole key.
+func (k TableKey) String() string {
+	return fmt.Sprintf("key[%02x%02x%02x%02x…]", k[0], k[1], k[2], k[3])
+}

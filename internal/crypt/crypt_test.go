@@ -1,0 +1,138 @@
+package crypt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	c := NewCipher(DeriveKey(1, "mod"))
+	entry := []byte("0123456789abcdef0123456789abcdef") // 32 bytes
+	orig := append([]byte(nil), entry...)
+	c.EncryptEntry(7, entry)
+	if bytes.Equal(entry, orig) {
+		t.Fatal("encryption left entry unchanged")
+	}
+	c.DecryptEntry(7, entry)
+	if !bytes.Equal(entry, orig) {
+		t.Fatal("decrypt(encrypt(x)) != x")
+	}
+}
+
+func TestEntryIndexBindsKeystream(t *testing.T) {
+	c := NewCipher(DeriveKey(1, "mod"))
+	e1 := make([]byte, 32)
+	e2 := make([]byte, 32)
+	c.EncryptEntry(1, e1)
+	c.EncryptEntry(2, e2)
+	if bytes.Equal(e1, e2) {
+		t.Error("identical plaintext at different indices must encrypt differently")
+	}
+	// Decrypting with the wrong index must not recover plaintext.
+	c.DecryptEntry(2, e1)
+	if bytes.Equal(e1, make([]byte, 32)) {
+		t.Error("wrong-index decryption recovered plaintext")
+	}
+}
+
+func TestDifferentKeysDiffer(t *testing.T) {
+	a := NewCipher(DeriveKey(1, "a"))
+	b := NewCipher(DeriveKey(1, "b"))
+	e1 := make([]byte, 32)
+	e2 := make([]byte, 32)
+	a.EncryptEntry(0, e1)
+	b.EncryptEntry(0, e2)
+	if bytes.Equal(e1, e2) {
+		t.Error("different keys produced identical ciphertext")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	c := NewCipher(DeriveKey(99, "prop"))
+	f := func(idx uint64, data []byte) bool {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		orig := append([]byte(nil), data...)
+		c.EncryptEntry(idx, data)
+		c.DecryptEntry(idx, data)
+		return bytes.Equal(orig, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOddLengthEntries(t *testing.T) {
+	c := NewCipher(DeriveKey(5, "odd"))
+	for _, n := range []int{1, 7, 15, 16, 17, 31, 33, 100} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		orig := append([]byte(nil), data...)
+		c.EncryptEntry(3, data)
+		c.DecryptEntry(3, data)
+		if !bytes.Equal(orig, data) {
+			t.Errorf("round trip failed for length %d", n)
+		}
+	}
+}
+
+func TestOversizeEntryPanics(t *testing.T) {
+	c := NewCipher(DeriveKey(0, "x"))
+	defer func() {
+		if recover() == nil {
+			t.Error("oversize entry should panic")
+		}
+	}()
+	c.EncryptEntry(0, make([]byte, 5000))
+}
+
+func TestKeyStoreWrapUnwrap(t *testing.T) {
+	ks := NewKeyStore(DeriveKey(42, "cpu"))
+	k := DeriveKey(7, "module")
+	w := ks.Wrap(k)
+	if bytes.Equal(w[:], k[:]) {
+		t.Error("wrapped key equals plaintext key")
+	}
+	got := ks.Unwrap(w)
+	if got != k {
+		t.Error("unwrap(wrap(k)) != k")
+	}
+	// A different CPU cannot unwrap it.
+	other := NewKeyStore(DeriveKey(43, "cpu"))
+	if other.Unwrap(w) == k {
+		t.Error("foreign CPU unwrapped the key")
+	}
+}
+
+func TestDeriveKeyDistinct(t *testing.T) {
+	seen := map[TableKey]string{}
+	cases := []struct {
+		seed  uint64
+		label string
+	}{
+		{1, "a"}, {1, "b"}, {2, "a"}, {2, "b"}, {1, "ab"}, {1, "ba"},
+		{1, "mod1"}, {1, "mod2"},
+	}
+	for _, c := range cases {
+		k := DeriveKey(c.seed, c.label)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("DeriveKey(%d,%q) collides with %s", c.seed, c.label, prev)
+		}
+		seen[k] = c.label
+	}
+	if DeriveKey(1, "a") != DeriveKey(1, "a") {
+		t.Error("DeriveKey not deterministic")
+	}
+}
+
+func TestKeyStringDoesNotLeak(t *testing.T) {
+	k := DeriveKey(1, "secret")
+	s := k.String()
+	if len(s) > 24 {
+		t.Errorf("fingerprint too long: %q", s)
+	}
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"rev/internal/cfg"
+	"rev/internal/workload"
+)
+
+// BlockStats builds the reference CFG for a workload (profiling a twin
+// instance for computed targets plus static analysis, exactly as
+// protection does) and returns its classic (partitioned) and dynamic-entry
+// block statistics. The classic numbers are comparable to the paper's
+// Sec. VIII; the dynamic numbers describe the validation model's
+// enumerated blocks.
+func BlockStats(p workload.Profile, profileInstrs uint64) (classic, dynamic cfg.Stats, err error) {
+	twin, err := p.Builder()()
+	if err != nil {
+		return cfg.Stats{}, cfg.Stats{}, err
+	}
+	prof, err := cfg.ProfileRun(twin, profileInstrs)
+	if err != nil {
+		return cfg.Stats{}, cfg.Stats{}, err
+	}
+	inst, err := p.Builder()()
+	if err != nil {
+		return cfg.Stats{}, cfg.Stats{}, err
+	}
+	bld := cfg.NewBuilder(inst.Main(), cfg.DefaultLimits())
+	prof.Apply(bld)
+	cfg.Analyze(inst, cfg.DefaultAnalyzeOptions()).Apply(bld)
+	g, err := bld.Build()
+	if err != nil {
+		return cfg.Stats{}, cfg.Stats{}, err
+	}
+	return g.ClassicStats(), g.Stats(), nil
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rev/internal/workload"
+)
+
+// quickSuite shares one tiny suite across tests (results are cached).
+var quickSuite = NewSuite(QuickConfig())
+
+func TestFig6IPCOrdering(t *testing.T) {
+	tbl, err := quickSuite.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(Benchmarks())+1 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+	// REV IPC never exceeds base IPC for any benchmark.
+	for _, b := range Benchmarks() {
+		base, _ := quickSuite.Run(b, Base, 0)
+		r32, _ := quickSuite.Run(b, REVNormal, 32)
+		if r32.IPC() > base.IPC()*1.0001 {
+			t.Errorf("%s: REV IPC %v exceeds base %v", b, r32.IPC(), base.IPC())
+		}
+	}
+}
+
+func TestFig7SCSizeOrdering(t *testing.T) {
+	if _, err := quickSuite.Fig7(); err != nil {
+		t.Fatal(err)
+	}
+	// Bigger SC cannot have more misses.
+	for _, b := range Benchmarks() {
+		r32, _ := quickSuite.Run(b, REVNormal, 32)
+		r64, _ := quickSuite.Run(b, REVNormal, 64)
+		if r64.SC.Misses > r32.SC.Misses {
+			t.Errorf("%s: 64KB misses (%d) > 32KB misses (%d)", b, r64.SC.Misses, r32.SC.Misses)
+		}
+	}
+}
+
+func TestFig8Fig9Populated(t *testing.T) {
+	t8, err := quickSuite.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t9, err := quickSuite.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t8.Rows) != len(Benchmarks()) || len(t9.Rows) != len(Benchmarks()) {
+		t.Error("figure tables incomplete")
+	}
+}
+
+func TestFig10Fig11Consistency(t *testing.T) {
+	if _, err := quickSuite.Fig10(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := quickSuite.Fig11(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range Benchmarks() {
+		r, _ := quickSuite.Run(b, REVNormal, 32)
+		// Every SC miss triggers at least one class-SC L1D access.
+		if r.SC.Misses > 0 && r.L1D.Accesses[1] == 0 {
+			t.Errorf("%s: SC misses with no SC-class memory accesses", b)
+		}
+		if r.SC.Probes == 0 {
+			t.Errorf("%s: no SC probes", b)
+		}
+	}
+}
+
+func TestFig12AggressiveRuns(t *testing.T) {
+	tbl, err := quickSuite.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "average") {
+		t.Error("missing average row")
+	}
+}
+
+func TestCFIOnlyCheaper(t *testing.T) {
+	if _, err := quickSuite.CFIOnly(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range Benchmarks() {
+		n, _ := quickSuite.Run(b, REVNormal, 32)
+		c, _ := quickSuite.Run(b, REVCFIOnly, 32)
+		if c.SC.Probes > n.SC.Probes {
+			t.Errorf("%s: CFI-only probes (%d) exceed normal (%d)", b, c.SC.Probes, n.SC.Probes)
+		}
+	}
+}
+
+func TestTableSizesOrdering(t *testing.T) {
+	if _, err := quickSuite.TableSizes(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range Benchmarks() {
+		n, _ := quickSuite.Run(b, REVNormal, 32)
+		a, _ := quickSuite.Run(b, REVAggressive, 32)
+		c, _ := quickSuite.Run(b, REVCFIOnly, 32)
+		rn, ra, rc := n.Tables[0].SizeRatio(), a.Tables[0].SizeRatio(), c.Tables[0].SizeRatio()
+		if rc >= rn {
+			t.Errorf("%s: CFI-only ratio %.3f >= normal %.3f", b, rc, rn)
+		}
+		if ra < rn {
+			t.Errorf("%s: aggressive ratio %.3f < normal %.3f", b, ra, rn)
+		}
+	}
+}
+
+func TestBBStatsTable(t *testing.T) {
+	tbl, err := quickSuite.BBStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(Benchmarks()) {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestTable1AllDetected(t *testing.T) {
+	tbl, err := Table1(80_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	if strings.Contains(out, "false") {
+		t.Errorf("Table 1 contains an undetected or ineffective attack:\n%s", out)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Errorf("Table 1 rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestTable2AndPowerRender(t *testing.T) {
+	t2 := Table2()
+	if !strings.Contains(t2.String(), "gshare") {
+		t.Error("Table 2 missing predictor row")
+	}
+	p := Power()
+	if len(p.Rows) != 3 {
+		t.Errorf("power rows = %d", len(p.Rows))
+	}
+}
+
+func TestBlockStatsHelper(t *testing.T) {
+	p, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic, dynamic, err := BlockStats(p.Scaled(0.01), 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classic.NumBlocks == 0 || classic.AvgInstrs == 0 {
+		t.Errorf("classic stats empty: %+v", classic)
+	}
+	if dynamic.NumBlocks < classic.NumBlocks {
+		t.Errorf("dynamic enumeration (%d) cannot be smaller than the partition (%d)",
+			dynamic.NumBlocks, classic.NumBlocks)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Base.String() != "base" || REVNormal.String() != "rev" ||
+		REVAggressive.String() != "rev-aggressive" || REVCFIOnly.String() != "rev-cfi-only" {
+		t.Error("variant names wrong")
+	}
+}
+
+func TestSoftCFIBaseline(t *testing.T) {
+	tbl, err := quickSuite.SoftCFI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(Benchmarks())+1 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rev/internal/core"
+	"rev/internal/prog"
+	"rev/internal/softcfi"
+	"rev/internal/stats"
+	"rev/internal/workload"
+)
+
+// SoftCFI runs the software-CFI baseline comparison: the same fixed amount
+// of work (a bounded number of outer iterations per workload) executed by
+// the uninstrumented binary on the base core, by an inline-label-check
+// instrumented binary (Abadi-style CFI, built by static binary rewriting)
+// on the base core, and under REV. The paper's motivation — software CFI
+// costs tens of percent where REV costs ~2% — is the target shape.
+func (s *Suite) SoftCFI() (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Software-CFI baseline vs REV (fixed work per benchmark)",
+		Headers: []string{"benchmark", "soft-CFI slowdown", "REV-32KB overhead", "added instrs", "checks"},
+	}
+	iters := 12
+	if s.Cfg.Scale >= 0.5 {
+		iters = 30
+	}
+	budget := s.Cfg.MaxInstrs * 8
+	var soft, revs []float64
+	for _, name := range Benchmarks() {
+		p, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		p = p.Scaled(s.Cfg.Scale)
+		p.OuterIters = iters
+
+		baseRes, err := s.runBounded(p.Builder(), budget)
+		if err != nil {
+			return nil, fmt.Errorf("softcfi %s base: %w", name, err)
+		}
+		var st softcfi.Stats
+		instBuilder := func() (*prog.Program, error) {
+			m, err := p.Generate()
+			if err != nil {
+				return nil, err
+			}
+			targets := softcfi.JumpTableTargets(m, prog.CodeBase)
+			im, stt, err := softcfi.InstrumentForJumpTargets(m, prog.CodeBase, targets)
+			if err != nil {
+				return nil, err
+			}
+			st = stt
+			pr := prog.NewProgram()
+			if err := pr.Load(im); err != nil {
+				return nil, err
+			}
+			return pr, nil
+		}
+		softRes, err := s.runBounded(instBuilder, budget)
+		if err != nil {
+			return nil, fmt.Errorf("softcfi %s instrumented: %w", name, err)
+		}
+		if !baseRes.Halted || !softRes.Halted {
+			return nil, fmt.Errorf("softcfi %s: fixed-work run did not halt (budget too small)", name)
+		}
+		// A CFI trap would cut the run short with a trailing 0 marker.
+		if n := len(softRes.Output); n > 0 && n != len(baseRes.Output) {
+			return nil, fmt.Errorf("softcfi %s: instrumented output diverged (false trap?)", name)
+		}
+
+		revBounded, err := s.runBoundedREV(p.Builder(), budget)
+		if err != nil {
+			return nil, fmt.Errorf("softcfi %s rev: %w", name, err)
+		}
+		softPct := 100 * (float64(softRes.Pipe.Cycles) - float64(baseRes.Pipe.Cycles)) / float64(baseRes.Pipe.Cycles)
+		revPct := 100 * (float64(revBounded.Pipe.Cycles) - float64(baseRes.Pipe.Cycles)) / float64(baseRes.Pipe.Cycles)
+		soft = append(soft, softPct)
+		revs = append(revs, revPct)
+		t.AddRow(name, stats.Pct(softPct), stats.Pct(revPct),
+			fmt.Sprint(st.AddedInstrs), fmt.Sprint(st.IndirectSites+st.ReturnSites))
+	}
+	t.AddRow("average", stats.Pct(stats.Mean(soft)), stats.Pct(stats.Mean(revs)), "", "")
+	t.AddNote("paper positioning: software CFI variants cost up to ~45%% (Sec. II); REV stays ~2%%")
+	return t, nil
+}
+
+// runBounded runs a fixed-work builder on the base core to completion.
+func (s *Suite) runBounded(build func() (*prog.Program, error), budget uint64) (*core.Result, error) {
+	rc := core.DefaultRunConfig()
+	rc.MaxInstrs = budget
+	return core.Run(build, rc)
+}
+
+// runBoundedREV runs a fixed-work builder under default REV to completion.
+func (s *Suite) runBoundedREV(build func() (*prog.Program, error), budget uint64) (*core.Result, error) {
+	rc := core.DefaultRunConfig()
+	rc.MaxInstrs = budget
+	rev := core.DefaultConfig()
+	rc.REV = &rev
+	res, err := core.Run(build, rc)
+	if err != nil {
+		return nil, err
+	}
+	if res.Violation != nil {
+		return nil, fmt.Errorf("unexpected violation: %v", res.Violation)
+	}
+	return res, nil
+}

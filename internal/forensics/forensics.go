@@ -1,0 +1,150 @@
+// Package forensics implements the paper's closing suggestion (Sec. X):
+// "failed validation attempts can reveal signatures of the offending code
+// that can be used to detect them later." A violation Record captures the
+// offending dynamic block — its address range, raw instruction bytes as
+// fetched, computed signature, and the control-flow context — and a
+// Blacklist matches future blocks against previously captured attack
+// signatures, giving an IDS-style second line that recognizes repeat
+// payloads even before (or independent of) reference-table validation.
+package forensics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rev/internal/chash"
+	"rev/internal/isa"
+	"rev/internal/prog"
+)
+
+// Record is the captured evidence of one failed validation.
+type Record struct {
+	// Reason is the violation class name (core.ViolationReason.String()).
+	Reason string
+	// BBStart/BBEnd delimit the offending dynamic block.
+	BBStart, BBEnd uint64
+	// Offending is the target/predecessor address that failed, if any.
+	Offending uint64
+	// Code holds the block's instruction bytes exactly as fetched.
+	Code []byte
+	// Sig is the truncated CubeHash signature of the captured block — the
+	// attack's fingerprint.
+	Sig chash.Sig
+	// Seq is a capture sequence number (the i-th violation recorded).
+	Seq uint64
+	// When is the wall-clock capture time (diagnostics only; simulation
+	// results never depend on it).
+	When time.Time
+}
+
+// Disassemble renders the captured code.
+func (r *Record) Disassemble() string {
+	var b strings.Builder
+	for off := 0; off+isa.WordSize <= len(r.Code); off += isa.WordSize {
+		in := isa.Decode(r.Code[off:])
+		fmt.Fprintf(&b, "%#x: %s\n", r.BBStart+uint64(off), in)
+	}
+	return b.String()
+}
+
+// Log accumulates violation records.
+type Log struct {
+	Records []Record
+}
+
+// Capture snapshots the offending block from memory.
+func (l *Log) Capture(reason string, start, end, offending uint64, mem prog.AddressSpace) *Record {
+	n := int(end-start)/isa.WordSize + 1
+	if n < 1 || n > 4096 {
+		n = 1
+	}
+	code := make([]byte, n*isa.WordSize)
+	mem.ReadBytes(start, code)
+	rec := Record{
+		Reason:    reason,
+		BBStart:   start,
+		BBEnd:     end,
+		Offending: offending,
+		Code:      code,
+		Sig:       chash.BBSignature(code, start, end),
+		Seq:       uint64(len(l.Records)),
+		When:      time.Now(),
+	}
+	l.Records = append(l.Records, rec)
+	return &l.Records[len(l.Records)-1]
+}
+
+// Blacklist is a set of known-bad block signatures: the fingerprints of
+// previously captured attack payloads. Matching is position-independent in
+// spirit: both the placed signature (including addresses) and the bare
+// code-byte signature are indexed, so a payload reinjected at a different
+// address still matches by its bytes.
+type Blacklist struct {
+	placed map[chash.Sig]string // full BBSignature -> reason
+	bytes  map[chash.Sig]string // address-independent code hash -> reason
+}
+
+// NewBlacklist returns an empty blacklist.
+func NewBlacklist() *Blacklist {
+	return &Blacklist{
+		placed: make(map[chash.Sig]string),
+		bytes:  make(map[chash.Sig]string),
+	}
+}
+
+// byteSig hashes code bytes only (position independent).
+func byteSig(code []byte) chash.Sig {
+	return chash.BBSignature(code, 0, 0)
+}
+
+// AddRecord fingerprints a captured violation.
+func (b *Blacklist) AddRecord(r *Record) {
+	b.placed[r.Sig] = r.Reason
+	b.bytes[byteSig(r.Code)] = r.Reason
+}
+
+// AddLog ingests every record of a log.
+func (b *Blacklist) AddLog(l *Log) {
+	for i := range l.Records {
+		b.AddRecord(&l.Records[i])
+	}
+}
+
+// Len returns the number of distinct byte fingerprints.
+func (b *Blacklist) Len() int { return len(b.bytes) }
+
+// MatchPlaced checks a placed block signature.
+func (b *Blacklist) MatchPlaced(sig chash.Sig) (string, bool) {
+	r, ok := b.placed[sig]
+	return r, ok
+}
+
+// MatchCode checks raw block bytes, independent of load address.
+func (b *Blacklist) MatchCode(code []byte) (string, bool) {
+	r, ok := b.bytes[byteSig(code)]
+	return r, ok
+}
+
+// Report renders the log like an incident summary.
+func (l *Log) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d validation failure(s) captured\n", len(l.Records))
+	recs := append([]Record(nil), l.Records...)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	for _, r := range recs {
+		fmt.Fprintf(&b, "[%d] %s block=[%#x,%#x] offending=%#x sig=%08x\n",
+			r.Seq, r.Reason, r.BBStart, r.BBEnd, r.Offending, uint32(r.Sig))
+		b.WriteString(indent(r.Disassemble()))
+	}
+	return b.String()
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "    " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,90 @@
+package forensics
+
+import (
+	"strings"
+	"testing"
+
+	"rev/internal/isa"
+	"rev/internal/prog"
+)
+
+func sampleMem() *prog.Memory {
+	m := prog.NewMemory()
+	code := []isa.Instr{
+		{Op: isa.ADDI, Rd: 4, Imm: 0x666},
+		{Op: isa.OUT, Rs1: 4},
+		{Op: isa.RET},
+	}
+	for i, in := range code {
+		var buf [isa.WordSize]byte
+		in.EncodeTo(buf[:])
+		m.WriteBytes(0x1000+uint64(i*isa.WordSize), buf[:])
+	}
+	return m
+}
+
+func TestCaptureSnapshotsBlock(t *testing.T) {
+	mem := sampleMem()
+	var l Log
+	rec := l.Capture("hash-mismatch", 0x1000, 0x1010, 0x1010, mem)
+	if len(rec.Code) != 24 {
+		t.Fatalf("captured %d bytes", len(rec.Code))
+	}
+	dis := rec.Disassemble()
+	if !strings.Contains(dis, "out r4") || !strings.Contains(dis, "ret") {
+		t.Errorf("disassembly wrong:\n%s", dis)
+	}
+	if rec.Sig == 0 {
+		t.Error("no signature computed")
+	}
+	if len(l.Records) != 1 || l.Records[0].Seq != 0 {
+		t.Errorf("log bookkeeping wrong: %+v", l.Records)
+	}
+}
+
+func TestBlacklistMatchesByPlacementAndBytes(t *testing.T) {
+	mem := sampleMem()
+	var l Log
+	rec := l.Capture("hash-mismatch", 0x1000, 0x1010, 0, mem)
+	bl := NewBlacklist()
+	bl.AddRecord(rec)
+	if bl.Len() != 1 {
+		t.Errorf("len = %d", bl.Len())
+	}
+	if _, ok := bl.MatchPlaced(rec.Sig); !ok {
+		t.Error("placed signature should match")
+	}
+	if _, ok := bl.MatchCode(rec.Code); !ok {
+		t.Error("code bytes should match regardless of address")
+	}
+	// A different payload must not match.
+	other := append([]byte(nil), rec.Code...)
+	other[0] ^= 0xff
+	if _, ok := bl.MatchCode(other); ok {
+		t.Error("modified payload must not match")
+	}
+}
+
+func TestAddLogIngestsAll(t *testing.T) {
+	mem := sampleMem()
+	var l Log
+	l.Capture("a", 0x1000, 0x1008, 0, mem)
+	l.Capture("b", 0x1008, 0x1010, 0, mem)
+	bl := NewBlacklist()
+	bl.AddLog(&l)
+	if bl.Len() != 2 {
+		t.Errorf("len = %d, want 2", bl.Len())
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	mem := sampleMem()
+	var l Log
+	l.Capture("illegal-return", 0x1000, 0x1010, 0xdead, mem)
+	rep := l.Report()
+	for _, want := range []string{"1 validation failure", "illegal-return", "0xdead", "out r4"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package isa defines the instruction set architecture executed by the
+// simulated out-of-order core.
+//
+// The paper evaluates REV on the x86-64 ISA under the MARSS simulator; the
+// mechanism itself is ISA-agnostic (it hashes raw instruction bytes of a
+// basic block and validates control-flow edges between basic blocks). This
+// package provides a compact 64-bit RISC-style ISA with a fixed 8-byte
+// encoding so that instruction bytes are a concrete, attackable artifact:
+// code-injection attacks overwrite these bytes in simulated memory and the
+// crypto hash of the fetched bytes is what REV validates.
+//
+// Instruction word layout (little-endian uint64):
+//
+//	byte 0   opcode
+//	byte 1   rd  (destination register)
+//	byte 2   rs1 (source register 1)
+//	byte 3   rs2 (source register 2)
+//	bytes 4-7 imm (signed 32-bit immediate)
+//
+// Control transfers are PC-relative (imm counts bytes) except the computed
+// forms (JR, CALLR) and RET, whose targets come from registers at run time.
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// WordSize is the size in bytes of every instruction encoding.
+const WordSize = 8
+
+// NumIntRegs and NumFPRegs give the architectural register file sizes.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 16
+)
+
+// Well-known integer registers. R0 always reads as zero. RA receives the
+// return address on CALL/CALLR and is the target source of RET. SP is the
+// stack pointer by software convention.
+const (
+	RegZero = 0
+	RegRA   = 31
+	RegSP   = 30
+)
+
+// Op is an opcode.
+type Op uint8
+
+// Opcodes. The numeric values are part of the binary encoding and must not
+// be reordered once programs are serialized.
+const (
+	NOP Op = iota
+
+	// Integer ALU, register-register.
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	SHL
+	SHR
+	MUL
+	DIV
+	REM
+	SLT // rd = (rs1 < rs2) signed
+	SEQ // rd = (rs1 == rs2)
+
+	// Integer ALU, register-immediate.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SHLI
+	SHRI
+	MULI
+	SLTI
+	LUI // rd = imm << 32
+
+	// Floating point (operates on the FP register file; rd/rs1/rs2 index FP
+	// registers).
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FSLT // int rd = (f[rs1] < f[rs2])
+	ITOF // f[rd] = float64(x[rs1])
+	FTOI // x[rd] = int64(f[rs1])
+
+	// Memory. Addresses are rs1 + imm; values are 64-bit.
+	LD // rd = mem[rs1+imm]
+	ST // mem[rs1+imm] = rs2
+
+	// Control flow.
+	BEQ   // if rs1 == rs2: PC += imm
+	BNE   // if rs1 != rs2: PC += imm
+	BLT   // if rs1 <  rs2 (signed): PC += imm
+	BGE   // if rs1 >= rs2 (signed): PC += imm
+	JMP   // PC += imm
+	CALL  // RA = PC+8; PC += imm
+	RET   // PC = RA
+	JR    // PC = rs1 (computed jump)
+	CALLR // RA = PC+8; PC = rs1 (computed call)
+
+	// System.
+	SYS  // system call; imm selects the service (see Sys* constants)
+	OUT  // append rs1 to the machine's output log (observable behaviour)
+	HALT // stop execution
+
+	numOps // sentinel
+)
+
+// System call numbers used with SYS. The paper requires exactly two system
+// calls for REV (Sec. VII): one to load the signature-table base/limit/key
+// registers of the SAG, and one to enable or disable validation around
+// trusted self-modifying code.
+const (
+	SysREVSetTable = 1 // rs1 = module id whose table registers to load
+	SysREVEnable   = 2 // rs1 != 0 enables validation, 0 disables
+)
+
+var opNames = [numOps]string{
+	NOP: "nop",
+	ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	SHL: "shl", SHR: "shr", MUL: "mul", DIV: "div", REM: "rem",
+	SLT: "slt", SEQ: "seq",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori",
+	SHLI: "shli", SHRI: "shri", MULI: "muli", SLTI: "slti", LUI: "lui",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv",
+	FSLT: "fslt", ITOF: "itof", FTOI: "ftoi",
+	LD: "ld", ST: "st",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge",
+	JMP: "jmp", CALL: "call", RET: "ret", JR: "jr", CALLR: "callr",
+	SYS: "sys", OUT: "out", HALT: "halt",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps && (o == NOP || opNames[o] != "") }
+
+// Kind classifies an instruction for the pipeline and for control-flow
+// analysis.
+type Kind uint8
+
+const (
+	KindALU Kind = iota
+	KindMul
+	KindDiv
+	KindFPU
+	KindFPDiv
+	KindLoad
+	KindStore
+	KindCondBranch
+	KindJump  // direct unconditional
+	KindCall  // direct call
+	KindRet   // return (computed: target from RA)
+	KindIJump // computed jump
+	KindICall // computed call
+	KindSys
+	KindHalt
+)
+
+var kindNames = map[Kind]string{
+	KindALU: "alu", KindMul: "mul", KindDiv: "div", KindFPU: "fpu",
+	KindFPDiv: "fpdiv", KindLoad: "load", KindStore: "store",
+	KindCondBranch: "condbr", KindJump: "jump", KindCall: "call",
+	KindRet: "ret", KindIJump: "ijump", KindICall: "icall",
+	KindSys: "sys", KindHalt: "halt",
+}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// OpKind returns the Kind for an opcode.
+func OpKind(o Op) Kind {
+	switch o {
+	case MUL, MULI:
+		return KindMul
+	case DIV, REM:
+		return KindDiv
+	case FADD, FSUB, FMUL, FSLT, ITOF, FTOI:
+		return KindFPU
+	case FDIV:
+		return KindFPDiv
+	case LD:
+		return KindLoad
+	case ST:
+		return KindStore
+	case BEQ, BNE, BLT, BGE:
+		return KindCondBranch
+	case JMP:
+		return KindJump
+	case CALL:
+		return KindCall
+	case RET:
+		return KindRet
+	case JR:
+		return KindIJump
+	case CALLR:
+		return KindICall
+	case SYS, OUT:
+		return KindSys
+	case HALT:
+		return KindHalt
+	default:
+		return KindALU
+	}
+}
+
+// IsControlFlow reports whether the kind transfers control (terminates a
+// basic block).
+func (k Kind) IsControlFlow() bool {
+	switch k {
+	case KindCondBranch, KindJump, KindCall, KindRet, KindIJump, KindICall, KindHalt:
+		return true
+	}
+	return false
+}
+
+// IsComputed reports whether the kind's target is computed at run time and
+// therefore needs explicit target validation by REV (Sec. V): computed
+// jumps/calls and returns. Direct branches are covered implicitly by the
+// basic-block hash.
+func (k Kind) IsComputed() bool {
+	switch k {
+	case KindRet, KindIJump, KindICall:
+		return true
+	}
+	return false
+}
+
+// Instr is a decoded instruction.
+type Instr struct {
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32
+}
+
+// Kind returns the pipeline/control-flow classification of the instruction.
+func (i Instr) Kind() Kind { return OpKind(i.Op) }
+
+// Encode packs the instruction into its 8-byte wire format.
+func (i Instr) Encode() [WordSize]byte {
+	var b [WordSize]byte
+	b[0] = byte(i.Op)
+	b[1] = i.Rd
+	b[2] = i.Rs1
+	b[3] = i.Rs2
+	binary.LittleEndian.PutUint32(b[4:], uint32(i.Imm))
+	return b
+}
+
+// EncodeTo writes the encoding into dst, which must be at least WordSize
+// bytes long.
+func (i Instr) EncodeTo(dst []byte) {
+	dst[0] = byte(i.Op)
+	dst[1] = i.Rd
+	dst[2] = i.Rs1
+	dst[3] = i.Rs2
+	binary.LittleEndian.PutUint32(dst[4:], uint32(i.Imm))
+}
+
+// Decode unpacks an instruction from its 8-byte wire format. Decode never
+// fails: unknown opcodes decode with their numeric value and can be detected
+// with Op.Valid. This mirrors hardware, where illegal bytes are still
+// fetched (and hashed by REV) before faulting at decode.
+func Decode(b []byte) Instr {
+	return Instr{
+		Op:  Op(b[0]),
+		Rd:  b[1],
+		Rs1: b[2],
+		Rs2: b[3],
+		Imm: int32(binary.LittleEndian.Uint32(b[4:])),
+	}
+}
+
+// String renders the instruction in assembly-like form.
+func (i Instr) String() string {
+	switch i.Kind() {
+	case KindCondBranch:
+		return fmt.Sprintf("%s r%d, r%d, %+d", i.Op, i.Rs1, i.Rs2, i.Imm)
+	case KindJump, KindCall:
+		return fmt.Sprintf("%s %+d", i.Op, i.Imm)
+	case KindRet, KindHalt:
+		return i.Op.String()
+	case KindIJump:
+		return fmt.Sprintf("%s r%d", i.Op, i.Rs1)
+	case KindICall:
+		return fmt.Sprintf("%s r%d", i.Op, i.Rs1)
+	case KindLoad:
+		return fmt.Sprintf("%s r%d, %d(r%d)", i.Op, i.Rd, i.Imm, i.Rs1)
+	case KindStore:
+		return fmt.Sprintf("%s r%d, %d(r%d)", i.Op, i.Rs2, i.Imm, i.Rs1)
+	case KindSys:
+		if i.Op == OUT {
+			return fmt.Sprintf("out r%d", i.Rs1)
+		}
+		return fmt.Sprintf("sys %d, r%d", i.Imm, i.Rs1)
+	default:
+		switch i.Op {
+		case ADDI, ANDI, ORI, XORI, SHLI, SHRI, MULI, SLTI, LUI:
+			return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+		case NOP:
+			if i.Imm != 0 {
+				return fmt.Sprintf("nop #%#x", uint32(i.Imm))
+			}
+			return "nop"
+		default:
+			return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+		}
+	}
+}
+
+// Target returns the statically known target address of a direct
+// control-flow instruction located at pc, and whether one exists. Computed
+// control flow (RET, JR, CALLR) has no static target.
+func (i Instr) Target(pc uint64) (uint64, bool) {
+	switch i.Kind() {
+	case KindCondBranch, KindJump, KindCall:
+		return uint64(int64(pc) + int64(i.Imm)), true
+	}
+	return 0, false
+}
+
+// FallThrough returns the address of the next sequential instruction.
+func FallThrough(pc uint64) uint64 { return pc + WordSize }

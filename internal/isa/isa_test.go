@@ -1,0 +1,169 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instr{
+		{Op: NOP},
+		{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: ADDI, Rd: 5, Rs1: 6, Imm: -42},
+		{Op: LUI, Rd: 7, Imm: 0x7fffffff},
+		{Op: LD, Rd: 9, Rs1: 30, Imm: 16},
+		{Op: ST, Rs1: 30, Rs2: 9, Imm: -8},
+		{Op: BEQ, Rs1: 1, Rs2: 2, Imm: 64},
+		{Op: CALL, Imm: -1024},
+		{Op: RET},
+		{Op: JR, Rs1: 12},
+		{Op: CALLR, Rs1: 13},
+		{Op: SYS, Rs1: 4, Imm: SysREVEnable},
+		{Op: HALT},
+	}
+	for _, in := range cases {
+		enc := in.Encode()
+		got := Decode(enc[:])
+		if got != in {
+			t.Errorf("round trip %v: got %v", in, got)
+		}
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(op uint8, rd, rs1, rs2 uint8, imm int32) bool {
+		in := Instr{Op: Op(op), Rd: rd, Rs1: rs1, Rs2: rs2, Imm: imm}
+		enc := in.Encode()
+		return Decode(enc[:]) == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeToMatchesEncode(t *testing.T) {
+	in := Instr{Op: MUL, Rd: 3, Rs1: 4, Rs2: 5, Imm: 99}
+	var buf [WordSize]byte
+	in.EncodeTo(buf[:])
+	if buf != in.Encode() {
+		t.Errorf("EncodeTo = %x, Encode = %x", buf, in.Encode())
+	}
+}
+
+func TestOpKindClassification(t *testing.T) {
+	cases := []struct {
+		op   Op
+		kind Kind
+	}{
+		{ADD, KindALU}, {SUB, KindALU}, {SLTI, KindALU}, {LUI, KindALU},
+		{MUL, KindMul}, {MULI, KindMul},
+		{DIV, KindDiv}, {REM, KindDiv},
+		{FADD, KindFPU}, {ITOF, KindFPU}, {FTOI, KindFPU},
+		{FDIV, KindFPDiv},
+		{LD, KindLoad}, {ST, KindStore},
+		{BEQ, KindCondBranch}, {BNE, KindCondBranch}, {BLT, KindCondBranch}, {BGE, KindCondBranch},
+		{JMP, KindJump}, {CALL, KindCall}, {RET, KindRet},
+		{JR, KindIJump}, {CALLR, KindICall},
+		{SYS, KindSys}, {OUT, KindSys}, {HALT, KindHalt},
+	}
+	for _, c := range cases {
+		if got := OpKind(c.op); got != c.kind {
+			t.Errorf("OpKind(%v) = %v, want %v", c.op, got, c.kind)
+		}
+	}
+}
+
+func TestControlFlowClassification(t *testing.T) {
+	cf := []Kind{KindCondBranch, KindJump, KindCall, KindRet, KindIJump, KindICall, KindHalt}
+	for _, k := range cf {
+		if !k.IsControlFlow() {
+			t.Errorf("%v should be control flow", k)
+		}
+	}
+	nonCF := []Kind{KindALU, KindMul, KindDiv, KindFPU, KindFPDiv, KindLoad, KindStore, KindSys}
+	for _, k := range nonCF {
+		if k.IsControlFlow() {
+			t.Errorf("%v should not be control flow", k)
+		}
+	}
+}
+
+func TestComputedClassification(t *testing.T) {
+	computed := []Kind{KindRet, KindIJump, KindICall}
+	for _, k := range computed {
+		if !k.IsComputed() {
+			t.Errorf("%v should be computed", k)
+		}
+	}
+	direct := []Kind{KindCondBranch, KindJump, KindCall, KindALU, KindHalt}
+	for _, k := range direct {
+		if k.IsComputed() {
+			t.Errorf("%v should not be computed", k)
+		}
+	}
+}
+
+func TestStaticTarget(t *testing.T) {
+	pc := uint64(0x1000)
+	br := Instr{Op: BEQ, Imm: 32}
+	if got, ok := br.Target(pc); !ok || got != 0x1020 {
+		t.Errorf("BEQ target = %#x, %v", got, ok)
+	}
+	back := Instr{Op: JMP, Imm: -16}
+	if got, ok := back.Target(pc); !ok || got != 0xff0 {
+		t.Errorf("JMP target = %#x, %v", got, ok)
+	}
+	ret := Instr{Op: RET}
+	if _, ok := ret.Target(pc); ok {
+		t.Error("RET should have no static target")
+	}
+	ij := Instr{Op: JR, Rs1: 4}
+	if _, ok := ij.Target(pc); ok {
+		t.Error("JR should have no static target")
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	if !ADD.Valid() || !HALT.Valid() || !NOP.Valid() {
+		t.Error("defined opcodes must be valid")
+	}
+	if Op(200).Valid() || numOps.Valid() {
+		t.Error("undefined opcodes must be invalid")
+	}
+}
+
+func TestOpStringUnique(t *testing.T) {
+	seen := map[string]Op{}
+	for o := Op(0); o < numOps; o++ {
+		s := o.String()
+		if prev, dup := seen[s]; dup {
+			t.Errorf("mnemonic %q shared by %d and %d", s, prev, o)
+		}
+		seen[s] = o
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: BEQ, Rs1: 1, Rs2: 2, Imm: 16}, "beq r1, r2, +16"},
+		{Instr{Op: JMP, Imm: -8}, "jmp -8"},
+		{Instr{Op: RET}, "ret"},
+		{Instr{Op: LD, Rd: 3, Rs1: 30, Imm: 8}, "ld r3, 8(r30)"},
+		{Instr{Op: ST, Rs1: 30, Rs2: 4, Imm: 0}, "st r4, 0(r30)"},
+		{Instr{Op: OUT, Rs1: 7}, "out r7"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestFallThrough(t *testing.T) {
+	if FallThrough(0x100) != 0x108 {
+		t.Errorf("FallThrough(0x100) = %#x", FallThrough(0x100))
+	}
+}

@@ -1,0 +1,191 @@
+// Package mem models the memory hierarchy of Table 2: split 64 KB L1
+// instruction and data caches (2-cycle, 4-way), a unified 512 KB L2
+// (5-cycle, 8-way), banked DRAM with open-page row hits and a 100-cycle
+// first-chunk latency, and two-level TLBs. Accesses are classified by
+// requester (demand data, signature-cache fill, instruction fetch,
+// prefetch) so the harness can report the paper's Figure 11 — cache miss
+// statistics while servicing SC misses — and so DRAM arbitration can apply
+// the paper's priority rule (SC below demand-data misses, above
+// instruction/prefetch).
+package mem
+
+import "fmt"
+
+// Class identifies the requester of a memory access.
+type Class int
+
+const (
+	// ClassData is a demand load/store from the core.
+	ClassData Class = iota
+	// ClassSC is a signature-cache miss fill (REV).
+	ClassSC
+	// ClassInstr is an instruction fetch.
+	ClassInstr
+	// ClassPrefetch is a hardware prefetch.
+	ClassPrefetch
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassData:
+		return "data"
+	case ClassSC:
+		return "sc"
+	case ClassInstr:
+		return "instr"
+	case ClassPrefetch:
+		return "prefetch"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// LineSize is the cache line size in bytes at every level.
+const LineSize = 64
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name    string
+	SizeKB  int
+	Assoc   int
+	Latency uint64 // hit latency in cycles
+}
+
+// CacheStats counts accesses and misses per requester class.
+type CacheStats struct {
+	Accesses [numClasses]uint64
+	Misses   [numClasses]uint64
+}
+
+// TotalAccesses sums accesses over all classes.
+func (s *CacheStats) TotalAccesses() uint64 {
+	var t uint64
+	for _, v := range s.Accesses {
+		t += v
+	}
+	return t
+}
+
+// TotalMisses sums misses over all classes.
+func (s *CacheStats) TotalMisses() uint64 {
+	var t uint64
+	for _, v := range s.Misses {
+		t += v
+	}
+	return t
+}
+
+// MissRate returns the overall miss rate.
+func (s *CacheStats) MissRate() float64 {
+	a := s.TotalAccesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.TotalMisses()) / float64(a)
+}
+
+// Cache is a set-associative, write-back, write-allocate cache with true
+// LRU replacement. It models tags and timing only; data always lives in
+// the functional prog.Memory.
+type Cache struct {
+	cfg     CacheConfig
+	sets    int
+	assoc   int
+	tags    []uint64 // sets*assoc entries; 0 = invalid (tag+1 stored)
+	dirty   []bool
+	lastUse []uint64 // monotonic stamps for true LRU
+	stamp   uint64
+
+	Stats CacheStats
+}
+
+// NewCache builds a cache from its configuration.
+func NewCache(cfg CacheConfig) *Cache {
+	lines := cfg.SizeKB * 1024 / LineSize
+	sets := lines / cfg.Assoc
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("mem: cache %s: set count %d not a power of two", cfg.Name, sets))
+	}
+	return &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		assoc:   cfg.Assoc,
+		tags:    make([]uint64, sets*cfg.Assoc),
+		dirty:   make([]bool, sets*cfg.Assoc),
+		lastUse: make([]uint64, sets*cfg.Assoc),
+	}
+}
+
+// Latency returns the hit latency.
+func (c *Cache) Latency() uint64 { return c.cfg.Latency }
+
+// lineAddr returns the line-aligned address.
+func lineAddr(addr uint64) uint64 { return addr &^ (LineSize - 1) }
+
+// Probe looks up addr, updating LRU and stats. It returns hit, and for a
+// miss that evicts a dirty line, the victim line address for writeback.
+func (c *Cache) Probe(addr uint64, class Class, write bool) (hit bool, victim uint64, victimDirty bool) {
+	c.Stats.Accesses[class]++
+	c.stamp++
+	tag := lineAddr(addr)
+	set := int(tag/LineSize) & (c.sets - 1)
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.tags[base+w] == tag+1 {
+			c.lastUse[base+w] = c.stamp
+			if write {
+				c.dirty[base+w] = true
+			}
+			return true, 0, false
+		}
+	}
+	c.Stats.Misses[class]++
+	// Victim: an invalid way if one exists, otherwise the least recently
+	// used way.
+	vw := -1
+	for w := 0; w < c.assoc; w++ {
+		if c.tags[base+w] == 0 {
+			vw = w
+			break
+		}
+	}
+	if vw < 0 {
+		vw = 0
+		for w := 1; w < c.assoc; w++ {
+			if c.lastUse[base+w] < c.lastUse[base+vw] {
+				vw = w
+			}
+		}
+		if c.dirty[base+vw] {
+			victim = c.tags[base+vw] - 1
+			victimDirty = true
+		}
+	}
+	c.tags[base+vw] = tag + 1
+	c.dirty[base+vw] = write
+	c.lastUse[base+vw] = c.stamp
+	return false, victim, victimDirty
+}
+
+// Contains reports whether the line holding addr is resident (no LRU or
+// stats side effects). Used by tests.
+func (c *Cache) Contains(addr uint64) bool {
+	tag := lineAddr(addr)
+	set := int(tag/LineSize) & (c.sets - 1)
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.tags[base+w] == tag+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates the whole cache (used between benchmark runs).
+func (c *Cache) Flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.dirty[i] = false
+		c.lastUse[i] = 0
+	}
+}

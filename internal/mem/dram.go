@@ -1,0 +1,101 @@
+package mem
+
+// DRAMConfig describes main memory: Table 2 specifies a 100-cycle latency
+// to the first chunk, 8 banks, and 64-byte bursts with open DRAM pages
+// served faster.
+type DRAMConfig struct {
+	Banks         int
+	RowMissCycles uint64 // closed-row (first chunk) latency
+	RowHitCycles  uint64 // open-page hit latency
+	BurstCycles   uint64 // bank occupancy per 64-byte burst
+	RowBytes      uint64 // bytes per DRAM row (page)
+}
+
+// DefaultDRAMConfig mirrors Table 2.
+func DefaultDRAMConfig() DRAMConfig {
+	return DRAMConfig{
+		Banks:         8,
+		RowMissCycles: 100,
+		RowHitCycles:  60,
+		BurstCycles:   8,
+		RowBytes:      4096,
+	}
+}
+
+// DRAMStats counts accesses, row hits, and queueing.
+type DRAMStats struct {
+	Accesses  [numClasses]uint64
+	RowHits   uint64
+	RowMisses uint64
+	// QueueCycles accumulates cycles spent waiting for a busy bank.
+	QueueCycles uint64
+}
+
+// DRAM models banked main memory with an open-page policy and a simple
+// priority rule at the bank: demand-data fills start as soon as the bank
+// frees; SC fills behind a busy bank wait one extra burst slot unless
+// HighSCPriority is set; instruction and prefetch fills wait two (the
+// paper's ordering: data > SC > instruction/prefetch).
+type DRAM struct {
+	cfg DRAMConfig
+	// HighSCPriority promotes SC fills to demand-data priority (an
+	// ablation knob; the paper's default keeps SC below data).
+	HighSCPriority bool
+
+	lastRow   []uint64 // per bank; 0 = closed (row+1 stored)
+	busyUntil []uint64
+
+	Stats DRAMStats
+}
+
+// NewDRAM builds main memory.
+func NewDRAM(cfg DRAMConfig) *DRAM {
+	return &DRAM{
+		cfg:       cfg,
+		lastRow:   make([]uint64, cfg.Banks),
+		busyUntil: make([]uint64, cfg.Banks),
+	}
+}
+
+// Access performs one line fill starting no earlier than cycle and returns
+// the completion cycle.
+func (d *DRAM) Access(addr uint64, cycle uint64, class Class) uint64 {
+	d.Stats.Accesses[class]++
+	row := addr / d.cfg.RowBytes
+	bank := int(row) % d.cfg.Banks
+	start := cycle
+	if d.busyUntil[bank] > start {
+		wait := d.busyUntil[bank] - start
+		// Arbitration: lower-priority requesters yield extra burst slots
+		// when the bank is contended.
+		switch {
+		case class == ClassData, class == ClassSC && d.HighSCPriority:
+			// head of queue
+		case class == ClassSC:
+			wait += d.cfg.BurstCycles
+		default:
+			wait += 2 * d.cfg.BurstCycles
+		}
+		d.Stats.QueueCycles += wait
+		start += wait
+	}
+	var lat uint64
+	if d.lastRow[bank] == row+1 {
+		lat = d.cfg.RowHitCycles
+		d.Stats.RowHits++
+	} else {
+		lat = d.cfg.RowMissCycles
+		d.Stats.RowMisses++
+	}
+	d.lastRow[bank] = row + 1
+	d.busyUntil[bank] = start + d.cfg.BurstCycles
+	return start + lat
+}
+
+// Flush closes all rows and clears bank occupancy.
+func (d *DRAM) Flush() {
+	for i := range d.lastRow {
+		d.lastRow[i] = 0
+		d.busyUntil[i] = 0
+	}
+}

@@ -1,0 +1,155 @@
+package mem
+
+// Config assembles the whole memory system. Defaults mirror Table 2.
+type Config struct {
+	L1I, L1D, L2 CacheConfig
+	DRAM         DRAMConfig
+	ITLB, DTLB   TLBConfig
+	L2TLB        TLBConfig
+	// L2TLBLatency and WalkLatency charge TLB misses: an L1 TLB miss that
+	// hits the L2 TLB costs L2TLBLatency; an L2 TLB miss costs a page walk.
+	L2TLBLatency uint64
+	WalkLatency  uint64
+	// NextLinePrefetch enables a simple next-line prefetcher on L1D demand
+	// misses (MARSS models hardware prefetching; Sec. IV.A's priority rule
+	// explicitly ranks prefetch requests). The prefetch installs the next
+	// line's tags without charging latency — an optimistic but standard
+	// trace-level approximation that lets streaming access patterns hit.
+	NextLinePrefetch bool
+	// HighSCPriority promotes signature-cache fills to demand-data DRAM
+	// priority, an ablation of the paper's arbitration rule (Sec. IV.A
+	// places SC fills below demand data misses).
+	HighSCPriority bool
+}
+
+// DefaultConfig returns the Table 2 configuration.
+func DefaultConfig() Config {
+	return Config{
+		L1I:              CacheConfig{Name: "L1I", SizeKB: 64, Assoc: 4, Latency: 2},
+		L1D:              CacheConfig{Name: "L1D", SizeKB: 64, Assoc: 4, Latency: 2},
+		L2:               CacheConfig{Name: "L2", SizeKB: 512, Assoc: 8, Latency: 5},
+		DRAM:             DefaultDRAMConfig(),
+		ITLB:             TLBConfig{Name: "ITLB", Entries: 32},
+		DTLB:             TLBConfig{Name: "DTLB", Entries: 128},
+		L2TLB:            TLBConfig{Name: "L2TLB", Entries: 512},
+		L2TLBLatency:     6,
+		WalkLatency:      80,
+		NextLinePrefetch: true,
+	}
+}
+
+// Hierarchy is the assembled memory system. The SC shares the L1 D-cache
+// (via an assumed extra port) and the DTLB, exactly as the evaluation
+// configures (Table 2 notes and Sec. VIII).
+type Hierarchy struct {
+	cfg   Config
+	L1I   *Cache
+	L1D   *Cache
+	L2    *Cache
+	DRAM  *DRAM
+	ITLB  *TLB
+	DTLB  *TLB
+	L2TLB *TLB
+}
+
+// New builds a hierarchy.
+func New(cfg Config) *Hierarchy {
+	h := &Hierarchy{
+		cfg:   cfg,
+		L1I:   NewCache(cfg.L1I),
+		L1D:   NewCache(cfg.L1D),
+		L2:    NewCache(cfg.L2),
+		DRAM:  NewDRAM(cfg.DRAM),
+		ITLB:  NewTLB(cfg.ITLB),
+		DTLB:  NewTLB(cfg.DTLB),
+		L2TLB: NewTLB(cfg.L2TLB),
+	}
+	h.DRAM.HighSCPriority = cfg.HighSCPriority
+	return h
+}
+
+// translate charges TLB latency for a data-side or instruction-side access.
+func (h *Hierarchy) translate(l1 *TLB, addr uint64) uint64 {
+	if l1.Lookup(addr) {
+		return 0
+	}
+	if h.L2TLB.Lookup(addr) {
+		return h.cfg.L2TLBLatency
+	}
+	return h.cfg.L2TLBLatency + h.cfg.WalkLatency
+}
+
+// accessThrough performs the L1 -> L2 -> DRAM walk and returns completion.
+func (h *Hierarchy) accessThrough(l1 *Cache, addr, cycle uint64, class Class, write bool) uint64 {
+	done := cycle + l1.Latency()
+	hit, victim, victimDirty := l1.Probe(addr, class, write)
+	if hit {
+		return done
+	}
+	if victimDirty {
+		// Write back the victim into L2 off the critical path (tag update
+		// only; bandwidth effects are secondary at this fidelity).
+		h.L2.Probe(victim, class, true)
+	}
+	done = cycle + l1.Latency() + h.L2.Latency()
+	l2hit, l2victim, l2dirty := h.L2.Probe(addr, class, write)
+	if l2hit {
+		return done
+	}
+	if l2dirty {
+		_ = l2victim // dirty L2 victims drain to DRAM off the critical path
+	}
+	return h.DRAM.Access(addr, done, class)
+}
+
+// Data performs a demand data access (load or store) and returns the
+// completion cycle.
+func (h *Hierarchy) Data(addr, cycle uint64, write bool) uint64 {
+	cycle += h.translate(h.DTLB, addr)
+	done := h.accessThrough(h.L1D, addr, cycle, ClassData, write)
+	if h.cfg.NextLinePrefetch && done > cycle+h.L1D.Latency() {
+		// Demand miss: prefetch the next line into L1D and L2 (tags only,
+		// off the critical path).
+		next := (addr &^ (LineSize - 1)) + LineSize
+		if !h.L1D.Contains(next) {
+			h.L1D.Probe(next, ClassPrefetch, false)
+			h.L2.Probe(next, ClassPrefetch, false)
+		}
+	}
+	return done
+}
+
+// Instr performs an instruction fetch access for the line holding addr.
+// Sequential next-line prefetch applies as on the data side: straight-line
+// code pays the miss on the first line of a region, not on every line.
+func (h *Hierarchy) Instr(addr, cycle uint64) uint64 {
+	cycle += h.translate(h.ITLB, addr)
+	done := h.accessThrough(h.L1I, addr, cycle, ClassInstr, false)
+	if h.cfg.NextLinePrefetch && done > cycle+h.L1I.Latency() {
+		next := (addr &^ (LineSize - 1)) + LineSize
+		if !h.L1I.Contains(next) {
+			h.L1I.Probe(next, ClassPrefetch, false)
+			h.L2.Probe(next, ClassPrefetch, false)
+		}
+	}
+	return done
+}
+
+// SC performs a signature-table access on behalf of the signature cache:
+// through the DTLB (shared, extra port) and the L1D/L2/DRAM path with
+// ClassSC arbitration priority.
+func (h *Hierarchy) SC(addr, cycle uint64) uint64 {
+	cycle += h.translate(h.DTLB, addr)
+	return h.accessThrough(h.L1D, addr, cycle, ClassSC, false)
+}
+
+// Flush clears all cached state (tags, TLBs, DRAM rows).
+func (h *Hierarchy) Flush() {
+	h.L1I.Flush()
+	h.L1D.Flush()
+	h.L2.Flush()
+	h.DRAM.Flush()
+	h.ITLB.Flush()
+	h.DTLB.Flush()
+	h.L2TLB.Flush()
+}

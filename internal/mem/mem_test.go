@@ -1,0 +1,230 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testCache() *Cache {
+	return NewCache(CacheConfig{Name: "t", SizeKB: 4, Assoc: 2, Latency: 2})
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := testCache()
+	hit, _, _ := c.Probe(0x1000, ClassData, false)
+	if hit {
+		t.Error("cold access should miss")
+	}
+	hit, _, _ = c.Probe(0x1000, ClassData, false)
+	if !hit {
+		t.Error("second access should hit")
+	}
+	hit, _, _ = c.Probe(0x1000+LineSize-1, ClassData, false)
+	if !hit {
+		t.Error("same-line access should hit")
+	}
+	if c.Stats.Accesses[ClassData] != 3 || c.Stats.Misses[ClassData] != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := testCache() // 4KB, 2-way, 64B lines -> 32 sets
+	setStride := uint64(32 * LineSize)
+	a, b, d := uint64(0), setStride, 2*setStride // all map to set 0
+	c.Probe(a, ClassData, false)
+	c.Probe(b, ClassData, false)
+	c.Probe(a, ClassData, false) // a is MRU, b is LRU
+	c.Probe(d, ClassData, false) // evicts b
+	if !c.Contains(a) || c.Contains(b) || !c.Contains(d) {
+		t.Error("LRU eviction picked the wrong victim")
+	}
+}
+
+func TestCacheDirtyWriteback(t *testing.T) {
+	c := testCache()
+	setStride := uint64(32 * LineSize)
+	c.Probe(0, ClassData, true) // dirty
+	c.Probe(setStride, ClassData, false)
+	_, victim, dirty := c.Probe(2*setStride, ClassData, false) // evicts line 0
+	if !dirty || victim != 0 {
+		t.Errorf("victim = %#x dirty=%v, want 0 dirty", victim, dirty)
+	}
+	// Evicting a clean line reports no writeback.
+	_, _, dirty = c.Probe(3*setStride, ClassData, false)
+	if dirty {
+		t.Error("clean victim reported dirty")
+	}
+}
+
+func TestCacheClassAccounting(t *testing.T) {
+	c := testCache()
+	c.Probe(0x100, ClassSC, false)
+	c.Probe(0x200, ClassInstr, false)
+	c.Probe(0x100, ClassSC, false)
+	if c.Stats.Accesses[ClassSC] != 2 || c.Stats.Misses[ClassSC] != 1 {
+		t.Errorf("SC stats wrong: %+v", c.Stats)
+	}
+	if c.Stats.Accesses[ClassInstr] != 1 || c.Stats.Misses[ClassInstr] != 1 {
+		t.Errorf("Instr stats wrong: %+v", c.Stats)
+	}
+	if c.Stats.TotalAccesses() != 3 || c.Stats.TotalMisses() != 2 {
+		t.Errorf("totals wrong: %+v", c.Stats)
+	}
+	if r := c.Stats.MissRate(); r < 0.66 || r > 0.67 {
+		t.Errorf("miss rate = %v", r)
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := testCache()
+	c.Probe(0x40, ClassData, false)
+	c.Flush()
+	if c.Contains(0x40) {
+		t.Error("flush left line resident")
+	}
+}
+
+func TestCacheProbeAlwaysInsertsProperty(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "p", SizeKB: 8, Assoc: 4, Latency: 1})
+	f := func(addr uint64) bool {
+		addr %= 1 << 32
+		c.Probe(addr, ClassData, false)
+		return c.Contains(addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDRAMOpenPage(t *testing.T) {
+	d := NewDRAM(DefaultDRAMConfig())
+	done1 := d.Access(0x10000, 0, ClassData)
+	if done1 != 100 {
+		t.Errorf("closed-row access = %d, want 100", done1)
+	}
+	done2 := d.Access(0x10040, 200, ClassData) // same row, bank free
+	if done2 != 260 {
+		t.Errorf("open-row access = %d, want 260", done2)
+	}
+	if d.Stats.RowHits != 1 || d.Stats.RowMisses != 1 {
+		t.Errorf("row stats = %+v", d.Stats)
+	}
+}
+
+func TestDRAMBankContention(t *testing.T) {
+	d := NewDRAM(DefaultDRAMConfig())
+	d.Access(0x10000, 0, ClassData) // bank busy until 8
+	done := d.Access(0x10040, 2, ClassData)
+	if done != 8+60 {
+		t.Errorf("contended data access = %d, want 68", done)
+	}
+	if d.Stats.QueueCycles == 0 {
+		t.Error("queueing not recorded")
+	}
+}
+
+func TestDRAMPriorityOrdering(t *testing.T) {
+	mk := func(high bool) (uint64, uint64, uint64) {
+		d := NewDRAM(DefaultDRAMConfig())
+		d.HighSCPriority = high
+		d.Access(0x10000, 0, ClassData) // bank busy until 8
+		data := d.Access(0x10040, 2, ClassData)
+		d.Flush()
+		d.Access(0x10000, 0, ClassData)
+		sc := d.Access(0x10040, 2, ClassSC)
+		d.Flush()
+		d.Access(0x10000, 0, ClassData)
+		in := d.Access(0x10040, 2, ClassInstr)
+		return data, sc, in
+	}
+	data, sc, in := mk(false)
+	if !(data < sc && sc < in) {
+		t.Errorf("priority ordering violated: data=%d sc=%d instr=%d", data, sc, in)
+	}
+	_, scHigh, _ := mk(true)
+	if scHigh != data {
+		t.Errorf("high-priority SC should match data latency: %d vs %d", scHigh, data)
+	}
+}
+
+func TestTLBHitMissAndEviction(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Name: "t", Entries: 2})
+	if tlb.Lookup(0x1000) {
+		t.Error("cold lookup should miss")
+	}
+	if !tlb.Lookup(0x1fff) {
+		t.Error("same-page lookup should hit")
+	}
+	tlb.Lookup(0x2000)
+	tlb.Lookup(0x1000) // refresh page 1
+	tlb.Lookup(0x3000) // evicts page 2 (LRU)
+	if !tlb.Lookup(0x1000) {
+		t.Error("refreshed page should still hit")
+	}
+	if tlb.Lookup(0x2000) {
+		t.Error("evicted page should miss")
+	}
+}
+
+func TestHierarchyDataPath(t *testing.T) {
+	h := New(DefaultConfig())
+	// Cold: ITLB walk + L1 + L2 + DRAM.
+	done := h.Data(0x5000, 0, false)
+	if done < 100 {
+		t.Errorf("cold data access = %d, implausibly fast", done)
+	}
+	// Warm: TLB hit + L1 hit = 2 cycles.
+	done2 := h.Data(0x5000, 1000, false)
+	if done2 != 1002 {
+		t.Errorf("warm data access = %d, want 1002", done2)
+	}
+}
+
+func TestHierarchySCSharesL1D(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Data(0x7000, 0, false)
+	// SC access to the same line hits in L1D (shared port).
+	done := h.SC(0x7000, 1000)
+	if done != 1002 {
+		t.Errorf("SC hit in shared L1D = %d, want 1002", done)
+	}
+	if h.L1D.Stats.Accesses[ClassSC] != 1 {
+		t.Error("SC access not classified")
+	}
+	// Instruction fetches do NOT hit in L1D.
+	h.Instr(0x7000, 2000)
+	if h.L1I.Stats.Misses[ClassInstr] != 1 {
+		t.Error("instruction fetch should use L1I")
+	}
+}
+
+func TestHierarchyL2SharedBetweenSides(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Data(0x9000, 0, false) // fills L2
+	h.Instr(0x9000, 1000)    // L1I miss, L2 hit
+	if h.L2.Stats.Misses[ClassInstr] != 0 {
+		t.Error("instruction fetch should hit in unified L2")
+	}
+	done := h.Instr(0x9000, 2000)
+	if done != 2002 {
+		t.Errorf("warm instr fetch = %d, want 2002", done)
+	}
+}
+
+func TestHierarchyFlush(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Data(0xa000, 0, false)
+	h.Flush()
+	done := h.Data(0xa000, 1000, false)
+	if done < 1100 {
+		t.Errorf("post-flush access = %d, should go to DRAM", done)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassData.String() != "data" || ClassSC.String() != "sc" ||
+		ClassInstr.String() != "instr" || ClassPrefetch.String() != "prefetch" {
+		t.Error("class names wrong")
+	}
+}

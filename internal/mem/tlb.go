@@ -1,0 +1,60 @@
+package mem
+
+// TLBConfig describes one TLB level.
+type TLBConfig struct {
+	Name    string
+	Entries int
+}
+
+// TLBStats counts lookups and misses.
+type TLBStats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// TLB is a fully associative, true-LRU translation buffer. Table 2's TLBs
+// are small (32–512 entries), where full associativity is a faithful
+// approximation.
+type TLB struct {
+	cfg   TLBConfig
+	pages map[uint64]uint64 // page number -> last-use stamp
+	stamp uint64
+
+	Stats TLBStats
+}
+
+// NewTLB builds a TLB.
+func NewTLB(cfg TLBConfig) *TLB {
+	return &TLB{cfg: cfg, pages: make(map[uint64]uint64, cfg.Entries)}
+}
+
+const pageShift = 12 // 4 KB pages
+
+// Lookup probes the TLB for the page of addr, inserting it on a miss
+// (evicting the LRU page when full). Returns hit.
+func (t *TLB) Lookup(addr uint64) bool {
+	t.Stats.Accesses++
+	t.stamp++
+	pn := addr >> pageShift
+	if _, ok := t.pages[pn]; ok {
+		t.pages[pn] = t.stamp
+		return true
+	}
+	t.Stats.Misses++
+	if len(t.pages) >= t.cfg.Entries {
+		var lruPage, lruStamp uint64 = 0, ^uint64(0)
+		for p, s := range t.pages {
+			if s < lruStamp {
+				lruPage, lruStamp = p, s
+			}
+		}
+		delete(t.pages, lruPage)
+	}
+	t.pages[pn] = t.stamp
+	return false
+}
+
+// Flush empties the TLB (context switch).
+func (t *TLB) Flush() {
+	t.pages = make(map[uint64]uint64, t.cfg.Entries)
+}

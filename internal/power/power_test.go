@@ -1,0 +1,86 @@
+package power
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSRAMAreaMonotone(t *testing.T) {
+	if SRAMArea(32, 4) >= SRAMArea(64, 4) {
+		t.Error("area must grow with capacity")
+	}
+	if SRAMArea(64, 4) >= SRAMArea(64, 8) {
+		t.Error("area must grow with associativity")
+	}
+	if SRAMArea(0, 4) != 0 {
+		t.Error("zero capacity must have zero area")
+	}
+	// Sanity anchor: 64 KB 4-way is around half a mm^2 at 32 nm.
+	if a := SRAMArea(64, 4); a < 0.3 || a > 0.8 {
+		t.Errorf("64KB area = %v mm^2, implausible", a)
+	}
+}
+
+func TestSRAMEnergyMonotone(t *testing.T) {
+	if SRAMReadEnergy(32, 4) >= SRAMReadEnergy(64, 4) {
+		t.Error("energy must grow with capacity")
+	}
+	if SRAMReadEnergy(0, 4) != 0 {
+		t.Error("zero capacity must have zero energy")
+	}
+}
+
+func TestSectionVIHeadlineNumbers(t *testing.T) {
+	r := Evaluate(DefaultTech(), REVConfig{SCKB: 32}, DefaultChipContext())
+	// Paper: ~8% core area, ~7.2% core dynamic power, <5.5% chip level.
+	if r.AreaOverheadPct < 7.0 || r.AreaOverheadPct > 9.0 {
+		t.Errorf("area overhead = %.2f%%, want ~8%%", r.AreaOverheadPct)
+	}
+	if r.PowerOverheadPct < 6.5 || r.PowerOverheadPct > 7.9 {
+		t.Errorf("power overhead = %.2f%%, want ~7.2%%", r.PowerOverheadPct)
+	}
+	if r.ChipOverheadPct >= 5.5 {
+		t.Errorf("chip-level overhead = %.2f%%, paper says < 5.5%%", r.ChipOverheadPct)
+	}
+	if r.ChipOverheadPct >= r.PowerOverheadPct {
+		t.Error("chip-level percentage must be below core-level")
+	}
+}
+
+func TestSharedDecryptLowersOverhead(t *testing.T) {
+	chip := DefaultChipContext()
+	full := Evaluate(DefaultTech(), REVConfig{SCKB: 32}, chip)
+	shared := Evaluate(DefaultTech(), REVConfig{SCKB: 32, SharedDecrypt: true}, chip)
+	if shared.PowerOverheadPct >= full.PowerOverheadPct {
+		t.Error("sharing the AES unit must lower power overhead")
+	}
+	if shared.AreaOverheadPct >= full.AreaOverheadPct {
+		t.Error("sharing the AES unit must lower area overhead")
+	}
+}
+
+func TestLargerSCCostsMore(t *testing.T) {
+	chip := DefaultChipContext()
+	sc32 := Evaluate(DefaultTech(), REVConfig{SCKB: 32}, chip)
+	sc64 := Evaluate(DefaultTech(), REVConfig{SCKB: 64}, chip)
+	if sc64.AreaOverheadPct <= sc32.AreaOverheadPct {
+		t.Error("64KB SC must cost more area than 32KB")
+	}
+}
+
+func TestModelSums(t *testing.T) {
+	m := &Model{Components: []Component{{"a", 1, 2}, {"b", 3, 4}}}
+	if m.Area() != 4 || m.Dynamic() != 6 {
+		t.Errorf("sums wrong: %v %v", m.Area(), m.Dynamic())
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Evaluate(DefaultTech(), REVConfig{SCKB: 32}, DefaultChipContext())
+	s := r.String()
+	for _, want := range []string{"base core", "area", "core power", "chip level"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package rewrite is a static binary-rewriting pass for rev modules: it
+// inserts instruction sequences before chosen instructions of an assembled
+// module and repairs everything the insertion moves — PC-relative branch
+// displacements, symbol offsets, the entry point, relocation records, and
+// absolute code addresses materialized in immediates or stored in data
+// jump tables.
+//
+// It exists to build the *software* control-flow-integrity baseline the
+// paper compares against (inline label checks in the style of Abadi et
+// al.'s CFI), but it is a general instrumentation facility.
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"rev/internal/isa"
+	"rev/internal/prog"
+)
+
+// Insertion asks for a sequence of instructions to be placed immediately
+// before the original instruction at index Before (in original instruction
+// indices). Inserted code executes whenever control reaches the original
+// instruction sequentially or by jump: branches that targeted the original
+// instruction are redirected to the first inserted instruction.
+type Insertion struct {
+	Before int
+	Seq    []isa.Instr
+}
+
+// Rewriter accumulates insertions for one module.
+type Rewriter struct {
+	mod        *prog.Module
+	insertions map[int][]isa.Instr
+}
+
+// New creates a rewriter for a module. The module must not be loaded yet
+// (Base == 0): rewriting changes offsets and must happen before the loader
+// assigns addresses and applies relocations.
+func New(m *prog.Module) (*Rewriter, error) {
+	if m.Base != 0 {
+		return nil, fmt.Errorf("rewrite: module %q already loaded", m.Name)
+	}
+	if len(m.Code)%isa.WordSize != 0 {
+		return nil, fmt.Errorf("rewrite: ragged code")
+	}
+	return &Rewriter{mod: m, insertions: make(map[int][]isa.Instr)}, nil
+}
+
+// InsertBefore schedules a sequence before original instruction index i.
+// Multiple calls for the same index append in call order.
+func (r *Rewriter) InsertBefore(i int, seq ...isa.Instr) {
+	r.insertions[i] = append(r.insertions[i], seq...)
+}
+
+// NumInstrs returns the original instruction count.
+func (r *Rewriter) NumInstrs() int { return len(r.mod.Code) / isa.WordSize }
+
+// InstrAt decodes original instruction i.
+func (r *Rewriter) InstrAt(i int) isa.Instr {
+	return isa.Decode(r.mod.Code[i*isa.WordSize:])
+}
+
+// Apply produces the rewritten module (a new module; the input is not
+// modified). assumedBase is the load address used to recognize and patch
+// absolute code addresses embedded in immediates and in data words
+// (prog.CodeBase for a first module).
+func (r *Rewriter) Apply(assumedBase uint64) (*prog.Module, error) {
+	m := r.mod
+	n := r.NumInstrs()
+
+	// newIndex[i] = new instruction index of original instruction i.
+	newIndex := make([]int, n+1)
+	cursor := 0
+	for i := 0; i < n; i++ {
+		cursor += len(r.insertions[i])
+		newIndex[i] = cursor
+		cursor++
+	}
+	newIndex[n] = cursor
+	total := cursor
+
+	inCode := func(addr uint64) (int, bool) {
+		if addr < assumedBase || addr >= assumedBase+uint64(n)*isa.WordSize {
+			return 0, false
+		}
+		off := addr - assumedBase
+		if off%isa.WordSize != 0 {
+			return 0, false
+		}
+		return int(off / isa.WordSize), true
+	}
+	// seqStart returns the new index where control should enter for a
+	// jump that targeted original instruction i (the first inserted
+	// instruction, so instrumentation guards every entry path).
+	seqStart := func(i int) int { return newIndex[i] - len(r.insertions[i]) }
+
+	out := make([]isa.Instr, 0, total)
+	for i := 0; i < n; i++ {
+		out = append(out, r.insertions[i]...)
+		in := r.InstrAt(i)
+		switch in.Kind() {
+		case isa.KindCondBranch, isa.KindJump, isa.KindCall:
+			tgtOld := i + int(in.Imm)/isa.WordSize
+			if tgtOld < 0 || tgtOld > n {
+				return nil, fmt.Errorf("rewrite: branch at %d targets out of module", i)
+			}
+			var tgtNew int
+			if tgtOld == n {
+				tgtNew = total
+			} else {
+				tgtNew = seqStart(tgtOld)
+			}
+			disp := (tgtNew - newIndex[i]) * isa.WordSize
+			if int64(disp) != int64(int32(disp)) {
+				return nil, fmt.Errorf("rewrite: displacement overflow at %d", i)
+			}
+			in.Imm = int32(disp)
+		default:
+			// Absolute code address materialized in an immediate (jump
+			// vectors built with CodeAddrFixup): redirect to the target's
+			// instrumented entry.
+			if in.Op == isa.ADDI && in.Rs1 == isa.RegZero {
+				if oi, ok := inCode(uint64(int64(in.Imm))); ok {
+					in.Imm = int32(assumedBase + uint64(seqStart(oi))*isa.WordSize)
+				}
+			}
+		}
+		out = append(out, in)
+	}
+
+	code := make([]byte, len(out)*isa.WordSize)
+	for i, in := range out {
+		in.EncodeTo(code[i*isa.WordSize:])
+	}
+
+	// Symbols, entry, relocations move with their instructions.
+	nm := &prog.Module{
+		Name: m.Name + "+instr",
+		Code: code,
+		Data: append([]byte(nil), m.Data...),
+	}
+	for _, s := range m.Symbols {
+		oi := int(s.Addr / isa.WordSize)
+		nm.Symbols = append(nm.Symbols, prog.Symbol{
+			Name: s.Name,
+			Addr: uint64(seqStart(oi)) * isa.WordSize,
+		})
+	}
+	nm.Entry = uint64(seqStart(int(m.Entry/isa.WordSize))) * isa.WordSize
+	nm.DataSyms = append(nm.DataSyms, m.DataSyms...)
+	for _, rl := range m.Relocs {
+		oi := int(rl.InstrOff / isa.WordSize)
+		nm.Relocs = append(nm.Relocs, prog.Reloc{
+			InstrOff: uint64(newIndex[oi]) * isa.WordSize,
+			Sym:      rl.Sym,
+			Add:      rl.Add,
+		})
+	}
+
+	// Data-resident absolute code addresses (jump tables) follow their
+	// targets' instrumented entries.
+	for off := 0; off+8 <= len(nm.Data); off += 8 {
+		var v uint64
+		for b := 7; b >= 0; b-- {
+			v = v<<8 | uint64(nm.Data[off+b])
+		}
+		if oi, ok := inCode(v); ok {
+			nv := assumedBase + uint64(seqStart(oi))*isa.WordSize
+			for b := 0; b < 8; b++ {
+				nm.Data[off+b] = byte(nv >> (8 * b))
+			}
+		}
+	}
+	return nm, nil
+}
+
+// SortedInsertionPoints lists the original indices with insertions (for
+// tests and diagnostics).
+func (r *Rewriter) SortedInsertionPoints() []int {
+	out := make([]int, 0, len(r.insertions))
+	for i := range r.insertions {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}

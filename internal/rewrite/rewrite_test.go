@@ -1,0 +1,178 @@
+package rewrite
+
+import (
+	"testing"
+
+	"rev/internal/asm"
+	"rev/internal/cpu"
+	"rev/internal/isa"
+	"rev/internal/prog"
+)
+
+// buildLoop returns a module computing sum(0..9) with a call in the loop.
+func buildLoop() *prog.Module {
+	b := asm.New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.LoadImm(1, 0)
+	b.LoadImm(2, 10)
+	b.LoadImm(3, 0)
+	b.Label("loop")
+	b.Call("add")
+	b.OpI(isa.ADDI, 1, 1, 1)
+	b.Br(isa.BLT, 1, 2, "loop")
+	b.Out(3)
+	b.Halt()
+	b.Func("add")
+	b.Op3(isa.ADD, 3, 3, 1)
+	b.Ret()
+	return b.MustAssemble()
+}
+
+func run(t *testing.T, m *prog.Module) *cpu.Machine {
+	t.Helper()
+	p := prog.NewProgram()
+	if err := p.Load(m); err != nil {
+		t.Fatal(err)
+	}
+	mach := cpu.NewMachine(p)
+	if _, err := mach.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if !mach.Halted {
+		t.Fatal("did not halt")
+	}
+	return mach
+}
+
+func TestNoInsertionsIsIdentity(t *testing.T) {
+	m := buildLoop()
+	rw, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := rw.Apply(prog.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nm.Code) != len(m.Code) {
+		t.Fatalf("identity rewrite changed size: %d vs %d", len(nm.Code), len(m.Code))
+	}
+	a, b := run(t, m), run(t, nm)
+	if a.Output[0] != b.Output[0] {
+		t.Errorf("outputs differ: %v vs %v", a.Output, b.Output)
+	}
+}
+
+func TestInsertionPreservesBehaviour(t *testing.T) {
+	m := buildLoop()
+	plain := run(t, buildLoop())
+	rw, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A NOP before every instruction: maximal displacement churn.
+	for i := 0; i < rw.NumInstrs(); i++ {
+		rw.InsertBefore(i, isa.Instr{Op: isa.NOP})
+	}
+	nm, err := rw.Apply(prog.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm.NumInstrs() != 2*m.NumInstrs() {
+		t.Fatalf("instr count = %d, want %d", nm.NumInstrs(), 2*m.NumInstrs())
+	}
+	inst := run(t, nm)
+	if inst.Output[0] != plain.Output[0] {
+		t.Errorf("outputs differ after rewrite: %v vs %v", inst.Output, plain.Output)
+	}
+	if inst.Instret != 2*plain.Instret {
+		t.Errorf("instret = %d, want %d (every instruction doubled)", inst.Instret, 2*plain.Instret)
+	}
+}
+
+func TestJumpTableAndCodePointerPatched(t *testing.T) {
+	b := asm.New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.LoadDataAddr(1, "jt", 0)
+	b.Load(2, 1, 0)
+	b.JmpReg(2) // via data table
+	b.Func("viaPtr")
+	b.CodeAddrFixup(3, "fin") // via immediate
+	b.JmpReg(3)
+	b.Func("fin")
+	b.LoadImm(4, 77)
+	b.Out(4)
+	b.Halt()
+	vo, _ := b.FuncOffset("viaPtr")
+	b.DataWords("jt", []uint64{prog.CodeBase + vo})
+	m := b.MustAssemble()
+
+	rw, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rw.NumInstrs(); i++ {
+		rw.InsertBefore(i, isa.Instr{Op: isa.NOP}, isa.Instr{Op: isa.NOP})
+	}
+	nm, err := rw.Apply(prog.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := run(t, nm)
+	if len(mach.Output) != 1 || mach.Output[0] != 77 {
+		t.Errorf("output = %v; jump table or code pointer not repaired", mach.Output)
+	}
+}
+
+func TestSymbolsEntryRelocsMove(t *testing.T) {
+	m := buildLoop()
+	rw, _ := New(m)
+	rw.InsertBefore(0, isa.Instr{Op: isa.NOP}, isa.Instr{Op: isa.NOP}, isa.Instr{Op: isa.NOP})
+	nm, err := rw.Apply(prog.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry redirects to the inserted sequence (instrumentation guards the
+	// entry path).
+	if nm.Entry != 0 {
+		t.Errorf("entry = %d, want 0 (start of inserted sequence)", nm.Entry)
+	}
+	var oldAdd, newAdd uint64
+	for _, s := range m.Symbols {
+		if s.Name == "add" {
+			oldAdd = s.Addr
+		}
+	}
+	for _, s := range nm.Symbols {
+		if s.Name == "add" {
+			newAdd = s.Addr
+		}
+	}
+	if newAdd != oldAdd+3*isa.WordSize {
+		t.Errorf("symbol add moved to %d, want %d", newAdd, oldAdd+3*isa.WordSize)
+	}
+}
+
+func TestRejectsLoadedModule(t *testing.T) {
+	m := buildLoop()
+	p := prog.NewProgram()
+	if err := p.Load(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(m); err == nil {
+		t.Error("loaded module must be rejected")
+	}
+}
+
+func TestInsertionPointOrdering(t *testing.T) {
+	m := buildLoop()
+	rw, _ := New(m)
+	rw.InsertBefore(5, isa.Instr{Op: isa.NOP})
+	rw.InsertBefore(2, isa.Instr{Op: isa.NOP})
+	pts := rw.SortedInsertionPoints()
+	if len(pts) != 2 || pts[0] != 2 || pts[1] != 5 {
+		t.Errorf("points = %v", pts)
+	}
+}

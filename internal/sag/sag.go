@@ -1,0 +1,134 @@
+// Package sag implements REV's signature address generation unit
+// (Sec. IV.B): a set of B {base, limit-pair, key} register groups, one per
+// executable module, associatively matched against call/return targets to
+// select which RAM-resident signature table (and which decryption key)
+// covers the executing code.
+//
+// The trusted linker fills the registers for statically linked modules; the
+// trusted dynamic linker fills them on the first call into a dynamically
+// linked module. When more than B modules are live, the hardware raises an
+// exception and a (trusted) software handler swaps register groups — here
+// modeled as an LRU spill to a software-managed backing store with a
+// configurable penalty.
+package sag
+
+import (
+	"fmt"
+
+	"rev/internal/sigtable"
+)
+
+// Config sizes the unit. The paper suggests B of 16 to 32 register groups.
+type Config struct {
+	B int
+	// ExceptionPenalty is the cycle cost of the software handler swapping
+	// in a register group from the backing store.
+	ExceptionPenalty uint64
+}
+
+// DefaultConfig uses B=16.
+func DefaultConfig() Config { return Config{B: 16, ExceptionPenalty: 300} }
+
+// Region is one register group: the code range of a module and the reader
+// (base address + unwrapped key) for its signature table.
+type Region struct {
+	Module string
+	Start  uint64 // first code address (limit register pair, low)
+	Limit  uint64 // last code address (limit register pair, high)
+	Reader *sigtable.Reader
+}
+
+// Stats counts lookups and register-group exceptions.
+type Stats struct {
+	Lookups    uint64
+	Exceptions uint64 // overflow swaps (software handler invocations)
+	Failures   uint64 // addresses covered by no registered module
+}
+
+// Unit is the SAG.
+type Unit struct {
+	cfg     Config
+	regs    []*Region // at most B resident
+	lastUse []uint64
+	stamp   uint64
+	backing []*Region // software-managed spill
+
+	Stats Stats
+}
+
+// New builds a SAG.
+func New(cfg Config) *Unit {
+	if cfg.B <= 0 {
+		panic("sag: B must be positive")
+	}
+	return &Unit{cfg: cfg}
+}
+
+// Register installs a module's region. The first B registrations go to
+// hardware registers; later ones start in the backing store.
+func (u *Unit) Register(r *Region) error {
+	if r.Start > r.Limit || r.Reader == nil {
+		return fmt.Errorf("sag: invalid region %q [%#x,%#x]", r.Module, r.Start, r.Limit)
+	}
+	for _, ex := range append(append([]*Region{}, u.regs...), u.backing...) {
+		if r.Start <= ex.Limit && ex.Start <= r.Limit {
+			return fmt.Errorf("sag: region %q overlaps %q", r.Module, ex.Module)
+		}
+	}
+	if len(u.regs) < u.cfg.B {
+		u.regs = append(u.regs, r)
+		u.lastUse = append(u.lastUse, u.stamp)
+		return nil
+	}
+	u.backing = append(u.backing, r)
+	return nil
+}
+
+// Lookup associatively matches addr against the resident limit-register
+// pairs. It returns the region and the cycle penalty incurred (0 on a
+// register hit; ExceptionPenalty when the software handler had to swap the
+// region in from the backing store). ok is false when no module covers
+// addr — a validation failure.
+func (u *Unit) Lookup(addr uint64) (r *Region, penalty uint64, ok bool) {
+	u.Stats.Lookups++
+	u.stamp++
+	for i, reg := range u.regs {
+		if addr >= reg.Start && addr <= reg.Limit {
+			u.lastUse[i] = u.stamp
+			return reg, 0, true
+		}
+	}
+	// Exception path: search the software backing store.
+	for i, reg := range u.backing {
+		if addr >= reg.Start && addr <= reg.Limit {
+			u.Stats.Exceptions++
+			u.swapIn(i)
+			return reg, u.cfg.ExceptionPenalty, true
+		}
+	}
+	u.Stats.Failures++
+	return nil, 0, false
+}
+
+// swapIn moves backing[i] into the registers, evicting the LRU group.
+func (u *Unit) swapIn(i int) {
+	incoming := u.backing[i]
+	u.backing = append(u.backing[:i], u.backing[i+1:]...)
+	if len(u.regs) < u.cfg.B {
+		u.regs = append(u.regs, incoming)
+		u.lastUse = append(u.lastUse, u.stamp)
+		return
+	}
+	lru := 0
+	for j := 1; j < len(u.regs); j++ {
+		if u.lastUse[j] < u.lastUse[lru] {
+			lru = j
+		}
+	}
+	u.backing = append(u.backing, u.regs[lru])
+	u.regs[lru] = incoming
+	u.lastUse[lru] = u.stamp
+}
+
+// Resident returns the number of hardware-resident register groups.
+func (u *Unit) Resident() int { return len(u.regs) }

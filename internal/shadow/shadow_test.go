@@ -1,0 +1,161 @@
+package shadow
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"rev/internal/prog"
+)
+
+func TestWriteThroughWhenNoEpoch(t *testing.T) {
+	m := New(prog.NewMemory())
+	m.Write64(0x1000, 42)
+	if m.Backing().Read64(0x1000) != 42 {
+		t.Error("write outside an epoch must reach backing memory")
+	}
+}
+
+func TestEpochIsolatesWrites(t *testing.T) {
+	back := prog.NewMemory()
+	back.Write64(0x1000, 1)
+	m := New(back)
+	m.Begin()
+	m.Write64(0x1000, 2)
+	if m.Read64(0x1000) != 2 {
+		t.Error("epoch view must see its own write")
+	}
+	if back.Read64(0x1000) != 1 {
+		t.Error("backing memory must be untouched during the epoch")
+	}
+}
+
+func TestCommitPromotesAtomically(t *testing.T) {
+	back := prog.NewMemory()
+	m := New(back)
+	m.Begin()
+	m.Write64(0x1000, 7)
+	m.Write64(0x5000, 8) // second page
+	m.Commit()
+	if back.Read64(0x1000) != 7 || back.Read64(0x5000) != 8 {
+		t.Error("commit must promote all shadow pages")
+	}
+	if m.Open() {
+		t.Error("commit must close the epoch")
+	}
+	if m.Stats.PagesPromoted != 2 || m.Stats.PagesShadowed != 2 {
+		t.Errorf("stats = %+v", m.Stats)
+	}
+}
+
+func TestAbortDiscardsEverything(t *testing.T) {
+	back := prog.NewMemory()
+	back.Write64(0x1000, 1)
+	m := New(back)
+	m.Begin()
+	m.Write64(0x1000, 666)
+	m.Write8(0x2000, 0xff)
+	m.Abort()
+	if back.Read64(0x1000) != 1 || back.Read8(0x2000) != 0 {
+		t.Error("abort must leave backing memory exactly as at Begin")
+	}
+	if m.Stats.PagesDropped != 2 {
+		t.Errorf("dropped = %d", m.Stats.PagesDropped)
+	}
+	// After abort, the view reads the original values again.
+	if m.Read64(0x1000) != 1 {
+		t.Error("post-abort reads must see backing values")
+	}
+}
+
+func TestCopyOnFirstWritePreservesPageContents(t *testing.T) {
+	back := prog.NewMemory()
+	back.Write64(0x1008, 11)
+	back.Write64(0x1010, 22)
+	m := New(back)
+	m.Begin()
+	m.Write64(0x1008, 99) // same page as the preserved 0x1010
+	if m.Read64(0x1010) != 22 {
+		t.Error("unmodified words of a shadowed page must read through the copy")
+	}
+	m.Commit()
+	if back.Read64(0x1010) != 22 || back.Read64(0x1008) != 99 {
+		t.Error("commit merged page incorrectly")
+	}
+}
+
+func TestDMABlockedFromShadowedPages(t *testing.T) {
+	back := prog.NewMemory()
+	back.WriteBytes(0x3000, []byte("public data"))
+	m := New(back)
+	m.Begin()
+	m.Write8(0x4000, 1) // shadow page 4
+	if _, err := m.DMA(0x4000, 8); err == nil {
+		t.Error("DMA from a shadowed page must be refused during the epoch")
+	}
+	if m.Stats.DMABlocked != 1 {
+		t.Errorf("DMABlocked = %d", m.Stats.DMABlocked)
+	}
+	// DMA from untouched pages is fine even mid-epoch.
+	out, err := m.DMA(0x3000, 11)
+	if err != nil || !bytes.Equal(out, []byte("public data")) {
+		t.Errorf("clean-page DMA failed: %v %q", err, out)
+	}
+	// After commit the page is public again.
+	m.Commit()
+	if _, err := m.DMA(0x4000, 8); err != nil {
+		t.Errorf("post-commit DMA refused: %v", err)
+	}
+}
+
+func TestDMASpanningPages(t *testing.T) {
+	m := New(prog.NewMemory())
+	m.Begin()
+	m.Write8(0x2000, 1)
+	// A DMA crossing from a clean page into the shadowed one must fail.
+	if _, err := m.DMA(0x1ff8, 16); err == nil {
+		t.Error("page-spanning DMA touching a shadow page must fail")
+	}
+}
+
+func TestReadWriteEquivalenceProperty(t *testing.T) {
+	// Inside an epoch, the shadow view must behave exactly like a flat
+	// memory for the writer.
+	back := prog.NewMemory()
+	m := New(back)
+	m.Begin()
+	ref := prog.NewMemory()
+	f := func(addr uint64, v uint64) bool {
+		addr %= 1 << 24
+		m.Write64(addr, v)
+		ref.Write64(addr, v)
+		return m.Read64(addr) == ref.Read64(addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesRoundTripAcrossPages(t *testing.T) {
+	m := New(prog.NewMemory())
+	m.Begin()
+	src := make([]byte, int(prog.PageSize)+100)
+	for i := range src {
+		src[i] = byte(i * 13)
+	}
+	m.WriteBytes(prog.PageSize-50, src)
+	dst := make([]byte, len(src))
+	m.ReadBytes(prog.PageSize-50, dst)
+	if !bytes.Equal(src, dst) {
+		t.Error("multi-page round trip through shadow failed")
+	}
+}
+
+func TestBeginIdempotent(t *testing.T) {
+	m := New(prog.NewMemory())
+	m.Begin()
+	m.Begin()
+	if m.Stats.Epochs != 1 {
+		t.Errorf("epochs = %d", m.Stats.Epochs)
+	}
+}

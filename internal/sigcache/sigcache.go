@@ -1,0 +1,269 @@
+// Package sigcache implements REV's signature cache (SC, paper Sec. IV.C):
+// a small on-chip set-associative cache of decrypted reference signatures,
+// probed with the address of a basic block's terminating instruction.
+//
+// An SC entry holds the block's truncated crypto hash plus bounded
+// most-recently-used lists of successor and returning-predecessor
+// addresses. If a block has more successors than fit, only the MRU ones are
+// resident; validating an edge absent from the lists is a *partial miss*
+// (the entry exists, the address must be re-fetched from the RAM table),
+// while a missing entry is a *complete miss*. Blocks that overlap in memory
+// and share a terminator coexist as separate entries discriminated by their
+// hash.
+package sigcache
+
+import (
+	"rev/internal/chash"
+	"rev/internal/sigtable"
+)
+
+// Config sizes the SC. The evaluation uses 32 KB and 64 KB, 4-way
+// (Sec. VIII); EntryBytes converts capacity to entry count.
+type Config struct {
+	SizeKB     int
+	Assoc      int
+	EntryBytes int
+	// MaxTargets/MaxPreds bound the MRU address lists within an entry.
+	MaxTargets int
+	MaxPreds   int
+}
+
+// DefaultConfig is the paper's 32 KB 4-way SC with two successor and two
+// predecessor slots per entry.
+func DefaultConfig() Config {
+	return Config{SizeKB: 32, Assoc: 4, EntryBytes: 32, MaxTargets: 2, MaxPreds: 2}
+}
+
+// ProbeResult classifies an SC probe.
+type ProbeResult int
+
+const (
+	// Hit: entry present and every needed address resident.
+	Hit ProbeResult = iota
+	// PartialMiss: entry present but a needed successor/predecessor
+	// address is not in the MRU lists (Sec. IV.C).
+	PartialMiss
+	// CompleteMiss: no entry for the block.
+	CompleteMiss
+)
+
+func (r ProbeResult) String() string {
+	switch r {
+	case Hit:
+		return "hit"
+	case PartialMiss:
+		return "partial-miss"
+	case CompleteMiss:
+		return "complete-miss"
+	}
+	return "?"
+}
+
+// Stats counts SC outcomes.
+type Stats struct {
+	Probes         uint64
+	Hits           uint64
+	PartialMisses  uint64
+	CompleteMisses uint64
+	Fills          uint64
+	Evictions      uint64
+}
+
+// MissRate returns (partial+complete)/probes.
+func (s *Stats) MissRate() float64 {
+	if s.Probes == 0 {
+		return 0
+	}
+	return float64(s.PartialMisses+s.CompleteMisses) / float64(s.Probes)
+}
+
+// Misses returns the total miss count (Figure 10's metric).
+func (s *Stats) Misses() uint64 { return s.PartialMisses + s.CompleteMisses }
+
+type entry struct {
+	valid   bool
+	end     uint64
+	hash    chash.Sig
+	targets []uint64 // MRU-first
+	preds   []uint64 // MRU-first
+	lastUse uint64
+}
+
+// Cache is the signature cache.
+type Cache struct {
+	cfg   Config
+	sets  int
+	ways  []entry
+	stamp uint64
+
+	Stats Stats
+}
+
+// New builds an SC from its configuration.
+func New(cfg Config) *Cache {
+	entries := cfg.SizeKB * 1024 / cfg.EntryBytes
+	sets := entries / cfg.Assoc
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("sigcache: entry count per way must be a power of two")
+	}
+	return &Cache{cfg: cfg, sets: sets, ways: make([]entry, entries)}
+}
+
+func (c *Cache) setBase(end uint64) int {
+	return int((end>>3)&uint64(c.sets-1)) * c.cfg.Assoc
+}
+
+func (c *Cache) find(end uint64, hash chash.Sig) *entry {
+	base := c.setBase(end)
+	for w := 0; w < c.cfg.Assoc; w++ {
+		e := &c.ways[base+w]
+		if e.valid && e.end == end && e.hash == hash {
+			return e
+		}
+	}
+	return nil
+}
+
+// Need describes which addresses a validation requires resident.
+type Need struct {
+	// Target, if CheckTarget, is the actual successor address that must be
+	// listed (computed control flow; every branch under Aggressive).
+	Target      uint64
+	CheckTarget bool
+	// Pred, if CheckPred, is the returning RET address that must be listed
+	// (delayed return validation on the landing block).
+	Pred      uint64
+	CheckPred bool
+}
+
+// Probe checks whether the block (end, hash) can be validated entirely from
+// the SC. It updates LRU and statistics.
+func (c *Cache) Probe(end uint64, hash chash.Sig, need Need) ProbeResult {
+	c.Stats.Probes++
+	c.stamp++
+	e := c.find(end, hash)
+	if e == nil {
+		c.Stats.CompleteMisses++
+		return CompleteMiss
+	}
+	e.lastUse = c.stamp
+	if need.CheckTarget && !promote(&e.targets, need.Target) {
+		c.Stats.PartialMisses++
+		return PartialMiss
+	}
+	if need.CheckPred && !promote(&e.preds, need.Pred) {
+		c.Stats.PartialMisses++
+		return PartialMiss
+	}
+	c.Stats.Hits++
+	return Hit
+}
+
+// Lookup reports whether an entry is resident without counting a probe
+// (used by the front end to decide whether to start a prefetch).
+func (c *Cache) Lookup(end uint64, hash chash.Sig) bool {
+	return c.find(end, hash) != nil
+}
+
+// promote moves addr to the front of the MRU list if present.
+func promote(list *[]uint64, addr uint64) bool {
+	l := *list
+	for i, a := range l {
+		if a == addr {
+			copy(l[1:i+1], l[:i])
+			l[0] = addr
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs (or refreshes) the entry for a decoded signature-table
+// record, retaining at most MaxTargets/MaxPreds MRU addresses. A partial
+// miss does NOT discard the resident MRU lists: the needed address is
+// inserted at the front and the LRU slot is evicted, matching the paper's
+// in-entry replacement of successor/predecessor fields (Sec. IV.C). Only
+// addresses that are legal per the record (or already resident, hence
+// previously proven legal) are kept.
+func (c *Cache) Fill(rec sigtable.Entry, need Need) {
+	c.Stats.Fills++
+	c.stamp++
+	e := c.find(rec.End, rec.Hash)
+	if e == nil {
+		base := c.setBase(rec.End)
+		// Choose an invalid way, else LRU.
+		vw := -1
+		for w := 0; w < c.cfg.Assoc; w++ {
+			if !c.ways[base+w].valid {
+				vw = base + w
+				break
+			}
+		}
+		if vw < 0 {
+			vw = base
+			for w := 1; w < c.cfg.Assoc; w++ {
+				if c.ways[base+w].lastUse < c.ways[vw].lastUse {
+					vw = base + w
+				}
+			}
+			c.Stats.Evictions++
+		}
+		c.ways[vw] = entry{valid: true, end: rec.End, hash: rec.Hash}
+		e = &c.ways[vw]
+	}
+	e.lastUse = c.stamp
+	e.targets = mruMerge(e.targets, rec.Targets, need.Target, need.CheckTarget, c.cfg.MaxTargets)
+	e.preds = mruMerge(e.preds, rec.RetPreds, need.Pred, need.CheckPred, c.cfg.MaxPreds)
+}
+
+// mruMerge builds the new MRU list: the needed address first (if legal per
+// the record), then the already-resident addresses, then further record
+// addresses, truncated to max.
+func mruMerge(resident, legal []uint64, needed uint64, check bool, max int) []uint64 {
+	if max <= 0 {
+		return nil
+	}
+	out := make([]uint64, 0, max)
+	seen := func(a uint64) bool {
+		for _, x := range out {
+			if x == a {
+				return true
+			}
+		}
+		return false
+	}
+	if check {
+		for _, a := range legal {
+			if a == needed {
+				out = append(out, a)
+				break
+			}
+		}
+	}
+	for _, a := range resident {
+		if len(out) >= max {
+			return out
+		}
+		if !seen(a) {
+			out = append(out, a)
+		}
+	}
+	for _, a := range legal {
+		if len(out) >= max {
+			return out
+		}
+		if !seen(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Flush empties the SC (context switch in the strictest model; the paper's
+// design keeps entries across switches since tables are per-module and
+// entries are address-tagged — Flush exists for ablations).
+func (c *Cache) Flush() {
+	for i := range c.ways {
+		c.ways[i] = entry{}
+	}
+}

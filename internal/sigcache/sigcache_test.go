@@ -1,0 +1,168 @@
+package sigcache
+
+import (
+	"testing"
+
+	"rev/internal/chash"
+	"rev/internal/sigtable"
+)
+
+func smallSC() *Cache {
+	// 4 entries total, 2-way: 2 sets.
+	return New(Config{SizeKB: 1, Assoc: 2, EntryBytes: 256, MaxTargets: 2, MaxPreds: 2})
+}
+
+func rec(end uint64, hash chash.Sig, targets, preds []uint64) sigtable.Entry {
+	return sigtable.Entry{End: end, Hash: hash, Targets: targets, RetPreds: preds}
+}
+
+func TestColdProbeCompleteMiss(t *testing.T) {
+	c := smallSC()
+	if r := c.Probe(0x1000, 1, Need{}); r != CompleteMiss {
+		t.Errorf("cold probe = %v", r)
+	}
+	if c.Stats.CompleteMisses != 1 || c.Stats.Probes != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestFillThenHit(t *testing.T) {
+	c := smallSC()
+	c.Fill(rec(0x1000, 1, nil, nil), Need{})
+	if r := c.Probe(0x1000, 1, Need{}); r != Hit {
+		t.Errorf("probe after fill = %v", r)
+	}
+	// Wrong hash (tampered code / overlapping block) must not hit.
+	if r := c.Probe(0x1000, 2, Need{}); r != CompleteMiss {
+		t.Errorf("wrong-hash probe = %v", r)
+	}
+}
+
+func TestOverlappingBlocksCoexist(t *testing.T) {
+	c := smallSC()
+	c.Fill(rec(0x1000, 1, nil, nil), Need{})
+	c.Fill(rec(0x1000, 2, nil, nil), Need{})
+	if c.Probe(0x1000, 1, Need{}) != Hit || c.Probe(0x1000, 2, Need{}) != Hit {
+		t.Error("entries sharing a terminator must coexist")
+	}
+}
+
+func TestTargetPartialMiss(t *testing.T) {
+	c := smallSC()
+	// Block with 3 targets; only 2 fit.
+	c.Fill(rec(0x1000, 1, []uint64{10, 20, 30}, nil), Need{})
+	if r := c.Probe(0x1000, 1, Need{Target: 10, CheckTarget: true}); r != Hit {
+		t.Errorf("MRU target = %v", r)
+	}
+	if r := c.Probe(0x1000, 1, Need{Target: 30, CheckTarget: true}); r != PartialMiss {
+		t.Errorf("evicted target = %v", r)
+	}
+	// Refill placing 30 first (as the miss handler would).
+	c.Fill(rec(0x1000, 1, []uint64{10, 20, 30}, nil), Need{Target: 30, CheckTarget: true})
+	if r := c.Probe(0x1000, 1, Need{Target: 30, CheckTarget: true}); r != Hit {
+		t.Errorf("after refill = %v", r)
+	}
+	if c.Stats.PartialMisses != 1 {
+		t.Errorf("partial misses = %d", c.Stats.PartialMisses)
+	}
+}
+
+func TestPredPartialMiss(t *testing.T) {
+	c := smallSC()
+	c.Fill(rec(0x2000, 5, nil, []uint64{100, 200, 300}), Need{})
+	if r := c.Probe(0x2000, 5, Need{Pred: 200, CheckPred: true}); r != Hit {
+		t.Errorf("resident pred = %v", r)
+	}
+	if r := c.Probe(0x2000, 5, Need{Pred: 300, CheckPred: true}); r != PartialMiss {
+		t.Errorf("non-resident pred = %v", r)
+	}
+}
+
+func TestMRUPromotion(t *testing.T) {
+	c := smallSC()
+	c.Fill(rec(0x1000, 1, []uint64{10, 20}, nil), Need{})
+	// Probe 20: promoted to front. Both stay resident (max 2), so both hit.
+	if c.Probe(0x1000, 1, Need{Target: 20, CheckTarget: true}) != Hit {
+		t.Error("target 20 should hit")
+	}
+	if c.Probe(0x1000, 1, Need{Target: 10, CheckTarget: true}) != Hit {
+		t.Error("target 10 should still hit")
+	}
+}
+
+func TestLRUEvictionWithinSet(t *testing.T) {
+	c := smallSC() // 2 sets, 2 ways
+	// Three blocks mapping to the same set (stride = sets*8 = 16).
+	c.Fill(rec(0x1000, 1, nil, nil), Need{})
+	c.Fill(rec(0x1010, 2, nil, nil), Need{})
+	c.Probe(0x1000, 1, Need{}) // refresh first
+	c.Fill(rec(0x1020, 3, nil, nil), Need{})
+	if !c.Lookup(0x1000, 1) {
+		t.Error("MRU entry evicted")
+	}
+	if c.Lookup(0x1010, 2) {
+		t.Error("LRU entry should have been evicted")
+	}
+	if c.Stats.Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats.Evictions)
+	}
+}
+
+func TestLookupDoesNotCount(t *testing.T) {
+	c := smallSC()
+	c.Lookup(0x1000, 1)
+	if c.Stats.Probes != 0 {
+		t.Error("Lookup must not count as probe")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := smallSC()
+	c.Fill(rec(0x1000, 1, nil, nil), Need{})
+	c.Flush()
+	if c.Lookup(0x1000, 1) {
+		t.Error("flush left entry")
+	}
+}
+
+func TestStatsMissRate(t *testing.T) {
+	c := smallSC()
+	c.Probe(0x1000, 1, Need{}) // complete miss
+	c.Fill(rec(0x1000, 1, nil, nil), Need{})
+	c.Probe(0x1000, 1, Need{}) // hit
+	if r := c.Stats.MissRate(); r != 0.5 {
+		t.Errorf("miss rate = %v", r)
+	}
+	if c.Stats.Misses() != 1 {
+		t.Errorf("Misses() = %d", c.Stats.Misses())
+	}
+}
+
+func TestNeededAddressPlacedFirstOnlyIfLegal(t *testing.T) {
+	c := smallSC()
+	// The "needed" address is NOT in the legal list: Fill must not invent
+	// it, and the subsequent probe must partial-miss (the engine then
+	// detects the violation from the RAM lookup).
+	c.Fill(rec(0x1000, 1, []uint64{10, 20}, nil), Need{Target: 99, CheckTarget: true})
+	if r := c.Probe(0x1000, 1, Need{Target: 99, CheckTarget: true}); r != PartialMiss {
+		t.Errorf("illegal needed target = %v, want PartialMiss", r)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	// 3 KB / 100 B = 30 entries, 4-way -> 7 sets: not a power of two.
+	New(Config{SizeKB: 3, Assoc: 4, EntryBytes: 100})
+}
+
+func TestDefaultConfigCapacity(t *testing.T) {
+	c := New(DefaultConfig())
+	// 32KB / 32B = 1024 entries, 4-way = 256 sets.
+	if c.sets != 256 {
+		t.Errorf("sets = %d, want 256", c.sets)
+	}
+}

@@ -1,0 +1,216 @@
+package sigtable
+
+import (
+	"encoding/binary"
+
+	"rev/internal/chash"
+	"rev/internal/crypt"
+	"rev/internal/isa"
+	"rev/internal/prog"
+)
+
+// Install writes a table image into simulated RAM at base and records the
+// base in the Table. The image bytes in RAM are ciphertext; only a Reader
+// holding the unwrapped key (CPU-internal) can interpret them.
+func Install(t *Table, img []byte, mem prog.AddressSpace, base uint64) {
+	mem.WriteBytes(base, img)
+	t.Base = base
+}
+
+// Reader performs lookups against an installed, encrypted table. It models
+// what REV's signature address generation unit plus decrypt logic do on an
+// SC miss: compute the bucket address from the block's terminator address,
+// fetch records through the memory system, decrypt, and walk collision and
+// spill chains. The Reader reports every RAM address it touched so the
+// timing model can charge the cache hierarchy for each access.
+type Reader struct {
+	Table  *Table
+	mem    prog.AddressSpace
+	cipher *crypt.Cipher
+}
+
+// NewReader opens an installed table. The wrapped key is read from the
+// table header in RAM and unwrapped via the CPU key store, mirroring
+// Sec. IX: plaintext keys exist only inside the CPU.
+func NewReader(t *Table, mem prog.AddressSpace, ks *crypt.KeyStore) *Reader {
+	hdr := make([]byte, HeaderSize)
+	mem.ReadBytes(t.Base, hdr)
+	key := ks.Unwrap(WrappedKeyFromImage(hdr))
+	return &Reader{Table: t, mem: mem, cipher: crypt.NewCipher(key)}
+}
+
+// recordAddr returns the RAM address of record idx.
+func (r *Reader) recordAddr(idx uint64) uint64 {
+	sz := uint64(RecordSize)
+	if r.Table.Format == CFIOnly {
+		sz = CFIRecordSize
+	}
+	return r.Table.Base + HeaderSize + idx*sz
+}
+
+func (r *Reader) readRecord(idx uint64, touched *[]uint64) [RecordSize / 4]uint32 {
+	addr := r.recordAddr(idx)
+	*touched = append(*touched, addr)
+	var buf [RecordSize]byte
+	r.mem.ReadBytes(addr, buf[:])
+	r.cipher.DecryptEntry(idx, buf[:])
+	var w [RecordSize / 4]uint32
+	for i := range w {
+		w[i] = binary.LittleEndian.Uint32(buf[4*i:])
+	}
+	return w
+}
+
+// Want tells Lookup which addresses the pending validation needs so the
+// spill-chain walk can stop as soon as they are found — the paper's
+// "progressively looked up" semantics (Sec. V.B). Hardware would not keep
+// reading spill records after the match.
+type Want struct {
+	Target      uint64
+	CheckTarget bool
+	Pred        uint64
+	CheckPred   bool
+}
+
+// Lookup finds the entry for a block identified by its terminator address
+// and run-time-computed signature. It returns the decoded entry, the list
+// of RAM addresses touched during the walk (for timing), and whether a
+// matching entry exists. A miss means either tampered code (hash mismatch)
+// or control flow through a block unknown to the static analysis — both
+// validation failures.
+//
+// The spill chain is walked only as far as the Want requires: with no
+// checks requested only the inline payload is decoded; otherwise the walk
+// stops at the record that satisfies the outstanding checks (or at the end
+// of the chain, in which case the caller's membership test fails and the
+// validation is a violation).
+func (r *Reader) Lookup(end uint64, sig chash.Sig, want Want) (Entry, []uint64, bool) {
+	var touched []uint64
+	if r.Table.Format == CFIOnly {
+		panic("sigtable: Lookup on CFI-only table; use LookupEdge")
+	}
+	idx := bucketOf(end, r.Table.Buckets)
+	for {
+		w := r.readRecord(idx, &touched)
+		typ := w[0] >> recTypeShift & 0xf
+		if typ == recBlock && w[0]&tagMask == tagOf(end) && chash.Sig(w[1]) == sig {
+			e := r.decodeEntry(end, w, &touched, want, false)
+			return e, touched, true
+		}
+		next := uint64(w[5])
+		if typ == recInvalid || next == 0 {
+			return Entry{}, touched, false
+		}
+		idx = next
+	}
+}
+
+// LookupAll is Lookup with an exhaustive spill walk, returning the entry's
+// complete target and predecessor lists (used by offline tools and tests;
+// the hardware path uses Lookup).
+func (r *Reader) LookupAll(end uint64, sig chash.Sig) (Entry, []uint64, bool) {
+	var touched []uint64
+	if r.Table.Format == CFIOnly {
+		panic("sigtable: LookupAll on CFI-only table; use LookupEdge")
+	}
+	idx := bucketOf(end, r.Table.Buckets)
+	for {
+		w := r.readRecord(idx, &touched)
+		typ := w[0] >> recTypeShift & 0xf
+		if typ == recBlock && w[0]&tagMask == tagOf(end) && chash.Sig(w[1]) == sig {
+			e := r.decodeEntry(end, w, &touched, Want{}, true)
+			return e, touched, true
+		}
+		next := uint64(w[5])
+		if typ == recInvalid || next == 0 {
+			return Entry{}, touched, false
+		}
+		idx = next
+	}
+}
+
+// satisfied reports whether the gathered addresses cover the Want.
+func satisfied(e *Entry, want Want) bool {
+	if want.CheckTarget && !containsAddr(e.Targets, want.Target) {
+		return false
+	}
+	if want.CheckPred && !containsAddr(e.RetPreds, want.Pred) {
+		return false
+	}
+	return true
+}
+
+func containsAddr(list []uint64, a uint64) bool {
+	for _, x := range list {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Reader) decodeEntry(end uint64, w [RecordSize / 4]uint32, touched *[]uint64, want Want, full bool) Entry {
+	e := Entry{
+		End:  end,
+		Hash: chash.Sig(w[1]),
+		Term: isa.Kind(w[0] >> termShift & 0xf),
+	}
+	nT := int(w[0] >> nInlineTShift & 0x3)
+	nP := int(w[0] >> nInlinePShift & 0x3)
+	for i := 0; i < nT; i++ {
+		e.Targets = append(e.Targets, uint64(w[2+i]))
+	}
+	for i := 0; i < nP; i++ {
+		e.RetPreds = append(e.RetPreds, uint64(w[2+nT+i]))
+	}
+	// Walk the spill chain progressively, no further than needed.
+	for idx := uint64(w[4]); idx != 0; {
+		if !full && satisfied(&e, want) {
+			break
+		}
+		ew := r.readRecord(idx, touched)
+		if ew[0]>>recTypeShift&0xf != recExtension {
+			break // corrupt chain; treat as end
+		}
+		xnT := int(ew[0] >> extNTShift & 0x7)
+		xnP := int(ew[0] >> extNPShift & 0x7)
+		for i := 0; i < xnT; i++ {
+			e.Targets = append(e.Targets, uint64(ew[1+i]))
+		}
+		for i := 0; i < xnP; i++ {
+			e.RetPreds = append(e.RetPreds, uint64(ew[1+xnT+i]))
+		}
+		idx = uint64(ew[5])
+	}
+	return e
+}
+
+// LookupEdge validates a computed control-flow edge src->dst against a
+// CFI-only table. It returns the RAM addresses touched and whether the edge
+// is legal.
+func (r *Reader) LookupEdge(src, dst uint64) ([]uint64, bool) {
+	if r.Table.Format != CFIOnly {
+		panic("sigtable: LookupEdge on hashed table; use Lookup")
+	}
+	var touched []uint64
+	idx := edgeBucket(src, dst, r.Table.Buckets)
+	for {
+		addr := r.recordAddr(idx)
+		touched = append(touched, addr)
+		var buf [CFIRecordSize]byte
+		r.mem.ReadBytes(addr, buf[:])
+		r.cipher.DecryptEntry(idx, buf[:])
+		w := binary.LittleEndian.Uint64(buf[:])
+		if w == 0 {
+			return touched, false
+		}
+		if uint32(w) == uint32(dst) && w>>32&0xfff == src>>3&0xfff {
+			return touched, true
+		}
+		next := w >> 44
+		if next == 0 {
+			return touched, false
+		}
+		idx = next
+	}
+}

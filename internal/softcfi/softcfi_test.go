@@ -1,0 +1,272 @@
+package softcfi
+
+import (
+	"testing"
+
+	"rev/internal/asm"
+	"rev/internal/cpu"
+	"rev/internal/isa"
+	"rev/internal/prog"
+)
+
+// victim builds a program exercising every check class: direct calls,
+// computed call through a vtable, computed jump through a table, returns.
+func victim() *prog.Module {
+	b := asm.New("v")
+	b.Func("main")
+	b.Entry("main")
+	b.LoadImm(1, 0)
+	b.LoadImm(2, 20)
+	b.Func("loophead")
+	b.Call("work")
+	b.LoadDataAddr(8, "vt", 0)
+	b.Load(9, 8, 0)
+	b.CallReg(9)
+	b.OpI(isa.ANDI, 10, 1, 1)
+	b.LoadDataAddr(8, "jt", 0)
+	b.OpI(isa.SHLI, 11, 10, 3)
+	b.Op3(isa.ADD, 8, 8, 11)
+	b.Load(9, 8, 0)
+	b.JmpReg(9)
+	b.Func("cont")
+	b.OpI(isa.ADDI, 1, 1, 1)
+	b.Br(isa.BLT, 1, 2, "back")
+	b.Out(3)
+	b.Halt()
+	b.Label("back")
+	b.CodeAddrFixup(12, "loophead")
+	b.JmpReg(12)
+	b.Func("work")
+	b.OpI(isa.ADDI, 3, 3, 7)
+	b.Ret()
+	b.Func("method")
+	b.OpI(isa.ADDI, 3, 3, 1)
+	b.Ret()
+	b.Func("caseA")
+	b.CodeAddrFixup(12, "cont")
+	b.JmpReg(12)
+	b.Func("caseB")
+	b.OpI(isa.ADDI, 3, 3, 2)
+	b.CodeAddrFixup(12, "cont")
+	b.JmpReg(12)
+	mo, _ := b.FuncOffset("method")
+	b.DataWords("vt", []uint64{prog.CodeBase + mo})
+	ca, _ := b.FuncOffset("caseA")
+	cb, _ := b.FuncOffset("caseB")
+	b.DataWords("jt", []uint64{prog.CodeBase + ca, prog.CodeBase + cb})
+	return b.MustAssemble()
+}
+
+func runModule(t *testing.T, m *prog.Module, budget uint64) *cpu.Machine {
+	t.Helper()
+	p := prog.NewProgram()
+	if err := p.Load(m); err != nil {
+		t.Fatal(err)
+	}
+	mach := cpu.NewMachine(p)
+	if _, err := mach.Run(budget); err != nil {
+		t.Fatal(err)
+	}
+	return mach
+}
+
+func TestInstrumentedBehaviourUnchanged(t *testing.T) {
+	plain := runModule(t, victim(), 100_000)
+	if !plain.Halted {
+		t.Fatal("victim did not halt")
+	}
+	inst, st, err := Instrument(victim(), prog.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IndirectSites == 0 || st.ReturnSites == 0 || st.EntryLabels == 0 {
+		t.Fatalf("instrumentation stats empty: %+v", st)
+	}
+	mach := runModule(t, inst, 200_000)
+	if !mach.Halted {
+		t.Fatal("instrumented victim did not halt (likely a false CFI trap)")
+	}
+	if len(mach.Output) != len(plain.Output) {
+		t.Fatalf("output lengths differ: %v vs %v", mach.Output, plain.Output)
+	}
+	for i := range plain.Output {
+		if mach.Output[i] != plain.Output[i] {
+			t.Fatalf("output[%d] = %d, want %d", i, mach.Output[i], plain.Output[i])
+		}
+	}
+	if mach.Instret <= plain.Instret {
+		t.Error("instrumented run must execute more instructions")
+	}
+}
+
+func TestInstrumentedTrapsOnDivertedCall(t *testing.T) {
+	inst, _, err := Instrument(victim(), prog.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prog.NewProgram()
+	if err := p.Load(inst); err != nil {
+		t.Fatal(err)
+	}
+	mach := cpu.NewMachine(p)
+	fired := false
+	mach.BeforeStep = func(pc uint64, in isa.Instr) {
+		// Divert the target register to mid-function code (skipping the
+		// entry label) just as the inlined check is about to read the
+		// label word: the comparison must fail and trap.
+		if !fired && in.Op == isa.LD && in.Rd == 28 && mach.Instret > 50 {
+			fired = true
+			mach.X[in.Rs1] += 2 * isa.WordSize
+		}
+	}
+	if _, err := mach.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("diversion never fired")
+	}
+	if !mach.Halted {
+		t.Fatal("trap should halt the machine")
+	}
+	if len(mach.Output) == 0 || mach.Output[len(mach.Output)-1] != 0 {
+		t.Errorf("expected trap marker (0) as final output, got %v", mach.Output)
+	}
+}
+
+func TestInstrumentedTrapsOnROP(t *testing.T) {
+	inst, _, err := Instrument(victim(), prog.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prog.NewProgram()
+	if err := p.Load(inst); err != nil {
+		t.Fatal(err)
+	}
+	gadget, _ := inst.Lookup("method")
+	mach := cpu.NewMachine(p)
+	fired := false
+	mach.BeforeStep = func(pc uint64, in isa.Instr) {
+		// Point a return at a function entry (classic return-to-function):
+		// entry labels differ from return-site labels, so the coarse CFI
+		// check still catches it.
+		if !fired && in.Op == isa.RET && mach.Instret > 50 {
+			fired = true
+			mach.X[isa.RegRA] = gadget
+		}
+	}
+	if _, err := mach.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("attack never fired")
+	}
+	if len(mach.Output) == 0 || mach.Output[len(mach.Output)-1] != 0 {
+		t.Errorf("expected trap marker, got %v", mach.Output)
+	}
+}
+
+func TestJumpTableTargetsScanner(t *testing.T) {
+	m := victim()
+	targets := JumpTableTargets(m, prog.CodeBase)
+	if len(targets) != 3 { // method, caseA, caseB
+		t.Errorf("targets = %d, want 3", len(targets))
+	}
+}
+
+func TestLabelWordMatchesEncoding(t *testing.T) {
+	w := labelWord(LabelEntry)
+	in := labelInstr(LabelEntry)
+	enc := in.Encode()
+	var got uint64
+	for i := 7; i >= 0; i-- {
+		got = got<<8 | uint64(enc[i])
+	}
+	if w != got {
+		t.Errorf("labelWord = %#x, encoding = %#x", w, got)
+	}
+	if labelWord(LabelEntry) == labelWord(LabelReturn) {
+		t.Error("label classes must differ")
+	}
+}
+
+func TestInstrumentForJumpTargetsComputedGoto(t *testing.T) {
+	// A computed goto into intra-function labels: the plain Instrument
+	// pass would trap (labels only at entries); the jump-table-aware pass
+	// must label the scanned targets and run cleanly.
+	b := asm.New("g")
+	b.Func("main")
+	b.Entry("main")
+	b.LoadImm(1, 0)
+	b.Func("seg0")
+	b.OpI(isa.ADDI, 1, 1, 1)
+	b.LoadImm(2, 3)
+	b.Br(isa.BLT, 1, 2, "go")
+	b.Out(1)
+	b.Halt()
+	b.Label("go")
+	b.LoadDataAddr(3, "jt", 0)
+	b.OpI(isa.ANDI, 4, 1, 1)
+	b.OpI(isa.SHLI, 4, 4, 3)
+	b.Op3(isa.ADD, 3, 3, 4)
+	b.Load(5, 3, 0)
+	b.JmpReg(5)
+	b.Func("segA")
+	b.OpI(isa.ADDI, 6, 6, 1)
+	b.CodeAddrFixup(7, "seg0")
+	b.JmpReg(7)
+	b.Func("segB")
+	b.OpI(isa.ADDI, 6, 6, 2)
+	b.CodeAddrFixup(7, "seg0")
+	b.JmpReg(7)
+	oa, _ := b.FuncOffset("segA")
+	ob, _ := b.FuncOffset("segB")
+	b.DataWords("jt", []uint64{prog.CodeBase + oa, prog.CodeBase + ob})
+	m := b.MustAssemble()
+
+	plain := runModule(t, func() *prog.Module {
+		// fresh copy of the same module
+		return b2copy(t, m)
+	}(), 100_000)
+
+	targets := JumpTableTargets(b2copy(t, m), prog.CodeBase)
+	if len(targets) < 2 {
+		t.Fatalf("targets = %d", len(targets))
+	}
+	inst, st, err := InstrumentForJumpTargets(b2copy(t, m), prog.CodeBase, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EntryLabels < 4 { // main, seg0, segA, segB at least
+		t.Errorf("entry labels = %d", st.EntryLabels)
+	}
+	mach := runModule(t, inst, 200_000)
+	if !mach.Halted {
+		t.Fatal("instrumented computed-goto program did not halt")
+	}
+	if len(mach.Output) != len(plain.Output) || mach.Output[0] != plain.Output[0] {
+		t.Errorf("outputs differ: %v vs %v", mach.Output, plain.Output)
+	}
+}
+
+func TestInstrumentForJumpTargetsRejectsMisaligned(t *testing.T) {
+	m := victim()
+	if _, _, err := InstrumentForJumpTargets(m, prog.CodeBase, []uint64{3}); err == nil {
+		t.Error("misaligned target accepted")
+	}
+}
+
+// b2copy rebuilds a fresh unloaded copy of a module (Instrument mutates
+// nothing, but loading assigns Base, so each run needs its own copy).
+func b2copy(t *testing.T, m *prog.Module) *prog.Module {
+	t.Helper()
+	cp := &prog.Module{
+		Name:     m.Name,
+		Code:     append([]byte(nil), m.Code...),
+		Entry:    m.Entry,
+		Symbols:  append([]prog.Symbol(nil), m.Symbols...),
+		Data:     append([]byte(nil), m.Data...),
+		DataSyms: append([]prog.Symbol(nil), m.DataSyms...),
+		Relocs:   append([]prog.Reloc(nil), m.Relocs...),
+	}
+	return cp
+}

@@ -1,0 +1,136 @@
+// Package stats provides aggregation helpers and aligned-text table
+// rendering for the experiment harness. The paper reports per-benchmark
+// bars (Figures 6–12) and summary means; the harness reproduces them as
+// text tables with one row per benchmark plus an aggregate row.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// HarmonicMean returns the harmonic mean (the paper's aggregation for IPC
+// across repeated runs). Zero or negative inputs are rejected by returning
+// 0 to avoid division blowups.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var inv float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		inv += 1 / x
+	}
+	return float64(len(xs)) / inv
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		prod *= x
+	}
+	return math.Pow(prod, 1/float64(len(xs)))
+}
+
+// Table is an aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes are printed under the table (paper-vs-measured commentary).
+	Notes []string
+}
+
+// AddRow appends a row; values are formatted with %v unless already
+// strings.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a commentary line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Pct formats a percentage with two decimals.
+func Pct(x float64) string { return fmt.Sprintf("%.2f%%", x) }
+
+// F3 formats a float with three decimals.
+func F3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// KB formats a byte count in KiB.
+func KB(b uint64) string { return fmt.Sprintf("%.1fKB", float64(b)/1024) }

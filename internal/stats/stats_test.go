@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeans(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	if got := Mean(xs); got != 7.0/3 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := HarmonicMean(xs); math.Abs(got-12.0/7) > 1e-12 {
+		t.Errorf("HarmonicMean = %v", got)
+	}
+	if got := GeoMean(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v", got)
+	}
+}
+
+func TestMeansEmptyAndInvalid(t *testing.T) {
+	if Mean(nil) != 0 || HarmonicMean(nil) != 0 || GeoMean(nil) != 0 {
+		t.Error("empty inputs should give 0")
+	}
+	if HarmonicMean([]float64{1, 0}) != 0 || GeoMean([]float64{-1, 2}) != 0 {
+		t.Error("non-positive inputs should give 0")
+	}
+}
+
+func TestMeanInequalityProperty(t *testing.T) {
+	// HM <= GM <= AM for positive values.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r%100) + 1
+		}
+		hm, gm, am := HarmonicMean(xs), GeoMean(xs), Mean(xs)
+		return hm <= gm+1e-9 && gm <= am+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Headers: []string{"bench", "ipc"},
+	}
+	tbl.AddRow("gcc", 1.234567)
+	tbl.AddRow("averylongname", "x")
+	tbl.AddNote("hello %d", 42)
+	out := tbl.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "1.235") {
+		t.Error("float not formatted")
+	}
+	if !strings.Contains(out, "note: hello 42") {
+		t.Error("missing note")
+	}
+	// Alignment: the header and the long row should pad to the same width.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %q", out)
+	}
+	if !strings.Contains(lines[1], "bench") {
+		t.Errorf("header line = %q", lines[1])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(1.876) != "1.88%" {
+		t.Errorf("Pct = %q", Pct(1.876))
+	}
+	if F3(2.5) != "2.500" {
+		t.Errorf("F3 = %q", F3(2.5))
+	}
+	if KB(2048) != "2.0KB" {
+		t.Errorf("KB = %q", KB(2048))
+	}
+}

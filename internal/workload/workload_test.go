@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"rev/internal/cfg"
+	"rev/internal/core"
+	"rev/internal/cpu"
+	"rev/internal/sigtable"
+)
+
+func small(name string) Profile {
+	p, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p.Scaled(0.01)
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := small("bzip2")
+	m1, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m1.Code, m2.Code) || !bytes.Equal(m1.Data, m2.Data) {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestAllProfilesGenerateAndRun(t *testing.T) {
+	for _, p := range Profiles() {
+		p := p.Scaled(0.005)
+		t.Run(p.Name, func(t *testing.T) {
+			pr, err := p.Builder()()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mach := cpu.NewMachine(pr)
+			if _, err := mach.Run(20_000); err != nil {
+				t.Fatalf("functional run failed: %v", err)
+			}
+			if mach.Instret < 20_000 && !mach.Halted {
+				t.Error("run stopped early without halting")
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("gcc"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+	if len(Profiles()) != 15 {
+		t.Errorf("suite has %d benchmarks, want 15", len(Profiles()))
+	}
+}
+
+func TestCFGStatisticsPlausible(t *testing.T) {
+	p := small("gamess")
+	pr, err := p.Builder()()
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiler, err := cfg.ProfileRun(pr, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr2, err := p.Builder()()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bld := cfg.NewBuilder(pr2.Main(), cfg.DefaultLimits())
+	profiler.Apply(bld)
+	g, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Stats()
+	if s.NumBlocks < 100 {
+		t.Errorf("blocks = %d, too few", s.NumBlocks)
+	}
+	if s.AvgInstrs < 3 || s.AvgInstrs > 20 {
+		t.Errorf("avg instrs/block = %v, implausible", s.AvgInstrs)
+	}
+	if s.AvgSuccessors < 1.0 || s.AvgSuccessors > 6 {
+		t.Errorf("avg successors = %v, implausible", s.AvgSuccessors)
+	}
+}
+
+func TestREVCleanOnWorkload(t *testing.T) {
+	p := small("hmmer")
+	rc := core.DefaultRunConfig()
+	rc.MaxInstrs = 60_000
+	rev := core.DefaultConfig()
+	rev.Format = sigtable.Normal
+	rc.REV = &rev
+	res, err := core.Run(p.Builder(), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("clean workload flagged: %v", res.Violation)
+	}
+	if res.Engine.ValidatedBlocks == 0 {
+		t.Error("nothing validated")
+	}
+}
+
+func TestLocalityKnobSeparatesBenchmarks(t *testing.T) {
+	// gobmk (cold-heavy) must show more unique branches than libquantum
+	// (one hot loop) for the same instruction budget.
+	run := func(name string) *core.Result {
+		p := small(name)
+		rc := core.DefaultRunConfig()
+		rc.MaxInstrs = 60_000
+		res, err := core.Run(p.Builder(), rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	gobmk := run("gobmk")
+	libq := run("libquantum")
+	if gobmk.UniqueBranches <= libq.UniqueBranches {
+		t.Errorf("gobmk unique branches (%d) should exceed libquantum (%d)",
+			gobmk.UniqueBranches, libq.UniqueBranches)
+	}
+}
+
+func TestScaledShrinksStaticSize(t *testing.T) {
+	full, err := ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallP := full.Scaled(0.01)
+	if smallP.ColdFuncs >= full.ColdFuncs {
+		t.Error("Scaled did not shrink ColdFuncs")
+	}
+	if smallP.Name != full.Name {
+		t.Error("Scaled changed the name")
+	}
+}

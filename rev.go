@@ -1,0 +1,126 @@
+// Package rev is a library-scale reproduction of "Continuous, Low
+// Overhead, Run-Time Validation of Program Executions" (Aktas, Afram &
+// Ghose, MICRO 2014): the REV run-time execution validator, embedded in a
+// cycle-level out-of-order core simulator, together with the synthetic
+// SPEC-2006-like workloads, the Table-1 attack injectors, and the harness
+// that regenerates every table and figure of the paper's evaluation.
+//
+// This package is a facade over the implementation packages:
+//
+//   - internal/core — the REV engine (signature cache, CHG, SAG, deferred
+//     state update, delayed return validation) and the simulator driver
+//   - internal/cpu — the functional machine and the OOO timing model
+//   - internal/mem, internal/branch — memory hierarchy and predictors
+//   - internal/sigtable, internal/sigcache, internal/sag, internal/chash,
+//     internal/crypt — the signature infrastructure
+//   - internal/workload — SPEC-like synthetic benchmarks
+//   - internal/attack — Table-1 attack scenarios
+//   - internal/experiments — the paper's tables and figures
+//
+// # Quick start
+//
+//	p, _ := rev.Benchmark("gcc")
+//	cfg := rev.DefaultRunConfig()
+//	cfg.REV = rev.DefaultREVConfig()
+//	res, err := rev.Run(p.Builder(), cfg)
+//	fmt.Println(res.IPC(), res.SC.MissRate)
+package rev
+
+import (
+	"rev/internal/attack"
+	"rev/internal/core"
+	"rev/internal/experiments"
+	"rev/internal/forensics"
+	"rev/internal/prog"
+	"rev/internal/sigtable"
+	"rev/internal/workload"
+)
+
+// Re-exported configuration and result types.
+type (
+	// RunConfig assembles one simulation (core, memory, predictor, REV).
+	RunConfig = core.RunConfig
+	// REVConfig parameterizes the REV hardware.
+	REVConfig = core.Config
+	// Result reports a finished run.
+	Result = core.Result
+	// Violation is REV's validation-failure exception.
+	Violation = core.Violation
+	// Program is a loaded multi-module program and its memory.
+	Program = prog.Program
+	// WorkloadProfile parameterizes a synthetic SPEC-like benchmark.
+	WorkloadProfile = workload.Profile
+	// AttackScenario is one Table-1 attack.
+	AttackScenario = attack.Scenario
+	// AttackOutcome reports protected/unprotected attack runs.
+	AttackOutcome = attack.Outcome
+	// ExperimentSuite caches and runs the evaluation experiments.
+	ExperimentSuite = experiments.Suite
+	// ThreadedRunConfig configures round-robin multithreaded simulation.
+	ThreadedRunConfig = core.ThreadedRunConfig
+	// ThreadedResult reports a multithreaded run.
+	ThreadedResult = core.ThreadedResult
+	// Blacklist matches blocks against captured attack fingerprints.
+	Blacklist = forensics.Blacklist
+	// ViolationRecord is the forensic capture of one failed validation.
+	ViolationRecord = forensics.Record
+)
+
+// Table formats (validation coverage levels, Sec. V).
+const (
+	FormatNormal     = sigtable.Normal
+	FormatAggressive = sigtable.Aggressive
+	FormatCFIOnly    = sigtable.CFIOnly
+)
+
+// DefaultRunConfig mirrors the paper's Table 2 machine with no validator.
+func DefaultRunConfig() RunConfig { return core.DefaultRunConfig() }
+
+// DefaultREVConfig is the paper's default REV: normal-format tables, a
+// 32 KB signature cache, and a 16-cycle crypto hash generator.
+func DefaultREVConfig() *REVConfig {
+	cfg := core.DefaultConfig()
+	return &cfg
+}
+
+// Run simulates a program. The builder must deterministically construct a
+// fresh program instance per call (one is consumed by the profiling pass).
+func Run(build func() (*Program, error), cfg RunConfig) (*Result, error) {
+	return core.Run(build, cfg)
+}
+
+// Benchmark returns a SPEC-2006-like workload profile by name (bzip2,
+// cactusADM, calculix, dealII, gamess, gcc, gobmk, h264ref, hmmer,
+// leslie3d, libquantum, mcf, milc, sjeng, soplex).
+func Benchmark(name string) (WorkloadProfile, error) { return workload.ByName(name) }
+
+// Benchmarks lists all workload profiles.
+func Benchmarks() []WorkloadProfile { return workload.Profiles() }
+
+// Attacks returns the six Table-1 attack scenarios.
+func Attacks() []*AttackScenario { return attack.Scenarios() }
+
+// RunAttack executes a scenario clean, attacked-unprotected, and
+// attacked-protected, reporting detection and behaviour divergence.
+func RunAttack(s *AttackScenario, maxInstrs uint64) (*AttackOutcome, error) {
+	return attack.Run(s, maxInstrs)
+}
+
+// NewExperimentSuite creates the evaluation harness used to regenerate the
+// paper's figures (see internal/experiments for the experiment list).
+func NewExperimentSuite(maxInstrs uint64, scale float64) *ExperimentSuite {
+	return experiments.NewSuite(experiments.Config{MaxInstrs: maxInstrs, Scale: scale})
+}
+
+// DefaultThreadedRunConfig mirrors the single-core defaults with a
+// 20k-instruction scheduling quantum (requirement R4 experiments).
+func DefaultThreadedRunConfig() ThreadedRunConfig { return core.DefaultThreadedRunConfig() }
+
+// RunThreads time-slices several threads (named function symbols) over one
+// simulated core and one shared REV engine.
+func RunThreads(build func() (*Program, error), entries []string, trc ThreadedRunConfig) (*ThreadedResult, error) {
+	return core.RunThreads(build, entries, trc)
+}
+
+// NewBlacklist creates an empty attack-fingerprint blacklist (Sec. X).
+func NewBlacklist() *Blacklist { return forensics.NewBlacklist() }

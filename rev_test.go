@@ -1,0 +1,67 @@
+package rev
+
+import "testing"
+
+func TestFacadeCleanRun(t *testing.T) {
+	p, err := Benchmark("libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = p.Scaled(0.01)
+	cfg := DefaultRunConfig()
+	cfg.MaxInstrs = 50_000
+	cfg.REV = DefaultREVConfig()
+	res, err := Run(p.Builder(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("clean run flagged: %v", res.Violation)
+	}
+	if res.IPC() <= 0 {
+		t.Error("no IPC")
+	}
+	if res.Engine.ValidatedBlocks == 0 {
+		t.Error("nothing validated")
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	if len(Benchmarks()) != 15 {
+		t.Errorf("benchmarks = %d, want 15", len(Benchmarks()))
+	}
+	if _, err := Benchmark("not-a-benchmark"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestFacadeAttacks(t *testing.T) {
+	attacks := Attacks()
+	if len(attacks) != 6 {
+		t.Fatalf("attacks = %d, want 6", len(attacks))
+	}
+	o, err := RunAttack(attacks[0], 80_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Detected {
+		t.Errorf("attack %s not detected", attacks[0].Name)
+	}
+}
+
+func TestFacadeExperimentSuite(t *testing.T) {
+	s := NewExperimentSuite(30_000, 0.01)
+	tbl, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Error("empty figure")
+	}
+}
+
+func TestFormatsExported(t *testing.T) {
+	if FormatNormal == FormatAggressive || FormatNormal == FormatCFIOnly {
+		t.Error("format constants collide")
+	}
+}
