@@ -1,0 +1,43 @@
+GO ?= go
+
+.PHONY: all build test vet race bench-smoke bench-figures bench-json clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the packages that run engines in parallel (the experiments
+# suite fans simulations out across goroutines; each engine must stay
+# goroutine-local).
+race:
+	$(GO) test -race ./internal/core ./internal/chash
+
+race-all:
+	$(GO) test -race ./internal/...
+
+# Quick perf guardrail: the hot-path microbenchmarks with allocation
+# reporting. BenchmarkHookHashedMemoized must report 0 allocs/op.
+bench-smoke:
+	$(GO) test -run xxx -bench 'HookHashed' -benchtime 100000x ./internal/core
+	$(GO) test -run xxx -bench 'CubeHashBlock|CHGFeedRetire' -benchtime 100000x ./internal/chash
+	$(GO) test -run xxx -bench 'StoreTable' -benchtime 100000x ./internal/cpu
+
+# End-to-end figure harness timing (the acceptance metric for hot-path
+# regressions).
+bench-figures:
+	$(GO) test -run xxx -bench 'Fig6|Fig7' -benchtime 1x .
+
+# Regenerate the machine-readable perf record (see README "Benchmarking").
+bench-json:
+	$(GO) run ./cmd/revbench -exp fig6,fig7 -instrs 120000 -scale 0.05 \
+		-json BENCH_hotpath.json -ref fig6=4.863,fig7=4.789
+
+clean:
+	$(GO) clean ./...

@@ -6,20 +6,67 @@
 //	revbench -exp fig7                # one experiment
 //	revbench -exp fig6 -instrs 2e6    # longer runs
 //	revbench -exp tablesize -scale 0.1
+//	revbench -exp fig6,fig7 -json BENCH_hotpath.json \
+//	    -ref fig6=4.863,fig7=4.789    # machine-readable perf record
 //
 // Experiments: table1, table2, bbstats, fig6, fig7, fig8, fig9, fig10,
 // fig11, fig12, tablesize, cfionly, softcfi, power, all.
+//
+// With -json, revbench also runs a hot-path probe — one REV-protected
+// workload measured with runtime.MemStats around it — and writes wall time
+// per experiment plus validated-blocks/sec, allocations/block, and memo hit
+// rates to the given file. -ref name=seconds pairs embed a reference (e.g.
+// pre-optimization) wall time per experiment so the file records the
+// speedup alongside the measurement.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
+	"time"
 
+	"rev/internal/core"
 	"rev/internal/experiments"
+	"rev/internal/sigtable"
 	"rev/internal/stats"
+	"rev/internal/workload"
 )
+
+// expTiming is one experiment's wall-clock record.
+type expTiming struct {
+	ID          string  `json:"id"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// RefSeconds/Speedup are present when -ref supplied a reference time.
+	RefSeconds float64 `json:"ref_seconds,omitempty"`
+	Speedup    float64 `json:"speedup,omitempty"`
+}
+
+// hotPath records the per-block cost probe: a single REV-protected run
+// bracketed by runtime.ReadMemStats.
+type hotPath struct {
+	Workload       string  `json:"workload"`
+	Instrs         uint64  `json:"instrs"`
+	Blocks         uint64  `json:"blocks"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	BlocksPerSec   float64 `json:"blocks_per_sec"`
+	Mallocs        uint64  `json:"mallocs"`
+	AllocsPerBlock float64 `json:"allocs_per_block"`
+	MemoHits       uint64  `json:"memo_hits"`
+	MemoMisses     uint64  `json:"memo_misses"`
+}
+
+type benchReport struct {
+	Generated   string      `json:"generated"`
+	Instrs      uint64      `json:"instrs"`
+	Scale       float64     `json:"scale"`
+	Experiments []expTiming `json:"experiments"`
+	HotPath     *hotPath    `json:"hotpath,omitempty"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (comma separated), or 'all'")
@@ -27,33 +74,44 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload static-size scale (1.0 = paper-matched)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	attackInstrs := flag.Uint64("attackinstrs", 100_000, "instruction budget per attack scenario")
+	jsonPath := flag.String("json", "", "write machine-readable timings (e.g. BENCH_hotpath.json)")
+	ref := flag.String("ref", "", "reference wall times as id=seconds pairs, comma separated")
 	flag.Parse()
 
-	suite := experiments.NewSuite(experiments.Config{
+	refTimes, err := parseRef(*ref)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "revbench: -ref: %v\n", err)
+		os.Exit(2)
+	}
+
+	suiteCfg := experiments.Config{
 		MaxInstrs: *instrs,
 		Scale:     *scale,
 		Parallel:  *parallel,
-	})
+	}
+	suite := experiments.NewSuite(suiteCfg)
 
-	type expFn func() (*stats.Table, error)
-	table := func(t *stats.Table) expFn { return func() (*stats.Table, error) { return t, nil } }
+	type expFn func(s *experiments.Suite) (*stats.Table, error)
+	table := func(t *stats.Table) expFn {
+		return func(*experiments.Suite) (*stats.Table, error) { return t, nil }
+	}
 	all := []struct {
 		id  string
 		run expFn
 	}{
 		{"table2", table(experiments.Table2())},
-		{"table1", func() (*stats.Table, error) { return experiments.Table1(*attackInstrs) }},
-		{"bbstats", suite.BBStats},
-		{"fig6", suite.Fig6},
-		{"fig7", suite.Fig7},
-		{"fig8", suite.Fig8},
-		{"fig9", suite.Fig9},
-		{"fig10", suite.Fig10},
-		{"fig11", suite.Fig11},
-		{"fig12", suite.Fig12},
-		{"tablesize", suite.TableSizes},
-		{"cfionly", suite.CFIOnly},
-		{"softcfi", suite.SoftCFI},
+		{"table1", func(*experiments.Suite) (*stats.Table, error) { return experiments.Table1(*attackInstrs) }},
+		{"bbstats", (*experiments.Suite).BBStats},
+		{"fig6", (*experiments.Suite).Fig6},
+		{"fig7", (*experiments.Suite).Fig7},
+		{"fig8", (*experiments.Suite).Fig8},
+		{"fig9", (*experiments.Suite).Fig9},
+		{"fig10", (*experiments.Suite).Fig10},
+		{"fig11", (*experiments.Suite).Fig11},
+		{"fig12", (*experiments.Suite).Fig12},
+		{"tablesize", (*experiments.Suite).TableSizes},
+		{"cfionly", (*experiments.Suite).CFIOnly},
+		{"softcfi", (*experiments.Suite).SoftCFI},
 		{"power", table(experiments.Power())},
 	}
 
@@ -61,16 +119,35 @@ func main() {
 	for _, id := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(id)] = true
 	}
+	report := benchReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Instrs:    *instrs,
+		Scale:     *scale,
+	}
 	ran := 0
 	for _, e := range all {
 		if !want["all"] && !want[e.id] {
 			continue
 		}
-		t, err := e.run()
+		if *jsonPath != "" {
+			// Benchmarking mode: time each experiment against a fresh suite
+			// so figures sharing cached simulation runs (e.g. fig6/fig7)
+			// each pay — and report — their full cost.
+			suite = experiments.NewSuite(suiteCfg)
+		}
+		start := time.Now()
+		t, err := e.run(suite)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "revbench: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}
+		wall := time.Since(start).Seconds()
+		et := expTiming{ID: e.id, WallSeconds: round3(wall)}
+		if r, ok := refTimes[e.id]; ok && wall > 0 {
+			et.RefSeconds = r
+			et.Speedup = round3(r / wall)
+		}
+		report.Experiments = append(report.Experiments, et)
 		fmt.Println(t.String())
 		ran++
 	}
@@ -79,4 +156,93 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if *jsonPath != "" {
+		hp, err := probeHotPath(*instrs, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "revbench: hot-path probe: %v\n", err)
+			os.Exit(1)
+		}
+		report.HotPath = hp
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "revbench: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "revbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "revbench: wrote %s\n", *jsonPath)
+	}
+}
+
+// probeHotPath runs one REV-protected workload and measures simulator-side
+// throughput: validated blocks per second and heap allocations per block.
+func probeHotPath(instrs uint64, scale float64) (*hotPath, error) {
+	p, err := workload.ByName("bzip2")
+	if err != nil {
+		return nil, err
+	}
+	p = p.Scaled(scale)
+	rc := core.DefaultRunConfig()
+	rc.MaxInstrs = instrs
+	cfg := core.DefaultConfig()
+	cfg.Format = sigtable.Normal
+	rc.REV = &cfg
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := core.Run(p.Builder(), rc)
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return nil, err
+	}
+	if res.Violation != nil {
+		return nil, fmt.Errorf("clean workload flagged: %v", res.Violation)
+	}
+	blocks := res.Pipe.BBCount
+	hp := &hotPath{
+		Workload:    p.Name,
+		Instrs:      res.Pipe.Instrs,
+		Blocks:      blocks,
+		WallSeconds: round3(wall),
+		Mallocs:     after.Mallocs - before.Mallocs,
+		MemoHits:    res.Engine.MemoHits,
+		MemoMisses:  res.Engine.MemoMisses,
+	}
+	if wall > 0 {
+		hp.BlocksPerSec = round3(float64(blocks) / wall)
+	}
+	if blocks > 0 {
+		hp.AllocsPerBlock = round3(float64(hp.Mallocs) / float64(blocks))
+	}
+	return hp, nil
+}
+
+func parseRef(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	if s == "" {
+		return out, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(pair), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("want id=seconds, got %q", pair)
+		}
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %v", pair, err)
+		}
+		out[kv[0]] = v
+	}
+	return out, nil
+}
+
+func round3(f float64) float64 {
+	return float64(int64(f*1000+0.5)) / 1000
 }

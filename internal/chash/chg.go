@@ -9,57 +9,142 @@ package chash
 //
 // The functional digest itself is computed by BBSignature; CHG models only
 // the timing and occupancy.
+//
+// Implementation: block tags are assigned in fetch order and are therefore
+// monotonically increasing, so the in-flight set is FIFO by construction —
+// a ring buffer, not a map. Feed/ReadyAt/Retire touch the newest or oldest
+// entries, and Flush (a branch-mispredict squash of everything younger than
+// fromTag) truncates a suffix of the ring. Retiring a mid-ring tag leaves a
+// tombstone that is reclaimed when it reaches the head. The ring grows
+// (doubling) if more blocks are in flight than its current capacity.
 type CHG struct {
 	// Latency is H, the pipeline depth of the hash generator in cycles.
 	// The paper assumes H = 16, matched to the S = 16 stages between
 	// fetch and commit so that hash generation is fully overlapped.
 	Latency uint64
 
-	inflight map[uint64]uint64 // tag -> cycle the last input entered
+	ring []chgSlot // ring[ (head+i) % len ] for i < n
+	head int       // index of the oldest slot
+	n    int       // occupied extent, including tombstones
+	live int       // non-tombstone entries
 
 	// Stats.
 	Started uint64
 	Flushed uint64
 }
 
+type chgSlot struct {
+	tag  uint64
+	last uint64 // cycle the last input entered
+	dead bool   // retired mid-ring; reclaimed when it reaches the head
+}
+
+const chgInitialCapacity = 16
+
 // NewCHG returns a CHG with the given pipeline latency.
 func NewCHG(latency uint64) *CHG {
-	return &CHG{Latency: latency, inflight: make(map[uint64]uint64)}
+	return &CHG{Latency: latency, ring: make([]chgSlot, chgInitialCapacity)}
+}
+
+// slot returns the i-th occupied slot (0 = oldest).
+func (c *CHG) slot(i int) *chgSlot { return &c.ring[(c.head+i)%len(c.ring)] }
+
+// find returns the occupied index of a live tag, or -1. It scans newest
+// first: Feed and ReadyAt overwhelmingly touch the block most recently fed.
+func (c *CHG) find(tag uint64) int {
+	for i := c.n - 1; i >= 0; i-- {
+		s := c.slot(i)
+		if s.tag == tag {
+			if s.dead {
+				return -1
+			}
+			return i
+		}
+		if s.tag < tag {
+			// Tags are monotonic: everything older is smaller.
+			return -1
+		}
+	}
+	return -1
 }
 
 // Feed records that an instruction of the block identified by tag entered
 // the CHG at the given cycle. The first Feed for a tag starts the block.
+// Tags must be assigned in non-decreasing (fetch) order.
 func (c *CHG) Feed(tag, cycle uint64) {
-	if _, ok := c.inflight[tag]; !ok {
-		c.Started++
+	if i := c.find(tag); i >= 0 {
+		c.slot(i).last = cycle
+		return
 	}
-	c.inflight[tag] = cycle
+	c.Started++
+	if c.n == len(c.ring) {
+		c.grow()
+	}
+	*c.slot(c.n) = chgSlot{tag: tag, last: cycle}
+	c.n++
+	c.live++
+}
+
+// grow doubles the ring, linearizing the occupied extent.
+func (c *CHG) grow() {
+	next := make([]chgSlot, 2*len(c.ring))
+	for i := 0; i < c.n; i++ {
+		next[i] = *c.slot(i)
+	}
+	c.ring = next
+	c.head = 0
 }
 
 // ReadyAt returns the cycle at which the digest for tag is available:
 // Latency cycles after its last fed instruction. It reports false if the
 // tag is unknown (never fed or already flushed/retired).
 func (c *CHG) ReadyAt(tag uint64) (uint64, bool) {
-	last, ok := c.inflight[tag]
-	if !ok {
+	i := c.find(tag)
+	if i < 0 {
 		return 0, false
 	}
-	return last + c.Latency, true
+	return c.slot(i).last + c.Latency, true
 }
 
-// Retire removes a completed block from the pipeline.
-func (c *CHG) Retire(tag uint64) { delete(c.inflight, tag) }
+// Retire removes a completed block from the pipeline. Retiring the oldest
+// block (the common, in-order case) pops the ring head; retiring a mid-ring
+// block leaves a tombstone reclaimed when it reaches the head.
+func (c *CHG) Retire(tag uint64) {
+	i := c.find(tag)
+	if i < 0 {
+		return
+	}
+	c.slot(i).dead = true
+	c.live--
+	c.compactHead()
+}
+
+// compactHead pops dead slots off the front of the ring.
+func (c *CHG) compactHead() {
+	for c.n > 0 && c.ring[c.head].dead {
+		c.head = (c.head + 1) % len(c.ring)
+		c.n--
+	}
+}
 
 // Flush discards every in-flight block whose tag is >= fromTag — the
-// squash of all blocks younger than a mispredicted branch.
+// squash of all blocks younger than a mispredicted branch. Because tags are
+// monotonic, the squashed blocks are exactly a suffix of the ring.
 func (c *CHG) Flush(fromTag uint64) {
-	for tag := range c.inflight {
-		if tag >= fromTag {
-			delete(c.inflight, tag)
+	for c.n > 0 {
+		s := c.slot(c.n - 1)
+		if s.tag < fromTag {
+			break
+		}
+		if !s.dead {
+			c.live--
 			c.Flushed++
 		}
+		s.dead = false
+		c.n--
 	}
+	c.compactHead()
 }
 
 // InFlight returns the number of blocks currently in the pipeline.
-func (c *CHG) InFlight() int { return len(c.inflight) }
+func (c *CHG) InFlight() int { return c.live }

@@ -7,6 +7,13 @@
 // The paper uses a 5-round CubeHash whose hardware pipeline meets a
 // 16-cycle latency target and truncates the digest to its last 4 bytes to
 // keep signature-table entries small (Sec. V.C).
+//
+// The package exposes two API tiers: the allocating conveniences (Sum,
+// BBSignature) and the zero-allocation hot-path variants (SumInto,
+// BBSignatureInto) used by the engine's per-block validation loop. Both
+// tiers produce bit-identical digests; the alloc-free tier streams the
+// message through the sponge state directly instead of assembling a
+// concatenated buffer.
 package chash
 
 import (
@@ -56,6 +63,17 @@ func Sum(msg []byte) []byte { return defaultHash.Sum(msg) }
 
 // Sum computes the CubeHash digest of msg.
 func (c *CubeHash) Sum(msg []byte) []byte {
+	out := make([]byte, c.h/8)
+	c.SumInto(msg, out)
+	return out
+}
+
+// SumInto computes the CubeHash digest of msg into out without allocating.
+// len(out) must be the digest size (h/8 bytes).
+func (c *CubeHash) SumInto(msg, out []byte) {
+	if len(out) != c.h/8 {
+		panic("chash: SumInto output length does not match digest size")
+	}
 	x := c.iv
 	// Process whole blocks.
 	for len(msg) >= c.b {
@@ -63,20 +81,24 @@ func (c *CubeHash) Sum(msg []byte) []byte {
 		roundN(&x, c.r)
 		msg = msg[c.b:]
 	}
-	// Pad: 0x80 then zeros to the block boundary.
-	blk := make([]byte, c.b)
-	copy(blk, msg)
-	blk[len(msg)] = 0x80
-	xorBlock(&x, blk)
+	// Pad: 0x80 then zeros to the block boundary. The scratch block lives
+	// on the stack (max block size is 128 bytes).
+	var blk [128]byte
+	n := copy(blk[:], msg)
+	blk[n] = 0x80
+	xorBlock(&x, blk[:c.b])
 	roundN(&x, c.r)
-	// Finalize: flip the last state bit-word and run 10r rounds.
+	c.finalize(&x, out)
+}
+
+// finalize flips the last state bit-word, runs the closing rounds, and
+// serializes the digest.
+func (c *CubeHash) finalize(x *[32]uint32, out []byte) {
 	x[31] ^= 1
-	roundN(&x, 10*c.r)
-	out := make([]byte, c.h/8)
+	roundN(x, 10*c.r)
 	for i := range out {
 		out[i] = byte(x[i/4] >> (8 * (i % 4)))
 	}
-	return out
 }
 
 func xorBlock(x *[32]uint32, blk []byte) {
@@ -100,41 +122,6 @@ func roundN(x *[32]uint32, n int) {
 	}
 }
 
-// round is one CubeHash round: ten alternating add/rotate/swap/xor steps
-// over the 32-word state, exactly as in the CubeHash specification.
-func round(x *[32]uint32) {
-	for j := 0; j < 16; j++ {
-		x[16+j] += x[j]
-	}
-	for j := 0; j < 16; j++ {
-		x[j] = bits.RotateLeft32(x[j], 7)
-	}
-	for j := 0; j < 8; j++ {
-		x[j], x[8+j] = x[8+j], x[j]
-	}
-	for j := 0; j < 16; j++ {
-		x[j] ^= x[16+j]
-	}
-	for _, j := range [...]int{0, 1, 4, 5, 8, 9, 12, 13} {
-		x[16+j], x[18+j] = x[18+j], x[16+j]
-	}
-	for j := 0; j < 16; j++ {
-		x[16+j] += x[j]
-	}
-	for j := 0; j < 16; j++ {
-		x[j] = bits.RotateLeft32(x[j], 11)
-	}
-	for _, j := range [...]int{0, 1, 2, 3, 8, 9, 10, 11} {
-		x[j], x[4+j] = x[4+j], x[j]
-	}
-	for j := 0; j < 16; j++ {
-		x[j] ^= x[16+j]
-	}
-	for j := 0; j < 16; j += 2 {
-		x[16+j], x[17+j] = x[17+j], x[16+j]
-	}
-}
-
 // Sig is a truncated basic-block signature: the last SigBytes bytes of the
 // CubeHash digest, as the paper stores in signature-table entries.
 type Sig uint32
@@ -146,12 +133,225 @@ type Sig uint32
 // instruction (Sec. V.B); the end address binds the signature to the
 // block's identity used for table lookup.
 func BBSignature(instrBytes []byte, start, end uint64) Sig {
-	buf := make([]byte, 0, len(instrBytes)+16)
-	buf = append(buf, instrBytes...)
-	var addrs [16]byte
-	binary.LittleEndian.PutUint64(addrs[0:], start)
-	binary.LittleEndian.PutUint64(addrs[8:], end)
-	buf = append(buf, addrs[:]...)
-	d := defaultHash.Sum(buf)
-	return Sig(binary.LittleEndian.Uint32(d[len(d)-SigBytes:]))
+	var sig Sig
+	BBSignatureInto(&sig, instrBytes, start, end)
+	return sig
+}
+
+// BBSignatureInto computes the basic-block signature of (instrBytes, start,
+// end) into *dst without allocating: the hashed message — the instruction
+// bytes followed by the two little-endian addresses — streams through the
+// sponge state directly, and only the truncated last SigBytes of the digest
+// are materialized. Bit-identical to BBSignature.
+func BBSignatureInto(dst *Sig, instrBytes []byte, start, end uint64) {
+	c := defaultHash
+	x := c.iv
+	for len(instrBytes) >= c.b {
+		xorBlock(&x, instrBytes[:c.b])
+		roundN(&x, c.r)
+		instrBytes = instrBytes[c.b:]
+	}
+	// Tail: the remaining code bytes (< b), the 16 address bytes, the 0x80
+	// pad, and zeros up to a block boundary. Worst case (b = 128) is
+	// 127 + 16 + 1 = 144 bytes, padded to 256; the scratch stays on the
+	// stack.
+	var tail [256]byte
+	n := copy(tail[:], instrBytes)
+	binary.LittleEndian.PutUint64(tail[n:], start)
+	binary.LittleEndian.PutUint64(tail[n+8:], end)
+	n += 16
+	tail[n] = 0x80
+	n++
+	n = (n + c.b - 1) / c.b * c.b
+	for off := 0; off < n; off += c.b {
+		xorBlock(&x, tail[off:off+c.b])
+		roundN(&x, c.r)
+	}
+	x[31] ^= 1
+	roundN(&x, 10*c.r)
+	// The truncated signature is the last SigBytes bytes of the h/8-byte
+	// little-endian digest, assembled LSB-first exactly as
+	// binary.LittleEndian.Uint32(digest[h/8-SigBytes:]) would.
+	nb := c.h / 8
+	var v uint32
+	for i := nb - SigBytes; i < nb; i++ {
+		v |= uint32(byte(x[i/4]>>(8*(i%4)))) << (8 * (i - (nb - SigBytes)))
+	}
+	*dst = Sig(v)
+}
+
+// round is one CubeHash round, fully unrolled with the swap steps
+// folded into variable renaming (they cost nothing at run time). The
+// structure mirrors the specification's ten steps; roundRef in the test
+// file keeps the loop form and the two are checked against each other.
+//
+// Code generated mechanically from the loop form; edit roundRef first.
+func round(x *[32]uint32) {
+	x00 := x[0]
+	x01 := x[1]
+	x02 := x[2]
+	x03 := x[3]
+	x04 := x[4]
+	x05 := x[5]
+	x06 := x[6]
+	x07 := x[7]
+	x08 := x[8]
+	x09 := x[9]
+	x10 := x[10]
+	x11 := x[11]
+	x12 := x[12]
+	x13 := x[13]
+	x14 := x[14]
+	x15 := x[15]
+	x16 := x[16]
+	x17 := x[17]
+	x18 := x[18]
+	x19 := x[19]
+	x20 := x[20]
+	x21 := x[21]
+	x22 := x[22]
+	x23 := x[23]
+	x24 := x[24]
+	x25 := x[25]
+	x26 := x[26]
+	x27 := x[27]
+	x28 := x[28]
+	x29 := x[29]
+	x30 := x[30]
+	x31 := x[31]
+	// add x[j] into x[16+j]
+	x16 += x00
+	x17 += x01
+	x18 += x02
+	x19 += x03
+	x20 += x04
+	x21 += x05
+	x22 += x06
+	x23 += x07
+	x24 += x08
+	x25 += x09
+	x26 += x10
+	x27 += x11
+	x28 += x12
+	x29 += x13
+	x30 += x14
+	x31 += x15
+	// rotate x[j] left 7
+	x00 = bits.RotateLeft32(x00, 7)
+	x01 = bits.RotateLeft32(x01, 7)
+	x02 = bits.RotateLeft32(x02, 7)
+	x03 = bits.RotateLeft32(x03, 7)
+	x04 = bits.RotateLeft32(x04, 7)
+	x05 = bits.RotateLeft32(x05, 7)
+	x06 = bits.RotateLeft32(x06, 7)
+	x07 = bits.RotateLeft32(x07, 7)
+	x08 = bits.RotateLeft32(x08, 7)
+	x09 = bits.RotateLeft32(x09, 7)
+	x10 = bits.RotateLeft32(x10, 7)
+	x11 = bits.RotateLeft32(x11, 7)
+	x12 = bits.RotateLeft32(x12, 7)
+	x13 = bits.RotateLeft32(x13, 7)
+	x14 = bits.RotateLeft32(x14, 7)
+	x15 = bits.RotateLeft32(x15, 7)
+	// swap halves of the low state (renamed), xor x[16+j] into x[j]
+	x08 ^= x16
+	x09 ^= x17
+	x10 ^= x18
+	x11 ^= x19
+	x12 ^= x20
+	x13 ^= x21
+	x14 ^= x22
+	x15 ^= x23
+	x00 ^= x24
+	x01 ^= x25
+	x02 ^= x26
+	x03 ^= x27
+	x04 ^= x28
+	x05 ^= x29
+	x06 ^= x30
+	x07 ^= x31
+	// swap high pairs at distance 2 (renamed), add x[j] into x[16+j]
+	x18 += x08
+	x19 += x09
+	x16 += x10
+	x17 += x11
+	x22 += x12
+	x23 += x13
+	x20 += x14
+	x21 += x15
+	x26 += x00
+	x27 += x01
+	x24 += x02
+	x25 += x03
+	x30 += x04
+	x31 += x05
+	x28 += x06
+	x29 += x07
+	// rotate x[j] left 11
+	x08 = bits.RotateLeft32(x08, 11)
+	x09 = bits.RotateLeft32(x09, 11)
+	x10 = bits.RotateLeft32(x10, 11)
+	x11 = bits.RotateLeft32(x11, 11)
+	x12 = bits.RotateLeft32(x12, 11)
+	x13 = bits.RotateLeft32(x13, 11)
+	x14 = bits.RotateLeft32(x14, 11)
+	x15 = bits.RotateLeft32(x15, 11)
+	x00 = bits.RotateLeft32(x00, 11)
+	x01 = bits.RotateLeft32(x01, 11)
+	x02 = bits.RotateLeft32(x02, 11)
+	x03 = bits.RotateLeft32(x03, 11)
+	x04 = bits.RotateLeft32(x04, 11)
+	x05 = bits.RotateLeft32(x05, 11)
+	x06 = bits.RotateLeft32(x06, 11)
+	x07 = bits.RotateLeft32(x07, 11)
+	// swap low pairs at distance 4 (renamed), xor x[16+j] into x[j]
+	x12 ^= x18
+	x13 ^= x19
+	x14 ^= x16
+	x15 ^= x17
+	x08 ^= x22
+	x09 ^= x23
+	x10 ^= x20
+	x11 ^= x21
+	x04 ^= x26
+	x05 ^= x27
+	x06 ^= x24
+	x07 ^= x25
+	x00 ^= x30
+	x01 ^= x31
+	x02 ^= x28
+	x03 ^= x29
+	// store back (adjacent high pairs swapped via the renaming)
+	x[0] = x12
+	x[1] = x13
+	x[2] = x14
+	x[3] = x15
+	x[4] = x08
+	x[5] = x09
+	x[6] = x10
+	x[7] = x11
+	x[8] = x04
+	x[9] = x05
+	x[10] = x06
+	x[11] = x07
+	x[12] = x00
+	x[13] = x01
+	x[14] = x02
+	x[15] = x03
+	x[16] = x19
+	x[17] = x18
+	x[18] = x17
+	x[19] = x16
+	x[20] = x23
+	x[21] = x22
+	x[22] = x21
+	x[23] = x20
+	x[24] = x27
+	x[25] = x26
+	x[26] = x25
+	x[27] = x24
+	x[28] = x31
+	x[29] = x30
+	x[30] = x29
+	x[31] = x28
 }

@@ -1,0 +1,266 @@
+package chash
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// roundRef is the loop-form CubeHash round exactly as specified (and as
+// originally implemented): ten alternating add/rotate/swap/xor steps over
+// the 32-word state. The unrolled production round must match it bit for
+// bit on random states.
+func roundRef(x *[32]uint32) {
+	for j := 0; j < 16; j++ {
+		x[16+j] += x[j]
+	}
+	for j := 0; j < 16; j++ {
+		x[j] = bits.RotateLeft32(x[j], 7)
+	}
+	for j := 0; j < 8; j++ {
+		x[j], x[8+j] = x[8+j], x[j]
+	}
+	for j := 0; j < 16; j++ {
+		x[j] ^= x[16+j]
+	}
+	for _, j := range [...]int{0, 1, 4, 5, 8, 9, 12, 13} {
+		x[16+j], x[18+j] = x[18+j], x[16+j]
+	}
+	for j := 0; j < 16; j++ {
+		x[16+j] += x[j]
+	}
+	for j := 0; j < 16; j++ {
+		x[j] = bits.RotateLeft32(x[j], 11)
+	}
+	for _, j := range [...]int{0, 1, 2, 3, 8, 9, 10, 11} {
+		x[j], x[4+j] = x[4+j], x[j]
+	}
+	for j := 0; j < 16; j++ {
+		x[j] ^= x[16+j]
+	}
+	for j := 0; j < 16; j += 2 {
+		x[16+j], x[17+j] = x[17+j], x[16+j]
+	}
+}
+
+func TestRoundMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		var a, b [32]uint32
+		for i := range a {
+			a[i] = rng.Uint32()
+			b[i] = a[i]
+		}
+		round(&a)
+		roundRef(&b)
+		if a != b {
+			t.Fatalf("trial %d: unrolled round diverges from reference\n got %v\nwant %v", trial, a, b)
+		}
+	}
+}
+
+// TestBBSignatureIntoMatchesSum pins the streaming signature path to the
+// original definition: the last SigBytes bytes of Sum(code || start || end).
+func TestBBSignatureIntoMatchesSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 7, 8, 15, 16, 17, 31, 32, 33, 47, 48, 64, 127, 128, 129, 512} {
+		code := make([]byte, n)
+		rng.Read(code)
+		start, end := rng.Uint64(), rng.Uint64()
+
+		buf := make([]byte, 0, n+16)
+		buf = append(buf, code...)
+		var addrs [16]byte
+		binary.LittleEndian.PutUint64(addrs[0:], start)
+		binary.LittleEndian.PutUint64(addrs[8:], end)
+		buf = append(buf, addrs[:]...)
+		d := Sum(buf)
+		want := Sig(binary.LittleEndian.Uint32(d[len(d)-SigBytes:]))
+
+		var got Sig
+		BBSignatureInto(&got, code, start, end)
+		if got != want {
+			t.Errorf("n=%d: BBSignatureInto = %08x, Sum-based reference = %08x", n, got, want)
+		}
+		if alt := BBSignature(code, start, end); alt != want {
+			t.Errorf("n=%d: BBSignature = %08x, Sum-based reference = %08x", n, alt, want)
+		}
+	}
+}
+
+func TestSumIntoMatchesSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 31, 32, 33, 64, 100} {
+		msg := make([]byte, n)
+		rng.Read(msg)
+		want := Sum(msg)
+		got := make([]byte, DefaultBits/8)
+		defaultHash.SumInto(msg, got)
+		if !bytes.Equal(got, want) {
+			t.Errorf("n=%d: SumInto disagrees with Sum", n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SumInto with short output should panic")
+		}
+	}()
+	defaultHash.SumInto([]byte("x"), make([]byte, 8))
+}
+
+func TestBBSignatureIntoAllocFree(t *testing.T) {
+	code := make([]byte, 64)
+	var sig Sig
+	if a := testing.AllocsPerRun(100, func() {
+		BBSignatureInto(&sig, code, 0x400000, 0x400038)
+	}); a != 0 {
+		t.Errorf("BBSignatureInto allocates %.1f times per call; want 0", a)
+	}
+}
+
+// --- CHG ring-buffer semantics (satellite: Flush + wraparound) ---
+
+// TestCHGFlushMidStream verifies that flushing from a mid-stream tag drops
+// exactly the younger in-flight hashes: older tags survive with their
+// timing intact, flushed tags become unknown, and the flushed tags can be
+// re-fed (the refetch down the correct path).
+func TestCHGFlushMidStream(t *testing.T) {
+	c := NewCHG(16)
+	for tag := uint64(1); tag <= 6; tag++ {
+		c.Feed(tag, 100+tag)
+	}
+	c.Retire(2) // a mid-ring retire before the squash
+	if c.InFlight() != 5 {
+		t.Fatalf("InFlight = %d; want 5", c.InFlight())
+	}
+	c.Flush(4) // squash blocks 4, 5, 6
+	if c.Flushed != 3 {
+		t.Errorf("Flushed = %d; want 3", c.Flushed)
+	}
+	if c.InFlight() != 2 {
+		t.Errorf("InFlight = %d; want 2 (tags 1 and 3)", c.InFlight())
+	}
+	for _, tag := range []uint64{4, 5, 6} {
+		if _, ok := c.ReadyAt(tag); ok {
+			t.Errorf("tag %d should be flushed", tag)
+		}
+	}
+	for _, tag := range []uint64{1, 3} {
+		ready, ok := c.ReadyAt(tag)
+		if !ok || ready != 100+tag+16 {
+			t.Errorf("tag %d: ReadyAt = %d, %v; want %d", tag, ready, ok, 100+tag+16)
+		}
+	}
+	// The squashed path refetches: the same tags are fed again.
+	c.Feed(4, 300)
+	if ready, ok := c.ReadyAt(4); !ok || ready != 316 {
+		t.Errorf("re-fed tag 4: ReadyAt = %d, %v; want 316", ready, ok)
+	}
+}
+
+// TestCHGWraparoundConsistency drives the ring far past its initial
+// capacity with a mix of in-order retires, mid-ring retires, and flushes,
+// checking InFlight() against a reference map model the whole way.
+func TestCHGWraparoundConsistency(t *testing.T) {
+	c := NewCHG(8)
+	ref := map[uint64]uint64{} // live tag -> last cycle
+	rng := rand.New(rand.NewSource(123))
+	nextTag := uint64(1)
+	liveMin := func() (uint64, bool) {
+		var min uint64
+		found := false
+		for tag := range ref {
+			if !found || tag < min {
+				min, found = tag, true
+			}
+		}
+		return min, found
+	}
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // feed a new block (twice, like the engine)
+			tag := nextTag
+			nextTag++
+			c.Feed(tag, uint64(step))
+			c.Feed(tag, uint64(step)+1)
+			ref[tag] = uint64(step) + 1
+		case op < 8: // retire the oldest (in-order commit)
+			if tag, ok := liveMin(); ok {
+				c.Retire(tag)
+				delete(ref, tag)
+			}
+		case op < 9: // retire a random live tag (stress tombstones)
+			for tag := range ref {
+				c.Retire(tag)
+				delete(ref, tag)
+				break
+			}
+		default: // mispredict squash from a random point
+			if len(ref) > 0 {
+				from := nextTag - uint64(rng.Intn(3))
+				c.Flush(from)
+				for tag := range ref {
+					if tag >= from {
+						delete(ref, tag)
+					}
+				}
+			}
+		}
+		if c.InFlight() != len(ref) {
+			t.Fatalf("step %d: InFlight = %d, reference = %d", step, c.InFlight(), len(ref))
+		}
+		// Spot-check a few ReadyAt answers.
+		for tag, last := range ref {
+			ready, ok := c.ReadyAt(tag)
+			if !ok || ready != last+c.Latency {
+				t.Fatalf("step %d: tag %d ReadyAt = %d, %v; want %d", step, tag, ready, ok, last+c.Latency)
+			}
+			break
+		}
+	}
+	if c.InFlight() > 0 {
+		// Drain and confirm emptiness is reachable after heavy wraparound.
+		c.Flush(0)
+		if c.InFlight() != 0 {
+			t.Fatalf("InFlight = %d after full flush", c.InFlight())
+		}
+	}
+}
+
+// --- Hot-path microbenchmarks (perf guardrail) ---
+
+// BenchmarkCubeHashBlock hashes a typical 8-instruction basic block (64
+// code bytes + 16 address bytes) through the alloc-free signature path.
+func BenchmarkCubeHashBlock(b *testing.B) {
+	code := make([]byte, 64)
+	for i := range code {
+		code[i] = byte(i * 7)
+	}
+	var sig Sig
+	b.ReportAllocs()
+	b.SetBytes(int64(len(code)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BBSignatureInto(&sig, code, 0x400000, 0x400038)
+	}
+	_ = sig
+}
+
+// BenchmarkCHGFeedRetire measures the engine's per-block CHG sequence:
+// two feeds, a readiness query, and a retire.
+func BenchmarkCHGFeedRetire(b *testing.B) {
+	c := NewCHG(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tag := uint64(i + 1)
+		c.Feed(tag, uint64(i))
+		c.Feed(tag, uint64(i)+3)
+		if _, ok := c.ReadyAt(tag); !ok {
+			b.Fatal("tag unexpectedly unknown")
+		}
+		c.Retire(tag)
+	}
+}

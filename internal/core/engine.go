@@ -54,6 +54,14 @@ type Config struct {
 	// whose signature matches a previously captured attack fingerprint are
 	// rejected immediately, even at addresses the attack never used.
 	Blacklist *forensics.Blacklist
+	// MemoEntries sizes the engine's memoized basic-block signature cache
+	// (direct-mapped; rounded up to a power of two). 0 selects
+	// DefaultMemoEntries. The memo is a functional, simulator-speed cache
+	// only — timing and detection are identical with any size (collisions
+	// merely force a recompute). It is only consulted when the address
+	// space implements prog.CodeVersioner, which provides the
+	// self-modifying-code invalidation epoch.
+	MemoEntries int
 }
 
 // DefaultConfig is the paper's default REV: normal format, 32 KB SC, H=16.
@@ -126,6 +134,11 @@ type Stats struct {
 	RAMLookups      uint64
 	RecordsTouched  uint64
 	SAGPenalties    uint64
+	// MemoHits/MemoMisses count signature-memo outcomes; MemoMisses
+	// includes first-touch fills, collision evictions, and code-version
+	// (self-modifying code) invalidations.
+	MemoHits   uint64
+	MemoMisses uint64
 }
 
 // Engine is the REV hardware model.
@@ -155,10 +168,21 @@ type Engine struct {
 
 	nextSigBase uint64
 	bbTag       uint64
+
+	// Signature memoization (functional hot-path cache, see memo.go):
+	// memo holds per-block signatures; cv is the address space's
+	// code-version epoch source (nil when the space cannot report code
+	// mutations, in which case every block is recomputed as before).
+	memo *sigMemo
+	cv   prog.CodeVersioner
+	// codeBuf is the reusable scratch for a block's instruction bytes on
+	// the memo-miss path (no per-block allocation).
+	codeBuf []byte
 }
 
 // NewEngine creates a REV engine over a program's memory and hierarchy.
 func NewEngine(cfg Config, pmem prog.AddressSpace, hier *mem.Hierarchy, ks *crypt.KeyStore) *Engine {
+	cv, _ := pmem.(prog.CodeVersioner)
 	return &Engine{
 		Cfg:         cfg,
 		Mem:         pmem,
@@ -169,6 +193,8 @@ func NewEngine(cfg Config, pmem prog.AddressSpace, hier *mem.Hierarchy, ks *cryp
 		KS:          ks,
 		enabled:     true,
 		nextSigBase: prog.SigBase,
+		memo:        newSigMemo(cfg.MemoEntries),
+		cv:          cv,
 	}
 }
 
@@ -184,6 +210,13 @@ func (e *Engine) AddModule(g *cfg.Graph, key crypt.TableKey) error {
 	e.nextSigBase += (tbl.Size + prog.PageSize - 1) &^ (prog.PageSize - 1)
 	reader := sigtable.NewReader(tbl, e.Mem, e.KS)
 	e.Tables = append(e.Tables, tbl)
+	if e.cv != nil {
+		// Watch the module's text range: any store landing inside it bumps
+		// the code-version epoch and invalidates memoized signatures
+		// (self-modifying code, injection into existing code pages).
+		// Limit() addresses the final instruction; its bytes extend a word.
+		e.cv.WatchCode(g.Module.Base, g.Module.Limit()+uint64(isa.WordSize)-1)
+	}
 	return e.SAG.Register(&sag.Region{
 		Module: g.Module.Name,
 		Start:  g.Module.Base,
@@ -231,6 +264,16 @@ func (e *Engine) Hook(info cpu.BBInfo) (uint64, error) {
 	return e.hookHashed(info)
 }
 
+// scratch returns the engine's reusable code-byte buffer, sized to n bytes
+// (growing its backing array only when a larger block than any seen before
+// arrives; no steady-state allocation).
+func (e *Engine) scratch(n int) []byte {
+	if cap(e.codeBuf) < n {
+		e.codeBuf = make([]byte, n)
+	}
+	return e.codeBuf[:n]
+}
+
 // violate raises a violation, capturing forensic evidence when enabled.
 func (e *Engine) violate(reason ViolationReason, info cpu.BBInfo, offending uint64) error {
 	if e.Cfg.Forensics {
@@ -255,19 +298,57 @@ func (e *Engine) hookHashed(info cpu.BBInfo) (uint64, error) {
 	}
 
 	// The CHG hashes the bytes as fetched; functionally we read them from
-	// simulated memory, which is exactly what the fetch unit saw.
-	code := make([]byte, info.NumInstrs*isa.WordSize)
-	e.Mem.ReadBytes(info.Start, code)
-	sig := chash.BBSignature(code, info.Start, info.End)
+	// simulated memory, which is exactly what the fetch unit saw. The
+	// signature (and, when a blacklist is installed, the block's
+	// position-independent code fingerprint) is memoized per code-version
+	// epoch: stores into watched text invalidate the memo, so tampered
+	// bytes are always rehashed (see memo.go).
+	var sig, codeSig chash.Sig
+	codeSigValid := false
+	if e.cv != nil {
+		epoch := e.cv.CodeVersion()
+		ent, hit := e.memo.lookup(info.Start, info.End, epoch)
+		if hit && (e.Cfg.Blacklist == nil || ent.codeValid) {
+			e.Stats.MemoHits++
+			sig, codeSig, codeSigValid = ent.sig, ent.codeSig, ent.codeValid
+		} else {
+			e.Stats.MemoMisses++
+			code := e.scratch(info.NumInstrs * isa.WordSize)
+			e.Mem.ReadBytes(info.Start, code)
+			chash.BBSignatureInto(&sig, code, info.Start, info.End)
+			*ent = sigMemoEntry{
+				start: info.Start, end: info.End, epoch: epoch,
+				valid: true, sig: sig,
+			}
+			if e.Cfg.Blacklist != nil {
+				codeSig = forensics.CodeSig(code)
+				codeSigValid = true
+				ent.codeSig, ent.codeValid = codeSig, true
+			}
+		}
+	} else {
+		// The address space cannot report code mutations: recompute every
+		// block, exactly as the un-memoized engine did.
+		code := e.scratch(info.NumInstrs * isa.WordSize)
+		e.Mem.ReadBytes(info.Start, code)
+		chash.BBSignatureInto(&sig, code, info.Start, info.End)
+		if e.Cfg.Blacklist != nil {
+			codeSig = forensics.CodeSig(code)
+			codeSigValid = true
+		}
+	}
 
 	// Known-attack fingerprint check (Sec. X): repeat payloads are
-	// rejected outright, wherever they were injected.
+	// rejected outright, wherever they were injected. Both probes are map
+	// lookups on every execution; only the hashing is memoized.
 	if e.Cfg.Blacklist != nil {
 		if _, hit := e.Cfg.Blacklist.MatchPlaced(sig); hit {
 			return 0, e.violate(ViolationBlacklist, info, info.Start)
 		}
-		if _, hit := e.Cfg.Blacklist.MatchCode(code); hit {
-			return 0, e.violate(ViolationBlacklist, info, info.Start)
+		if codeSigValid {
+			if _, hit := e.Cfg.Blacklist.MatchCodeSig(codeSig); hit {
+				return 0, e.violate(ViolationBlacklist, info, info.Start)
+			}
 		}
 	}
 

@@ -1,0 +1,79 @@
+package core
+
+import "rev/internal/chash"
+
+// sigMemo is the engine's memoized basic-block signature cache: a
+// direct-mapped table keyed by (Start, End) holding the block's computed
+// chash.Sig (and, when a forensics blacklist is installed, the
+// position-independent code fingerprint the blacklist scan needs).
+//
+// Correctness rests on the address space's code-version epoch
+// (prog.CodeVersioner): every entry records the epoch it was computed
+// under, and a lookup only hits while that epoch is still current. Any
+// store landing in a watched text range advances the epoch, so
+// self-modifying code, run-time code injection, and module (un)loads all
+// invalidate memoized signatures exactly when the underlying bytes can
+// have changed — re-executing a tampered block recomputes its signature
+// from memory and the hash mismatch fires exactly as it did before
+// memoization.
+//
+// This is a *functional* (simulator-speed) cache only: the modeled
+// hardware CHG still hashes every fetched block, and all timing
+// (CHG latency, SC probes, table-walk stalls) is computed identically on
+// memo hits and misses. See DESIGN.md "Performance notes".
+//
+// The memo is engine-local and therefore goroutine-safe without locks
+// (each simulation owns its engine; the experiments suite runs many
+// engines in parallel).
+type sigMemo struct {
+	entries []sigMemoEntry
+	mask    uint64
+}
+
+type sigMemoEntry struct {
+	start, end uint64
+	epoch      uint64 // code version the signatures were computed under
+	valid      bool
+	codeValid  bool // codeSig computed (blacklist installed at fill time)
+	sig        chash.Sig
+	codeSig    chash.Sig // position-independent fingerprint (blacklist scan)
+}
+
+// DefaultMemoEntries sizes the direct-mapped signature memo. 8K entries
+// (~320 KB) comfortably covers the dynamic block working set of the
+// evaluation workloads; collisions only cost a recompute.
+const DefaultMemoEntries = 8192
+
+func newSigMemo(entries int) *sigMemo {
+	if entries <= 0 {
+		entries = DefaultMemoEntries
+	}
+	// Round up to a power of two for mask indexing.
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	return &sigMemo{entries: make([]sigMemoEntry, n), mask: uint64(n - 1)}
+}
+
+// slot returns the direct-mapped entry for a (start, end) block identity.
+func (m *sigMemo) slot(start, end uint64) *sigMemoEntry {
+	// Blocks are word-aligned and identified by both endpoints (overlapping
+	// blocks share an End but never a Start+End pair). Mix both with
+	// splitmix-style multipliers.
+	h := start*0x9E3779B97F4A7C15 + end*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	h *= 0x94D049BB133111EB
+	h ^= h >> 32
+	return &m.entries[h&m.mask]
+}
+
+// lookup returns the memoized entry for the block if it is present and
+// still valid under the current code-version epoch.
+func (m *sigMemo) lookup(start, end, epoch uint64) (*sigMemoEntry, bool) {
+	e := m.slot(start, end)
+	if e.valid && e.start == start && e.end == end && e.epoch == epoch {
+		return e, true
+	}
+	return e, false
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"rev/internal/cpu"
+	"rev/internal/isa"
+	"rev/internal/prog"
+	"rev/internal/sigtable"
+)
+
+// TestMemoReusedAcrossExecutions checks that the signature memo actually
+// carries the hot path: re-executed blocks hit, and only first-touch
+// executions (plus collisions) recompute.
+func TestMemoReusedAcrossExecutions(t *testing.T) {
+	rc := DefaultRunConfig()
+	rc.REV = revConfig(sigtable.Normal, 32)
+	res, err := Run(builderOf(loopProgram), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("clean run flagged: %v", res.Violation)
+	}
+	st := res.Engine
+	if st.MemoHits+st.MemoMisses != st.ValidatedBlocks {
+		t.Errorf("memo outcomes (%d hits + %d misses) != %d validated blocks",
+			st.MemoHits, st.MemoMisses, st.ValidatedBlocks)
+	}
+	if st.MemoHits == 0 {
+		t.Fatal("loop program produced no memo hits")
+	}
+	// The loop re-executes a handful of static blocks hundreds of times:
+	// hits must dominate by a wide margin.
+	if st.MemoMisses*10 > st.ValidatedBlocks {
+		t.Errorf("memo misses = %d of %d blocks; expected <10%%", st.MemoMisses, st.ValidatedBlocks)
+	}
+}
+
+// TestMemoInvalidatedBySMC is the self-modifying-code safety test for the
+// memo (satellite): a block executes enough times to be firmly memoized,
+// then the attack hook stores new instruction bytes into it. The store must
+// bump the code-version epoch, forcing a recompute of the block's signature
+// from the tampered bytes — and the hash mismatch must fire exactly as it
+// did before memoization existed.
+func TestMemoInvalidatedBySMC(t *testing.T) {
+	rc := DefaultRunConfig()
+	rc.REV = revConfig(sigtable.Normal, 32)
+	fired := false
+	rc.AttackHook = func(m *cpu.Machine, pc uint64, in isa.Instr) {
+		// Fire deep into the run so the victim block has been validated (and
+		// memoized) many times already.
+		if m.Instret == 500 && !fired {
+			fired = true
+			inj := isa.Instr{Op: isa.ADDI, Rd: 20, Imm: 666}
+			var buf [isa.WordSize]byte
+			inj.EncodeTo(buf[:])
+			m.Mem.WriteBytes(prog.CodeBase+2*isa.WordSize, buf[:])
+		}
+	}
+	res, err := Run(builderOf(loopProgram), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("attack hook never fired")
+	}
+	if res.Violation == nil {
+		t.Fatal("self-modification not detected: the memo served a stale signature")
+	}
+	if res.Violation.Reason != ViolationHash {
+		t.Errorf("reason = %v, want hash-mismatch", res.Violation.Reason)
+	}
+	// The run must have been hitting the memo before the store arrived —
+	// otherwise this test isn't exercising invalidation at all.
+	if res.Engine.MemoHits == 0 {
+		t.Error("no memo hits before the tampering store; invalidation untested")
+	}
+}
+
+// TestSigMemoEpochSemantics unit-tests the direct-mapped memo: fill, hit,
+// epoch invalidation, and collision eviction.
+func TestSigMemoEpochSemantics(t *testing.T) {
+	m := newSigMemo(8) // tiny: force collisions
+	if len(m.entries) != 8 {
+		t.Fatalf("entries = %d, want 8", len(m.entries))
+	}
+	ent, hit := m.lookup(0x400000, 0x400038, 1)
+	if hit {
+		t.Fatal("cold lookup hit")
+	}
+	*ent = sigMemoEntry{start: 0x400000, end: 0x400038, epoch: 1, valid: true, sig: 0xabcd}
+	if e, ok := m.lookup(0x400000, 0x400038, 1); !ok || e.sig != 0xabcd {
+		t.Fatal("warm lookup missed")
+	}
+	// Same block, newer epoch (a store hit watched text): must miss.
+	if _, ok := m.lookup(0x400000, 0x400038, 2); ok {
+		t.Fatal("stale-epoch lookup hit: SMC invalidation broken")
+	}
+	// Different identity mapping to some slot never matches.
+	if _, ok := m.lookup(0x400008, 0x400038, 1); ok {
+		t.Fatal("wrong-start lookup hit")
+	}
+}
+
+// TestMemoDisabledWithoutVersioner: an address space that cannot report
+// code mutations must disable memoization entirely (every block recomputed)
+// rather than risk serving stale signatures.
+func TestMemoDisabledWithoutVersioner(t *testing.T) {
+	rc := DefaultRunConfig()
+	rc.REV = revConfig(sigtable.Normal, 32)
+	rc.HideCodeVersion = true
+	res, err := Run(builderOf(loopProgram), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("clean run flagged: %v", res.Violation)
+	}
+	if res.Engine.MemoHits != 0 || res.Engine.MemoMisses != 0 {
+		t.Errorf("memo active without a CodeVersioner: hits=%d misses=%d",
+			res.Engine.MemoHits, res.Engine.MemoMisses)
+	}
+	if res.Engine.ValidatedBlocks == 0 {
+		t.Error("no blocks validated")
+	}
+}

@@ -36,7 +36,17 @@ type RunConfig struct {
 	// promoted to the program's real pages only if the whole execution
 	// validates and discarded on a violation.
 	PageShadowing bool
+	// HideCodeVersion wraps the address space so it no longer advertises
+	// prog.CodeVersioner, disabling the engine's signature memo (every block
+	// is rehashed). For ablation tests and the un-memoized benchmark
+	// baseline; results are identical either way, only simulator speed
+	// differs.
+	HideCodeVersion bool
 }
+
+// noVersionSpace forwards an AddressSpace while hiding any CodeVersioner
+// implementation of the underlying space (see RunConfig.HideCodeVersion).
+type noVersionSpace struct{ prog.AddressSpace }
 
 // DefaultRunConfig mirrors the paper's setup.
 func DefaultRunConfig() RunConfig {
@@ -113,6 +123,9 @@ func Run(build func() (*prog.Program, error), rc RunConfig) (*Result, error) {
 		shadowMem = shadow.New(measured.Mem)
 		space = shadowMem
 	}
+	if rc.HideCodeVersion {
+		space = noVersionSpace{space}
+	}
 	mach := cpu.NewMachineOver(measured, space)
 
 	var engine *Engine
@@ -162,12 +175,6 @@ func Run(build func() (*prog.Program, error), rc RunConfig) (*Result, error) {
 	res := &Result{}
 	var vio *Violation
 	for !mach.Halted && pipe.Stats.Instrs < rc.MaxInstrs {
-		in0 := mach.Fetch()
-		var memAddr uint64
-		switch in0.Kind() {
-		case isa.KindLoad, isa.KindStore:
-			memAddr = mach.ReadReg(in0.Rs1) + uint64(int64(in0.Imm))
-		}
 		pc, in, err := mach.Step()
 		if err != nil {
 			// Illegal opcode: hardware would fault at decode; with REV the
@@ -179,7 +186,9 @@ func Run(build func() (*prog.Program, error), rc RunConfig) (*Result, error) {
 			}
 			return nil, err
 		}
-		di := cpu.DynInstr{PC: pc, In: in, NextPC: mach.PC, MemAddr: memAddr}
+		// Machine.Step records the executed load/store effective address, so
+		// the timing model needs no separate pre-decode pass.
+		di := cpu.DynInstr{PC: pc, In: in, NextPC: mach.PC, MemAddr: mach.MemAddr}
 		if err := pipe.Next(di); err != nil {
 			if v, ok := err.(*Violation); ok {
 				vio = v

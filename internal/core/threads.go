@@ -169,12 +169,6 @@ outer:
 		// serviced only after the current block validates (Sec. IV.A).
 		var ran uint64
 		for (ran < trc.Quantum || pipe.InBlock()) && !mach.Halted && pipe.Stats.Instrs < rc.MaxInstrs {
-			in0 := mach.Fetch()
-			var memAddr uint64
-			switch in0.Kind() {
-			case isa.KindLoad, isa.KindStore:
-				memAddr = mach.ReadReg(in0.Rs1) + uint64(int64(in0.Imm))
-			}
 			pc, in, err := mach.Step()
 			if err != nil {
 				if engine != nil {
@@ -183,7 +177,7 @@ outer:
 				}
 				return nil, err
 			}
-			if err := pipe.Next(cpu.DynInstr{PC: pc, In: in, NextPC: mach.PC, MemAddr: memAddr}); err != nil {
+			if err := pipe.Next(cpu.DynInstr{PC: pc, In: in, NextPC: mach.PC, MemAddr: mach.MemAddr}); err != nil {
 				if v, ok := err.(*Violation); ok {
 					vio = v
 					break outer

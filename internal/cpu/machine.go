@@ -38,6 +38,11 @@ type Machine struct {
 	// Instret counts retired instructions.
 	Instret uint64
 
+	// MemAddr is the effective address of the most recently executed load
+	// or store (set by Step). The simulation driver hands it to the timing
+	// model without refetching and redecoding the instruction.
+	MemAddr uint64
+
 	// SysHandler, if non-nil, receives SYS instructions (service, argument
 	// register value). The REV engine installs its two system calls here.
 	SysHandler func(service int32, arg uint64)
@@ -189,9 +194,11 @@ func (m *Machine) Step() (pc uint64, in isa.Instr, err error) {
 			m.writeReg(in.Rd, uint64(int64(f)))
 		}
 	case isa.LD:
-		m.writeReg(in.Rd, m.Mem.Read64(s1+simm))
+		m.MemAddr = s1 + simm
+		m.writeReg(in.Rd, m.Mem.Read64(m.MemAddr))
 	case isa.ST:
-		m.Mem.Write64(s1+simm, s2)
+		m.MemAddr = s1 + simm
+		m.Mem.Write64(m.MemAddr, s2)
 	case isa.BEQ:
 		if s1 == s2 {
 			next = pc + simm

@@ -139,7 +139,7 @@ type PipeStats struct {
 
 // UniqueBranches returns the number of distinct committed control-flow
 // instruction addresses observed so far.
-func (p *Pipeline) UniqueBranches() int { return len(p.uniqueBranches) }
+func (p *Pipeline) UniqueBranches() int { return p.uniqueBranches.len() }
 
 // InBlock reports whether the front end is mid-basic-block (the next
 // instruction would continue the current block). Context switches must
@@ -161,12 +161,6 @@ func (s *PipeStats) IPC() float64 {
 		return 0
 	}
 	return float64(s.Instrs) / float64(s.Cycles)
-}
-
-type pendingStore struct {
-	seq       uint64 // producing store's sequence number
-	dataReady uint64 // cycle the store value is forwardable
-	release   uint64 // cycle the store leaves the (extended) store queue
 }
 
 // Pipeline is the timestamp-based cycle-level model of the OOO core. Every
@@ -210,12 +204,13 @@ type Pipeline struct {
 	commitCycle  uint64
 	commitsInCur int
 
-	// Store-to-load forwarding.
-	stores map[uint64]pendingStore
+	// Store-to-load forwarding: bounded open-addressing table keyed by
+	// effective address (see tables.go).
+	stores *storeTable
 
 	// uniqueBranches tracks distinct committed control-flow instruction
 	// addresses (Figure 9's metric).
-	uniqueBranches map[uint64]struct{}
+	uniqueBranches *addrSet
 
 	// Interrupt state.
 	nextInterrupt uint64
@@ -253,8 +248,8 @@ func NewPipeline(cfg PipeConfig, h *mem.Hierarchy, p *branch.Predictor) *Pipelin
 		fuStore:        make([]uint64, cfg.StorePorts),
 		robRing:        make([]uint64, cfg.ROBSize),
 		lsqRing:        make([]uint64, cfg.LSQSize),
-		stores:         make(map[uint64]pendingStore),
-		uniqueBranches: make(map[uint64]struct{}),
+		stores:         newStoreTable(),
+		uniqueBranches: newAddrSet(),
 	}
 	if cfg.ExtensionSize > 0 {
 		pl.extRing = make([]uint64, cfg.ExtensionSize)
@@ -417,7 +412,7 @@ func (p *Pipeline) Next(di DynInstr) error {
 	var mispredict, smallBubble bool
 	if k.IsControlFlow() && k != isa.KindHalt {
 		p.Stats.CommittedBranches++
-		p.uniqueBranches[di.PC] = struct{}{}
+		p.uniqueBranches.add(di.PC)
 		mispredict, smallBubble = p.predict(di)
 		if mispredict {
 			p.Stats.Mispredicts++
@@ -446,7 +441,7 @@ func (p *Pipeline) Next(di DynInstr) error {
 	case isa.KindLoad:
 		start := pickFU(p.fuLoad, ready, 1)
 		addrDone := start + p.Cfg.LatALU
-		if st, ok := p.stores[di.MemAddr]; ok && st.release > addrDone {
+		if st, ok := p.stores.get(di.MemAddr); ok && st.release > addrDone {
 			// Store-to-load forwarding from the (extended) store queue:
 			// the producing store has not yet drained to the cache.
 			done = maxU(addrDone, st.dataReady) + 1
@@ -560,7 +555,9 @@ func (p *Pipeline) Next(di DynInstr) error {
 	})
 	if k == isa.KindStore {
 		// Forwardable immediately; release filled in at block end.
-		p.stores[di.MemAddr] = pendingStore{seq: i, dataReady: done, release: ^uint64(0)}
+		p.stores.put(di.MemAddr,
+			pendingStore{seq: i, dataReady: done, release: storeNotReleased},
+			p.fetchCycleCur)
 	}
 	if bbEnd {
 		release := c
@@ -576,10 +573,7 @@ func (p *Pipeline) Next(di DynInstr) error {
 				// Drain to the data cache at release; the write is off the
 				// critical path but must touch tags for later accesses.
 				p.Hier.Data(u.memAddr, release, true)
-				if st, ok := p.stores[u.memAddr]; ok && st.seq == u.seq {
-					st.release = release
-					p.stores[u.memAddr] = st
-				}
+				p.stores.setRelease(u.memAddr, u.seq, release)
 			}
 		}
 		p.uncommitted = p.uncommitted[:0]

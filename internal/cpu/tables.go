@@ -1,0 +1,201 @@
+package cpu
+
+// Hot-path hash structures for the timing model. Profiling showed the two
+// Go maps on Pipeline.Next — the store-to-load forwarding table and the
+// unique-branch set — dominating the non-hashing simulation time (map
+// assignments allocate and rehash behind our back on every committed store
+// and branch). Both are replaced with open-addressing tables tuned to the
+// access pattern:
+//
+//   - storeTable: linear-probe map keyed by store effective address. It is
+//     kept bounded by construction: a store-queue entry whose release cycle
+//     is already in the past can never win a forwarding comparison again
+//     (every future load's address-generation cycle is at least the current
+//     fetch cycle), so growth first sweeps dead entries and only doubles
+//     when the live set genuinely outgrows the table. Entries still awaiting
+//     their block's validation (release == ^uint64(0)) are never evicted.
+//
+//   - addrSet: linear-probe set of instruction addresses (Figure 9's
+//     unique-branch metric). Insert-only; doubles at 3/4 load.
+//
+// Both use the same splitmix64-style finalizer as the core signature memo.
+
+type pendingStore struct {
+	seq       uint64 // producing store's sequence number
+	dataReady uint64 // cycle the store value is forwardable
+	release   uint64 // cycle the store leaves the (extended) store queue
+}
+
+// storeNotReleased marks a store whose block has not validated yet; it must
+// not be evicted and always forwards.
+const storeNotReleased = ^uint64(0)
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+type storeSlot struct {
+	addr uint64
+	live bool
+	ps   pendingStore
+}
+
+// storeTable maps a store's effective address to its forwarding state.
+// Deletion happens only wholesale during rehash (sweep), so linear-probe
+// chains stay intact; in-place value updates are always safe.
+type storeTable struct {
+	slots []storeSlot
+	mask  uint64
+	n     int // live slots
+}
+
+const storeTableInitial = 64
+
+func newStoreTable() *storeTable {
+	return &storeTable{slots: make([]storeSlot, storeTableInitial), mask: storeTableInitial - 1}
+}
+
+// get returns the pending store recorded for addr.
+func (t *storeTable) get(addr uint64) (pendingStore, bool) {
+	for i := mix64(addr) & t.mask; ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if !s.live {
+			return pendingStore{}, false
+		}
+		if s.addr == addr {
+			return s.ps, true
+		}
+	}
+}
+
+// put inserts or overwrites the entry for addr. now is the current fetch
+// cycle, used as the dead-entry horizon if the table must grow.
+func (t *storeTable) put(addr uint64, ps pendingStore, now uint64) {
+	if 4*(t.n+1) > 3*len(t.slots) {
+		t.rehash(now)
+	}
+	for i := mix64(addr) & t.mask; ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if !s.live {
+			*s = storeSlot{addr: addr, live: true, ps: ps}
+			t.n++
+			return
+		}
+		if s.addr == addr {
+			s.ps = ps
+			return
+		}
+	}
+}
+
+// setRelease records the store-queue release cycle of the store identified
+// by (addr, seq), if its entry has not been overwritten by a younger store
+// to the same address.
+func (t *storeTable) setRelease(addr, seq, release uint64) {
+	for i := mix64(addr) & t.mask; ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if !s.live {
+			return
+		}
+		if s.addr == addr {
+			if s.ps.seq == seq {
+				s.ps.release = release
+			}
+			return
+		}
+	}
+}
+
+// rehash rebuilds the table keeping only entries that can still influence a
+// future forwarding decision: those not yet released, or released at a
+// cycle still ahead of the current fetch cycle. The table doubles only if
+// the surviving live set itself exceeds the 3/4 load target — so its size
+// is bounded by the store-release window, not the run length.
+func (t *storeTable) rehash(now uint64) {
+	live := 0
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.live && (s.ps.release == storeNotReleased || s.ps.release > now) {
+			live++
+		}
+	}
+	size := len(t.slots)
+	for 4*(live+1) > 3*size {
+		size *= 2
+	}
+	old := t.slots
+	t.slots = make([]storeSlot, size)
+	t.mask = uint64(size - 1)
+	t.n = 0
+	for i := range old {
+		s := &old[i]
+		if s.live && (s.ps.release == storeNotReleased || s.ps.release > now) {
+			for j := mix64(s.addr) & t.mask; ; j = (j + 1) & t.mask {
+				d := &t.slots[j]
+				if !d.live {
+					*d = *s
+					t.n++
+					break
+				}
+			}
+		}
+	}
+}
+
+// addrSet is an insert-only open-addressing set of instruction addresses.
+type addrSet struct {
+	slots []uint64 // 0 = empty (instruction addresses are never 0)
+	mask  uint64
+	n     int
+	zero  bool // membership of address 0, kept out of the sentinel scheme
+}
+
+const addrSetInitial = 256
+
+func newAddrSet() *addrSet {
+	return &addrSet{slots: make([]uint64, addrSetInitial), mask: addrSetInitial - 1}
+}
+
+func (s *addrSet) add(addr uint64) {
+	if addr == 0 {
+		s.zero = true
+		return
+	}
+	if 4*(s.n+1) > 3*len(s.slots) {
+		old := s.slots
+		s.slots = make([]uint64, 2*len(old))
+		s.mask = uint64(len(s.slots) - 1)
+		s.n = 0
+		for _, a := range old {
+			if a != 0 {
+				s.insert(a)
+			}
+		}
+	}
+	s.insert(addr)
+}
+
+func (s *addrSet) insert(addr uint64) {
+	for i := mix64(addr) & s.mask; ; i = (i + 1) & s.mask {
+		if s.slots[i] == addr {
+			return
+		}
+		if s.slots[i] == 0 {
+			s.slots[i] = addr
+			s.n++
+			return
+		}
+	}
+}
+
+func (s *addrSet) len() int {
+	if s.zero {
+		return s.n + 1
+	}
+	return s.n
+}

@@ -1,0 +1,100 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStoreTableMatchesMap drives the open-addressing forwarding table and
+// a plain map through the pipeline's exact operation mix — put at store
+// dispatch, setRelease at block end, get at load address-generation — and
+// checks that every forwarding decision the pipeline could make agrees.
+// Addresses are drawn from a small pool to force overwrites, and the fetch
+// clock advances so the table's dead-entry sweep actually evicts; evicted
+// entries must be exactly those no future load could forward from.
+func TestStoreTableMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tab := newStoreTable()
+	ref := map[uint64]pendingStore{}
+	addrPool := make([]uint64, 300)
+	for i := range addrPool {
+		addrPool[i] = 0x2000_0000 + uint64(rng.Intn(1<<16))*8
+	}
+	now := uint64(0)
+	seq := uint64(0)
+	var openStores []struct{ addr, seq uint64 } // current "block" stores
+	for step := 0; step < 20000; step++ {
+		now += uint64(rng.Intn(3))
+		switch op := rng.Intn(10); {
+		case op < 5: // store dispatch
+			addr := addrPool[rng.Intn(len(addrPool))]
+			seq++
+			ps := pendingStore{seq: seq, dataReady: now + uint64(rng.Intn(8)), release: storeNotReleased}
+			tab.put(addr, ps, now)
+			ref[addr] = ps
+			openStores = append(openStores, struct{ addr, seq uint64 }{addr, seq})
+		case op < 8: // load: forwarding decision must agree
+			addr := addrPool[rng.Intn(len(addrPool))]
+			addrDone := now + 1 + uint64(rng.Intn(4))
+			st, ok := tab.get(addr)
+			rst, rok := ref[addr]
+			fwd := ok && st.release > addrDone
+			rfwd := rok && rst.release > addrDone
+			if fwd != rfwd {
+				t.Fatalf("step %d: forwarding decision diverges for addr %#x: table %v, map %v",
+					step, addr, fwd, rfwd)
+			}
+			if fwd && (st.dataReady != rst.dataReady || st.seq != rst.seq) {
+				t.Fatalf("step %d: forwarded store state diverges: %+v vs %+v", step, st, rst)
+			}
+		default: // block end: release all open stores
+			release := now + uint64(rng.Intn(20))
+			for _, s := range openStores {
+				tab.setRelease(s.addr, s.seq, release)
+				if r, ok := ref[s.addr]; ok && r.seq == s.seq {
+					r.release = release
+					ref[s.addr] = r
+				}
+			}
+			openStores = openStores[:0]
+		}
+	}
+	// Boundedness: the table must not have grown with the run length; its
+	// size is a function of the release window, which this mix keeps tiny.
+	if len(tab.slots) > 4096 {
+		t.Errorf("store table grew to %d slots; expected the dead-entry sweep to bound it", len(tab.slots))
+	}
+}
+
+// TestAddrSet checks set semantics, growth, and the zero-address corner.
+func TestAddrSet(t *testing.T) {
+	s := newAddrSet()
+	ref := map[uint64]struct{}{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		a := uint64(rng.Intn(1500)) * 4
+		s.add(a)
+		ref[a] = struct{}{}
+		if s.len() != len(ref) {
+			t.Fatalf("after %d adds: len = %d, want %d", i+1, s.len(), len(ref))
+		}
+	}
+	if _, zero := ref[0]; !zero {
+		t.Fatal("test should have exercised address 0")
+	}
+}
+
+// BenchmarkStoreTable measures the per-store table cost (put + release +
+// one load probe), the pipeline's steady-state pattern.
+func BenchmarkStoreTable(b *testing.B) {
+	tab := newStoreTable()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := 0x2000_0000 + uint64(i%512)*8
+		now := uint64(i)
+		tab.put(addr, pendingStore{seq: uint64(i), dataReady: now, release: storeNotReleased}, now)
+		tab.get(addr)
+		tab.setRelease(addr, uint64(i), now+10)
+	}
+}

@@ -94,9 +94,20 @@ func NewBlacklist() *Blacklist {
 	}
 }
 
+// CodeSig fingerprints raw block bytes only (position independent): the
+// signature MatchCode matches against. Exposed so the engine can compute it
+// once per code-version epoch, memoize it alongside the block signature,
+// and reduce every subsequent blacklist scan of an unchanged block to a map
+// lookup (MatchCodeSig).
+func CodeSig(code []byte) chash.Sig {
+	var sig chash.Sig
+	chash.BBSignatureInto(&sig, code, 0, 0)
+	return sig
+}
+
 // byteSig hashes code bytes only (position independent).
 func byteSig(code []byte) chash.Sig {
-	return chash.BBSignature(code, 0, 0)
+	return CodeSig(code)
 }
 
 // AddRecord fingerprints a captured violation.
@@ -123,7 +134,14 @@ func (b *Blacklist) MatchPlaced(sig chash.Sig) (string, bool) {
 
 // MatchCode checks raw block bytes, independent of load address.
 func (b *Blacklist) MatchCode(code []byte) (string, bool) {
-	r, ok := b.bytes[byteSig(code)]
+	return b.MatchCodeSig(byteSig(code))
+}
+
+// MatchCodeSig checks a precomputed position-independent code fingerprint
+// (see CodeSig). Equivalent to MatchCode on the bytes it was computed from,
+// without rehashing them.
+func (b *Blacklist) MatchCodeSig(sig chash.Sig) (string, bool) {
+	r, ok := b.bytes[sig]
 	return r, ok
 }
 

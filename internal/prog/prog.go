@@ -220,24 +220,117 @@ type AddressSpace interface {
 	WriteBytes(addr uint64, src []byte)
 }
 
+// CodeVersioner is implemented by address spaces that maintain a
+// *code-version epoch*: a counter that advances whenever a store lands in a
+// registered text range. The REV engine uses it to memoize basic-block
+// signatures safely — a memoized signature is valid only while the epoch it
+// was computed under is still current, so self-modifying code and run-time
+// code injection invalidate the memo exactly when the code bytes can have
+// changed. Address spaces that do not implement it simply get no
+// memoization (the engine recomputes every block, as the pre-memo model
+// did).
+type CodeVersioner interface {
+	// WatchCode registers [start, end] (inclusive) as a text range whose
+	// mutation must advance the code version. Registering a range advances
+	// the version itself (conservatively invalidating prior memoizations).
+	WatchCode(start, end uint64)
+	// CodeVersion returns the current code-version epoch.
+	CodeVersion() uint64
+}
+
+// CodeWatch is an embeddable code-version tracker: a handful of watched
+// [start, end] text ranges, an overall bounds fast path, and the epoch
+// counter. Writes outside [lo, hi] cost two compares; the range walk only
+// runs for writes that land between the lowest and highest watched address.
+type CodeWatch struct {
+	lo, hi  uint64 // overall watched bounds; lo > hi when nothing watched
+	ranges  [][2]uint64
+	version uint64
+}
+
+// Watch registers an inclusive text range and advances the epoch.
+func (w *CodeWatch) Watch(start, end uint64) {
+	if len(w.ranges) == 0 {
+		w.lo, w.hi = start, end
+	} else {
+		if start < w.lo {
+			w.lo = start
+		}
+		if end > w.hi {
+			w.hi = end
+		}
+	}
+	w.ranges = append(w.ranges, [2]uint64{start, end})
+	w.version++
+}
+
+// Version returns the current code-version epoch.
+func (w *CodeWatch) Version() uint64 { return w.version }
+
+// Note records a write of n bytes at addr, advancing the epoch if the write
+// intersects any watched range. The common case (no intersection with the
+// overall bounds) is two comparisons.
+func (w *CodeWatch) Note(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	last := addr + n - 1
+	if last < w.lo || addr > w.hi {
+		return
+	}
+	for _, r := range w.ranges {
+		if last >= r[0] && addr <= r[1] {
+			w.version++
+			return
+		}
+	}
+}
+
 // Memory is a sparse, page-granular simulated physical memory.
 type Memory struct {
 	pages map[uint64]*[PageSize]byte
+	watch CodeWatch
+
+	// One-entry page-translation cache. Instruction fetch, the signature
+	// hot path, and stack traffic are overwhelmingly same-page, so the
+	// common access skips the page-map lookup entirely. lastPG == nil means
+	// empty; it never caches absent pages (reads of unmapped memory are
+	// rare and must observe pages created later).
+	lastPN uint64
+	lastPG *[PageSize]byte
 }
 
-var _ AddressSpace = (*Memory)(nil)
+var (
+	_ AddressSpace  = (*Memory)(nil)
+	_ CodeVersioner = (*Memory)(nil)
+)
 
 // NewMemory returns an empty memory.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+	return &Memory{
+		pages: make(map[uint64]*[PageSize]byte),
+		watch: CodeWatch{lo: ^uint64(0), hi: 0},
+	}
 }
+
+// WatchCode registers a text range for code-version tracking.
+func (mm *Memory) WatchCode(start, end uint64) { mm.watch.Watch(start, end) }
+
+// CodeVersion returns the current code-version epoch.
+func (mm *Memory) CodeVersion() uint64 { return mm.watch.Version() }
 
 func (mm *Memory) page(addr uint64, create bool) (*[PageSize]byte, uint64) {
 	pn := addr / PageSize
+	if mm.lastPG != nil && mm.lastPN == pn {
+		return mm.lastPG, addr % PageSize
+	}
 	pg := mm.pages[pn]
 	if pg == nil && create {
 		pg = new([PageSize]byte)
 		mm.pages[pn] = pg
+	}
+	if pg != nil {
+		mm.lastPN, mm.lastPG = pn, pg
 	}
 	return pg, addr % PageSize
 }
@@ -253,6 +346,7 @@ func (mm *Memory) Read8(addr uint64) byte {
 
 // Write8 writes one byte.
 func (mm *Memory) Write8(addr uint64, v byte) {
+	mm.watch.Note(addr, 1)
 	pg, off := mm.page(addr, true)
 	pg[off] = v
 }
@@ -278,6 +372,7 @@ func (mm *Memory) Read64(addr uint64) uint64 {
 
 // Write64 writes a little-endian 64-bit word at any alignment.
 func (mm *Memory) Write64(addr uint64, v uint64) {
+	mm.watch.Note(addr, 8)
 	if addr%PageSize <= PageSize-8 {
 		pg, off := mm.page(addr, true)
 		for i := 0; i < 8; i++ {
@@ -312,6 +407,7 @@ func (mm *Memory) ReadBytes(addr uint64, dst []byte) {
 
 // WriteBytes copies src into memory starting at addr.
 func (mm *Memory) WriteBytes(addr uint64, src []byte) {
+	mm.watch.Note(addr, uint64(len(src)))
 	for len(src) > 0 {
 		pg, off := mm.page(addr, true)
 		n := int(PageSize - off)

@@ -28,6 +28,10 @@ type Memory struct {
 	// shadows maps page number -> shadow page contents for the open epoch.
 	shadows map[uint64]*[prog.PageSize]byte
 	open    bool
+	// watch tracks the code-version epoch over the shadowed view: stores
+	// into watched text ranges advance it whether they land in a shadow
+	// page (epoch open) or pass through to the backing memory.
+	watch prog.CodeWatch
 
 	Stats Stats
 }
@@ -41,12 +45,24 @@ type Stats struct {
 	DMABlocked    uint64
 }
 
-var _ prog.AddressSpace = (*Memory)(nil)
+var (
+	_ prog.AddressSpace  = (*Memory)(nil)
+	_ prog.CodeVersioner = (*Memory)(nil)
+)
 
 // New wraps a backing memory.
 func New(backing *prog.Memory) *Memory {
 	return &Memory{backing: backing, shadows: make(map[uint64]*[prog.PageSize]byte)}
 }
+
+// WatchCode registers a text range for code-version tracking on the
+// shadowed view. Stores into the range advance the epoch regardless of
+// whether they land in a shadow page or the backing memory, so signature
+// memoization over a shadowed space invalidates exactly like the flat one.
+func (m *Memory) WatchCode(start, end uint64) { m.watch.Watch(start, end) }
+
+// CodeVersion returns the current code-version epoch of the shadowed view.
+func (m *Memory) CodeVersion() uint64 { return m.watch.Version() }
 
 // Backing exposes the wrapped memory (reads of unshadowed pages go there).
 func (m *Memory) Backing() *prog.Memory { return m.backing }
@@ -121,6 +137,12 @@ func (m *Memory) Read8(addr uint64) byte {
 // Write8 writes one byte into the epoch's shadow (or through, when no
 // epoch is open).
 func (m *Memory) Write8(addr uint64, v byte) {
+	m.watch.Note(addr, 1)
+	m.write8(addr, v)
+}
+
+// write8 is Write8 without code-version noting (callers note in bulk).
+func (m *Memory) write8(addr uint64, v byte) {
 	if !m.open {
 		m.backing.Write8(addr, v)
 		return
@@ -139,8 +161,9 @@ func (m *Memory) Read64(addr uint64) uint64 {
 
 // Write64 writes a little-endian word.
 func (m *Memory) Write64(addr uint64, v uint64) {
+	m.watch.Note(addr, 8)
 	for i := 0; i < 8; i++ {
-		m.Write8(addr+uint64(i), byte(v>>(8*i)))
+		m.write8(addr+uint64(i), byte(v>>(8*i)))
 	}
 }
 
@@ -157,12 +180,13 @@ func (m *Memory) ReadBytes(addr uint64, dst []byte) {
 
 // WriteBytes writes src through the shadowed view.
 func (m *Memory) WriteBytes(addr uint64, src []byte) {
+	m.watch.Note(addr, uint64(len(src)))
 	if !m.open {
 		m.backing.WriteBytes(addr, src)
 		return
 	}
 	for i, b := range src {
-		m.Write8(addr+uint64(i), b)
+		m.write8(addr+uint64(i), b)
 	}
 }
 

@@ -1,0 +1,44 @@
+package sigcache
+
+import "testing"
+
+// TestHitPathAllocFree pins the SC hot paths' allocation behavior: a Probe
+// (hit or miss) allocates nothing, and a steady-state Fill refreshing an
+// already-resident entry allocates at most once per run (the MRU merge is
+// staged in the cache's reusable scratch and copied into the entry's
+// existing backing arrays).
+func TestHitPathAllocFree(t *testing.T) {
+	c := smallSC()
+	r := rec(0x1000, 7,
+		[]uint64{0x2000, 0x3000, 0x4000},
+		[]uint64{0x5000, 0x6000})
+	need := Need{CheckTarget: true, Target: 0x2000, CheckPred: true, Pred: 0x5000}
+	c.Fill(r, need)
+
+	if a := testing.AllocsPerRun(200, func() {
+		if c.Probe(0x1000, 7, need) != Hit {
+			t.Fatal("expected hit")
+		}
+	}); a != 0 {
+		t.Errorf("Probe hit path allocates %.1f times per call; want 0", a)
+	}
+
+	// Alternate the needed target so every Fill genuinely reshuffles the
+	// MRU lists, the worst case for the merge.
+	alt := []uint64{0x2000, 0x3000, 0x4000}
+	i := 0
+	if a := testing.AllocsPerRun(200, func() {
+		n := Need{CheckTarget: true, Target: alt[i%len(alt)], CheckPred: true, Pred: 0x5000}
+		i++
+		c.Fill(r, n)
+	}); a > 1 {
+		t.Errorf("steady-state Fill allocates %.1f times per call; want <= 1", a)
+	}
+
+	// Miss probes must also be clean.
+	if a := testing.AllocsPerRun(200, func() {
+		c.Probe(0xdead0, 1, Need{})
+	}); a != 0 {
+		t.Errorf("Probe miss path allocates %.1f times per call; want 0", a)
+	}
+}

@@ -96,6 +96,11 @@ type Cache struct {
 	ways  []entry
 	stamp uint64
 
+	// scratch is the reusable MRU-merge staging buffer (see mruMerge): the
+	// merged list is built here, then copied into the entry's existing
+	// backing array, so steady-state Fills allocate nothing.
+	scratch []uint64
+
 	Stats Stats
 }
 
@@ -212,18 +217,27 @@ func (c *Cache) Fill(rec sigtable.Entry, need Need) {
 		e = &c.ways[vw]
 	}
 	e.lastUse = c.stamp
-	e.targets = mruMerge(e.targets, rec.Targets, need.Target, need.CheckTarget, c.cfg.MaxTargets)
-	e.preds = mruMerge(e.preds, rec.RetPreds, need.Pred, need.CheckPred, c.cfg.MaxPreds)
+	e.targets = c.mruMerge(e.targets, rec.Targets, need.Target, need.CheckTarget, c.cfg.MaxTargets)
+	e.preds = c.mruMerge(e.preds, rec.RetPreds, need.Pred, need.CheckPred, c.cfg.MaxPreds)
 }
 
 // mruMerge builds the new MRU list: the needed address first (if legal per
 // the record), then the already-resident addresses, then further record
 // addresses, truncated to max.
-func mruMerge(resident, legal []uint64, needed uint64, check bool, max int) []uint64 {
+//
+// The merge is staged in the cache's reusable scratch buffer (the resident
+// list is an input, so it cannot be rewritten in place) and then copied
+// back into the resident slice's backing array. A Fill therefore allocates
+// only when a list first appears or genuinely grows — refreshing a resident
+// entry, the common case, is allocation-free.
+func (c *Cache) mruMerge(resident, legal []uint64, needed uint64, check bool, max int) []uint64 {
 	if max <= 0 {
 		return nil
 	}
-	out := make([]uint64, 0, max)
+	if cap(c.scratch) < max {
+		c.scratch = make([]uint64, 0, max)
+	}
+	out := c.scratch[:0]
 	seen := func(a uint64) bool {
 		for _, x := range out {
 			if x == a {
@@ -242,7 +256,7 @@ func mruMerge(resident, legal []uint64, needed uint64, check bool, max int) []ui
 	}
 	for _, a := range resident {
 		if len(out) >= max {
-			return out
+			break
 		}
 		if !seen(a) {
 			out = append(out, a)
@@ -250,13 +264,18 @@ func mruMerge(resident, legal []uint64, needed uint64, check bool, max int) []ui
 	}
 	for _, a := range legal {
 		if len(out) >= max {
-			return out
+			break
 		}
 		if !seen(a) {
 			out = append(out, a)
 		}
 	}
-	return out
+	if cap(resident) < len(out) {
+		resident = make([]uint64, len(out))
+	}
+	res := resident[:len(out)]
+	copy(res, out)
+	return res
 }
 
 // Flush empties the SC (context switch in the strictest model; the paper's
