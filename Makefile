@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke bench-figures bench-json clean
+.PHONY: all build test vet race race-all test-race bench-smoke bench-figures bench-json bench-parallel clean
 
 all: build vet test
 
@@ -22,6 +22,11 @@ race:
 race-all:
 	$(GO) test -race ./internal/...
 
+# The fleet race shard (what CI runs): worker pool, shared snapshots,
+# engine confinement, figure determinism.
+test-race:
+	$(GO) test -race -short ./internal/fleet ./internal/sigtable ./internal/core ./internal/experiments ./internal/chash
+
 # Quick perf guardrail: the hot-path microbenchmarks with allocation
 # reporting. BenchmarkHookHashedMemoized must report 0 allocs/op.
 bench-smoke:
@@ -33,6 +38,13 @@ bench-smoke:
 # regressions).
 bench-figures:
 	$(GO) test -run xxx -bench 'Fig6|Fig7' -benchtime 1x .
+
+# Regenerate the fleet-scaling record: times each selected experiment
+# serially and across the worker pool, verifies the rendered tables are
+# byte-identical, and writes speedups + per-worker throughput.
+bench-parallel:
+	$(GO) run ./cmd/revbench -exp fig6,fig7 -instrs 120000 -scale 0.05 \
+		-parallel 4 -parjson BENCH_parallel.json
 
 # Regenerate the machine-readable perf record (see README "Benchmarking").
 bench-json:

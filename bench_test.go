@@ -40,7 +40,7 @@ func runFigure(b *testing.B, f func(s *experiments.Suite) error) {
 // mounted and detected.
 func BenchmarkTable1Attacks(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tbl, err := experiments.Table1(80_000)
+		tbl, err := experiments.Table1(80_000, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -8,9 +8,15 @@
 //	revbench -exp tablesize -scale 0.1
 //	revbench -exp fig6,fig7 -json BENCH_hotpath.json \
 //	    -ref fig6=4.863,fig7=4.789    # machine-readable perf record
+//	revbench -exp fig6,fig7 -parallel 4 -parjson BENCH_parallel.json
 //
 // Experiments: table1, table2, bbstats, fig6, fig7, fig8, fig9, fig10,
 // fig11, fig12, tablesize, cfionly, softcfi, power, all.
+//
+// Simulations fan out across the validation fleet (internal/fleet):
+// -parallel N bounds the worker goroutines (default: all CPUs). Figure
+// tables are collected in benchmark order, so output is byte-identical
+// at any worker count.
 //
 // With -json, revbench also runs a hot-path probe — one REV-protected
 // workload measured with runtime.MemStats around it — and writes wall time
@@ -18,6 +24,12 @@
 // rates to the given file. -ref name=seconds pairs embed a reference (e.g.
 // pre-optimization) wall time per experiment so the file records the
 // speedup alongside the measurement.
+//
+// With -parjson, revbench times every selected experiment twice — once
+// serial (1 worker) and once on the fleet (-parallel workers) — verifies
+// the rendered tables are byte-identical, and writes the serial/parallel
+// wall times, speedups, and per-worker blocks-per-second to the given
+// file (the committed BENCH_parallel.json).
 package main
 
 import (
@@ -32,6 +44,7 @@ import (
 
 	"rev/internal/core"
 	"rev/internal/experiments"
+	"rev/internal/fleet"
 	"rev/internal/sigtable"
 	"rev/internal/stats"
 	"rev/internal/workload"
@@ -68,13 +81,41 @@ type benchReport struct {
 	HotPath     *hotPath    `json:"hotpath,omitempty"`
 }
 
+// parTiming is one experiment's serial-vs-fleet record.
+type parTiming struct {
+	ID              string  `json:"id"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	// Identical reports that the serial and fleet table renderings are
+	// byte-for-byte equal (the determinism contract of internal/fleet).
+	Identical bool `json:"identical"`
+}
+
+// parReport is the BENCH_parallel.json payload.
+type parReport struct {
+	Generated   string        `json:"generated"`
+	Instrs      uint64        `json:"instrs"`
+	Scale       float64       `json:"scale"`
+	CPUs        int           `json:"cpus"`
+	Workers     int           `json:"workers"`
+	Experiments []parTiming   `json:"experiments"`
+	Fleet       *fleet.Report `json:"fleet,omitempty"`
+	// TotalSpeedup is sum(serial)/sum(parallel) over the experiment set.
+	TotalSpeedup float64 `json:"total_speedup"`
+	// Note flags hardware bounds on the measurement (e.g. fewer CPUs
+	// than workers caps the achievable wall-clock speedup).
+	Note string `json:"note,omitempty"`
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id (comma separated), or 'all'")
 	instrs := flag.Uint64("instrs", 1_000_000, "committed instructions per benchmark run")
 	scale := flag.Float64("scale", 1.0, "workload static-size scale (1.0 = paper-matched)")
-	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "validation-fleet worker goroutines")
 	attackInstrs := flag.Uint64("attackinstrs", 100_000, "instruction budget per attack scenario")
 	jsonPath := flag.String("json", "", "write machine-readable timings (e.g. BENCH_hotpath.json)")
+	parJSONPath := flag.String("parjson", "", "write serial-vs-fleet timings (e.g. BENCH_parallel.json)")
 	ref := flag.String("ref", "", "reference wall times as id=seconds pairs, comma separated")
 	flag.Parse()
 
@@ -91,16 +132,14 @@ func main() {
 	}
 	suite := experiments.NewSuite(suiteCfg)
 
-	type expFn func(s *experiments.Suite) (*stats.Table, error)
-	table := func(t *stats.Table) expFn {
+	table := func(t *stats.Table) func(*experiments.Suite) (*stats.Table, error) {
 		return func(*experiments.Suite) (*stats.Table, error) { return t, nil }
 	}
-	all := []struct {
-		id  string
-		run expFn
-	}{
+	all := []selectedExp{
 		{"table2", table(experiments.Table2())},
-		{"table1", func(*experiments.Suite) (*stats.Table, error) { return experiments.Table1(*attackInstrs) }},
+		{"table1", func(s *experiments.Suite) (*stats.Table, error) {
+			return experiments.Table1(*attackInstrs, s.Cfg.Parallel)
+		}},
 		{"bbstats", (*experiments.Suite).BBStats},
 		{"fig6", (*experiments.Suite).Fig6},
 		{"fig7", (*experiments.Suite).Fig7},
@@ -119,16 +158,34 @@ func main() {
 	for _, id := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(id)] = true
 	}
+	selected := all[:0:0]
+	for _, e := range all {
+		if want["all"] || want[e.id] {
+			selected = append(selected, e)
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "revbench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *parJSONPath != "" {
+		rep, err := probeParallel(suiteCfg, selected)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "revbench: parallel probe: %v\n", err)
+			os.Exit(1)
+		}
+		writeJSON(*parJSONPath, rep)
+		return
+	}
+
 	report := benchReport{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Instrs:    *instrs,
 		Scale:     *scale,
 	}
-	ran := 0
-	for _, e := range all {
-		if !want["all"] && !want[e.id] {
-			continue
-		}
+	for _, e := range selected {
 		if *jsonPath != "" {
 			// Benchmarking mode: time each experiment against a fresh suite
 			// so figures sharing cached simulation runs (e.g. fig6/fig7)
@@ -149,12 +206,6 @@ func main() {
 		}
 		report.Experiments = append(report.Experiments, et)
 		fmt.Println(t.String())
-		ran++
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "revbench: unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
 	}
 
 	if *jsonPath != "" {
@@ -164,18 +215,79 @@ func main() {
 			os.Exit(1)
 		}
 		report.HotPath = hp
-		buf, err := json.MarshalIndent(&report, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "revbench: %v\n", err)
-			os.Exit(1)
-		}
-		buf = append(buf, '\n')
-		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "revbench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "revbench: wrote %s\n", *jsonPath)
+		writeJSON(*jsonPath, &report)
 	}
+}
+
+type selectedExp struct {
+	id  string
+	run func(s *experiments.Suite) (*stats.Table, error)
+}
+
+// probeParallel times every selected experiment serial (1 worker) and on
+// the fleet, checks the rendered tables for byte identity, and folds the
+// fleet's per-worker metrics into the report. Each timing uses a fresh
+// suite so no run is served from a previous experiment's cache.
+func probeParallel(cfg experiments.Config, selected []selectedExp) (*parReport, error) {
+	workers := fleet.Workers(cfg.Parallel, 1<<30)
+	rep := &parReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Instrs:    cfg.MaxInstrs,
+		Scale:     cfg.Scale,
+		CPUs:      runtime.NumCPU(),
+		Workers:   workers,
+	}
+	serialCfg := cfg
+	serialCfg.Parallel = 1
+	var sumSerial, sumPar float64
+	var parSuite *experiments.Suite
+	for _, e := range selected {
+		s1 := experiments.NewSuite(serialCfg)
+		t0 := time.Now()
+		serialTbl, err := e.run(s1)
+		if err != nil {
+			return nil, fmt.Errorf("%s (serial): %w", e.id, err)
+		}
+		serialWall := time.Since(t0).Seconds()
+
+		parSuite = experiments.NewSuite(cfg)
+		t0 = time.Now()
+		parTbl, err := e.run(parSuite)
+		if err != nil {
+			return nil, fmt.Errorf("%s (parallel): %w", e.id, err)
+		}
+		parWall := time.Since(t0).Seconds()
+
+		pt := parTiming{
+			ID:              e.id,
+			SerialSeconds:   round3(serialWall),
+			ParallelSeconds: round3(parWall),
+			Identical:       serialTbl.String() == parTbl.String(),
+		}
+		if parWall > 0 {
+			pt.Speedup = round3(serialWall / parWall)
+		}
+		if !pt.Identical {
+			return nil, fmt.Errorf("%s: fleet output diverged from serial run", e.id)
+		}
+		sumSerial += serialWall
+		sumPar += parWall
+		rep.Experiments = append(rep.Experiments, pt)
+		fmt.Printf("%-10s serial %7.3fs  fleet(%d) %7.3fs  speedup %5.2fx  identical %v\n",
+			e.id, serialWall, workers, parWall, pt.Speedup, pt.Identical)
+	}
+	if parSuite != nil {
+		rep.Fleet = parSuite.FleetReport()
+	}
+	if sumPar > 0 {
+		rep.TotalSpeedup = round3(sumSerial / sumPar)
+	}
+	if rep.CPUs < workers {
+		rep.Note = fmt.Sprintf(
+			"host has %d CPU(s) for %d workers: wall-clock speedup is bounded by min(cpus, workers); byte-identity is the hardware-independent check",
+			rep.CPUs, workers)
+	}
+	return rep, nil
 }
 
 // probeHotPath runs one REV-protected workload and measures simulator-side
@@ -222,6 +334,20 @@ func probeHotPath(instrs uint64, scale float64) (*hotPath, error) {
 		hp.AllocsPerBlock = round3(float64(hp.Mallocs) / float64(blocks))
 	}
 	return hp, nil
+}
+
+func writeJSON(path string, v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "revbench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "revbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "revbench: wrote %s\n", path)
 }
 
 func parseRef(s string) (map[string]float64, error) {

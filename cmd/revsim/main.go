@@ -1,5 +1,5 @@
-// Command revsim runs one SPEC-like workload on the simulated core, with
-// or without REV, and prints a run report.
+// Command revsim runs SPEC-like workloads on the simulated core, with or
+// without REV, and prints run reports.
 //
 // Usage:
 //
@@ -7,26 +7,46 @@
 //	revsim -bench gcc
 //	revsim -bench gobmk -rev -sc 32
 //	revsim -bench mcf -rev -format cfi-only -instrs 2000000
+//	revsim -bench gcc,gobmk,mcf -rev -parallel 4   # fleet: one engine per run
+//	revsim -bench all -rev                         # every benchmark
+//	revsim -bench bzip2 -rev -tenants 8            # multi-tenant: 8 engines,
+//	                                               # one shared signature table
+//
+// Multiple benchmarks (comma separated, or "all") are sharded across the
+// validation fleet: each run owns its engine, pipeline and memory; reports
+// print in the order the benchmarks were named regardless of completion
+// order.
+//
+// -tenants N models the serving scenario: the trusted loader prepares one
+// workload (profiling, CFG, encrypted signature table) exactly once, then
+// N tenant instances validate concurrently against the same immutable
+// decrypted table snapshot — the multiprogram story scaled out. Per-engine
+// statistics are merged into a fleet total.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
 	"rev/internal/core"
+	"rev/internal/fleet"
 	"rev/internal/sigtable"
 	"rev/internal/workload"
 )
 
 func main() {
-	bench := flag.String("bench", "", "benchmark name (see -list)")
+	bench := flag.String("bench", "", "benchmark name(s), comma separated, or 'all' (see -list)")
 	list := flag.Bool("list", false, "list available benchmarks")
 	rev := flag.Bool("rev", false, "attach the REV validator")
 	scKB := flag.Int("sc", 32, "signature cache size in KB")
 	format := flag.String("format", "normal", "validation format: normal, aggressive, cfi-only")
 	instrs := flag.Uint64("instrs", 1_000_000, "committed instructions to simulate")
 	scale := flag.Float64("scale", 1.0, "workload static-size scale")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "validation-fleet worker goroutines")
+	tenants := flag.Int("tenants", 1, "concurrent tenant instances sharing one signature table (requires -rev, one benchmark)")
 	flag.Parse()
 
 	if *list {
@@ -40,12 +60,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	p, err := workload.ByName(*bench)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "revsim:", err)
-		os.Exit(1)
+
+	var names []string
+	if *bench == "all" {
+		for _, p := range workload.Profiles() {
+			names = append(names, p.Name)
+		}
+	} else {
+		for _, n := range strings.Split(*bench, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
 	}
-	p = p.Scaled(*scale)
 
 	rc := core.DefaultRunConfig()
 	rc.MaxInstrs = *instrs
@@ -66,13 +91,112 @@ func main() {
 		rc.REV = &cfg
 	}
 
-	res, err := core.Run(p.Builder(), rc)
+	if *tenants > 1 {
+		if !*rev || len(names) != 1 {
+			fmt.Fprintln(os.Stderr, "revsim: -tenants requires -rev and exactly one benchmark")
+			os.Exit(2)
+		}
+		if err := runTenants(names[0], rc, *scale, *tenants, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "revsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	type job struct {
+		p   workload.Profile
+		res *core.Result
+	}
+	jobs := make([]job, len(names))
+	for i, n := range names {
+		p, err := workload.ByName(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "revsim:", err)
+			os.Exit(1)
+		}
+		jobs[i].p = p.Scaled(*scale)
+	}
+	// Shard the runs across the fleet; each job builds a private program,
+	// pipeline and (when -rev) engine. Reports print in input order.
+	err := fleet.Each(*parallel, len(jobs), func(i int) error {
+		res, err := core.Run(jobs[i].p.Builder(), rc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", jobs[i].p.Name, err)
+		}
+		jobs[i].res = res
+		return nil
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "revsim:", err)
 		os.Exit(1)
 	}
+	for i, j := range jobs {
+		if i > 0 {
+			fmt.Println()
+		}
+		printReport(j.p, *scale, j.res, *rev)
+	}
+}
 
-	fmt.Printf("benchmark        %s (scale %.2f)\n", p.Name, *scale)
+// runTenants prepares the workload once and validates n concurrent tenant
+// instances against the shared immutable table snapshot.
+func runTenants(name string, rc core.RunConfig, scale float64, n, workers int) error {
+	p, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	p = p.Scaled(scale)
+	prep, err := core.Prepare(p.Builder(), rc)
+	if err != nil {
+		return err
+	}
+	runner := fleet.Runner[int, *core.Result]{
+		Workers: workers,
+		Fn:      func(_, _ int, _ int) (*core.Result, error) { return prep.Run() },
+		Blocks:  func(r *core.Result) uint64 { return r.Pipe.BBCount },
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	results, rep, err := runner.Run(ids)
+	if err != nil {
+		return err
+	}
+
+	// Merge per-tenant engine and SC counters into the fleet view.
+	var eng core.Stats
+	var sc core.SCView
+	var instrsTotal uint64
+	for _, r := range results {
+		eng.Merge(r.Engine)
+		sc.Merge(r.SC)
+		instrsTotal += r.Pipe.Instrs
+		if r.Violation != nil {
+			return fmt.Errorf("tenant flagged clean workload: %v", r.Violation)
+		}
+	}
+	fmt.Printf("benchmark        %s (scale %.2f), %d tenants over 1 shared table\n", p.Name, scale, n)
+	for _, st := range prep.Tables {
+		fmt.Printf("shared table     %s: %d buckets, %d records, %d bytes (decrypted snapshot, immutable)\n",
+			st.Module, st.Table.Buckets, st.Table.Records, st.Table.Size)
+	}
+	fmt.Printf("instructions     %d total (%d per tenant)\n", instrsTotal, results[0].Pipe.Instrs)
+	fmt.Printf("validated blocks %d total\n", eng.ValidatedBlocks)
+	fmt.Printf("SC (merged)      %d probes: %d hits, %d partial, %d complete misses (%.2f%% miss)\n",
+		sc.Probes, sc.Hits, sc.PartialMisses, sc.CompleteMisses, 100*sc.MissRate)
+	fmt.Printf("memo (merged)    %d hits, %d misses\n", eng.MemoHits, eng.MemoMisses)
+	fmt.Printf("fleet            %d workers, %.3fs wall, %.0f blocks/sec aggregate\n",
+		rep.Workers, rep.WallSeconds, rep.BlocksPerSec)
+	for _, wm := range rep.PerWorker {
+		fmt.Printf("  worker %-2d      %d runs, %.3fs busy, %.0f blocks/sec\n",
+			wm.Worker, wm.Jobs, wm.WallSeconds, wm.BlocksPerSec)
+	}
+	return nil
+}
+
+func printReport(p workload.Profile, scale float64, res *core.Result, rev bool) {
+	fmt.Printf("benchmark        %s (scale %.2f)\n", p.Name, scale)
 	fmt.Printf("instructions     %d\n", res.Pipe.Instrs)
 	fmt.Printf("cycles           %d\n", res.Pipe.Cycles)
 	fmt.Printf("IPC              %.4f\n", res.IPC())
@@ -81,7 +205,7 @@ func main() {
 	fmt.Printf("L1D              %d accesses, %.2f%% miss\n", res.L1D.TotalAccesses(), 100*res.L1D.MissRate())
 	fmt.Printf("L1I              %d accesses, %.2f%% miss\n", res.L1I.TotalAccesses(), 100*res.L1I.MissRate())
 	fmt.Printf("L2               %d accesses, %.2f%% miss\n", res.L2.TotalAccesses(), 100*res.L2.MissRate())
-	if *rev {
+	if rev {
 		fmt.Printf("validated blocks %d\n", res.Engine.ValidatedBlocks)
 		fmt.Printf("SC               %d probes: %d hits, %d partial, %d complete misses (%.2f%% miss)\n",
 			res.SC.Probes, res.SC.Hits, res.SC.PartialMisses, res.SC.CompleteMisses, 100*res.SC.MissRate)

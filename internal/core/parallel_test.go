@@ -1,0 +1,141 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"rev/internal/sigtable"
+)
+
+// TestSharedSnapshotConcurrentEngines is the fleet's core race test: one
+// Prepare, then several engines validating concurrently against the same
+// decrypted signature-table snapshot. Under -race this pins the
+// share-one-table contract of docs/CONCURRENCY.md; functionally it pins
+// that every tenant observes an identical, violation-free run.
+func TestSharedSnapshotConcurrentEngines(t *testing.T) {
+	for _, format := range []sigtable.Format{sigtable.Normal, sigtable.Aggressive, sigtable.CFIOnly} {
+		rc := DefaultRunConfig()
+		rc.MaxInstrs = 60_000
+		rc.REV = revConfig(format, 8)
+		prep, err := Prepare(builderOf(loopProgram), rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const tenants = 4
+		results := make([]*Result, tenants)
+		errs := make([]error, tenants)
+		var wg sync.WaitGroup
+		for i := 0; i < tenants; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = prep.Run()
+			}(i)
+		}
+		wg.Wait()
+
+		for i := 0; i < tenants; i++ {
+			if errs[i] != nil {
+				t.Fatalf("%v tenant %d: %v", format, i, errs[i])
+			}
+			r := results[i]
+			if r.Violation != nil {
+				t.Fatalf("%v tenant %d flagged clean run: %v", format, i, r.Violation)
+			}
+			if !r.Halted || r.Engine.ValidatedBlocks == 0 {
+				t.Fatalf("%v tenant %d: halted=%v validated=%d",
+					format, i, r.Halted, r.Engine.ValidatedBlocks)
+			}
+		}
+		// Tenants are deterministic replicas: every counter must agree.
+		for i := 1; i < tenants; i++ {
+			if !reflect.DeepEqual(results[0].Output, results[i].Output) {
+				t.Fatalf("%v tenant %d output diverged", format, i)
+			}
+			if results[0].Pipe != results[i].Pipe {
+				t.Fatalf("%v tenant %d pipeline stats diverged:\n%+v\n%+v",
+					format, i, results[0].Pipe, results[i].Pipe)
+			}
+			if results[0].Engine != results[i].Engine {
+				t.Fatalf("%v tenant %d engine stats diverged:\n%+v\n%+v",
+					format, i, results[0].Engine, results[i].Engine)
+			}
+			if results[0].SC != results[i].SC {
+				t.Fatalf("%v tenant %d SC stats diverged:\n%+v\n%+v",
+					format, i, results[0].SC, results[i].SC)
+			}
+		}
+	}
+}
+
+// TestPreparedMatchesRun proves the serving-shaped split is
+// observationally identical to the serial path: a Prepared.Run over a
+// shared snapshot must report the same cycles, stalls, SC behaviour and
+// table geometry as core.Run building + installing its private table.
+func TestPreparedMatchesRun(t *testing.T) {
+	for _, format := range []sigtable.Format{sigtable.Normal, sigtable.Aggressive, sigtable.CFIOnly} {
+		rc := DefaultRunConfig()
+		rc.MaxInstrs = 60_000
+		rc.REV = revConfig(format, 8)
+
+		serial, err := Run(builderOf(loopProgram), rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep, err := Prepare(builderOf(loopProgram), rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared, err := prep.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if !reflect.DeepEqual(serial.Output, shared.Output) {
+			t.Fatalf("%v: output diverged", format)
+		}
+		if serial.Violation != nil || shared.Violation != nil {
+			t.Fatalf("%v: violations: serial=%v shared=%v", format, serial.Violation, shared.Violation)
+		}
+		if serial.Pipe != shared.Pipe {
+			t.Fatalf("%v: pipeline stats diverged (timing parity broken):\nserial %+v\nshared %+v",
+				format, serial.Pipe, shared.Pipe)
+		}
+		if serial.Engine != shared.Engine {
+			t.Fatalf("%v: engine stats diverged:\nserial %+v\nshared %+v",
+				format, serial.Engine, shared.Engine)
+		}
+		if serial.SC != shared.SC {
+			t.Fatalf("%v: SC stats diverged:\nserial %+v\nshared %+v",
+				format, serial.SC, shared.SC)
+		}
+		if len(serial.Tables) != len(shared.Tables) {
+			t.Fatalf("%v: table count diverged", format)
+		}
+		for i := range serial.Tables {
+			a, b := serial.Tables[i], shared.Tables[i]
+			if a.Base != b.Base || a.Buckets != b.Buckets || a.Records != b.Records || a.Size != b.Size {
+				t.Fatalf("%v: table %d geometry diverged:\nserial %+v\nshared %+v", format, i, a, b)
+			}
+		}
+	}
+}
+
+// TestStatsMerge checks the fleet aggregation arithmetic.
+func TestStatsMerge(t *testing.T) {
+	a := Stats{ValidatedBlocks: 10, RAMLookups: 3, MemoHits: 5, MemoMisses: 2}
+	b := Stats{ValidatedBlocks: 7, RAMLookups: 1, MemoHits: 1, MemoMisses: 9, SAGPenalties: 4}
+	a.Merge(b)
+	want := Stats{ValidatedBlocks: 17, RAMLookups: 4, MemoHits: 6, MemoMisses: 11, SAGPenalties: 4}
+	if a != want {
+		t.Fatalf("Stats merge = %+v, want %+v", a, want)
+	}
+
+	v := SCView{Probes: 10, Hits: 8, PartialMisses: 1, CompleteMisses: 1, Misses: 2, MissRate: 0.2}
+	v.Merge(SCView{Probes: 10, Hits: 4, PartialMisses: 2, CompleteMisses: 4, Misses: 6, MissRate: 0.6})
+	if v.Probes != 20 || v.Hits != 12 || v.Misses != 8 || v.MissRate != 0.4 {
+		t.Fatalf("SCView merge = %+v", v)
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"rev/internal/cfg"
+	"rev/internal/crypt"
+	"rev/internal/isa"
+	"rev/internal/prog"
+	"rev/internal/sag"
+	"rev/internal/sigtable"
+)
+
+// SharedTable couples one module's immutable signature-table snapshot
+// with the code region it covers. After Prepare returns, every field is
+// read-only: any number of engines on any number of goroutines may hold
+// the same SharedTable (the fleet's share-one-table path; see
+// docs/CONCURRENCY.md).
+type SharedTable struct {
+	Module string
+	// Start/Limit are the module's code range (the SAG limit-register
+	// pair the trusted loader would program).
+	Start, Limit uint64
+	// Table is the built table's metadata (size accounting, Sec. V).
+	Table *sigtable.Table
+	// Snap is the decrypted, immutable lookup view.
+	Snap *sigtable.Snapshot
+}
+
+// Prepared is the reusable, immutable preparation of a REV-protected
+// workload: the profiling pass, static analysis, and per-module
+// signature-table builds — the trusted linker/loader work of Sec. IV.B —
+// performed exactly once. A Prepared may then serve any number of
+// concurrent Run calls, each constructing a private engine over a fresh
+// program instance while sharing the decrypted tables read-only.
+//
+// This is the serving-shaped split of core.Run: Prepare at load time,
+// Prepared.Run per request.
+type Prepared struct {
+	rc    RunConfig
+	build func() (*prog.Program, error)
+	// Tables holds one immutable SharedTable per program module, in
+	// module order.
+	Tables []*SharedTable
+}
+
+// Prepare performs the per-workload preparation of Run — profiling twin,
+// static analysis, CFG construction, signature-table build — once, and
+// freezes the result into an immutable Prepared. rc.REV must be non-nil
+// (preparing an unprotected run has nothing to share; call Run directly).
+//
+// The tables are assigned the same bases AddModule would assign
+// (consecutive page-aligned slots from prog.SigBase, in module order),
+// so miss-walk timing is identical between Run and Prepared.Run.
+func Prepare(build func() (*prog.Program, error), rc RunConfig) (*Prepared, error) {
+	if rc.REV == nil {
+		return nil, fmt.Errorf("core: Prepare requires rc.REV (nothing to share for a base run)")
+	}
+	if rc.MaxInstrs == 0 {
+		rc.MaxInstrs = 1_000_000
+	}
+	profInstrs := rc.ProfileInstrs
+	if profInstrs == 0 {
+		profInstrs = rc.MaxInstrs
+	}
+
+	// The analysis instance is only read (static analysis + table build);
+	// the profiling twin is executed. Neither is retained.
+	analysis, err := build()
+	if err != nil {
+		return nil, fmt.Errorf("core: building program: %w", err)
+	}
+	twin, err := build()
+	if err != nil {
+		return nil, fmt.Errorf("core: building profiling twin: %w", err)
+	}
+	profiler, err := cfg.ProfileRun(twin, profInstrs)
+	if err != nil {
+		return nil, fmt.Errorf("core: profiling run: %w", err)
+	}
+	static := cfg.Analyze(analysis, cfg.DefaultAnalyzeOptions())
+	ks := crypt.NewKeyStore(crypt.DeriveKey(rc.KeySeed, "cpu-private"))
+
+	p := &Prepared{rc: rc, build: build}
+	nextBase := prog.SigBase
+	for i, mod := range analysis.Modules {
+		bld := cfg.NewBuilder(mod, rc.REV.Limits)
+		profiler.Apply(bld)
+		static.Apply(bld)
+		g, err := bld.Build()
+		if err != nil {
+			return nil, fmt.Errorf("core: CFG for %s: %w", mod.Name, err)
+		}
+		key := crypt.DeriveKey(rc.KeySeed, fmt.Sprintf("module-%d-%s", i, mod.Name))
+		tbl, img, err := sigtable.Build(g, rc.REV.Format, key, ks)
+		if err != nil {
+			return nil, fmt.Errorf("core: building table for %s: %w", mod.Name, err)
+		}
+		tbl.Base = nextBase
+		snap, err := sigtable.SnapshotFromImage(tbl, img, ks)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshotting table for %s: %w", mod.Name, err)
+		}
+		p.Tables = append(p.Tables, &SharedTable{
+			Module: mod.Name,
+			Start:  mod.Base,
+			Limit:  mod.Limit(),
+			Table:  tbl,
+			Snap:   snap,
+		})
+		nextBase += sigtable.SigBaseAlign(tbl.Size)
+	}
+	return p, nil
+}
+
+// Config returns a copy of the RunConfig the workload was prepared with.
+func (p *Prepared) Config() RunConfig { return p.rc }
+
+// Run executes one instance of the prepared workload: a fresh program,
+// a fresh engine, the shared tables. Safe to call from many goroutines
+// concurrently — instances share only the immutable Prepared state.
+func (p *Prepared) Run() (*Result, error) {
+	measured, err := p.build()
+	if err != nil {
+		return nil, fmt.Errorf("core: building program: %w", err)
+	}
+	parts := assemble(measured, p.rc)
+	ks := crypt.NewKeyStore(crypt.DeriveKey(p.rc.KeySeed, "cpu-private"))
+	engine := NewEngine(*p.rc.REV, parts.space, parts.hier, ks)
+	for _, st := range p.Tables {
+		if err := engine.AddSharedModule(st); err != nil {
+			return nil, fmt.Errorf("core: sharing table for %s: %w", st.Module, err)
+		}
+	}
+	parts.attach(engine, p.rc)
+	return execute(parts, p.rc)
+}
+
+// AddSharedModule registers a prebuilt, immutable signature-table
+// snapshot with the engine — the fleet path that skips the per-engine
+// table build and RAM install. The engine still watches the module's
+// text range for self-modifying-code memo invalidation, and the
+// snapshot's frozen base keeps miss-walk timing identical to an
+// installed table.
+func (e *Engine) AddSharedModule(st *SharedTable) error {
+	e.Tables = append(e.Tables, st.Table)
+	// Keep the loader cursor in lockstep with AddModule so mixing shared
+	// and private tables never overlaps bases.
+	end := st.Table.Base + sigtable.SigBaseAlign(st.Table.Size)
+	if end > e.nextSigBase {
+		e.nextSigBase = end
+	}
+	if e.cv != nil {
+		e.cv.WatchCode(st.Start, st.Limit+uint64(isa.WordSize)-1)
+	}
+	return e.SAG.Register(&sag.Region{
+		Module: st.Module,
+		Start:  st.Start,
+		Limit:  st.Limit,
+		Reader: st.Snap,
+	})
+}
+
+// Merge folds another engine's counters into s — the fleet's end-of-run
+// aggregation step that turns per-worker engine statistics into one
+// suite-level view.
+func (s *Stats) Merge(o Stats) {
+	s.ValidatedBlocks += o.ValidatedBlocks
+	s.SkippedDisabled += o.SkippedDisabled
+	s.RAMLookups += o.RAMLookups
+	s.RecordsTouched += o.RecordsTouched
+	s.SAGPenalties += o.SAGPenalties
+	s.MemoHits += o.MemoHits
+	s.MemoMisses += o.MemoMisses
+}
+
+// Merge folds another run's SC counters into v, recomputing the derived
+// rate fields.
+func (v *SCView) Merge(o SCView) {
+	v.Probes += o.Probes
+	v.Hits += o.Hits
+	v.PartialMisses += o.PartialMisses
+	v.CompleteMisses += o.CompleteMisses
+	v.Misses = v.PartialMisses + v.CompleteMisses
+	if v.Probes > 0 {
+		v.MissRate = float64(v.Misses) / float64(v.Probes)
+	}
+}

@@ -94,11 +94,59 @@ type SCView struct {
 // IPC is shorthand for the pipeline IPC.
 func (r *Result) IPC() float64 { return r.Pipe.IPC() }
 
+// parts bundles the per-run microarchitectural state assembled for one
+// measured execution. Every field is built fresh per run and owned by
+// exactly one goroutine (see docs/CONCURRENCY.md).
+type parts struct {
+	hier      *mem.Hierarchy
+	pred      *branch.Predictor
+	pipe      *cpu.Pipeline
+	mach      *cpu.Machine
+	shadowMem *shadow.Memory
+	space     prog.AddressSpace
+	engine    *Engine
+}
+
+// assemble builds the hierarchy, predictor, pipeline, (possibly shadowed)
+// address space and functional machine for a fresh program instance.
+func assemble(measured *prog.Program, rc RunConfig) *parts {
+	p := &parts{
+		hier: mem.New(rc.Mem),
+		pred: branch.New(rc.Branch),
+	}
+	p.pipe = cpu.NewPipeline(rc.Pipe, p.hier, p.pred)
+	p.space = measured.Mem
+	if rc.PageShadowing {
+		p.shadowMem = shadow.New(measured.Mem)
+		p.space = p.shadowMem
+	}
+	if rc.HideCodeVersion {
+		p.space = noVersionSpace{p.space}
+	}
+	p.mach = cpu.NewMachineOver(measured, p.space)
+	return p
+}
+
+// attach wires a REV engine into the pipeline and machine.
+func (p *parts) attach(engine *Engine, rc RunConfig) {
+	p.engine = engine
+	p.pipe.Hook = engine.Hook
+	p.mach.SysHandler = engine.SysHandler
+	// Keep pipeline split limits in lockstep with the table builder.
+	p.pipe.Cfg.MaxBBInstrs = rc.REV.Limits.MaxInstrs
+	p.pipe.Cfg.MaxBBStores = rc.REV.Limits.MaxStores
+}
+
 // Run executes a workload. The builder must deterministically construct a
 // fresh program instance on each call: one instance is consumed by the
 // profiling run that discovers computed-control-flow targets (the paper's
 // profiling pass, Sec. IV.D) and a pristine instance is used for the
 // measured run.
+//
+// Run performs the whole trusted-loader pipeline — profiling, static
+// analysis, signature-table build — on every call. When many runs share
+// one protected workload (a validation fleet), use Prepare once and
+// Prepared.Run per instance instead.
 func Run(build func() (*prog.Program, error), rc RunConfig) (*Result, error) {
 	if rc.MaxInstrs == 0 {
 		rc.MaxInstrs = 1_000_000
@@ -113,22 +161,7 @@ func Run(build func() (*prog.Program, error), rc RunConfig) (*Result, error) {
 		return nil, fmt.Errorf("core: building program: %w", err)
 	}
 
-	hier := mem.New(rc.Mem)
-	pred := branch.New(rc.Branch)
-	pipe := cpu.NewPipeline(rc.Pipe, hier, pred)
-
-	var space prog.AddressSpace = measured.Mem
-	var shadowMem *shadow.Memory
-	if rc.PageShadowing {
-		shadowMem = shadow.New(measured.Mem)
-		space = shadowMem
-	}
-	if rc.HideCodeVersion {
-		space = noVersionSpace{space}
-	}
-	mach := cpu.NewMachineOver(measured, space)
-
-	var engine *Engine
+	p := assemble(measured, rc)
 	if rc.REV != nil {
 		// Profile a twin instance so the measured instance's memory stays
 		// pristine.
@@ -144,7 +177,7 @@ func Run(build func() (*prog.Program, error), rc RunConfig) (*Result, error) {
 		// and jump-table target recovery (Sec. IV.D).
 		static := cfg.Analyze(measured, cfg.DefaultAnalyzeOptions())
 		ks := crypt.NewKeyStore(crypt.DeriveKey(rc.KeySeed, "cpu-private"))
-		engine = NewEngine(*rc.REV, space, hier, ks)
+		engine := NewEngine(*rc.REV, p.space, p.hier, ks)
 		for i, mod := range measured.Modules {
 			bld := cfg.NewBuilder(mod, rc.REV.Limits)
 			profiler.Apply(bld)
@@ -158,13 +191,15 @@ func Run(build func() (*prog.Program, error), rc RunConfig) (*Result, error) {
 				return nil, fmt.Errorf("core: protecting %s: %w", mod.Name, err)
 			}
 		}
-		pipe.Hook = engine.Hook
-		mach.SysHandler = engine.SysHandler
-		// Keep pipeline split limits in lockstep with the table builder.
-		pipe.Cfg.MaxBBInstrs = rc.REV.Limits.MaxInstrs
-		pipe.Cfg.MaxBBStores = rc.REV.Limits.MaxStores
+		p.attach(engine, rc)
 	}
+	return execute(p, rc)
+}
 
+// execute drives the measured run to completion and assembles the Result.
+func execute(p *parts, rc RunConfig) (*Result, error) {
+	mach, pipe, hier, pred := p.mach, p.pipe, p.hier, p.pred
+	engine, shadowMem := p.engine, p.shadowMem
 	if rc.AttackHook != nil {
 		mach.BeforeStep = func(pc uint64, in isa.Instr) { rc.AttackHook(mach, pc, in) }
 	}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+
+	"rev/internal/stats"
+)
+
+// TestParallelDeterminism is the acceptance test for the fleet layer:
+// the rendered figure tables must be byte-identical whether the suite
+// runs serially or sharded across 8 workers, and the attack-suite
+// verdicts (Table 1) must not change either. Any divergence means a
+// worker leaked state into another worker's simulation.
+func TestParallelDeterminism(t *testing.T) {
+	cfg := QuickConfig()
+
+	render := func(parallel int) (fig6, fig7 string) {
+		c := cfg
+		c.Parallel = parallel
+		s := NewSuite(c)
+		t6, err := s.Fig6()
+		if err != nil {
+			t.Fatalf("parallel=%d Fig6: %v", parallel, err)
+		}
+		t7, err := s.Fig7()
+		if err != nil {
+			t.Fatalf("parallel=%d Fig7: %v", parallel, err)
+		}
+		return t6.String(), t7.String()
+	}
+
+	s6, s7 := render(1)
+	p6, p7 := render(8)
+	if s6 != p6 {
+		t.Errorf("Fig6 diverged between -parallel 1 and -parallel 8:\nserial:\n%s\nparallel:\n%s", s6, p6)
+	}
+	if s7 != p7 {
+		t.Errorf("Fig7 diverged between -parallel 1 and -parallel 8:\nserial:\n%s\nparallel:\n%s", s7, p7)
+	}
+}
+
+// TestTable1ParallelVerdicts pins that sharding the attack suite across
+// workers flips no detection verdict and reorders no row.
+func TestTable1ParallelVerdicts(t *testing.T) {
+	serial, err := Table1(60_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Table1(60_000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != par.String() {
+		t.Fatalf("Table 1 diverged between worker counts:\nserial:\n%s\nparallel:\n%s",
+			serial.String(), par.String())
+	}
+	assertDetected(t, par)
+}
+
+func assertDetected(t *testing.T, tbl *stats.Table) {
+	t.Helper()
+	if len(tbl.Rows) == 0 {
+		t.Fatal("Table 1 empty")
+	}
+	detected := 0
+	for _, row := range tbl.Rows {
+		if len(row) != 4 {
+			t.Fatalf("Table 1 row shape: %v", row)
+		}
+		if row[2] == "true" {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Fatal("no attack detected — fleet sharding broke the attack suite")
+	}
+}

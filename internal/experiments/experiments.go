@@ -12,11 +12,11 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"rev/internal/attack"
 	"rev/internal/core"
+	"rev/internal/fleet"
 	"rev/internal/power"
 	"rev/internal/sigtable"
 	"rev/internal/stats"
@@ -80,12 +80,16 @@ type runKey struct {
 	scKB    int
 }
 
-// Suite runs and caches simulations.
+// Suite runs and caches simulations. The result cache is the suite's
+// only shared mutable state; it is guarded by mu, so a Suite may be
+// driven from multiple goroutines (and Prefetch itself fans out across
+// the validation fleet).
 type Suite struct {
 	Cfg Config
 
-	mu    sync.Mutex
-	cache map[runKey]*core.Result
+	mu     sync.Mutex
+	cache  map[runKey]*core.Result
+	report *fleet.Report // last Prefetch's fleet report (merged)
 }
 
 // NewSuite creates an empty suite.
@@ -153,7 +157,12 @@ func (s *Suite) Run(bench string, variant Variant, scKB int) (*core.Result, erro
 	return res, nil
 }
 
-// Prefetch runs a set of configurations across all benchmarks in parallel.
+// Prefetch shards a set of configurations across all benchmarks over the
+// validation fleet: one worker goroutine per available core (bounded by
+// Cfg.Parallel), dynamic job hand-out so gcc/gobmk stragglers do not idle
+// the pool, deterministic input-ordered error reporting. Results land in
+// the suite's locked cache; repeated configurations are deduplicated up
+// front so the fleet never runs a simulation twice.
 func (s *Suite) Prefetch(variants []Variant, scKBs []int) error {
 	type job struct {
 		bench   string
@@ -161,38 +170,91 @@ func (s *Suite) Prefetch(variants []Variant, scKBs []int) error {
 		scKB    int
 	}
 	var jobs []job
+	seen := map[runKey]bool{}
+	add := func(j job) {
+		k := runKey{j.bench, j.variant, j.scKB}
+		if !seen[k] {
+			seen[k] = true
+			jobs = append(jobs, j)
+		}
+	}
 	for _, b := range Benchmarks() {
 		for _, v := range variants {
 			if v == Base {
-				jobs = append(jobs, job{b, v, 0})
+				add(job{b, v, 0})
 				continue
 			}
 			for _, kb := range scKBs {
-				jobs = append(jobs, job{b, v, kb})
+				add(job{b, v, kb})
 			}
 		}
 	}
-	par := s.Cfg.Parallel
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	sem := make(chan struct{}, par)
-	errCh := make(chan error, len(jobs))
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if _, err := s.Run(j.bench, j.variant, j.scKB); err != nil {
-				errCh <- err
+	runner := fleet.Runner[job, *core.Result]{
+		Workers: s.Cfg.Parallel,
+		Fn: func(_, _ int, j job) (*core.Result, error) {
+			return s.Run(j.bench, j.variant, j.scKB)
+		},
+		Blocks: func(r *core.Result) uint64 {
+			if r == nil {
+				return 0
 			}
-		}(j)
+			return r.Pipe.BBCount
+		},
 	}
-	wg.Wait()
-	close(errCh)
-	return <-errCh
+	_, rep, err := runner.Run(jobs)
+	s.mu.Lock()
+	s.report = mergeReports(s.report, rep)
+	s.mu.Unlock()
+	return err
+}
+
+// FleetReport returns the merged per-worker metrics of every Prefetch
+// this suite has executed (nil before the first), for the machine-
+// readable record revbench -parjson emits.
+func (s *Suite) FleetReport() *fleet.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.report
+}
+
+// mergeReports folds b into a (either may be nil), aligning workers by
+// id. Per-job detail is dropped in the merge; per-worker busy time and
+// throughput accumulate.
+func mergeReports(a, b *fleet.Report) *fleet.Report {
+	if b == nil {
+		return a
+	}
+	if a == nil {
+		c := *b
+		c.PerJob = nil
+		return &c
+	}
+	if b.Workers > a.Workers {
+		pw := make([]fleet.WorkerMetric, b.Workers)
+		copy(pw, a.PerWorker)
+		for i := len(a.PerWorker); i < b.Workers; i++ {
+			pw[i].Worker = i
+		}
+		a.PerWorker = pw
+		a.Workers = b.Workers
+	}
+	for _, wm := range b.PerWorker {
+		t := &a.PerWorker[wm.Worker]
+		t.Worker = wm.Worker
+		t.Jobs += wm.Jobs
+		t.WallSeconds += wm.WallSeconds
+		t.Blocks += wm.Blocks
+		if t.WallSeconds > 0 {
+			t.BlocksPerSec = float64(t.Blocks) / t.WallSeconds
+		}
+	}
+	a.Jobs += b.Jobs
+	a.WallSeconds += b.WallSeconds
+	a.Blocks += b.Blocks
+	if a.WallSeconds > 0 {
+		a.BlocksPerSec = float64(a.Blocks) / a.WallSeconds
+	}
+	return a
 }
 
 // overhead computes the IPC loss of run vs base in percent.
@@ -424,17 +486,25 @@ func (s *Suite) BBStats() (*stats.Table, error) {
 	return t, nil
 }
 
-// Table1 runs all six attack scenarios.
-func Table1(maxInstrs uint64) (*stats.Table, error) {
+// Table1 runs all six attack scenarios, sharded across the validation
+// fleet (workers <= 0 selects GOMAXPROCS). Each scenario owns its victim
+// programs and engines, so scenarios are independent jobs; rows are
+// collected in scenario order, so the table is byte-identical at any
+// worker count.
+func Table1(maxInstrs uint64, workers int) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Table 1: attack classes and REV detection",
 		Headers: []string{"attack", "behaviour changed", "detected", "violation"},
 	}
-	for _, sc := range attack.Scenarios() {
-		o, err := attack.Run(sc, maxInstrs)
-		if err != nil {
-			return nil, err
-		}
+	scenarios := attack.Scenarios()
+	outcomes, err := fleet.Map(workers, scenarios, func(_ int, sc *attack.Scenario) (*attack.Outcome, error) {
+		return attack.Run(sc, maxInstrs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range scenarios {
+		o := outcomes[i]
 		t.AddRow(sc.Table1Row, fmt.Sprint(o.BehaviourChanged), fmt.Sprint(o.Detected), o.Reason.String())
 	}
 	return t, nil

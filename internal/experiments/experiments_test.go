@@ -127,7 +127,7 @@ func TestBBStatsTable(t *testing.T) {
 }
 
 func TestTable1AllDetected(t *testing.T) {
-	tbl, err := Table1(80_000)
+	tbl, err := Table1(80_000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

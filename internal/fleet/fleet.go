@@ -1,0 +1,192 @@
+// Package fleet implements the parallel validation fleet: a bounded
+// worker pool that shards independent simulation and validation jobs —
+// benchmark runs, figure regeneration, multi-tenant validation — across
+// GOMAXPROCS-bounded goroutines with deterministic, input-ordered
+// result collection and per-worker throughput metrics.
+//
+// Design rules (see docs/CONCURRENCY.md for the full sharing contract):
+//
+//   - Jobs must be independent. Each job owns its engine, pipeline,
+//     memory hierarchy and program instance; the only state a job may
+//     share with its siblings is immutable (sigtable.Snapshot,
+//     core.SharedTable, workload profiles) or internally synchronized
+//     (the experiments suite's result cache).
+//   - Results are collected by input index, never by completion order,
+//     so a fleet of N workers produces byte-identical output to a
+//     serial run over the same inputs.
+//   - Errors are deterministic too: when several jobs fail, the error
+//     of the lowest input index is returned. All jobs always run to
+//     completion (they are short and side-effect-free), so partial
+//     results remain usable by callers that want them.
+//   - Work is handed out dynamically (an atomic cursor, not static
+//     striping) so a slow job — gcc or gobmk in the evaluation suite —
+//     does not idle the rest of the fleet.
+//
+// The instrumented Runner additionally records, per worker, the jobs
+// executed, busy wall time, and validated-block throughput; cmd/revbench
+// folds these into BENCH_parallel.json.
+package fleet
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Workers resolves a requested worker count: n <= 0 selects
+// runtime.GOMAXPROCS(0), and the result never exceeds jobs (spawning
+// more goroutines than jobs would only add scheduler noise).
+func Workers(n, jobs int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > jobs {
+		n = jobs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// JobMetric records one job's execution: which worker ran it, how long
+// it took, and how many basic blocks its simulation validated (zero
+// when the runner has no block extractor).
+type JobMetric struct {
+	Index       int     `json:"index"`
+	Worker      int     `json:"worker"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Blocks      uint64  `json:"blocks,omitempty"`
+}
+
+// WorkerMetric aggregates the jobs one worker executed.
+type WorkerMetric struct {
+	Worker       int     `json:"worker"`
+	Jobs         int     `json:"jobs"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Blocks       uint64  `json:"blocks"`
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+}
+
+// Report describes one fleet run: total wall time (start of dispatch to
+// last worker done), per-job and per-worker breakdowns, and aggregate
+// block throughput across the whole fleet.
+type Report struct {
+	Workers      int            `json:"workers"`
+	Jobs         int            `json:"jobs"`
+	WallSeconds  float64        `json:"wall_seconds"`
+	Blocks       uint64         `json:"blocks"`
+	BlocksPerSec float64        `json:"blocks_per_sec"`
+	PerJob       []JobMetric    `json:"per_job,omitempty"`
+	PerWorker    []WorkerMetric `json:"per_worker"`
+}
+
+// Runner is an instrumented worker pool over a fixed job type.
+//
+// Fn receives the worker id (0..Workers-1), the job's input index, and
+// the item; it must not retain references to mutable state shared with
+// other jobs. Blocks, when non-nil, extracts a validated-block count
+// from each result for throughput accounting.
+type Runner[T, R any] struct {
+	// Workers bounds concurrency; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Fn executes one job.
+	Fn func(worker, index int, item T) (R, error)
+	// Blocks optionally extracts the job's validated-block count.
+	Blocks func(R) uint64
+}
+
+// Run executes every item and returns the results in input order plus
+// the fleet report. When jobs fail, the error of the lowest input index
+// is returned alongside the (complete) result slice.
+func (r *Runner[T, R]) Run(items []T) ([]R, *Report, error) {
+	n := len(items)
+	workers := Workers(r.Workers, n)
+	results := make([]R, n)
+	errs := make([]error, n)
+	jobs := make([]JobMetric, n)
+	perWorker := make([]WorkerMetric, workers)
+
+	start := time.Now()
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			wm := &perWorker[worker]
+			wm.Worker = worker
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				t0 := time.Now()
+				res, err := r.Fn(worker, i, items[i])
+				wall := time.Since(t0).Seconds()
+				results[i] = res
+				errs[i] = err
+				var blocks uint64
+				if err == nil && r.Blocks != nil {
+					blocks = r.Blocks(res)
+				}
+				jobs[i] = JobMetric{Index: i, Worker: worker, WallSeconds: wall, Blocks: blocks}
+				wm.Jobs++
+				wm.WallSeconds += wall
+				wm.Blocks += blocks
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rep := &Report{
+		Workers:     workers,
+		Jobs:        n,
+		WallSeconds: time.Since(start).Seconds(),
+		PerJob:      jobs,
+		PerWorker:   perWorker,
+	}
+	for i := range perWorker {
+		wm := &perWorker[i]
+		if wm.WallSeconds > 0 {
+			wm.BlocksPerSec = float64(wm.Blocks) / wm.WallSeconds
+		}
+		rep.Blocks += wm.Blocks
+	}
+	if rep.WallSeconds > 0 {
+		rep.BlocksPerSec = float64(rep.Blocks) / rep.WallSeconds
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, rep, err
+		}
+	}
+	return results, rep, nil
+}
+
+// Map runs fn over items on up to workers goroutines and returns the
+// results in input order. It is the uninstrumented convenience over
+// Runner; the error of the lowest failing input index is returned.
+func Map[T, R any](workers int, items []T, fn func(index int, item T) (R, error)) ([]R, error) {
+	r := Runner[T, R]{
+		Workers: workers,
+		Fn:      func(_, index int, item T) (R, error) { return fn(index, item) },
+	}
+	out, _, err := r.Run(items)
+	return out, err
+}
+
+// Each runs fn over every index in input-sharded fashion with no result
+// collection — the fire-and-collect-errors variant for jobs that write
+// into caller-owned, index-disjoint slots.
+func Each(workers, n int, fn func(index int) error) error {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	_, err := Map(workers, idx, func(_ int, i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

@@ -29,13 +29,15 @@ type Config struct {
 // DefaultConfig uses B=16.
 func DefaultConfig() Config { return Config{B: 16, ExceptionPenalty: 300} }
 
-// Region is one register group: the code range of a module and the reader
-// (base address + unwrapped key) for its signature table.
+// Region is one register group: the code range of a module and the lookup
+// source (base address + unwrapped key) for its signature table. The
+// source is either a *sigtable.Reader (decrypt-on-access, engine-private)
+// or a *sigtable.Snapshot (immutable, shared across a validation fleet).
 type Region struct {
 	Module string
 	Start  uint64 // first code address (limit register pair, low)
 	Limit  uint64 // last code address (limit register pair, high)
-	Reader *sigtable.Reader
+	Reader sigtable.Source
 }
 
 // Stats counts lookups and register-group exceptions.

@@ -23,6 +23,10 @@ func Install(t *Table, img []byte, mem prog.AddressSpace, base uint64) {
 // fetch records through the memory system, decrypt, and walk collision and
 // spill chains. The Reader reports every RAM address it touched so the
 // timing model can charge the cache hierarchy for each access.
+//
+// A Reader reads the engine's simulated memory on every lookup and must
+// therefore stay confined to that engine's goroutine; use Snapshot for a
+// decrypted view that many engines can share (see docs/CONCURRENCY.md).
 type Reader struct {
 	Table  *Table
 	mem    prog.AddressSpace
@@ -39,17 +43,29 @@ func NewReader(t *Table, mem prog.AddressSpace, ks *crypt.KeyStore) *Reader {
 	return &Reader{Table: t, mem: mem, cipher: crypt.NewCipher(key)}
 }
 
-// recordAddr returns the RAM address of record idx.
-func (r *Reader) recordAddr(idx uint64) uint64 {
-	sz := uint64(RecordSize)
-	if r.Table.Format == CFIOnly {
-		sz = CFIRecordSize
-	}
-	return r.Table.Base + HeaderSize + idx*sz
+// recordSource abstracts how record words are materialized: a Reader
+// decrypts them out of simulated RAM on demand; a Snapshot returns
+// pre-decrypted copies. Both record the RAM address of every record the
+// hardware walk would touch, so timing is identical either way.
+type recordSource interface {
+	geom() *Table
+	record(idx uint64, touched *[]uint64) [RecordSize / 4]uint32
+	cfiRecord(idx uint64, touched *[]uint64) uint64
 }
 
-func (r *Reader) readRecord(idx uint64, touched *[]uint64) [RecordSize / 4]uint32 {
-	addr := r.recordAddr(idx)
+// recordAddr returns the RAM address of record idx in table t.
+func recordAddr(t *Table, idx uint64) uint64 {
+	sz := uint64(RecordSize)
+	if t.Format == CFIOnly {
+		sz = CFIRecordSize
+	}
+	return t.Base + HeaderSize + idx*sz
+}
+
+func (r *Reader) geom() *Table { return r.Table }
+
+func (r *Reader) record(idx uint64, touched *[]uint64) [RecordSize / 4]uint32 {
+	addr := recordAddr(r.Table, idx)
 	*touched = append(*touched, addr)
 	var buf [RecordSize]byte
 	r.mem.ReadBytes(addr, buf[:])
@@ -59,6 +75,15 @@ func (r *Reader) readRecord(idx uint64, touched *[]uint64) [RecordSize / 4]uint3
 		w[i] = binary.LittleEndian.Uint32(buf[4*i:])
 	}
 	return w
+}
+
+func (r *Reader) cfiRecord(idx uint64, touched *[]uint64) uint64 {
+	addr := recordAddr(r.Table, idx)
+	*touched = append(*touched, addr)
+	var buf [CFIRecordSize]byte
+	r.mem.ReadBytes(addr, buf[:])
+	r.cipher.DecryptEntry(idx, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
 }
 
 // Want tells Lookup which addresses the pending validation needs so the
@@ -85,40 +110,29 @@ type Want struct {
 // of the chain, in which case the caller's membership test fails and the
 // validation is a violation).
 func (r *Reader) Lookup(end uint64, sig chash.Sig, want Want) (Entry, []uint64, bool) {
-	var touched []uint64
-	if r.Table.Format == CFIOnly {
-		panic("sigtable: Lookup on CFI-only table; use LookupEdge")
-	}
-	idx := bucketOf(end, r.Table.Buckets)
-	for {
-		w := r.readRecord(idx, &touched)
-		typ := w[0] >> recTypeShift & 0xf
-		if typ == recBlock && w[0]&tagMask == tagOf(end) && chash.Sig(w[1]) == sig {
-			e := r.decodeEntry(end, w, &touched, want, false)
-			return e, touched, true
-		}
-		next := uint64(w[5])
-		if typ == recInvalid || next == 0 {
-			return Entry{}, touched, false
-		}
-		idx = next
-	}
+	return lookup(r, end, sig, want, false)
 }
 
 // LookupAll is Lookup with an exhaustive spill walk, returning the entry's
 // complete target and predecessor lists (used by offline tools and tests;
 // the hardware path uses Lookup).
 func (r *Reader) LookupAll(end uint64, sig chash.Sig) (Entry, []uint64, bool) {
+	return lookup(r, end, sig, Want{}, true)
+}
+
+// lookup is the shared bucket/collision-chain walk over any recordSource.
+func lookup(src recordSource, end uint64, sig chash.Sig, want Want, full bool) (Entry, []uint64, bool) {
 	var touched []uint64
-	if r.Table.Format == CFIOnly {
-		panic("sigtable: LookupAll on CFI-only table; use LookupEdge")
+	t := src.geom()
+	if t.Format == CFIOnly {
+		panic("sigtable: Lookup on CFI-only table; use LookupEdge")
 	}
-	idx := bucketOf(end, r.Table.Buckets)
+	idx := bucketOf(end, t.Buckets)
 	for {
-		w := r.readRecord(idx, &touched)
+		w := src.record(idx, &touched)
 		typ := w[0] >> recTypeShift & 0xf
 		if typ == recBlock && w[0]&tagMask == tagOf(end) && chash.Sig(w[1]) == sig {
-			e := r.decodeEntry(end, w, &touched, Want{}, true)
+			e := decodeEntry(src, end, w, &touched, want, full)
 			return e, touched, true
 		}
 		next := uint64(w[5])
@@ -149,7 +163,7 @@ func containsAddr(list []uint64, a uint64) bool {
 	return false
 }
 
-func (r *Reader) decodeEntry(end uint64, w [RecordSize / 4]uint32, touched *[]uint64, want Want, full bool) Entry {
+func decodeEntry(src recordSource, end uint64, w [RecordSize / 4]uint32, touched *[]uint64, want Want, full bool) Entry {
 	e := Entry{
 		End:  end,
 		Hash: chash.Sig(w[1]),
@@ -168,7 +182,7 @@ func (r *Reader) decodeEntry(end uint64, w [RecordSize / 4]uint32, touched *[]ui
 		if !full && satisfied(&e, want) {
 			break
 		}
-		ew := r.readRecord(idx, touched)
+		ew := src.record(idx, touched)
 		if ew[0]>>recTypeShift&0xf != recExtension {
 			break // corrupt chain; treat as end
 		}
@@ -189,18 +203,19 @@ func (r *Reader) decodeEntry(end uint64, w [RecordSize / 4]uint32, touched *[]ui
 // CFI-only table. It returns the RAM addresses touched and whether the edge
 // is legal.
 func (r *Reader) LookupEdge(src, dst uint64) ([]uint64, bool) {
-	if r.Table.Format != CFIOnly {
+	return lookupEdge(r, src, dst)
+}
+
+// lookupEdge is the shared CFI-only edge walk over any recordSource.
+func lookupEdge(rs recordSource, src, dst uint64) ([]uint64, bool) {
+	t := rs.geom()
+	if t.Format != CFIOnly {
 		panic("sigtable: LookupEdge on hashed table; use Lookup")
 	}
 	var touched []uint64
-	idx := edgeBucket(src, dst, r.Table.Buckets)
+	idx := edgeBucket(src, dst, t.Buckets)
 	for {
-		addr := r.recordAddr(idx)
-		touched = append(touched, addr)
-		var buf [CFIRecordSize]byte
-		r.mem.ReadBytes(addr, buf[:])
-		r.cipher.DecryptEntry(idx, buf[:])
-		w := binary.LittleEndian.Uint64(buf[:])
+		w := rs.cfiRecord(idx, &touched)
 		if w == 0 {
 			return touched, false
 		}

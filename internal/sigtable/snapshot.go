@@ -1,0 +1,155 @@
+package sigtable
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rev/internal/chash"
+	"rev/internal/crypt"
+	"rev/internal/prog"
+)
+
+// Source is the lookup interface a SAG register group holds: either a
+// *Reader (decrypt-on-access out of simulated RAM, the single-engine
+// path) or a *Snapshot (a fully decrypted, immutable view that any
+// number of engines may share across goroutines — the fleet path).
+// Both implementations return identical entries and identical touched
+// RAM addresses for identical tables, so the timing model cannot tell
+// them apart.
+type Source interface {
+	// Lookup finds the entry for (end, sig), walking the spill chain
+	// only as far as want requires. See Reader.Lookup.
+	Lookup(end uint64, sig chash.Sig, want Want) (Entry, []uint64, bool)
+	// LookupAll is Lookup with an exhaustive spill walk.
+	LookupAll(end uint64, sig chash.Sig) (Entry, []uint64, bool)
+	// LookupEdge validates a computed edge against a CFI-only table.
+	LookupEdge(src, dst uint64) ([]uint64, bool)
+}
+
+var (
+	_ Source = (*Reader)(nil)
+	_ Source = (*Snapshot)(nil)
+)
+
+// Snapshot is an immutable, fully decrypted copy of a signature table.
+//
+// A Reader decrypts records out of simulated RAM on every SC-miss walk
+// and is therefore tied to one engine's address space; a Snapshot holds
+// every decrypted record in plain Go memory and is never written after
+// construction, so it is safe for concurrent use by any number of
+// engines without locks. Lookups still report the RAM addresses the
+// hardware walk *would* touch (computed from the frozen table base), so
+// per-engine miss-service timing is identical to the Reader path.
+//
+// In the threat model this corresponds to the decrypt logic inside the
+// CPU package: the plaintext records exist only on the validator side,
+// never in simulated RAM.
+type Snapshot struct {
+	table Table // metadata copy; Base frozen at snapshot/rebase time
+	recs  [][RecordSize / 4]uint32
+	cfi   []uint64
+}
+
+// Snapshot decrypts the Reader's whole table into an immutable Snapshot.
+func (r *Reader) Snapshot() *Snapshot {
+	s := &Snapshot{table: *r.Table}
+	var scratch []uint64
+	if r.Table.Format == CFIOnly {
+		s.cfi = make([]uint64, r.Table.Records)
+		for i := range s.cfi {
+			s.cfi[i] = r.cfiRecord(uint64(i), &scratch)
+		}
+		return s
+	}
+	s.recs = make([][RecordSize / 4]uint32, r.Table.Records)
+	for i := range s.recs {
+		s.recs[i] = r.record(uint64(i), &scratch)
+	}
+	return s
+}
+
+// SnapshotFromImage decrypts a serialized table image (the output of
+// Build, before or after Install) into a Snapshot without going through
+// simulated RAM. The wrapped table key is unwrapped via the CPU key
+// store, exactly as NewReader does. The snapshot's base is taken from
+// t.Base (zero until WithBase or Install assigns one).
+func SnapshotFromImage(t *Table, img []byte, ks *crypt.KeyStore) (*Snapshot, error) {
+	if uint64(len(img)) != t.Size || len(img) < HeaderSize {
+		return nil, fmt.Errorf("sigtable: image size %d does not match table size %d", len(img), t.Size)
+	}
+	cipher := crypt.NewCipher(ks.Unwrap(WrappedKeyFromImage(img)))
+	s := &Snapshot{table: *t}
+	if t.Format == CFIOnly {
+		s.cfi = make([]uint64, t.Records)
+		for i := range s.cfi {
+			var buf [CFIRecordSize]byte
+			copy(buf[:], img[HeaderSize+i*CFIRecordSize:])
+			cipher.DecryptEntry(uint64(i), buf[:])
+			s.cfi[i] = binary.LittleEndian.Uint64(buf[:])
+		}
+		return s, nil
+	}
+	s.recs = make([][RecordSize / 4]uint32, t.Records)
+	for i := range s.recs {
+		var buf [RecordSize]byte
+		copy(buf[:], img[HeaderSize+i*RecordSize:])
+		cipher.DecryptEntry(uint64(i), buf[:])
+		for w := range s.recs[i] {
+			s.recs[i][w] = binary.LittleEndian.Uint32(buf[4*w:])
+		}
+	}
+	return s, nil
+}
+
+// WithBase returns a snapshot sharing the same decrypted records but
+// reporting touched addresses relative to the given table base — used
+// when the table was never installed in a particular engine's RAM and a
+// canonical base (e.g. prog.SigBase) stands in for it.
+func (s *Snapshot) WithBase(base uint64) *Snapshot {
+	c := *s
+	c.table.Base = base
+	return &c
+}
+
+// Meta returns a copy of the snapshot's table metadata.
+func (s *Snapshot) Meta() Table { return s.table }
+
+// recordSource implementation (see reader.go): records come from the
+// decrypted copy; touched addresses are computed from the frozen base.
+func (s *Snapshot) geom() *Table { return &s.table }
+
+func (s *Snapshot) record(idx uint64, touched *[]uint64) [RecordSize / 4]uint32 {
+	*touched = append(*touched, recordAddr(&s.table, idx))
+	return s.recs[idx]
+}
+
+func (s *Snapshot) cfiRecord(idx uint64, touched *[]uint64) uint64 {
+	*touched = append(*touched, recordAddr(&s.table, idx))
+	return s.cfi[idx]
+}
+
+// Lookup finds the entry for (end, sig); see Reader.Lookup. Safe for
+// concurrent use.
+func (s *Snapshot) Lookup(end uint64, sig chash.Sig, want Want) (Entry, []uint64, bool) {
+	return lookup(s, end, sig, want, false)
+}
+
+// LookupAll is Lookup with an exhaustive spill walk. Safe for
+// concurrent use.
+func (s *Snapshot) LookupAll(end uint64, sig chash.Sig) (Entry, []uint64, bool) {
+	return lookup(s, end, sig, Want{}, true)
+}
+
+// LookupEdge validates a computed edge against a CFI-only snapshot.
+// Safe for concurrent use.
+func (s *Snapshot) LookupEdge(src, dst uint64) ([]uint64, bool) {
+	return lookupEdge(s, src, dst)
+}
+
+// SigBaseAlign rounds a table size up to the page multiple the loader
+// uses when placing consecutive tables at prog.SigBase — shared by
+// Engine.AddModule and the fleet's Prepare so serial and shared paths
+// assign identical table bases (and therefore identical SC-miss timing).
+func SigBaseAlign(size uint64) uint64 {
+	return (size + prog.PageSize - 1) &^ (prog.PageSize - 1)
+}

@@ -1,0 +1,160 @@
+package sigtable
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"rev/internal/chash"
+	"rev/internal/prog"
+)
+
+// TestSnapshotMatchesReader proves the Snapshot path is observationally
+// identical to the Reader path: same entries, same found/miss verdicts,
+// and the same touched RAM addresses (so miss-service timing cannot
+// diverge between the serial and fleet engines).
+func TestSnapshotMatchesReader(t *testing.T) {
+	for _, format := range []Format{Normal, Aggressive} {
+		p, g, r := protectedProgram(t, callerCallee, format)
+		snap := r.Snapshot()
+		for _, s := range g.Starts {
+			blk := g.ByStart[s]
+			sig := sigOf(p, blk)
+
+			re, rt, rok := r.LookupAll(blk.End, sig)
+			se, st, sok := snap.LookupAll(blk.End, sig)
+			if rok != sok || !reflect.DeepEqual(re, se) || !reflect.DeepEqual(rt, st) {
+				t.Fatalf("%v LookupAll(%#x) diverged: reader (%v,%v,%v) snapshot (%v,%v,%v)",
+					format, blk.End, re, rt, rok, se, st, sok)
+			}
+
+			// Progressive lookups with every want combination.
+			for _, want := range []Want{
+				{},
+				{CheckTarget: true, Target: blk.End + 8},
+				{CheckPred: true, Pred: blk.End},
+			} {
+				re, rt, rok := r.Lookup(blk.End, sig, want)
+				se, st, sok := snap.Lookup(blk.End, sig, want)
+				if rok != sok || !reflect.DeepEqual(re, se) || !reflect.DeepEqual(rt, st) {
+					t.Fatalf("%v Lookup(%#x,%+v) diverged", format, blk.End, want)
+				}
+			}
+
+			// A wrong signature must miss identically.
+			_, rt, rok = r.LookupAll(blk.End, sig^1)
+			_, st, sok = snap.LookupAll(blk.End, sig^1)
+			if rok || sok || !reflect.DeepEqual(rt, st) {
+				t.Fatalf("%v tampered lookup diverged: reader (%v,%v) snapshot (%v,%v)",
+					format, rt, rok, st, sok)
+			}
+		}
+	}
+}
+
+// TestSnapshotMatchesReaderCFI checks edge lookups on a CFI-only table.
+func TestSnapshotMatchesReaderCFI(t *testing.T) {
+	_, g, r := protectedProgram(t, callerCallee, CFIOnly)
+	snap := r.Snapshot()
+	for _, s := range g.Starts {
+		blk := g.ByStart[s]
+		if !blk.Term.IsComputed() {
+			continue
+		}
+		for _, dst := range append(append([]uint64{}, blk.Succs...), blk.End+1024) {
+			rt, rok := r.LookupEdge(blk.End, dst)
+			st, sok := snap.LookupEdge(blk.End, dst)
+			if rok != sok || !reflect.DeepEqual(rt, st) {
+				t.Fatalf("LookupEdge(%#x,%#x) diverged: reader (%v,%v) snapshot (%v,%v)",
+					blk.End, dst, rt, rok, st, sok)
+			}
+		}
+	}
+}
+
+// TestSnapshotFromImage checks that decrypting a serialized image (the
+// Prepare path, which never installs the table in RAM) yields the same
+// snapshot as reading it back out of simulated memory.
+func TestSnapshotFromImage(t *testing.T) {
+	p, g, r := protectedProgram(t, callerCallee, Normal)
+	// Rebuild the image the same way protectedProgram did.
+	tbl2, img, err := Build(g, Normal, testKey, testKS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl2.Base = prog.SigBase
+	fromImg, err := SnapshotFromImage(tbl2, img, testKS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromRAM := r.Snapshot()
+	for _, s := range g.Starts {
+		blk := g.ByStart[s]
+		sig := sigOf(p, blk)
+		ae, at, aok := fromRAM.LookupAll(blk.End, sig)
+		be, bt, bok := fromImg.LookupAll(blk.End, sig)
+		if aok != bok || !reflect.DeepEqual(ae, be) || !reflect.DeepEqual(at, bt) {
+			t.Fatalf("image/RAM snapshots diverge at %#x", blk.End)
+		}
+	}
+	if _, err := SnapshotFromImage(tbl2, img[:len(img)-1], testKS); err == nil {
+		t.Fatal("truncated image accepted")
+	}
+}
+
+// TestSnapshotConcurrentLookups hammers one snapshot from many
+// goroutines; run with -race this pins the immutability contract.
+func TestSnapshotConcurrentLookups(t *testing.T) {
+	p, g, r := protectedProgram(t, callerCallee, Normal)
+	snap := r.Snapshot()
+	// Precompute the queries serially: sigOf reads through prog.Memory,
+	// whose one-entry page cache mutates on reads (see
+	// docs/CONCURRENCY.md). Only the snapshot crosses goroutines.
+	type query struct {
+		end uint64
+		sig chash.Sig
+	}
+	queries := make([]query, 0, len(g.Starts))
+	for _, s := range g.Starts {
+		blk := g.ByStart[s]
+		queries = append(queries, query{blk.End, sigOf(p, blk)})
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				for _, q := range queries {
+					if _, _, ok := snap.LookupAll(q.end, q.sig); !ok {
+						t.Error("concurrent lookup missed a known block")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSnapshotWithBase checks rebasing shifts every touched address by
+// the base delta and nothing else.
+func TestSnapshotWithBase(t *testing.T) {
+	p, g, r := protectedProgram(t, callerCallee, Normal)
+	snap := r.Snapshot()
+	moved := snap.WithBase(prog.SigBase + 0x1000)
+	if moved.Meta().Base != prog.SigBase+0x1000 || snap.Meta().Base != prog.SigBase {
+		t.Fatal("WithBase must rebase the copy and leave the original alone")
+	}
+	blk := g.ByStart[g.Starts[0]]
+	_, t0, _ := snap.LookupAll(blk.End, sigOf(p, blk))
+	_, t1, _ := moved.LookupAll(blk.End, sigOf(p, blk))
+	if len(t0) != len(t1) {
+		t.Fatal("rebased walk length changed")
+	}
+	for i := range t0 {
+		if t1[i]-t0[i] != 0x1000 {
+			t.Fatalf("touched[%d]: want +0x1000, got %#x -> %#x", i, t0[i], t1[i])
+		}
+	}
+}

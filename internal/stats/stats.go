@@ -39,19 +39,22 @@ func HarmonicMean(xs []float64) float64 {
 	return float64(len(xs)) / inv
 }
 
-// GeoMean returns the geometric mean of positive values.
+// GeoMean returns the geometric mean of positive values. It accumulates
+// in log space: a running product overflows float64 after a few hundred
+// large inputs (or underflows to 0 for small ones) and poisons the mean,
+// whereas the sum of logs stays in range for any realistic sample count.
 func GeoMean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	prod := 1.0
+	logSum := 0.0
 	for _, x := range xs {
 		if x <= 0 {
 			return 0
 		}
-		prod *= x
+		logSum += math.Log(x)
 	}
-	return math.Pow(prod, 1/float64(len(xs)))
+	return math.Exp(logSum / float64(len(xs)))
 }
 
 // Table is an aligned text table.

@@ -29,6 +29,45 @@ func TestMeansEmptyAndInvalid(t *testing.T) {
 	}
 }
 
+// TestGeoMeanExtremeRange regresses the log-space accumulation: 1e4
+// values near 1e+150 (and near 1e-150) would overflow (underflow) a
+// running float64 product after two inputs, yet the geometric mean of
+// the sample is a perfectly representable number.
+func TestGeoMeanExtremeRange(t *testing.T) {
+	const n = 10_000
+	big := make([]float64, n)
+	small := make([]float64, n)
+	mixed := make([]float64, n)
+	for i := range big {
+		// Alternate slightly around the magnitude so the input is not a
+		// single repeated constant.
+		jitter := 1.0 + float64(i%7)/100
+		big[i] = 1e150 * jitter
+		small[i] = 1e-150 * jitter
+		if i%2 == 0 {
+			mixed[i] = 1e150 * jitter
+		} else {
+			mixed[i] = 1e-150 / jitter
+		}
+	}
+	if g := GeoMean(big); math.IsInf(g, 0) || math.IsNaN(g) || g < 1e150 || g > 1.1e150 {
+		t.Errorf("GeoMean(1e4 values ~1e+150) = %v, want finite ~1.03e150", g)
+	}
+	if g := GeoMean(small); g == 0 || math.IsNaN(g) || g < 1e-151 || g > 1.1e-150 {
+		t.Errorf("GeoMean(1e4 values ~1e-150) = %v, want finite ~1.03e-150", g)
+	}
+	// Big and small magnitudes cancel: the mean must land near 1.
+	if g := GeoMean(mixed); math.IsInf(g, 0) || math.IsNaN(g) || g < 0.5 || g > 2 {
+		t.Errorf("GeoMean(mixed 1e±150) = %v, want ~1", g)
+	}
+	// Sanity: log-space result agrees with the naive product where the
+	// product is representable.
+	xs := []float64{1, 2, 4, 8}
+	if g := GeoMean(xs); math.Abs(g-math.Sqrt(math.Sqrt(64))) > 1e-12 {
+		t.Errorf("GeoMean(%v) = %v", xs, g)
+	}
+}
+
 func TestMeanInequalityProperty(t *testing.T) {
 	// HM <= GM <= AM for positive values.
 	f := func(raw []uint16) bool {
