@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-all test-race bench-smoke bench-figures bench-json bench-parallel clean
+.PHONY: all build test vet race race-all test-race bench-smoke bench-figures bench-json bench-parallel bench-pipeline profile clean
 
 all: build vet test
 
@@ -45,6 +45,22 @@ bench-figures:
 bench-parallel:
 	$(GO) run ./cmd/revbench -exp fig6,fig7 -instrs 120000 -scale 0.05 \
 		-parallel 4 -parjson BENCH_parallel.json
+
+# Regenerate the intra-run pipelining record: serial vs -lanes {1,4} wall
+# times, the byte-identity verdict, and allocations per validated block
+# (exits nonzero if any lane count's result diverges from serial).
+bench-pipeline:
+	$(GO) run ./cmd/revbench -instrs 300000 -lanesjson BENCH_pipeline.json
+
+# CPU + allocation profiles of the fig6 harness (the per-block validation
+# hot path end to end). Drops cpu.prof / mem.prof / rev.test in the repo
+# root and prints the top entries; dig deeper with
+#   go tool pprof rev.test cpu.prof
+profile:
+	$(GO) test -run xxx -bench 'Fig6' -benchtime 1x \
+		-cpuprofile cpu.prof -memprofile mem.prof -o rev.test .
+	$(GO) tool pprof -top -nodecount 15 rev.test cpu.prof
+	$(GO) tool pprof -top -nodecount 15 -sample_index=alloc_objects rev.test mem.prof
 
 # Regenerate the machine-readable perf record (see README "Benchmarking").
 bench-json:

@@ -30,6 +30,14 @@
 // the rendered tables are byte-identical, and writes the serial/parallel
 // wall times, speedups, and per-worker blocks-per-second to the given
 // file (the committed BENCH_parallel.json).
+//
+// With -lanesjson, revbench probes the intra-run validation pipeline: one
+// REV-protected workload is run serially (-lanes 0) and then pipelined at
+// each lane count in {1, 4, auto}, the full result record (output, cycle
+// counts, cache/SC/engine statistics, verdict) is checked for byte
+// identity against the serial run, and wall times, speedups, and
+// allocations per validated block are written to the given file (the
+// committed BENCH_pipeline.json).
 package main
 
 import (
@@ -81,6 +89,44 @@ type benchReport struct {
 	HotPath     *hotPath    `json:"hotpath,omitempty"`
 }
 
+// laneTiming is one pipelined configuration's record in the lane probe.
+type laneTiming struct {
+	Lanes       int     `json:"lanes"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Speedup is serial wall / pipelined wall for the same workload.
+	Speedup float64 `json:"speedup"`
+	// Identical reports that the pipelined run's full result record —
+	// output, halt state, verdict, cycle counts, branch/cache/SC/engine
+	// statistics — is byte-identical to the serial run's.
+	Identical      bool    `json:"identical"`
+	Mallocs        uint64  `json:"mallocs"`
+	AllocsPerBlock float64 `json:"allocs_per_block"`
+}
+
+// pipeReport is the BENCH_pipeline.json payload: the serial baseline and
+// one laneTiming per probed lane count.
+type pipeReport struct {
+	Generated string  `json:"generated"`
+	Workload  string  `json:"workload"`
+	Instrs    uint64  `json:"instrs"`
+	Scale     float64 `json:"scale"`
+	CPUs      int     `json:"cpus"`
+	// GOMAXPROCS and AutoLanes record the host-derived sizing inputs:
+	// fleet workers default to GOMAXPROCS and -lanes -1 resolves to
+	// AutoLanes, so the file pins what "auto" meant on this machine.
+	GOMAXPROCS           int          `json:"gomaxprocs"`
+	AutoLanes            int          `json:"auto_lanes"`
+	Blocks               uint64       `json:"blocks"`
+	SerialSeconds        float64      `json:"serial_seconds"`
+	SerialMallocs        uint64       `json:"serial_mallocs"`
+	SerialAllocsPerBlock float64      `json:"serial_allocs_per_block"`
+	Pipelined            []laneTiming `json:"pipelined"`
+	// Note flags hardware bounds on the measurement (a 1-CPU host cannot
+	// show pipelined wall-clock speedup; byte identity is the
+	// hardware-independent check).
+	Note string `json:"note,omitempty"`
+}
+
 // parTiming is one experiment's serial-vs-fleet record.
 type parTiming struct {
 	ID              string  `json:"id"`
@@ -112,10 +158,11 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (comma separated), or 'all'")
 	instrs := flag.Uint64("instrs", 1_000_000, "committed instructions per benchmark run")
 	scale := flag.Float64("scale", 1.0, "workload static-size scale (1.0 = paper-matched)")
-	parallel := flag.Int("parallel", runtime.NumCPU(), "validation-fleet worker goroutines")
+	parallel := flag.Int("parallel", 0, "validation-fleet worker goroutines (0 = GOMAXPROCS)")
 	attackInstrs := flag.Uint64("attackinstrs", 100_000, "instruction budget per attack scenario")
 	jsonPath := flag.String("json", "", "write machine-readable timings (e.g. BENCH_hotpath.json)")
 	parJSONPath := flag.String("parjson", "", "write serial-vs-fleet timings (e.g. BENCH_parallel.json)")
+	lanesJSONPath := flag.String("lanesjson", "", "write serial-vs-pipelined lane timings (e.g. BENCH_pipeline.json)")
 	ref := flag.String("ref", "", "reference wall times as id=seconds pairs, comma separated")
 	flag.Parse()
 
@@ -168,6 +215,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "revbench: unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *lanesJSONPath != "" {
+		rep, err := probePipeline(*instrs, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "revbench: pipeline probe: %v\n", err)
+			os.Exit(1)
+		}
+		writeJSON(*lanesJSONPath, rep)
+		return
 	}
 
 	if *parJSONPath != "" {
@@ -288,6 +345,128 @@ func probeParallel(cfg experiments.Config, selected []selectedExp) (*parReport, 
 			rep.CPUs, workers)
 	}
 	return rep, nil
+}
+
+// probePipeline runs one REV-protected workload serially (-lanes 0) and
+// pipelined at lane counts {1, 4, auto}, checks every pipelined result for
+// byte identity against the serial baseline, and records wall times and
+// allocations per validated block. The lane memo counters are the one
+// sanctioned difference (K per-lane memos shard the block stream, so
+// hit/miss splits differ); everything else must match exactly.
+func probePipeline(instrs uint64, scale float64) (*pipeReport, error) {
+	p, err := workload.ByName("bzip2")
+	if err != nil {
+		return nil, err
+	}
+	p = p.Scaled(scale)
+	rc := core.DefaultRunConfig()
+	rc.MaxInstrs = instrs
+	cfg := core.DefaultConfig()
+	cfg.Format = sigtable.Normal
+	rc.REV = &cfg
+
+	rep := &pipeReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Workload:   p.Name,
+		Instrs:     instrs,
+		Scale:      scale,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		AutoLanes:  core.AutoLanes(),
+	}
+
+	// Prepare once — workload build, CFG extraction, signature-table
+	// construction and encryption are the trusted loader's job, not the
+	// validator hot path this probe measures. Every timed run below
+	// validates against the same immutable decrypted snapshot.
+	prep, err := core.Prepare(p.Builder(), rc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Warm up once so neither configuration pays first-run costs.
+	if _, _, _, err := timedRun(prep, 0); err != nil {
+		return nil, err
+	}
+	serial, serialWall, serialMallocs, err := timedRun(prep, 0)
+	if err != nil {
+		return nil, err
+	}
+	if serial.Violation != nil {
+		return nil, fmt.Errorf("clean workload flagged: %v", serial.Violation)
+	}
+	serialSig := identitySig(serial)
+	rep.Blocks = serial.Pipe.BBCount
+	rep.SerialSeconds = round3(serialWall)
+	rep.SerialMallocs = serialMallocs
+	if rep.Blocks > 0 {
+		rep.SerialAllocsPerBlock = round3(float64(serialMallocs) / float64(rep.Blocks))
+	}
+
+	laneSet := []int{1, 4}
+	if a := core.AutoLanes(); a > 0 && a != 1 && a != 4 {
+		laneSet = append(laneSet, a)
+	}
+	for _, lanes := range laneSet {
+		res, wall, mallocs, err := timedRun(prep, lanes)
+		if err != nil {
+			return nil, fmt.Errorf("lanes=%d: %w", lanes, err)
+		}
+		lt := laneTiming{
+			Lanes:       lanes,
+			WallSeconds: round3(wall),
+			Identical:   identitySig(res) == serialSig,
+			Mallocs:     mallocs,
+		}
+		if wall > 0 {
+			lt.Speedup = round3(serialWall / wall)
+		}
+		if rep.Blocks > 0 {
+			lt.AllocsPerBlock = round3(float64(mallocs) / float64(rep.Blocks))
+		}
+		if !lt.Identical {
+			return nil, fmt.Errorf("lanes=%d: pipelined result diverged from serial run", lanes)
+		}
+		rep.Pipelined = append(rep.Pipelined, lt)
+		fmt.Printf("lanes=%d    serial %7.3fs  pipelined %7.3fs  speedup %5.2fx  identical %v  allocs/block %.3f\n",
+			lanes, serialWall, wall, lt.Speedup, lt.Identical, lt.AllocsPerBlock)
+	}
+	if rep.GOMAXPROCS < 2 {
+		rep.Note = fmt.Sprintf(
+			"host has %d CPU(s): pipelined wall-clock speedup needs >=2 CPUs (lanes only add scheduler time-slicing here, and auto-lanes resolves to %d); byte-identity is the hardware-independent check",
+			rep.GOMAXPROCS, core.AutoLanes())
+	}
+	return rep, nil
+}
+
+// timedRun executes one prepared run at the given lane count, bracketed by
+// GC + MemStats reads, returning the result, wall seconds, and heap
+// allocation count.
+func timedRun(prep *core.Prepared, lanes int) (*core.Result, float64, uint64, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := prep.RunWithLanes(lanes)
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return res, wall, after.Mallocs - before.Mallocs, nil
+}
+
+// identitySig renders the parts of a Result that the determinism contract
+// covers. Engine memo counters are zeroed before rendering: the pipelined
+// executor shards the signature memo per lane, so hit/miss splits (and
+// nothing else) legitimately differ from the serial run.
+func identitySig(res *core.Result) string {
+	eng := res.Engine
+	eng.MemoHits, eng.MemoMisses = 0, 0
+	return fmt.Sprintf("%v|%v|%v|%+v|%+v|%d|%+v|%+v|%+v|%+v|%+v|%+v|%+v",
+		res.Output, res.Halted, res.Violation, res.Pipe, res.Branch,
+		res.UniqueBranches, res.L1D, res.L1I, res.L2, res.DRAM,
+		res.SC, eng, res.Shadow)
 }
 
 // probeHotPath runs one REV-protected workload and measures simulator-side

@@ -11,6 +11,15 @@
 //	revsim -bench all -rev                         # every benchmark
 //	revsim -bench bzip2 -rev -tenants 8            # multi-tenant: 8 engines,
 //	                                               # one shared signature table
+//	revsim -bench gcc -rev -lanes 4                # pipelined validation: 4
+//	                                               # async CHG hash lanes
+//
+// -lanes N overlaps signature hashing with simulation inside one run:
+// committed basic blocks are handed to N asynchronous CHG hash lanes over a
+// lock-free ring, and validation verdicts are retired in program order so
+// cycle counts and attack verdicts are byte-identical to -lanes 0 (serial).
+// The default, -lanes -1, auto-sizes to the host (0 on a single-CPU box,
+// where extra lanes can only time-slice).
 //
 // Multiple benchmarks (comma separated, or "all") are sharded across the
 // validation fleet: each run owns its engine, pipeline and memory; reports
@@ -28,7 +37,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strings"
 
 	"rev/internal/core"
@@ -45,7 +53,8 @@ func main() {
 	format := flag.String("format", "normal", "validation format: normal, aggressive, cfi-only")
 	instrs := flag.Uint64("instrs", 1_000_000, "committed instructions to simulate")
 	scale := flag.Float64("scale", 1.0, "workload static-size scale")
-	parallel := flag.Int("parallel", runtime.NumCPU(), "validation-fleet worker goroutines")
+	parallel := flag.Int("parallel", 0, "validation-fleet worker goroutines (0 = GOMAXPROCS)")
+	lanes := flag.Int("lanes", -1, "async CHG hash lanes per run: -1 auto-size to the host, 0 serial, N explicit")
 	tenants := flag.Int("tenants", 1, "concurrent tenant instances sharing one signature table (requires -rev, one benchmark)")
 	flag.Parse()
 
@@ -74,6 +83,7 @@ func main() {
 
 	rc := core.DefaultRunConfig()
 	rc.MaxInstrs = *instrs
+	rc.Lanes = *lanes
 	if *rev {
 		cfg := core.DefaultConfig()
 		cfg.SC.SizeKB = *scKB
@@ -134,8 +144,17 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
-		printReport(j.p, *scale, j.res, *rev)
+		printReport(j.p, *scale, j.res, *rev, resolvedLanes(*lanes))
 	}
+}
+
+// resolvedLanes mirrors the core's lane resolution for reporting: negative
+// requests auto-size to the host (core.AutoLanes), zero stays serial.
+func resolvedLanes(n int) int {
+	if n < 0 {
+		return core.AutoLanes()
+	}
+	return n
 }
 
 // runTenants prepares the workload once and validates n concurrent tenant
@@ -195,7 +214,7 @@ func runTenants(name string, rc core.RunConfig, scale float64, n, workers int) e
 	return nil
 }
 
-func printReport(p workload.Profile, scale float64, res *core.Result, rev bool) {
+func printReport(p workload.Profile, scale float64, res *core.Result, rev bool, lanes int) {
 	fmt.Printf("benchmark        %s (scale %.2f)\n", p.Name, scale)
 	fmt.Printf("instructions     %d\n", res.Pipe.Instrs)
 	fmt.Printf("cycles           %d\n", res.Pipe.Cycles)
@@ -206,6 +225,11 @@ func printReport(p workload.Profile, scale float64, res *core.Result, rev bool) 
 	fmt.Printf("L1I              %d accesses, %.2f%% miss\n", res.L1I.TotalAccesses(), 100*res.L1I.MissRate())
 	fmt.Printf("L2               %d accesses, %.2f%% miss\n", res.L2.TotalAccesses(), 100*res.L2.MissRate())
 	if rev {
+		if lanes > 0 {
+			fmt.Printf("hash lanes       %d (pipelined validation; verdicts byte-identical to serial)\n", lanes)
+		} else {
+			fmt.Printf("hash lanes       0 (serial in-loop validation)\n")
+		}
 		fmt.Printf("validated blocks %d\n", res.Engine.ValidatedBlocks)
 		fmt.Printf("SC               %d probes: %d hits, %d partial, %d complete misses (%.2f%% miss)\n",
 			res.SC.Probes, res.SC.Hits, res.SC.PartialMisses, res.SC.CompleteMisses, 100*res.SC.MissRate)

@@ -1,0 +1,311 @@
+package chash
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the asynchronous CHG hash lanes of the intra-run
+// validation pipeline: K worker goroutines that consume committed
+// basic-block records from the SPSC ring and compute their CubeHash
+// signatures off the critical simulation loop — the software analogue of
+// the paper's dedicated hash engine running beside the pipeline (and of
+// LO-FAT's parallel hash unit). Timing is unaffected: the modeled CHG
+// latency is still charged by the engine at retire; the lanes only move
+// the *simulator's* hashing cost onto spare cores.
+//
+// Sharing contract (docs/CONCURRENCY.md):
+//
+//   - The producer fills a BlockJob (including its pooled Code bytes) and
+//     publishes it with SPSC.Publish (release). Exactly one lane — chosen
+//     by the job's Lane field, stable per static block — reads it, writes
+//     Sig/CodeSig, and sets done (release). The consumer reads results
+//     only after observing done (acquire). No field is ever written by
+//     two goroutines.
+//   - Each lane owns a private direct-mapped signature memo (its shard of
+//     the engine's memo), so lookups and fills need no synchronization.
+//     Entries are keyed by the code-version epoch captured by the
+//     producer at publish time; the producer additionally drains the ring
+//     on every epoch change (the epoch fence), so a lane never holds
+//     in-flight work from two epochs.
+//   - Lane state is padded to cache lines: adjacent lanes never
+//     false-share counters or memo headers.
+
+// BlockJob is one committed basic block handed to the hash lanes.
+// The producer owns every input field until Publish; the assigned lane
+// owns the job between Publish and its done release-store; the consumer
+// owns it afterwards until SPSC.Release returns the slot to the producer.
+type BlockJob struct {
+	// Start/End are the block's first and terminating instruction
+	// addresses (the signature's position inputs).
+	Start, End uint64
+	// Epoch is the code-version epoch the Code bytes were captured under.
+	Epoch uint64
+	// Lane selects the consuming lane (stable hash of the block identity,
+	// so a block's memo entry always lives in the same shard).
+	Lane int32
+	// NeedHash: compute Sig (false for CFI-only validation, disabled
+	// validation windows, or unprotected runs — the lane completes the
+	// job without hashing).
+	NeedHash bool
+	// NeedCode: also compute the position-independent code fingerprint
+	// (a forensics blacklist is installed).
+	NeedCode bool
+	// MemoOK: the epoch-keyed memo may serve this job (the address space
+	// reports code versions; self-modifying code bumps Epoch).
+	MemoOK bool
+	// Code is the block's instruction bytes, copied by the producer at
+	// publish time (so lanes never race stores from the still-running
+	// functional machine). Backed by a pooled per-slot buffer.
+	Code []byte
+
+	// Sig/CodeSig are the lane's outputs.
+	Sig     Sig
+	CodeSig Sig
+
+	done atomic.Uint32
+}
+
+// ResetDone re-arms the job for a new lap of the ring (producer-only,
+// before Publish).
+func (j *BlockJob) ResetDone() { j.done.Store(0) }
+
+// MarkDone publishes the lane's results (release).
+func (j *BlockJob) MarkDone() { j.done.Store(1) }
+
+// IsDone reports whether the lane has completed the job (acquire).
+func (j *BlockJob) IsDone() bool { return j.done.Load() == 1 }
+
+// LaneFor returns the stable lane assignment for a block identity: the
+// same (start, end) always hashes to the same lane, so its memoized
+// signature lives in exactly one shard.
+func LaneFor(start, end uint64, lanes int) int32 {
+	h := start*0x9E3779B97F4A7C15 + end*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	h *= 0x94D049BB133111EB
+	h ^= h >> 32
+	return int32(h % uint64(lanes))
+}
+
+// LaneStats counts one lane's work.
+type LaneStats struct {
+	Blocks     uint64 // jobs consumed (including NeedHash=false pass-throughs)
+	Hashed     uint64 // signatures actually computed
+	MemoHits   uint64
+	MemoMisses uint64
+}
+
+// laneMemoEntry is one shard slot of the sharded signature memo.
+type laneMemoEntry struct {
+	start, end uint64
+	epoch      uint64
+	valid      bool
+	codeValid  bool
+	sig        Sig
+	codeSig    Sig
+}
+
+// laneState is one lane's private state. The trailing pad keeps adjacent
+// lanes on separate cache lines; the memo backing arrays are separate
+// heap allocations, so shards never false-share either.
+type laneState struct {
+	memo  []laneMemoEntry
+	mask  uint64
+	stats LaneStats
+	// progress publishes how many ring sequence numbers this lane has
+	// scanned past. The producer must not reuse a ring slot until every
+	// lane's progress has moved beyond the slot's previous sequence number
+	// — the consumer's release alone only proves the *owning* lane is done
+	// with a job, while other lanes still read its Lane field to skip it.
+	progress atomic.Uint64
+	_        [64]byte
+}
+
+func (l *laneState) slot(start, end uint64) *laneMemoEntry {
+	h := start*0x9E3779B97F4A7C15 + end*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	h *= 0x94D049BB133111EB
+	h ^= h >> 32
+	return &l.memo[h&l.mask]
+}
+
+// DefaultLaneMemoEntries sizes each lane's memo shard. Because blocks are
+// assigned to lanes by identity hash, the shards partition the block
+// working set; 4K entries per shard comfortably covers each partition's
+// share (collisions only cost a recompute).
+const DefaultLaneMemoEntries = 4096
+
+// LanePool runs K hash lanes over the jobs of an SPSC ring.
+//
+// jobs[i] must be the BlockJob of ring slot i (len(jobs) == ring.Cap());
+// the pool reads a published job exactly once, on the lane named by its
+// Lane field. codeFn, when non-nil, computes the position-independent
+// code fingerprint for NeedCode jobs (the engine passes forensics.CodeSig;
+// injected to keep this package stdlib-only).
+type LanePool struct {
+	ring   *SPSC
+	jobs   []*BlockJob
+	lanes  []laneState
+	codeFn func([]byte) Sig
+
+	stop   atomic.Bool
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// NewLanePool builds a pool of `lanes` hash lanes (>= 1) with
+// memoEntries memo slots per shard (0 selects DefaultLaneMemoEntries).
+func NewLanePool(ring *SPSC, jobs []*BlockJob, lanes, memoEntries int, codeFn func([]byte) Sig) *LanePool {
+	if lanes < 1 {
+		lanes = 1
+	}
+	if len(jobs) != ring.Cap() {
+		panic("chash: lane pool jobs must cover the ring")
+	}
+	if memoEntries <= 0 {
+		memoEntries = DefaultLaneMemoEntries
+	}
+	n := uint64(1)
+	for n < uint64(memoEntries) {
+		n <<= 1
+	}
+	p := &LanePool{ring: ring, jobs: jobs, codeFn: codeFn, lanes: make([]laneState, lanes)}
+	for i := range p.lanes {
+		p.lanes[i].memo = make([]laneMemoEntry, n)
+		p.lanes[i].mask = n - 1
+	}
+	return p
+}
+
+// Lanes returns the lane count.
+func (p *LanePool) Lanes() int { return len(p.lanes) }
+
+// Start spawns the lane goroutines.
+func (p *LanePool) Start() {
+	for i := range p.lanes {
+		p.wg.Add(1)
+		go p.run(i)
+	}
+}
+
+// Close tells the lanes no further jobs will be published; they exit once
+// every published job is processed. Producer-only, after the final
+// Publish.
+func (p *LanePool) Close() { p.closed.Store(true) }
+
+// Closed reports whether Close has been called (observer-safe; the
+// consumer uses it to distinguish "ring empty for now" from "stream
+// over").
+func (p *LanePool) Closed() bool { return p.closed.Load() }
+
+// Abort makes the lanes exit at their next wait, even with jobs pending
+// (the consumer detected a violation and stopped retiring).
+func (p *LanePool) Abort() { p.stop.Store(true) }
+
+// Join waits for every lane to exit (after Close or Abort).
+func (p *LanePool) Join() { p.wg.Wait() }
+
+// Stats returns the per-lane counters. Only valid after Join.
+func (p *LanePool) Stats() []LaneStats {
+	out := make([]LaneStats, len(p.lanes))
+	for i := range p.lanes {
+		out[i] = p.lanes[i].stats
+	}
+	return out
+}
+
+// MemoCounters sums memo hits and misses across lanes. Only valid after
+// Join.
+func (p *LanePool) MemoCounters() (hits, misses uint64) {
+	for i := range p.lanes {
+		hits += p.lanes[i].stats.MemoHits
+		misses += p.lanes[i].stats.MemoMisses
+	}
+	return
+}
+
+// MinProgress returns the smallest per-lane scan progress: every ring
+// sequence number below it has been scanned (and, if owned, processed) by
+// every lane. The producer gates slot reuse on it (observer-safe).
+func (p *LanePool) MinProgress() uint64 {
+	min := ^uint64(0)
+	for i := range p.lanes {
+		if v := p.lanes[i].progress.Load(); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+func (p *LanePool) run(me int) {
+	defer p.wg.Done()
+	l := &p.lanes[me]
+	lane := int32(me)
+	var next uint64
+	var b Backoff
+	for {
+		// Skip straight over released sequences: the consumer only releases
+		// a job after its owning lane's done-store, so nothing below the
+		// tail can still need this lane — and crucially the producer may be
+		// rewriting those slots already.
+		if rel := p.ring.Released(); rel > next {
+			next = rel
+			l.progress.Store(next)
+		}
+		pub := p.ring.Published()
+		if next < pub {
+			j := p.jobs[p.ring.SlotOf(next)]
+			if j.Lane == lane {
+				p.process(l, j)
+			}
+			next++
+			l.progress.Store(next)
+			b.Reset()
+			continue
+		}
+		if p.stop.Load() {
+			return
+		}
+		// Re-check publications after observing closed: the producer sets
+		// closed only after its final Publish, so a stale head read here
+		// cannot drop work.
+		if p.closed.Load() && next >= p.ring.Published() {
+			return
+		}
+		b.Wait()
+	}
+}
+
+func (p *LanePool) process(l *laneState, j *BlockJob) {
+	l.stats.Blocks++
+	if !j.NeedHash {
+		j.MarkDone()
+		return
+	}
+	if j.MemoOK {
+		e := l.slot(j.Start, j.End)
+		if e.valid && e.start == j.Start && e.end == j.End && e.epoch == j.Epoch &&
+			(!j.NeedCode || e.codeValid) {
+			l.stats.MemoHits++
+			j.Sig, j.CodeSig = e.sig, e.codeSig
+			j.MarkDone()
+			return
+		}
+		l.stats.MemoMisses++
+		l.stats.Hashed++
+		BBSignatureInto(&j.Sig, j.Code, j.Start, j.End)
+		*e = laneMemoEntry{start: j.Start, end: j.End, epoch: j.Epoch, valid: true, sig: j.Sig}
+		if j.NeedCode && p.codeFn != nil {
+			j.CodeSig = p.codeFn(j.Code)
+			e.codeSig, e.codeValid = j.CodeSig, true
+		}
+		j.MarkDone()
+		return
+	}
+	l.stats.Hashed++
+	BBSignatureInto(&j.Sig, j.Code, j.Start, j.End)
+	if j.NeedCode && p.codeFn != nil {
+		j.CodeSig = p.codeFn(j.Code)
+	}
+	j.MarkDone()
+}

@@ -1,0 +1,174 @@
+package chash
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// laneHarness is a minimal producer/consumer pair around a LanePool,
+// mirroring the contract core's pipelined executor relies on (claim →
+// fill → publish; peek → done-gate → verify → release; MinProgress gates
+// slot reuse).
+type laneHarness struct {
+	ring *SPSC
+	jobs []*BlockJob
+	pool *LanePool
+	code [][]byte
+}
+
+func newLaneHarness(capacity, lanes, memoEntries int, codeFn func([]byte) Sig) *laneHarness {
+	h := &laneHarness{ring: NewSPSC(capacity)}
+	h.jobs = make([]*BlockJob, h.ring.Cap())
+	h.code = make([][]byte, h.ring.Cap())
+	for i := range h.jobs {
+		h.jobs[i] = &BlockJob{}
+		h.code[i] = make([]byte, 64)
+	}
+	h.pool = NewLanePool(h.ring, h.jobs, lanes, memoEntries, codeFn)
+	return h
+}
+
+// TestSPSCWraparoundUnderLanes hammers a tiny ring with far more records
+// than slots, across several lanes, with memoization on: every published
+// job must come back with exactly the serially computed signature, in
+// order, under -race. This pins ring wraparound, the done-gate, the
+// lane-confinement contract, and the MinProgress slot-reuse gate all at
+// once.
+func TestSPSCWraparoundUnderLanes(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const records = 20_000
+	for _, lanes := range []int{1, 3, 4} {
+		h := newLaneHarness(8, lanes, 16, nil) // tiny memo: force evictions too
+		h.pool.Start()
+
+		done := make(chan error, 1)
+		go func() { // consumer
+			var b Backoff
+			var expect Sig
+			for n := 0; n < records; {
+				seq, ok := h.ring.TryPeek()
+				if !ok {
+					b.Wait()
+					continue
+				}
+				b.Reset()
+				j := h.jobs[h.ring.SlotOf(seq)]
+				for !j.IsDone() {
+					b.Wait()
+				}
+				b.Reset()
+				if j.NeedHash {
+					BBSignatureInto(&expect, j.Code, j.Start, j.End)
+					if j.Sig != expect {
+						done <- errf("lanes=%d seq %d: sig mismatch", lanes, seq)
+						return
+					}
+				}
+				h.ring.Release()
+				n++
+			}
+			done <- nil
+		}()
+
+		// Producer: distinct block identities with heavy reuse so the memo
+		// sees hits, misses, and collisions; every identity maps to a stable
+		// lane.
+		var pb Backoff
+		size := uint64(h.ring.Cap())
+		var laneGate uint64
+		for i := 0; i < records; i++ {
+			var seq uint64
+			for {
+				s, ok := h.ring.TryAcquire()
+				if ok && s >= size && laneGate <= s-size {
+					laneGate = h.pool.MinProgress()
+					ok = laneGate > s-size
+				}
+				if ok {
+					seq = s
+					break
+				}
+				pb.Wait()
+			}
+			pb.Reset()
+			slot := h.ring.SlotOf(seq)
+			j := h.jobs[slot]
+			j.ResetDone()
+			id := uint64(i % 37) // 37 distinct blocks > 16 memo slots
+			j.Start = 0x1000 + id*64
+			j.End = j.Start + 56
+			j.Epoch = uint64(i / 5000) // periodic epoch bumps
+			j.Lane = LaneFor(j.Start, j.End, lanes)
+			j.NeedHash = i%5 != 0 // mix in pass-throughs
+			j.NeedCode = false
+			j.MemoOK = i%3 != 0 // mix memoized and direct hashing
+			code := h.code[slot]
+			for k := range code {
+				code[k] = byte(id + uint64(k))
+			}
+			j.Code = code
+			h.ring.Publish()
+		}
+		h.pool.Close()
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+		h.pool.Join()
+
+		var blocks uint64
+		for _, s := range h.pool.Stats() {
+			blocks += s.Blocks
+		}
+		if blocks != records {
+			t.Fatalf("lanes=%d: lanes consumed %d jobs, want %d", lanes, blocks, records)
+		}
+		hits, misses := h.pool.MemoCounters()
+		if hits == 0 || misses == 0 {
+			t.Fatalf("lanes=%d: memo exercised no hits (%d) or no misses (%d)", lanes, hits, misses)
+		}
+	}
+}
+
+// TestLanePoolAbort pins that Abort wakes lanes with jobs still pending.
+func TestLanePoolAbort(t *testing.T) {
+	h := newLaneHarness(8, 2, 0, nil)
+	h.pool.Start()
+	// Publish jobs no consumer will ever release.
+	for i := 0; i < 4; i++ {
+		seq, ok := h.ring.TryAcquire()
+		if !ok {
+			t.Fatal("ring full")
+		}
+		j := h.jobs[h.ring.SlotOf(seq)]
+		j.ResetDone()
+		j.Start, j.End = 64, 96
+		j.Lane = LaneFor(64, 96, 2)
+		j.NeedHash = true
+		j.Code = h.code[h.ring.SlotOf(seq)]
+		h.ring.Publish()
+	}
+	h.pool.Abort()
+	h.pool.Join() // must return despite unreleased jobs
+}
+
+// TestLaneForStable pins the shard-assignment invariants: deterministic,
+// in range, and non-degenerate (different blocks do spread across lanes).
+func TestLaneForStable(t *testing.T) {
+	seen := map[int32]bool{}
+	for i := uint64(0); i < 64; i++ {
+		l := LaneFor(0x1000+i*64, 0x1000+i*64+56, 4)
+		if l < 0 || l >= 4 {
+			t.Fatalf("lane %d out of range", l)
+		}
+		if l != LaneFor(0x1000+i*64, 0x1000+i*64+56, 4) {
+			t.Fatal("lane assignment not stable")
+		}
+		seen[l] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("64 blocks mapped to %d lane(s); hash is degenerate", len(seen))
+	}
+}
+
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }

@@ -1,0 +1,150 @@
+package chash
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// SPSC is a bounded, lock-free single-producer/single-consumer sequence
+// ring: the hand-off spine of the intra-run validation pipeline. It does
+// not store elements itself — callers own a power-of-two slot array and
+// index it with SlotOf(seq), which keeps the ring reusable for any record
+// type without interface boxing or per-element allocation.
+//
+// Protocol (see docs/CONCURRENCY.md "Intra-run pipeline"):
+//
+//	producer:  seq, ok := r.TryAcquire()   // claim; fill slots[r.SlotOf(seq)]
+//	           r.Publish()                 // release-store: slot visible
+//	consumer:  seq, ok := r.TryPeek()      // acquire-load: slot readable
+//	           ...process...
+//	           r.Release()                 // slot reusable by the producer
+//
+// head counts published records, tail counts released records; both only
+// ever increase, so seq doubles as the record's global program-order
+// number. Intermediate observers (the hash lanes) may watch Published()
+// and read any slot in [Released(), Published()) — the producer never
+// rewrites a slot before the consumer releases it, and the consumer never
+// reads hash results before the lane's own release-store (BlockJob.done).
+//
+// The hot counters and the per-side caches live on separate cache lines so
+// the producer and consumer never false-share: the producer re-reads tail
+// only when the ring looks full, the consumer re-reads head only when it
+// looks empty (the classic cached-index SPSC optimization).
+type SPSC struct {
+	mask uint64
+	size uint64
+	_    [6]uint64 // pad to a cache line
+
+	head atomic.Uint64 // published count (producer writes, release)
+	_    [7]uint64
+
+	tail atomic.Uint64 // released count (consumer writes, release)
+	_    [7]uint64
+
+	cachedTail uint64 // producer-local cache of tail
+	_          [7]uint64
+
+	cachedHead uint64 // consumer-local cache of head
+	_          [7]uint64
+}
+
+// NewSPSC returns a ring with capacity rounded up to a power of two
+// (minimum 2).
+func NewSPSC(capacity int) *SPSC {
+	n := uint64(2)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	return &SPSC{mask: n - 1, size: n}
+}
+
+// Cap returns the ring capacity.
+func (r *SPSC) Cap() int { return int(r.size) }
+
+// SlotOf maps a sequence number to its slot index.
+func (r *SPSC) SlotOf(seq uint64) int { return int(seq & r.mask) }
+
+// TryAcquire returns the next free sequence number, or ok=false when the
+// ring is full. Producer-only.
+func (r *SPSC) TryAcquire() (seq uint64, ok bool) {
+	head := r.head.Load() // own counter: no ordering needed
+	if head-r.cachedTail >= r.size {
+		r.cachedTail = r.tail.Load()
+		if head-r.cachedTail >= r.size {
+			return 0, false
+		}
+	}
+	return head, true
+}
+
+// Publish makes the most recently acquired slot visible to the consumer
+// and any intermediate observers. Producer-only.
+func (r *SPSC) Publish() { r.head.Add(1) }
+
+// TryPeek returns the oldest unreleased sequence number, or ok=false when
+// the ring is empty. Consumer-only.
+func (r *SPSC) TryPeek() (seq uint64, ok bool) {
+	tail := r.tail.Load() // own counter
+	if tail >= r.cachedHead {
+		r.cachedHead = r.head.Load()
+		if tail >= r.cachedHead {
+			return 0, false
+		}
+	}
+	return tail, true
+}
+
+// Release frees the oldest slot for reuse by the producer. Consumer-only.
+func (r *SPSC) Release() { r.tail.Add(1) }
+
+// Published returns the number of records published so far (observer-safe).
+func (r *SPSC) Published() uint64 { return r.head.Load() }
+
+// Released returns the number of records released so far (observer-safe).
+func (r *SPSC) Released() uint64 { return r.tail.Load() }
+
+// Drained reports whether every published record has been released — the
+// quiescent state the epoch fence waits for.
+func (r *SPSC) Drained() bool { return r.tail.Load() == r.head.Load() }
+
+// StopFlag is a one-way abort latch shared by the pipeline stages: the
+// consumer raises it when a run ends (violation, error, or normal
+// completion) and the producer polls it inside every wait loop so it can
+// never spin forever against a stage that has stopped draining.
+type StopFlag struct{ f atomic.Bool }
+
+// Raise latches the abort signal (any goroutine).
+func (s *StopFlag) Raise() { s.f.Store(true) }
+
+// Raised reports whether the abort signal is latched (any goroutine).
+func (s *StopFlag) Raised() bool { return s.f.Load() }
+
+// Backoff is the pipeline's cooperative wait strategy: a few raw spins
+// (the counterparty is usually a cache miss away on a multicore), then
+// scheduler yields (essential at GOMAXPROCS=1, where the counterparty can
+// only run if we step aside), then short sleeps so a starved stage never
+// burns a core.
+type Backoff struct{ n int }
+
+const (
+	backoffSpin  = 8
+	backoffYield = 256
+	backoffSleep = 20 * time.Microsecond
+)
+
+// Wait performs one escalating backoff step.
+func (b *Backoff) Wait() {
+	switch {
+	case b.n < backoffSpin:
+		// Busy spin: cheapest when the other side is actively running.
+	case b.n < backoffYield:
+		runtime.Gosched()
+	default:
+		time.Sleep(backoffSleep)
+	}
+	b.n++
+}
+
+// Reset clears the escalation after successful progress.
+func (b *Backoff) Reset() { b.n = 0 }

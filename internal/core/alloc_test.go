@@ -1,0 +1,66 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"rev/internal/sigtable"
+	"rev/internal/workload"
+)
+
+// TestPreparedRunAllocBudget is the allocation-regression gate for the
+// validator hot path: a prepared workload instance — program clone, parts,
+// engine, full validated run — must stay within 0.5 heap allocations per
+// validated basic block. The budget covers the per-request fixed cost
+// (cloned pages, pipeline, caches, engine) amortized over the run; the
+// steady-state per-block path (SC probe/fill, signature memo, hash) is
+// allocation-free by construction (see the sigcache and chash alloc
+// tests), so regressions here mean someone reintroduced a per-block or
+// per-request allocation. Before the prototype-clone optimization the
+// builder re-ran per request and this ratio was 3.2.
+func TestPreparedRunAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc budget probe is a full run")
+	}
+	p, err := workload.ByName("bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := DefaultRunConfig()
+	rc.MaxInstrs = 300_000
+	rc.REV = revConfig(sigtable.Normal, 32)
+	prep, err := Prepare(p.Builder(), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: first run pays one-time lazy costs (e.g. decode tables).
+	if _, err := prep.RunWithLanes(0); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, lanes := range []int{0, 1} {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		res, err := prep.RunWithLanes(lanes)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("clean workload flagged: %v", res.Violation)
+		}
+		blocks := res.Pipe.BBCount
+		if blocks == 0 {
+			t.Fatal("no blocks validated")
+		}
+		mallocs := after.Mallocs - before.Mallocs
+		perBlock := float64(mallocs) / float64(blocks)
+		t.Logf("lanes=%d: %d mallocs / %d blocks = %.3f per block", lanes, mallocs, blocks, perBlock)
+		// The pipelined budget includes the ring, lane goroutines, and
+		// per-lane memo — all fixed-size, so the same bound holds.
+		if perBlock > 0.5 {
+			t.Errorf("lanes=%d: %.3f allocs per validated block, budget is 0.5", lanes, perBlock)
+		}
+	}
+}

@@ -178,6 +178,12 @@ type Engine struct {
 	// codeBuf is the reusable scratch for a block's instruction bytes on
 	// the memo-miss path (no per-block allocation).
 	codeBuf []byte
+	// deferForensics suppresses in-hook evidence capture; the pipelined
+	// executor sets it and, when pendingCapture was latched by violate,
+	// captures after the producer goroutine joins (capture reads simulated
+	// memory, which the producer still owns when a violation retires).
+	deferForensics bool
+	pendingCapture bool
 }
 
 // NewEngine creates a REV engine over a program's memory and hierarchy.
@@ -275,14 +281,98 @@ func (e *Engine) scratch(n int) []byte {
 }
 
 // violate raises a violation, capturing forensic evidence when enabled.
+// Capture is deferred in pipelined mode: the producer goroutine is still
+// mutating simulated memory, so the executor re-captures after it joins
+// (see pipeline.go).
 func (e *Engine) violate(reason ViolationReason, info cpu.BBInfo, offending uint64) error {
 	if e.Cfg.Forensics {
-		e.Log.Capture(reason.String(), info.Start, info.End, offending, e.Mem)
+		if e.deferForensics {
+			e.pendingCapture = true
+		} else {
+			e.Log.Capture(reason.String(), info.Start, info.End, offending, e.Mem)
+		}
 	}
 	return &Violation{Reason: reason, BBStart: info.Start, BBEnd: info.End, Target: offending}
 }
 
+// blockSig returns the block's signature (and, when a blacklist is
+// installed, its position-independent code fingerprint), memoized per
+// code-version epoch.
+//
+// The CHG hashes the bytes as fetched; functionally we read them from
+// simulated memory, which is exactly what the fetch unit saw. Stores into
+// watched text invalidate the memo, so tampered bytes are always rehashed
+// (see memo.go).
+func (e *Engine) blockSig(info cpu.BBInfo) (sig, codeSig chash.Sig, codeSigValid bool) {
+	if e.cv != nil {
+		epoch := e.cv.CodeVersion()
+		ent, hit := e.memo.lookup(info.Start, info.End, epoch)
+		if hit && (e.Cfg.Blacklist == nil || ent.codeValid) {
+			e.Stats.MemoHits++
+			return ent.sig, ent.codeSig, ent.codeValid
+		}
+		e.Stats.MemoMisses++
+		code := e.scratch(info.NumInstrs * isa.WordSize)
+		e.Mem.ReadBytes(info.Start, code)
+		chash.BBSignatureInto(&sig, code, info.Start, info.End)
+		*ent = sigMemoEntry{
+			start: info.Start, end: info.End, epoch: epoch,
+			valid: true, sig: sig,
+		}
+		if e.Cfg.Blacklist != nil {
+			codeSig = forensics.CodeSig(code)
+			codeSigValid = true
+			ent.codeSig, ent.codeValid = codeSig, true
+		}
+		return sig, codeSig, codeSigValid
+	}
+	// The address space cannot report code mutations: recompute every
+	// block, exactly as the un-memoized engine did.
+	code := e.scratch(info.NumInstrs * isa.WordSize)
+	e.Mem.ReadBytes(info.Start, code)
+	chash.BBSignatureInto(&sig, code, info.Start, info.End)
+	if e.Cfg.Blacklist != nil {
+		codeSig = forensics.CodeSig(code)
+		codeSigValid = true
+	}
+	return sig, codeSig, codeSigValid
+}
+
 func (e *Engine) hookHashed(info cpu.BBInfo) (uint64, error) {
+	sig, codeSig, codeSigValid := e.blockSig(info)
+	return e.validateHashed(info, sig, codeSig, codeSigValid)
+}
+
+// HookPrecomputed is the intra-run pipeline's validation entry point: the
+// block's signature was computed asynchronously by a hash lane (from bytes
+// the producer captured at publish time under the recorded code-version
+// epoch), and the reorder buffer retires the verdict here in program
+// order. Timing, detection, and SC behaviour are identical to Hook.
+func (e *Engine) HookPrecomputed(info cpu.BBInfo, job *chash.BlockJob) (uint64, error) {
+	if !e.enabled {
+		e.Stats.SkippedDisabled++
+		return 0, nil
+	}
+	if e.Cfg.Format == sigtable.CFIOnly {
+		return e.hookCFIOnly(info)
+	}
+	return e.validateHashed(info, job.Sig, job.CodeSig, job.NeedCode)
+}
+
+// MergeLaneMemoStats folds the hash lanes' sharded memo counters into the
+// engine statistics at the end of a pipelined run (the serial path counts
+// directly in blockSig).
+func (e *Engine) MergeLaneMemoStats(hits, misses uint64) {
+	e.Stats.MemoHits += hits
+	e.Stats.MemoMisses += misses
+}
+
+// validateHashed performs every validation step that follows signature
+// acquisition: CHG timing, SAG region lookup, blacklist probes, SC probe
+// and miss walk, delayed-return latching. It is shared by the serial path
+// (signature from the engine memo) and the pipelined path (signature from
+// an async hash lane).
+func (e *Engine) validateHashed(info cpu.BBInfo, sig, codeSig chash.Sig, codeSigValid bool) (uint64, error) {
 	e.bbTag++
 	e.CHG.Feed(e.bbTag, info.FirstFetch)
 	e.CHG.Feed(e.bbTag, info.LastFetch)
@@ -295,47 +385,6 @@ func (e *Engine) hookHashed(info cpu.BBInfo) (uint64, error) {
 	}
 	if sagPen > 0 {
 		e.Stats.SAGPenalties++
-	}
-
-	// The CHG hashes the bytes as fetched; functionally we read them from
-	// simulated memory, which is exactly what the fetch unit saw. The
-	// signature (and, when a blacklist is installed, the block's
-	// position-independent code fingerprint) is memoized per code-version
-	// epoch: stores into watched text invalidate the memo, so tampered
-	// bytes are always rehashed (see memo.go).
-	var sig, codeSig chash.Sig
-	codeSigValid := false
-	if e.cv != nil {
-		epoch := e.cv.CodeVersion()
-		ent, hit := e.memo.lookup(info.Start, info.End, epoch)
-		if hit && (e.Cfg.Blacklist == nil || ent.codeValid) {
-			e.Stats.MemoHits++
-			sig, codeSig, codeSigValid = ent.sig, ent.codeSig, ent.codeValid
-		} else {
-			e.Stats.MemoMisses++
-			code := e.scratch(info.NumInstrs * isa.WordSize)
-			e.Mem.ReadBytes(info.Start, code)
-			chash.BBSignatureInto(&sig, code, info.Start, info.End)
-			*ent = sigMemoEntry{
-				start: info.Start, end: info.End, epoch: epoch,
-				valid: true, sig: sig,
-			}
-			if e.Cfg.Blacklist != nil {
-				codeSig = forensics.CodeSig(code)
-				codeSigValid = true
-				ent.codeSig, ent.codeValid = codeSig, true
-			}
-		}
-	} else {
-		// The address space cannot report code mutations: recompute every
-		// block, exactly as the un-memoized engine did.
-		code := e.scratch(info.NumInstrs * isa.WordSize)
-		e.Mem.ReadBytes(info.Start, code)
-		chash.BBSignatureInto(&sig, code, info.Start, info.End)
-		if e.Cfg.Blacklist != nil {
-			codeSig = forensics.CodeSig(code)
-			codeSigValid = true
-		}
 	}
 
 	// Known-attack fingerprint check (Sec. X): repeat payloads are

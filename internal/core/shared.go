@@ -37,8 +37,13 @@ type SharedTable struct {
 // This is the serving-shaped split of core.Run: Prepare at load time,
 // Prepared.Run per request.
 type Prepared struct {
-	rc    RunConfig
-	build func() (*prog.Program, error)
+	rc RunConfig
+	// proto is the pristine loaded-but-never-executed program image. Each
+	// Run clones it (one allocation per mapped page) instead of re-running
+	// the program builder, which keeps the per-request cost down in the
+	// validator hot path's allocation budget. proto itself is never
+	// executed or mutated after Prepare returns.
+	proto *prog.Program
 	// Tables holds one immutable SharedTable per program module, in
 	// module order.
 	Tables []*SharedTable
@@ -64,8 +69,9 @@ func Prepare(build func() (*prog.Program, error), rc RunConfig) (*Prepared, erro
 		profInstrs = rc.MaxInstrs
 	}
 
-	// The analysis instance is only read (static analysis + table build);
-	// the profiling twin is executed. Neither is retained.
+	// The analysis instance is only read (static analysis + table build),
+	// so it is retained as the pristine clone prototype for Run; the
+	// profiling twin is executed and discarded.
 	analysis, err := build()
 	if err != nil {
 		return nil, fmt.Errorf("core: building program: %w", err)
@@ -81,7 +87,7 @@ func Prepare(build func() (*prog.Program, error), rc RunConfig) (*Prepared, erro
 	static := cfg.Analyze(analysis, cfg.DefaultAnalyzeOptions())
 	ks := crypt.NewKeyStore(crypt.DeriveKey(rc.KeySeed, "cpu-private"))
 
-	p := &Prepared{rc: rc, build: build}
+	p := &Prepared{rc: rc, proto: analysis}
 	nextBase := prog.SigBase
 	for i, mod := range analysis.Modules {
 		bld := cfg.NewBuilder(mod, rc.REV.Limits)
@@ -119,21 +125,28 @@ func (p *Prepared) Config() RunConfig { return p.rc }
 // Run executes one instance of the prepared workload: a fresh program,
 // a fresh engine, the shared tables. Safe to call from many goroutines
 // concurrently — instances share only the immutable Prepared state.
-func (p *Prepared) Run() (*Result, error) {
-	measured, err := p.build()
-	if err != nil {
-		return nil, fmt.Errorf("core: building program: %w", err)
-	}
-	parts := assemble(measured, p.rc)
-	ks := crypt.NewKeyStore(crypt.DeriveKey(p.rc.KeySeed, "cpu-private"))
-	engine := NewEngine(*p.rc.REV, parts.space, parts.hier, ks)
+func (p *Prepared) Run() (*Result, error) { return p.RunWithLanes(p.rc.Lanes) }
+
+// RunWithLanes is Run with an explicit intra-run pipeline width,
+// overriding the prepared RunConfig.Lanes for this instance only
+// (semantics as RunConfig.Lanes: <0 auto, 0 serial, n>=1 lanes). The
+// Prepare path's immutable snapshot readers are exactly what the
+// pipelined executor requires, so any lane count is safe here; results
+// are byte-identical at every setting.
+func (p *Prepared) RunWithLanes(lanes int) (*Result, error) {
+	measured := p.proto.Clone()
+	rc := p.rc
+	rc.Lanes = lanes
+	parts := assemble(measured, rc)
+	ks := crypt.NewKeyStore(crypt.DeriveKey(rc.KeySeed, "cpu-private"))
+	engine := NewEngine(*rc.REV, parts.space, parts.hier, ks)
 	for _, st := range p.Tables {
 		if err := engine.AddSharedModule(st); err != nil {
 			return nil, fmt.Errorf("core: sharing table for %s: %w", st.Module, err)
 		}
 	}
-	parts.attach(engine, p.rc)
-	return execute(parts, p.rc)
+	parts.attach(engine, rc)
+	return execute(parts, rc)
 }
 
 // AddSharedModule registers a prebuilt, immutable signature-table

@@ -42,6 +42,15 @@ type RunConfig struct {
 	// baseline; results are identical either way, only simulator speed
 	// differs.
 	HideCodeVersion bool
+	// Lanes selects the intra-run validation pipeline (pipeline.go):
+	// negative auto-sizes the lane count from GOMAXPROCS (AutoLanes), 0
+	// keeps the classic serial loop, and n >= 1 overlaps the functional
+	// machine, n async CHG hash lanes, and the timing model across
+	// goroutines. Results are byte-identical at any setting; only
+	// simulator wall time changes. Protected runs with lanes route
+	// through the Prepare path so validation reads immutable table
+	// snapshots instead of live simulated memory.
+	Lanes int
 }
 
 // noVersionSpace forwards an AddressSpace while hiding any CodeVersioner
@@ -156,6 +165,19 @@ func Run(build func() (*prog.Program, error), rc RunConfig) (*Result, error) {
 		profInstrs = rc.MaxInstrs
 	}
 
+	if rc.REV != nil && resolveLanes(rc.Lanes) > 0 {
+		// Pipelined protected runs validate on a goroutine that races the
+		// functional machine for the simulated address space; reroute
+		// through Prepare so the engine reads immutable decrypted table
+		// snapshots instead of tables installed in live simulated memory
+		// (identical results either way — PR 2's shared-table identity).
+		prep, err := Prepare(build, rc)
+		if err != nil {
+			return nil, err
+		}
+		return prep.Run()
+	}
+
 	measured, err := build()
 	if err != nil {
 		return nil, fmt.Errorf("core: building program: %w", err)
@@ -197,7 +219,13 @@ func Run(build func() (*prog.Program, error), rc RunConfig) (*Result, error) {
 }
 
 // execute drives the measured run to completion and assembles the Result.
+// Callers with rc.REV != nil and lanes requested must have attached an
+// engine whose table readers are immutable snapshots (the Prepare path);
+// Run enforces this by rerouting through Prepare.
 func execute(p *parts, rc RunConfig) (*Result, error) {
+	if lanes := resolveLanes(rc.Lanes); lanes > 0 {
+		return executePipelined(p, rc, lanes)
+	}
 	mach, pipe, hier, pred := p.mach, p.pipe, p.hier, p.pred
 	engine, shadowMem := p.engine, p.shadowMem
 	if rc.AttackHook != nil {

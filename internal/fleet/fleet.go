@@ -73,13 +73,17 @@ type WorkerMetric struct {
 // last worker done), per-job and per-worker breakdowns, and aggregate
 // block throughput across the whole fleet.
 type Report struct {
-	Workers      int            `json:"workers"`
-	Jobs         int            `json:"jobs"`
-	WallSeconds  float64        `json:"wall_seconds"`
-	Blocks       uint64         `json:"blocks"`
-	BlocksPerSec float64        `json:"blocks_per_sec"`
-	PerJob       []JobMetric    `json:"per_job,omitempty"`
-	PerWorker    []WorkerMetric `json:"per_worker"`
+	Workers      int     `json:"workers"`
+	Jobs         int     `json:"jobs"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Blocks       uint64  `json:"blocks"`
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+	// Inline reports that the degenerate single-lane case was detected
+	// (one worker, or GOMAXPROCS=1) and jobs ran on the caller goroutine
+	// with no channel or goroutine machinery at all.
+	Inline    bool           `json:"inline,omitempty"`
+	PerJob    []JobMetric    `json:"per_job,omitempty"`
+	PerWorker []WorkerMetric `json:"per_worker"`
 }
 
 // Runner is an instrumented worker pool over a fixed job type.
@@ -103,6 +107,15 @@ type Runner[T, R any] struct {
 func (r *Runner[T, R]) Run(items []T) ([]R, *Report, error) {
 	n := len(items)
 	workers := Workers(r.Workers, n)
+	// Degenerate fleet: with one worker — or one CPU, where extra
+	// goroutines can only time-slice — the pool is pure overhead. Run the
+	// jobs inline on the caller goroutine: no goroutines, no atomic
+	// cursor, no WaitGroup, and byte-identical results (collection is
+	// input-ordered either way). BENCH_parallel.json on a 1-CPU host
+	// recorded speedup < 1.0 before this path existed.
+	if workers == 1 || runtime.GOMAXPROCS(0) == 1 {
+		return r.runInline(items)
+	}
 	results := make([]R, n)
 	errs := make([]error, n)
 	jobs := make([]JobMetric, n)
@@ -163,6 +176,53 @@ func (r *Runner[T, R]) Run(items []T) ([]R, *Report, error) {
 		}
 	}
 	return results, rep, nil
+}
+
+// runInline is the degenerate-fleet fast path: every job executes on the
+// caller goroutine, in input order, with the same report shape as the
+// pooled path (Workers=1, Inline=true).
+func (r *Runner[T, R]) runInline(items []T) ([]R, *Report, error) {
+	n := len(items)
+	results := make([]R, n)
+	jobs := make([]JobMetric, n)
+	perWorker := make([]WorkerMetric, 1)
+	wm := &perWorker[0]
+
+	var firstErr error
+	start := time.Now()
+	for i := range items {
+		t0 := time.Now()
+		res, err := r.Fn(0, i, items[i])
+		wall := time.Since(t0).Seconds()
+		results[i] = res
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		var blocks uint64
+		if err == nil && r.Blocks != nil {
+			blocks = r.Blocks(res)
+		}
+		jobs[i] = JobMetric{Index: i, Worker: 0, WallSeconds: wall, Blocks: blocks}
+		wm.Jobs++
+		wm.WallSeconds += wall
+		wm.Blocks += blocks
+	}
+	rep := &Report{
+		Workers:     1,
+		Jobs:        n,
+		WallSeconds: time.Since(start).Seconds(),
+		Blocks:      wm.Blocks,
+		Inline:      true,
+		PerJob:      jobs,
+		PerWorker:   perWorker,
+	}
+	if wm.WallSeconds > 0 {
+		wm.BlocksPerSec = float64(wm.Blocks) / wm.WallSeconds
+	}
+	if rep.WallSeconds > 0 {
+		rep.BlocksPerSec = float64(rep.Blocks) / rep.WallSeconds
+	}
+	return results, rep, firstErr
 }
 
 // Map runs fn over items on up to workers goroutines and returns the

@@ -103,6 +103,9 @@ func TestEach(t *testing.T) {
 // TestRunnerMetrics checks the report's bookkeeping: every job accounted
 // exactly once, per-worker sums match totals, blocks add up.
 func TestRunnerMetrics(t *testing.T) {
+	// Pin >1 procs so the pooled path (not the 1-CPU inline path) is the
+	// one under test.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
 	items := []uint64{10, 20, 30, 40, 50}
 	r := Runner[uint64, uint64]{
 		Workers: 2,
@@ -157,6 +160,9 @@ func TestRunnerMetrics(t *testing.T) {
 // TestRunnerConcurrent pins (under -race) that the pool really runs jobs
 // in parallel and that worker-indexed state never crosses goroutines.
 func TestRunnerConcurrent(t *testing.T) {
+	// The degenerate-fleet gate runs inline at GOMAXPROCS=1; force real
+	// parallelism so this test exercises the pooled path.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
 	const jobs = 200
 	var inFlight, peak atomic.Int32
 	var mu sync.Mutex
@@ -200,6 +206,84 @@ func TestRunnerConcurrent(t *testing.T) {
 	if rep.Jobs != jobs {
 		t.Fatalf("report jobs = %d", rep.Jobs)
 	}
+}
+
+// TestInlineDegenerateFleet is the regression test for the 1-CPU fleet:
+// when workers==1 (any host) or GOMAXPROCS==1 (any requested width), jobs
+// must run inline on the caller goroutine — no pool goroutines at all —
+// and the report must say so. BENCH_parallel.json recorded speedup < 1.0
+// on a 1-CPU box before this path existed.
+func TestInlineDegenerateFleet(t *testing.T) {
+	assertInline := func(tag string, workers int) {
+		t.Helper()
+		callerID := goroutineProbe()
+		items := []int{1, 2, 3, 4, 5, 6, 7, 8}
+		r := Runner[int, int]{
+			Workers: workers,
+			Fn: func(worker, index, v int) (int, error) {
+				if got := goroutineProbe(); got != callerID {
+					t.Errorf("%s: job %d ran on goroutine %d, caller is %d (pool goroutine spawned)",
+						tag, index, got, callerID)
+				}
+				if worker != 0 {
+					t.Errorf("%s: worker id = %d on inline path", tag, worker)
+				}
+				return v * 10, nil
+			},
+			Blocks: func(v int) uint64 { return uint64(v) },
+		}
+		out, rep, err := r.Run(items)
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		if !rep.Inline {
+			t.Fatalf("%s: report.Inline = false, want inline execution", tag)
+		}
+		if rep.Workers != 1 || len(rep.PerWorker) != 1 || rep.PerWorker[0].Jobs != len(items) {
+			t.Fatalf("%s: inline report malformed: %+v", tag, rep)
+		}
+		for i, v := range out {
+			if v != items[i]*10 {
+				t.Fatalf("%s: out[%d] = %d", tag, i, v)
+			}
+		}
+	}
+
+	// workers==1 forces inline regardless of CPU count.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	assertInline("workers=1", 1)
+
+	// GOMAXPROCS==1 forces inline even for a wide request.
+	runtime.GOMAXPROCS(1)
+	assertInline("gomaxprocs=1", 4)
+	runtime.GOMAXPROCS(4)
+
+	// Sanity: the wide pool on >1 procs must NOT be inline.
+	r := Runner[int, int]{Workers: 4, Fn: func(_, _, v int) (int, error) { return v, nil }}
+	_, rep, err := r.Run(make([]int, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Inline {
+		t.Fatal("pooled path reported Inline=true")
+	}
+}
+
+// goroutineProbe returns an identifier stable within one goroutine: the
+// address of a goroutine-local stack variable is not (stacks move), so it
+// parses the goroutine id from the runtime stack header instead.
+func goroutineProbe() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// "goroutine 123 [running]:" — extract 123.
+	var id uint64
+	for _, c := range buf[10:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
 }
 
 func TestEmptyInput(t *testing.T) {

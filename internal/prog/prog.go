@@ -120,6 +120,23 @@ func NewProgram() *Program {
 	}
 }
 
+// Clone returns an independent instance of the program over a deep-copied
+// address space. The Module descriptors are shared — after Load they are
+// read-only metadata (execution reads and mutates only Mem) — while every
+// mapped memory page is copied, so the clone may be executed, attacked, or
+// self-modified without the source observing anything. Cloning a prepared
+// image costs one allocation per mapped page, orders of magnitude cheaper
+// than re-running the program builder; Prepared.Run relies on this for its
+// per-request fresh-instance guarantee.
+func (p *Program) Clone() *Program {
+	return &Program{
+		Modules:  append([]*Module(nil), p.Modules...),
+		Mem:      p.Mem.Clone(),
+		nextCode: p.nextCode,
+		nextData: p.nextData,
+	}
+}
+
 // Load places a module into the address space: assigns Base and DataOff,
 // copies code and data into memory, and registers the module. Modules are
 // padded to page boundaries so their SAG limit ranges never overlap.
@@ -311,6 +328,21 @@ func NewMemory() *Memory {
 		pages: make(map[uint64]*[PageSize]byte),
 		watch: CodeWatch{lo: ^uint64(0), hi: 0},
 	}
+}
+
+// Clone returns an independent deep copy of the memory: every mapped page
+// is copied into fresh backing, while the code watch and the one-entry
+// translation cache are reset (watch registrations belong to the engine of
+// a particular run, and a cached page pointer must never alias the source's
+// pages).
+func (mm *Memory) Clone() *Memory {
+	c := NewMemory()
+	for pn, pg := range mm.pages {
+		np := new([PageSize]byte)
+		*np = *pg
+		c.pages[pn] = np
+	}
+	return c
 }
 
 // WatchCode registers a text range for code-version tracking.

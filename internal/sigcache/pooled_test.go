@@ -1,0 +1,99 @@
+package sigcache
+
+import (
+	"testing"
+
+	"rev/internal/chash"
+)
+
+// TestPartialMissBecomesCompleteMiss walks one block through the full SC
+// state ladder: complete miss (cold) → fill → hit → partial miss (needed
+// edge not resident) → refresh → hit → eviction → complete miss again.
+// This is the transition sequence behind Figure 10's partial/complete
+// split, and it pins that an eviction demotes a previously
+// partially-resident block all the way back to a complete miss.
+func TestPartialMissBecomesCompleteMiss(t *testing.T) {
+	c := smallSC() // 2 sets, 2-way
+	r := rec(0x1000, 7,
+		[]uint64{0x2000, 0x3000, 0x4000}, // 3 legal targets > MaxTargets=2
+		nil)
+
+	// Cold: complete miss.
+	if got := c.Probe(0x1000, 7, Need{CheckTarget: true, Target: 0x2000}); got != CompleteMiss {
+		t.Fatalf("cold probe = %v, want complete-miss", got)
+	}
+	c.Fill(r, Need{CheckTarget: true, Target: 0x2000})
+
+	// Resident with 0x2000 MRU: hit.
+	if got := c.Probe(0x1000, 7, Need{CheckTarget: true, Target: 0x2000}); got != Hit {
+		t.Fatalf("warm probe = %v, want hit", got)
+	}
+
+	// 0x4000 is legal but was truncated off the MRU list: partial miss —
+	// the entry exists, so the block's hash needs no re-validation, only
+	// the edge must be re-fetched.
+	if got := c.Probe(0x1000, 7, Need{CheckTarget: true, Target: 0x4000}); got != PartialMiss {
+		t.Fatalf("truncated-edge probe = %v, want partial-miss", got)
+	}
+	if c.Stats.PartialMisses != 1 || c.Stats.CompleteMisses != 1 {
+		t.Fatalf("stats after ladder = %+v", c.Stats)
+	}
+
+	// The miss-walk refreshes the entry; now 0x4000 is MRU-first.
+	c.Fill(r, Need{CheckTarget: true, Target: 0x4000})
+	if got := c.Probe(0x1000, 7, Need{CheckTarget: true, Target: 0x4000}); got != Hit {
+		t.Fatalf("refreshed probe = %v, want hit", got)
+	}
+
+	// Evict the entry by filling both ways of its set with other blocks
+	// (setBase uses end>>3, so ends 8 sets apart alias to the same set).
+	setStride := uint64(8 * c.sets)
+	c.Fill(rec(0x1000+setStride, 8, []uint64{1}, nil), Need{})
+	c.Fill(rec(0x1000+2*setStride, 9, []uint64{2}, nil), Need{})
+
+	// Demoted: not even a partial miss survives an eviction.
+	if got := c.Probe(0x1000, 7, Need{CheckTarget: true, Target: 0x4000}); got != CompleteMiss {
+		t.Fatalf("post-eviction probe = %v, want complete-miss", got)
+	}
+	if c.Stats.Evictions == 0 {
+		t.Fatal("eviction path never taken")
+	}
+}
+
+// TestFillAllocFreeIncludingEvictions pins the pooled-backing contract:
+// with every entry's MRU lists carved from the construction-time slabs,
+// the whole Fill path — first-touch installs, steady-state refreshes, and
+// LRU evictions that recycle a victim entry — allocates nothing at all.
+func TestFillAllocFreeIncludingEvictions(t *testing.T) {
+	c := smallSC()
+	setStride := uint64(8 * c.sets)
+	recs := []struct {
+		end  uint64
+		hash chash.Sig
+	}{
+		// 3 blocks aliasing into one 2-way set: every third fill evicts.
+		{0x1000, 7}, {0x1000 + setStride, 8}, {0x1000 + 2*setStride, 9},
+	}
+	targets := []uint64{0x2000, 0x3000, 0x4000}
+	i := 0
+	if a := testing.AllocsPerRun(300, func() {
+		rc := recs[i%len(recs)]
+		n := Need{CheckTarget: true, Target: targets[i%len(targets)]}
+		i++
+		c.Fill(rec(rc.end, rc.hash, targets, []uint64{0x5000}), n)
+	}); a != 0 {
+		t.Errorf("Fill (incl. evictions) allocates %.2f times per call; want 0", a)
+	}
+	if c.Stats.Evictions == 0 {
+		t.Fatal("eviction path never exercised")
+	}
+
+	// Flush must recycle, not discard, the pooled backing.
+	if a := testing.AllocsPerRun(10, func() { c.Flush() }); a != 0 {
+		t.Errorf("Flush allocates %.2f times per call; want 0", a)
+	}
+	c.Fill(rec(0x1000, 7, targets, nil), Need{})
+	if got := c.Probe(0x1000, 7, Need{}); got != Hit {
+		t.Fatalf("post-flush refill probe = %v, want hit", got)
+	}
+}

@@ -104,14 +104,35 @@ type Cache struct {
 	Stats Stats
 }
 
-// New builds an SC from its configuration.
+// New builds an SC from its configuration. Every entry's MRU lists are
+// carved out of two shared slabs up front, so the steady-state hot path —
+// Probe, Fill (including evictions), Flush — never allocates: lists only
+// ever shrink to zero length and regrow within their fixed backing.
 func New(cfg Config) *Cache {
 	entries := cfg.SizeKB * 1024 / cfg.EntryBytes
 	sets := entries / cfg.Assoc
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic("sigcache: entry count per way must be a power of two")
 	}
-	return &Cache{cfg: cfg, sets: sets, ways: make([]entry, entries)}
+	c := &Cache{cfg: cfg, sets: sets, ways: make([]entry, entries)}
+	if cfg.MaxTargets > 0 {
+		slab := make([]uint64, entries*cfg.MaxTargets)
+		for i := range c.ways {
+			c.ways[i].targets = slab[i*cfg.MaxTargets : i*cfg.MaxTargets : (i+1)*cfg.MaxTargets]
+		}
+	}
+	if cfg.MaxPreds > 0 {
+		slab := make([]uint64, entries*cfg.MaxPreds)
+		for i := range c.ways {
+			c.ways[i].preds = slab[i*cfg.MaxPreds : i*cfg.MaxPreds : (i+1)*cfg.MaxPreds]
+		}
+	}
+	scratch := cfg.MaxTargets
+	if cfg.MaxPreds > scratch {
+		scratch = cfg.MaxPreds
+	}
+	c.scratch = make([]uint64, 0, scratch)
+	return c
 }
 
 func (c *Cache) setBase(end uint64) int {
@@ -213,8 +234,12 @@ func (c *Cache) Fill(rec sigtable.Entry, need Need) {
 			}
 			c.Stats.Evictions++
 		}
-		c.ways[vw] = entry{valid: true, end: rec.End, hash: rec.Hash}
+		// Field-wise reset that keeps the pooled MRU backing arrays: an
+		// eviction must not leak the victim's lists to the allocator.
 		e = &c.ways[vw]
+		e.valid, e.end, e.hash = true, rec.End, rec.Hash
+		e.targets = e.targets[:0]
+		e.preds = e.preds[:0]
 	}
 	e.lastUse = c.stamp
 	e.targets = c.mruMerge(e.targets, rec.Targets, need.Target, need.CheckTarget, c.cfg.MaxTargets)
@@ -283,6 +308,11 @@ func (c *Cache) mruMerge(resident, legal []uint64, needed uint64, check bool, ma
 // entries are address-tagged — Flush exists for ablations).
 func (c *Cache) Flush() {
 	for i := range c.ways {
-		c.ways[i] = entry{}
+		e := &c.ways[i]
+		e.valid, e.end, e.lastUse = false, 0, 0
+		var zero chash.Sig
+		e.hash = zero
+		e.targets = e.targets[:0]
+		e.preds = e.preds[:0]
 	}
 }
