@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-all test-race bench-smoke bench-figures bench-json bench-parallel bench-pipeline profile clean
+.PHONY: all build test vet race race-all test-race bench-smoke bench-figures bench-json bench-parallel bench-pipeline bench-telemetry profile clean
 
 all: build vet test
 
@@ -51,6 +51,15 @@ bench-parallel:
 # (exits nonzero if any lane count's result diverges from serial).
 bench-pipeline:
 	$(GO) run ./cmd/revbench -instrs 300000 -lanesjson BENCH_pipeline.json
+
+# Regenerate the telemetry-overhead record: interleaved timed rounds of
+# one prepared workload with telemetry disabled / metrics / metrics+trace,
+# the byte-identity verdict across all three, and allocs per validated
+# block. Exits nonzero when the metrics overhead exceeds 2% (the CI
+# telemetry-overhead job runs the same probe).
+bench-telemetry:
+	$(GO) run ./cmd/revbench -instrs 500000 -telrounds 5 \
+		-teljson BENCH_telemetry.json
 
 # CPU + allocation profiles of the fig6 harness (the per-block validation
 # hot path end to end). Drops cpu.prof / mem.prof / rev.test in the repo

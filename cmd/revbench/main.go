@@ -38,6 +38,18 @@
 // identity against the serial run, and wall times, speedups, and
 // allocations per validated block are written to the given file (the
 // committed BENCH_pipeline.json).
+//
+// With -teljson, revbench probes the telemetry overhead: one REV-protected
+// workload is timed (best of -telrounds) with telemetry disabled, with the
+// metrics registry enabled, and with metrics + tracing enabled; results
+// are checked for byte identity across all three, and the record (the
+// committed BENCH_telemetry.json) is written. When the metrics-enabled
+// overhead exceeds -telthreshold percent, revbench exits nonzero — the CI
+// telemetry-overhead gate.
+//
+// With -metricsjson, revbench runs one REV-protected workload with the
+// metrics registry attached and writes the registry snapshot as JSON (the
+// revdump -what metrics input).
 package main
 
 import (
@@ -55,6 +67,7 @@ import (
 	"rev/internal/fleet"
 	"rev/internal/sigtable"
 	"rev/internal/stats"
+	"rev/internal/telemetry"
 	"rev/internal/workload"
 )
 
@@ -163,6 +176,10 @@ func main() {
 	jsonPath := flag.String("json", "", "write machine-readable timings (e.g. BENCH_hotpath.json)")
 	parJSONPath := flag.String("parjson", "", "write serial-vs-fleet timings (e.g. BENCH_parallel.json)")
 	lanesJSONPath := flag.String("lanesjson", "", "write serial-vs-pipelined lane timings (e.g. BENCH_pipeline.json)")
+	telJSONPath := flag.String("teljson", "", "write the telemetry-overhead probe record (e.g. BENCH_telemetry.json); exits nonzero past -telthreshold")
+	telThreshold := flag.Float64("telthreshold", 2.0, "max tolerated metrics-enabled overhead percent for -teljson")
+	telRounds := flag.Int("telrounds", 5, "timed rounds per configuration in the -teljson probe (best-of)")
+	metricsJSONPath := flag.String("metricsjson", "", "run one protected workload with metrics enabled and write the registry snapshot JSON")
 	ref := flag.String("ref", "", "reference wall times as id=seconds pairs, comma separated")
 	flag.Parse()
 
@@ -215,6 +232,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "revbench: unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *telJSONPath != "" {
+		rep, err := probeTelemetry(*instrs, *scale, *telRounds, *telThreshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "revbench: telemetry probe: %v\n", err)
+			os.Exit(1)
+		}
+		writeJSON(*telJSONPath, rep)
+		if !rep.WithinThreshold {
+			fmt.Fprintf(os.Stderr, "revbench: metrics-enabled overhead %.2f%% exceeds the %.2f%% gate\n",
+				rep.MetricsOverheadPct, rep.ThresholdPct)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *metricsJSONPath != "" {
+		if err := dumpMetricsJSON(*metricsJSONPath, *instrs, *scale); err != nil {
+			fmt.Fprintf(os.Stderr, "revbench: metrics snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *lanesJSONPath != "" {
@@ -437,6 +477,173 @@ func probePipeline(instrs uint64, scale float64) (*pipeReport, error) {
 			rep.GOMAXPROCS, core.AutoLanes())
 	}
 	return rep, nil
+}
+
+// telReport is the BENCH_telemetry.json payload: best-of-N wall times for
+// one REV-protected workload with telemetry disabled, with the metrics
+// registry enabled, and with metrics + tracing enabled.
+type telReport struct {
+	Generated string  `json:"generated"`
+	Workload  string  `json:"workload"`
+	Instrs    uint64  `json:"instrs"`
+	Scale     float64 `json:"scale"`
+	Rounds    int     `json:"rounds"`
+	Blocks    uint64  `json:"blocks"`
+	// DisabledSeconds is the nil-Set baseline (instrumentation compiled in,
+	// every emission site one predicted-not-taken nil check).
+	DisabledSeconds float64 `json:"disabled_seconds"`
+	MetricsSeconds  float64 `json:"metrics_seconds"`
+	TraceSeconds    float64 `json:"trace_seconds"`
+	// MetricsOverheadPct is (metrics - disabled) / disabled * 100, the
+	// gated number; TraceOverheadPct is informational (tracing is a debug
+	// aid, not an always-on path).
+	MetricsOverheadPct float64 `json:"metrics_overhead_pct"`
+	TraceOverheadPct   float64 `json:"trace_overhead_pct"`
+	ThresholdPct       float64 `json:"threshold_pct"`
+	WithinThreshold    bool    `json:"within_threshold"`
+	// Identical reports that all three configurations produced the same
+	// full result record (telemetry must never alter simulated results).
+	Identical              bool    `json:"identical"`
+	DisabledAllocsPerBlock float64 `json:"disabled_allocs_per_block"`
+	MetricsAllocsPerBlock  float64 `json:"metrics_allocs_per_block"`
+}
+
+// probeTelemetry times one prepared workload under the three telemetry
+// configurations, best-of-rounds each, and checks result byte identity.
+func probeTelemetry(instrs uint64, scale float64, rounds int, threshold float64) (*telReport, error) {
+	p, err := workload.ByName("bzip2")
+	if err != nil {
+		return nil, err
+	}
+	p = p.Scaled(scale)
+	rc := core.DefaultRunConfig()
+	rc.MaxInstrs = instrs
+	cfg := core.DefaultConfig()
+	cfg.Format = sigtable.Normal
+	rc.REV = &cfg
+	prep, err := core.Prepare(p.Builder(), rc)
+	if err != nil {
+		return nil, err
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+
+	// Warm up once so no configuration pays first-run costs.
+	if _, _, _, err := timedRunTel(prep, nil); err != nil {
+		return nil, err
+	}
+	// The three configurations are timed in interleaved rounds (disabled,
+	// metrics, metrics+trace, repeat) keeping the per-configuration minimum
+	// wall: interleaving spreads thermal and scheduler drift evenly, and the
+	// minimum is the least-noise estimator for a deterministic workload.
+	// Sets are built fresh per round so trace rings and registries never
+	// accumulate across rounds.
+	type telCfg struct {
+		mkSet   func() *telemetry.Set
+		res     *core.Result
+		wall    float64
+		mallocs uint64
+	}
+	cfgs := [3]telCfg{
+		{mkSet: func() *telemetry.Set { return nil }},
+		{mkSet: func() *telemetry.Set { return &telemetry.Set{Reg: telemetry.NewRegistry()} }},
+		{mkSet: func() *telemetry.Set {
+			return &telemetry.Set{Reg: telemetry.NewRegistry(), Trace: telemetry.NewRecorder(0)}
+		}},
+	}
+	for r := 0; r < rounds; r++ {
+		for i := range cfgs {
+			c := &cfgs[i]
+			res, wall, mallocs, err := timedRunTel(prep, c.mkSet())
+			if err != nil {
+				return nil, err
+			}
+			if c.res == nil || wall < c.wall {
+				c.res, c.wall, c.mallocs = res, wall, mallocs
+			}
+		}
+	}
+	disabled, dWall, dMallocs := cfgs[0].res, cfgs[0].wall, cfgs[0].mallocs
+	metricsRes, mWall, mMallocs := cfgs[1].res, cfgs[1].wall, cfgs[1].mallocs
+	traceRes, tWall := cfgs[2].res, cfgs[2].wall
+	if disabled.Violation != nil {
+		return nil, fmt.Errorf("clean workload flagged: %v", disabled.Violation)
+	}
+
+	sig := identitySig(disabled)
+	rep := &telReport{
+		Generated:       time.Now().UTC().Format(time.RFC3339),
+		Workload:        p.Name,
+		Instrs:          instrs,
+		Scale:           scale,
+		Rounds:          rounds,
+		Blocks:          disabled.Pipe.BBCount,
+		DisabledSeconds: round3(dWall),
+		MetricsSeconds:  round3(mWall),
+		TraceSeconds:    round3(tWall),
+		ThresholdPct:    threshold,
+		Identical:       identitySig(metricsRes) == sig && identitySig(traceRes) == sig,
+	}
+	if dWall > 0 {
+		rep.MetricsOverheadPct = round3((mWall - dWall) / dWall * 100)
+		rep.TraceOverheadPct = round3((tWall - dWall) / dWall * 100)
+	}
+	rep.WithinThreshold = rep.MetricsOverheadPct <= threshold
+	if rep.Blocks > 0 {
+		rep.DisabledAllocsPerBlock = round3(float64(dMallocs) / float64(rep.Blocks))
+		rep.MetricsAllocsPerBlock = round3(float64(mMallocs) / float64(rep.Blocks))
+	}
+	if !rep.Identical {
+		return nil, fmt.Errorf("telemetry-enabled result diverged from the disabled run")
+	}
+	fmt.Printf("telemetry  disabled %7.3fs  metrics %7.3fs (%+.2f%%)  metrics+trace %7.3fs (%+.2f%%)  identical %v\n",
+		dWall, mWall, rep.MetricsOverheadPct, tWall, rep.TraceOverheadPct, rep.Identical)
+	return rep, nil
+}
+
+// timedRunTel is timedRun with a per-instance telemetry Set (lane count
+// from the prepared config).
+func timedRunTel(prep *core.Prepared, set *telemetry.Set) (*core.Result, float64, uint64, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := prep.RunWithTelemetry(set)
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return res, wall, after.Mallocs - before.Mallocs, nil
+}
+
+// dumpMetricsJSON runs one REV-protected workload with the metrics
+// registry attached (auto lanes, so the pipeline/lane metrics populate on
+// multi-CPU hosts) and writes the registry snapshot as JSON.
+func dumpMetricsJSON(path string, instrs uint64, scale float64) error {
+	p, err := workload.ByName("bzip2")
+	if err != nil {
+		return err
+	}
+	p = p.Scaled(scale)
+	rc := core.DefaultRunConfig()
+	rc.MaxInstrs = instrs
+	rc.Lanes = -1
+	cfg := core.DefaultConfig()
+	cfg.Format = sigtable.Normal
+	rc.REV = &cfg
+	reg := telemetry.NewRegistry()
+	rc.Telemetry = &telemetry.Set{Reg: reg}
+	res, err := core.Run(p.Builder(), rc)
+	if err != nil {
+		return err
+	}
+	if res.Violation != nil {
+		return fmt.Errorf("clean workload flagged: %v", res.Violation)
+	}
+	writeJSON(path, reg.Snapshot())
+	return nil
 }
 
 // timedRun executes one prepared run at the given lane count, bracketed by

@@ -1,6 +1,7 @@
 // Command revdump inspects the artifacts of the REV toolchain: module
-// disassembly, symbol tables, the recovered control-flow graph, and the
-// layout of the encrypted signature tables.
+// disassembly, symbol tables, the recovered control-flow graph, the
+// layout of the encrypted signature tables, and saved telemetry artifacts
+// (metrics snapshots and Chrome traces; see docs/OBSERVABILITY.md).
 //
 // Usage:
 //
@@ -8,31 +9,52 @@
 //	revdump -bench mcf -what dis -from main -count 40
 //	revdump -bench mcf -what cfg
 //	revdump -bench mcf -what table -format cfi-only
+//	revdump -what metrics -in metrics.json   # from revbench -metricsjson or
+//	                                         # the /metrics.json endpoint
+//	revdump -what trace -in out.json         # from revsim -trace
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"rev/internal/cfg"
 	"rev/internal/crypt"
 	"rev/internal/isa"
 	"rev/internal/prog"
 	"rev/internal/sigtable"
+	"rev/internal/telemetry"
 	"rev/internal/workload"
 )
 
 func main() {
 	bench := flag.String("bench", "mcf", "benchmark name")
 	scale := flag.Float64("scale", 0.05, "workload static-size scale")
-	what := flag.String("what", "symbols", "what to dump: symbols, dis, cfg, table")
+	what := flag.String("what", "symbols", "what to dump: symbols, dis, cfg, table, metrics, trace")
 	from := flag.String("from", "main", "function to start disassembly at")
 	count := flag.Int("count", 32, "instructions to disassemble")
 	format := flag.String("format", "normal", "table format: normal, aggressive, cfi-only")
 	profile := flag.Uint64("profile", 200_000, "profiling budget for CFG recovery")
+	in := flag.String("in", "", "input file for -what metrics (snapshot JSON) or -what trace (Chrome trace JSON)")
 	flag.Parse()
+
+	// The telemetry dumps read saved artifacts; no workload is built.
+	switch *what {
+	case "metrics":
+		if err := dumpMetrics(*in); err != nil {
+			fail(err)
+		}
+		return
+	case "trace":
+		if err := dumpTrace(*in); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	p, err := workload.ByName(*bench)
 	if err != nil {
@@ -140,6 +162,166 @@ func buildGraph(p workload.Profile, pr *prog.Program, budget uint64) (*cfg.Graph
 	profiler.Apply(bld)
 	cfg.Analyze(pr, cfg.DefaultAnalyzeOptions()).Apply(bld)
 	return bld.Build()
+}
+
+// dumpMetrics pretty-prints a saved telemetry snapshot (the JSON written
+// by revbench -metricsjson or served at /metrics.json).
+func dumpMetrics(path string) error {
+	if path == "" {
+		return fmt.Errorf("-what metrics needs -in <snapshot.json>")
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var s telemetry.Snapshot
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return fmt.Errorf("%s: not a metrics snapshot: %w", path, err)
+	}
+	fmt.Printf("snapshot taken %s\n", s.TakenAt.Format("2006-01-02 15:04:05 MST"))
+
+	if len(s.Counters) > 0 {
+		fmt.Printf("\ncounters (%d):\n", len(s.Counters))
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Printf("  %-40s %d\n", name, s.Counters[name])
+			if cells, ok := s.Shards[name]; ok {
+				for i, v := range cells {
+					fmt.Printf("    shard %-2d %d\n", i, v)
+				}
+			}
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Printf("\ngauges (%d):\n", len(s.Gauges))
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Printf("  %-40s %g\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Printf("\nhistograms (%d):\n", len(s.Histograms))
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			fmt.Printf("  %-40s count %d, sum %d, mean %.2f\n", name, h.Count, h.Sum, h.Mean())
+			bounds := make([]uint64, 0, len(h.Buckets))
+			var max uint64
+			for b, n := range h.Buckets {
+				bounds = append(bounds, b)
+				if n > max {
+					max = n
+				}
+			}
+			sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+			for _, b := range bounds {
+				n := h.Buckets[b]
+				bar := strings.Repeat("#", int(40*n/max))
+				fmt.Printf("    le %-12d %-10d %s\n", b, n, bar)
+			}
+		}
+	}
+	return nil
+}
+
+// chromeEvent is the subset of the trace_event schema revdump reads back.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Tid  int            `json:"tid"`
+	TS   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds (ph "X")
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// dumpTrace summarizes a saved Chrome trace (revsim -trace): per track,
+// the event mix and the aggregate span time per span name.
+func dumpTrace(path string) error {
+	if path == "" {
+		return fmt.Errorf("-what trace needs -in <trace.json>")
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var file struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf, &file); err != nil {
+		return fmt.Errorf("%s: not a Chrome trace: %w", path, err)
+	}
+
+	type spanAgg struct {
+		count  int
+		totalD float64
+	}
+	trackName := map[int]string{}
+	perTrack := map[int]map[string]*spanAgg{} // tid -> event name -> agg
+	counts := map[int]int{}
+	var tids []int
+	var totalEvents int
+	for _, e := range file.TraceEvents {
+		if e.Ph == "M" {
+			if e.Name == "thread_name" {
+				if n, ok := e.Args["name"].(string); ok {
+					trackName[e.Tid] = n
+					tids = append(tids, e.Tid)
+				}
+			}
+			continue
+		}
+		totalEvents++
+		counts[e.Tid]++
+		m := perTrack[e.Tid]
+		if m == nil {
+			m = map[string]*spanAgg{}
+			perTrack[e.Tid] = m
+		}
+		key := e.Name
+		switch e.Ph {
+		case "C":
+			key += " (counter)"
+		case "i":
+			key += " (instant)"
+		}
+		a := m[key]
+		if a == nil {
+			a = &spanAgg{}
+			m[key] = a
+		}
+		a.count++
+		if e.Ph == "X" {
+			a.totalD += e.Dur
+		}
+	}
+	sort.Ints(tids)
+	fmt.Printf("%s: %d events across %d tracks\n", path, totalEvents, len(tids))
+	for _, tid := range tids {
+		fmt.Printf("\ntrack %-20s %d events\n", trackName[tid], counts[tid])
+		m := perTrack[tid]
+		names := make([]string, 0, len(m))
+		for n := range m {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			a := m[n]
+			if a.totalD > 0 {
+				fmt.Printf("  %-30s %8d  %12.3f ms total  %8.3f us mean\n",
+					n, a.count, a.totalD/1e3, a.totalD/float64(a.count))
+			} else {
+				fmt.Printf("  %-30s %8d\n", n, a.count)
+			}
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func fail(err error) {

@@ -31,6 +31,17 @@
 // N tenant instances validate concurrently against the same immutable
 // decrypted table snapshot — the multiprogram story scaled out. Per-engine
 // statistics are merged into a fleet total.
+//
+// Telemetry (docs/OBSERVABILITY.md; never alters simulated results):
+//
+//	revsim -bench gcc -rev -lanes 4 -trace out.json   # Chrome trace of the
+//	                                                  # pipeline stages; open
+//	                                                  # in chrome://tracing or
+//	                                                  # ui.perfetto.dev
+//	revsim -bench all -rev -metrics                   # Prometheus text dump of
+//	                                                  # the metrics registry
+//	revsim -bench gcc -rev -debug-addr :6060          # live /metrics, expvar,
+//	                                                  # and pprof while running
 package main
 
 import (
@@ -42,6 +53,7 @@ import (
 	"rev/internal/core"
 	"rev/internal/fleet"
 	"rev/internal/sigtable"
+	"rev/internal/telemetry"
 	"rev/internal/workload"
 )
 
@@ -56,6 +68,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "validation-fleet worker goroutines (0 = GOMAXPROCS)")
 	lanes := flag.Int("lanes", -1, "async CHG hash lanes per run: -1 auto-size to the host, 0 serial, N explicit")
 	tenants := flag.Int("tenants", 1, "concurrent tenant instances sharing one signature table (requires -rev, one benchmark)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run(s) to this file (open in chrome://tracing or ui.perfetto.dev)")
+	metrics := flag.Bool("metrics", false, "print the telemetry metrics registry (Prometheus text format) after the reports")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address (e.g. :6060) while running")
 	flag.Parse()
 
 	if *list {
@@ -79,6 +94,19 @@ func main() {
 		for _, n := range strings.Split(*bench, ",") {
 			names = append(names, strings.TrimSpace(n))
 		}
+	}
+
+	// Telemetry sinks are process-global: one registry (metric cells shared
+	// across runs = the fleet-merge semantics) and one trace recorder (each
+	// run labels its tracks). Nil when every telemetry flag is off.
+	set := telemetrySinks(*metrics || *debugAddr != "", *traceOut != "")
+	if *debugAddr != "" {
+		bound, _, err := telemetry.Serve(*debugAddr, set.Registry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "revsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "revsim: debug endpoint on http://%s/metrics (also /metrics.json, /debug/vars, /debug/pprof/)\n", bound)
 	}
 
 	rc := core.DefaultRunConfig()
@@ -106,10 +134,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "revsim: -tenants requires -rev and exactly one benchmark")
 			os.Exit(2)
 		}
-		if err := runTenants(names[0], rc, *scale, *tenants, *parallel); err != nil {
+		if err := runTenants(names[0], rc, *scale, *tenants, *parallel, set); err != nil {
 			fmt.Fprintln(os.Stderr, "revsim:", err)
 			os.Exit(1)
 		}
+		flushTelemetry(set, *traceOut, *metrics)
 		return
 	}
 
@@ -129,7 +158,11 @@ func main() {
 	// Shard the runs across the fleet; each job builds a private program,
 	// pipeline and (when -rev) engine. Reports print in input order.
 	err := fleet.Each(*parallel, len(jobs), func(i int) error {
-		res, err := core.Run(jobs[i].p.Builder(), rc)
+		rcj := rc
+		// Per-run track label ("gcc/lane0", "gcc/validate"); metric cells
+		// stay shared, which is exactly the fleet-merged registry view.
+		rcj.Telemetry = set.WithLabel(jobs[i].p.Name)
+		res, err := core.Run(jobs[i].p.Builder(), rcj)
 		if err != nil {
 			return fmt.Errorf("%s: %w", jobs[i].p.Name, err)
 		}
@@ -146,6 +179,52 @@ func main() {
 		}
 		printReport(j.p, *scale, j.res, *rev, resolvedLanes(*lanes))
 	}
+	flushTelemetry(set, *traceOut, *metrics)
+}
+
+// telemetrySinks builds the process-wide telemetry Set from the flags;
+// nil when everything is off (the zero-cost disabled path).
+func telemetrySinks(wantMetrics, wantTrace bool) *telemetry.Set {
+	set := &telemetry.Set{}
+	if wantMetrics {
+		set.Reg = telemetry.NewRegistry()
+	}
+	if wantTrace {
+		set.Trace = telemetry.NewRecorder(0)
+	}
+	if !set.Enabled() {
+		return nil
+	}
+	return set
+}
+
+// flushTelemetry exports the sinks after every run has quiesced: the
+// Chrome trace to -trace's file, the metrics registry (Prometheus text)
+// to stdout under -metrics.
+func flushTelemetry(set *telemetry.Set, traceOut string, metrics bool) {
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "revsim:", err)
+			os.Exit(1)
+		}
+		if err := set.Recorder().WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, "revsim: writing trace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "revsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "revsim: wrote trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", traceOut)
+	}
+	if metrics {
+		fmt.Println()
+		if err := set.Registry().Snapshot().WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "revsim:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // resolvedLanes mirrors the core's lane resolution for reporting: negative
@@ -159,7 +238,7 @@ func resolvedLanes(n int) int {
 
 // runTenants prepares the workload once and validates n concurrent tenant
 // instances against the shared immutable table snapshot.
-func runTenants(name string, rc core.RunConfig, scale float64, n, workers int) error {
+func runTenants(name string, rc core.RunConfig, scale float64, n, workers int, set *telemetry.Set) error {
 	p, err := workload.ByName(name)
 	if err != nil {
 		return err
@@ -171,8 +250,13 @@ func runTenants(name string, rc core.RunConfig, scale float64, n, workers int) e
 	}
 	runner := fleet.Runner[int, *core.Result]{
 		Workers: workers,
-		Fn:      func(_, _ int, _ int) (*core.Result, error) { return prep.Run() },
-		Blocks:  func(r *core.Result) uint64 { return r.Pipe.BBCount },
+		Fn: func(_, idx int, _ int) (*core.Result, error) {
+			// Each tenant gets its own track label; metric cells are shared,
+			// so the registry snapshot is the merged fleet view.
+			return prep.RunWithTelemetry(set.WithLabel(fmt.Sprintf("%s.t%d", p.Name, idx)))
+		},
+		Blocks: func(r *core.Result) uint64 { return r.Pipe.BBCount },
+		Trace:  set.Recorder(),
 	}
 	ids := make([]int, n)
 	for i := range ids {

@@ -135,6 +135,25 @@ func (l *laneState) slot(start, end uint64) *laneMemoEntry {
 // share (collisions only cost a recompute).
 const DefaultLaneMemoEntries = 4096
 
+// LaneObserver receives per-job notifications from the hash lanes — the
+// telemetry seam (core wires it to per-lane trace tracks and sharded
+// counters; the interface lives here to keep this package stdlib-only).
+//
+// JobBegin/JobEnd bracket the processing of one owned job and are always
+// invoked from the lane's own goroutine with that lane's index, so an
+// implementation may keep lane-confined single-writer state (a trace
+// track per lane) without synchronization. Implementations must not
+// block: they run on the hash hot path.
+type LaneObserver interface {
+	// JobBegin is called before a lane starts processing an owned job.
+	JobBegin(lane int)
+	// JobEnd is called after the job's done release-store. hashed
+	// reports whether a signature was actually computed (false for
+	// NeedHash=false pass-throughs and memo hits); memoHit reports a
+	// sharded-memo hit.
+	JobEnd(lane int, hashed, memoHit bool)
+}
+
 // LanePool runs K hash lanes over the jobs of an SPSC ring.
 //
 // jobs[i] must be the BlockJob of ring slot i (len(jobs) == ring.Cap());
@@ -147,6 +166,7 @@ type LanePool struct {
 	jobs   []*BlockJob
 	lanes  []laneState
 	codeFn func([]byte) Sig
+	obs    LaneObserver
 
 	stop   atomic.Bool
 	closed atomic.Bool
@@ -179,6 +199,9 @@ func NewLanePool(ring *SPSC, jobs []*BlockJob, lanes, memoEntries int, codeFn fu
 
 // Lanes returns the lane count.
 func (p *LanePool) Lanes() int { return len(p.lanes) }
+
+// SetObserver installs a LaneObserver. Must be called before Start.
+func (p *LanePool) SetObserver(o LaneObserver) { p.obs = o }
 
 // Start spawns the lane goroutines.
 func (p *LanePool) Start() {
@@ -256,7 +279,7 @@ func (p *LanePool) run(me int) {
 		if next < pub {
 			j := p.jobs[p.ring.SlotOf(next)]
 			if j.Lane == lane {
-				p.process(l, j)
+				p.process(me, l, j)
 			}
 			next++
 			l.progress.Store(next)
@@ -276,10 +299,16 @@ func (p *LanePool) run(me int) {
 	}
 }
 
-func (p *LanePool) process(l *laneState, j *BlockJob) {
+func (p *LanePool) process(me int, l *laneState, j *BlockJob) {
+	if p.obs != nil {
+		p.obs.JobBegin(me)
+	}
 	l.stats.Blocks++
 	if !j.NeedHash {
 		j.MarkDone()
+		if p.obs != nil {
+			p.obs.JobEnd(me, false, false)
+		}
 		return
 	}
 	if j.MemoOK {
@@ -289,6 +318,9 @@ func (p *LanePool) process(l *laneState, j *BlockJob) {
 			l.stats.MemoHits++
 			j.Sig, j.CodeSig = e.sig, e.codeSig
 			j.MarkDone()
+			if p.obs != nil {
+				p.obs.JobEnd(me, false, true)
+			}
 			return
 		}
 		l.stats.MemoMisses++
@@ -300,6 +332,9 @@ func (p *LanePool) process(l *laneState, j *BlockJob) {
 			e.codeSig, e.codeValid = j.CodeSig, true
 		}
 		j.MarkDone()
+		if p.obs != nil {
+			p.obs.JobEnd(me, true, false)
+		}
 		return
 	}
 	l.stats.Hashed++
@@ -308,4 +343,7 @@ func (p *LanePool) process(l *laneState, j *BlockJob) {
 		j.CodeSig = p.codeFn(j.Code)
 	}
 	j.MarkDone()
+	if p.obs != nil {
+		p.obs.JobEnd(me, true, false)
+	}
 }

@@ -159,6 +159,10 @@ type Engine struct {
 
 	Stats Stats
 
+	// tel carries the run's pre-resolved telemetry handles (nil when
+	// telemetry is off — every emission site is one nil check).
+	tel *runTelemetry
+
 	enabled bool
 	// Delayed return validation state: the address of the RET instruction
 	// that terminated the previous block, latched until the first block of
@@ -285,6 +289,9 @@ func (e *Engine) scratch(n int) []byte {
 // mutating simulated memory, so the executor re-captures after it joins
 // (see pipeline.go).
 func (e *Engine) violate(reason ViolationReason, info cpu.BBInfo, offending uint64) error {
+	if e.tel != nil {
+		e.tel.violationEvent(reason)
+	}
 	if e.Cfg.Forensics {
 		if e.deferForensics {
 			e.pendingCapture = true
@@ -421,7 +428,10 @@ func (e *Engine) validateHashed(info cpu.BBInfo, sig, codeSig chash.Sig, codeSig
 	}
 
 	scReady := info.LastFetch
-	if e.SC.Probe(info.End, sig, need) != sigcache.Hit {
+	if pr := e.SC.Probe(info.End, sig, need); pr != sigcache.Hit {
+		if e.tel != nil {
+			e.tel.missWalkBegin(pr == sigcache.PartialMiss)
+		}
 		want := sigtable.Want{
 			Target: need.Target, CheckTarget: need.CheckTarget,
 			Pred: need.Pred, CheckPred: need.CheckPred,
@@ -436,6 +446,9 @@ func (e *Engine) validateHashed(info cpu.BBInfo, sig, codeSig chash.Sig, codeSig
 			t = e.Hier.SC(a, t) + e.Cfg.DecryptLatency
 		}
 		scReady = t
+		if e.tel != nil {
+			e.tel.missWalkEnd(len(touched), scReady-info.LastFetch)
+		}
 		if !found {
 			return 0, e.violate(ViolationHash, info, info.End)
 		}
@@ -472,6 +485,9 @@ func (e *Engine) hookCFIOnly(info cpu.BBInfo) (uint64, error) {
 	need := sigcache.Need{CheckTarget: true, Target: info.NextPC}
 	scReady := info.LastFetch
 	if e.SC.Probe(info.End, 0, need) != sigcache.Hit {
+		if e.tel != nil {
+			e.tel.edgeWalkBegin()
+		}
 		touched, legal := region.Reader.LookupEdge(info.End, info.NextPC)
 		e.Stats.RAMLookups++
 		e.Stats.RecordsTouched += uint64(len(touched))
@@ -480,6 +496,9 @@ func (e *Engine) hookCFIOnly(info cpu.BBInfo) (uint64, error) {
 			t = e.Hier.SC(a, t) + e.Cfg.DecryptLatency
 		}
 		scReady = t
+		if e.tel != nil {
+			e.tel.missWalkEnd(len(touched), scReady-info.LastFetch)
+		}
 		if !legal {
 			reason := ViolationTarget
 			if info.Term == isa.KindRet {

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Satellite: fuzz-style algebraic tests for the fleet merge operators.
+// The parallel suite folds per-worker Stats and SCView values in
+// whatever order workers finish setting them up, so the aggregation must
+// be commutative and associative (and zero must be an identity) or the
+// merged suite view would depend on scheduling. Inputs are generated as
+// *consistent* views — Misses == PartialMisses + CompleteMisses and
+// MissRate derived from the counters — which is the invariant every
+// producer (engine teardown, SnapshotSC) maintains; Merge itself
+// re-derives both, so the property also proves Merge preserves the
+// invariant.
+
+// randStats draws an arbitrary engine Stats value.
+func randStats(rng *rand.Rand) Stats {
+	u := func() uint64 { return uint64(rng.Int63n(1 << 40)) }
+	return Stats{
+		ValidatedBlocks: u(),
+		SkippedDisabled: u(),
+		RAMLookups:      u(),
+		RecordsTouched:  u(),
+		SAGPenalties:    u(),
+		MemoHits:        u(),
+		MemoMisses:      u(),
+	}
+}
+
+// randSCView draws a consistent SC view: derived fields computed from
+// the counters exactly as the simulator does.
+func randSCView(rng *rand.Rand) SCView {
+	v := SCView{
+		Hits:           uint64(rng.Int63n(1 << 40)),
+		PartialMisses:  uint64(rng.Int63n(1 << 30)),
+		CompleteMisses: uint64(rng.Int63n(1 << 30)),
+	}
+	if rng.Intn(8) == 0 { // sometimes a cold cache: no probes at all
+		return SCView{}
+	}
+	v.Misses = v.PartialMisses + v.CompleteMisses
+	v.Probes = v.Hits + v.Misses
+	if v.Probes > 0 {
+		v.MissRate = float64(v.Misses) / float64(v.Probes)
+	}
+	return v
+}
+
+// mergedStats returns a.Merge(b) without mutating the inputs.
+func mergedStats(a, b Stats) Stats { a.Merge(b); return a }
+
+// mergedSC returns a.Merge(b) without mutating the inputs.
+func mergedSC(a, b SCView) SCView { a.Merge(b); return a }
+
+// scEqual compares SC views with exact counters and a float tolerance on
+// the derived rate (association order may differ in the last ulp).
+func scEqual(a, b SCView) bool {
+	return a.Probes == b.Probes && a.Hits == b.Hits &&
+		a.PartialMisses == b.PartialMisses && a.CompleteMisses == b.CompleteMisses &&
+		a.Misses == b.Misses && math.Abs(a.MissRate-b.MissRate) < 1e-12
+}
+
+func TestStatsMergeAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed))
+	for trial := 0; trial < 2000; trial++ {
+		a, b, c := randStats(rng), randStats(rng), randStats(rng)
+		if ab, ba := mergedStats(a, b), mergedStats(b, a); ab != ba {
+			t.Fatalf("trial %d: Stats.Merge not commutative:\na+b %+v\nb+a %+v", trial, ab, ba)
+		}
+		left := mergedStats(mergedStats(a, b), c)
+		right := mergedStats(a, mergedStats(b, c))
+		if left != right {
+			t.Fatalf("trial %d: Stats.Merge not associative:\n(a+b)+c %+v\na+(b+c) %+v", trial, left, right)
+		}
+		if withZero := mergedStats(a, Stats{}); withZero != a {
+			t.Fatalf("trial %d: zero Stats not a merge identity: %+v != %+v", trial, withZero, a)
+		}
+	}
+}
+
+func TestSCViewMergeAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xcafe))
+	for trial := 0; trial < 2000; trial++ {
+		a, b, c := randSCView(rng), randSCView(rng), randSCView(rng)
+		if ab, ba := mergedSC(a, b), mergedSC(b, a); !scEqual(ab, ba) {
+			t.Fatalf("trial %d: SCView.Merge not commutative:\na+b %+v\nb+a %+v", trial, ab, ba)
+		}
+		left := mergedSC(mergedSC(a, b), c)
+		right := mergedSC(a, mergedSC(b, c))
+		if !scEqual(left, right) {
+			t.Fatalf("trial %d: SCView.Merge not associative:\n(a+b)+c %+v\na+(b+c) %+v", trial, left, right)
+		}
+		// Merging with an empty view must preserve a (and re-derive the
+		// invariant, so the result is exactly consistent).
+		if withZero := mergedSC(a, SCView{}); !scEqual(withZero, a) {
+			t.Fatalf("trial %d: empty SCView not a merge identity: %+v != %+v", trial, withZero, a)
+		}
+		// Invariant preservation: derived fields match the counters.
+		m := mergedSC(a, b)
+		if m.Misses != m.PartialMisses+m.CompleteMisses {
+			t.Fatalf("trial %d: merged Misses %d != partial %d + complete %d",
+				trial, m.Misses, m.PartialMisses, m.CompleteMisses)
+		}
+		if m.Probes > 0 {
+			if want := float64(m.Misses) / float64(m.Probes); math.Abs(m.MissRate-want) > 1e-12 {
+				t.Fatalf("trial %d: merged MissRate %g, want %g", trial, m.MissRate, want)
+			}
+		}
+	}
+}
+
+// FuzzStatsMerge lets the fuzzer hunt for counter combinations that
+// break commutativity or the zero identity (go test -fuzz=FuzzStatsMerge).
+func FuzzStatsMerge(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(3), uint64(4), uint64(5), uint64(6), uint64(7),
+		uint64(7), uint64(6), uint64(5), uint64(4), uint64(3), uint64(2), uint64(1))
+	f.Fuzz(func(t *testing.T,
+		a1, a2, a3, a4, a5, a6, a7, b1, b2, b3, b4, b5, b6, b7 uint64) {
+		a := Stats{a1, a2, a3, a4, a5, a6, a7}
+		b := Stats{b1, b2, b3, b4, b5, b6, b7}
+		if ab, ba := mergedStats(a, b), mergedStats(b, a); ab != ba {
+			t.Fatalf("not commutative: %+v vs %+v", ab, ba)
+		}
+		if withZero := mergedStats(a, Stats{}); withZero != a {
+			t.Fatalf("zero not identity: %+v != %+v", withZero, a)
+		}
+	})
+}

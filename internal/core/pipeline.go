@@ -168,6 +168,10 @@ func executePipelined(p *parts, rc RunConfig, lanes int) (*Result, error) {
 		jobs[i] = &s.job
 	}
 	x.pool = chash.NewLanePool(x.ring, jobs, lanes, 0, forensics.CodeSig)
+	p.tel.initPipeline(lanes)
+	if p.tel != nil && p.tel.lanes != nil {
+		x.pool.SetObserver(p.tel.lanes)
+	}
 
 	if engine != nil {
 		// The consumer validates with lane-computed signatures; the hook
@@ -238,6 +242,7 @@ func executePipelined(p *parts, rc RunConfig, lanes int) (*Result, error) {
 func (x *pipeRun) produce() {
 	mach := x.parts.mach
 	engine := x.parts.engine
+	tel := x.parts.tel
 	var produced uint64
 	var pb chash.Backoff
 	bbInstrs, bbStores := 0, 0
@@ -271,6 +276,9 @@ func (x *pipeRun) produce() {
 					// their memo shards) are quiescent across
 					// self-modifying-code boundaries.
 					if j.Epoch != x.lastEpoch {
+						if tel != nil {
+							tel.epochFenceBegin()
+						}
 						for !x.ring.Drained() {
 							if x.stop.Raised() {
 								x.prodErr <- nil
@@ -280,12 +288,18 @@ func (x *pipeRun) produce() {
 						}
 						pb.Reset()
 						x.lastEpoch = j.Epoch
+						if tel != nil {
+							tel.epochFenceEnd(j.Epoch)
+						}
 					}
 				}
 			}
 		}
 		x.cur = nil
 		x.ring.Publish()
+		if tel != nil {
+			tel.publishSample(x.ring.Published() - x.ring.Released())
+		}
 		return true
 	}
 
@@ -376,6 +390,7 @@ func (x *pipeRun) produce() {
 func (x *pipeRun) consume() (*Violation, error) {
 	pipe := x.parts.pipe
 	engine := x.parts.engine
+	tel := x.parts.tel
 	var b chash.Backoff
 	for {
 		seq, ok := x.ring.TryPeek()
@@ -391,8 +406,16 @@ func (x *pipeRun) consume() (*Violation, error) {
 		// Wait for the record's lane before touching it (and, crucially,
 		// before releasing its slot back to the producer): the done flag is
 		// the lane's release-store over the whole job.
-		for !s.job.IsDone() {
-			b.Wait()
+		if !s.job.IsDone() {
+			if tel != nil {
+				tel.laneWaitBegin()
+			}
+			for !s.job.IsDone() {
+				b.Wait()
+			}
+			if tel != nil {
+				tel.laneWaitEnd(s.job.Lane)
+			}
 		}
 		b.Reset()
 		for _, ev := range s.events {

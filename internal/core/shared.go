@@ -9,6 +9,7 @@ import (
 	"rev/internal/prog"
 	"rev/internal/sag"
 	"rev/internal/sigtable"
+	"rev/internal/telemetry"
 )
 
 // SharedTable couples one module's immutable signature-table snapshot
@@ -125,7 +126,7 @@ func (p *Prepared) Config() RunConfig { return p.rc }
 // Run executes one instance of the prepared workload: a fresh program,
 // a fresh engine, the shared tables. Safe to call from many goroutines
 // concurrently — instances share only the immutable Prepared state.
-func (p *Prepared) Run() (*Result, error) { return p.RunWithLanes(p.rc.Lanes) }
+func (p *Prepared) Run() (*Result, error) { return p.runInstance(p.rc.Lanes, p.rc.Telemetry) }
 
 // RunWithLanes is Run with an explicit intra-run pipeline width,
 // overriding the prepared RunConfig.Lanes for this instance only
@@ -134,9 +135,24 @@ func (p *Prepared) Run() (*Result, error) { return p.RunWithLanes(p.rc.Lanes) }
 // pipelined executor requires, so any lane count is safe here; results
 // are byte-identical at every setting.
 func (p *Prepared) RunWithLanes(lanes int) (*Result, error) {
+	return p.runInstance(lanes, p.rc.Telemetry)
+}
+
+// RunWithTelemetry is Run with a per-instance telemetry Set, overriding
+// the prepared RunConfig.Telemetry for this instance only. A labeled Set
+// gives each tenant its own trace tracks while metric registrations land
+// in the shared registry cells (the merged fleet view).
+func (p *Prepared) RunWithTelemetry(set *telemetry.Set) (*Result, error) {
+	return p.runInstance(p.rc.Lanes, set)
+}
+
+// runInstance executes one instance of the prepared workload with the
+// given lane count and telemetry sinks.
+func (p *Prepared) runInstance(lanes int, set *telemetry.Set) (*Result, error) {
 	measured := p.proto.Clone()
 	rc := p.rc
 	rc.Lanes = lanes
+	rc.Telemetry = set
 	parts := assemble(measured, rc)
 	ks := crypt.NewKeyStore(crypt.DeriveKey(rc.KeySeed, "cpu-private"))
 	engine := NewEngine(*rc.REV, parts.space, parts.hier, ks)

@@ -13,6 +13,7 @@ import (
 	"rev/internal/prog"
 	"rev/internal/shadow"
 	"rev/internal/sigtable"
+	"rev/internal/telemetry"
 )
 
 // RunConfig assembles a full simulation.
@@ -42,6 +43,12 @@ type RunConfig struct {
 	// baseline; results are identical either way, only simulator speed
 	// differs.
 	HideCodeVersion bool
+	// Telemetry, when non-nil and enabled, attaches the run to a metrics
+	// registry and/or trace recorder (docs/OBSERVABILITY.md). Telemetry
+	// never alters simulated timing, statistics, or verdicts — results are
+	// byte-identical with it on or off; only simulator wall time changes.
+	// A nil or empty Set is the zero-cost disabled path.
+	Telemetry *telemetry.Set
 	// Lanes selects the intra-run validation pipeline (pipeline.go):
 	// negative auto-sizes the lane count from GOMAXPROCS (AutoLanes), 0
 	// keeps the classic serial loop, and n >= 1 overlaps the functional
@@ -114,6 +121,7 @@ type parts struct {
 	shadowMem *shadow.Memory
 	space     prog.AddressSpace
 	engine    *Engine
+	tel       *runTelemetry
 }
 
 // assemble builds the hierarchy, predictor, pipeline, (possibly shadowed)
@@ -223,6 +231,15 @@ func Run(build func() (*prog.Program, error), rc RunConfig) (*Result, error) {
 // engine whose table readers are immutable snapshots (the Prepare path);
 // Run enforces this by rerouting through Prepare.
 func execute(p *parts, rc RunConfig) (*Result, error) {
+	// Resolve telemetry once per run: nil handles when disabled, so every
+	// hot-path emission site below costs a single nil check.
+	p.tel = newRunTelemetry(rc.Telemetry)
+	if p.engine != nil {
+		p.engine.tel = p.tel
+	}
+	if p.tel != nil {
+		registerRunViews(p, rc.Telemetry)
+	}
 	if lanes := resolveLanes(rc.Lanes); lanes > 0 {
 		return executePipelined(p, rc, lanes)
 	}

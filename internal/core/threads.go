@@ -77,6 +77,7 @@ func RunThreads(build func() (*prog.Program, error), entries []string, trc Threa
 	pred := branch.New(rc.Branch)
 	pipe := cpu.NewPipeline(rc.Pipe, hier, pred)
 	mach := cpu.NewMachine(measured)
+	tel := newRunTelemetry(rc.Telemetry)
 
 	var engine *Engine
 	if rc.REV != nil {
@@ -121,6 +122,10 @@ func RunThreads(build func() (*prog.Program, error), entries []string, trc Threa
 		mach.SysHandler = engine.SysHandler
 		pipe.Cfg.MaxBBInstrs = rc.REV.Limits.MaxInstrs
 		pipe.Cfg.MaxBBStores = rc.REV.Limits.MaxStores
+		engine.tel = tel
+	}
+	if tel != nil {
+		registerRunViews(&parts{hier: hier, pred: pred, pipe: pipe, engine: engine}, rc.Telemetry)
 	}
 
 	// Thread contexts.
@@ -199,6 +204,9 @@ outer:
 		}
 		if next != cur {
 			res.Switches++
+			if tel != nil {
+				tel.contextSwitch(next)
+			}
 			pipe.ChargeSwitch(trc.SwitchPenalty)
 			if engine != nil {
 				engine.OnContextSwitch()

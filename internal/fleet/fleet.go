@@ -29,9 +29,12 @@ package fleet
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rev/internal/telemetry"
 )
 
 // Workers resolves a requested worker count: n <= 0 selects
@@ -51,20 +54,32 @@ func Workers(n, jobs int) int {
 }
 
 // JobMetric records one job's execution: which worker ran it, how long
-// it took, and how many basic blocks its simulation validated (zero
-// when the runner has no block extractor).
+// it took, how long it sat queued before dispatch, and how many basic
+// blocks its simulation validated (zero when the runner has no block
+// extractor).
 type JobMetric struct {
 	Index       int     `json:"index"`
 	Worker      int     `json:"worker"`
 	WallSeconds float64 `json:"wall_seconds"`
-	Blocks      uint64  `json:"blocks,omitempty"`
+	// QueueWaitSeconds is the delay from fleet start to this job's
+	// dispatch: how long the input sat behind earlier jobs. Near zero for
+	// the first `workers` jobs, growing with queue depth after that.
+	QueueWaitSeconds float64 `json:"queue_wait_seconds,omitempty"`
+	Blocks           uint64  `json:"blocks,omitempty"`
 }
 
-// WorkerMetric aggregates the jobs one worker executed.
+// WorkerMetric aggregates the jobs one worker executed. Busy and idle
+// time reconcile with the fleet wall clock exactly:
+// WallSeconds + IdleSeconds == Report.WallSeconds for every worker.
 type WorkerMetric struct {
-	Worker       int     `json:"worker"`
-	Jobs         int     `json:"jobs"`
-	WallSeconds  float64 `json:"wall_seconds"`
+	Worker      int     `json:"worker"`
+	Jobs        int     `json:"jobs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// IdleSeconds is the worker's share of the fleet wall clock not spent
+	// inside Fn: dispatch overhead plus the tail wait after its last job
+	// while slower siblings finish. Large values on all but one worker
+	// indicate an unbalanced job mix (one gcc-sized straggler).
+	IdleSeconds  float64 `json:"idle_seconds"`
 	Blocks       uint64  `json:"blocks"`
 	BlocksPerSec float64 `json:"blocks_per_sec"`
 }
@@ -99,6 +114,32 @@ type Runner[T, R any] struct {
 	Fn func(worker, index int, item T) (R, error)
 	// Blocks optionally extracts the job's validated-block count.
 	Blocks func(R) uint64
+	// Trace, when non-nil, records one trace track per worker with a span
+	// per job (span arg = input index) into the recorder. Each worker
+	// writes only its own track, so one recorder may be shared by the
+	// whole fleet (and by the runs inside it, via per-run track labels).
+	Trace *telemetry.Recorder
+}
+
+// fleetTracks bundles the per-worker trace tracks resolved at Run setup.
+type fleetTracks struct {
+	tracks []*telemetry.Track
+	nJob   telemetry.NameID
+	nIndex telemetry.NameID
+}
+
+func newFleetTracks(rec *telemetry.Recorder, workers int) *fleetTracks {
+	if rec == nil {
+		return nil
+	}
+	ft := &fleetTracks{
+		nJob:   rec.Name("job"),
+		nIndex: rec.Name("index"),
+	}
+	for w := 0; w < workers; w++ {
+		ft.tracks = append(ft.tracks, rec.Track("worker"+strconv.Itoa(w)))
+	}
+	return ft
 }
 
 // Run executes every item and returns the results in input order plus
@@ -121,6 +162,7 @@ func (r *Runner[T, R]) Run(items []T) ([]R, *Report, error) {
 	jobs := make([]JobMetric, n)
 	perWorker := make([]WorkerMetric, workers)
 
+	ft := newFleetTracks(r.Trace, workers)
 	start := time.Now()
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
@@ -136,7 +178,13 @@ func (r *Runner[T, R]) Run(items []T) ([]R, *Report, error) {
 					return
 				}
 				t0 := time.Now()
+				if ft != nil {
+					ft.tracks[worker].Begin(ft.nJob)
+				}
 				res, err := r.Fn(worker, i, items[i])
+				if ft != nil {
+					ft.tracks[worker].EndArg(ft.nIndex, uint64(i))
+				}
 				wall := time.Since(t0).Seconds()
 				results[i] = res
 				errs[i] = err
@@ -144,7 +192,10 @@ func (r *Runner[T, R]) Run(items []T) ([]R, *Report, error) {
 				if err == nil && r.Blocks != nil {
 					blocks = r.Blocks(res)
 				}
-				jobs[i] = JobMetric{Index: i, Worker: worker, WallSeconds: wall, Blocks: blocks}
+				jobs[i] = JobMetric{
+					Index: i, Worker: worker, WallSeconds: wall,
+					QueueWaitSeconds: t0.Sub(start).Seconds(), Blocks: blocks,
+				}
 				wm.Jobs++
 				wm.WallSeconds += wall
 				wm.Blocks += blocks
@@ -162,6 +213,12 @@ func (r *Runner[T, R]) Run(items []T) ([]R, *Report, error) {
 	}
 	for i := range perWorker {
 		wm := &perWorker[i]
+		// Idle reconciles against the fleet wall clock: busy + idle ==
+		// rep.WallSeconds exactly, for every worker (the spans-vs-wall
+		// accounting check of docs/OBSERVABILITY.md).
+		if wm.IdleSeconds = rep.WallSeconds - wm.WallSeconds; wm.IdleSeconds < 0 {
+			wm.IdleSeconds = 0
+		}
 		if wm.WallSeconds > 0 {
 			wm.BlocksPerSec = float64(wm.Blocks) / wm.WallSeconds
 		}
@@ -188,11 +245,18 @@ func (r *Runner[T, R]) runInline(items []T) ([]R, *Report, error) {
 	perWorker := make([]WorkerMetric, 1)
 	wm := &perWorker[0]
 
+	ft := newFleetTracks(r.Trace, 1)
 	var firstErr error
 	start := time.Now()
 	for i := range items {
 		t0 := time.Now()
+		if ft != nil {
+			ft.tracks[0].Begin(ft.nJob)
+		}
 		res, err := r.Fn(0, i, items[i])
+		if ft != nil {
+			ft.tracks[0].EndArg(ft.nIndex, uint64(i))
+		}
 		wall := time.Since(t0).Seconds()
 		results[i] = res
 		if err != nil && firstErr == nil {
@@ -202,7 +266,10 @@ func (r *Runner[T, R]) runInline(items []T) ([]R, *Report, error) {
 		if err == nil && r.Blocks != nil {
 			blocks = r.Blocks(res)
 		}
-		jobs[i] = JobMetric{Index: i, Worker: 0, WallSeconds: wall, Blocks: blocks}
+		jobs[i] = JobMetric{
+			Index: i, Worker: 0, WallSeconds: wall,
+			QueueWaitSeconds: t0.Sub(start).Seconds(), Blocks: blocks,
+		}
 		wm.Jobs++
 		wm.WallSeconds += wall
 		wm.Blocks += blocks
@@ -215,6 +282,9 @@ func (r *Runner[T, R]) runInline(items []T) ([]R, *Report, error) {
 		Inline:      true,
 		PerJob:      jobs,
 		PerWorker:   perWorker,
+	}
+	if wm.IdleSeconds = rep.WallSeconds - wm.WallSeconds; wm.IdleSeconds < 0 {
+		wm.IdleSeconds = 0
 	}
 	if wm.WallSeconds > 0 {
 		wm.BlocksPerSec = float64(wm.Blocks) / wm.WallSeconds

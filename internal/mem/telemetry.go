@@ -1,0 +1,46 @@
+package mem
+
+import "rev/internal/telemetry"
+
+// Telemetry views: the hierarchy's counters surface in the metrics
+// registry without touching the access hot path. The Stats structs stay
+// the figure-generation source of truth (Fig. 11 reads them directly);
+// these methods are invoked only at snapshot time through a registered
+// telemetry.View.
+
+// EmitTelemetry publishes the cache's per-class access and miss counters
+// under prefix (e.g. "mem.l1d").
+func (s *CacheStats) EmitTelemetry(o telemetry.Observer, prefix string) {
+	for c := ClassData; c < numClasses; c++ {
+		o.ObserveCounter(prefix+".accesses."+c.String(), s.Accesses[c])
+		o.ObserveCounter(prefix+".misses."+c.String(), s.Misses[c])
+	}
+}
+
+// EmitTelemetry publishes the DRAM counters under prefix (e.g. "mem.dram").
+func (s *DRAMStats) EmitTelemetry(o telemetry.Observer, prefix string) {
+	for c := ClassData; c < numClasses; c++ {
+		o.ObserveCounter(prefix+".accesses."+c.String(), s.Accesses[c])
+	}
+	o.ObserveCounter(prefix+".row_hits", s.RowHits)
+	o.ObserveCounter(prefix+".row_misses", s.RowMisses)
+	o.ObserveCounter(prefix+".queue_cycles", s.QueueCycles)
+}
+
+// EmitTelemetry publishes the TLB counters under prefix (e.g. "mem.dtlb").
+func (s *TLBStats) EmitTelemetry(o telemetry.Observer, prefix string) {
+	o.ObserveCounter(prefix+".accesses", s.Accesses)
+	o.ObserveCounter(prefix+".misses", s.Misses)
+}
+
+// EmitTelemetry publishes every level of the hierarchy under prefix
+// (e.g. "mem"): the split L1s, the unified L2, DRAM, and all TLBs.
+func (h *Hierarchy) EmitTelemetry(o telemetry.Observer, prefix string) {
+	h.L1I.Stats.EmitTelemetry(o, prefix+".l1i")
+	h.L1D.Stats.EmitTelemetry(o, prefix+".l1d")
+	h.L2.Stats.EmitTelemetry(o, prefix+".l2")
+	h.DRAM.Stats.EmitTelemetry(o, prefix+".dram")
+	h.ITLB.Stats.EmitTelemetry(o, prefix+".itlb")
+	h.DTLB.Stats.EmitTelemetry(o, prefix+".dtlb")
+	h.L2TLB.Stats.EmitTelemetry(o, prefix+".l2tlb")
+}

@@ -1,0 +1,16 @@
+package sigcache
+
+import "rev/internal/telemetry"
+
+// EmitTelemetry publishes the SC counters under prefix (e.g. "rev.sc")
+// through a snapshot-time telemetry view. The Stats struct remains the
+// figure source of truth (the miss-rate curves of Figs. 6–8 read it
+// directly); this method never runs on the probe/fill hot path.
+func (s *Stats) EmitTelemetry(o telemetry.Observer, prefix string) {
+	o.ObserveCounter(prefix+".probes", s.Probes)
+	o.ObserveCounter(prefix+".hits", s.Hits)
+	o.ObserveCounter(prefix+".partial_misses", s.PartialMisses)
+	o.ObserveCounter(prefix+".complete_misses", s.CompleteMisses)
+	o.ObserveCounter(prefix+".fills", s.Fills)
+	o.ObserveCounter(prefix+".evictions", s.Evictions)
+}

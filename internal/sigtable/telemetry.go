@@ -1,0 +1,15 @@
+package sigtable
+
+import "rev/internal/telemetry"
+
+// EmitTelemetry publishes the table's static layout figures under prefix
+// (e.g. "rev.sigtable"): installed buckets, records (bucket + spill
+// chain), and on-RAM size. When several modules' tables report under the
+// same prefix the registry sums them — the suite-level size accounting
+// of Sec. V without hand-written aggregation.
+func (t *Table) EmitTelemetry(o telemetry.Observer, prefix string) {
+	o.ObserveCounter(prefix+".buckets", t.Buckets)
+	o.ObserveCounter(prefix+".records", t.Records)
+	o.ObserveCounter(prefix+".bytes", t.Size)
+	o.ObserveGauge(prefix+".size_ratio", t.SizeRatio())
+}

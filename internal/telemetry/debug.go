@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Live debug endpoint: an opt-in HTTP server (revsim -debug-addr :6060)
+// for inspecting long fleet runs while they execute.
+//
+// Routes:
+//
+//	/metrics       Prometheus text exposition of a fresh registry snapshot
+//	/metrics.json  the same snapshot as JSON (the revdump -what metrics input)
+//	/debug/vars    expvar (includes the registry under "telemetry")
+//	/debug/pprof/  net/http/pprof (profile a live fleet run)
+//
+// Atomic registry metrics (counters/gauges/histograms/sharded cells) are
+// safe to sample at any time. View-backed metrics read per-run structs
+// without synchronization and are best-effort while runs are in flight;
+// they are exact once the runs quiesce (see View).
+
+var expvarOnce sync.Once
+
+// Serve starts the debug endpoint on addr and returns the bound listener
+// address (useful with ":0") and a shutdown func. The server runs on its
+// own goroutine; errors after startup are dropped (the endpoint is a
+// diagnostic aid, never load-bearing).
+func Serve(addr string, reg *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: debug endpoint: %w", err)
+	}
+	mux := NewDebugMux(reg)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// NewDebugMux builds the debug endpoint's handler (exposed separately so
+// tests can drive it without a listener).
+func NewDebugMux(reg *Registry) *http.ServeMux {
+	expvarOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

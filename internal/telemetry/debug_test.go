@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestDebugMux drives the live endpoint without a listener: /metrics
+// must serve Prometheus text, /metrics.json the snapshot JSON that
+// revdump -what metrics reads back, /debug/vars the expvar page.
+func TestDebugMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dbg.hits", "").Add(11)
+	reg.Gauge("dbg.depth", "").Set(4)
+	mux := NewDebugMux(reg)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		t.Helper()
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		if w.Code != 200 {
+			t.Fatalf("GET %s: status %d", path, w.Code)
+		}
+		return w
+	}
+
+	body := get("/metrics").Body.String()
+	if !strings.Contains(body, "dbg_hits 11") || !strings.Contains(body, "dbg_depth 4") {
+		t.Errorf("/metrics missing series:\n%s", body)
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/metrics.json").Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/metrics.json not a snapshot: %v", err)
+	}
+	if snap.Counters["dbg.hits"] != 11 || snap.Gauges["dbg.depth"] != 4 {
+		t.Errorf("/metrics.json content wrong: %+v", snap)
+	}
+
+	vars := get("/debug/vars").Body.String()
+	if !strings.Contains(vars, `"telemetry"`) {
+		t.Errorf("/debug/vars missing telemetry export:\n%s", vars)
+	}
+}
+
+// TestServeBindsAndShutsDown checks the opt-in server lifecycle with an
+// ephemeral port (the -debug-addr :0 path).
+func TestServeBindsAndShutsDown(t *testing.T) {
+	reg := NewRegistry()
+	addr, stop, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" || strings.HasSuffix(addr, ":0") {
+		t.Fatalf("bound address not resolved: %q", addr)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

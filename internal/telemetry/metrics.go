@@ -1,0 +1,367 @@
+// Package telemetry is the repo-wide observability layer: a
+// zero-allocation-on-hot-path metrics core (typed counters, gauges, and
+// power-of-two-bucket histograms, optionally sharded per lane/worker and
+// merged on read), a bounded ring-buffer trace recorder with Chrome
+// trace_event export (trace.go), snapshot/diff and Prometheus-style text
+// exposition (snapshot.go), and an opt-in live debug endpoint (debug.go).
+//
+// The paper's headline claims are quantitative — 1.87% average overhead,
+// the SC miss-rate curves of Figs. 6–8, commit-stall accounting — so the
+// simulator treats its own counters as a first-class subsystem instead of
+// scattering ad-hoc Stats structs that are merged by hand.
+//
+// Design rules:
+//
+//   - Hot-path operations (Counter.Add, Gauge.Set, Histogram.Observe,
+//     Track event emission) never allocate and never take locks; they are
+//     single atomic RMWs into pre-registered cells. Registration happens
+//     once at setup and may allocate freely.
+//   - Every hot-path method is nil-receiver safe, so disabled telemetry
+//     is a nil handle and a predicted-not-taken branch — the <2% disabled
+//     overhead budget (see cmd/revbench -teljson and the CI
+//     telemetry-overhead job).
+//   - Cross-goroutine metrics (lanes, fleet workers) use sharded cells:
+//     each writer owns a cache-line-padded cell, readers merge on demand.
+//     No write ever contends with another writer.
+//   - Legacy Stats structs (core.Stats, SCView, mem.CacheStats, …) stay
+//     the figure-generation source of truth; the registry surfaces them
+//     through read-time views (RegisterView), so figure output is
+//     byte-identical with telemetry on or off.
+package telemetry
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric. The zero value is
+// usable; nil receivers are no-ops (disabled telemetry).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Load returns the current value (0 for nil).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 metric (queue depths, occupancy). Nil
+// receivers are no-ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Load returns the current value (0 for nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistBuckets is the fixed bucket count of a Histogram: bucket i counts
+// observations v with bits.Len64(v) == i, i.e. power-of-two ranges
+// [2^(i-1), 2^i) with bucket 0 holding exact zeros. 65 buckets cover the
+// whole uint64 range, so no observation is ever clipped.
+const HistBuckets = 65
+
+// Histogram counts observations in power-of-two buckets plus a running
+// sum and count. All updates are single atomic adds; nil receivers are
+// no-ops. Concurrent observers are safe (each field is independently
+// atomic; snapshots are merged-on-read and may be momentarily torn
+// between fields, which is fine for monitoring data).
+type Histogram struct {
+	buckets [HistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// counterCell is a cache-line-padded counter cell for sharded metrics:
+// adjacent writers (lanes, fleet workers) never false-share.
+type counterCell struct {
+	Counter
+	_ [56]byte
+}
+
+// ShardedCounter is a counter with one padded cell per writer (lane,
+// worker); readers merge on demand. Cell(i) is grabbed once at setup and
+// used like a plain Counter on the hot path.
+type ShardedCounter struct {
+	cells []counterCell
+}
+
+// Cell returns writer i's private cell (nil for a nil sharded counter or
+// out-of-range index, which callers treat as disabled).
+func (s *ShardedCounter) Cell(i int) *Counter {
+	if s == nil || i < 0 || i >= len(s.cells) {
+		return nil
+	}
+	return &s.cells[i].Counter
+}
+
+// Shards returns the number of cells.
+func (s *ShardedCounter) Shards() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.cells)
+}
+
+// Load returns the merged total across cells.
+func (s *ShardedCounter) Load() uint64 {
+	if s == nil {
+		return 0
+	}
+	var t uint64
+	for i := range s.cells {
+		t += s.cells[i].v.Load()
+	}
+	return t
+}
+
+// CellValues returns each cell's value (for per-shard exposition).
+func (s *ShardedCounter) CellValues() []uint64 {
+	if s == nil {
+		return nil
+	}
+	out := make([]uint64, len(s.cells))
+	for i := range s.cells {
+		out[i] = s.cells[i].v.Load()
+	}
+	return out
+}
+
+// Observer receives point-in-time metric values from a View. Names use
+// the same dotted convention as registered metrics.
+type Observer interface {
+	// ObserveCounter reports a monotonic value (merged additively when
+	// several views report the same name — the fleet/tenant merge path).
+	ObserveCounter(name string, v uint64)
+	// ObserveGauge reports an instantaneous value (also merged
+	// additively; last-write-wins semantics would make multi-engine
+	// snapshots order-dependent).
+	ObserveGauge(name string, v float64)
+}
+
+// View publishes values into an Observer at snapshot time. Views are how
+// the legacy Stats structs (core.Stats, SCView, mem.CacheStats,
+// sigcache.Stats, cpu.PipeStats, fleet reports) surface in the registry
+// without touching their hot paths: the struct stays the source of
+// truth, the registry reads it on demand. Multiple views reporting the
+// same metric name are summed — this *is* the merge plumbing that
+// replaced hand-written per-field aggregation loops.
+//
+// Views read their backing structs without synchronization, so they must
+// only be snapshotted when the owning run is quiescent (finished or
+// paused); the live debug endpoint exposes atomic registry metrics at
+// any time but view-backed metrics only best-effort (see debug.go).
+type View func(Observer)
+
+// metricKind tags a registered metric for exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindSharded
+)
+
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+	s    *ShardedCounter
+}
+
+// Registry holds named metrics and views. Registration is mutex-guarded
+// and may allocate; it is setup-path only. The zero value is not usable
+// — call NewRegistry. A nil *Registry is safe everywhere and disables
+// everything it would have recorded.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	byName  map[string]int
+	views   []View
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]int{}}
+}
+
+// lookupOrAdd returns the existing metric index for name (verifying the
+// kind) or appends a new one. Re-registration with the same name and
+// kind returns the same handle, so per-run wiring can re-register
+// shared-process metrics (tenant fleets) safely.
+func (r *Registry) lookupOrAdd(name, help string, kind metricKind) *metric {
+	if i, ok := r.byName[name]; ok {
+		m := &r.metrics[i]
+		if m.kind != kind {
+			panic("telemetry: metric " + name + " re-registered with a different kind")
+		}
+		return m
+	}
+	r.metrics = append(r.metrics, metric{name: name, help: help, kind: kind})
+	r.byName[name] = len(r.metrics) - 1
+	return &r.metrics[len(r.metrics)-1]
+}
+
+// Counter registers (or returns the existing) counter with this name.
+// Nil registries return nil handles.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookupOrAdd(name, help, kindCounter)
+	if m.c == nil {
+		m.c = &Counter{}
+	}
+	return m.c
+}
+
+// Gauge registers (or returns the existing) gauge with this name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookupOrAdd(name, help, kindGauge)
+	if m.g == nil {
+		m.g = &Gauge{}
+	}
+	return m.g
+}
+
+// Histogram registers (or returns the existing) histogram with this
+// name.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookupOrAdd(name, help, kindHistogram)
+	if m.h == nil {
+		m.h = &Histogram{}
+	}
+	return m.h
+}
+
+// Sharded registers (or returns the existing) sharded counter with at
+// least `shards` cells; an existing registration grows if a later caller
+// needs more shards (cells are append-only so previously handed-out
+// cells stay valid — they live in the old backing array, which Load no
+// longer sees, so growth is only legal before any cell was handed out;
+// in practice every caller registers with its final shard count).
+func (r *Registry) Sharded(name, help string, shards int) *ShardedCounter {
+	if r == nil {
+		return nil
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookupOrAdd(name, help, kindSharded)
+	if m.s == nil {
+		m.s = &ShardedCounter{cells: make([]counterCell, shards)}
+	} else if len(m.s.cells) < shards {
+		grown := make([]counterCell, shards)
+		for i := range m.s.cells {
+			grown[i].v.Store(m.s.cells[i].v.Load())
+		}
+		m.s.cells = grown
+	}
+	return m.s
+}
+
+// RegisterView adds a read-time view (see View).
+func (r *Registry) RegisterView(v View) {
+	if r == nil || v == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.views = append(r.views, v)
+}
+
+// sortedMetrics returns a name-sorted copy of the registered metrics and
+// the current view list (under the lock; values are read outside it).
+func (r *Registry) sortedMetrics() ([]metric, []View) {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.metrics...)
+	vs := append([]View(nil), r.views...)
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	return ms, vs
+}

@@ -1,0 +1,322 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilHandlesAreNoOps pins the disabled-telemetry contract: every
+// hot-path method on a nil handle must be a safe no-op — the engine
+// keeps raw handles around and calls them unconditionally in a few
+// places (guarded only by the runTelemetry nil check).
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if c.Load() != 0 {
+		t.Error("nil counter load != 0")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Load() != 0 {
+		t.Error("nil gauge load != 0")
+	}
+	var h *Histogram
+	h.Observe(9)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram recorded")
+	}
+	var s *ShardedCounter
+	if s.Cell(0) != nil || s.Shards() != 0 || s.Load() != 0 || s.CellValues() != nil {
+		t.Error("nil sharded counter not inert")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil ||
+		r.Histogram("x", "") != nil || r.Sharded("x", "", 4) != nil {
+		t.Error("nil registry handed out live handles")
+	}
+	r.RegisterView(func(Observer) {})
+	if snap := r.Snapshot(); len(snap.Counters) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+	var set *Set
+	if set.Enabled() || set.Registry() != nil || set.Recorder() != nil {
+		t.Error("nil set not disabled")
+	}
+	if set.TrackName("x") != "x" {
+		t.Error("nil set TrackName mangled the name")
+	}
+	if set.WithLabel("l") != nil {
+		t.Error("nil set WithLabel != nil")
+	}
+}
+
+// TestHistogramBucketing pins the power-of-two bucket layout: value v
+// lands in the bucket whose upper bound is the smallest 2^i - 1 >= v,
+// with exact zeros in their own bucket.
+func TestHistogramBucketing(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t.h", "")
+	cases := []struct{ v, bound uint64 }{
+		{0, 0}, {1, 1}, {2, 3}, {3, 3}, {4, 7}, {7, 7}, {8, 15},
+		{255, 255}, {256, 511}, {1 << 40, 1<<41 - 1}, {^uint64(0), ^uint64(0)},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	snap := reg.Snapshot()
+	hs := snap.Histograms["t.h"]
+	if hs.Count != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", hs.Count, len(cases))
+	}
+	for _, c := range cases {
+		if hs.Buckets[c.bound] == 0 {
+			t.Errorf("observe(%d): bucket bound %d empty; buckets %v", c.v, c.bound, hs.Buckets)
+		}
+	}
+	var total uint64
+	for _, n := range hs.Buckets {
+		total += n
+	}
+	if total != hs.Count {
+		t.Errorf("bucket sum %d != count %d", total, hs.Count)
+	}
+}
+
+// TestShardedCounterMerge checks cells are independent writers whose
+// values merge on read, including under concurrent hammering (-race).
+func TestShardedCounterMerge(t *testing.T) {
+	reg := NewRegistry()
+	s := reg.Sharded("t.s", "", 4)
+	if s.Shards() != 4 {
+		t.Fatalf("shards = %d", s.Shards())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := s.Cell(i)
+			for j := 0; j <= i; j++ {
+				c.Add(100)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := s.Load(); got != 1000 {
+		t.Fatalf("merged total = %d, want 1000", got)
+	}
+	if want := []uint64{100, 200, 300, 400}; !equalU64(s.CellValues(), want) {
+		t.Fatalf("cells = %v, want %v", s.CellValues(), want)
+	}
+	if s.Cell(-1) != nil || s.Cell(4) != nil {
+		t.Error("out-of-range cell not nil")
+	}
+}
+
+// TestRegistryReRegistration: same name + kind returns the same handle
+// (the tenant-fleet shared-cell path); a kind clash panics at setup.
+func TestRegistryReRegistration(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x.y", "")
+	b := reg.Counter("x.y", "other help")
+	if a != b {
+		t.Fatal("re-registration returned a different cell")
+	}
+	a.Add(2)
+	b.Add(3)
+	if a.Load() != 5 {
+		t.Fatalf("shared cell = %d, want 5", a.Load())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind clash did not panic")
+		}
+	}()
+	reg.Gauge("x.y", "")
+}
+
+// TestSnapshotViewsMergeAdditively: several views reporting the same
+// metric name sum in the snapshot — the registry-side replacement for
+// the hand-written Stats merge loops.
+func TestSnapshotViewsMergeAdditively(t *testing.T) {
+	reg := NewRegistry()
+	for i := 1; i <= 3; i++ {
+		i := i
+		reg.RegisterView(func(o Observer) {
+			o.ObserveCounter("run.blocks", uint64(i*10))
+			o.ObserveGauge("run.load", float64(i))
+		})
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["run.blocks"] != 60 {
+		t.Errorf("view counters merged to %d, want 60", snap.Counters["run.blocks"])
+	}
+	if snap.Gauges["run.load"] != 6 {
+		t.Errorf("view gauges merged to %g, want 6", snap.Gauges["run.load"])
+	}
+}
+
+// TestSnapshotDiff pins the per-interval semantics: counter and
+// histogram deltas, gauges carried as-is, unseen names treated as zero.
+func TestSnapshotDiff(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("d.c", "")
+	g := reg.Gauge("d.g", "")
+	h := reg.Histogram("d.h", "")
+	c.Add(5)
+	g.Set(2)
+	h.Observe(3)
+	prev := reg.Snapshot()
+	c.Add(7)
+	g.Set(9)
+	h.Observe(3)
+	h.Observe(100)
+	cur := reg.Snapshot()
+	d := cur.Diff(prev)
+	if d.Counters["d.c"] != 7 {
+		t.Errorf("counter delta = %d, want 7", d.Counters["d.c"])
+	}
+	if d.Gauges["d.g"] != 9 {
+		t.Errorf("gauge = %g, want 9 (instantaneous)", d.Gauges["d.g"])
+	}
+	dh := d.Histograms["d.h"]
+	if dh.Count != 2 || dh.Sum != 103 {
+		t.Errorf("hist delta count/sum = %d/%d, want 2/103", dh.Count, dh.Sum)
+	}
+	if dh.Buckets[3] != 1 || dh.Buckets[127] != 1 {
+		t.Errorf("hist delta buckets = %v", dh.Buckets)
+	}
+	if d2 := cur.Diff(nil); d2.Counters["d.c"] != 12 {
+		t.Errorf("diff against nil = %d, want full value 12", d2.Counters["d.c"])
+	}
+}
+
+// TestSnapshotJSONRoundTrip: snapshots are the -metricsjson / revdump
+// interchange format, so they must survive encoding/json unchanged.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("j.c", "").Add(42)
+	reg.Sharded("j.s", "", 2).Cell(1).Add(5)
+	reg.Histogram("j.h", "").Observe(17)
+	snap := reg.Snapshot()
+	buf, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["j.c"] != 42 || back.Counters["j.s"] != 5 {
+		t.Errorf("counters lost: %v", back.Counters)
+	}
+	if len(back.Shards["j.s"]) != 2 || back.Shards["j.s"][1] != 5 {
+		t.Errorf("shards lost: %v", back.Shards)
+	}
+	if back.Histograms["j.h"].Buckets[31] != 1 {
+		t.Errorf("histogram lost: %+v", back.Histograms["j.h"])
+	}
+}
+
+// TestWritePrometheus checks the text exposition: legal names, TYPE
+// lines, cumulative (monotone) histogram buckets, shard labels.
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rev.sc.probes", "").Add(10)
+	reg.Sharded("rev.lane.jobs", "", 2).Cell(0).Add(4)
+	h := reg.Histogram("rev.sc.walk-records", "")
+	for _, v := range []uint64{1, 2, 2, 5, 9} {
+		h.Observe(v)
+	}
+	reg.Gauge("rev.ring.depth", "").Set(3)
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE rev_sc_probes counter\nrev_sc_probes 10\n",
+		`rev_lane_jobs_shard{shard="0"} 4`,
+		`rev_lane_jobs_shard{shard="1"} 0`,
+		"# TYPE rev_ring_depth gauge\nrev_ring_depth 3\n",
+		"# TYPE rev_sc_walk_records histogram",
+		`rev_sc_walk_records_bucket{le="1"} 1`,
+		`rev_sc_walk_records_bucket{le="3"} 3`,
+		`rev_sc_walk_records_bucket{le="7"} 4`,
+		`rev_sc_walk_records_bucket{le="15"} 5`,
+		`rev_sc_walk_records_bucket{le="+Inf"} 5`,
+		"rev_sc_walk_records_sum 19",
+		"rev_sc_walk_records_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCounterConcurrency hammers one counter and one histogram from
+// many goroutines (-race must stay quiet, totals must be exact).
+func TestCounterConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("cc.c", "")
+	h := reg.Histogram("cc.h", "")
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(uint64(rng.Intn(1024)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if c.Load() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Load(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("hist count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+// TestSetLabeling: WithLabel prefixes track names while sharing the
+// metric registry — the per-tenant trace / shared-cell contract.
+func TestSetLabeling(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(64)
+	root := &Set{Reg: reg, Trace: rec}
+	if !root.Enabled() {
+		t.Fatal("set with sinks reports disabled")
+	}
+	a := root.WithLabel("bzip2.t0")
+	if a.Registry() != reg || a.Recorder() != rec {
+		t.Fatal("WithLabel replaced the sinks")
+	}
+	if got := a.TrackName("validate"); got != "bzip2.t0/validate" {
+		t.Fatalf("TrackName = %q", got)
+	}
+	if got := root.TrackName("validate"); got != "validate" {
+		t.Fatalf("unlabeled TrackName = %q", got)
+	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// HistSnapshot is a histogram's point-in-time state: per-bucket counts
+// keyed by upper bound (2^i - 1; observations v land in the bucket whose
+// key is the smallest upper bound >= v), plus count and sum.
+type HistSnapshot struct {
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	// Buckets maps the bucket upper bound to its count; empty buckets
+	// are omitted so snapshots stay small.
+	Buckets map[uint64]uint64 `json:"buckets,omitempty"`
+}
+
+// Mean returns sum/count (0 when empty).
+func (h *HistSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Snapshot is a point-in-time copy of a registry: every registered
+// metric plus every view's reported values, merged by name. Snapshots
+// are plain data — JSON-serializable (revbench -metricsjson, revdump
+// -what metrics) and diffable.
+type Snapshot struct {
+	TakenAt time.Time `json:"taken_at"`
+	// Counters holds counter and merged view-counter values.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Gauges holds gauge and view-gauge values.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Histograms holds histogram states.
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+	// Shards holds each sharded counter's per-cell breakdown (the merged
+	// total also appears in Counters).
+	Shards map[string][]uint64 `json:"shards,omitempty"`
+}
+
+// snapObserver folds view output into a snapshot, summing duplicates.
+type snapObserver struct{ s *Snapshot }
+
+func (o snapObserver) ObserveCounter(name string, v uint64) { o.s.Counters[name] += v }
+func (o snapObserver) ObserveGauge(name string, v float64)  { o.s.Gauges[name] += v }
+
+// Snapshot captures the registry's current state. Atomic metrics may be
+// read at any time; view-backed values are only coherent when the runs
+// owning the viewed structs are quiescent (see View). A nil registry
+// yields an empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		TakenAt:    time.Now(),
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+		Shards:     map[string][]uint64{},
+	}
+	if r == nil {
+		return s
+	}
+	ms, vs := r.sortedMetrics()
+	for i := range ms {
+		m := &ms[i]
+		switch m.kind {
+		case kindCounter:
+			s.Counters[m.name] += m.c.Load()
+		case kindGauge:
+			s.Gauges[m.name] += float64(m.g.Load())
+		case kindHistogram:
+			hs := HistSnapshot{Count: m.h.count.Load(), Sum: m.h.sum.Load()}
+			for b := 0; b < HistBuckets; b++ {
+				if n := m.h.buckets[b].Load(); n > 0 {
+					if hs.Buckets == nil {
+						hs.Buckets = map[uint64]uint64{}
+					}
+					hs.Buckets[bucketBound(b)] += n
+				}
+			}
+			s.Histograms[m.name] = hs
+		case kindSharded:
+			s.Counters[m.name] += m.s.Load()
+			s.Shards[m.name] = m.s.CellValues()
+		}
+	}
+	obs := snapObserver{s}
+	for _, v := range vs {
+		v(obs)
+	}
+	return s
+}
+
+// bucketBound returns bucket i's inclusive upper bound: 0 for the zero
+// bucket, else 2^i - 1.
+func bucketBound(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << i) - 1
+}
+
+// Diff returns s - prev field-wise: counter and histogram deltas, gauges
+// copied as-is (instantaneous values do not subtract meaningfully).
+// Metrics absent from prev are treated as zero, so Diff of successive
+// snapshots gives per-interval rates.
+func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
+	d := &Snapshot{
+		TakenAt:    s.TakenAt,
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+		Shards:     map[string][]uint64{},
+	}
+	for name, v := range s.Counters {
+		var p uint64
+		if prev != nil {
+			p = prev.Counters[name]
+		}
+		d.Counters[name] = v - p
+	}
+	for name, v := range s.Gauges {
+		d.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		var p HistSnapshot
+		if prev != nil {
+			p = prev.Histograms[name]
+		}
+		dh := HistSnapshot{Count: h.Count - p.Count, Sum: h.Sum - p.Sum}
+		for b, n := range h.Buckets {
+			if delta := n - p.Buckets[b]; delta > 0 {
+				if dh.Buckets == nil {
+					dh.Buckets = map[uint64]uint64{}
+				}
+				dh.Buckets[b] = delta
+			}
+		}
+		d.Histograms[name] = dh
+	}
+	for name, cells := range s.Shards {
+		dc := make([]uint64, len(cells))
+		copy(dc, cells)
+		if prev != nil {
+			for i, p := range prev.Shards[name] {
+				if i < len(dc) {
+					dc[i] -= p
+				}
+			}
+		}
+		d.Shards[name] = dc
+	}
+	return d
+}
+
+// promName maps a dotted metric name to a Prometheus-legal one
+// (dots and dashes become underscores).
+func promName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (one family per metric; histograms as cumulative _bucket/_sum/
+// _count series; shard cells as {shard="i"} labeled series).
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n]); err != nil {
+			return err
+		}
+		if cells, ok := s.Shards[n]; ok {
+			for i, v := range cells {
+				if _, err := fmt.Fprintf(w, "%s_shard{shard=\"%d\"} %d\n", pn, i, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		bounds := make([]uint64, 0, len(h.Buckets))
+		for b := range h.Buckets {
+			bounds = append(bounds, b)
+		}
+		sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+		var cum uint64
+		for _, b := range bounds {
+			cum += h.Buckets[b]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, b, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			pn, h.Count, pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

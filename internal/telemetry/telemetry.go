@@ -1,0 +1,57 @@
+package telemetry
+
+// Set bundles one process's observability sinks: a metrics registry and
+// (optionally) a trace recorder. A nil *Set — or a Set with nil members
+// — is the disabled state; every consumer treats nil handles as no-ops,
+// so the instrumented hot paths cost one predicted branch when
+// telemetry is off.
+type Set struct {
+	// Reg collects metrics (nil = metrics disabled).
+	Reg *Registry
+	// Trace records spans/events (nil = tracing disabled).
+	Trace *Recorder
+	// Label, when non-empty, prefixes track names ("gcc/lane0") so
+	// several runs can share one recorder without track collisions.
+	// Metric names are NOT prefixed: concurrent runs add into the same
+	// registry cells, which is exactly the fleet-merge semantics the
+	// registry replaces hand-written Stats merging with.
+	Label string
+}
+
+// Registry returns the metric registry (nil-safe).
+func (s *Set) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.Reg
+}
+
+// Recorder returns the trace recorder (nil-safe).
+func (s *Set) Recorder() *Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.Trace
+}
+
+// TrackName prefixes name with the set's label (nil-safe).
+func (s *Set) TrackName(name string) string {
+	if s == nil || s.Label == "" {
+		return name
+	}
+	return s.Label + "/" + name
+}
+
+// WithLabel derives a Set sharing the same sinks under a new label (for
+// per-run track namespacing inside a fleet).
+func (s *Set) WithLabel(label string) *Set {
+	if s == nil {
+		return nil
+	}
+	return &Set{Reg: s.Reg, Trace: s.Trace, Label: label}
+}
+
+// Enabled reports whether any sink is attached.
+func (s *Set) Enabled() bool {
+	return s != nil && (s.Reg != nil || s.Trace != nil)
+}

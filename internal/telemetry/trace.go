@@ -1,0 +1,391 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// The trace recorder captures timestamped spans and events into bounded
+// per-track ring buffers and exports them as Chrome trace_event JSON
+// (openable in chrome://tracing or https://ui.perfetto.dev). Tracks map
+// to trace "threads": the pipelined executor opens one per pipeline
+// stage (producer, one per hash lane, retire), the fleet one per worker.
+//
+// Sharing contract:
+//
+//   - Track creation and name interning are mutex-guarded setup-path
+//     operations.
+//   - Event emission (Begin/End/Instant/Count) is single-writer per
+//     track: exactly one goroutine may write a given track. Emission is
+//     lock-free, allocation-free, and nil-receiver safe.
+//   - Export (WriteChromeTrace, Events) reads every track and must only
+//     run after the writers have quiesced (joined) — the same
+//     ownership-transfer discipline as the SPSC ring (docs/CONCURRENCY.md).
+//
+// When a ring wraps, the oldest events are overwritten and counted as
+// dropped; open-span state lives outside the ring, so a span whose Begin
+// was overwritten still exports correctly when it ends (tested in
+// trace_test.go).
+
+// NameID is an interned event name (see Recorder.Name). Interning at
+// setup keeps the emission path free of string handling.
+type NameID int32
+
+// NoName marks an absent optional name (e.g. no argument).
+const NoName NameID = -1
+
+// event kinds.
+const (
+	evInstant = iota
+	evSpan
+	evCounter
+)
+
+// event is one fixed-size ring record.
+type event struct {
+	ts   int64 // ns since recorder start
+	dur  int64 // span duration (evSpan)
+	arg  uint64
+	name NameID
+	argN NameID // argument name, NoName if absent
+	kind uint8
+}
+
+// DefaultTrackEvents is the per-track ring capacity when NewRecorder is
+// given 0: enough for ~100k-instruction traces without dropping, ~3 MB
+// per 8-track recorder.
+const DefaultTrackEvents = 1 << 16
+
+// maxOpenSpans bounds each track's open-span stack. Deeper nesting drops
+// the innermost spans (counted, never unbalanced).
+const maxOpenSpans = 32
+
+// Recorder owns the trace clock, the interned name table, and the
+// tracks. A nil *Recorder is the disabled state: Track returns nil, and
+// all emission through nil tracks is a no-op.
+type Recorder struct {
+	start time.Time
+
+	mu     sync.Mutex
+	names  []string
+	byName map[string]NameID
+	tracks []*Track
+	size   uint64 // per-track ring capacity (power of two)
+}
+
+// NewRecorder builds a recorder whose tracks each hold perTrackEvents
+// events (rounded up to a power of two; 0 selects DefaultTrackEvents).
+func NewRecorder(perTrackEvents int) *Recorder {
+	if perTrackEvents <= 0 {
+		perTrackEvents = DefaultTrackEvents
+	}
+	n := uint64(2)
+	for n < uint64(perTrackEvents) {
+		n <<= 1
+	}
+	return &Recorder{start: time.Now(), byName: map[string]NameID{}, size: n}
+}
+
+// Name interns s and returns its ID (setup path; idempotent).
+func (r *Recorder) Name(s string) NameID {
+	if r == nil {
+		return NoName
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.byName[s]; ok {
+		return id
+	}
+	id := NameID(len(r.names))
+	r.names = append(r.names, s)
+	r.byName[s] = id
+	return id
+}
+
+// nameStr resolves an ID (export path).
+func (r *Recorder) nameStr(id NameID) string {
+	if id < 0 || int(id) >= len(r.names) {
+		return "?"
+	}
+	return r.names[id]
+}
+
+// Track creates a new single-writer track (setup path). Nil recorders
+// return nil tracks; every emission method tolerates that.
+func (r *Recorder) Track(name string) *Track {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := &Track{
+		rec:  r,
+		name: name,
+		tid:  len(r.tracks) + 1,
+		mask: r.size - 1,
+		ring: make([]event, r.size),
+	}
+	r.tracks = append(r.tracks, t)
+	return t
+}
+
+// Now returns the trace-relative timestamp in nanoseconds (0 for nil).
+func (r *Recorder) Now() int64 {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.start).Nanoseconds()
+}
+
+// spanFrame is one open span on a track's stack.
+type spanFrame struct {
+	name NameID
+	ts   int64
+}
+
+// Track is one single-writer event stream (a trace "thread").
+type Track struct {
+	rec  *Recorder
+	name string
+	tid  int
+	mask uint64
+	ring []event
+	head uint64 // events ever emitted; ring index = head & mask
+
+	stack [maxOpenSpans]spanFrame
+	depth int // may exceed maxOpenSpans; overflow spans are dropped
+
+	droppedSpans uint64 // spans lost to stack overflow
+}
+
+// Now returns the trace-relative timestamp (0 for nil).
+func (t *Track) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.rec.Now()
+}
+
+// emit appends one event, overwriting the oldest on wraparound.
+func (t *Track) emit(e event) {
+	t.ring[t.head&t.mask] = e
+	t.head++
+}
+
+// Instant emits a point event.
+func (t *Track) Instant(name NameID) {
+	if t == nil {
+		return
+	}
+	t.emit(event{ts: t.rec.Now(), name: name, argN: NoName, kind: evInstant})
+}
+
+// InstantArg emits a point event with one named argument.
+func (t *Track) InstantArg(name, argName NameID, arg uint64) {
+	if t == nil {
+		return
+	}
+	t.emit(event{ts: t.rec.Now(), name: name, argN: argName, arg: arg, kind: evInstant})
+}
+
+// Count emits a counter sample (rendered as a counter track: SPSC ring
+// depth, lane occupancy).
+func (t *Track) Count(name NameID, value uint64) {
+	if t == nil {
+		return
+	}
+	t.emit(event{ts: t.rec.Now(), name: name, arg: value, argN: NoName, kind: evCounter})
+}
+
+// Begin opens a span. Spans nest; deeper than maxOpenSpans, the
+// innermost spans are counted as dropped instead of recorded.
+func (t *Track) Begin(name NameID) {
+	if t == nil {
+		return
+	}
+	if t.depth < maxOpenSpans {
+		t.stack[t.depth] = spanFrame{name: name, ts: t.rec.Now()}
+	} else {
+		t.droppedSpans++
+	}
+	t.depth++
+}
+
+// End closes the innermost open span and emits it.
+func (t *Track) End() {
+	t.EndArg(NoName, 0)
+}
+
+// EndArg closes the innermost open span, attaching one named argument.
+// Unbalanced Ends are ignored.
+func (t *Track) EndArg(argName NameID, arg uint64) {
+	if t == nil || t.depth == 0 {
+		return
+	}
+	t.depth--
+	if t.depth >= maxOpenSpans {
+		return // the matching Begin was dropped
+	}
+	f := t.stack[t.depth]
+	t.emit(event{ts: f.ts, dur: t.rec.Now() - f.ts, name: f.name, argN: argName, arg: arg, kind: evSpan})
+}
+
+// Dropped returns how many events this track lost to ring wraparound or
+// span-stack overflow.
+func (t *Track) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	var wrapped uint64
+	if t.head > uint64(len(t.ring)) {
+		wrapped = t.head - uint64(len(t.ring))
+	}
+	return wrapped + t.droppedSpans
+}
+
+// Len returns the number of events currently resident in the ring.
+func (t *Track) Len() int {
+	if t == nil {
+		return 0
+	}
+	if t.head < uint64(len(t.ring)) {
+		return int(t.head)
+	}
+	return len(t.ring)
+}
+
+// EventView is one decoded event (export/test path).
+type EventView struct {
+	Track   string
+	Name    string
+	Kind    string // "instant", "span", "counter"
+	TS      int64  // ns since recorder start
+	Dur     int64  // ns (spans)
+	Arg     uint64
+	ArgName string // "" when absent
+}
+
+// kindStr maps an event kind for EventView.
+func kindStr(k uint8) string {
+	switch k {
+	case evSpan:
+		return "span"
+	case evCounter:
+		return "counter"
+	}
+	return "instant"
+}
+
+// Events decodes every resident event, oldest first per track. Callers
+// must have quiesced the writers.
+func (r *Recorder) Events() []EventView {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	tracks := append([]*Track(nil), r.tracks...)
+	r.mu.Unlock()
+	var out []EventView
+	for _, t := range tracks {
+		lo := uint64(0)
+		if t.head > uint64(len(t.ring)) {
+			lo = t.head - uint64(len(t.ring))
+		}
+		for seq := lo; seq < t.head; seq++ {
+			e := t.ring[seq&t.mask]
+			v := EventView{
+				Track: t.name, Name: r.nameStr(e.name), Kind: kindStr(e.kind),
+				TS: e.ts, Dur: e.dur, Arg: e.arg,
+			}
+			if e.argN != NoName {
+				v.ArgName = r.nameStr(e.argN)
+			}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// WriteChromeTrace renders the recorder as Chrome trace_event JSON
+// ({"traceEvents": [...]} object form, timestamps in microseconds).
+// Callers must have quiesced the writers. docs/OBSERVABILITY.md
+// documents the schema and how to open the output.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ns"}`+"\n")
+		return err
+	}
+	r.mu.Lock()
+	tracks := append([]*Track(nil), r.tracks...)
+	r.mu.Unlock()
+
+	if _, err := io.WriteString(w, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	sep := func() string {
+		if first {
+			first = false
+			return "\n"
+		}
+		return ",\n"
+	}
+	for _, t := range tracks {
+		// Thread-name metadata so chrome://tracing labels the track.
+		if _, err := fmt.Fprintf(w,
+			`%s{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`,
+			sep(), t.tid, t.name); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w,
+			`%s{"name":"thread_sort_index","ph":"M","pid":1,"tid":%d,"args":{"sort_index":%d}}`,
+			sep(), t.tid, t.tid); err != nil {
+			return err
+		}
+	}
+	for _, t := range tracks {
+		lo := uint64(0)
+		if t.head > uint64(len(t.ring)) {
+			lo = t.head - uint64(len(t.ring))
+		}
+		for seq := lo; seq < t.head; seq++ {
+			e := t.ring[seq&t.mask]
+			name := r.nameStr(e.name)
+			ts := float64(e.ts) / 1e3
+			var err error
+			switch e.kind {
+			case evSpan:
+				if e.argN != NoName {
+					_, err = fmt.Fprintf(w,
+						`%s{"name":%q,"ph":"X","pid":1,"tid":%d,"ts":%.3f,"dur":%.3f,"args":{%q:%d}}`,
+						sep(), name, t.tid, ts, float64(e.dur)/1e3, r.nameStr(e.argN), e.arg)
+				} else {
+					_, err = fmt.Fprintf(w,
+						`%s{"name":%q,"ph":"X","pid":1,"tid":%d,"ts":%.3f,"dur":%.3f}`,
+						sep(), name, t.tid, ts, float64(e.dur)/1e3)
+				}
+			case evCounter:
+				_, err = fmt.Fprintf(w,
+					`%s{"name":%q,"ph":"C","pid":1,"tid":%d,"ts":%.3f,"args":{"value":%d}}`,
+					sep(), name, t.tid, ts, e.arg)
+			default:
+				if e.argN != NoName {
+					_, err = fmt.Fprintf(w,
+						`%s{"name":%q,"ph":"i","s":"t","pid":1,"tid":%d,"ts":%.3f,"args":{%q:%d}}`,
+						sep(), name, t.tid, ts, r.nameStr(e.argN), e.arg)
+				} else {
+					_, err = fmt.Fprintf(w,
+						`%s{"name":%q,"ph":"i","s":"t","pid":1,"tid":%d,"ts":%.3f}`,
+						sep(), name, t.tid, ts)
+				}
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n],\"displayTimeUnit\":\"ns\"}\n")
+	return err
+}

@@ -1,0 +1,264 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// findEvents filters a recorder's decoded events by track and name.
+func findEvents(r *Recorder, track, name string) []EventView {
+	var out []EventView
+	for _, e := range r.Events() {
+		if (track == "" || e.Track == track) && (name == "" || e.Name == name) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestTrackBasics(t *testing.T) {
+	rec := NewRecorder(64)
+	nSpan := rec.Name("work")
+	nEvt := rec.Name("tick")
+	nArg := rec.Name("n")
+	if rec.Name("work") != nSpan {
+		t.Fatal("name interning not idempotent")
+	}
+	tr := rec.Track("validate")
+	tr.Begin(nSpan)
+	tr.InstantArg(nEvt, nArg, 7)
+	tr.Count(nEvt, 3)
+	tr.EndArg(nArg, 42)
+
+	evs := rec.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	// Events decode oldest-first; the span is emitted at End, after the
+	// instant and counter.
+	if evs[0].Kind != "instant" || evs[0].Name != "tick" || evs[0].Arg != 7 || evs[0].ArgName != "n" {
+		t.Errorf("instant decoded as %+v", evs[0])
+	}
+	if evs[1].Kind != "counter" || evs[1].Arg != 3 {
+		t.Errorf("counter decoded as %+v", evs[1])
+	}
+	sp := evs[2]
+	if sp.Kind != "span" || sp.Name != "work" || sp.Arg != 42 || sp.Dur < 0 {
+		t.Errorf("span decoded as %+v", sp)
+	}
+	if sp.TS > evs[0].TS {
+		t.Errorf("span keeps its Begin timestamp: span ts %d > instant ts %d", sp.TS, evs[0].TS)
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("dropped = %d on an undersubscribed ring", tr.Dropped())
+	}
+}
+
+// TestRingWraparoundMidSpan is the satellite edge case: a span's Begin
+// happens, the ring then wraps (overwriting older events) before the
+// End. Open-span state lives outside the ring, so the span must still
+// export with its original start timestamp, and the overwritten events
+// must be counted as dropped — never silently lost.
+func TestRingWraparoundMidSpan(t *testing.T) {
+	const ringSize = 8
+	rec := NewRecorder(ringSize)
+	nSpan := rec.Name("miss-walk")
+	nTick := rec.Name("tick")
+	tr := rec.Track("validate")
+
+	tr.Instant(nTick) // destined to be overwritten
+	tr.Begin(nSpan)
+	beginTS := tr.Now()
+	const flood = 3 * ringSize
+	for i := 0; i < flood; i++ {
+		tr.Instant(nTick)
+	}
+	tr.End()
+
+	if tr.Len() != ringSize {
+		t.Fatalf("resident events = %d, want full ring %d", tr.Len(), ringSize)
+	}
+	// 1 + flood + 1 events emitted, ring holds ringSize.
+	if want := uint64(flood + 2 - ringSize); tr.Dropped() != want {
+		t.Fatalf("dropped = %d, want %d", tr.Dropped(), want)
+	}
+	spans := findEvents(rec, "validate", "miss-walk")
+	if len(spans) != 1 {
+		t.Fatalf("span events = %d, want 1 (span lost to wraparound)", len(spans))
+	}
+	if spans[0].TS > beginTS {
+		t.Errorf("span start %d is after Begin-time probe %d: open-span state corrupted by wrap",
+			spans[0].TS, beginTS)
+	}
+	if spans[0].Dur <= 0 {
+		t.Errorf("span duration = %d, want > 0", spans[0].Dur)
+	}
+}
+
+// TestSpanStackOverflow: nesting deeper than maxOpenSpans drops the
+// innermost spans (counted) but never unbalances the outer ones.
+func TestSpanStackOverflow(t *testing.T) {
+	rec := NewRecorder(1024)
+	n := rec.Name("nest")
+	tr := rec.Track("t")
+	const depth = maxOpenSpans + 8
+	for i := 0; i < depth; i++ {
+		tr.Begin(n)
+	}
+	for i := 0; i < depth; i++ {
+		tr.End()
+	}
+	tr.End() // unbalanced extra End must be ignored
+	spans := findEvents(rec, "t", "nest")
+	if len(spans) != maxOpenSpans {
+		t.Fatalf("recorded spans = %d, want %d", len(spans), maxOpenSpans)
+	}
+	if tr.Dropped() != depth-maxOpenSpans {
+		t.Fatalf("dropped = %d, want %d", tr.Dropped(), depth-maxOpenSpans)
+	}
+	// Outermost span must cover all inner ones (emitted last, longest).
+	last := spans[len(spans)-1]
+	for _, s := range spans[:len(spans)-1] {
+		if s.Dur > last.Dur || s.TS < last.TS {
+			t.Fatalf("inner span %+v escapes outer %+v", s, last)
+		}
+	}
+}
+
+// TestSharedRecorderManyWriters is the -race test for the recorder's
+// sharing contract: one recorder, one track per goroutine (the lane /
+// fleet-worker shape), concurrent emission, then a quiesced export.
+func TestSharedRecorderManyWriters(t *testing.T) {
+	rec := NewRecorder(256)
+	const writers, events = 8, 500
+	nJob := rec.Name("job")
+	tracks := make([]*Track, writers)
+	for i := range tracks {
+		tracks[i] = rec.Track("lane" + string(rune('0'+i)))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(tr *Track) {
+			defer wg.Done()
+			for j := 0; j < events; j++ {
+				tr.Begin(nJob)
+				tr.EndArg(NoName, uint64(j))
+			}
+		}(tracks[i])
+	}
+	wg.Wait()
+
+	perTrack := map[string]int{}
+	for _, e := range rec.Events() {
+		perTrack[e.Track]++
+	}
+	if len(perTrack) != writers {
+		t.Fatalf("tracks exported = %d, want %d", len(perTrack), writers)
+	}
+	for name, n := range perTrack {
+		if n != 256 {
+			t.Errorf("track %s resident events = %d, want full ring 256", name, n)
+		}
+	}
+	for _, tr := range tracks {
+		if want := uint64(events - 256); tr.Dropped() != want {
+			t.Errorf("track dropped = %d, want %d", tr.Dropped(), want)
+		}
+	}
+}
+
+// TestChromeTraceExport parses the emitted JSON with encoding/json and
+// checks the schema essentials: object form, thread_name metadata per
+// track, X spans with dur, C counters, i instants.
+func TestChromeTraceExport(t *testing.T) {
+	rec := NewRecorder(64)
+	nS := rec.Name("span")
+	nC := rec.Name("depth")
+	nI := rec.Name("mark")
+	nA := rec.Name("records")
+	a := rec.Track("producer")
+	b := rec.Track("lane0")
+	a.Count(nC, 5)
+	b.Begin(nS)
+	b.EndArg(nA, 9)
+	b.Instant(nI)
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	threadNames := map[string]bool{}
+	kinds := map[string]int{}
+	for _, e := range file.TraceEvents {
+		kinds[e.Ph]++
+		if e.Ph == "M" && e.Name == "thread_name" {
+			threadNames[e.Args["name"].(string)] = true
+		}
+		if e.Ph == "X" {
+			if e.Name != "span" || e.Dur < 0 || e.Args["records"] != float64(9) {
+				t.Errorf("span event malformed: %+v", e)
+			}
+		}
+	}
+	if !threadNames["producer"] || !threadNames["lane0"] {
+		t.Errorf("thread_name metadata missing: %v", threadNames)
+	}
+	if kinds["X"] != 1 || kinds["C"] != 1 || kinds["i"] != 1 {
+		t.Errorf("event mix = %v, want one each of X/C/i", kinds)
+	}
+
+	// A nil recorder still writes a valid, empty trace.
+	buf.Reset()
+	var nilRec *Recorder
+	if err := nilRec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("nil-recorder export invalid: %v", err)
+	}
+	if len(file.TraceEvents) != 0 {
+		t.Errorf("nil recorder exported %d events", len(file.TraceEvents))
+	}
+}
+
+// TestNilTrackNoOps: a nil recorder hands out nil tracks, and every
+// emission through them must be safe (the disabled-tracing hot path).
+func TestNilTrackNoOps(t *testing.T) {
+	var rec *Recorder
+	if rec.Name("x") != NoName {
+		t.Error("nil recorder interned a name")
+	}
+	tr := rec.Track("t")
+	if tr != nil {
+		t.Fatal("nil recorder returned a live track")
+	}
+	tr.Begin(0)
+	tr.End()
+	tr.EndArg(0, 1)
+	tr.Instant(0)
+	tr.InstantArg(0, 0, 1)
+	tr.Count(0, 1)
+	if tr.Now() != 0 || tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Error("nil track not inert")
+	}
+	if rec.Events() != nil || rec.Now() != 0 {
+		t.Error("nil recorder not inert")
+	}
+}
