@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-all test-race bench-smoke bench-figures bench-json bench-parallel bench-pipeline bench-telemetry profile clean
+.PHONY: all build test vet doccheck race race-all test-race bench-smoke bench-figures bench-json bench-parallel bench-pipeline bench-telemetry bench-remote profile clean
 
 all: build vet test
 
@@ -12,6 +12,11 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Godoc comment-coverage gate over the documentation-critical packages
+# (sigserve, sigtable, fleet, telemetry). CI runs this after vet.
+doccheck:
+	./scripts/doccheck.sh
 
 # Race-check the packages that run engines in parallel (the experiments
 # suite fans simulations out across goroutines; each engine must stay
@@ -60,6 +65,16 @@ bench-pipeline:
 bench-telemetry:
 	$(GO) run ./cmd/revbench -instrs 500000 -telrounds 5 \
 		-teljson BENCH_telemetry.json
+
+# Regenerate the remote signature-sourcing record: spins up a loopback
+# revserved, reruns one workload in snapshot and per-entry lookup mode
+# across the injected latency ladder (0/1/5 ms), and records wall-time
+# slowdowns vs the in-process baseline plus the byte-identity verdict
+# for every rung. Exits nonzero if any remote run's verdicts or figures
+# diverge from local (the CI remote-identity job runs the same probe).
+bench-remote:
+	$(GO) run ./cmd/revbench -instrs 100000 -scale 0.05 \
+		-remotejson BENCH_remote.json
 
 # CPU + allocation profiles of the fig6 harness (the per-block validation
 # hot path end to end). Drops cpu.prof / mem.prof / rev.test in the repo

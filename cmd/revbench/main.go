@@ -180,6 +180,7 @@ func main() {
 	telThreshold := flag.Float64("telthreshold", 2.0, "max tolerated metrics-enabled overhead percent for -teljson")
 	telRounds := flag.Int("telrounds", 5, "timed rounds per configuration in the -teljson probe (best-of)")
 	metricsJSONPath := flag.String("metricsjson", "", "run one protected workload with metrics enabled and write the registry snapshot JSON")
+	remoteJSONPath := flag.String("remotejson", "", "write the remote-vs-local signature-sourcing probe (e.g. BENCH_remote.json): loopback revserved, snapshot and lookup modes, injected latency ladder")
 	ref := flag.String("ref", "", "reference wall times as id=seconds pairs, comma separated")
 	flag.Parse()
 
@@ -252,6 +253,20 @@ func main() {
 	if *metricsJSONPath != "" {
 		if err := dumpMetricsJSON(*metricsJSONPath, *instrs, *scale); err != nil {
 			fmt.Fprintf(os.Stderr, "revbench: metrics snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *remoteJSONPath != "" {
+		rep, err := probeRemote(*instrs, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "revbench: remote probe: %v\n", err)
+			os.Exit(1)
+		}
+		writeJSON(*remoteJSONPath, rep)
+		if !rep.AllIdentical {
+			fmt.Fprintln(os.Stderr, "revbench: remote runs diverged from the local baseline")
 			os.Exit(1)
 		}
 		return
@@ -670,10 +685,10 @@ func timedRun(prep *core.Prepared, lanes int) (*core.Result, float64, uint64, er
 func identitySig(res *core.Result) string {
 	eng := res.Engine
 	eng.MemoHits, eng.MemoMisses = 0, 0
-	return fmt.Sprintf("%v|%v|%v|%+v|%+v|%d|%+v|%+v|%+v|%+v|%+v|%+v|%+v",
+	return fmt.Sprintf("%v|%v|%v|%+v|%+v|%d|%+v|%+v|%+v|%+v|%+v|%+v|%+v|%+v",
 		res.Output, res.Halted, res.Violation, res.Pipe, res.Branch,
 		res.UniqueBranches, res.L1D, res.L1I, res.L2, res.DRAM,
-		res.SC, eng, res.Shadow)
+		res.SC, eng, res.Shadow, res.SourceNotes)
 }
 
 // probeHotPath runs one REV-protected workload and measures simulator-side

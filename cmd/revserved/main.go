@@ -1,0 +1,140 @@
+// Command revserved is the signature-table attestation service: it runs
+// the trusted-loader pipeline (profiling, static analysis, encrypted
+// table build) for the requested workloads once, then serves the
+// resulting table snapshots and per-entry lookups to any number of
+// measurement processes over the sigserve wire protocol
+// (docs/PROTOCOL.md).
+//
+// Usage:
+//
+//	revserved -bench gcc                          # serve gcc's tables
+//	revserved -bench all -listen :7415            # every benchmark
+//	revserved -bench gcc,mcf -tenant team-a       # a named namespace
+//	revserved -bench gcc -delay 1ms               # injected service
+//	                                              # latency (bench ladder)
+//	revserved -bench gcc -debug-addr :6060        # live /metrics + pprof
+//
+// The measurement side connects with revsim -sigserver or a
+// sigserve.Client; as long as both sides name the same benchmark,
+// -scale, -instrs and -format, the served tables are byte-identical to
+// the ones the client would have built locally, so verdicts and figures
+// are identical too (the acceptance contract in docs/PROTOCOL.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rev/internal/core"
+	"rev/internal/sigserve"
+	"rev/internal/sigtable"
+	"rev/internal/telemetry"
+	"rev/internal/workload"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7415", "address to serve the sigserve protocol on")
+	bench := flag.String("bench", "", "benchmark name(s) to build and serve, comma separated, or 'all'")
+	tenant := flag.String("tenant", "default", "tenant namespace to publish the tables under")
+	format := flag.String("format", "normal", "validation format: normal, aggressive, cfi-only")
+	scale := flag.Float64("scale", 1.0, "workload static-size scale (must match the measurement side)")
+	instrs := flag.Uint64("instrs", 1_000_000, "profiling instruction budget (must match the measurement side)")
+	keySeed := flag.Uint64("keyseed", 0x5eed, "table key derivation seed")
+	delay := flag.Duration("delay", 0, "artificial per-request service delay (latency-ladder benchmarking)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+	flag.Parse()
+
+	if *bench == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := parseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "revserved:", err)
+		os.Exit(2)
+	}
+
+	var names []string
+	if *bench == "all" {
+		for _, p := range workload.Profiles() {
+			names = append(names, p.Name)
+		}
+	} else {
+		for _, n := range strings.Split(*bench, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+
+	set := &telemetry.Set{Reg: telemetry.NewRegistry()}
+	srv := sigserve.NewServer()
+	srv.Instrument(set)
+	srv.SetDelay(*delay)
+
+	rc := core.DefaultRunConfig()
+	rc.MaxInstrs = *instrs
+	rc.KeySeed = *keySeed
+	cfg := core.DefaultConfig()
+	cfg.Format = f
+	rc.REV = &cfg
+
+	for _, name := range names {
+		p, err := workload.ByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "revserved:", err)
+			os.Exit(1)
+		}
+		p = p.Scaled(*scale)
+		start := time.Now()
+		prep, err := core.Prepare(p.Builder(), rc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "revserved: preparing %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for _, st := range prep.Tables {
+			epoch := srv.Publish(*tenant, st.Module, *st.Table, st.Snap)
+			fmt.Fprintf(os.Stderr, "revserved: published %s/%s epoch %d (%s, %d records, %d bytes) in %.2fs\n",
+				*tenant, st.Module, epoch, st.Table.Format, st.Table.Records, st.Table.Size,
+				time.Since(start).Seconds())
+		}
+	}
+
+	if *debugAddr != "" {
+		bound, _, err := telemetry.Serve(*debugAddr, set.Registry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "revserved:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "revserved: debug endpoint on http://%s/metrics\n", bound)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "revserved: shutting down")
+		srv.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "revserved: serving tenant %q on %s (delay %v)\n", *tenant, *listen, *delay)
+	if err := srv.ListenAndServe(*listen); err != nil {
+		fmt.Fprintln(os.Stderr, "revserved:", err)
+		os.Exit(1)
+	}
+}
+
+func parseFormat(s string) (sigtable.Format, error) {
+	switch s {
+	case "normal":
+		return sigtable.Normal, nil
+	case "aggressive":
+		return sigtable.Aggressive, nil
+	case "cfi-only":
+		return sigtable.CFIOnly, nil
+	}
+	return 0, fmt.Errorf("unknown format %q", s)
+}

@@ -52,6 +52,7 @@ import (
 
 	"rev/internal/core"
 	"rev/internal/fleet"
+	"rev/internal/sigserve"
 	"rev/internal/sigtable"
 	"rev/internal/telemetry"
 	"rev/internal/workload"
@@ -68,6 +69,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "validation-fleet worker goroutines (0 = GOMAXPROCS)")
 	lanes := flag.Int("lanes", -1, "async CHG hash lanes per run: -1 auto-size to the host, 0 serial, N explicit")
 	tenants := flag.Int("tenants", 1, "concurrent tenant instances sharing one signature table (requires -rev, one benchmark)")
+	sigServer := flag.String("sigserver", "", "fetch signature tables from a revserved endpoint (host:port) instead of building them locally (requires -rev; see docs/PROTOCOL.md)")
+	sigTenant := flag.String("sigtenant", "default", "tenant namespace on the -sigserver endpoint")
+	sigLookups := flag.Bool("siglookups", false, "validate via per-entry remote lookups (batched/coalesced) instead of one snapshot fetch at start; requires -sigserver")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run(s) to this file (open in chrome://tracing or ui.perfetto.dev)")
 	metrics := flag.Bool("metrics", false, "print the telemetry metrics registry (Prometheus text format) after the reports")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address (e.g. :6060) while running")
@@ -129,12 +133,38 @@ func main() {
 		rc.REV = &cfg
 	}
 
+	// A -sigserver endpoint replaces the local trusted-loader table build:
+	// one resilient client is shared by every run in the fleet.
+	var sigClient *sigserve.Client
+	if *sigServer != "" {
+		if !*rev {
+			fmt.Fprintln(os.Stderr, "revsim: -sigserver requires -rev")
+			os.Exit(2)
+		}
+		var err error
+		sigClient, err = sigserve.NewClient(sigserve.ClientConfig{
+			Addr:       *sigServer,
+			Tenant:     *sigTenant,
+			LookupMode: *sigLookups,
+			Telemetry:  set,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "revsim:", err)
+			os.Exit(1)
+		}
+		if err := sigClient.Ping(); err != nil {
+			fmt.Fprintf(os.Stderr, "revsim: signature server %s unreachable: %v\n", *sigServer, err)
+			os.Exit(1)
+		}
+		defer sigClient.Close()
+	}
+
 	if *tenants > 1 {
 		if !*rev || len(names) != 1 {
 			fmt.Fprintln(os.Stderr, "revsim: -tenants requires -rev and exactly one benchmark")
 			os.Exit(2)
 		}
-		if err := runTenants(names[0], rc, *scale, *tenants, *parallel, set); err != nil {
+		if err := runTenants(names[0], rc, *scale, *tenants, *parallel, set, sigClient); err != nil {
 			fmt.Fprintln(os.Stderr, "revsim:", err)
 			os.Exit(1)
 		}
@@ -162,7 +192,17 @@ func main() {
 		// Per-run track label ("gcc/lane0", "gcc/validate"); metric cells
 		// stay shared, which is exactly the fleet-merged registry view.
 		rcj.Telemetry = set.WithLabel(jobs[i].p.Name)
-		res, err := core.Run(jobs[i].p.Builder(), rcj)
+		var res *core.Result
+		var err error
+		if sigClient != nil {
+			var prep *core.Prepared
+			prep, err = core.PrepareRemote(jobs[i].p.Builder(), rcj, sigClient)
+			if err == nil {
+				res, err = prep.Run()
+			}
+		} else {
+			res, err = core.Run(jobs[i].p.Builder(), rcj)
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", jobs[i].p.Name, err)
 		}
@@ -238,13 +278,18 @@ func resolvedLanes(n int) int {
 
 // runTenants prepares the workload once and validates n concurrent tenant
 // instances against the shared immutable table snapshot.
-func runTenants(name string, rc core.RunConfig, scale float64, n, workers int, set *telemetry.Set) error {
+func runTenants(name string, rc core.RunConfig, scale float64, n, workers int, set *telemetry.Set, sigClient *sigserve.Client) error {
 	p, err := workload.ByName(name)
 	if err != nil {
 		return err
 	}
 	p = p.Scaled(scale)
-	prep, err := core.Prepare(p.Builder(), rc)
+	var prep *core.Prepared
+	if sigClient != nil {
+		prep, err = core.PrepareRemote(p.Builder(), rc, sigClient)
+	} else {
+		prep, err = core.Prepare(p.Builder(), rc)
+	}
 	if err != nil {
 		return err
 	}
@@ -295,6 +340,21 @@ func runTenants(name string, rc core.RunConfig, scale float64, n, workers int, s
 		fmt.Printf("  worker %-2d      %d runs, %.3fs busy, %.0f blocks/sec\n",
 			wm.Worker, wm.Jobs, wm.WallSeconds, wm.BlocksPerSec)
 	}
+	noted := map[string]bool{}
+	for _, r := range results {
+		for _, note := range r.SourceNotes {
+			if noted[note.Module] {
+				continue
+			}
+			noted[note.Module] = true
+			stale := "fresh at fetch time"
+			if note.Stale {
+				stale = "KNOWN STALE"
+			}
+			fmt.Printf("SOURCE NOTE      %s: degraded to cached snapshot epoch %d, %s: %s\n",
+				note.Module, note.Epoch, stale, note.Detail)
+		}
+	}
 	return nil
 }
 
@@ -324,6 +384,17 @@ func printReport(p workload.Profile, scale float64, res *core.Result, rev bool, 
 		}
 		if res.Violation != nil {
 			fmt.Printf("VIOLATION        %v\n", res.Violation)
+		}
+		// Degraded remote sources annotate the run: the verdicts above are
+		// real table content served from the client's cached snapshot, but
+		// the attestation authority was unreachable for part of the run.
+		for _, note := range res.SourceNotes {
+			stale := "fresh at fetch time"
+			if note.Stale {
+				stale = "KNOWN STALE (server has a newer table generation)"
+			}
+			fmt.Printf("SOURCE NOTE      %s: degraded to cached snapshot epoch %d, %s: %s\n",
+				note.Module, note.Epoch, stale, note.Detail)
 		}
 	}
 }

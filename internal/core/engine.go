@@ -173,6 +173,11 @@ type Engine struct {
 	nextSigBase uint64
 	bbTag       uint64
 
+	// sources records every registered signature source alongside its
+	// module name so end-of-run health annotations (remote sources that
+	// degraded to a cached snapshot) can be collected into the Result.
+	sources []moduleSource
+
 	// Signature memoization (functional hot-path cache, see memo.go):
 	// memo holds per-block signatures; cv is the address space's
 	// code-version epoch source (nil when the space cannot report code
@@ -220,6 +225,7 @@ func (e *Engine) AddModule(g *cfg.Graph, key crypt.TableKey) error {
 	e.nextSigBase += (tbl.Size + prog.PageSize - 1) &^ (prog.PageSize - 1)
 	reader := sigtable.NewReader(tbl, e.Mem, e.KS)
 	e.Tables = append(e.Tables, tbl)
+	e.sources = append(e.sources, moduleSource{module: g.Module.Name, src: reader})
 	if e.cv != nil {
 		// Watch the module's text range: any store landing inside it bumps
 		// the code-version epoch and invalidates memoized signatures
@@ -436,7 +442,7 @@ func (e *Engine) validateHashed(info cpu.BBInfo, sig, codeSig chash.Sig, codeSig
 			Target: need.Target, CheckTarget: need.CheckTarget,
 			Pred: need.Pred, CheckPred: need.CheckPred,
 		}
-		entry, touched, found := region.Reader.Lookup(info.End, sig, want)
+		entry, touched, lerr := region.Reader.Lookup(info.End, sig, want)
 		e.Stats.RAMLookups++
 		e.Stats.RecordsTouched += uint64(len(touched))
 		// Timing: the miss walk goes through the memory hierarchy record
@@ -449,8 +455,14 @@ func (e *Engine) validateHashed(info cpu.BBInfo, sig, codeSig chash.Sig, codeSig
 		if e.tel != nil {
 			e.tel.missWalkEnd(len(touched), scReady-info.LastFetch)
 		}
-		if !found {
-			return 0, e.violate(ViolationHash, info, info.End)
+		if lerr != nil {
+			if sigtable.IsMiss(lerr) {
+				return 0, e.violate(ViolationHash, info, info.End)
+			}
+			// The source could not answer (remote endpoint down with no
+			// cached fallback): no verdict exists. Abort the run with a
+			// transport error — never a violation, never a silent pass.
+			return 0, fmt.Errorf("core: signature source for %s: %w", region.Module, lerr)
 		}
 		if need.CheckTarget && !contains(entry.Targets, need.Target) {
 			return 0, e.violate(ViolationTarget, info, need.Target)
@@ -488,7 +500,7 @@ func (e *Engine) hookCFIOnly(info cpu.BBInfo) (uint64, error) {
 		if e.tel != nil {
 			e.tel.edgeWalkBegin()
 		}
-		touched, legal := region.Reader.LookupEdge(info.End, info.NextPC)
+		touched, lerr := region.Reader.LookupEdge(info.End, info.NextPC)
 		e.Stats.RAMLookups++
 		e.Stats.RecordsTouched += uint64(len(touched))
 		t := info.LastFetch
@@ -499,7 +511,12 @@ func (e *Engine) hookCFIOnly(info cpu.BBInfo) (uint64, error) {
 		if e.tel != nil {
 			e.tel.missWalkEnd(len(touched), scReady-info.LastFetch)
 		}
-		if !legal {
+		if lerr != nil {
+			if !sigtable.IsMiss(lerr) {
+				// No verdict: the source could not be consulted (see
+				// validateHashed). Distinct from any Violation.
+				return 0, fmt.Errorf("core: signature source for %s: %w", region.Module, lerr)
+			}
 			reason := ViolationTarget
 			if info.Term == isa.KindRet {
 				reason = ViolationReturn
@@ -510,6 +527,33 @@ func (e *Engine) hookCFIOnly(info cpu.BBInfo) (uint64, error) {
 	}
 	e.Stats.ValidatedBlocks++
 	return scReady + sagPen, nil
+}
+
+// moduleSource couples a registered signature source with its module
+// name for post-run health annotation collection.
+type moduleSource struct {
+	module string
+	src    sigtable.Source
+}
+
+// SourceNotes collects the health annotations of every registered
+// signature source that implements sigtable.HealthReporter — e.g. a
+// remote source that degraded to its locally cached snapshot mid-run.
+// Local Reader/Snapshot sources report nothing. The slice is nil when
+// every source is healthy, so the common case stays allocation-free.
+func (e *Engine) SourceNotes() []sigtable.SourceNote {
+	var notes []sigtable.SourceNote
+	for _, ms := range e.sources {
+		if hr, ok := ms.src.(sigtable.HealthReporter); ok {
+			if note, any := hr.HealthNote(); any {
+				if note.Module == "" {
+					note.Module = ms.module
+				}
+				notes = append(notes, note)
+			}
+		}
+	}
+	return notes
 }
 
 func contains(list []uint64, a uint64) bool {

@@ -490,6 +490,7 @@ func (x *pipeRun) assemble(vio *Violation) *Result {
 		res.Engine = engine.Stats
 		res.Tables = engine.Tables
 		res.Forensics = engine.Log
+		res.SourceNotes = engine.SourceNotes()
 		s := engine.SC.Stats
 		res.SC = SCView{
 			Probes:         s.Probes,

@@ -24,8 +24,24 @@ type SharedTable struct {
 	Start, Limit uint64
 	// Table is the built table's metadata (size accounting, Sec. V).
 	Table *sigtable.Table
-	// Snap is the decrypted, immutable lookup view.
+	// Snap is the decrypted, immutable lookup view (the in-process
+	// path). Nil when Src supplies the lookups instead.
 	Snap *sigtable.Snapshot
+	// Src, when non-nil, overrides Snap as the engine's lookup source —
+	// the remote-distribution path, where a sigserve.RemoteSource fetches
+	// entries from a revserved signature service (and degrades to its
+	// cached snapshot on transport failure). Must be safe for concurrent
+	// use by any number of engines, like Snap.
+	Src sigtable.Source
+}
+
+// Source returns the lookup source engines should register: Src when
+// set, else the in-process Snap.
+func (st *SharedTable) Source() sigtable.Source {
+	if st.Src != nil {
+		return st.Src
+	}
+	return st.Snap
 }
 
 // Prepared is the reusable, immutable preparation of a REV-protected
@@ -120,6 +136,73 @@ func Prepare(build func() (*prog.Program, error), rc RunConfig) (*Prepared, erro
 	return p, nil
 }
 
+// TableProvider resolves a module name to its signature-table metadata
+// and lookup source — the remote-distribution seam. The in-process path
+// (Prepare) builds tables locally; PrepareRemote instead asks a
+// provider, typically a sigserve client connected to a revserved
+// signature service, so the measurement side (this process) never needs
+// the CFG analysis or the table keys at all: the verification authority
+// lives out of process, as in remote-attestation designs (ScaRR,
+// LO-FAT; see PAPERS.md).
+//
+// The returned Table must carry the base the serving side assigned
+// (consecutive page-aligned slots from prog.SigBase in module order —
+// the same rule Prepare uses), so miss-walk timing is identical to the
+// local path. The Source must be safe for concurrent use by any number
+// of engines.
+type TableProvider interface {
+	// Module returns the named module's table metadata and lookup
+	// source.
+	Module(name string) (*sigtable.Table, sigtable.Source, error)
+}
+
+// PrepareRemote builds a Prepared whose signature tables come from a
+// TableProvider instead of a local build: the program is constructed
+// once (the pristine clone prototype), and for each of its modules the
+// provider supplies table metadata plus a concurrent-safe lookup
+// source. No profiling run, CFG analysis, table build, or key material
+// is needed on this side — that work happened wherever the provider's
+// tables were built (e.g. inside revserved).
+//
+// A fleet over a PrepareRemote Prepared behaves exactly like one over
+// Prepare: Prepared.Run / RunWithLanes / RunWithTelemetry all work
+// unchanged, and verdicts/figures are byte-identical to the in-process
+// snapshot path as long as the provider serves the same tables.
+func PrepareRemote(build func() (*prog.Program, error), rc RunConfig, tp TableProvider) (*Prepared, error) {
+	if rc.REV == nil {
+		return nil, fmt.Errorf("core: PrepareRemote requires rc.REV (nothing to validate for a base run)")
+	}
+	if tp == nil {
+		return nil, fmt.Errorf("core: PrepareRemote requires a TableProvider")
+	}
+	if rc.MaxInstrs == 0 {
+		rc.MaxInstrs = 1_000_000
+	}
+	analysis, err := build()
+	if err != nil {
+		return nil, fmt.Errorf("core: building program: %w", err)
+	}
+	p := &Prepared{rc: rc, proto: analysis}
+	for _, mod := range analysis.Modules {
+		tbl, src, err := tp.Module(mod.Name)
+		if err != nil {
+			return nil, fmt.Errorf("core: remote table for %s: %w", mod.Name, err)
+		}
+		if tbl.Format != rc.REV.Format {
+			return nil, fmt.Errorf("core: remote table for %s is %v, run config wants %v",
+				mod.Name, tbl.Format, rc.REV.Format)
+		}
+		p.Tables = append(p.Tables, &SharedTable{
+			Module: mod.Name,
+			Start:  mod.Base,
+			Limit:  mod.Limit(),
+			Table:  tbl,
+			Src:    src,
+		})
+	}
+	return p, nil
+}
+
 // Config returns a copy of the RunConfig the workload was prepared with.
 func (p *Prepared) Config() RunConfig { return p.rc }
 
@@ -182,11 +265,16 @@ func (e *Engine) AddSharedModule(st *SharedTable) error {
 	if e.cv != nil {
 		e.cv.WatchCode(st.Start, st.Limit+uint64(isa.WordSize)-1)
 	}
+	src := st.Source()
+	if src == nil {
+		return fmt.Errorf("core: shared table for %s has neither Snap nor Src", st.Module)
+	}
+	e.sources = append(e.sources, moduleSource{module: st.Module, src: src})
 	return e.SAG.Register(&sag.Region{
 		Module: st.Module,
 		Start:  st.Start,
 		Limit:  st.Limit,
-		Reader: st.Snap,
+		Reader: src,
 	})
 }
 

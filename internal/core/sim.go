@@ -88,6 +88,14 @@ type Result struct {
 	Tables []*sigtable.Table
 	// Violation is set when REV aborted the run.
 	Violation *Violation
+	// SourceNotes annotate the run's signature-table sources: non-nil
+	// when a source had something to report — today, a remote source
+	// that degraded to its locally cached snapshot after transport
+	// failures (the verdict is still real table content, but the note
+	// records which epoch served it and whether it is known stale). A
+	// healthy all-local run always has nil notes, so byte-identity
+	// checks between local and remote paths can include this field.
+	SourceNotes []sigtable.SourceNote
 	// Shadow reports page-shadowing activity when PageShadowing was on.
 	Shadow shadow.Stats
 	// Forensics holds captured violation evidence (REV.Forensics).
@@ -302,6 +310,7 @@ func execute(p *parts, rc RunConfig) (*Result, error) {
 		res.Engine = engine.Stats
 		res.Tables = engine.Tables
 		res.Forensics = engine.Log
+		res.SourceNotes = engine.SourceNotes()
 		s := engine.SC.Stats
 		res.SC = SCView{
 			Probes:         s.Probes,

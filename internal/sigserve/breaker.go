@@ -1,0 +1,131 @@
+package sigserve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+// Breaker states. Closed passes requests through; Open fails them
+// instantly without touching the network; HalfOpen admits one probe.
+const (
+	// BreakerClosed: healthy; requests flow, consecutive failures are
+	// counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: tripped; every request fails fast until the cooldown
+	// elapses.
+	BreakerOpen
+	// BreakerHalfOpen: cooldown elapsed; exactly one in-flight probe is
+	// admitted. Success re-closes the breaker, failure re-opens it.
+	BreakerHalfOpen
+)
+
+// String renders the state as its lower-case protocol name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// errBreakerOpen is returned by Allow while the breaker is open (or a
+// half-open probe is already in flight). It wraps nothing: callers treat
+// it like any other transport failure and degrade.
+var errBreakerOpen = fmt.Errorf("sigserve: circuit breaker open")
+
+// breaker is a minimal consecutive-failure circuit breaker
+// (closed → open after Threshold straight failures; open → half-open
+// after Cooldown; half-open admits one probe whose outcome decides).
+// Safe for concurrent use.
+type breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int       // consecutive failures while closed
+	openedAt  time.Time // when the breaker last tripped
+	probing   bool      // a half-open probe is in flight
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = 1
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a request may proceed; errBreakerOpen otherwise.
+// Every Allow that returns nil MUST be paired with exactly one Report.
+func (b *breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return errBreakerOpen
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return nil
+	default: // BreakerHalfOpen
+		if b.probing {
+			return errBreakerOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Report records a request outcome previously admitted by Allow.
+func (b *breaker) Report(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.state = BreakerClosed
+			b.failures = 0
+		} else {
+			b.trip()
+		}
+	case BreakerOpen:
+		// A request admitted before the trip finished late; its outcome
+		// carries no new information.
+	}
+}
+
+// trip opens the breaker (mu held).
+func (b *breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.probing = false
+}
+
+// State returns the current position (for the telemetry gauge).
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

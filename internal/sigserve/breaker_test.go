@@ -1,0 +1,141 @@
+package sigserve
+
+import (
+	"testing"
+	"time"
+)
+
+// testBreaker builds a threshold-3 / 100ms-cooldown breaker on a fake
+// clock the caller can advance.
+func testBreaker() (*breaker, *time.Time) {
+	now := time.Unix(0, 0)
+	b := newBreaker(3, 100*time.Millisecond)
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+// mustAllow asserts Allow admits and reports the given outcome.
+func mustAllow(t *testing.T, b *breaker, outcome bool) {
+	t.Helper()
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow refused in state %v: %v", b.State(), err)
+	}
+	b.Report(outcome)
+}
+
+// TestBreakerStateMachine is the state-machine table: every transition
+// of closed → open → half-open with both probe outcomes, driven on an
+// injected clock.
+func TestBreakerStateMachine(t *testing.T) {
+	t.Run("success keeps closed", func(t *testing.T) {
+		b, _ := testBreaker()
+		for i := 0; i < 10; i++ {
+			mustAllow(t, b, true)
+		}
+		if b.State() != BreakerClosed {
+			t.Fatalf("state %v, want closed", b.State())
+		}
+	})
+
+	t.Run("success resets the failure count", func(t *testing.T) {
+		b, _ := testBreaker()
+		mustAllow(t, b, false)
+		mustAllow(t, b, false)
+		mustAllow(t, b, true) // resets
+		mustAllow(t, b, false)
+		mustAllow(t, b, false)
+		if b.State() != BreakerClosed {
+			t.Fatalf("state %v, want closed (count should have reset)", b.State())
+		}
+	})
+
+	t.Run("threshold trips open and fails fast", func(t *testing.T) {
+		b, now := testBreaker()
+		mustAllow(t, b, false)
+		mustAllow(t, b, false)
+		mustAllow(t, b, false)
+		if b.State() != BreakerOpen {
+			t.Fatalf("state %v, want open after 3 straight failures", b.State())
+		}
+		if err := b.Allow(); err == nil {
+			t.Fatal("open breaker admitted a request")
+		}
+		*now = now.Add(50 * time.Millisecond) // inside cooldown
+		if err := b.Allow(); err == nil {
+			t.Fatal("open breaker admitted a request inside the cooldown")
+		}
+	})
+
+	t.Run("cooldown admits exactly one probe", func(t *testing.T) {
+		b, now := testBreaker()
+		mustAllow(t, b, false)
+		mustAllow(t, b, false)
+		mustAllow(t, b, false)
+		*now = now.Add(150 * time.Millisecond) // past cooldown
+		if err := b.Allow(); err != nil {
+			t.Fatalf("half-open refused the probe: %v", err)
+		}
+		if b.State() != BreakerHalfOpen {
+			t.Fatalf("state %v, want half-open", b.State())
+		}
+		if err := b.Allow(); err == nil {
+			t.Fatal("half-open admitted a second concurrent probe")
+		}
+		b.Report(true)
+		if b.State() != BreakerClosed {
+			t.Fatalf("state %v, want closed after probe success", b.State())
+		}
+	})
+
+	t.Run("probe failure re-opens", func(t *testing.T) {
+		b, now := testBreaker()
+		mustAllow(t, b, false)
+		mustAllow(t, b, false)
+		mustAllow(t, b, false)
+		*now = now.Add(150 * time.Millisecond)
+		mustAllow(t, b, false) // probe fails
+		if b.State() != BreakerOpen {
+			t.Fatalf("state %v, want open after probe failure", b.State())
+		}
+		if err := b.Allow(); err == nil {
+			t.Fatal("re-opened breaker admitted a request")
+		}
+		*now = now.Add(150 * time.Millisecond)
+		mustAllow(t, b, true) // next probe succeeds
+		if b.State() != BreakerClosed {
+			t.Fatalf("state %v, want closed after recovery", b.State())
+		}
+	})
+}
+
+// TestBreakerLateReportWhileOpen checks that a request admitted before a
+// trip and reported after it cannot corrupt the open state.
+func TestBreakerLateReportWhileOpen(t *testing.T) {
+	b := newBreaker(1, time.Hour)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Report(false) // trips (threshold 1)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+	b.Report(true) // the straggler
+	if b.State() != BreakerOpen {
+		t.Fatalf("late success reopened the breaker: %v", b.State())
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d: got %q want %q", s, s.String(), want)
+		}
+	}
+}

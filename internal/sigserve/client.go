@@ -1,0 +1,627 @@
+package sigserve
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rev/internal/sigtable"
+	"rev/internal/telemetry"
+)
+
+// ClientConfig tunes the resilient client. The zero value of every field
+// is replaced by the default documented on it.
+type ClientConfig struct {
+	// Addr is the revserved endpoint ("host:port"). Required.
+	Addr string
+	// Tenant names the module namespace to bind (default "default").
+	Tenant string
+	// LookupMode, when true, serves engine lookups by remote per-entry
+	// fetches (batched and coalesced) instead of from the snapshot
+	// fetched at open. Verdicts are identical either way; lookup mode
+	// trades latency for freshness across server hot swaps.
+	LookupMode bool
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds each request attempt, covering both the
+	// write and the response read (default 2s).
+	RequestTimeout time.Duration
+	// Retries is how many times a failed request is retried before the
+	// client gives up (default 3; attempts = Retries+1).
+	Retries int
+	// BackoffBase is the first retry delay; each retry doubles it, and
+	// a uniform jitter of up to the current delay is added (default 2ms).
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff delay (default 100ms).
+	BackoffMax time.Duration
+	// BreakerThreshold is how many consecutive round-trip failures trip
+	// the circuit breaker (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before
+	// admitting a half-open probe (default 250ms).
+	BreakerCooldown time.Duration
+	// PoolSize caps the idle connection pool (default 4).
+	PoolSize int
+	// BatchMax caps how many coalesced lookups ride one batch frame
+	// (default 64).
+	BatchMax int
+	// Telemetry attaches client metrics and trace spans
+	// (docs/OBSERVABILITY.md "sigserve metrics"). Nil disables.
+	Telemetry *telemetry.Set
+}
+
+func (c *ClientConfig) withDefaults() ClientConfig {
+	out := *c
+	if out.Tenant == "" {
+		out.Tenant = "default"
+	}
+	if out.DialTimeout <= 0 {
+		out.DialTimeout = 2 * time.Second
+	}
+	if out.RequestTimeout <= 0 {
+		out.RequestTimeout = 2 * time.Second
+	}
+	if out.Retries < 0 {
+		out.Retries = 0
+	} else if out.Retries == 0 {
+		out.Retries = 3
+	}
+	if out.BackoffBase <= 0 {
+		out.BackoffBase = 2 * time.Millisecond
+	}
+	if out.BackoffMax <= 0 {
+		out.BackoffMax = 100 * time.Millisecond
+	}
+	if out.BreakerThreshold <= 0 {
+		out.BreakerThreshold = 5
+	}
+	if out.BreakerCooldown <= 0 {
+		out.BreakerCooldown = 250 * time.Millisecond
+	}
+	if out.PoolSize <= 0 {
+		out.PoolSize = 4
+	}
+	if out.BatchMax <= 0 {
+		out.BatchMax = 64
+	}
+	return out
+}
+
+// ServerError is a MsgError response surfaced to the caller: the server
+// answered, so it is not a transport failure (the breaker does not count
+// it), but the request itself was rejected.
+type ServerError struct {
+	Code   ErrCode
+	Detail string
+}
+
+// Error renders the server's code and detail string.
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("sigserve: server error %v: %s", e.Code, e.Detail)
+}
+
+// clientTelemetry bundles the client-side metric handles.
+type clientTelemetry struct {
+	requests  *telemetry.Counter
+	retries   *telemetry.Counter
+	failures  *telemetry.Counter
+	coalesced *telemetry.Counter
+	batches   *telemetry.Counter
+	degraded  *telemetry.Counter
+	breaker   *telemetry.Gauge
+	rtt       *telemetry.Histogram
+	track     *telemetry.Track
+	fetchName telemetry.NameID
+	sizeName  telemetry.NameID
+}
+
+// Client is a resilient connection to one revserved tenant namespace:
+// pooled connections, per-request deadlines, retries with exponential
+// backoff and jitter, a circuit breaker, and a batching dispatcher that
+// coalesces concurrent identical lookups. Safe for concurrent use by any
+// number of engines.
+type Client struct {
+	cfg   ClientConfig
+	br    *breaker
+	reqID atomic.Uint64
+	// serverEpoch is the highest table generation any response has
+	// reported; RemoteSource compares it with its cache epoch to mark
+	// degraded verdicts stale.
+	serverEpoch atomic.Uint64
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+
+	jmu sync.Mutex
+	rng *rand.Rand
+
+	// Lookup coalescing: one pending per distinct in-flight query.
+	inflightMu sync.Mutex
+	inflight   map[lookupKey]*pendingLookup
+	lookupCh   chan *pendingLookup
+	dispatchWG sync.WaitGroup
+	stopCh     chan struct{}
+	startOnce  sync.Once
+
+	tel *clientTelemetry
+}
+
+// NewClient builds a client. No connection is made until the first
+// request; use Ping to verify reachability eagerly.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("sigserve: ClientConfig.Addr is required")
+	}
+	c := &Client{
+		cfg:      cfg.withDefaults(),
+		inflight: make(map[lookupKey]*pendingLookup),
+		stopCh:   make(chan struct{}),
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	c.br = newBreaker(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown)
+	c.lookupCh = make(chan *pendingLookup, 4*c.cfg.BatchMax)
+	if reg := c.cfg.Telemetry.Registry(); reg != nil {
+		c.tel = &clientTelemetry{
+			requests:  reg.Counter("sigserve_client_requests_total", "round trips attempted"),
+			retries:   reg.Counter("sigserve_client_retries_total", "request attempts beyond the first"),
+			failures:  reg.Counter("sigserve_client_failures_total", "round trips that exhausted retries"),
+			coalesced: reg.Counter("sigserve_client_coalesced_total", "lookups answered by an already in-flight twin"),
+			batches:   reg.Counter("sigserve_client_batches_total", "batch frames dispatched"),
+			degraded:  reg.Counter("sigserve_client_degraded_lookups_total", "lookups served from the stale local cache"),
+			breaker:   reg.Gauge("sigserve_client_breaker_state", "circuit breaker state (0 closed, 1 open, 2 half-open)"),
+			rtt:       reg.Histogram("sigserve_client_rtt_ns", "request round-trip time, ns"),
+		}
+	}
+	if rec := c.cfg.Telemetry.Recorder(); rec != nil {
+		c.tel2init(rec)
+	}
+	return c, nil
+}
+
+// tel2init attaches the trace track (separate so metrics-only Sets work).
+func (c *Client) tel2init(rec *telemetry.Recorder) {
+	if c.tel == nil {
+		c.tel = &clientTelemetry{}
+	}
+	c.tel.track = rec.Track(c.cfg.Telemetry.TrackName("sigserve/client"))
+	c.tel.fetchName = rec.Name("remote-fetch")
+	c.tel.sizeName = rec.Name("batch")
+}
+
+// Close tears down the dispatcher and every pooled connection. Lookups
+// in flight fail with ErrUnavailable-wrapped errors.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	close(c.stopCh)
+	for _, conn := range idle {
+		conn.Close()
+	}
+	c.dispatchWG.Wait()
+	return nil
+}
+
+// ServerEpoch returns the newest table generation the server has
+// reported on any response (0 before first contact).
+func (c *Client) ServerEpoch() uint64 { return c.serverEpoch.Load() }
+
+// BreakerState exposes the circuit breaker position (for reports).
+func (c *Client) BreakerState() BreakerState { return c.br.State() }
+
+// ---- connection pool -------------------------------------------------
+
+// dial opens and handshakes one connection.
+func (c *Client) dial() (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	hello := helloMsg{MinVersion: Version, MaxVersion: Version, Tenant: c.cfg.Tenant}
+	if err := WriteFrame(conn, Frame{Version: Version, Type: MsgHello, ReqID: c.reqID.Add(1), Payload: hello.encode()}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	f, err := ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	switch f.Type {
+	case MsgWelcome:
+		w, err := decodeWelcome(f.Payload)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		c.observeEpoch(w.Epoch)
+		conn.SetDeadline(time.Time{})
+		return conn, nil
+	case MsgError:
+		e, derr := decodeError(f.Payload)
+		conn.Close()
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, &ServerError{Code: e.Code, Detail: e.Detail}
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("sigserve: handshake answered with %#x", uint8(f.Type))
+	}
+}
+
+func (c *Client) getConn() (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("sigserve: client closed: %w", sigtable.ErrUnavailable)
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	return c.dial()
+}
+
+func (c *Client) putConn(conn net.Conn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.cfg.PoolSize {
+		c.idle = append(c.idle, conn)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// ---- resilient round trip --------------------------------------------
+
+// backoff returns the sleep before retry attempt n (1-based):
+// exponential from BackoffBase, capped at BackoffMax, plus uniform
+// jitter of up to the pre-jitter delay.
+func (c *Client) backoff(n int) time.Duration {
+	d := c.cfg.BackoffBase << (n - 1)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	c.jmu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d) + 1))
+	c.jmu.Unlock()
+	return d + j
+}
+
+// roundTrip sends one request with the full resilience stack and returns
+// the matching response frame. A MsgError response is returned as a
+// *ServerError and counts as transport success for the breaker.
+func (c *Client) roundTrip(typ MsgType, payload []byte) (Frame, error) {
+	if err := c.br.Allow(); err != nil {
+		c.noteBreaker()
+		return Frame{}, fmt.Errorf("%w: %v", sigtable.ErrUnavailable, err)
+	}
+	start := time.Now()
+	f, err := c.attempts(typ, payload)
+	ok := err == nil
+	if _, isServer := errAsServer(err); isServer {
+		ok = true // the server answered; the transport is healthy
+	}
+	c.br.Report(ok)
+	c.noteBreaker()
+	if c.tel != nil && c.tel.rtt != nil {
+		c.tel.rtt.Observe(uint64(time.Since(start)))
+	}
+	if err != nil && !ok {
+		if c.tel != nil && c.tel.failures != nil {
+			c.tel.failures.Inc()
+		}
+		return Frame{}, fmt.Errorf("%w: %v", sigtable.ErrUnavailable, err)
+	}
+	return f, err
+}
+
+func errAsServer(err error) (*ServerError, bool) {
+	se, ok := err.(*ServerError)
+	return se, ok
+}
+
+// attempts runs the retry loop for one request.
+func (c *Client) attempts(typ MsgType, payload []byte) (Frame, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			if c.tel != nil && c.tel.retries != nil {
+				c.tel.retries.Inc()
+			}
+			time.Sleep(c.backoff(attempt))
+		}
+		if c.tel != nil && c.tel.requests != nil {
+			c.tel.requests.Inc()
+		}
+		f, err := c.once(typ, payload)
+		if err == nil {
+			return f, nil
+		}
+		if se, ok := errAsServer(err); ok {
+			return Frame{}, se // definitive rejection; retrying cannot help
+		}
+		lastErr = err
+	}
+	return Frame{}, lastErr
+}
+
+// once performs a single request attempt over one pooled connection.
+func (c *Client) once(typ MsgType, payload []byte) (Frame, error) {
+	conn, err := c.getConn()
+	if err != nil {
+		return Frame{}, err
+	}
+	id := c.reqID.Add(1)
+	deadline := time.Now().Add(c.cfg.RequestTimeout)
+	conn.SetDeadline(deadline)
+	if err := WriteFrame(conn, Frame{Version: Version, Type: typ, ReqID: id, Payload: payload}); err != nil {
+		conn.Close()
+		return Frame{}, err
+	}
+	f, err := ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return Frame{}, err
+	}
+	if f.ReqID != id {
+		conn.Close()
+		return Frame{}, fmt.Errorf("sigserve: response id %d for request %d", f.ReqID, id)
+	}
+	conn.SetDeadline(time.Time{})
+	c.putConn(conn)
+	if f.Type == MsgError {
+		e, derr := decodeError(f.Payload)
+		if derr != nil {
+			return Frame{}, derr
+		}
+		return Frame{}, &ServerError{Code: e.Code, Detail: e.Detail}
+	}
+	return f, nil
+}
+
+func (c *Client) observeEpoch(e uint64) {
+	for {
+		cur := c.serverEpoch.Load()
+		if e <= cur || c.serverEpoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+func (c *Client) noteBreaker() {
+	if c.tel != nil && c.tel.breaker != nil {
+		c.tel.breaker.Set(int64(c.br.State()))
+	}
+}
+
+// ---- request helpers -------------------------------------------------
+
+// Ping verifies the endpoint answers (dialing if necessary).
+func (c *Client) Ping() error {
+	f, err := c.roundTrip(MsgPing, nil)
+	if err != nil {
+		return err
+	}
+	if f.Type != MsgPong {
+		return fmt.Errorf("sigserve: ping answered with %#x", uint8(f.Type))
+	}
+	return nil
+}
+
+// ModuleMeta is one catalogue entry from Modules.
+type ModuleMeta struct {
+	// Table is the module's signature-table metadata, including the
+	// base the serving side assigned.
+	Table sigtable.Table
+	// Epoch is the table's publish generation.
+	Epoch uint64
+}
+
+// Modules lists the tenant's published modules.
+func (c *Client) Modules() ([]ModuleMeta, error) {
+	f, err := c.roundTrip(MsgModules, nil)
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != MsgModuleList {
+		return nil, fmt.Errorf("sigserve: modules answered with %#x", uint8(f.Type))
+	}
+	list, err := decodeModuleList(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ModuleMeta, len(list.Modules))
+	for i, m := range list.Modules {
+		out[i] = ModuleMeta{Table: m.Table, Epoch: m.Epoch}
+	}
+	return out, nil
+}
+
+// FetchSnapshot pulls one module's full decrypted table and reconstructs
+// an immutable local snapshot, returning it with its metadata and
+// publish epoch.
+func (c *Client) FetchSnapshot(module string) (*sigtable.Snapshot, sigtable.Table, uint64, error) {
+	if c.tel != nil && c.tel.track != nil {
+		c.tel.track.Begin(c.tel.fetchName)
+		defer c.tel.track.End()
+	}
+	f, err := c.roundTrip(MsgSnapshot, snapshotReq{Module: module}.encode())
+	if err != nil {
+		return nil, sigtable.Table{}, 0, err
+	}
+	if f.Type != MsgSnapshotData {
+		return nil, sigtable.Table{}, 0, fmt.Errorf("sigserve: snapshot answered with %#x", uint8(f.Type))
+	}
+	data, err := decodeSnapshotData(f.Payload)
+	if err != nil {
+		return nil, sigtable.Table{}, 0, err
+	}
+	snap, err := sigtable.SnapshotFromWire(data.Table, data.Recs)
+	if err != nil {
+		return nil, sigtable.Table{}, 0, err
+	}
+	c.observeEpoch(data.Epoch)
+	return snap, data.Table, data.Epoch, nil
+}
+
+// ---- lookup coalescing + batching ------------------------------------
+
+// lookupKey identifies a query for coalescing: all request fields.
+type lookupKey struct {
+	module          string
+	kind, wantFlags uint8
+	end, sig        uint64
+	target, pred    uint64
+}
+
+// pendingLookup is one in-flight coalesced query.
+type pendingLookup struct {
+	key  lookupKey
+	req  lookupReq
+	done chan struct{}
+	res  lookupRes
+	err  error
+}
+
+// lookup resolves one query remotely, coalescing with identical
+// in-flight queries and batching with concurrent distinct ones.
+func (c *Client) lookup(req lookupReq) (lookupRes, error) {
+	c.startOnce.Do(func() {
+		c.dispatchWG.Add(1)
+		go c.dispatch()
+	})
+	key := lookupKey{
+		module: req.Module, kind: req.Kind, wantFlags: req.WantFlags,
+		end: req.End, sig: req.Sig, target: req.Target, pred: req.Pred,
+	}
+	c.inflightMu.Lock()
+	if p := c.inflight[key]; p != nil {
+		c.inflightMu.Unlock()
+		if c.tel != nil && c.tel.coalesced != nil {
+			c.tel.coalesced.Inc()
+		}
+		<-p.done
+		return p.res, p.err
+	}
+	p := &pendingLookup{key: key, req: req, done: make(chan struct{})}
+	c.inflight[key] = p
+	c.inflightMu.Unlock()
+	select {
+	case c.lookupCh <- p:
+	case <-c.stopCh:
+		c.finish([]*pendingLookup{p}, nil, fmt.Errorf("sigserve: client closed: %w", sigtable.ErrUnavailable))
+	}
+	<-p.done
+	return p.res, p.err
+}
+
+// dispatch drains the lookup channel, packing concurrent queries into
+// batch frames of up to BatchMax.
+func (c *Client) dispatch() {
+	defer c.dispatchWG.Done()
+	for {
+		select {
+		case <-c.stopCh:
+			c.failQueued()
+			return
+		case p := <-c.lookupCh:
+			batch := []*pendingLookup{p}
+			for len(batch) < c.cfg.BatchMax {
+				select {
+				case q := <-c.lookupCh:
+					batch = append(batch, q)
+				default:
+					goto full
+				}
+			}
+		full:
+			c.doBatch(batch)
+		}
+	}
+}
+
+// failQueued drains any queued lookups after stop.
+func (c *Client) failQueued() {
+	err := fmt.Errorf("sigserve: client closed: %w", sigtable.ErrUnavailable)
+	for {
+		select {
+		case p := <-c.lookupCh:
+			c.finish([]*pendingLookup{p}, nil, err)
+		default:
+			return
+		}
+	}
+}
+
+// doBatch performs one batch round trip and distributes the results.
+func (c *Client) doBatch(batch []*pendingLookup) {
+	if c.tel != nil {
+		if c.tel.batches != nil {
+			c.tel.batches.Inc()
+		}
+		if c.tel.track != nil {
+			c.tel.track.Begin(c.tel.fetchName)
+			defer func() { c.tel.track.EndArg(c.tel.sizeName, uint64(len(batch))) }()
+		}
+	}
+	reqs := lookupBatch{Reqs: make([]lookupReq, len(batch))}
+	for i, p := range batch {
+		reqs.Reqs[i] = p.req
+	}
+	f, err := c.roundTrip(MsgLookupBatch, reqs.encode())
+	if err != nil {
+		c.finish(batch, nil, err)
+		return
+	}
+	if f.Type != MsgLookupBatchResult {
+		c.finish(batch, nil, fmt.Errorf("%w: batch answered with %#x", sigtable.ErrUnavailable, uint8(f.Type)))
+		return
+	}
+	res, err := decodeLookupBatchRes(f.Payload)
+	if err != nil || len(res.Res) != len(batch) {
+		if err == nil {
+			err = fmt.Errorf("batch returned %d results for %d requests", len(res.Res), len(batch))
+		}
+		c.finish(batch, nil, fmt.Errorf("%w: %v", sigtable.ErrUnavailable, err))
+		return
+	}
+	c.finish(batch, res.Res, nil)
+}
+
+// finish resolves a batch: res[i] per pending when err is nil, the
+// shared error otherwise. Pendings are unregistered before waiters wake
+// so later identical queries fetch fresh.
+func (c *Client) finish(batch []*pendingLookup, res []lookupRes, err error) {
+	c.inflightMu.Lock()
+	for _, p := range batch {
+		if c.inflight[p.key] == p {
+			delete(c.inflight, p.key)
+		}
+	}
+	c.inflightMu.Unlock()
+	for i, p := range batch {
+		if err != nil {
+			p.err = err
+		} else {
+			p.res = res[i]
+		}
+		close(p.done)
+	}
+}

@@ -1,0 +1,63 @@
+package sigserve
+
+import (
+	"fmt"
+
+	"rev/internal/sigtable"
+)
+
+func hexdump(b []byte) {
+	for off := 0; off < len(b); off += 16 {
+		end := off + 16
+		if end > len(b) {
+			end = len(b)
+		}
+		fmt.Printf("%04x ", off)
+		for i := off; i < end; i++ {
+			fmt.Printf(" %02x", b[i])
+		}
+		fmt.Println()
+	}
+}
+
+// Example_lookupRoundTrip renders the exact bytes of one lookup round
+// trip. docs/PROTOCOL.md quotes this output verbatim ("Worked example"),
+// so the spec's hexdump can never drift from the implementation: if the
+// encoding changes, this example fails.
+func Example_lookupRoundTrip() {
+	req := lookupReq{Module: "gcc", Kind: kindLookupAll, End: 0x40d8, Sig: 0x9e3779b9}
+	var e enc
+	req.append(&e)
+	reqFrame := AppendFrame(nil, Frame{Version: Version, Type: MsgLookup, ReqID: 7, Payload: e.b})
+	fmt.Println("request (MsgLookup, reqid 7):")
+	hexdump(reqFrame)
+
+	res := lookupRes{
+		Verdict:  verdictFound,
+		Touched:  []uint64{0x00300040, 0x00300358},
+		HasEntry: 1,
+		Entry: sigtable.Entry{
+			End:      0x40d8,
+			Hash:     0x9e3779b9,
+			Term:     2,
+			RetPreds: []uint64{0x4210},
+		},
+	}
+	var er enc
+	res.append(&er)
+	resFrame := AppendFrame(nil, Frame{Version: Version, Type: MsgLookupResult, ReqID: 7, Payload: er.b})
+	fmt.Println("response (MsgLookupResult, reqid 7):")
+	hexdump(resFrame)
+	// Output:
+	// request (MsgLookup, reqid 7):
+	// 0000  33 00 00 00 01 09 00 00 07 00 00 00 00 00 00 00
+	// 0010  03 00 67 63 63 01 d8 40 00 00 00 00 00 00 b9 79
+	// 0020  37 9e 00 00 00 00 00 00 00 00 00 00 00 00 00 00
+	// 0030  00 00 00 00 00 00 00
+	// response (MsgLookupResult, reqid 7):
+	// 0000  3d 00 00 00 01 0a 00 00 07 00 00 00 00 00 00 00
+	// 0010  00 02 00 40 00 30 00 00 00 00 00 58 03 30 00 00
+	// 0020  00 00 00 01 d8 40 00 00 00 00 00 00 b9 79 37 9e
+	// 0030  00 00 00 00 02 00 00 01 00 10 42 00 00 00 00 00
+	// 0040  00
+}

@@ -1,0 +1,645 @@
+// Package sigserve implements the remote signature-table attestation
+// service: a length-prefixed binary protocol (stdlib net + encoding/binary
+// only) through which a verification authority — the revserved daemon —
+// distributes encrypted-table snapshots and answers per-entry lookups for
+// any number of measurement processes.
+//
+// The package has two halves. The Server side loads built module tables
+// (per-tenant namespaces, hot snapshot swap on reload) and serves
+// concurrent connections. The client side is a resilient RemoteSource
+// implementing sigtable.Source: connection pooling, coalescing and
+// batching of concurrent misses, per-request deadlines, retries with
+// exponential backoff and jitter, a circuit breaker, and graceful
+// degradation to a locally cached snapshot whose staleness is surfaced as
+// a sigtable.SourceNote — never a silent pass, never a false violation.
+//
+// The wire format is specified exhaustively in docs/PROTOCOL.md; this
+// file is the only place frames are encoded or decoded, so the document
+// and the implementation cannot drift independently.
+package sigserve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"rev/internal/chash"
+	"rev/internal/isa"
+	"rev/internal/sigtable"
+)
+
+// Version is the only protocol version this implementation speaks.
+// Hello carries a [min,max] range so future revisions can negotiate.
+const Version = 0x01
+
+// Frame header geometry (docs/PROTOCOL.md "Frame layout").
+const (
+	// headerSize is the fixed number of bytes before the payload.
+	headerSize = 16
+	// lenFieldCovers is how many header bytes the length field itself
+	// covers (everything after the 4-byte length word).
+	lenFieldCovers = headerSize - 4
+	// MaxPayload bounds a frame's payload; larger frames are a protocol
+	// error (guards both sides against corrupt or hostile lengths).
+	MaxPayload = 16 << 20
+	// maxStringLen bounds any length-prefixed string on the wire.
+	maxStringLen = 1 << 10
+	// maxListLen bounds any u16-counted list on the wire.
+	maxListLen = 1 << 14
+)
+
+// MsgType identifies a frame's payload schema.
+type MsgType uint8
+
+// Wire message types. Requests flow client to server; each has exactly
+// one success response type, and any request may instead be answered
+// with MsgError.
+const (
+	// MsgHello opens a connection: version range + tenant name.
+	MsgHello MsgType = 0x01
+	// MsgWelcome accepts a Hello: chosen version + server table epoch.
+	MsgWelcome MsgType = 0x02
+	// MsgPing is a liveness probe.
+	MsgPing MsgType = 0x03
+	// MsgPong answers MsgPing.
+	MsgPong MsgType = 0x04
+	// MsgModules asks for the tenant's module catalogue.
+	MsgModules MsgType = 0x05
+	// MsgModuleList answers MsgModules with table metadata per module.
+	MsgModuleList MsgType = 0x06
+	// MsgSnapshot asks for one module's full decrypted record image.
+	MsgSnapshot MsgType = 0x07
+	// MsgSnapshotData answers MsgSnapshot: metadata, epoch, records.
+	MsgSnapshotData MsgType = 0x08
+	// MsgLookup asks for a single entry or edge verdict.
+	MsgLookup MsgType = 0x09
+	// MsgLookupResult answers MsgLookup.
+	MsgLookupResult MsgType = 0x0A
+	// MsgLookupBatch carries several lookup requests in one frame (the
+	// client's miss-coalescing path).
+	MsgLookupBatch MsgType = 0x0B
+	// MsgLookupBatchResult answers MsgLookupBatch, results in order.
+	MsgLookupBatchResult MsgType = 0x0C
+	// MsgError reports a request failure: code + detail string.
+	MsgError MsgType = 0x0D
+)
+
+// ErrCode classifies a MsgError payload.
+type ErrCode uint16
+
+// Wire error codes (docs/PROTOCOL.md "Error codes").
+const (
+	// CodeBadVersion: no overlap between the client's version range and
+	// the server's. Fatal for the connection.
+	CodeBadVersion ErrCode = 1
+	// CodeUnknownTenant: Hello named a tenant the server does not host.
+	CodeUnknownTenant ErrCode = 2
+	// CodeUnknownModule: request named a module absent from the tenant.
+	CodeUnknownModule ErrCode = 3
+	// CodeBadRequest: malformed payload or out-of-order message.
+	CodeBadRequest ErrCode = 4
+	// CodeShutdown: server is draining; retry against another replica.
+	CodeShutdown ErrCode = 5
+	// CodeInternal: unexpected server-side failure.
+	CodeInternal ErrCode = 6
+)
+
+// String renders the code as its wire-spec name (docs/PROTOCOL.md).
+func (c ErrCode) String() string {
+	switch c {
+	case CodeBadVersion:
+		return "bad-version"
+	case CodeUnknownTenant:
+		return "unknown-tenant"
+	case CodeUnknownModule:
+		return "unknown-module"
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeShutdown:
+		return "shutdown"
+	case CodeInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("code(%d)", uint16(c))
+}
+
+// Frame is one decoded wire frame: the fixed header fields plus the raw
+// payload bytes (schema per Type).
+type Frame struct {
+	Version uint8
+	Type    MsgType
+	Flags   uint16
+	ReqID   uint64
+	Payload []byte
+}
+
+// AppendFrame encodes a frame onto dst and returns the extended slice.
+func AppendFrame(dst []byte, f Frame) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(lenFieldCovers+len(f.Payload)))
+	dst = append(dst, f.Version, uint8(f.Type))
+	dst = binary.LittleEndian.AppendUint16(dst, f.Flags)
+	dst = binary.LittleEndian.AppendUint64(dst, f.ReqID)
+	return append(dst, f.Payload...)
+}
+
+// WriteFrame encodes and writes one frame.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxPayload {
+		return fmt.Errorf("sigserve: payload %d exceeds MaxPayload", len(f.Payload))
+	}
+	_, err := w.Write(AppendFrame(nil, f))
+	return err
+}
+
+// errFrame is the decode-failure sentinel: the byte stream violated the
+// framing rules (bad length, truncation, oversize). Connections that see
+// it must be torn down — there is no way to resynchronise.
+var errFrame = errors.New("sigserve: malformed frame")
+
+// ReadFrame reads exactly one frame. A short read mid-frame returns
+// io.ErrUnexpectedEOF; a clean EOF before any byte returns io.EOF; a
+// length field below the header minimum or above MaxPayload returns an
+// error wrapping errFrame.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n < lenFieldCovers || n > lenFieldCovers+MaxPayload {
+		return Frame{}, fmt.Errorf("%w: length %d", errFrame, n)
+	}
+	if _, err := io.ReadFull(r, hdr[4:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	f := Frame{
+		Version: hdr[4],
+		Type:    MsgType(hdr[5]),
+		Flags:   binary.LittleEndian.Uint16(hdr[6:8]),
+		ReqID:   binary.LittleEndian.Uint64(hdr[8:16]),
+	}
+	if pl := n - lenFieldCovers; pl > 0 {
+		f.Payload = make([]byte, pl)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Frame{}, err
+		}
+	}
+	return f, nil
+}
+
+// ---- payload primitives ----------------------------------------------
+
+// enc appends wire primitives to a byte slice.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+
+func (e *enc) str(s string) {
+	if len(s) > maxStringLen {
+		s = s[:maxStringLen]
+	}
+	e.u16(uint16(len(s)))
+	e.b = append(e.b, s...)
+}
+
+func (e *enc) addrs(a []uint64) {
+	e.u16(uint16(len(a)))
+	for _, v := range a {
+		e.u64(v)
+	}
+}
+
+// dec is a bounds-checked payload cursor. After the first violation every
+// read returns zero and err() reports the failure; decoders therefore
+// never panic on torn, short, or hostile payloads (the fuzz target's
+// contract).
+type dec struct {
+	b    []byte
+	off  int
+	fail error
+}
+
+func (d *dec) bad(what string) {
+	if d.fail == nil {
+		d.fail = fmt.Errorf("sigserve: truncated or malformed payload at %s (offset %d)", what, d.off)
+	}
+}
+
+func (d *dec) take(n int, what string) []byte {
+	if d.fail != nil || n < 0 || d.off+n > len(d.b) {
+		d.bad(what)
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+func (d *dec) u8(what string) uint8 {
+	if s := d.take(1, what); s != nil {
+		return s[0]
+	}
+	return 0
+}
+
+func (d *dec) u16(what string) uint16 {
+	if s := d.take(2, what); s != nil {
+		return binary.LittleEndian.Uint16(s)
+	}
+	return 0
+}
+
+func (d *dec) u32(what string) uint32 {
+	if s := d.take(4, what); s != nil {
+		return binary.LittleEndian.Uint32(s)
+	}
+	return 0
+}
+
+func (d *dec) u64(what string) uint64 {
+	if s := d.take(8, what); s != nil {
+		return binary.LittleEndian.Uint64(s)
+	}
+	return 0
+}
+
+func (d *dec) str(what string) string {
+	n := int(d.u16(what))
+	if n > maxStringLen {
+		d.bad(what)
+		return ""
+	}
+	return string(d.take(n, what))
+}
+
+func (d *dec) addrs(what string) []uint64 {
+	n := int(d.u16(what))
+	if n > maxListLen {
+		d.bad(what)
+		return nil
+	}
+	// Reject counts the remaining bytes cannot possibly satisfy before
+	// allocating (hostile-length guard).
+	if d.fail == nil && d.off+8*n > len(d.b) {
+		d.bad(what)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = d.u64(what)
+	}
+	if d.fail != nil {
+		return nil
+	}
+	return a
+}
+
+// done checks that the payload was consumed exactly: trailing bytes are
+// as much a framing violation as missing ones.
+func (d *dec) done() error {
+	if d.fail != nil {
+		return d.fail
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("sigserve: %d trailing bytes in payload", len(d.b)-d.off)
+	}
+	return nil
+}
+
+// ---- message payloads ------------------------------------------------
+
+// helloMsg is MsgHello's payload.
+type helloMsg struct {
+	MinVersion, MaxVersion uint8
+	Tenant                 string
+}
+
+func (m helloMsg) encode() []byte {
+	var e enc
+	e.u8(m.MinVersion)
+	e.u8(m.MaxVersion)
+	e.str(m.Tenant)
+	return e.b
+}
+
+func decodeHello(b []byte) (helloMsg, error) {
+	d := dec{b: b}
+	m := helloMsg{
+		MinVersion: d.u8("minVersion"),
+		MaxVersion: d.u8("maxVersion"),
+		Tenant:     d.str("tenant"),
+	}
+	return m, d.done()
+}
+
+// welcomeMsg is MsgWelcome's payload.
+type welcomeMsg struct {
+	Version uint8
+	// Epoch is the server's table-generation counter at accept time; a
+	// client comparing it against its cached snapshot epoch learns about
+	// staleness without a separate round trip.
+	Epoch uint64
+}
+
+func (m welcomeMsg) encode() []byte {
+	var e enc
+	e.u8(m.Version)
+	e.u64(m.Epoch)
+	return e.b
+}
+
+func decodeWelcome(b []byte) (welcomeMsg, error) {
+	d := dec{b: b}
+	m := welcomeMsg{Version: d.u8("version"), Epoch: d.u64("epoch")}
+	return m, d.done()
+}
+
+// errorMsg is MsgError's payload.
+type errorMsg struct {
+	Code   ErrCode
+	Detail string
+}
+
+func (m errorMsg) encode() []byte {
+	var e enc
+	e.u16(uint16(m.Code))
+	e.str(m.Detail)
+	return e.b
+}
+
+func decodeError(b []byte) (errorMsg, error) {
+	d := dec{b: b}
+	m := errorMsg{Code: ErrCode(d.u16("code")), Detail: d.str("detail")}
+	return m, d.done()
+}
+
+// tableMeta mirrors sigtable.Table on the wire.
+func encodeTableMeta(e *enc, t sigtable.Table) {
+	e.u8(uint8(t.Format))
+	e.str(t.Module)
+	e.u64(t.Base)
+	e.u64(t.Buckets)
+	e.u64(t.Records)
+	e.u64(t.Size)
+	e.u64(t.CodeBytes)
+	e.u64(t.BinaryBytes)
+}
+
+func decodeTableMeta(d *dec) sigtable.Table {
+	return sigtable.Table{
+		Format:      sigtable.Format(d.u8("format")),
+		Module:      d.str("module"),
+		Base:        d.u64("base"),
+		Buckets:     d.u64("buckets"),
+		Records:     d.u64("records"),
+		Size:        d.u64("size"),
+		CodeBytes:   d.u64("codeBytes"),
+		BinaryBytes: d.u64("binaryBytes"),
+	}
+}
+
+// moduleInfo is one catalogue line in MsgModuleList.
+type moduleInfo struct {
+	Table sigtable.Table
+	Epoch uint64
+}
+
+// moduleListMsg is MsgModuleList's payload.
+type moduleListMsg struct{ Modules []moduleInfo }
+
+func (m moduleListMsg) encode() []byte {
+	var e enc
+	e.u16(uint16(len(m.Modules)))
+	for _, mi := range m.Modules {
+		encodeTableMeta(&e, mi.Table)
+		e.u64(mi.Epoch)
+	}
+	return e.b
+}
+
+func decodeModuleList(b []byte) (moduleListMsg, error) {
+	d := dec{b: b}
+	n := int(d.u16("count"))
+	if n > maxListLen {
+		d.bad("count")
+		n = 0
+	}
+	var m moduleListMsg
+	for i := 0; i < n && d.fail == nil; i++ {
+		m.Modules = append(m.Modules, moduleInfo{
+			Table: decodeTableMeta(&d),
+			Epoch: d.u64("epoch"),
+		})
+	}
+	return m, d.done()
+}
+
+// snapshotReq is MsgSnapshot's payload.
+type snapshotReq struct{ Module string }
+
+func (m snapshotReq) encode() []byte {
+	var e enc
+	e.str(m.Module)
+	return e.b
+}
+
+func decodeSnapshotReq(b []byte) (snapshotReq, error) {
+	d := dec{b: b}
+	m := snapshotReq{Module: d.str("module")}
+	return m, d.done()
+}
+
+// snapshotData is MsgSnapshotData's payload: the module's table
+// metadata, its epoch, and the decrypted record image in
+// sigtable.AppendWire encoding.
+type snapshotData struct {
+	Table sigtable.Table
+	Epoch uint64
+	Recs  []byte
+}
+
+func (m snapshotData) encode() []byte {
+	var e enc
+	encodeTableMeta(&e, m.Table)
+	e.u64(m.Epoch)
+	e.u32(uint32(len(m.Recs)))
+	e.b = append(e.b, m.Recs...)
+	return e.b
+}
+
+func decodeSnapshotData(b []byte) (snapshotData, error) {
+	d := dec{b: b}
+	m := snapshotData{Table: decodeTableMeta(&d), Epoch: d.u64("epoch")}
+	n := int(d.u32("recsLen"))
+	if n > MaxPayload {
+		d.bad("recsLen")
+		n = 0
+	}
+	m.Recs = append([]byte(nil), d.take(n, "recs")...)
+	return m, d.done()
+}
+
+// Lookup kinds (lookupReq.Kind).
+const (
+	// kindLookup is a progressive walk (sigtable.Source.Lookup).
+	kindLookup = 0
+	// kindLookupAll is an exhaustive walk (LookupAll).
+	kindLookupAll = 1
+	// kindEdge is a CFI edge check (LookupEdge); End carries the source
+	// address and Target the destination.
+	kindEdge = 2
+)
+
+// Want flag bits (lookupReq.WantFlags).
+const (
+	wantTarget = 1 << 0
+	wantPred   = 1 << 1
+)
+
+// lookupReq is one lookup request, standalone (MsgLookup) or as a batch
+// element (MsgLookupBatch).
+type lookupReq struct {
+	Module    string
+	Kind      uint8
+	End       uint64 // block terminator (or edge source for kindEdge)
+	Sig       uint64 // run-time CHG signature (unused for kindEdge)
+	WantFlags uint8
+	Target    uint64 // Want.Target, or edge destination for kindEdge
+	Pred      uint64 // Want.Pred
+}
+
+func (m lookupReq) append(e *enc) {
+	e.str(m.Module)
+	e.u8(m.Kind)
+	e.u64(m.End)
+	e.u64(m.Sig)
+	e.u8(m.WantFlags)
+	e.u64(m.Target)
+	e.u64(m.Pred)
+}
+
+func decodeLookupReq(d *dec) lookupReq {
+	return lookupReq{
+		Module:    d.str("module"),
+		Kind:      d.u8("kind"),
+		End:       d.u64("end"),
+		Sig:       d.u64("sig"),
+		WantFlags: d.u8("wantFlags"),
+		Target:    d.u64("target"),
+		Pred:      d.u64("pred"),
+	}
+}
+
+// Lookup verdicts (lookupRes.Verdict).
+const (
+	// verdictFound: the entry/edge exists and is legal.
+	verdictFound = 0
+	// verdictMiss: the table definitively does not contain it — the
+	// sigtable.ErrMiss outcome, a real validation verdict.
+	verdictMiss = 1
+)
+
+// lookupRes is one lookup result. Touched is always present (misses walk
+// RAM too, and the timing model charges those reads identically on the
+// local and remote paths). The entry is present only for found
+// block lookups, flagged by HasEntry.
+type lookupRes struct {
+	Verdict  uint8
+	Touched  []uint64
+	HasEntry uint8
+	Entry    sigtable.Entry
+}
+
+func (m lookupRes) append(e *enc) {
+	e.u8(m.Verdict)
+	e.addrs(m.Touched)
+	e.u8(m.HasEntry)
+	if m.HasEntry != 0 {
+		e.u64(m.Entry.End)
+		e.u64(uint64(m.Entry.Hash))
+		e.u8(uint8(m.Entry.Term))
+		e.addrs(m.Entry.Targets)
+		e.addrs(m.Entry.RetPreds)
+	}
+}
+
+func decodeLookupRes(d *dec) lookupRes {
+	m := lookupRes{
+		Verdict:  d.u8("verdict"),
+		Touched:  d.addrs("touched"),
+		HasEntry: d.u8("hasEntry"),
+	}
+	if m.HasEntry != 0 {
+		m.Entry.End = d.u64("entry.end")
+		m.Entry.Hash = chash.Sig(d.u64("entry.hash"))
+		m.Entry.Term = isa.Kind(d.u8("entry.term"))
+		m.Entry.Targets = d.addrs("entry.targets")
+		m.Entry.RetPreds = d.addrs("entry.retPreds")
+	}
+	return m
+}
+
+// lookupBatch is MsgLookupBatch's payload.
+type lookupBatch struct{ Reqs []lookupReq }
+
+func (m lookupBatch) encode() []byte {
+	var e enc
+	e.u16(uint16(len(m.Reqs)))
+	for _, r := range m.Reqs {
+		r.append(&e)
+	}
+	return e.b
+}
+
+func decodeLookupBatch(b []byte) (lookupBatch, error) {
+	d := dec{b: b}
+	n := int(d.u16("count"))
+	if n > maxListLen {
+		d.bad("count")
+		n = 0
+	}
+	var m lookupBatch
+	for i := 0; i < n && d.fail == nil; i++ {
+		m.Reqs = append(m.Reqs, decodeLookupReq(&d))
+	}
+	return m, d.done()
+}
+
+// lookupBatchRes is MsgLookupBatchResult's payload.
+type lookupBatchRes struct{ Res []lookupRes }
+
+func (m lookupBatchRes) encode() []byte {
+	var e enc
+	e.u16(uint16(len(m.Res)))
+	for _, r := range m.Res {
+		r.append(&e)
+	}
+	return e.b
+}
+
+func decodeLookupBatchRes(b []byte) (lookupBatchRes, error) {
+	d := dec{b: b}
+	n := int(d.u16("count"))
+	if n > maxListLen {
+		d.bad("count")
+		n = 0
+	}
+	var m lookupBatchRes
+	for i := 0; i < n && d.fail == nil; i++ {
+		m.Res = append(m.Res, decodeLookupRes(&d))
+	}
+	return m, d.done()
+}

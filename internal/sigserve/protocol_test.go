@@ -1,0 +1,132 @@
+package sigserve
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"rev/internal/sigtable"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Version: Version, Type: MsgPing, ReqID: 1},
+		{Version: Version, Type: MsgHello, Flags: 0xBEEF, ReqID: 1 << 40,
+			Payload: helloMsg{MinVersion: 1, MaxVersion: 3, Tenant: "team-a"}.encode()},
+		{Version: Version, Type: MsgError, ReqID: 7,
+			Payload: errorMsg{Code: CodeUnknownModule, Detail: "gcc"}.encode()},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("empty stream: want io.EOF, got %v", err)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	full := AppendFrame(nil, Frame{Version: Version, Type: MsgLookup, ReqID: 9, Payload: []byte("abcdefgh")})
+	// Every proper prefix must fail without panicking, with EOF only for
+	// the empty prefix.
+	for cut := 0; cut < len(full); cut++ {
+		_, err := ReadFrame(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", cut, len(full))
+		}
+		if cut == 0 && err != io.EOF {
+			t.Fatalf("empty input: want io.EOF, got %v", err)
+		}
+		if cut > 0 && cut < 4 && err != io.ErrUnexpectedEOF {
+			t.Fatalf("torn length field: want ErrUnexpectedEOF, got %v", err)
+		}
+	}
+}
+
+func TestFrameHostileLength(t *testing.T) {
+	// A length below the header minimum and one above MaxPayload must both
+	// be rejected before any allocation.
+	for _, n := range []uint32{0, 11, lenFieldCovers + MaxPayload + 1, 1 << 31} {
+		raw := []byte{byte(n), byte(n >> 8), byte(n >> 16), byte(n >> 24)}
+		raw = append(raw, make([]byte, 64)...)
+		if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+			t.Fatalf("length %d accepted", n)
+		}
+	}
+}
+
+func TestLookupPayloadRoundTrip(t *testing.T) {
+	batch := lookupBatch{Reqs: []lookupReq{
+		{Module: "gcc", Kind: kindLookup, End: 0x1000, Sig: 0xDEADBEEF, WantFlags: wantTarget | wantPred, Target: 0x2000, Pred: 0x3000},
+		{Module: "mcf", Kind: kindEdge, End: 0x4000, Target: 0x5000},
+	}}
+	back, err := decodeLookupBatch(batch.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, batch) {
+		t.Fatalf("batch round trip: got %+v want %+v", back, batch)
+	}
+
+	res := lookupBatchRes{Res: []lookupRes{
+		{Verdict: verdictFound, Touched: []uint64{1, 2, 3}, HasEntry: 1,
+			Entry: sigtable.Entry{End: 0x1000, Hash: 42, Term: 3, Targets: []uint64{7}, RetPreds: []uint64{8, 9}}},
+		{Verdict: verdictMiss, Touched: []uint64{4}},
+	}}
+	backRes, err := decodeLookupBatchRes(res.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(backRes, res) {
+		t.Fatalf("result round trip: got %+v want %+v", backRes, res)
+	}
+}
+
+// FuzzReadFrame checks that no byte stream — torn, short, hostile
+// lengths, or random payload bytes fed to every payload decoder — can
+// panic the decode path, and that any frame that does decode re-encodes
+// to an identical frame.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(AppendFrame(nil, Frame{Version: Version, Type: MsgPing, ReqID: 7}))
+	f.Add(AppendFrame(nil, Frame{Version: Version, Type: MsgHello, ReqID: 1,
+		Payload: helloMsg{MinVersion: 1, MaxVersion: 1, Tenant: "default"}.encode()}))
+	f.Add(AppendFrame(nil, Frame{Version: Version, Type: MsgLookupBatch, ReqID: 2,
+		Payload: lookupBatch{Reqs: []lookupReq{{Module: "gcc", End: 8}}}.encode()}))
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Add([]byte{12, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err == nil {
+			re := AppendFrame(nil, fr)
+			fr2, err2 := ReadFrame(bytes.NewReader(re))
+			if err2 != nil || !reflect.DeepEqual(fr, fr2) {
+				t.Fatalf("re-encode diverged: %+v vs %+v (%v)", fr, fr2, err2)
+			}
+		}
+		// Every payload decoder must survive arbitrary bytes.
+		decodeHello(data)
+		decodeWelcome(data)
+		decodeError(data)
+		decodeModuleList(data)
+		decodeSnapshotReq(data)
+		decodeSnapshotData(data)
+		decodeLookupBatch(data)
+		decodeLookupBatchRes(data)
+		d := dec{b: data}
+		decodeLookupReq(&d)
+		d2 := dec{b: data}
+		decodeLookupRes(&d2)
+	})
+}

@@ -1,0 +1,174 @@
+package sigserve
+
+import (
+	"fmt"
+	"sync"
+
+	"rev/internal/chash"
+	"rev/internal/sigtable"
+)
+
+// RemoteSource is a sigtable.Source backed by a revserved endpoint. In
+// snapshot mode (the default) it fetches the module's full decrypted
+// table once at open and answers every lookup locally — one round trip
+// per run, verdicts bit-identical to core.Prepare's in-process path. In
+// lookup mode it forwards each query over the wire (coalesced and
+// batched by the Client) and falls back to the snapshot fetched at open
+// when the transport fails: the verdict is still real table content, and
+// the degradation is reported through HealthNote as a
+// sigtable.SourceNote carried on core.Result.SourceNotes — never a
+// silent pass, and a transport fault is never turned into a violation.
+//
+// Safe for concurrent use by any number of engines, like Snapshot.
+type RemoteSource struct {
+	c      *Client
+	module string
+	lookup bool // lookup mode (false = snapshot mode)
+
+	// cache is the snapshot fetched at open: the lookup source in
+	// snapshot mode, the degradation fallback in lookup mode.
+	cache      *sigtable.Snapshot
+	table      sigtable.Table
+	cacheEpoch uint64
+
+	mu       sync.Mutex
+	degraded bool
+	detail   string
+}
+
+// Source opens the named module on the client's tenant: fetches table
+// metadata plus the snapshot cache, and returns a RemoteSource in the
+// client's configured mode.
+func (c *Client) Source(module string) (*RemoteSource, error) {
+	snap, tbl, epoch, err := c.FetchSnapshot(module)
+	if err != nil {
+		return nil, fmt.Errorf("sigserve: opening %s: %w", module, err)
+	}
+	return &RemoteSource{
+		c:          c,
+		module:     module,
+		lookup:     c.cfg.LookupMode,
+		cache:      snap,
+		table:      tbl,
+		cacheEpoch: epoch,
+	}, nil
+}
+
+// Module resolves a module to its table metadata and lookup source —
+// the shape core.TableProvider wants, so a *Client plugs straight into
+// core.PrepareRemote.
+func (c *Client) Module(name string) (*sigtable.Table, sigtable.Source, error) {
+	src, err := c.Source(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl := src.Table()
+	return &tbl, src, nil
+}
+
+// Table returns the module's table metadata (base as assigned by the
+// serving side).
+func (s *RemoteSource) Table() sigtable.Table { return s.table }
+
+// Epoch returns the publish generation of the cached snapshot.
+func (s *RemoteSource) Epoch() uint64 { return s.cacheEpoch }
+
+// HealthNote implements sigtable.HealthReporter: it returns a note only
+// after at least one lookup was served from the local cache because the
+// transport failed. Healthy sources return ok=false, which keeps
+// Result.SourceNotes nil and the local/remote byte-identity intact.
+func (s *RemoteSource) HealthNote() (sigtable.SourceNote, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.degraded {
+		return sigtable.SourceNote{}, false
+	}
+	return sigtable.SourceNote{
+		Module:   s.module,
+		Epoch:    s.cacheEpoch,
+		Degraded: true,
+		Stale:    s.c.ServerEpoch() > s.cacheEpoch,
+		Detail:   s.detail,
+	}, true
+}
+
+// degrade records that a lookup fell back to the cache.
+func (s *RemoteSource) degrade(err error) {
+	s.mu.Lock()
+	if !s.degraded {
+		s.degraded = true
+		s.detail = err.Error()
+	}
+	s.mu.Unlock()
+	if s.c.tel != nil && s.c.tel.degraded != nil {
+		s.c.tel.degraded.Inc()
+	}
+}
+
+// remote performs one wire lookup, degrading to the cache on transport
+// failure. fall runs the identical query against the cached snapshot.
+func (s *RemoteSource) remote(req lookupReq, fall func() (sigtable.Entry, []uint64, error)) (sigtable.Entry, []uint64, error) {
+	res, err := s.c.lookup(req)
+	if err != nil {
+		if _, isServer := errAsServer(err); isServer {
+			// The server answered and rejected the request: a real
+			// error, not a transport fault. No verdict; surface it.
+			return sigtable.Entry{}, nil, err
+		}
+		s.degrade(err)
+		return fall()
+	}
+	if res.Verdict == verdictMiss {
+		return sigtable.Entry{}, res.Touched, sigtable.ErrMiss
+	}
+	return res.Entry, res.Touched, nil
+}
+
+// Lookup implements sigtable.Source.
+func (s *RemoteSource) Lookup(end uint64, sig chash.Sig, want sigtable.Want) (sigtable.Entry, []uint64, error) {
+	if !s.lookup {
+		return s.cache.Lookup(end, sig, want)
+	}
+	req := lookupReq{Module: s.module, Kind: kindLookup, End: end, Sig: uint64(sig)}
+	if want.CheckTarget {
+		req.WantFlags |= wantTarget
+		req.Target = want.Target
+	}
+	if want.CheckPred {
+		req.WantFlags |= wantPred
+		req.Pred = want.Pred
+	}
+	return s.remote(req, func() (sigtable.Entry, []uint64, error) {
+		return s.cache.Lookup(end, sig, want)
+	})
+}
+
+// LookupAll implements sigtable.Source.
+func (s *RemoteSource) LookupAll(end uint64, sig chash.Sig) (sigtable.Entry, []uint64, error) {
+	if !s.lookup {
+		return s.cache.LookupAll(end, sig)
+	}
+	req := lookupReq{Module: s.module, Kind: kindLookupAll, End: end, Sig: uint64(sig)}
+	return s.remote(req, func() (sigtable.Entry, []uint64, error) {
+		return s.cache.LookupAll(end, sig)
+	})
+}
+
+// LookupEdge implements sigtable.Source.
+func (s *RemoteSource) LookupEdge(src, dst uint64) ([]uint64, error) {
+	if !s.lookup {
+		return s.cache.LookupEdge(src, dst)
+	}
+	req := lookupReq{Module: s.module, Kind: kindEdge, End: src, Target: dst}
+	_, touched, err := s.remote(req, func() (sigtable.Entry, []uint64, error) {
+		t, e := s.cache.LookupEdge(src, dst)
+		return sigtable.Entry{}, t, e
+	})
+	return touched, err
+}
+
+// Interface conformance (compile-time).
+var (
+	_ sigtable.Source         = (*RemoteSource)(nil)
+	_ sigtable.HealthReporter = (*RemoteSource)(nil)
+)

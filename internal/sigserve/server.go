@@ -1,0 +1,436 @@
+package sigserve
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rev/internal/chash"
+	"rev/internal/sigtable"
+	"rev/internal/telemetry"
+)
+
+// publishedTable is one immutable published generation of a module's
+// table: metadata, the shared decrypted snapshot, its wire encoding
+// (rendered once at publish time so snapshot fetches are a copy-free
+// write), and the generation counter. Hot swap replaces the whole value
+// through an atomic pointer; in-flight requests keep serving the
+// generation they loaded.
+type publishedTable struct {
+	table sigtable.Table
+	snap  *sigtable.Snapshot
+	wire  []byte
+	epoch uint64
+}
+
+// tenant is one namespace of modules. Module sets are fixed after the
+// first Publish of each name, but each module's table may be hot-swapped
+// at any time.
+type tenant struct {
+	mu      sync.RWMutex
+	modules map[string]*atomic.Pointer[publishedTable]
+}
+
+func (t *tenant) slot(module string) *atomic.Pointer[publishedTable] {
+	t.mu.RLock()
+	p := t.modules[module]
+	t.mu.RUnlock()
+	return p
+}
+
+// Server hosts signature tables for any number of tenants and serves the
+// wire protocol over a net.Listener. All methods are safe for concurrent
+// use; Publish may be called while connections are live (hot swap).
+type Server struct {
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+	epoch   atomic.Uint64
+
+	// Delay, when positive, is slept before serving each request — the
+	// benchmark harness's injected service latency (loopback ladder in
+	// EXPERIMENTS.md). Read atomically; adjustable while serving.
+	delay atomic.Int64
+
+	// faultAfter, when armed (>= 0), counts down per request; when it
+	// reaches zero the connection is dropped mid-request without a
+	// response. Test hook for the client's degradation path.
+	faultAfter atomic.Int64
+
+	tel *serverTelemetry
+}
+
+// serverTelemetry bundles the server-side metric handles (nil when
+// telemetry is disabled; every site nil-checks).
+type serverTelemetry struct {
+	requests  *telemetry.Counter
+	errors    *telemetry.Counter
+	lookups   *telemetry.ShardedCounter
+	snapshots *telemetry.Counter
+	latency   *telemetry.Histogram
+	conns     *telemetry.Gauge
+	swaps     *telemetry.Counter
+}
+
+// NewServer returns an empty server. Attach telemetry with
+// Server.Instrument, publish tables with Publish, then Serve.
+func NewServer() *Server {
+	s := &Server{
+		tenants: make(map[string]*tenant),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	s.faultAfter.Store(-1)
+	return s
+}
+
+// Instrument registers the server's metrics in the Set's registry
+// (docs/OBSERVABILITY.md "sigserve metrics"). Safe to skip: an
+// uninstrumented server emits nothing.
+func (s *Server) Instrument(set *telemetry.Set) {
+	reg := set.Registry()
+	if reg == nil {
+		return
+	}
+	s.tel = &serverTelemetry{
+		requests:  reg.Counter("sigserve_server_requests_total", "wire requests served"),
+		errors:    reg.Counter("sigserve_server_errors_total", "requests answered with MsgError"),
+		lookups:   reg.Sharded("sigserve_server_lookups_total", "lookup requests served, sharded by tenant", 8),
+		snapshots: reg.Counter("sigserve_server_snapshots_total", "full snapshot fetches served"),
+		latency:   reg.Histogram("sigserve_server_request_ns", "request service time, ns"),
+		conns:     reg.Gauge("sigserve_server_connections", "live client connections"),
+		swaps:     reg.Counter("sigserve_server_hot_swaps_total", "table generations published over live serving"),
+	}
+}
+
+// SetDelay installs an artificial per-request service delay (0 disables).
+func (s *Server) SetDelay(d time.Duration) { s.delay.Store(int64(d)) }
+
+// FaultAfter arms the fault injector: after n more requests the serving
+// connection is dropped without a response, and every later request on
+// any connection is dropped too (the "server died mid-run" scenario).
+// n < 0 disarms.
+func (s *Server) FaultAfter(n int64) { s.faultAfter.Store(n) }
+
+// Publish installs (or hot-swaps) a module table under a tenant. The
+// snapshot must be immutable, as sigtable.Snapshot guarantees; the
+// server renders its wire image once here. Returns the generation number
+// assigned to this publish.
+func (s *Server) Publish(tenantName, module string, tbl sigtable.Table, snap *sigtable.Snapshot) uint64 {
+	pub := &publishedTable{
+		table: tbl,
+		snap:  snap,
+		wire:  snap.AppendWire(nil),
+		epoch: s.epoch.Add(1),
+	}
+	s.mu.Lock()
+	t := s.tenants[tenantName]
+	if t == nil {
+		t = &tenant{modules: make(map[string]*atomic.Pointer[publishedTable])}
+		s.tenants[tenantName] = t
+	}
+	s.mu.Unlock()
+	t.mu.Lock()
+	slot := t.modules[module]
+	swap := slot != nil
+	if slot == nil {
+		slot = new(atomic.Pointer[publishedTable])
+		t.modules[module] = slot
+	}
+	t.mu.Unlock()
+	slot.Store(pub)
+	if swap && s.tel != nil {
+		s.tel.swaps.Inc()
+	}
+	return pub.epoch
+}
+
+// Serve accepts connections on ln until Close. It blocks; run it on its
+// own goroutine. Each connection is served concurrently.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("sigserve: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops accepting, tears down live connections, and waits for
+// connection goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+// serveConn runs one connection: Hello/Welcome handshake, then a
+// request/response loop until EOF or protocol error.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.dropConn(conn)
+	if s.tel != nil {
+		s.tel.conns.Add(1)
+		defer s.tel.conns.Add(-1)
+	}
+
+	// Handshake.
+	f, err := ReadFrame(conn)
+	if err != nil || f.Type != MsgHello {
+		return
+	}
+	hello, err := decodeHello(f.Payload)
+	if err != nil {
+		s.reply(conn, f.ReqID, MsgError, errorMsg{Code: CodeBadRequest, Detail: err.Error()}.encode())
+		return
+	}
+	if hello.MinVersion > Version || hello.MaxVersion < Version {
+		s.reply(conn, f.ReqID, MsgError, errorMsg{
+			Code:   CodeBadVersion,
+			Detail: fmt.Sprintf("server speaks version %d, client offered [%d,%d]", Version, hello.MinVersion, hello.MaxVersion),
+		}.encode())
+		return
+	}
+	s.mu.Lock()
+	t := s.tenants[hello.Tenant]
+	s.mu.Unlock()
+	if t == nil {
+		s.reply(conn, f.ReqID, MsgError, errorMsg{Code: CodeUnknownTenant, Detail: hello.Tenant}.encode())
+		return
+	}
+	if !s.reply(conn, f.ReqID, MsgWelcome, welcomeMsg{Version: Version, Epoch: s.epoch.Load()}.encode()) {
+		return
+	}
+
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		if !s.handle(conn, t, hello.Tenant, f) {
+			return
+		}
+	}
+}
+
+// handle serves one post-handshake request; false tears the connection
+// down.
+func (s *Server) handle(conn net.Conn, t *tenant, tenantName string, f Frame) bool {
+	start := time.Now()
+	if d := s.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	if fa := s.faultAfter.Load(); fa >= 0 {
+		if s.faultAfter.Add(-1) < 0 {
+			s.faultAfter.Store(0) // keep faulting every later request
+			return false          // drop mid-request, no response
+		}
+	}
+	if s.tel != nil {
+		s.tel.requests.Inc()
+		defer func() { s.tel.latency.Observe(uint64(time.Since(start))) }()
+	}
+
+	switch f.Type {
+	case MsgPing:
+		return s.reply(conn, f.ReqID, MsgPong, nil)
+
+	case MsgModules:
+		var list moduleListMsg
+		t.mu.RLock()
+		for _, slot := range t.modules {
+			if pub := slot.Load(); pub != nil {
+				list.Modules = append(list.Modules, moduleInfo{Table: pub.table, Epoch: pub.epoch})
+			}
+		}
+		t.mu.RUnlock()
+		return s.reply(conn, f.ReqID, MsgModuleList, list.encode())
+
+	case MsgSnapshot:
+		req, err := decodeSnapshotReq(f.Payload)
+		if err != nil {
+			return s.sendErr(conn, f.ReqID, CodeBadRequest, err.Error())
+		}
+		slot := t.slot(req.Module)
+		if slot == nil {
+			return s.sendErr(conn, f.ReqID, CodeUnknownModule, req.Module)
+		}
+		pub := slot.Load()
+		if s.tel != nil {
+			s.tel.snapshots.Inc()
+		}
+		return s.reply(conn, f.ReqID, MsgSnapshotData,
+			snapshotData{Table: pub.table, Epoch: pub.epoch, Recs: pub.wire}.encode())
+
+	case MsgLookup:
+		d := dec{b: f.Payload}
+		req := decodeLookupReq(&d)
+		if err := d.done(); err != nil {
+			return s.sendErr(conn, f.ReqID, CodeBadRequest, err.Error())
+		}
+		res, code, detail := s.lookup(t, tenantName, req)
+		if code != 0 {
+			return s.sendErr(conn, f.ReqID, code, detail)
+		}
+		var e enc
+		res.append(&e)
+		return s.reply(conn, f.ReqID, MsgLookupResult, e.b)
+
+	case MsgLookupBatch:
+		batch, err := decodeLookupBatch(f.Payload)
+		if err != nil {
+			return s.sendErr(conn, f.ReqID, CodeBadRequest, err.Error())
+		}
+		out := lookupBatchRes{Res: make([]lookupRes, 0, len(batch.Reqs))}
+		for _, req := range batch.Reqs {
+			res, code, detail := s.lookup(t, tenantName, req)
+			if code != 0 {
+				return s.sendErr(conn, f.ReqID, code, detail)
+			}
+			out.Res = append(out.Res, res)
+		}
+		return s.reply(conn, f.ReqID, MsgLookupBatchResult, out.encode())
+
+	default:
+		return s.sendErr(conn, f.ReqID, CodeBadRequest, fmt.Sprintf("unexpected message type %#x", uint8(f.Type)))
+	}
+}
+
+// lookup answers one lookupReq from the tenant's current table
+// generation. A verdict (found or miss) returns code 0; a non-zero code
+// means the request itself failed.
+func (s *Server) lookup(t *tenant, tenantName string, req lookupReq) (lookupRes, ErrCode, string) {
+	slot := t.slot(req.Module)
+	if slot == nil {
+		return lookupRes{}, CodeUnknownModule, req.Module
+	}
+	snap := slot.Load().snap
+	if s.tel != nil {
+		s.tel.lookups.Cell(shardFor(tenantName, s.tel.lookups.Shards())).Inc()
+	}
+	var (
+		entry   sigtable.Entry
+		touched []uint64
+		err     error
+		has     bool
+	)
+	switch req.Kind {
+	case kindLookup:
+		var want sigtable.Want
+		if req.WantFlags&wantTarget != 0 {
+			want.CheckTarget, want.Target = true, req.Target
+		}
+		if req.WantFlags&wantPred != 0 {
+			want.CheckPred, want.Pred = true, req.Pred
+		}
+		entry, touched, err = snap.Lookup(req.End, chash.Sig(req.Sig), want)
+		has = err == nil
+	case kindLookupAll:
+		entry, touched, err = snap.LookupAll(req.End, chash.Sig(req.Sig))
+		has = err == nil
+	case kindEdge:
+		touched, err = snap.LookupEdge(req.End, req.Target)
+	default:
+		return lookupRes{}, CodeBadRequest, fmt.Sprintf("unknown lookup kind %d", req.Kind)
+	}
+	res := lookupRes{Touched: touched}
+	if err != nil {
+		if !sigtable.IsMiss(err) {
+			return lookupRes{}, CodeInternal, err.Error()
+		}
+		res.Verdict = verdictMiss
+	}
+	if has {
+		res.HasEntry = 1
+		res.Entry = entry
+	}
+	return res, 0, ""
+}
+
+// reply writes one response frame; false tears the connection down.
+func (s *Server) reply(conn net.Conn, reqID uint64, typ MsgType, payload []byte) bool {
+	if typ == MsgError && s.tel != nil {
+		s.tel.errors.Inc()
+	}
+	return WriteFrame(conn, Frame{Version: Version, Type: typ, ReqID: reqID, Payload: payload}) == nil
+}
+
+func (s *Server) sendErr(conn net.Conn, reqID uint64, code ErrCode, detail string) bool {
+	return s.reply(conn, reqID, MsgError, errorMsg{Code: code, Detail: detail}.encode())
+}
+
+// shardFor maps a tenant name onto a sharded-counter cell (FNV-1a).
+func shardFor(tenant string, shards int) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(tenant); i++ {
+		h = (h ^ uint64(tenant[i])) * 1099511628211
+	}
+	return int(h % uint64(shards))
+}

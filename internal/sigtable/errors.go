@@ -1,0 +1,69 @@
+package sigtable
+
+import "errors"
+
+// Lookup outcome sentinels.
+//
+// Before these existed, every Source method folded "the entry is not in
+// the table" and "the source could not answer" into one boolean, which
+// made a dead network connection indistinguishable from tampered code.
+// With a remote signature service in the picture that distinction is the
+// difference between raising a hash-mismatch violation (a definitive
+// verdict from table content) and aborting the run with a transport
+// error (no verdict at all — never a silent pass, never a false alarm).
+var (
+	// ErrMiss is the definitive not-found outcome: the source walked the
+	// bucket, collision chain, and spill chain to the end and no record
+	// matches. Callers treat ErrMiss as a validation verdict — for the
+	// engine it means tampered code or control flow through a block the
+	// static analysis never saw, and it raises a Violation. Test with
+	// errors.Is (remote sources wrap it with endpoint detail).
+	ErrMiss = errors.New("sigtable: no matching entry")
+
+	// ErrUnavailable is the no-verdict outcome: the source could not
+	// consult the table at all (remote endpoint unreachable, circuit
+	// breaker open with no cached snapshot, request deadline expired on
+	// every retry). Callers must NOT treat it as either a pass or a
+	// violation; the engine surfaces it as a run error distinct from any
+	// Violation. Test with errors.Is.
+	ErrUnavailable = errors.New("sigtable: signature source unavailable")
+)
+
+// IsMiss reports whether err is the definitive entry-not-found outcome
+// (as opposed to a transport failure). It is sugar for
+// errors.Is(err, ErrMiss).
+func IsMiss(err error) bool { return errors.Is(err, ErrMiss) }
+
+// SourceNote is a per-module annotation describing a non-fatal condition
+// of the signature source that served a run — today, a remote source
+// that degraded to its locally cached snapshot after transport failures.
+// Notes ride on core.Result so a degraded run is never a silent pass:
+// the verdict is still derived from real table content, but the consumer
+// can see which epoch of the table produced it.
+type SourceNote struct {
+	// Module names the module whose source degraded.
+	Module string
+	// Epoch is the table epoch of the snapshot that served lookups (the
+	// server's hot-swap generation counter at snapshot fetch time).
+	Epoch uint64
+	// Degraded reports that at least one lookup was served from the local
+	// cache because the remote endpoint could not answer.
+	Degraded bool
+	// Stale reports that the server was observed at a newer epoch than
+	// the cached snapshot before transport was lost — the cache is known
+	// to be behind, not merely unverifiable.
+	Stale bool
+	// Detail is a human-readable reason (last transport error, breaker
+	// state).
+	Detail string
+}
+
+// HealthReporter is an optional interface a Source may implement to
+// surface a post-run health annotation. The core engine queries every
+// registered source for it when assembling a Result; sources that never
+// degrade (Reader, Snapshot) simply don't implement it.
+type HealthReporter interface {
+	// HealthNote returns the source's annotation and whether there is
+	// anything to report.
+	HealthNote() (SourceNote, bool)
+}

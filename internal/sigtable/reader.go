@@ -99,29 +99,31 @@ type Want struct {
 
 // Lookup finds the entry for a block identified by its terminator address
 // and run-time-computed signature. It returns the decoded entry, the list
-// of RAM addresses touched during the walk (for timing), and whether a
-// matching entry exists. A miss means either tampered code (hash mismatch)
+// of RAM addresses touched during the walk (for timing), and an error:
+// nil when a matching entry exists, ErrMiss when the table definitively
+// does not contain one. A miss means either tampered code (hash mismatch)
 // or control flow through a block unknown to the static analysis — both
-// validation failures.
+// validation failures (see errors.go for the miss-vs-unavailable
+// contract remote sources add).
 //
 // The spill chain is walked only as far as the Want requires: with no
 // checks requested only the inline payload is decoded; otherwise the walk
 // stops at the record that satisfies the outstanding checks (or at the end
 // of the chain, in which case the caller's membership test fails and the
 // validation is a violation).
-func (r *Reader) Lookup(end uint64, sig chash.Sig, want Want) (Entry, []uint64, bool) {
+func (r *Reader) Lookup(end uint64, sig chash.Sig, want Want) (Entry, []uint64, error) {
 	return lookup(r, end, sig, want, false)
 }
 
 // LookupAll is Lookup with an exhaustive spill walk, returning the entry's
 // complete target and predecessor lists (used by offline tools and tests;
 // the hardware path uses Lookup).
-func (r *Reader) LookupAll(end uint64, sig chash.Sig) (Entry, []uint64, bool) {
+func (r *Reader) LookupAll(end uint64, sig chash.Sig) (Entry, []uint64, error) {
 	return lookup(r, end, sig, Want{}, true)
 }
 
 // lookup is the shared bucket/collision-chain walk over any recordSource.
-func lookup(src recordSource, end uint64, sig chash.Sig, want Want, full bool) (Entry, []uint64, bool) {
+func lookup(src recordSource, end uint64, sig chash.Sig, want Want, full bool) (Entry, []uint64, error) {
 	var touched []uint64
 	t := src.geom()
 	if t.Format == CFIOnly {
@@ -133,11 +135,11 @@ func lookup(src recordSource, end uint64, sig chash.Sig, want Want, full bool) (
 		typ := w[0] >> recTypeShift & 0xf
 		if typ == recBlock && w[0]&tagMask == tagOf(end) && chash.Sig(w[1]) == sig {
 			e := decodeEntry(src, end, w, &touched, want, full)
-			return e, touched, true
+			return e, touched, nil
 		}
 		next := uint64(w[5])
 		if typ == recInvalid || next == 0 {
-			return Entry{}, touched, false
+			return Entry{}, touched, ErrMiss
 		}
 		idx = next
 	}
@@ -200,14 +202,14 @@ func decodeEntry(src recordSource, end uint64, w [RecordSize / 4]uint32, touched
 }
 
 // LookupEdge validates a computed control-flow edge src->dst against a
-// CFI-only table. It returns the RAM addresses touched and whether the edge
-// is legal.
-func (r *Reader) LookupEdge(src, dst uint64) ([]uint64, bool) {
+// CFI-only table. It returns the RAM addresses touched and a nil error
+// when the edge is legal, ErrMiss when it definitively is not.
+func (r *Reader) LookupEdge(src, dst uint64) ([]uint64, error) {
 	return lookupEdge(r, src, dst)
 }
 
 // lookupEdge is the shared CFI-only edge walk over any recordSource.
-func lookupEdge(rs recordSource, src, dst uint64) ([]uint64, bool) {
+func lookupEdge(rs recordSource, src, dst uint64) ([]uint64, error) {
 	t := rs.geom()
 	if t.Format != CFIOnly {
 		panic("sigtable: LookupEdge on hashed table; use Lookup")
@@ -217,14 +219,14 @@ func lookupEdge(rs recordSource, src, dst uint64) ([]uint64, bool) {
 	for {
 		w := rs.cfiRecord(idx, &touched)
 		if w == 0 {
-			return touched, false
+			return touched, ErrMiss
 		}
 		if uint32(w) == uint32(dst) && w>>32&0xfff == src>>3&0xfff {
-			return touched, true
+			return touched, nil
 		}
 		next := w >> 44
 		if next == 0 {
-			return touched, false
+			return touched, ErrMiss
 		}
 		idx = next
 	}

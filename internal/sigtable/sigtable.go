@@ -50,6 +50,7 @@ const (
 	CFIOnly
 )
 
+// String renders the format as its CLI spelling (-format flag values).
 func (f Format) String() string {
 	switch f {
 	case Normal:

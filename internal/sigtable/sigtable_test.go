@@ -72,9 +72,9 @@ func TestLookupEveryBlock(t *testing.T) {
 	p, g, r := protectedProgram(t, callerCallee, Normal)
 	for _, s := range g.Starts {
 		blk := g.ByStart[s]
-		e, touched, ok := r.LookupAll(blk.End, sigOf(p, blk))
-		if !ok {
-			t.Fatalf("block %#x..%#x not found", blk.Start, blk.End)
+		e, touched, err := r.LookupAll(blk.End, sigOf(p, blk))
+		if err != nil {
+			t.Fatalf("block %#x..%#x not found: %v", blk.Start, blk.End, err)
 		}
 		if len(touched) == 0 {
 			t.Error("lookup reported no memory touches")
@@ -90,8 +90,8 @@ func TestComputedTargetsStored(t *testing.T) {
 	m := p.Main()
 	fEntry, _ := m.Lookup("f")
 	fblk := g.ByStart[fEntry]
-	e, _, ok := r.LookupAll(fblk.End, sigOf(p, fblk))
-	if !ok {
+	e, _, err := r.LookupAll(fblk.End, sigOf(p, fblk))
+	if err != nil {
 		t.Fatal("callee block not found")
 	}
 	if len(e.Targets) != 1 || e.Targets[0] != fblk.Succs[0] {
@@ -99,8 +99,8 @@ func TestComputedTargetsStored(t *testing.T) {
 	}
 	// Landing block carries the RET predecessor for delayed validation.
 	landing := g.ByStart[e.Targets[0]]
-	le, _, ok := r.LookupAll(landing.End, sigOf(p, landing))
-	if !ok {
+	le, _, err := r.LookupAll(landing.End, sigOf(p, landing))
+	if err != nil {
 		t.Fatal("landing block not found")
 	}
 	if len(le.RetPreds) != 1 || le.RetPreds[0] != fblk.End {
@@ -116,8 +116,8 @@ func TestNormalOmitsDirectTargets(t *testing.T) {
 	if entry.Term != isa.KindCall {
 		t.Fatalf("entry term = %v", entry.Term)
 	}
-	e, _, ok := r.LookupAll(entry.End, sigOf(p, entry))
-	if !ok {
+	e, _, err := r.LookupAll(entry.End, sigOf(p, entry))
+	if err != nil {
 		t.Fatal("entry block not found")
 	}
 	if len(e.Targets) != 0 {
@@ -128,8 +128,8 @@ func TestNormalOmitsDirectTargets(t *testing.T) {
 func TestAggressiveStoresAllTargets(t *testing.T) {
 	p, g, r := protectedProgram(t, callerCallee, Aggressive)
 	entry := g.ByStart[p.Main().Base]
-	e, _, ok := r.LookupAll(entry.End, sigOf(p, entry))
-	if !ok {
+	e, _, err := r.LookupAll(entry.End, sigOf(p, entry))
+	if err != nil {
 		t.Fatal("entry block not found")
 	}
 	if len(e.Targets) != len(entry.Succs) {
@@ -145,15 +145,15 @@ func TestTamperedCodeMisses(t *testing.T) {
 	var enc [isa.WordSize]byte
 	inj.EncodeTo(enc[:])
 	p.Mem.WriteBytes(blk.Start, enc[:])
-	if _, _, ok := r.LookupAll(blk.End, sigOf(p, blk)); ok {
-		t.Error("tampered block should not validate")
+	if _, _, err := r.LookupAll(blk.End, sigOf(p, blk)); !IsMiss(err) {
+		t.Errorf("tampered block should miss with ErrMiss, got %v", err)
 	}
 }
 
 func TestUnknownBlockMisses(t *testing.T) {
 	_, _, r := protectedProgram(t, callerCallee, Normal)
-	if _, _, ok := r.LookupAll(0xdead000, chash.Sig(12345)); ok {
-		t.Error("unknown block should miss")
+	if _, _, err := r.LookupAll(0xdead000, chash.Sig(12345)); !IsMiss(err) {
+		t.Errorf("unknown block should miss with ErrMiss, got %v", err)
 	}
 }
 
@@ -181,7 +181,7 @@ func TestOverlappingBlocksDistinguished(t *testing.T) {
 		t.Fatal("expected an overlapping terminator")
 	}
 	for _, blk := range g.ByEnd[branchEnd] {
-		if _, _, ok := r.LookupAll(blk.End, sigOf(p, blk)); !ok {
+		if _, _, err := r.LookupAll(blk.End, sigOf(p, blk)); err != nil {
 			t.Errorf("overlapping block starting %#x not found", blk.Start)
 		}
 	}
@@ -207,8 +207,8 @@ func TestManyCallersSpillChain(t *testing.T) {
 	if len(fblk.Succs) != 12 {
 		t.Fatalf("profiled %d return targets, want 12", len(fblk.Succs))
 	}
-	e, touched, ok := r.LookupAll(fblk.End, sigOf(p, fblk))
-	if !ok {
+	e, touched, err := r.LookupAll(fblk.End, sigOf(p, fblk))
+	if err != nil {
 		t.Fatal("popular callee not found")
 	}
 	if len(e.Targets) != 12 {
@@ -229,14 +229,14 @@ func TestCFIOnlyEdges(t *testing.T) {
 	fEntry, _ := p.Main().Lookup("f")
 	fblk := g.ByStart[fEntry]
 	retSite := fblk.Succs[0]
-	if touched, ok := r.LookupEdge(fblk.End, retSite); !ok || len(touched) == 0 {
-		t.Errorf("legal return edge rejected (touched %d)", len(touched))
+	if touched, err := r.LookupEdge(fblk.End, retSite); err != nil || len(touched) == 0 {
+		t.Errorf("legal return edge rejected (touched %d, err %v)", len(touched), err)
 	}
-	if _, ok := r.LookupEdge(fblk.End, retSite+8); ok {
-		t.Error("illegal return edge accepted")
+	if _, err := r.LookupEdge(fblk.End, retSite+8); !IsMiss(err) {
+		t.Errorf("illegal return edge accepted (err %v)", err)
 	}
-	if _, ok := r.LookupEdge(0x999000, retSite); ok {
-		t.Error("edge from unknown source accepted")
+	if _, err := r.LookupEdge(0x999000, retSite); !IsMiss(err) {
+		t.Errorf("edge from unknown source accepted (err %v)", err)
 	}
 }
 
@@ -293,7 +293,7 @@ func TestWrongKeyCannotRead(t *testing.T) {
 	hits := 0
 	for _, s := range g.Starts {
 		blk := g.ByStart[s]
-		if _, _, ok := r.LookupAll(blk.End, sigOf(p, blk)); ok {
+		if _, _, err := r.LookupAll(blk.End, sigOf(p, blk)); err == nil {
 			hits++
 		}
 	}
@@ -362,7 +362,7 @@ func TestFromImageRoundTrip(t *testing.T) {
 	Install(got, img, p.Mem, prog.SigBase+0x100000)
 	r := NewReader(got, p.Mem, testKS)
 	blk := g.ByStart[p.Main().Base]
-	if _, _, ok := r.LookupAll(blk.End, sigOf(p, blk)); !ok {
+	if _, _, err := r.LookupAll(blk.End, sigOf(p, blk)); err != nil {
 		t.Error("reconstructed table failed lookup")
 	}
 }

@@ -9,21 +9,31 @@ import (
 	"rev/internal/prog"
 )
 
-// Source is the lookup interface a SAG register group holds: either a
-// *Reader (decrypt-on-access out of simulated RAM, the single-engine
-// path) or a *Snapshot (a fully decrypted, immutable view that any
-// number of engines may share across goroutines — the fleet path).
-// Both implementations return identical entries and identical touched
-// RAM addresses for identical tables, so the timing model cannot tell
-// them apart.
+// Source is the lookup interface a SAG register group holds: a *Reader
+// (decrypt-on-access out of simulated RAM, the single-engine path), a
+// *Snapshot (a fully decrypted, immutable view that any number of
+// engines may share across goroutines — the fleet path), or a remote
+// source (internal/sigserve's RemoteSource, which fetches from a
+// revserved signature-distribution service). All implementations return
+// identical entries and identical touched RAM addresses for identical
+// tables, so the timing model cannot tell them apart.
+//
+// Error contract: a nil error means the entry/edge was found and is
+// legal; ErrMiss means the table definitively does not contain it (a
+// validation verdict); any other error — conventionally wrapping
+// ErrUnavailable — means the source could not answer and NO verdict
+// exists. Callers must distinguish the two with errors.Is (see
+// errors.go); treating an unavailable source as a miss would turn a
+// network fault into a false violation, and treating it as a hit would
+// be a silent pass.
 type Source interface {
 	// Lookup finds the entry for (end, sig), walking the spill chain
 	// only as far as want requires. See Reader.Lookup.
-	Lookup(end uint64, sig chash.Sig, want Want) (Entry, []uint64, bool)
+	Lookup(end uint64, sig chash.Sig, want Want) (Entry, []uint64, error)
 	// LookupAll is Lookup with an exhaustive spill walk.
-	LookupAll(end uint64, sig chash.Sig) (Entry, []uint64, bool)
+	LookupAll(end uint64, sig chash.Sig) (Entry, []uint64, error)
 	// LookupEdge validates a computed edge against a CFI-only table.
-	LookupEdge(src, dst uint64) ([]uint64, bool)
+	LookupEdge(src, dst uint64) ([]uint64, error)
 }
 
 var (
@@ -130,20 +140,84 @@ func (s *Snapshot) cfiRecord(idx uint64, touched *[]uint64) uint64 {
 
 // Lookup finds the entry for (end, sig); see Reader.Lookup. Safe for
 // concurrent use.
-func (s *Snapshot) Lookup(end uint64, sig chash.Sig, want Want) (Entry, []uint64, bool) {
+func (s *Snapshot) Lookup(end uint64, sig chash.Sig, want Want) (Entry, []uint64, error) {
 	return lookup(s, end, sig, want, false)
 }
 
 // LookupAll is Lookup with an exhaustive spill walk. Safe for
 // concurrent use.
-func (s *Snapshot) LookupAll(end uint64, sig chash.Sig) (Entry, []uint64, bool) {
+func (s *Snapshot) LookupAll(end uint64, sig chash.Sig) (Entry, []uint64, error) {
 	return lookup(s, end, sig, Want{}, true)
 }
 
 // LookupEdge validates a computed edge against a CFI-only snapshot.
 // Safe for concurrent use.
-func (s *Snapshot) LookupEdge(src, dst uint64) ([]uint64, bool) {
+func (s *Snapshot) LookupEdge(src, dst uint64) ([]uint64, error) {
 	return lookupEdge(s, src, dst)
+}
+
+// AppendWire appends the snapshot's decrypted records to dst in the
+// wire encoding the signature-distribution protocol uses
+// (docs/PROTOCOL.md): for hashed formats, Records fixed-size records of
+// six little-endian uint32 words each; for CFI-only, Records
+// little-endian uint64 words. The table metadata travels separately
+// (the SNAPSHOT_DATA header), so the payload is position-independent.
+func (s *Snapshot) AppendWire(dst []byte) []byte {
+	if s.table.Format == CFIOnly {
+		for _, w := range s.cfi {
+			dst = binary.LittleEndian.AppendUint64(dst, w)
+		}
+		return dst
+	}
+	for i := range s.recs {
+		for _, w := range s.recs[i] {
+			dst = binary.LittleEndian.AppendUint32(dst, w)
+		}
+	}
+	return dst
+}
+
+// WireSize returns the exact byte length AppendWire will produce —
+// Records * RecordSize for hashed formats, Records * CFIRecordSize for
+// CFI-only.
+func (s *Snapshot) WireSize() int {
+	if s.table.Format == CFIOnly {
+		return len(s.cfi) * CFIRecordSize
+	}
+	return len(s.recs) * RecordSize
+}
+
+// SnapshotFromWire reconstructs a Snapshot from the wire encoding
+// produced by AppendWire plus the table metadata that travelled with it.
+// The result is bit-identical to the snapshot the server exported:
+// identical entries, identical touched-address reporting (from t.Base),
+// so a remote validation engine produces byte-identical verdicts and
+// timing to an in-process one.
+func SnapshotFromWire(t Table, payload []byte) (*Snapshot, error) {
+	s := &Snapshot{table: t}
+	if t.Format == CFIOnly {
+		if uint64(len(payload)) != t.Records*CFIRecordSize {
+			return nil, fmt.Errorf("sigtable: wire payload %d bytes, want %d for %d CFI records",
+				len(payload), t.Records*CFIRecordSize, t.Records)
+		}
+		s.cfi = make([]uint64, t.Records)
+		for i := range s.cfi {
+			s.cfi[i] = binary.LittleEndian.Uint64(payload[i*CFIRecordSize:])
+		}
+		return s, nil
+	}
+	if uint64(len(payload)) != t.Records*RecordSize {
+		return nil, fmt.Errorf("sigtable: wire payload %d bytes, want %d for %d records",
+			len(payload), t.Records*RecordSize, t.Records)
+	}
+	s.recs = make([][RecordSize / 4]uint32, t.Records)
+	for i := range s.recs {
+		off := i * RecordSize
+		for w := range s.recs[i] {
+			s.recs[i][w] = binary.LittleEndian.Uint32(payload[off+4*w:])
+		}
+	}
+	return s, nil
 }
 
 // SigBaseAlign rounds a table size up to the page multiple the loader

@@ -21,11 +21,11 @@ func TestSnapshotMatchesReader(t *testing.T) {
 			blk := g.ByStart[s]
 			sig := sigOf(p, blk)
 
-			re, rt, rok := r.LookupAll(blk.End, sig)
-			se, st, sok := snap.LookupAll(blk.End, sig)
-			if rok != sok || !reflect.DeepEqual(re, se) || !reflect.DeepEqual(rt, st) {
+			re, rt, rerr := r.LookupAll(blk.End, sig)
+			se, st, serr := snap.LookupAll(blk.End, sig)
+			if (rerr == nil) != (serr == nil) || !reflect.DeepEqual(re, se) || !reflect.DeepEqual(rt, st) {
 				t.Fatalf("%v LookupAll(%#x) diverged: reader (%v,%v,%v) snapshot (%v,%v,%v)",
-					format, blk.End, re, rt, rok, se, st, sok)
+					format, blk.End, re, rt, rerr, se, st, serr)
 			}
 
 			// Progressive lookups with every want combination.
@@ -34,19 +34,20 @@ func TestSnapshotMatchesReader(t *testing.T) {
 				{CheckTarget: true, Target: blk.End + 8},
 				{CheckPred: true, Pred: blk.End},
 			} {
-				re, rt, rok := r.Lookup(blk.End, sig, want)
-				se, st, sok := snap.Lookup(blk.End, sig, want)
-				if rok != sok || !reflect.DeepEqual(re, se) || !reflect.DeepEqual(rt, st) {
+				re, rt, rerr := r.Lookup(blk.End, sig, want)
+				se, st, serr := snap.Lookup(blk.End, sig, want)
+				if (rerr == nil) != (serr == nil) || !reflect.DeepEqual(re, se) || !reflect.DeepEqual(rt, st) {
 					t.Fatalf("%v Lookup(%#x,%+v) diverged", format, blk.End, want)
 				}
 			}
 
-			// A wrong signature must miss identically.
-			_, rt, rok = r.LookupAll(blk.End, sig^1)
-			_, st, sok = snap.LookupAll(blk.End, sig^1)
-			if rok || sok || !reflect.DeepEqual(rt, st) {
+			// A wrong signature must miss identically — and the miss must
+			// be the typed ErrMiss sentinel, not a transport error.
+			_, rt, rerr = r.LookupAll(blk.End, sig^1)
+			_, st, serr = snap.LookupAll(blk.End, sig^1)
+			if !IsMiss(rerr) || !IsMiss(serr) || !reflect.DeepEqual(rt, st) {
 				t.Fatalf("%v tampered lookup diverged: reader (%v,%v) snapshot (%v,%v)",
-					format, rt, rok, st, sok)
+					format, rt, rerr, st, serr)
 			}
 		}
 	}
@@ -62,11 +63,14 @@ func TestSnapshotMatchesReaderCFI(t *testing.T) {
 			continue
 		}
 		for _, dst := range append(append([]uint64{}, blk.Succs...), blk.End+1024) {
-			rt, rok := r.LookupEdge(blk.End, dst)
-			st, sok := snap.LookupEdge(blk.End, dst)
-			if rok != sok || !reflect.DeepEqual(rt, st) {
+			rt, rerr := r.LookupEdge(blk.End, dst)
+			st, serr := snap.LookupEdge(blk.End, dst)
+			if (rerr == nil) != (serr == nil) || !reflect.DeepEqual(rt, st) {
 				t.Fatalf("LookupEdge(%#x,%#x) diverged: reader (%v,%v) snapshot (%v,%v)",
-					blk.End, dst, rt, rok, st, sok)
+					blk.End, dst, rt, rerr, st, serr)
+			}
+			if rerr != nil && !IsMiss(rerr) {
+				t.Fatalf("LookupEdge(%#x,%#x): illegal edge must be ErrMiss, got %v", blk.End, dst, rerr)
 			}
 		}
 	}
@@ -91,14 +95,62 @@ func TestSnapshotFromImage(t *testing.T) {
 	for _, s := range g.Starts {
 		blk := g.ByStart[s]
 		sig := sigOf(p, blk)
-		ae, at, aok := fromRAM.LookupAll(blk.End, sig)
-		be, bt, bok := fromImg.LookupAll(blk.End, sig)
-		if aok != bok || !reflect.DeepEqual(ae, be) || !reflect.DeepEqual(at, bt) {
+		ae, at, aerr := fromRAM.LookupAll(blk.End, sig)
+		be, bt, berr := fromImg.LookupAll(blk.End, sig)
+		if (aerr == nil) != (berr == nil) || !reflect.DeepEqual(ae, be) || !reflect.DeepEqual(at, bt) {
 			t.Fatalf("image/RAM snapshots diverge at %#x", blk.End)
 		}
 	}
 	if _, err := SnapshotFromImage(tbl2, img[:len(img)-1], testKS); err == nil {
 		t.Fatal("truncated image accepted")
+	}
+}
+
+// TestSnapshotWireRoundTrip checks the remote-distribution encoding:
+// exporting a snapshot's decrypted records with AppendWire and
+// reconstructing with SnapshotFromWire yields bit-identical lookup
+// behaviour (entries, verdicts, touched addresses) for every format.
+func TestSnapshotWireRoundTrip(t *testing.T) {
+	for _, format := range []Format{Normal, Aggressive, CFIOnly} {
+		p, g, r := protectedProgram(t, callerCallee, format)
+		snap := r.Snapshot()
+		wire := snap.AppendWire(nil)
+		if len(wire) != snap.WireSize() {
+			t.Fatalf("%v: AppendWire produced %d bytes, WireSize says %d", format, len(wire), snap.WireSize())
+		}
+		back, err := SnapshotFromWire(snap.Meta(), wire)
+		if err != nil {
+			t.Fatalf("%v: SnapshotFromWire: %v", format, err)
+		}
+		for _, s := range g.Starts {
+			blk := g.ByStart[s]
+			if format == CFIOnly {
+				if !blk.Term.IsComputed() {
+					continue
+				}
+				for _, dst := range append(append([]uint64{}, blk.Succs...), blk.End+1024) {
+					at, aerr := snap.LookupEdge(blk.End, dst)
+					bt, berr := back.LookupEdge(blk.End, dst)
+					if (aerr == nil) != (berr == nil) || !reflect.DeepEqual(at, bt) {
+						t.Fatalf("%v: wire round trip diverged at edge (%#x,%#x)", format, blk.End, dst)
+					}
+				}
+				continue
+			}
+			sig := sigOf(p, blk)
+			ae, at, aerr := snap.LookupAll(blk.End, sig)
+			be, bt, berr := back.LookupAll(blk.End, sig)
+			if (aerr == nil) != (berr == nil) || !reflect.DeepEqual(ae, be) || !reflect.DeepEqual(at, bt) {
+				t.Fatalf("%v: wire round trip diverged at %#x", format, blk.End)
+			}
+		}
+		// Truncated and oversized payloads must be rejected.
+		if _, err := SnapshotFromWire(snap.Meta(), wire[:len(wire)-1]); err == nil {
+			t.Fatalf("%v: truncated wire payload accepted", format)
+		}
+		if _, err := SnapshotFromWire(snap.Meta(), append(append([]byte{}, wire...), 0)); err == nil {
+			t.Fatalf("%v: oversized wire payload accepted", format)
+		}
 	}
 }
 
@@ -126,7 +178,7 @@ func TestSnapshotConcurrentLookups(t *testing.T) {
 			defer wg.Done()
 			for iter := 0; iter < 50; iter++ {
 				for _, q := range queries {
-					if _, _, ok := snap.LookupAll(q.end, q.sig); !ok {
+					if _, _, err := snap.LookupAll(q.end, q.sig); err != nil {
 						t.Error("concurrent lookup missed a known block")
 						return
 					}

@@ -47,8 +47,11 @@ type Snapshot struct {
 // snapObserver folds view output into a snapshot, summing duplicates.
 type snapObserver struct{ s *Snapshot }
 
+// ObserveCounter accumulates a counter cell into the snapshot.
 func (o snapObserver) ObserveCounter(name string, v uint64) { o.s.Counters[name] += v }
-func (o snapObserver) ObserveGauge(name string, v float64)  { o.s.Gauges[name] += v }
+
+// ObserveGauge accumulates a gauge cell into the snapshot.
+func (o snapObserver) ObserveGauge(name string, v float64) { o.s.Gauges[name] += v }
 
 // Snapshot captures the registry's current state. Atomic metrics may be
 // read at any time; view-backed values are only coherent when the runs
