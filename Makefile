@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet doccheck race race-all test-race bench-smoke bench-figures bench-json bench-parallel bench-pipeline bench-telemetry bench-remote profile clean
+.PHONY: all build test vet doccheck race race-all test-race bench-smoke bench-figures bench-json bench-parallel bench-pipeline bench-telemetry bench-remote bench-prefetch profile clean
 
 all: build vet test
 
@@ -75,6 +75,16 @@ bench-telemetry:
 bench-remote:
 	$(GO) run ./cmd/revbench -instrs 100000 -scale 0.05 \
 		-remotejson BENCH_remote.json
+
+# Regenerate the predictive-prefetch record: lookup mode across a
+# (depth × service-delay) grid, byte-identity at every point, and the
+# latency-hiding headline (best prefetching depth at 5 ms vs depth 0).
+# Exits nonzero if any point diverges from the local baseline or the
+# best 5 ms slowdown exceeds -prefetchmax (the CI prefetch-identity job
+# runs a smaller grid of the same probe).
+bench-prefetch:
+	$(GO) run ./cmd/revbench -instrs 100000 -scale 0.05 \
+		-prefetchjson BENCH_prefetch.json -prefetchmax 8
 
 # CPU + allocation profiles of the fig6 harness (the per-block validation
 # hot path end to end). Drops cpu.prof / mem.prof / rev.test in the repo

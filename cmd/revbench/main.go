@@ -56,6 +56,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"strconv"
@@ -65,11 +66,32 @@ import (
 	"rev/internal/core"
 	"rev/internal/experiments"
 	"rev/internal/fleet"
+	"rev/internal/prefetch"
+	"rev/internal/sigserve"
 	"rev/internal/sigtable"
 	"rev/internal/stats"
 	"rev/internal/telemetry"
 	"rev/internal/workload"
 )
+
+// hostMeta pins the hardware/runtime context a benchmark record was
+// produced under, so committed BENCH_*.json files from different
+// machines stay comparable (wall times and speedups are only meaningful
+// relative to the recording host).
+type hostMeta struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+}
+
+// hostInfo samples the recording host.
+func hostInfo() hostMeta {
+	return hostMeta{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+}
 
 // expTiming is one experiment's wall-clock record.
 type expTiming struct {
@@ -96,6 +118,7 @@ type hotPath struct {
 
 type benchReport struct {
 	Generated   string      `json:"generated"`
+	Host        hostMeta    `json:"host"`
 	Instrs      uint64      `json:"instrs"`
 	Scale       float64     `json:"scale"`
 	Experiments []expTiming `json:"experiments"`
@@ -119,11 +142,12 @@ type laneTiming struct {
 // pipeReport is the BENCH_pipeline.json payload: the serial baseline and
 // one laneTiming per probed lane count.
 type pipeReport struct {
-	Generated string  `json:"generated"`
-	Workload  string  `json:"workload"`
-	Instrs    uint64  `json:"instrs"`
-	Scale     float64 `json:"scale"`
-	CPUs      int     `json:"cpus"`
+	Generated string   `json:"generated"`
+	Host      hostMeta `json:"host"`
+	Workload  string   `json:"workload"`
+	Instrs    uint64   `json:"instrs"`
+	Scale     float64  `json:"scale"`
+	CPUs      int      `json:"cpus"`
 	// GOMAXPROCS and AutoLanes record the host-derived sizing inputs:
 	// fleet workers default to GOMAXPROCS and -lanes -1 resolves to
 	// AutoLanes, so the file pins what "auto" meant on this machine.
@@ -154,6 +178,7 @@ type parTiming struct {
 // parReport is the BENCH_parallel.json payload.
 type parReport struct {
 	Generated   string        `json:"generated"`
+	Host        hostMeta      `json:"host"`
 	Instrs      uint64        `json:"instrs"`
 	Scale       float64       `json:"scale"`
 	CPUs        int           `json:"cpus"`
@@ -181,6 +206,9 @@ func main() {
 	telRounds := flag.Int("telrounds", 5, "timed rounds per configuration in the -teljson probe (best-of)")
 	metricsJSONPath := flag.String("metricsjson", "", "run one protected workload with metrics enabled and write the registry snapshot JSON")
 	remoteJSONPath := flag.String("remotejson", "", "write the remote-vs-local signature-sourcing probe (e.g. BENCH_remote.json): loopback revserved, snapshot and lookup modes, injected latency ladder")
+	prefetchJSONPath := flag.String("prefetchjson", "", "write the predictive-prefetch probe (e.g. BENCH_prefetch.json): lookup-mode loopback revserved across a prefetch-depth x service-delay grid")
+	prefetchDepths := flag.String("prefetchdepths", "0,1,4,16,64", "comma-separated prefetch depths for -prefetchjson (0 = unprefetched baseline)")
+	prefetchMax := flag.Float64("prefetchmax", 0, "for -prefetchjson: max tolerated best-depth slowdown vs local at 5ms delay (0 = no gate)")
 	ref := flag.String("ref", "", "reference wall times as id=seconds pairs, comma separated")
 	flag.Parse()
 
@@ -272,6 +300,30 @@ func main() {
 		return
 	}
 
+	if *prefetchJSONPath != "" {
+		depths, err := parseDepths(*prefetchDepths)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "revbench: -prefetchdepths: %v\n", err)
+			os.Exit(2)
+		}
+		rep, err := probePrefetch(*instrs, *scale, depths, *prefetchMax)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "revbench: prefetch probe: %v\n", err)
+			os.Exit(1)
+		}
+		writeJSON(*prefetchJSONPath, rep)
+		if !rep.AllIdentical {
+			fmt.Fprintln(os.Stderr, "revbench: prefetched runs diverged from the local baseline")
+			os.Exit(1)
+		}
+		if !rep.WithinGate {
+			fmt.Fprintf(os.Stderr, "revbench: best prefetch slowdown %.2fx at 5ms exceeds the %.2fx gate\n",
+				rep.Best5msSlowdown, rep.GateMax)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *lanesJSONPath != "" {
 		rep, err := probePipeline(*instrs, *scale)
 		if err != nil {
@@ -294,6 +346,7 @@ func main() {
 
 	report := benchReport{
 		Generated: time.Now().UTC().Format(time.RFC3339),
+		Host:      hostInfo(),
 		Instrs:    *instrs,
 		Scale:     *scale,
 	}
@@ -344,6 +397,7 @@ func probeParallel(cfg experiments.Config, selected []selectedExp) (*parReport, 
 	workers := fleet.Workers(cfg.Parallel, 1<<30)
 	rep := &parReport{
 		Generated: time.Now().UTC().Format(time.RFC3339),
+		Host:      hostInfo(),
 		Instrs:    cfg.MaxInstrs,
 		Scale:     cfg.Scale,
 		CPUs:      runtime.NumCPU(),
@@ -422,6 +476,7 @@ func probePipeline(instrs uint64, scale float64) (*pipeReport, error) {
 
 	rep := &pipeReport{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Host:       hostInfo(),
 		Workload:   p.Name,
 		Instrs:     instrs,
 		Scale:      scale,
@@ -498,12 +553,13 @@ func probePipeline(instrs uint64, scale float64) (*pipeReport, error) {
 // one REV-protected workload with telemetry disabled, with the metrics
 // registry enabled, and with metrics + tracing enabled.
 type telReport struct {
-	Generated string  `json:"generated"`
-	Workload  string  `json:"workload"`
-	Instrs    uint64  `json:"instrs"`
-	Scale     float64 `json:"scale"`
-	Rounds    int     `json:"rounds"`
-	Blocks    uint64  `json:"blocks"`
+	Generated string   `json:"generated"`
+	Host      hostMeta `json:"host"`
+	Workload  string   `json:"workload"`
+	Instrs    uint64   `json:"instrs"`
+	Scale     float64  `json:"scale"`
+	Rounds    int      `json:"rounds"`
+	Blocks    uint64   `json:"blocks"`
 	// DisabledSeconds is the nil-Set baseline (instrumentation compiled in,
 	// every emission site one predicted-not-taken nil check).
 	DisabledSeconds float64 `json:"disabled_seconds"`
@@ -521,6 +577,13 @@ type telReport struct {
 	Identical              bool    `json:"identical"`
 	DisabledAllocsPerBlock float64 `json:"disabled_allocs_per_block"`
 	MetricsAllocsPerBlock  float64 `json:"metrics_allocs_per_block"`
+	// PrefetchDisabledSeconds/PrefetchMetricsSeconds time the same
+	// workload in remote lookup mode (zero-delay loopback, prefetch depth
+	// 4) without and with the metrics registry — the prefetch counters
+	// are held to the same overhead budget as the engine's.
+	PrefetchDisabledSeconds float64 `json:"prefetch_disabled_seconds"`
+	PrefetchMetricsSeconds  float64 `json:"prefetch_metrics_seconds"`
+	PrefetchOverheadPct     float64 `json:"prefetch_overhead_pct"`
 }
 
 // probeTelemetry times one prepared workload under the three telemetry
@@ -587,8 +650,77 @@ func probeTelemetry(instrs uint64, scale float64, rounds int, threshold float64)
 	}
 
 	sig := identitySig(disabled)
+
+	// Prefetch pair: the same workload in remote lookup mode over a
+	// zero-delay loopback server at prefetch depth 4, without and with
+	// the metrics registry. The two instances are prepared once (the
+	// prefetcher is wired to the Set at prepare time) and timed in the
+	// same interleaved best-of-rounds discipline.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := sigserve.NewServer()
+	for _, st := range prep.Tables {
+		srv.Publish("default", st.Module, *st.Table, st.Snap)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		<-serveDone
+	}()
+	type pfCfg struct {
+		prep   *core.Prepared
+		client *sigserve.Client
+		res    *core.Result
+		wall   float64
+	}
+	var pf [2]pfCfg
+	pfSets := [2]*telemetry.Set{nil, {Reg: telemetry.NewRegistry()}}
+	for i := range pf {
+		client, err := sigserve.NewClient(sigserve.ClientConfig{Addr: ln.Addr().String(), LookupMode: true})
+		if err != nil {
+			return nil, err
+		}
+		rcp := rc
+		rcp.Prefetch = prefetch.Config{Depth: 4}
+		rcp.Telemetry = pfSets[i]
+		pp, err := core.PrepareRemote(p.Builder(), rcp, client)
+		if err != nil {
+			client.Close()
+			return nil, err
+		}
+		pf[i] = pfCfg{prep: pp, client: client}
+		defer pp.Close()
+		defer client.Close()
+		if _, err := pp.Run(); err != nil { // warm-up (and buffer fill)
+			return nil, err
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		for i := range pf {
+			c := &pf[i]
+			start := time.Now()
+			res, err := c.prep.Run()
+			wall := time.Since(start).Seconds()
+			if err != nil {
+				return nil, err
+			}
+			if c.res == nil || wall < c.wall {
+				c.res, c.wall = res, wall
+			}
+		}
+	}
+	pfIdentical := true
+	for i := range pf {
+		if identitySig(pf[i].res) != sig || pf[i].res.SourceNotes != nil {
+			pfIdentical = false
+		}
+	}
 	rep := &telReport{
 		Generated:       time.Now().UTC().Format(time.RFC3339),
+		Host:            hostInfo(),
 		Workload:        p.Name,
 		Instrs:          instrs,
 		Scale:           scale,
@@ -598,13 +730,20 @@ func probeTelemetry(instrs uint64, scale float64, rounds int, threshold float64)
 		MetricsSeconds:  round3(mWall),
 		TraceSeconds:    round3(tWall),
 		ThresholdPct:    threshold,
-		Identical:       identitySig(metricsRes) == sig && identitySig(traceRes) == sig,
+		Identical: identitySig(metricsRes) == sig && identitySig(traceRes) == sig &&
+			pfIdentical,
+		PrefetchDisabledSeconds: round3(pf[0].wall),
+		PrefetchMetricsSeconds:  round3(pf[1].wall),
 	}
 	if dWall > 0 {
 		rep.MetricsOverheadPct = round3((mWall - dWall) / dWall * 100)
 		rep.TraceOverheadPct = round3((tWall - dWall) / dWall * 100)
 	}
-	rep.WithinThreshold = rep.MetricsOverheadPct <= threshold
+	if pf[0].wall > 0 {
+		rep.PrefetchOverheadPct = round3((pf[1].wall - pf[0].wall) / pf[0].wall * 100)
+	}
+	rep.WithinThreshold = rep.MetricsOverheadPct <= threshold &&
+		rep.PrefetchOverheadPct <= threshold
 	if rep.Blocks > 0 {
 		rep.DisabledAllocsPerBlock = round3(float64(dMallocs) / float64(rep.Blocks))
 		rep.MetricsAllocsPerBlock = round3(float64(mMallocs) / float64(rep.Blocks))
@@ -612,8 +751,9 @@ func probeTelemetry(instrs uint64, scale float64, rounds int, threshold float64)
 	if !rep.Identical {
 		return nil, fmt.Errorf("telemetry-enabled result diverged from the disabled run")
 	}
-	fmt.Printf("telemetry  disabled %7.3fs  metrics %7.3fs (%+.2f%%)  metrics+trace %7.3fs (%+.2f%%)  identical %v\n",
-		dWall, mWall, rep.MetricsOverheadPct, tWall, rep.TraceOverheadPct, rep.Identical)
+	fmt.Printf("telemetry  disabled %7.3fs  metrics %7.3fs (%+.2f%%)  metrics+trace %7.3fs (%+.2f%%)  prefetch %7.3fs vs %7.3fs (%+.2f%%)  identical %v\n",
+		dWall, mWall, rep.MetricsOverheadPct, tWall, rep.TraceOverheadPct,
+		pf[0].wall, pf[1].wall, rep.PrefetchOverheadPct, rep.Identical)
 	return rep, nil
 }
 
@@ -766,6 +906,22 @@ func parseRef(s string) (map[string]float64, error) {
 			return nil, fmt.Errorf("%q: %v", pair, err)
 		}
 		out[kv[0]] = v
+	}
+	return out, nil
+}
+
+// parseDepths parses the -prefetchdepths list.
+func parseDepths(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("want a non-negative depth, got %q", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty depth list")
 	}
 	return out, nil
 }

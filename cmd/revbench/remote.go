@@ -36,6 +36,7 @@ type remoteEntry struct {
 // remoteReport is the -remotejson record (EXPERIMENTS.md "Remote
 // signature sourcing").
 type remoteReport struct {
+	Host             hostMeta      `json:"host"`
 	Workload         string        `json:"workload"`
 	Instrs           uint64        `json:"instrs"`
 	Scale            float64       `json:"scale"`
@@ -94,6 +95,7 @@ func probeRemote(instrs uint64, scale float64) (*remoteReport, error) {
 	addr := ln.Addr().String()
 
 	rep := &remoteReport{
+		Host:             hostInfo(),
 		Workload:         p.Name,
 		Instrs:           instrs,
 		Scale:            scale,

@@ -52,6 +52,7 @@ import (
 
 	"rev/internal/core"
 	"rev/internal/fleet"
+	"rev/internal/prefetch"
 	"rev/internal/sigserve"
 	"rev/internal/sigtable"
 	"rev/internal/telemetry"
@@ -72,6 +73,7 @@ func main() {
 	sigServer := flag.String("sigserver", "", "fetch signature tables from a revserved endpoint (host:port) instead of building them locally (requires -rev; see docs/PROTOCOL.md)")
 	sigTenant := flag.String("sigtenant", "default", "tenant namespace on the -sigserver endpoint")
 	sigLookups := flag.Bool("siglookups", false, "validate via per-entry remote lookups (batched/coalesced) instead of one snapshot fetch at start; requires -sigserver")
+	prefetchDepth := flag.Int("prefetch", 0, "CFG-driven signature prefetch depth for -siglookups runs (0 disables; results are byte-identical at any depth, see docs/ARCHITECTURE.md)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run(s) to this file (open in chrome://tracing or ui.perfetto.dev)")
 	metrics := flag.Bool("metrics", false, "print the telemetry metrics registry (Prometheus text format) after the reports")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address (e.g. :6060) while running")
@@ -157,6 +159,13 @@ func main() {
 			os.Exit(1)
 		}
 		defer sigClient.Close()
+	}
+	if *prefetchDepth > 0 {
+		if sigClient == nil || !*sigLookups {
+			fmt.Fprintln(os.Stderr, "revsim: -prefetch requires -sigserver with -siglookups")
+			os.Exit(2)
+		}
+		rc.Prefetch = prefetch.Config{Depth: *prefetchDepth}
 	}
 
 	if *tenants > 1 {

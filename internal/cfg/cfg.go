@@ -88,6 +88,19 @@ func (b *Block) HasRetPred(ret uint64) bool {
 	return i < len(b.RetPreds) && b.RetPreds[i] == ret
 }
 
+// EachSucc calls yield for every legal successor start address in sorted
+// order, stopping early when yield returns false. It reports whether the
+// iteration ran to completion. Prediction walks use it to enumerate
+// candidate paths without copying the slice.
+func (b *Block) EachSucc(yield func(addr uint64) bool) bool {
+	for _, s := range b.Succs {
+		if !yield(s) {
+			return false
+		}
+	}
+	return true
+}
+
 // Graph is the reference CFG of one module.
 type Graph struct {
 	Module *prog.Module
@@ -100,6 +113,74 @@ type Graph struct {
 	ByEnd map[uint64][]*Block
 	// Starts is the sorted list of block start addresses.
 	Starts []uint64
+}
+
+// BlockAt returns the block starting at addr, or nil when no walk from
+// any known entry point begins there.
+func (g *Graph) BlockAt(addr uint64) *Block { return g.ByStart[addr] }
+
+// SynthesizeAt builds the dynamic basic block that execution entering at
+// start would produce — the same walk the pipeline front end performs —
+// for start addresses the static enumeration never saw (e.g. a computed
+// target discovered only at run time). The returned block carries the
+// statically derivable successors (direct target, fall-through); computed
+// terminators get none, because synthesis has no profiling knowledge.
+// The block is not retained in the graph. ok is false when start lies
+// outside the module or is misaligned.
+func (g *Graph) SynthesizeAt(start uint64) (Block, bool) {
+	m := g.Module
+	if !m.Contains(start) || (start-m.Base)%isa.WordSize != 0 {
+		return Block{}, false
+	}
+	blk := Block{Start: start}
+	pc := start
+	for {
+		in := m.InstrAt(pc - m.Base)
+		blk.NumInstrs++
+		if in.Op == isa.ST {
+			blk.NumStores++
+		}
+		k := in.Kind()
+		if k.IsControlFlow() {
+			blk.End = pc
+			blk.Term = k
+			break
+		}
+		if blk.NumInstrs >= g.Limits.MaxInstrs || blk.NumStores >= g.Limits.MaxStores {
+			blk.End = pc
+			blk.Term = k
+			blk.Artificial = true
+			break
+		}
+		pc += isa.WordSize
+		if pc > m.Limit() {
+			blk.End = pc - isa.WordSize
+			blk.Term = k
+			blk.Artificial = true
+			return blk, true // fell off the module end: no successor
+		}
+	}
+	set := make(map[uint64]bool)
+	if blk.Artificial {
+		if blk.End+isa.WordSize <= m.Limit() {
+			set[blk.End+isa.WordSize] = true
+		}
+	} else {
+		in := m.InstrAt(blk.End - m.Base)
+		switch blk.Term {
+		case isa.KindCondBranch:
+			if t, ok := in.Target(blk.End); ok {
+				set[t] = true
+			}
+			set[blk.End+isa.WordSize] = true
+		case isa.KindJump, isa.KindCall:
+			if t, ok := in.Target(blk.End); ok {
+				set[t] = true
+			}
+		}
+	}
+	blk.Succs = sortedKeys(set)
+	return blk, true
 }
 
 // Stats summarizes the graph in the terms the paper reports (Sec. VIII).

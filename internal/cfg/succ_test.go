@@ -1,0 +1,143 @@
+package cfg
+
+import (
+	"reflect"
+	"testing"
+
+	"rev/internal/asm"
+	"rev/internal/isa"
+)
+
+// collectSuccs drains EachSucc into a slice, asserting completion.
+func collectSuccs(t *testing.T, b *Block) []uint64 {
+	t.Helper()
+	var got []uint64
+	if !b.EachSucc(func(s uint64) bool {
+		got = append(got, s)
+		return true
+	}) {
+		t.Fatalf("EachSucc reported early stop without one being requested")
+	}
+	return got
+}
+
+// TestSuccEmpty pins the degenerate cases prediction walks lean on: a
+// block with no successors (a HALT, or a profiled-but-never-taken
+// computed jump) iterates nothing, completes, and matches no address.
+func TestSuccEmpty(t *testing.T) {
+	b := &Block{Start: 0x100, End: 0x100, Term: isa.KindHalt}
+	if got := collectSuccs(t, b); len(got) != 0 {
+		t.Fatalf("empty block yielded %#v", got)
+	}
+	for _, a := range []uint64{0, 0x100, 0x108, ^uint64(0)} {
+		if b.HasSucc(a) {
+			t.Errorf("HasSucc(%#x) = true on a block with no successors", a)
+		}
+	}
+}
+
+// TestSuccOrderAndEarlyStop pins EachSucc's contract: sorted order
+// identical to the Succs slice, and a false yield stops the iteration
+// immediately and reports the early stop.
+func TestSuccOrderAndEarlyStop(t *testing.T) {
+	b := &Block{Succs: []uint64{0x10, 0x20, 0x30}}
+	if got := collectSuccs(t, b); !reflect.DeepEqual(got, b.Succs) {
+		t.Fatalf("EachSucc order %#v, want %#v", got, b.Succs)
+	}
+	var seen []uint64
+	complete := b.EachSucc(func(s uint64) bool {
+		seen = append(seen, s)
+		return len(seen) < 2
+	})
+	if complete || !reflect.DeepEqual(seen, []uint64{0x10, 0x20}) {
+		t.Fatalf("early stop: complete=%v seen=%#v, want false and the first two", complete, seen)
+	}
+	// HasSucc boundaries: below the first, between entries, above the last.
+	for _, a := range []uint64{0x8, 0x18, 0x38} {
+		if b.HasSucc(a) {
+			t.Errorf("HasSucc(%#x) = true, addr is not a successor", a)
+		}
+	}
+	for _, a := range b.Succs {
+		if !b.HasSucc(a) {
+			t.Errorf("HasSucc(%#x) = false for a listed successor", a)
+		}
+	}
+}
+
+// TestSuccReturnTargets proves a RET block's successors are the return
+// sites static call pairing (or profiling) discovered — the edge the
+// prefetcher's frontier walk follows through returns — and that the
+// successor iteration exposes them like any other edge.
+func TestSuccReturnTargets(t *testing.T) {
+	b := asm.New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.Call("f")
+	b.Call("f")
+	b.Halt()
+	b.Func("f")
+	b.Op3(isa.ADD, 1, 1, 1)
+	b.Ret()
+	p, m := buildProg(t, b)
+
+	bld := NewBuilder(m, DefaultLimits())
+	Analyze(p, DefaultAnalyzeOptions()).Apply(bld)
+	g, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fEntry, ok := m.Lookup("f")
+	if !ok {
+		t.Fatal("no symbol f")
+	}
+	fblk := g.ByStart[fEntry]
+	if fblk == nil || fblk.Term != isa.KindRet {
+		t.Fatalf("callee block: %+v", fblk)
+	}
+	// Both call sites' return addresses are successors of the one RET.
+	site1 := m.Base + 1*isa.WordSize
+	site2 := m.Base + 2*isa.WordSize
+	got := collectSuccs(t, fblk)
+	if !fblk.HasSucc(site1) || !fblk.HasSucc(site2) || len(got) != 2 {
+		t.Fatalf("RET successors = %#v, want both return sites %#x and %#x", got, site1, site2)
+	}
+	for _, s := range got {
+		landing := g.ByStart[s]
+		if landing == nil {
+			t.Fatalf("no landing block at return site %#x", s)
+		}
+		if !landing.HasRetPred(fblk.End) {
+			t.Errorf("landing %#x RetPreds = %#v, missing RET %#x", s, landing.RetPreds, fblk.End)
+		}
+	}
+}
+
+// TestSuccArtificialBlock proves a limit-cut block's successor set is
+// exactly the fall-through — no more, no less — so a walk through an
+// artificial cut continues linearly.
+func TestSuccArtificialBlock(t *testing.T) {
+	b := asm.New("t")
+	b.Func("main")
+	b.Entry("main")
+	for i := 0; i < 20; i++ {
+		b.OpI(isa.ADDI, 1, 1, 1)
+	}
+	b.Halt()
+	_, m := buildProg(t, b)
+	g, err := NewBuilder(m, Limits{MaxInstrs: 8, MaxStores: 8}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := g.ByStart[m.Base]
+	if first == nil || !first.Artificial {
+		t.Fatalf("first block not an artificial cut: %+v", first)
+	}
+	fall := first.End + isa.WordSize
+	if got := collectSuccs(t, first); len(got) != 1 || got[0] != fall {
+		t.Fatalf("artificial block successors = %#v, want exactly the fall-through %#x", got, fall)
+	}
+	if !first.HasSucc(fall) || first.HasSucc(first.Start) {
+		t.Errorf("HasSucc disagrees with the fall-through-only contract: %#v", first.Succs)
+	}
+}

@@ -178,6 +178,12 @@ type Engine struct {
 	// degraded to a cached snapshot) can be collected into the Result.
 	sources []moduleSource
 
+	// commitObs, when non-nil, hears about every committed block (a
+	// prefetch predictor training itself on observed control flow). Set
+	// by AddSharedModule when a registered source implements
+	// sigtable.CommitObserver; the call is non-blocking by contract.
+	commitObs sigtable.CommitObserver
+
 	// Signature memoization (functional hot-path cache, see memo.go):
 	// memo holds per-block signatures; cv is the address space's
 	// code-version epoch source (nil when the space cannot report code
@@ -478,6 +484,9 @@ func (e *Engine) validateHashed(info cpu.BBInfo, sig, codeSig chash.Sig, codeSig
 		e.pendingRet = info.End
 	}
 	e.Stats.ValidatedBlocks++
+	if e.commitObs != nil {
+		e.commitObs.ObserveCommit(info.End, info.NextPC, info.Term)
+	}
 
 	ready := maxU(hashReady, scReady) + sagPen
 	return ready, nil
@@ -526,6 +535,9 @@ func (e *Engine) hookCFIOnly(info cpu.BBInfo) (uint64, error) {
 		e.SC.Fill(sigtable.Entry{End: info.End, Hash: 0, Targets: []uint64{info.NextPC}}, need)
 	}
 	e.Stats.ValidatedBlocks++
+	if e.commitObs != nil {
+		e.commitObs.ObserveCommit(info.End, info.NextPC, info.Term)
+	}
 	return scReady + sagPen, nil
 }
 

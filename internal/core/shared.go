@@ -6,6 +6,7 @@ import (
 	"rev/internal/cfg"
 	"rev/internal/crypt"
 	"rev/internal/isa"
+	"rev/internal/prefetch"
 	"rev/internal/prog"
 	"rev/internal/sag"
 	"rev/internal/sigtable"
@@ -64,6 +65,10 @@ type Prepared struct {
 	// Tables holds one immutable SharedTable per program module, in
 	// module order.
 	Tables []*SharedTable
+	// pf is the predictive signature prefetcher (PrepareRemote with
+	// RunConfig.Prefetch.Depth > 0 over wire-lookup sources); nil
+	// otherwise. Close stops it.
+	pf *prefetch.Prefetcher
 }
 
 // Prepare performs the per-workload preparation of Run — profiling twin,
@@ -200,7 +205,85 @@ func PrepareRemote(build func() (*prog.Program, error), rc RunConfig, tp TablePr
 			Src:    src,
 		})
 	}
+	if rc.Prefetch.Depth > 0 {
+		if err := p.attachPrefetcher(analysis); err != nil {
+			return nil, err
+		}
+	}
 	return p, nil
+}
+
+// attachPrefetcher builds the predictive signature prefetcher over every
+// module whose source resolves lookups over a wire (sigtable.BatchSource
+// with RemoteLookups), and interposes its buffer-fronting facade as that
+// module's engine-visible source. The prediction CFGs are built from
+// static analysis alone — call/ret pairing and jump-table recovery on
+// the never-executed analysis image — because PrepareRemote deliberately
+// has no profiling run; computed targets static analysis cannot see are
+// learned at run time through the predictor's MRU successor training.
+// Snapshot-mode (or local) sources are left untouched: they have no
+// latency to hide. When no module qualifies the Prepared simply carries
+// no prefetcher.
+func (p *Prepared) attachPrefetcher(analysis *prog.Program) error {
+	static := cfg.Analyze(analysis, cfg.DefaultAnalyzeOptions())
+	var mods []prefetch.Module
+	var wrapped []*SharedTable
+	for _, st := range p.Tables {
+		bs, ok := st.Src.(sigtable.BatchSource)
+		if !ok || !bs.RemoteLookups() {
+			continue
+		}
+		var mod *prog.Module
+		for _, m := range analysis.Modules {
+			if m.Name == st.Module {
+				mod = m
+				break
+			}
+		}
+		if mod == nil {
+			return fmt.Errorf("core: prefetch: no program module named %s", st.Module)
+		}
+		bld := cfg.NewBuilder(mod, p.rc.REV.Limits)
+		static.Apply(bld)
+		g, err := bld.Build()
+		if err != nil {
+			return fmt.Errorf("core: prefetch CFG for %s: %w", st.Module, err)
+		}
+		mods = append(mods, prefetch.Module{Name: st.Module, Graph: g, Src: bs})
+		wrapped = append(wrapped, st)
+	}
+	if len(mods) == 0 {
+		return nil
+	}
+	pf, err := prefetch.New(p.rc.Prefetch, p.rc.REV.Format, mods, p.rc.Telemetry)
+	if err != nil {
+		return err
+	}
+	for _, st := range wrapped {
+		st.Src = pf.SourceFor(st.Module)
+	}
+	p.pf = pf
+	return nil
+}
+
+// Close releases background resources held by the Prepared — today the
+// prefetch goroutine, when one was attached. Safe to call on any
+// Prepared, more than once. Runs issued after Close still work: their
+// lookups simply stop being predicted and fall back to blocking.
+func (p *Prepared) Close() {
+	if p.pf != nil {
+		p.pf.Close()
+	}
+}
+
+// PrefetchStats reports the prefetcher's cumulative counters; ok is
+// false when the Prepared carries no prefetcher (local tables, snapshot
+// sources, or Prefetch disabled).
+func (p *Prepared) PrefetchStats() (prefetch.Stats, bool) {
+	if p.pf == nil {
+		return prefetch.Stats{}, false
+	}
+	return p.pf.Stats(), true
 }
 
 // Config returns a copy of the RunConfig the workload was prepared with.
@@ -270,6 +353,11 @@ func (e *Engine) AddSharedModule(st *SharedTable) error {
 		return fmt.Errorf("core: shared table for %s has neither Snap nor Src", st.Module)
 	}
 	e.sources = append(e.sources, moduleSource{module: st.Module, src: src})
+	if co, ok := src.(sigtable.CommitObserver); ok && e.commitObs == nil {
+		// All prefetch facades feed the same predictor; the first one
+		// registered carries the engine's commit stream.
+		e.commitObs = co
+	}
 	return e.SAG.Register(&sag.Region{
 		Module: st.Module,
 		Start:  st.Start,

@@ -10,6 +10,7 @@ import (
 	"rev/internal/forensics"
 	"rev/internal/isa"
 	"rev/internal/mem"
+	"rev/internal/prefetch"
 	"rev/internal/prog"
 	"rev/internal/shadow"
 	"rev/internal/sigtable"
@@ -49,6 +50,16 @@ type RunConfig struct {
 	// byte-identical with it on or off; only simulator wall time changes.
 	// A nil or empty Set is the zero-cost disabled path.
 	Telemetry *telemetry.Set
+	// Prefetch tunes predictive signature prefetching for PrepareRemote
+	// workloads whose sources resolve lookups over a wire (sigserve lookup
+	// mode): a CFG-driven predictor fetches likely-needed entries ahead of
+	// the engine so the commit path rarely blocks on the network. The zero
+	// value (Depth 0) disables it. Results are byte-identical at any
+	// setting — a buffered answer is served only on an exact query-key
+	// match, and every miss falls back to the blocking lookup with today's
+	// degradation semantics. Ignored by Prepare (local snapshots have no
+	// wire latency to hide).
+	Prefetch prefetch.Config
 	// Lanes selects the intra-run validation pipeline (pipeline.go):
 	// negative auto-sizes the lane count from GOMAXPROCS (AutoLanes), 0
 	// keeps the classic serial loop, and n >= 1 overlaps the functional

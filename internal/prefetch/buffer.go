@@ -1,0 +1,98 @@
+package prefetch
+
+import (
+	"sync/atomic"
+
+	"rev/internal/chash"
+	"rev/internal/sigtable"
+)
+
+// qkey identifies one speculative query exactly: every field the server
+// answer depends on. A buffer entry is served only on a full-key match,
+// which is what makes a hit bit-identical to the blocking lookup it
+// replaces.
+type qkey struct {
+	mod  int // module index within the Prefetcher
+	kind sigtable.BatchKind
+	end  uint64
+	sig  chash.Sig
+	want sigtable.Want
+}
+
+// bufEntry is one buffered speculative answer. err is nil or
+// sigtable.ErrMiss — transport errors are never buffered. used flips
+// when an engine consumes the entry, so an overwrite of a never-used
+// entry can be counted as wasted speculation.
+type bufEntry struct {
+	key     qkey
+	entry   sigtable.Entry
+	touched []uint64
+	err     error
+	epoch   uint64
+	used    atomic.Bool
+}
+
+// buffer is the bounded prefetch buffer: a direct-mapped, power-of-two
+// table of atomic entry pointers. One goroutine fills (the prefetcher),
+// any number of engines read lock-free. Collisions overwrite — the
+// evicted query simply misses back to the blocking path, so overflow
+// degrades latency, never correctness.
+type buffer struct {
+	slots []atomic.Pointer[bufEntry]
+	mask  uint64
+}
+
+func newBuffer(n int) *buffer {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &buffer{slots: make([]atomic.Pointer[bufEntry], size), mask: uint64(size - 1)}
+}
+
+// slot hashes a key to its slot index. The mixer folds every key field
+// so conditional-arm twins (same end, different want.Target) don't
+// collide structurally.
+func (b *buffer) slot(k qkey) uint64 {
+	h := k.end*0x9e3779b97f4a7c15 ^ uint64(k.sig)*0xbf58476d1ce4e5b9
+	h ^= uint64(k.mod)<<56 | uint64(k.kind)<<48
+	h ^= k.want.Target * 0x94d049bb133111eb
+	h ^= k.want.Pred * 0x2545f4914f6cdd1d
+	if k.want.CheckTarget {
+		h ^= 0xa5a5
+	}
+	if k.want.CheckPred {
+		h ^= 0x5a5a00
+	}
+	h ^= h >> 29
+	return h & b.mask
+}
+
+// put publishes e, returning true when it overwrote a filled entry that
+// no engine ever read (wasted speculation).
+func (b *buffer) put(e *bufEntry) (overwroteUnused bool) {
+	s := &b.slots[b.slot(e.key)]
+	old := s.Swap(e)
+	return old != nil && !old.used.Load()
+}
+
+// peek reports whether k is currently buffered, without touching the
+// used mark (the predictor's budget check must not skew the wasted
+// accounting).
+func (b *buffer) peek(k qkey) bool {
+	e := b.slots[b.slot(k)].Load()
+	return e != nil && e.key == k
+}
+
+// get returns the buffered answer for k when one is present under the
+// exact key, marking it used. The entry stays in place — repeated
+// lookups of the same block (e.g. a loop body evicted from the SC) keep
+// hitting until overwritten.
+func (b *buffer) get(k qkey) (*bufEntry, bool) {
+	e := b.slots[b.slot(k)].Load()
+	if e == nil || e.key != k {
+		return nil, false
+	}
+	e.used.Store(true)
+	return e, true
+}

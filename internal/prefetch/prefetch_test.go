@@ -1,0 +1,349 @@
+package prefetch
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rev/internal/asm"
+	"rev/internal/cfg"
+	"rev/internal/chash"
+	"rev/internal/isa"
+	"rev/internal/prog"
+	"rev/internal/sigtable"
+)
+
+// fakeSource is a deterministic BatchSource: every hashed-table query
+// answers with an entry derived from the request, every edge query with
+// a fixed touched list, and — with fail set — every *batch* query with a
+// transport error (the blocking path stays healthy, as a degraded-but-
+// cached RemoteSource would).
+type fakeSource struct {
+	mu       sync.Mutex
+	blocking int
+	batches  int
+	fail     bool
+}
+
+func (f *fakeSource) answer(end uint64) (sigtable.Entry, []uint64) {
+	return sigtable.Entry{End: end, Hash: chash.Sig(end * 3)}, []uint64{end, end + 8}
+}
+
+func (f *fakeSource) Lookup(end uint64, sig chash.Sig, want sigtable.Want) (sigtable.Entry, []uint64, error) {
+	f.mu.Lock()
+	f.blocking++
+	f.mu.Unlock()
+	e, tc := f.answer(end)
+	return e, tc, nil
+}
+
+func (f *fakeSource) LookupAll(end uint64, sig chash.Sig) (sigtable.Entry, []uint64, error) {
+	return f.Lookup(end, sig, sigtable.Want{})
+}
+
+func (f *fakeSource) LookupEdge(src, dst uint64) ([]uint64, error) {
+	f.mu.Lock()
+	f.blocking++
+	f.mu.Unlock()
+	return []uint64{src}, nil
+}
+
+func (f *fakeSource) LookupBatch(reqs []sigtable.BatchReq) []sigtable.BatchRes {
+	f.mu.Lock()
+	f.batches++
+	fail := f.fail
+	f.mu.Unlock()
+	out := make([]sigtable.BatchRes, len(reqs))
+	for i, r := range reqs {
+		if fail {
+			out[i].Err = fmt.Errorf("fake transport down: %w", sigtable.ErrUnavailable)
+			continue
+		}
+		out[i].Entry, out[i].Touched = f.answer(r.End)
+	}
+	return out
+}
+
+func (f *fakeSource) LiveEpoch() uint64   { return 7 }
+func (f *fakeSource) RemoteLookups() bool { return true }
+func (f *fakeSource) blockingCalls() int  { f.mu.Lock(); defer f.mu.Unlock(); return f.blocking }
+func (f *fakeSource) batchCalls() int     { f.mu.Lock(); defer f.mu.Unlock(); return f.batches }
+
+var _ sigtable.BatchSource = (*fakeSource)(nil)
+
+// testGraph builds the CFG of a tiny three-block loop module (entry,
+// loop body, halt — all plain terminators under the Normal format).
+func testGraph(t *testing.T) *cfg.Graph {
+	t.Helper()
+	b := asm.New("t")
+	b.Func("main")
+	b.Entry("main")
+	b.LoadImm(1, 0)
+	b.LoadImm(2, 4)
+	b.Label("loop")
+	b.OpI(isa.ADDI, 1, 1, 1)
+	b.Br(isa.BLT, 1, 2, "loop")
+	b.Halt()
+	m, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prog.NewProgram()
+	if err := p.Load(m); err != nil {
+		t.Fatal(err)
+	}
+	bld := cfg.NewBuilder(m, cfg.DefaultLimits())
+	cfg.Analyze(p, cfg.DefaultAnalyzeOptions()).Apply(bld)
+	g, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// refSig computes a block's reference signature exactly as the predictor
+// (and sigtable.Build) does, without touching the prefetcher's memo maps.
+func refSig(g *cfg.Graph, b *cfg.Block) chash.Sig {
+	m := g.Module
+	var sig chash.Sig
+	chash.BBSignatureInto(&sig, m.Code[b.Start-m.Base:b.End-m.Base+isa.WordSize], b.Start, b.End)
+	return sig
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBufferExactMatchAndPersistence(t *testing.T) {
+	b := newBuffer(8)
+	k := qkey{kind: sigtable.BatchLookup, end: 0x10, sig: 1}
+	if b.peek(k) {
+		t.Fatal("peek hit on an empty buffer")
+	}
+	if _, ok := b.get(k); ok {
+		t.Fatal("get hit on an empty buffer")
+	}
+	if wasted := b.put(&bufEntry{key: k, entry: sigtable.Entry{End: 0x10}, epoch: 3}); wasted {
+		t.Fatal("first put into an empty slot reported a wasted overwrite")
+	}
+	if !b.peek(k) {
+		t.Fatal("peek missed a buffered key")
+	}
+	e, ok := b.get(k)
+	if !ok || e.entry.End != 0x10 || e.epoch != 3 {
+		t.Fatalf("get returned %+v, %v", e, ok)
+	}
+	// Entries persist across reads: the same query hits again (loops).
+	if _, ok := b.get(k); !ok {
+		t.Fatal("entry did not persist across get")
+	}
+	// Any differing key field — here the Want — must miss, never
+	// near-match: byte identity rides on exact-query equality.
+	k2 := k
+	k2.want = sigtable.Want{CheckTarget: true, Target: 0x20}
+	if b.peek(k2) {
+		t.Fatal("peek hit for a different Want on the same block")
+	}
+	if _, ok := b.get(k2); ok {
+		t.Fatal("get hit for a different Want on the same block")
+	}
+}
+
+func TestBufferCollisionCountsWasted(t *testing.T) {
+	b := newBuffer(1) // one slot: every key collides
+	ka := qkey{end: 0x10, sig: 1}
+	kb := qkey{end: 0x20, sig: 2}
+	b.put(&bufEntry{key: ka})
+	if wasted := b.put(&bufEntry{key: kb}); !wasted {
+		t.Fatal("overwriting a never-read entry must count as wasted")
+	}
+	if _, ok := b.get(ka); ok {
+		t.Fatal("overwritten entry still readable")
+	}
+	if _, ok := b.get(kb); !ok {
+		t.Fatal("overwriting entry not readable")
+	}
+	// kb has been read now; replacing it is not waste.
+	if wasted := b.put(&bufEntry{key: ka}); wasted {
+		t.Fatal("overwriting a consumed entry must not count as wasted")
+	}
+}
+
+func TestStatsAccuracy(t *testing.T) {
+	if got := (Stats{}).Accuracy(); got != 1 {
+		t.Fatalf("empty accuracy = %v, want 1", got)
+	}
+	if got := (Stats{Hits: 3, Late: 1, Misses: 1}).Accuracy(); got != 0.6 {
+		t.Fatalf("accuracy = %v, want 0.6", got)
+	}
+}
+
+// TestSweepWarmsBufferAndServesHits proves the construction-time backlog
+// sweep alone (no commits observed at all) fills the buffer with every
+// statically enumerable query, and that an engine-exact lookup is then
+// served from the buffer without a blocking round trip.
+func TestSweepWarmsBufferAndServesHits(t *testing.T) {
+	g := testGraph(t)
+	fs := &fakeSource{}
+	p, err := New(Config{Depth: 8}, sigtable.Normal, []Module{{Name: "t", Graph: g, Src: fs}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if len(p.backlog) == 0 {
+		t.Fatal("no static backlog for a module with blocks")
+	}
+	want := uint64(len(p.backlog))
+	waitFor(t, "backlog sweep", func() bool { return p.Stats().Filled >= want })
+
+	src := p.SourceFor("t")
+	if src == nil {
+		t.Fatal("SourceFor returned nil for a known module")
+	}
+	eb := g.ByStart[g.Module.Base]
+	entry, touched, err := src.Lookup(eb.End, refSig(g, eb), sigtable.Want{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEntry, wantTouched := fs.answer(eb.End)
+	if entry.End != wantEntry.End || entry.Hash != wantEntry.Hash ||
+		fmt.Sprint(touched) != fmt.Sprint(wantTouched) {
+		t.Fatalf("buffered answer %+v/%v diverged from the source's %+v/%v",
+			entry, touched, wantEntry, wantTouched)
+	}
+	if n := fs.blockingCalls(); n != 0 {
+		t.Fatalf("buffered hit still made %d blocking calls", n)
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stats after one buffered hit: %+v", st)
+	}
+}
+
+// TestMissFallsBackToBlocking proves a query the predictor never planned
+// (here: a signature the static image cannot produce) takes the plain
+// blocking path with the underlying source's own answer, counted as a
+// prediction miss — never an error.
+func TestMissFallsBackToBlocking(t *testing.T) {
+	g := testGraph(t)
+	fs := &fakeSource{}
+	p, err := New(Config{Depth: 8}, sigtable.Normal, []Module{{Name: "t", Graph: g, Src: fs}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	waitFor(t, "backlog sweep", func() bool { return p.Stats().Filled >= uint64(len(p.backlog)) })
+
+	src := p.SourceFor("t")
+	eb := g.ByStart[g.Module.Base]
+	wrong := refSig(g, eb) + 1
+	if _, _, err := src.Lookup(eb.End, wrong, sigtable.Want{}); err != nil {
+		t.Fatal(err)
+	}
+	if n := fs.blockingCalls(); n != 1 {
+		t.Fatalf("unplanned query made %d blocking calls, want 1", n)
+	}
+	if st := p.Stats(); st.Misses != 1 {
+		t.Fatalf("stats after one unplanned query: %+v", st)
+	}
+}
+
+// TestTransportErrorsNeverCached proves a failing speculative batch path
+// leaves the buffer empty — transport errors must never become cached
+// verdicts — while the blocking path keeps answering.
+func TestTransportErrorsNeverCached(t *testing.T) {
+	g := testGraph(t)
+	fs := &fakeSource{fail: true}
+	p, err := New(Config{Depth: 4}, sigtable.Normal, []Module{{Name: "t", Graph: g, Src: fs}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	waitFor(t, "failed sweep attempts", func() bool { return p.Stats().FillFailed >= uint64(len(p.backlog)) })
+	if st := p.Stats(); st.Filled != 0 {
+		t.Fatalf("transport errors were cached: %+v", st)
+	}
+
+	src := p.SourceFor("t")
+	eb := g.ByStart[g.Module.Base]
+	if _, _, err := src.Lookup(eb.End, refSig(g, eb), sigtable.Want{}); err != nil {
+		t.Fatalf("blocking fallback failed: %v", err)
+	}
+	if n := fs.blockingCalls(); n != 1 {
+		t.Fatalf("fallback made %d blocking calls, want 1", n)
+	}
+}
+
+// TestObserveAfterCloseFallsBack proves the facade outlives the fill
+// goroutine: commits observed after Close are dropped and every lookup
+// falls back to the blocking path (minus whatever the sweep buffered).
+func TestObserveAfterCloseFallsBack(t *testing.T) {
+	g := testGraph(t)
+	fs := &fakeSource{fail: true} // nothing ever buffered
+	p, err := New(Config{Depth: 4}, sigtable.Normal, []Module{{Name: "t", Graph: g, Src: fs}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := p.SourceFor("t")
+	p.Close()
+	p.Close() // idempotent
+
+	obs, ok := src.(sigtable.CommitObserver)
+	if !ok {
+		t.Fatal("facade does not observe commits")
+	}
+	obs.ObserveCommit(0x10, 0x20, isa.KindJump) // must not panic or block
+	eb := g.ByStart[g.Module.Base]
+	if _, _, err := src.Lookup(eb.End, refSig(g, eb), sigtable.Want{}); err != nil {
+		t.Fatalf("post-Close lookup failed: %v", err)
+	}
+	if n := fs.blockingCalls(); n != 1 {
+		t.Fatalf("post-Close lookup made %d blocking calls, want 1", n)
+	}
+}
+
+// TestPredictMirrorsEngineQueries drives the frontier walk directly
+// (after Close, so no concurrent fill goroutine) and checks the planned
+// queries are exactly the engine-shaped ones for the blocks ahead.
+func TestPredictMirrorsEngineQueries(t *testing.T) {
+	g := testGraph(t)
+	fs := &fakeSource{fail: true} // keep the buffer empty
+	p, err := New(Config{Depth: 8}, sigtable.Normal, []Module{{Name: "t", Graph: g, Src: fs}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	base := g.Module.Base
+	entry := g.ByStart[base]
+	loopStart := entry.Succs[0] // cond branch: taken target sorts first
+	loop := g.ByStart[loopStart]
+	plan := p.predict(event{end: entry.End, next: loopStart, term: entry.Term})
+	if len(plan) == 0 {
+		t.Fatal("no queries planned from a live frontier")
+	}
+	// First planned query: the block about to execute, plain want (the
+	// branch is not computed and the format is not Aggressive).
+	first := plan[0]
+	if first.key.end != loop.End || first.key.sig != refSig(g, loop) ||
+		first.key.want != (sigtable.Want{}) || first.key.kind != sigtable.BatchLookup {
+		t.Fatalf("first planned query %+v, want plain lookup for block ending %#x", first.key, loop.End)
+	}
+	// The walk must reach past the first block while budget remains.
+	seen := make(map[uint64]bool)
+	for _, pl := range plan {
+		seen[pl.key.end] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("walk planned only %v, want at least the next two blocks", seen)
+	}
+}

@@ -1,0 +1,101 @@
+package prefetch
+
+import (
+	"rev/internal/chash"
+	"rev/internal/isa"
+	"rev/internal/sigtable"
+)
+
+// source is the per-module facade engines register instead of the raw
+// remote source: every lookup consults the prefetch buffer first and
+// falls back to the underlying blocking source on anything but an exact
+// buffered answer — so misprediction, overflow, staleness, and plain
+// cold paths behave exactly as an unprefetched run, including the
+// remote source's degrade-to-snapshot semantics and SourceNotes.
+type source struct {
+	p  *Prefetcher
+	ms *moduleState
+}
+
+// Interface conformance (compile-time).
+var (
+	_ sigtable.Source         = (*source)(nil)
+	_ sigtable.HealthReporter = (*source)(nil)
+	_ sigtable.CommitObserver = (*source)(nil)
+)
+
+// consume serves k from the buffer when present and current. ok=false
+// sends the caller to the blocking path after the miss is classified
+// (late when the key is in a speculative batch right now, plain miss
+// otherwise).
+func (s *source) consume(k qkey) (*bufEntry, bool) {
+	p := s.p
+	if e, hit := p.buf.get(k); hit {
+		if e.epoch == s.ms.src.LiveEpoch() {
+			p.ctr.hits.Add(1)
+			if t := p.tel; t != nil && t.hits != nil {
+				t.hits.Inc()
+			}
+			return e, true
+		}
+		p.ctr.stale.Add(1)
+		if t := p.tel; t != nil && t.stale != nil {
+			t.stale.Inc()
+		}
+	}
+	if p.inFlight(k) {
+		p.ctr.late.Add(1)
+		if t := p.tel; t != nil && t.late != nil {
+			t.late.Inc()
+		}
+	} else {
+		p.ctr.misses.Add(1)
+		if t := p.tel; t != nil && t.misses != nil {
+			t.misses.Inc()
+		}
+	}
+	return nil, false
+}
+
+// Lookup implements sigtable.Source: buffer first (exact full-key match
+// only), blocking fallback otherwise.
+func (s *source) Lookup(end uint64, sig chash.Sig, want sigtable.Want) (sigtable.Entry, []uint64, error) {
+	k := qkey{mod: s.ms.idx, kind: sigtable.BatchLookup, end: end, sig: sig, want: want}
+	if e, ok := s.consume(k); ok {
+		return e.entry, e.touched, e.err
+	}
+	return s.ms.src.Lookup(end, sig, want)
+}
+
+// LookupAll implements sigtable.Source. Full-entry queries (forensics,
+// tooling) are not on the prediction path; forward directly.
+func (s *source) LookupAll(end uint64, sig chash.Sig) (sigtable.Entry, []uint64, error) {
+	return s.ms.src.LookupAll(end, sig)
+}
+
+// LookupEdge implements sigtable.Source: buffer first, blocking
+// fallback otherwise (the CFIOnly query shape).
+func (s *source) LookupEdge(src, dst uint64) ([]uint64, error) {
+	k := qkey{mod: s.ms.idx, kind: sigtable.BatchEdge, end: src, want: sigtable.Want{Target: dst}}
+	if e, ok := s.consume(k); ok {
+		return e.touched, e.err
+	}
+	return s.ms.src.LookupEdge(src, dst)
+}
+
+// HealthNote implements sigtable.HealthReporter by delegating to the
+// underlying source, so a remote source's degradation still lands on
+// Result.SourceNotes with the facade in between.
+func (s *source) HealthNote() (sigtable.SourceNote, bool) {
+	if hr, ok := s.ms.src.(sigtable.HealthReporter); ok {
+		return hr.HealthNote()
+	}
+	return sigtable.SourceNote{}, false
+}
+
+// ObserveCommit implements sigtable.CommitObserver: feed the predictor.
+// Non-blocking (drops under pressure), as the engine's commit path
+// requires.
+func (s *source) ObserveCommit(end, next uint64, term isa.Kind) {
+	s.p.observe(end, next, term)
+}

@@ -1,0 +1,80 @@
+package prefetch
+
+import (
+	"time"
+
+	"rev/internal/telemetry"
+)
+
+// prefetchTelemetry holds pre-resolved metric handles so emission sites
+// pay one nil check, matching the engine/telemetry idiom. A nil
+// *prefetchTelemetry (no Set) disables everything; the atomic Stats
+// counters stay on regardless.
+type prefetchTelemetry struct {
+	issued  *telemetry.Counter
+	batches *telemetry.Counter
+	filled  *telemetry.Counter
+	failed  *telemetry.Counter
+	hits    *telemetry.Counter
+	late    *telemetry.Counter
+	misses  *telemetry.Counter
+	stale   *telemetry.Counter
+	wasted  *telemetry.Counter
+	dropped *telemetry.Counter
+
+	fillLatency *telemetry.Histogram
+	batchDepth  *telemetry.Histogram
+
+	track    *telemetry.Track
+	spanName telemetry.NameID
+	argName  telemetry.NameID
+}
+
+func newPrefetchTelemetry(set *telemetry.Set) *prefetchTelemetry {
+	if set == nil {
+		return nil
+	}
+	t := &prefetchTelemetry{}
+	if reg := set.Registry(); reg != nil {
+		t.issued = reg.Counter("prefetch_issued_total", "speculative signature queries sent to the source")
+		t.batches = reg.Counter("prefetch_batches_total", "speculative batch calls (wire round trips)")
+		t.filled = reg.Counter("prefetch_filled_total", "speculative answers cached in the prefetch buffer")
+		t.failed = reg.Counter("prefetch_fill_failed_total", "speculative queries dropped on transport error")
+		t.hits = reg.Counter("prefetch_hits_total", "engine lookups served from the prefetch buffer")
+		t.late = reg.Counter("prefetch_late_total", "engine lookups that coalesced with an in-flight prefetch")
+		t.misses = reg.Counter("prefetch_misses_total", "engine lookups that fell back to a blocking round trip")
+		t.stale = reg.Counter("prefetch_stale_total", "buffered answers discarded on table-epoch change")
+		t.wasted = reg.Counter("prefetch_wasted_total", "buffered answers overwritten before any engine read them")
+		t.dropped = reg.Counter("prefetch_dropped_observes_total", "commit observations dropped under channel pressure")
+		t.fillLatency = reg.Histogram("prefetch_fill_latency_ns", "issue-to-fill latency of one speculative batch, nanoseconds")
+		t.batchDepth = reg.Histogram("prefetch_batch_depth", "speculative queries per batch call")
+	}
+	if rec := set.Recorder(); rec != nil {
+		t.track = rec.Track("prefetch")
+		t.spanName = rec.Name("prefetch/batch")
+		t.argName = rec.Name("queries")
+	}
+	return t
+}
+
+// batchBegin opens the trace span for one speculative batch.
+func (t *prefetchTelemetry) batchBegin(n int) {
+	if t.batches != nil {
+		t.batches.Inc()
+	}
+	if t.issued != nil {
+		t.issued.Add(uint64(n))
+	}
+	if t.batchDepth != nil {
+		t.batchDepth.Observe(uint64(n))
+	}
+	t.track.Begin(t.spanName)
+}
+
+// batchEnd closes the span and records issue-to-fill latency.
+func (t *prefetchTelemetry) batchEnd(n int, d time.Duration) {
+	if t.fillLatency != nil {
+		t.fillLatency.Observe(uint64(d.Nanoseconds()))
+	}
+	t.track.EndArg(t.argName, uint64(n))
+}

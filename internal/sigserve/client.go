@@ -110,6 +110,8 @@ type clientTelemetry struct {
 	failures  *telemetry.Counter
 	coalesced *telemetry.Counter
 	batches   *telemetry.Counter
+	deduped   *telemetry.Counter
+	batchSize *telemetry.Histogram
 	degraded  *telemetry.Counter
 	breaker   *telemetry.Gauge
 	rtt       *telemetry.Histogram
@@ -171,6 +173,8 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 			failures:  reg.Counter("sigserve_client_failures_total", "round trips that exhausted retries"),
 			coalesced: reg.Counter("sigserve_client_coalesced_total", "lookups answered by an already in-flight twin"),
 			batches:   reg.Counter("sigserve_client_batches_total", "batch frames dispatched"),
+			deduped:   reg.Counter("sigserve_client_batch_deduped_total", "duplicate queries folded out of batch calls before encode"),
+			batchSize: reg.Histogram("sigserve_client_batch_size", "queries per dispatched batch frame"),
 			degraded:  reg.Counter("sigserve_client_degraded_lookups_total", "lookups served from the stale local cache"),
 			breaker:   reg.Gauge("sigserve_client_breaker_state", "circuit breaker state (0 closed, 1 open, 2 half-open)"),
 			rtt:       reg.Histogram("sigserve_client_rtt_ns", "request round-trip time, ns"),
@@ -491,6 +495,16 @@ type lookupKey struct {
 	target, pred    uint64
 }
 
+// keyOf derives the coalescing key from a request (all request fields,
+// so two queries coalesce only when the server's answer — including the
+// touched-address list — is guaranteed identical).
+func keyOf(req lookupReq) lookupKey {
+	return lookupKey{
+		module: req.Module, kind: req.Kind, wantFlags: req.WantFlags,
+		end: req.End, sig: req.Sig, target: req.Target, pred: req.Pred,
+	}
+}
+
 // pendingLookup is one in-flight coalesced query.
 type pendingLookup struct {
 	key  lookupKey
@@ -507,10 +521,7 @@ func (c *Client) lookup(req lookupReq) (lookupRes, error) {
 		c.dispatchWG.Add(1)
 		go c.dispatch()
 	})
-	key := lookupKey{
-		module: req.Module, kind: req.Kind, wantFlags: req.WantFlags,
-		end: req.End, sig: req.Sig, target: req.Target, pred: req.Pred,
-	}
+	key := keyOf(req)
 	c.inflightMu.Lock()
 	if p := c.inflight[key]; p != nil {
 		c.inflightMu.Unlock()
@@ -570,11 +581,73 @@ func (c *Client) failQueued() {
 	}
 }
 
+// lookupMany resolves many queries with one batch pass: duplicates
+// within the call are folded onto a single wire slot before encode,
+// queries already in flight (from any caller) are coalesced onto the
+// existing pending, and the remainder is dispatched directly as batch
+// frames of up to BatchMax. Results and errors are fanned back out to
+// every input position, duplicates included. Unlike lookup, the wire
+// trip happens on the calling goroutine — the prefetcher's batch is
+// already assembled, so funneling it through the dispatcher would only
+// add queueing.
+func (c *Client) lookupMany(reqs []lookupReq) ([]lookupRes, []error) {
+	pend := make([]*pendingLookup, len(reqs))
+	var owned []*pendingLookup
+	seen := make(map[lookupKey]*pendingLookup, len(reqs))
+	var dups, coalesced uint64
+	c.inflightMu.Lock()
+	for i, req := range reqs {
+		key := keyOf(req)
+		if p := seen[key]; p != nil {
+			pend[i] = p
+			dups++
+			continue
+		}
+		if p := c.inflight[key]; p != nil {
+			pend[i] = p
+			seen[key] = p
+			coalesced++
+			continue
+		}
+		p := &pendingLookup{key: key, req: req, done: make(chan struct{})}
+		c.inflight[key] = p
+		seen[key] = p
+		owned = append(owned, p)
+		pend[i] = p
+	}
+	c.inflightMu.Unlock()
+	if c.tel != nil {
+		if c.tel.deduped != nil && dups > 0 {
+			c.tel.deduped.Add(dups)
+		}
+		if c.tel.coalesced != nil && coalesced > 0 {
+			c.tel.coalesced.Add(coalesced)
+		}
+	}
+	for start := 0; start < len(owned); start += c.cfg.BatchMax {
+		end := start + c.cfg.BatchMax
+		if end > len(owned) {
+			end = len(owned)
+		}
+		c.doBatch(owned[start:end])
+	}
+	res := make([]lookupRes, len(reqs))
+	errs := make([]error, len(reqs))
+	for i, p := range pend {
+		<-p.done
+		res[i], errs[i] = p.res, p.err
+	}
+	return res, errs
+}
+
 // doBatch performs one batch round trip and distributes the results.
 func (c *Client) doBatch(batch []*pendingLookup) {
 	if c.tel != nil {
 		if c.tel.batches != nil {
 			c.tel.batches.Inc()
+		}
+		if c.tel.batchSize != nil {
+			c.tel.batchSize.Observe(uint64(len(batch)))
 		}
 		if c.tel.track != nil {
 			c.tel.track.Begin(c.tel.fetchName)

@@ -167,8 +167,73 @@ func (s *RemoteSource) LookupEdge(src, dst uint64) ([]uint64, error) {
 	return touched, err
 }
 
+// wireReq translates one speculative batch query into the wire shape.
+func (s *RemoteSource) wireReq(r sigtable.BatchReq) lookupReq {
+	if r.Kind == sigtable.BatchEdge {
+		return lookupReq{Module: s.module, Kind: kindEdge, End: r.End, Target: r.Want.Target}
+	}
+	req := lookupReq{Module: s.module, Kind: kindLookup, End: r.End, Sig: uint64(r.Sig)}
+	if r.Want.CheckTarget {
+		req.WantFlags |= wantTarget
+		req.Target = r.Want.Target
+	}
+	if r.Want.CheckPred {
+		req.WantFlags |= wantPred
+		req.Pred = r.Want.Pred
+	}
+	return req
+}
+
+// LookupBatch implements sigtable.BatchSource: it resolves every query
+// in as few wire round trips as possible (duplicates deduped before
+// encode, in-flight twins coalesced, the rest packed into batch frames).
+// This is the speculative path — unlike Lookup it performs NO cache
+// fallback and NO degradation marking on transport failure: a failed
+// speculative query comes back with its transport error and is simply
+// dropped by the prefetcher, while the engine's own blocking lookups
+// keep the degrade-to-snapshot semantics (and the SourceNote) to
+// themselves. In snapshot mode queries are answered locally.
+func (s *RemoteSource) LookupBatch(reqs []sigtable.BatchReq) []sigtable.BatchRes {
+	out := make([]sigtable.BatchRes, len(reqs))
+	if !s.lookup {
+		for i, r := range reqs {
+			if r.Kind == sigtable.BatchEdge {
+				out[i].Touched, out[i].Err = s.cache.LookupEdge(r.End, r.Want.Target)
+			} else {
+				out[i].Entry, out[i].Touched, out[i].Err = s.cache.Lookup(r.End, r.Sig, r.Want)
+			}
+		}
+		return out
+	}
+	wire := make([]lookupReq, len(reqs))
+	for i, r := range reqs {
+		wire[i] = s.wireReq(r)
+	}
+	res, errs := s.c.lookupMany(wire)
+	for i := range reqs {
+		switch {
+		case errs[i] != nil:
+			out[i].Err = errs[i]
+		case res[i].Verdict == verdictMiss:
+			out[i].Touched, out[i].Err = res[i].Touched, sigtable.ErrMiss
+		default:
+			out[i].Entry, out[i].Touched = res[i].Entry, res[i].Touched
+		}
+	}
+	return out
+}
+
+// LiveEpoch implements sigtable.BatchSource: the newest table generation
+// the client has observed on any response.
+func (s *RemoteSource) LiveEpoch() uint64 { return s.c.ServerEpoch() }
+
+// RemoteLookups implements sigtable.BatchSource: true only in lookup
+// mode, where blocking lookups cross the wire and prefetching pays.
+func (s *RemoteSource) RemoteLookups() bool { return s.lookup }
+
 // Interface conformance (compile-time).
 var (
 	_ sigtable.Source         = (*RemoteSource)(nil)
 	_ sigtable.HealthReporter = (*RemoteSource)(nil)
+	_ sigtable.BatchSource    = (*RemoteSource)(nil)
 )

@@ -381,6 +381,20 @@ func (s *Server) lookup(t *tenant, tenantName string, req lookupReq) (lookupRes,
 		err     error
 		has     bool
 	)
+	// The wire controls req.Kind, so kind/format mismatches must answer
+	// as protocol errors here — the snapshot readers treat them as API
+	// misuse and panic.
+	cfiOnly := snap.Meta().Format == sigtable.CFIOnly
+	switch req.Kind {
+	case kindLookup, kindLookupAll:
+		if cfiOnly {
+			return lookupRes{}, CodeBadRequest, "signature lookup on a CFI-only table; use edge lookups"
+		}
+	case kindEdge:
+		if !cfiOnly {
+			return lookupRes{}, CodeBadRequest, "edge lookup on a hashed-format table; use signature lookups"
+		}
+	}
 	switch req.Kind {
 	case kindLookup:
 		var want sigtable.Want

@@ -1,0 +1,92 @@
+package sigtable
+
+import (
+	"rev/internal/chash"
+	"rev/internal/isa"
+)
+
+// Batch lookup and commit-observation seams.
+//
+// These interfaces let a predictive prefetcher (internal/prefetch) sit
+// between the engine and a remote signature source without either side
+// importing the other: sigtable is the neutral ground both already
+// depend on. A BatchSource answers many speculative queries in as few
+// wire round trips as possible; a CommitObserver hears about every
+// committed block so a predictor can walk the CFG ahead of execution.
+
+// BatchKind selects what one BatchReq asks for.
+type BatchKind uint8
+
+const (
+	// BatchLookup is a hashed-table entry query (Source.Lookup): the
+	// block identified by (End, Sig), spill walk bounded by Want.
+	BatchLookup BatchKind = iota
+	// BatchEdge is a CFI-only edge query (Source.LookupEdge): source
+	// terminator End, destination Want.Target.
+	BatchEdge
+)
+
+// BatchReq is one query in a speculative batch. Its fields must match
+// the exact query the engine would later issue — same End, Sig, and Want
+// — because the touched-address list (and therefore miss-walk timing)
+// depends on every field.
+type BatchReq struct {
+	// Kind selects the query flavor.
+	Kind BatchKind
+	// End is the block terminator address (edge source for BatchEdge).
+	End uint64
+	// Sig is the block's runtime signature (unused for BatchEdge).
+	Sig chash.Sig
+	// Want bounds the spill walk exactly as the engine's own query
+	// would; Want.Target doubles as the destination for BatchEdge.
+	Want Want
+}
+
+// BatchRes is one query's answer. Err is nil for a found entry, ErrMiss
+// for a definitive not-found verdict, or a transport error (wrapping
+// ErrUnavailable) when the source could not answer — transport failures
+// must never be cached or turned into verdicts by the caller.
+type BatchRes struct {
+	// Entry is the decoded entry when Err is nil.
+	Entry Entry
+	// Touched lists the RAM addresses the hardware walk would touch,
+	// exactly as the blocking query would report them (timing identity).
+	Touched []uint64
+	// Err is nil, ErrMiss, or a transport error.
+	Err error
+}
+
+// BatchSource is a Source that can additionally resolve many queries in
+// one round trip, for speculative prefetching. Implementations must
+// answer each BatchReq exactly as the corresponding blocking call would
+// — same entry, same touched list, same miss verdict — and must NOT
+// degrade to any fallback on transport failure: a failed speculative
+// query is simply returned with its transport error so the caller can
+// drop it (the engine's own blocking path keeps today's degradation
+// semantics).
+type BatchSource interface {
+	Source
+	// LookupBatch answers every request, one BatchRes per BatchReq, in
+	// order. It never returns fewer results than requests.
+	LookupBatch(reqs []BatchReq) []BatchRes
+	// LiveEpoch returns the newest table generation the source has
+	// observed; cached speculative results from an older generation
+	// must be discarded by the caller.
+	LiveEpoch() uint64
+	// RemoteLookups reports whether blocking lookups cross a wire (so
+	// speculative batching actually hides latency). Snapshot-mode
+	// sources return false and need no prefetching.
+	RemoteLookups() bool
+}
+
+// CommitObserver hears about every successfully validated block, in
+// commit order. The engine invokes it synchronously on the validation
+// path, so implementations must be non-blocking and cheap; they must
+// also tolerate calls from different goroutines across runs (one run is
+// single-goroutine, but a fleet commits from many).
+type CommitObserver interface {
+	// ObserveCommit reports one committed block: its terminator address,
+	// the address control actually flowed to next, and the terminator
+	// kind.
+	ObserveCommit(end, next uint64, term isa.Kind)
+}

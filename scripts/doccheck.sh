@@ -12,7 +12,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-PKGS="internal/sigserve internal/sigtable internal/fleet internal/telemetry"
+PKGS="internal/sigserve internal/sigtable internal/fleet internal/telemetry internal/prefetch"
 
 missing=$(
 	for pkg in $PKGS; do
