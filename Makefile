@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet doccheck race race-all test-race bench-smoke bench-figures bench-json bench-parallel bench-pipeline bench-telemetry bench-remote bench-prefetch profile clean
+.PHONY: all build test vet doccheck race race-all test-race bench-smoke bench-figures bench-json bench-parallel bench-pipeline bench-telemetry bench-remote bench-prefetch bench-evidence profile clean
 
 all: build vet test
 
@@ -14,7 +14,8 @@ vet:
 	$(GO) vet ./...
 
 # Godoc comment-coverage gate over the documentation-critical packages
-# (sigserve, sigtable, fleet, telemetry). CI runs this after vet.
+# (sigserve, sigtable, fleet, telemetry, prefetch, evidence, revattest).
+# CI runs this after vet.
 doccheck:
 	./scripts/doccheck.sh
 
@@ -85,6 +86,15 @@ bench-remote:
 bench-prefetch:
 	$(GO) run ./cmd/revbench -instrs 100000 -scale 0.05 \
 		-prefetchjson BENCH_prefetch.json -prefetchmax 8
+
+# Regenerate the attestation-evidence record: interleaved timed rounds
+# with the emitter off and on, byte-identity of the result record and of
+# two captured streams, offline verification of the captured stream, and
+# the <2% commit hot-path overhead gate. Exits nonzero on any miss (the
+# CI evidence-identity job runs the same probe at a smaller budget).
+bench-evidence:
+	$(GO) run ./cmd/revbench -instrs 500000 -telrounds 5 \
+		-evidencejson BENCH_evidence.json
 
 # CPU + allocation profiles of the fig6 harness (the per-block validation
 # hot path end to end). Drops cpu.prof / mem.prof / rev.test in the repo

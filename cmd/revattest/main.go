@@ -1,0 +1,189 @@
+// Command revattest is the offline evidence verifier: it replays a
+// hash-chained attestation evidence stream (docs/EVIDENCE.md) against
+// independently rebuilt signature tables and renders a verdict, without
+// re-running the simulation.
+//
+// Usage:
+//
+//	revattest run.ev                         # verify a stream file
+//	revattest -in run.ev -tenant acme        # pin the expected tenant
+//	revattest -fetch nightly -sigserver :7415  # pull a retained stream
+//	                                           # from revserved
+//	revattest -in run.ev -bench gcc -scale 0.5 # override the binding
+//
+// The stream's genesis record carries a binding string of the form
+// "bench=<name> scale=<g> instrs=<n> format=<fmt>" (written by
+// revsim -evidence); revattest parses it to rebuild the same workload's
+// signature tables through the trusted-loader pipeline, then calls
+// evidence.Verify: framing, record sequence, hash chain, tenant/binding
+// match, per-segment path hashes, per-block table replay under the
+// recorded validation format, and the sealed final accounting. -bench,
+// -scale and -instrs override the parsed binding for streams with
+// free-form bindings.
+//
+// Exit codes:
+//
+//	0  evidence verified, sealed verdict is pass
+//	1  evidence verified, sealed verdict is violation (or aborted) —
+//	   genuine evidence of a run the live engine flagged
+//	2  evidence rejected (tampered, truncated, spliced, or the replay
+//	   found a block the tables do not admit)
+//	3  usage or I/O error
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rev/internal/core"
+	"rev/internal/evidence"
+	"rev/internal/sigserve"
+	"rev/internal/sigtable"
+	"rev/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	in := flag.String("in", "", "evidence stream file (may also be given as the positional argument)")
+	fetch := flag.String("fetch", "", "fetch the named retained stream from -sigserver instead of reading a file")
+	sigServer := flag.String("sigserver", "", "revserved endpoint (host:port) for -fetch")
+	sigTenant := flag.String("sigtenant", "default", "tenant namespace on the -sigserver endpoint")
+	tenant := flag.String("tenant", "", "expected stream tenant (empty accepts the stream's own; set it to enforce the cross-tenant splice check)")
+	bench := flag.String("bench", "", "benchmark name override (default: parsed from the stream's binding)")
+	scale := flag.Float64("scale", 0, "workload scale override (default: from binding)")
+	instrs := flag.Uint64("instrs", 0, "profiling instruction-budget override (default: from binding)")
+	keySeed := flag.Uint64("keyseed", 0x5eed, "table key derivation seed (must match the recording side)")
+	flag.Parse()
+
+	stream, err := loadStream(*in, *fetch, *sigServer, *sigTenant)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "revattest:", err)
+		return 3
+	}
+
+	g, err := evidence.Peek(stream)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "revattest: evidence REJECTED:", err)
+		return 2
+	}
+
+	// The binding convention written by revsim -evidence; overrides win,
+	// and a free-form binding is fine as long as -bench is given.
+	var bBench, bFormat string
+	var bScale float64
+	var bInstrs uint64
+	if n, _ := fmt.Sscanf(g.Binding, "bench=%s scale=%g instrs=%d format=%s",
+		&bBench, &bScale, &bInstrs, &bFormat); n < 4 {
+		bBench, bScale, bInstrs = "", 1.0, 1_000_000
+	}
+	if *bench != "" {
+		bBench = *bench
+	}
+	if *scale != 0 {
+		bScale = *scale
+	}
+	if *instrs != 0 {
+		bInstrs = *instrs
+	}
+	if bBench == "" {
+		fmt.Fprintf(os.Stderr, "revattest: stream binding %q names no benchmark; pass -bench (and -scale/-instrs)\n", g.Binding)
+		return 3
+	}
+
+	sources, err := rebuildSources(bBench, bScale, bInstrs, *keySeed, g.Format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "revattest:", err)
+		return 3
+	}
+
+	rep, err := evidence.Verify(stream, evidence.VerifyConfig{
+		Tenant:  *tenant,
+		Sources: sources,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "revattest: evidence REJECTED:", err)
+		return 2
+	}
+
+	fmt.Printf("stream           %d bytes, %d records (%d segments, %d fences)\n",
+		len(stream), rep.Records, rep.Segments, rep.Fences)
+	fmt.Printf("binding          tenant %q, %q\n", rep.Genesis.Tenant, rep.Genesis.Binding)
+	fmt.Printf("format           %s (stream v%d, window %d)\n",
+		rep.Genesis.Format, rep.Genesis.StreamVersion, rep.Genesis.Window)
+	for _, m := range rep.Genesis.Modules {
+		fmt.Printf("module           %s [%#x, %#x)\n", m.Name, m.Start, m.Limit)
+	}
+	fmt.Printf("replayed blocks  %d (all legal against rebuilt %s/%s tables)\n",
+		rep.Blocks, bBench, rep.Genesis.Format)
+	fmt.Printf("sealed verdict   %s", rep.Outcome.Verdict)
+	if rep.Outcome.Verdict == evidence.VerdictPass {
+		fmt.Println()
+		fmt.Println("VERIFIED         evidence chain intact; run attested")
+		return 0
+	}
+	if rep.Outcome.Verdict == evidence.VerdictViolation {
+		fmt.Printf(" (reason %d, BB [%#x, %#x], target %#x)",
+			rep.Outcome.Reason, rep.Outcome.BBStart, rep.Outcome.BBEnd, rep.Outcome.Target)
+	}
+	fmt.Println()
+	fmt.Println("VERIFIED         evidence chain intact; the recorded run was flagged")
+	return 1
+}
+
+// loadStream reads the evidence bytes from a file (-in or positional)
+// or fetches a retained stream from a revserved endpoint (-fetch).
+func loadStream(in, fetch, sigServer, sigTenant string) ([]byte, error) {
+	if fetch != "" {
+		if sigServer == "" {
+			return nil, fmt.Errorf("-fetch requires -sigserver")
+		}
+		c, err := sigserve.NewClient(sigserve.ClientConfig{Addr: sigServer, Tenant: sigTenant})
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		stream, err := c.FetchEvidence(fetch)
+		if err != nil {
+			return nil, fmt.Errorf("fetching %q from %s: %w", fetch, sigServer, err)
+		}
+		return stream, nil
+	}
+	if in == "" {
+		in = flag.Arg(0)
+	}
+	if in == "" {
+		flag.Usage()
+		return nil, fmt.Errorf("no evidence stream: pass a file, -in, or -fetch")
+	}
+	return os.ReadFile(in)
+}
+
+// rebuildSources runs the trusted-loader pipeline for the bound
+// workload and returns each module's signature-table lookup source —
+// the verifier's independent ground truth.
+func rebuildSources(bench string, scale float64, instrs, keySeed uint64, format sigtable.Format) (map[string]sigtable.Source, error) {
+	p, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	p = p.Scaled(scale)
+	rc := core.DefaultRunConfig()
+	rc.MaxInstrs = instrs
+	rc.KeySeed = keySeed
+	cfg := core.DefaultConfig()
+	cfg.Format = format
+	rc.REV = &cfg
+	prep, err := core.Prepare(p.Builder(), rc)
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding %s tables: %w", bench, err)
+	}
+	sources := make(map[string]sigtable.Source, len(prep.Tables))
+	for _, st := range prep.Tables {
+		sources[st.Module] = st.Source()
+	}
+	return sources, nil
+}

@@ -47,12 +47,22 @@
 // overhead exceeds -telthreshold percent, revbench exits nonzero — the CI
 // telemetry-overhead gate.
 //
+// With -evidencejson, revbench probes the attestation-evidence emitter
+// (docs/EVIDENCE.md): one REV-protected workload is timed (best of
+// -telrounds) without and with a hash-chained evidence stream attached,
+// results are checked for byte identity, the emitted stream is checked
+// for run-to-run byte identity and replayed through the offline
+// verifier, and the record (the committed BENCH_evidence.json) is
+// written. When the evidence-enabled overhead exceeds -evthreshold
+// percent, revbench exits nonzero — the CI evidence-overhead gate.
+//
 // With -metricsjson, revbench runs one REV-protected workload with the
 // metrics registry attached and writes the registry snapshot as JSON (the
 // revdump -what metrics input).
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -64,6 +74,7 @@ import (
 	"time"
 
 	"rev/internal/core"
+	"rev/internal/evidence"
 	"rev/internal/experiments"
 	"rev/internal/fleet"
 	"rev/internal/prefetch"
@@ -204,6 +215,8 @@ func main() {
 	telJSONPath := flag.String("teljson", "", "write the telemetry-overhead probe record (e.g. BENCH_telemetry.json); exits nonzero past -telthreshold")
 	telThreshold := flag.Float64("telthreshold", 2.0, "max tolerated metrics-enabled overhead percent for -teljson")
 	telRounds := flag.Int("telrounds", 5, "timed rounds per configuration in the -teljson probe (best-of)")
+	evJSONPath := flag.String("evidencejson", "", "write the evidence-overhead probe record (e.g. BENCH_evidence.json); exits nonzero past -evthreshold")
+	evThreshold := flag.Float64("evthreshold", 2.0, "max tolerated evidence-enabled overhead percent for -evidencejson")
 	metricsJSONPath := flag.String("metricsjson", "", "run one protected workload with metrics enabled and write the registry snapshot JSON")
 	remoteJSONPath := flag.String("remotejson", "", "write the remote-vs-local signature-sourcing probe (e.g. BENCH_remote.json): loopback revserved, snapshot and lookup modes, injected latency ladder")
 	prefetchJSONPath := flag.String("prefetchjson", "", "write the predictive-prefetch probe (e.g. BENCH_prefetch.json): lookup-mode loopback revserved across a prefetch-depth x service-delay grid")
@@ -273,6 +286,21 @@ func main() {
 		if !rep.WithinThreshold {
 			fmt.Fprintf(os.Stderr, "revbench: metrics-enabled overhead %.2f%% exceeds the %.2f%% gate\n",
 				rep.MetricsOverheadPct, rep.ThresholdPct)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *evJSONPath != "" {
+		rep, err := probeEvidence(*instrs, *scale, *telRounds, *evThreshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "revbench: evidence probe: %v\n", err)
+			os.Exit(1)
+		}
+		writeJSON(*evJSONPath, rep)
+		if !rep.WithinThreshold {
+			fmt.Fprintf(os.Stderr, "revbench: evidence hot-path overhead %.2f%% exceeds the %.2f%% gate\n",
+				rep.HotPathOverheadPct, rep.ThresholdPct)
 			os.Exit(1)
 		}
 		return
@@ -928,4 +956,209 @@ func parseDepths(s string) ([]int, error) {
 
 func round3(f float64) float64 {
 	return float64(int64(f*1000+0.5)) / 1000
+}
+
+// evReport is the BENCH_evidence.json payload: best-of-N wall times for
+// one REV-protected workload without and with the hash-chained evidence
+// emitter attached, plus the stream's own determinism and verification
+// record.
+type evReport struct {
+	Generated string   `json:"generated"`
+	Host      hostMeta `json:"host"`
+	Workload  string   `json:"workload"`
+	Instrs    uint64   `json:"instrs"`
+	Scale     float64  `json:"scale"`
+	Rounds    int      `json:"rounds"`
+	Blocks    uint64   `json:"blocks"`
+	// DisabledSeconds is the no-emitter baseline; EvidenceSeconds runs
+	// the same prepared workload with commits streaming through the
+	// emitter ring into a byte-counting sink.
+	DisabledSeconds float64 `json:"disabled_seconds"`
+	EvidenceSeconds float64 `json:"evidence_seconds"`
+	// OverheadPct is (evidence - disabled) / disabled * 100: the total
+	// wall-clock cost, which on a single-CPU host includes the whole
+	// background encoder (nowhere to overlap). EncodeSeconds is the
+	// encoder's measured busy time; HotPathOverheadPct subtracts it on
+	// such hosts, isolating the commit path's own cost — the <2% budget
+	// from docs/EVIDENCE.md and the gated number.
+	OverheadPct        float64 `json:"overhead_pct"`
+	EncodeSeconds      float64 `json:"encode_seconds"`
+	HotPathOverheadPct float64 `json:"hotpath_overhead_pct"`
+	ThresholdPct       float64 `json:"threshold_pct"`
+	WithinThreshold    bool    `json:"within_threshold"`
+	// Identical reports that the evidence-enabled run produced the same
+	// full result record as the baseline (evidence must never alter
+	// simulated results).
+	Identical bool `json:"identical"`
+	// StreamBytes/BytesPerBlock size the emitted stream; Records and
+	// Segments count its framing.
+	StreamBytes   uint64  `json:"stream_bytes"`
+	BytesPerBlock float64 `json:"bytes_per_block"`
+	Records       int     `json:"records"`
+	Segments      int     `json:"segments"`
+	// Deterministic reports that two runs emitted byte-identical
+	// streams; Verified reports that the stream replayed clean through
+	// evidence.Verify against the run's own tables.
+	Deterministic bool `json:"deterministic"`
+	Verified      bool `json:"verified"`
+	// Note flags hardware bounds on the measurement (a single-CPU host
+	// serializes the background encoder with the simulation).
+	Note string `json:"note,omitempty"`
+}
+
+// countWriter is the evidence sink for the timed rounds: it counts
+// bytes and discards them, so the probe measures emitter cost, not
+// disk.
+type countWriter struct{ n uint64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += uint64(len(p))
+	return len(p), nil
+}
+
+// probeEvidence times one prepared workload without and with the
+// evidence emitter, best-of-rounds interleaved, checks result and
+// stream byte identity, and replays the stream through the offline
+// verifier.
+func probeEvidence(instrs uint64, scale float64, rounds int, threshold float64) (*evReport, error) {
+	p, err := workload.ByName("bzip2")
+	if err != nil {
+		return nil, err
+	}
+	p = p.Scaled(scale)
+	rc := core.DefaultRunConfig()
+	rc.MaxInstrs = instrs
+	cfg := core.DefaultConfig()
+	cfg.Format = sigtable.Normal
+	rc.REV = &cfg
+	prep, err := core.Prepare(p.Builder(), rc)
+	if err != nil {
+		return nil, err
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+
+	emit := func(w *countWriter) (*core.Result, float64, evidence.Stats, error) {
+		em := evidence.NewEmitter(w, evidence.Config{Binding: "bench"})
+		start := time.Now()
+		res, err := prep.RunWithEvidence(em)
+		return res, time.Since(start).Seconds(), em.Stats(), err
+	}
+
+	// Warm up both paths once, then time in interleaved best-of-rounds
+	// (the same discipline as the telemetry probe): interleaving spreads
+	// thermal and scheduler drift evenly, and the minimum is the
+	// least-noise estimator for a deterministic workload.
+	if _, err := prep.Run(); err != nil {
+		return nil, err
+	}
+	if _, _, _, err := emit(&countWriter{}); err != nil {
+		return nil, err
+	}
+	var baseRes, evRes *core.Result
+	var baseWall, evWall float64
+	var evStats evidence.Stats
+	var evBytes uint64
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		res, err := prep.Run()
+		wall := time.Since(start).Seconds()
+		if err != nil {
+			return nil, err
+		}
+		if baseRes == nil || wall < baseWall {
+			baseRes, baseWall = res, wall
+		}
+		w := &countWriter{}
+		res, wall, st, err := emit(w)
+		if err != nil {
+			return nil, err
+		}
+		if evRes == nil || wall < evWall {
+			evRes, evWall, evStats = res, wall, st
+		}
+		evBytes = w.n
+	}
+	if baseRes.Violation != nil {
+		return nil, fmt.Errorf("clean workload flagged: %v", baseRes.Violation)
+	}
+
+	// Stream determinism and offline verification: two untimed runs into
+	// real buffers must emit byte-identical streams, and the stream must
+	// replay clean against the run's own tables.
+	stream := func() ([]byte, error) {
+		var buf bytes.Buffer
+		em := evidence.NewEmitter(&buf, evidence.Config{Binding: "bench"})
+		if _, err := prep.RunWithEvidence(em); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	s1, err := stream()
+	if err != nil {
+		return nil, err
+	}
+	s2, err := stream()
+	if err != nil {
+		return nil, err
+	}
+	sources := make(map[string]sigtable.Source, len(prep.Tables))
+	for _, st := range prep.Tables {
+		sources[st.Module] = st.Source()
+	}
+	vrep, verr := evidence.Verify(s1, evidence.VerifyConfig{Sources: sources})
+
+	rep := &evReport{
+		Generated:       time.Now().UTC().Format(time.RFC3339),
+		Host:            hostInfo(),
+		Workload:        p.Name,
+		Instrs:          instrs,
+		Scale:           scale,
+		Rounds:          rounds,
+		Blocks:          baseRes.Pipe.BBCount,
+		DisabledSeconds: round3(baseWall),
+		EvidenceSeconds: round3(evWall),
+		ThresholdPct:    threshold,
+		Identical:       identitySig(evRes) == identitySig(baseRes),
+		StreamBytes:     evBytes,
+		Deterministic:   bytes.Equal(s1, s2),
+		Verified:        verr == nil && vrep.Outcome.Verdict == evidence.VerdictPass,
+	}
+	rep.EncodeSeconds = round3(evStats.EncodeSeconds)
+	// On a single-CPU host the background encoder time-slices with the
+	// simulation, so the wall delta carries its full busy time; subtract
+	// the measured encoder seconds to isolate the commit path (the same
+	// hardware-bound note BENCH_pipeline.json carries). With a spare CPU
+	// the encoder overlaps and the wall delta is the hot-path cost.
+	hot := evWall - baseWall
+	if runtime.GOMAXPROCS(0) == 1 {
+		hot -= evStats.EncodeSeconds
+		rep.Note = "single-CPU host: background encoder serialized with the run; " +
+			"overhead_pct includes its full busy time, hotpath_overhead_pct subtracts encode_seconds"
+	}
+	if baseWall > 0 {
+		rep.OverheadPct = round3((evWall - baseWall) / baseWall * 100)
+		rep.HotPathOverheadPct = round3(hot / baseWall * 100)
+	}
+	if rep.Blocks > 0 {
+		rep.BytesPerBlock = round3(float64(evBytes) / float64(rep.Blocks))
+	}
+	if vrep != nil {
+		rep.Records, rep.Segments = vrep.Records, vrep.Segments
+	}
+	rep.WithinThreshold = rep.HotPathOverheadPct <= threshold
+	if !rep.Identical {
+		return nil, fmt.Errorf("evidence-enabled result diverged from the baseline run")
+	}
+	if !rep.Deterministic {
+		return nil, fmt.Errorf("evidence stream differs across identical runs")
+	}
+	if verr != nil {
+		return nil, fmt.Errorf("emitted stream failed offline verification: %w", verr)
+	}
+	fmt.Printf("evidence   disabled %7.3fs  evidence %7.3fs (%+.2f%% total, %+.2f%% hot path, %.3fs encoder)  %d bytes (%.1f B/block)  identical %v  verified %v\n",
+		baseWall, evWall, rep.OverheadPct, rep.HotPathOverheadPct, rep.EncodeSeconds,
+		evBytes, rep.BytesPerBlock, rep.Identical, rep.Verified)
+	return rep, nil
 }

@@ -19,6 +19,12 @@
 // -scale, -instrs and -format, the served tables are byte-identical to
 // the ones the client would have built locally, so verdicts and figures
 // are identical too (the acceptance contract in docs/PROTOCOL.md).
+//
+// Version-2 clients may also retain attestation evidence streams here
+// (revsim -evidence-upload): each tenant keeps its newest streams,
+// evicting oldest-first under the -evidence-streams / -evidence-bytes
+// bounds, and revattest -fetch pulls a retained stream back for offline
+// verification (docs/EVIDENCE.md).
 package main
 
 import (
@@ -46,6 +52,8 @@ func main() {
 	instrs := flag.Uint64("instrs", 1_000_000, "profiling instruction budget (must match the measurement side)")
 	keySeed := flag.Uint64("keyseed", 0x5eed, "table key derivation seed")
 	delay := flag.Duration("delay", 0, "artificial per-request service delay (latency-ladder benchmarking)")
+	evStreams := flag.Int("evidence-streams", 0, "retained evidence streams per tenant (0 keeps the default; see docs/EVIDENCE.md)")
+	evBytes := flag.Int("evidence-bytes", 0, "per-stream evidence size cap in bytes (0 keeps the default)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	flag.Parse()
 
@@ -74,6 +82,7 @@ func main() {
 	srv := sigserve.NewServer()
 	srv.Instrument(set)
 	srv.SetDelay(*delay)
+	srv.SetEvidenceRetention(*evStreams, *evBytes)
 
 	rc := core.DefaultRunConfig()
 	rc.MaxInstrs = *instrs

@@ -32,6 +32,21 @@
 // decrypted table snapshot — the multiprogram story scaled out. Per-engine
 // statistics are merged into a fleet total.
 //
+// Evidence (docs/EVIDENCE.md): -evidence streams hash-chained
+// attestation evidence off the commit path while the run validates —
+// aggregated path hashes over every committed basic block, sealed with
+// the run verdict — and writes it to a file an offline verifier
+// (revattest) can replay against independently rebuilt tables:
+//
+//	revsim -bench gcc -rev -evidence gcc.ev   # record a run
+//	revattest gcc.ev                          # attest it offline
+//
+// -evidence-upload NAME instead retains the stream on the -sigserver
+// endpoint (revattest -fetch NAME pulls it back). Evidence never alters
+// simulated results: verdicts and cycle counts are byte-identical with
+// and without it, and the stream itself is byte-identical at any -lanes
+// or -parallel setting.
+//
 // Telemetry (docs/OBSERVABILITY.md; never alters simulated results):
 //
 //	revsim -bench gcc -rev -lanes 4 -trace out.json   # Chrome trace of the
@@ -45,12 +60,14 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"rev/internal/core"
+	"rev/internal/evidence"
 	"rev/internal/fleet"
 	"rev/internal/prefetch"
 	"rev/internal/sigserve"
@@ -74,6 +91,8 @@ func main() {
 	sigTenant := flag.String("sigtenant", "default", "tenant namespace on the -sigserver endpoint")
 	sigLookups := flag.Bool("siglookups", false, "validate via per-entry remote lookups (batched/coalesced) instead of one snapshot fetch at start; requires -sigserver")
 	prefetchDepth := flag.Int("prefetch", 0, "CFG-driven signature prefetch depth for -siglookups runs (0 disables; results are byte-identical at any depth, see docs/ARCHITECTURE.md)")
+	evidenceOut := flag.String("evidence", "", "stream hash-chained attestation evidence to this file (requires -rev, one benchmark; replay with revattest, see docs/EVIDENCE.md)")
+	evidenceUpload := flag.String("evidence-upload", "", "retain the evidence stream under this name on the -sigserver endpoint instead of (or as well as) -evidence's file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run(s) to this file (open in chrome://tracing or ui.perfetto.dev)")
 	metrics := flag.Bool("metrics", false, "print the telemetry metrics registry (Prometheus text format) after the reports")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address (e.g. :6060) while running")
@@ -168,6 +187,30 @@ func main() {
 		rc.Prefetch = prefetch.Config{Depth: *prefetchDepth}
 	}
 
+	// Evidence records one run's committed-block history; fleet and
+	// multi-tenant invocations would need one emitter per instance, so
+	// it is gated to a single benchmark run. The emitter writes into a
+	// buffer (the background encoder must never block on disk) and the
+	// sealed stream lands after the run.
+	var evidenceBuf *bytes.Buffer
+	if *evidenceOut != "" || *evidenceUpload != "" {
+		if !*rev || len(names) != 1 || *tenants > 1 {
+			fmt.Fprintln(os.Stderr, "revsim: -evidence requires -rev, exactly one benchmark, and -tenants 1")
+			os.Exit(2)
+		}
+		if *evidenceUpload != "" && sigClient == nil {
+			fmt.Fprintln(os.Stderr, "revsim: -evidence-upload requires -sigserver")
+			os.Exit(2)
+		}
+		evidenceBuf = &bytes.Buffer{}
+		rc.Evidence = evidence.NewEmitter(evidenceBuf, evidence.Config{
+			Tenant: *sigTenant,
+			Binding: fmt.Sprintf("bench=%s scale=%g instrs=%d format=%s",
+				names[0], *scale, *instrs, *format),
+			Telemetry: set,
+		})
+	}
+
 	if *tenants > 1 {
 		if !*rev || len(names) != 1 {
 			fmt.Fprintln(os.Stderr, "revsim: -tenants requires -rev and exactly one benchmark")
@@ -228,7 +271,35 @@ func main() {
 		}
 		printReport(j.p, *scale, j.res, *rev, resolvedLanes(*lanes))
 	}
+	if evidenceBuf != nil {
+		if err := writeEvidence(evidenceBuf.Bytes(), *evidenceOut, *evidenceUpload, sigClient); err != nil {
+			fmt.Fprintln(os.Stderr, "revsim:", err)
+			os.Exit(1)
+		}
+	}
 	flushTelemetry(set, *traceOut, *metrics)
+}
+
+// writeEvidence lands the sealed evidence stream after the run: to
+// -evidence's file, and/or retained on the signature server under
+// -evidence-upload's name (revattest -fetch pulls it back).
+func writeEvidence(stream []byte, out, upload string, sigClient *sigserve.Client) error {
+	if out != "" {
+		if err := os.WriteFile(out, stream, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "revsim: wrote %d bytes of evidence to %s (verify: revattest %s)\n",
+			len(stream), out, out)
+	}
+	if upload != "" {
+		ack, err := sigClient.UploadEvidence(upload, stream)
+		if err != nil {
+			return fmt.Errorf("uploading evidence %q: %w", upload, err)
+		}
+		fmt.Fprintf(os.Stderr, "revsim: retained evidence %q on the signature server (%d bytes, %d older streams evicted)\n",
+			upload, ack.Bytes, ack.Evicted)
+	}
+	return nil
 }
 
 // telemetrySinks builds the process-wide telemetry Set from the flags;

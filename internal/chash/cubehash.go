@@ -61,6 +61,12 @@ var defaultHash = New(DefaultRounds, DefaultBlock, DefaultBits)
 // Sum computes the digest of msg with the default parameters.
 func Sum(msg []byte) []byte { return defaultHash.Sum(msg) }
 
+// SumInto computes the digest of msg with the default parameters into
+// out without allocating; len(out) must be DefaultBits/8 (64) bytes.
+// The default hash is stateless per call, so SumInto is safe for
+// concurrent use.
+func SumInto(msg, out []byte) { defaultHash.SumInto(msg, out) }
+
 // Sum computes the CubeHash digest of msg.
 func (c *CubeHash) Sum(msg []byte) []byte {
 	out := make([]byte, c.h/8)

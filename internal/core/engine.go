@@ -19,6 +19,7 @@ import (
 	"rev/internal/chash"
 	"rev/internal/cpu"
 	"rev/internal/crypt"
+	"rev/internal/evidence"
 	"rev/internal/forensics"
 	"rev/internal/isa"
 	"rev/internal/mem"
@@ -184,6 +185,14 @@ type Engine struct {
 	// sigtable.CommitObserver; the call is non-blocking by contract.
 	commitObs sigtable.CommitObserver
 
+	// ev, when non-nil, receives every committed block (with its
+	// signature) and every validation-state fence as attestation
+	// evidence — the same commit-path seam as commitObs, with the same
+	// contract: one nil check on the hot path, the emitter's ring
+	// absorbs the hand-off. Set by the run driver (execute/RunThreads)
+	// from RunConfig.Evidence.
+	ev *evidence.Emitter
+
 	// Signature memoization (functional hot-path cache, see memo.go):
 	// memo holds per-block signatures; cv is the address space's
 	// code-version epoch source (nil when the space cannot report code
@@ -231,7 +240,9 @@ func (e *Engine) AddModule(g *cfg.Graph, key crypt.TableKey) error {
 	e.nextSigBase += (tbl.Size + prog.PageSize - 1) &^ (prog.PageSize - 1)
 	reader := sigtable.NewReader(tbl, e.Mem, e.KS)
 	e.Tables = append(e.Tables, tbl)
-	e.sources = append(e.sources, moduleSource{module: g.Module.Name, src: reader})
+	e.sources = append(e.sources, moduleSource{
+		module: g.Module.Name, start: g.Module.Base, limit: g.Module.Limit(), src: reader,
+	})
 	if e.cv != nil {
 		// Watch the module's text range: any store landing inside it bumps
 		// the code-version epoch and invalidates memoized signatures
@@ -253,8 +264,15 @@ func (e *Engine) Enabled() bool { return e.enabled }
 // OnContextSwitch clears the delayed-return latch: it is per-thread
 // microarchitectural state (in hardware it would be saved and restored
 // with the context; the switch path itself runs through validated kernel
-// code, so dropping the latch loses no protection).
-func (e *Engine) OnContextSwitch() { e.pendingRetSet = false }
+// code, so dropping the latch loses no protection). With evidence
+// attached, the switch is recorded as a fence so an offline verifier
+// clears its replayed latch at the same point.
+func (e *Engine) OnContextSwitch() {
+	e.pendingRetSet = false
+	if e.ev != nil {
+		e.ev.Fence(evidence.FenceContextSwitch, 0)
+	}
+}
 
 // SysHandler implements REV's two system calls (Sec. VII): enabling or
 // disabling validation (for trusted self-modifying code windows), and
@@ -263,9 +281,20 @@ func (e *Engine) OnContextSwitch() { e.pendingRetSet = false }
 func (e *Engine) SysHandler(service int32, arg uint64) {
 	switch service {
 	case isa.SysREVEnable:
+		was := e.enabled
 		e.enabled = arg != 0
 		if !e.enabled {
 			e.pendingRetSet = false
+		}
+		// Actual transitions become evidence fences: the verifier must
+		// know where the unvalidated window lies (and clear its replayed
+		// return latch at the disable point, as the engine just did).
+		if e.ev != nil && was != e.enabled {
+			if e.enabled {
+				e.ev.Fence(evidence.FenceEnable, arg)
+			} else {
+				e.ev.Fence(evidence.FenceDisable, arg)
+			}
 		}
 	case isa.SysREVSetTable:
 		// Register groups are loaded by the trusted loader in this model.
@@ -487,6 +516,9 @@ func (e *Engine) validateHashed(info cpu.BBInfo, sig, codeSig chash.Sig, codeSig
 	if e.commitObs != nil {
 		e.commitObs.ObserveCommit(info.End, info.NextPC, info.Term)
 	}
+	if e.ev != nil {
+		e.ev.Commit(info.End, info.NextPC, info.Term, sig)
+	}
 
 	ready := maxU(hashReady, scReady) + sagPen
 	return ready, nil
@@ -538,14 +570,31 @@ func (e *Engine) hookCFIOnly(info cpu.BBInfo) (uint64, error) {
 	if e.commitObs != nil {
 		e.commitObs.ObserveCommit(info.End, info.NextPC, info.Term)
 	}
+	if e.ev != nil {
+		// CFI-only hashes nothing; the tuple carries a zero signature.
+		e.ev.Commit(info.End, info.NextPC, info.Term, 0)
+	}
 	return scReady + sagPen, nil
 }
 
 // moduleSource couples a registered signature source with its module
-// name for post-run health annotation collection.
+// name and code range, for post-run health annotation collection and
+// for the evidence genesis record's module map.
 type moduleSource struct {
-	module string
-	src    sigtable.Source
+	module       string
+	start, limit uint64
+	src          sigtable.Source
+}
+
+// moduleRanges returns the registered modules' code ranges in
+// registration order — the module map the evidence genesis record
+// attests (mirroring the SAG limit registers).
+func (e *Engine) moduleRanges() []evidence.ModuleRange {
+	mr := make([]evidence.ModuleRange, len(e.sources))
+	for i, ms := range e.sources {
+		mr[i] = evidence.ModuleRange{Name: ms.module, Start: ms.start, Limit: ms.limit}
+	}
+	return mr
 }
 
 // SourceNotes collects the health annotations of every registered

@@ -5,6 +5,7 @@ import (
 
 	"rev/internal/cfg"
 	"rev/internal/crypt"
+	"rev/internal/evidence"
 	"rev/internal/isa"
 	"rev/internal/prefetch"
 	"rev/internal/prog"
@@ -292,7 +293,9 @@ func (p *Prepared) Config() RunConfig { return p.rc }
 // Run executes one instance of the prepared workload: a fresh program,
 // a fresh engine, the shared tables. Safe to call from many goroutines
 // concurrently — instances share only the immutable Prepared state.
-func (p *Prepared) Run() (*Result, error) { return p.runInstance(p.rc.Lanes, p.rc.Telemetry) }
+func (p *Prepared) Run() (*Result, error) {
+	return p.runInstance(p.rc.Lanes, p.rc.Telemetry, p.rc.Evidence)
+}
 
 // RunWithLanes is Run with an explicit intra-run pipeline width,
 // overriding the prepared RunConfig.Lanes for this instance only
@@ -301,7 +304,7 @@ func (p *Prepared) Run() (*Result, error) { return p.runInstance(p.rc.Lanes, p.r
 // pipelined executor requires, so any lane count is safe here; results
 // are byte-identical at every setting.
 func (p *Prepared) RunWithLanes(lanes int) (*Result, error) {
-	return p.runInstance(lanes, p.rc.Telemetry)
+	return p.runInstance(lanes, p.rc.Telemetry, p.rc.Evidence)
 }
 
 // RunWithTelemetry is Run with a per-instance telemetry Set, overriding
@@ -309,16 +312,26 @@ func (p *Prepared) RunWithLanes(lanes int) (*Result, error) {
 // gives each tenant its own trace tracks while metric registrations land
 // in the shared registry cells (the merged fleet view).
 func (p *Prepared) RunWithTelemetry(set *telemetry.Set) (*Result, error) {
-	return p.runInstance(p.rc.Lanes, set)
+	return p.runInstance(p.rc.Lanes, set, p.rc.Evidence)
+}
+
+// RunWithEvidence is Run with a per-instance evidence emitter,
+// overriding the prepared RunConfig.Evidence for this instance only.
+// Emitters are single-use, so a fleet streams evidence by handing each
+// instance its own emitter here; every instance of the same Prepared
+// produces a byte-identical stream (modulo the writer it lands in).
+func (p *Prepared) RunWithEvidence(em *evidence.Emitter) (*Result, error) {
+	return p.runInstance(p.rc.Lanes, p.rc.Telemetry, em)
 }
 
 // runInstance executes one instance of the prepared workload with the
-// given lane count and telemetry sinks.
-func (p *Prepared) runInstance(lanes int, set *telemetry.Set) (*Result, error) {
+// given lane count, telemetry sinks, and evidence emitter.
+func (p *Prepared) runInstance(lanes int, set *telemetry.Set, em *evidence.Emitter) (*Result, error) {
 	measured := p.proto.Clone()
 	rc := p.rc
 	rc.Lanes = lanes
 	rc.Telemetry = set
+	rc.Evidence = em
 	parts := assemble(measured, rc)
 	ks := crypt.NewKeyStore(crypt.DeriveKey(rc.KeySeed, "cpu-private"))
 	engine := NewEngine(*rc.REV, parts.space, parts.hier, ks)
@@ -352,7 +365,9 @@ func (e *Engine) AddSharedModule(st *SharedTable) error {
 	if src == nil {
 		return fmt.Errorf("core: shared table for %s has neither Snap nor Src", st.Module)
 	}
-	e.sources = append(e.sources, moduleSource{module: st.Module, src: src})
+	e.sources = append(e.sources, moduleSource{
+		module: st.Module, start: st.Start, limit: st.Limit, src: src,
+	})
 	if co, ok := src.(sigtable.CommitObserver); ok && e.commitObs == nil {
 		// All prefetch facades feed the same predictor; the first one
 		// registered carries the engine's commit stream.

@@ -7,6 +7,7 @@ import (
 	"rev/internal/cfg"
 	"rev/internal/cpu"
 	"rev/internal/crypt"
+	"rev/internal/evidence"
 	"rev/internal/forensics"
 	"rev/internal/isa"
 	"rev/internal/mem"
@@ -60,6 +61,16 @@ type RunConfig struct {
 	// degradation semantics. Ignored by Prepare (local snapshots have no
 	// wire latency to hide).
 	Prefetch prefetch.Config
+	// Evidence, when non-nil, streams hash-chained attestation evidence
+	// from the run: every validated block commit and every validation
+	// fence is sealed into the emitter's record chain, and the final
+	// record carries the run verdict (docs/EVIDENCE.md). Requires
+	// rc.REV. The stream is byte-identical across serial, fleet, lanes,
+	// and remote configurations — it depends only on the committed
+	// instruction stream. An Emitter is single-use, so fleet callers
+	// should pass per-instance emitters via Prepared.RunWithEvidence
+	// rather than sharing one here.
+	Evidence *evidence.Emitter
 	// Lanes selects the intra-run validation pipeline (pipeline.go):
 	// negative auto-sizes the lane count from GOMAXPROCS (AutoLanes), 0
 	// keeps the classic serial loop, and n >= 1 overlaps the functional
@@ -259,6 +270,50 @@ func execute(p *parts, rc RunConfig) (*Result, error) {
 	if p.tel != nil {
 		registerRunViews(p, rc.Telemetry)
 	}
+	if rc.Evidence != nil {
+		if p.engine == nil {
+			return nil, fmt.Errorf("core: evidence requires a REV engine (set rc.REV)")
+		}
+		if err := rc.Evidence.Begin(p.engine.Cfg.Format, p.engine.moduleRanges()); err != nil {
+			return nil, fmt.Errorf("core: starting evidence stream: %w", err)
+		}
+		p.engine.ev = rc.Evidence
+	}
+	res, err := executeMeasured(p, rc)
+	if rc.Evidence != nil {
+		p.engine.ev = nil
+		if ferr := rc.Evidence.Finish(evidenceOutcome(res, err)); ferr != nil && err == nil {
+			err = fmt.Errorf("core: sealing evidence stream: %w", ferr)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// evidenceOutcome maps a run result onto the evidence final record: a
+// verdict (pass/violation/aborted) plus the violating block when one
+// was raised. Transport aborts (err != nil) carry no verdict.
+func evidenceOutcome(res *Result, err error) evidence.Outcome {
+	switch {
+	case err != nil || res == nil:
+		return evidence.Outcome{Verdict: evidence.VerdictAborted}
+	case res.Violation != nil:
+		v := res.Violation
+		return evidence.Outcome{
+			Verdict: evidence.VerdictViolation,
+			Reason:  uint8(v.Reason),
+			BBStart: v.BBStart, BBEnd: v.BBEnd, Target: v.Target,
+		}
+	default:
+		return evidence.Outcome{Verdict: evidence.VerdictPass, Halted: res.Halted}
+	}
+}
+
+// executeMeasured runs the measured execution loop — serial or
+// pipelined — after execute has attached telemetry and evidence.
+func executeMeasured(p *parts, rc RunConfig) (*Result, error) {
 	if lanes := resolveLanes(rc.Lanes); lanes > 0 {
 		return executePipelined(p, rc, lanes)
 	}

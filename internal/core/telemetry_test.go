@@ -56,7 +56,7 @@ func TestTelemetryByteIdentity(t *testing.T) {
 	// through the same identity contract as untraced pipelined runs.
 	for _, lanes := range []int{1, 4} {
 		set := telSet(1 << 12)
-		got, err := prep.runInstance(lanes, set)
+		got, err := prep.runInstance(lanes, set, nil)
 		if err != nil {
 			t.Fatalf("lanes=%d: %v", lanes, err)
 		}
@@ -203,7 +203,7 @@ func TestTelemetryEpochFenceEvents(t *testing.T) {
 		t.Fatalf("windowed serial run flagged: %v", serial.Violation)
 	}
 	set := telSet(1 << 12)
-	piped, err := prep.runInstance(2, set)
+	piped, err := prep.runInstance(2, set, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -57,7 +57,7 @@ type ThreadedResult struct {
 // function symbol of the loaded program — over one simulated core with one
 // shared REV engine. Each thread gets a private stack region. The run ends
 // when every thread halts or the global instruction budget is exhausted.
-func RunThreads(build func() (*prog.Program, error), entries []string, trc ThreadedRunConfig) (*ThreadedResult, error) {
+func RunThreads(build func() (*prog.Program, error), entries []string, trc ThreadedRunConfig) (res *ThreadedResult, err error) {
 	if len(entries) == 0 {
 		return nil, fmt.Errorf("core: RunThreads needs at least one entry")
 	}
@@ -127,6 +127,27 @@ func RunThreads(build func() (*prog.Program, error), entries []string, trc Threa
 	if tel != nil {
 		registerRunViews(&parts{hier: hier, pred: pred, pipe: pipe, engine: engine}, rc.Telemetry)
 	}
+	if rc.Evidence != nil {
+		if engine == nil {
+			return nil, fmt.Errorf("core: evidence requires a REV engine (set rc.REV)")
+		}
+		if err := rc.Evidence.Begin(engine.Cfg.Format, engine.moduleRanges()); err != nil {
+			return nil, fmt.Errorf("core: starting evidence stream: %w", err)
+		}
+		engine.ev = rc.Evidence
+		// Seal the stream on every exit path: violations and transport
+		// aborts leave evidence too (see evidenceOutcome).
+		defer func() {
+			engine.ev = nil
+			var r *Result
+			if res != nil {
+				r = &res.Result
+			}
+			if ferr := rc.Evidence.Finish(evidenceOutcome(r, err)); ferr != nil && err == nil {
+				res, err = nil, fmt.Errorf("core: sealing evidence stream: %w", ferr)
+			}
+		}()
+	}
 
 	// Thread contexts.
 	threads := make([]*threadCtx, len(entries))
@@ -140,7 +161,7 @@ func RunThreads(build func() (*prog.Program, error), entries []string, trc Threa
 		threads[i] = t
 	}
 
-	res := &ThreadedResult{}
+	res = &ThreadedResult{}
 	res.ThreadInstrs = make([]uint64, len(threads))
 	cur := 0
 	load := func(t *threadCtx) {

@@ -1,0 +1,107 @@
+package evidence
+
+import (
+	"bytes"
+	"fmt"
+
+	"rev/internal/chash"
+	"rev/internal/isa"
+	"rev/internal/sigtable"
+)
+
+func hexdump(b []byte) {
+	for off := 0; off < len(b); off += 16 {
+		end := off + 16
+		if end > len(b) {
+			end = len(b)
+		}
+		fmt.Printf("%04x ", off)
+		for i := off; i < end; i++ {
+			fmt.Printf(" %02x", b[i])
+		}
+		fmt.Println()
+	}
+}
+
+// exampleSource accepts exactly the three blocks the example commits.
+type exampleSource struct{}
+
+func (exampleSource) Lookup(end uint64, sig chash.Sig, _ sigtable.Want) (sigtable.Entry, []uint64, error) {
+	return exampleSource{}.LookupAll(end, sig)
+}
+
+func (exampleSource) LookupAll(end uint64, sig chash.Sig) (sigtable.Entry, []uint64, error) {
+	switch {
+	case end == 0x1008 && sig == 0x11111111:
+		return sigtable.Entry{End: end, Hash: sig, Term: isa.KindCondBranch}, nil, nil
+	case end == 0x1020 && sig == 0x22222222:
+		return sigtable.Entry{End: end, Hash: sig, Term: isa.KindICall, Targets: []uint64{0x1030}}, nil, nil
+	case end == 0x1040 && sig == 0x33333333:
+		return sigtable.Entry{End: end, Hash: sig, Term: isa.KindJump}, nil, nil
+	}
+	return sigtable.Entry{}, nil, sigtable.ErrMiss
+}
+
+func (exampleSource) LookupEdge(src, dst uint64) ([]uint64, error) {
+	return nil, sigtable.ErrMiss
+}
+
+// Example_evidenceRoundTrip renders the exact bytes of one complete
+// evidence stream — genesis, one full and one partial segment, a fence,
+// and the final record — then verifies it. docs/EVIDENCE.md quotes this
+// output verbatim ("Worked example"), so the spec's hexdump can never
+// drift from the implementation: if the encoding or either hash domain
+// changes, this example fails.
+func Example_evidenceRoundTrip() {
+	var buf bytes.Buffer
+	em := NewEmitter(&buf, Config{Tenant: "acme", Binding: "demo", Window: 2})
+	if err := em.Begin(sigtable.Normal, []ModuleRange{
+		{Name: "m", Start: 0x1000, Limit: 0x10f8},
+	}); err != nil {
+		panic(err)
+	}
+	em.Commit(0x1008, 0x1010, isa.KindCondBranch, 0x11111111)
+	em.Commit(0x1020, 0x1030, isa.KindICall, 0x22222222)
+	em.Fence(FenceContextSwitch, 0)
+	em.Commit(0x1040, 0x1008, isa.KindJump, 0x33333333)
+	if err := em.Finish(Outcome{Verdict: VerdictPass, Halted: true}); err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("stream (%d bytes, %d records):\n", buf.Len(), em.Stats().Records)
+	hexdump(buf.Bytes())
+
+	rep, err := Verify(buf.Bytes(), VerifyConfig{
+		Tenant:  "acme",
+		Sources: map[string]sigtable.Source{"m": exampleSource{}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("verdict: %s, blocks: %d, segments: %d, fences: %d\n",
+		rep.Outcome.Verdict, rep.Blocks, rep.Segments, rep.Fences)
+	// Output:
+	// stream (321 bytes, 5 records):
+	// 0000  3a 00 00 00 01 00 00 00 00 01 00 02 00 04 00 61
+	// 0010  63 6d 65 04 00 64 65 6d 6f 01 00 01 00 6d 00 10
+	// 0020  00 00 00 00 00 00 f8 10 00 00 00 00 00 00 8e 46
+	// 0030  08 44 80 c3 a1 6f 6c 06 93 5e 69 0b 14 61 51 00
+	// 0040  00 00 02 01 00 00 00 02 00 08 10 00 00 00 00 00
+	// 0050  00 10 10 00 00 00 00 00 00 07 11 11 11 11 20 10
+	// 0060  00 00 00 00 00 00 30 10 00 00 00 00 00 00 0c 22
+	// 0070  22 22 22 b3 bf b1 52 f0 c7 b4 99 f2 5a 13 b8 19
+	// 0080  5d 8a 19 c4 01 23 bc aa bb c2 19 a6 27 45 5f 5d
+	// 0090  b3 c0 a1 1e 00 00 00 03 02 00 00 00 03 00 00 00
+	// 00a0  00 00 00 00 00 7f dd 15 1e 12 5f 84 be 76 5b 0a
+	// 00b0  9b 3c 2b dc 52 3c 00 00 00 02 03 00 00 00 01 00
+	// 00c0  40 10 00 00 00 00 00 00 08 10 00 00 00 00 00 00
+	// 00d0  08 33 33 33 33 d8 ca 9d 9b 9e aa 35 a5 1e fb 46
+	// 00e0  49 dd 61 3c ae b7 b3 35 f9 7d df 09 cb 58 0e d7
+	// 00f0  2a 81 8a f6 e9 48 00 00 00 04 04 00 00 00 00 01
+	// 0100  00 00 00 00 00 00 00 00 00 00 00 00 00 00 00 00
+	// 0110  00 00 00 00 00 00 00 00 00 03 00 00 00 00 00 00
+	// 0120  00 d8 ca 9d 9b 9e aa 35 a5 1e fb 46 49 dd 61 3c
+	// 0130  ae 3a e9 72 5d 8f 41 36 97 8f e5 fb c7 e3 66 43
+	// 0140  af
+	// verdict: pass, blocks: 3, segments: 2, fences: 1
+}

@@ -1,0 +1,540 @@
+// Package evidence implements streaming control-flow attestation
+// evidence: an append-only, hash-chained record stream emitted while a
+// REV engine validates a run (the prover half), plus an offline verifier
+// that replays the stream against the same signature tables and module
+// map (the verifier half). ScaRR and LO-FAT (PAPERS.md) frame the output
+// of control-flow attestation exactly this way — compact, replayable
+// evidence a remote party checks without trusting the prover's verdict.
+//
+// The stream is a flat sequence of length-prefixed records. Every record
+// carries a 16-byte chain value computed with CubeHash (internal/chash)
+// over the previous record's chain value plus this record's framing and
+// payload, so truncating, dropping, reordering, or flipping any bit of
+// any record breaks every subsequent chain value. Validated basic-block
+// commits are aggregated into segment records carrying a running path
+// hash; genesis and final records bind the stream to a tenant, workload,
+// module map, and verdict. The full byte-level specification lives in
+// docs/EVIDENCE.md, pinned by Example_evidenceRoundTrip.
+package evidence
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rev/internal/chash"
+	"rev/internal/isa"
+	"rev/internal/sigtable"
+)
+
+// StreamVersion is the evidence stream format version written into (and
+// required of) every genesis record.
+const StreamVersion = 1
+
+// chainSize is the width of the per-record chain value and of the
+// running path-hash accumulator: the leading 16 bytes of a CubeHash
+// digest (the same truncate-a-wide-digest construction the signature
+// tables use for block signatures).
+const chainSize = 16
+
+// Record types. The framing is [u32 length][u8 type][u32 seq][payload]
+// [16-byte chain]; length counts everything after itself.
+const (
+	recGenesis = 0x01 // stream header: binding, module map, parameters
+	recSegment = 0x02 // up to Window committed blocks + running path hash
+	recFence   = 0x03 // validation-state fence (REV disable/enable, context switch)
+	recFinal   = 0x04 // run verdict, block count, final path hash
+)
+
+// Domain-separation prefixes: the chain hash and the path hash can never
+// collide on identical inputs because each absorbs its own domain tag
+// first (docs/EVIDENCE.md "Hash domain separation").
+var (
+	domainChain = []byte("REV-EVIDENCE-CHAIN\x00")
+	domainPath  = []byte("REV-EVIDENCE-PATH\x00")
+)
+
+// tupleSize is the encoded width of one committed-block tuple:
+// end(8) + next(8) + term(1) + sig(4).
+const tupleSize = 21
+
+// recHeaderSize is the fixed per-record overhead inside the length
+// field: type(1) + seq(4) + chain(16).
+const recHeaderSize = 1 + 4 + chainSize
+
+// maxRecordLen bounds a single record's length field; hostile streams
+// cannot make the parser allocate more than this per record.
+const maxRecordLen = 1 << 20
+
+// Typed rejection errors. Verify wraps each with positional detail;
+// match with errors.Is. Every distinct tamper class maps to a distinct
+// sentinel so the tamper-detection matrix (and revattest's output) can
+// name what broke.
+var (
+	// ErrMalformed: the stream violates the framing grammar — an
+	// impossible length field, an unknown record type, a payload that
+	// does not decode, or genesis/final records out of place.
+	ErrMalformed = errors.New("evidence: malformed stream")
+	// ErrTruncated: the stream ends mid-record or before a final record.
+	ErrTruncated = errors.New("evidence: truncated stream")
+	// ErrRecordDrop: one or more sequence numbers are missing — a record
+	// was deleted from the middle of the stream.
+	ErrRecordDrop = errors.New("evidence: dropped record")
+	// ErrRecordReorder: every sequence number is present but not in
+	// order — records were swapped or spliced out of order.
+	ErrRecordReorder = errors.New("evidence: reordered records")
+	// ErrChainMismatch: a record's chain value does not equal the hash
+	// chained over its predecessor — some byte of the stream was altered.
+	ErrChainMismatch = errors.New("evidence: chain mismatch")
+	// ErrBindingMismatch: the genesis binding (tenant, workload binding,
+	// or module map) does not match what the verifier expected — e.g. a
+	// stream spliced in from another tenant.
+	ErrBindingMismatch = errors.New("evidence: binding mismatch")
+	// ErrPathHashMismatch: a segment's (or the final record's) path hash
+	// does not equal the hash replayed over the committed tuples.
+	ErrPathHashMismatch = errors.New("evidence: path hash mismatch")
+	// ErrUnknownModule: a committed block's address falls outside every
+	// module range the genesis record attested.
+	ErrUnknownModule = errors.New("evidence: address outside attested modules")
+	// ErrUnknownBlock: a committed block's (address, signature) pair is
+	// unknown to the signature table — the replayed equivalent of a live
+	// hash violation.
+	ErrUnknownBlock = errors.New("evidence: block unknown to signature table")
+	// ErrIllegalTarget: a committed computed transfer went to a target
+	// the signature table does not list for the block.
+	ErrIllegalTarget = errors.New("evidence: illegal computed target")
+	// ErrIllegalReturn: a committed return landed at a block that does
+	// not list the returning RET as a predecessor.
+	ErrIllegalReturn = errors.New("evidence: illegal return")
+	// ErrVerdictMismatch: the final record's accounting (block count or
+	// verdict) contradicts what replaying the stream produced.
+	ErrVerdictMismatch = errors.New("evidence: verdict does not match replay")
+)
+
+// FenceKind labels a validation-state fence record.
+type FenceKind uint8
+
+// Fence kinds: the engine's delayed-return latch is cleared at REV
+// disable and at context switches, and the verifier must clear its
+// replayed latch at exactly the same points.
+const (
+	// FenceDisable: validation was switched off (SYS REVEnable 0).
+	FenceDisable FenceKind = 1
+	// FenceEnable: validation was switched back on (SYS REVEnable 1).
+	FenceEnable FenceKind = 2
+	// FenceContextSwitch: the core switched threads; per-thread
+	// microarchitectural validation state was dropped.
+	FenceContextSwitch FenceKind = 3
+)
+
+// String names the fence kind for reports and revattest output.
+func (k FenceKind) String() string {
+	switch k {
+	case FenceDisable:
+		return "rev-disable"
+	case FenceEnable:
+		return "rev-enable"
+	case FenceContextSwitch:
+		return "context-switch"
+	}
+	return "?"
+}
+
+// VerdictCode is the final record's run verdict.
+type VerdictCode uint8
+
+// Verdict codes carried by the final record.
+const (
+	// VerdictPass: the run completed with every committed block validated.
+	VerdictPass VerdictCode = 0
+	// VerdictViolation: the live engine raised a validation violation;
+	// the offending block never committed, so it appears in the final
+	// record's fields, not in any segment.
+	VerdictViolation VerdictCode = 1
+	// VerdictAborted: the run ended without a verdict (e.g. a signature
+	// source became unavailable). The evidence attests only the prefix.
+	VerdictAborted VerdictCode = 2
+)
+
+// String names the verdict for reports and revattest output.
+func (v VerdictCode) String() string {
+	switch v {
+	case VerdictPass:
+		return "pass"
+	case VerdictViolation:
+		return "violation"
+	case VerdictAborted:
+		return "aborted"
+	}
+	return "?"
+}
+
+// ModuleRange names one attested module and the code range it covers —
+// the genesis record's module map, mirroring the SAG limit registers.
+type ModuleRange struct {
+	Name         string
+	Start, Limit uint64
+}
+
+// Genesis is the decoded stream header: what the evidence is bound to.
+type Genesis struct {
+	// StreamVersion is the evidence format version (StreamVersion).
+	StreamVersion uint8
+	// Format is the validation format the run used; the verifier replays
+	// with the same format's rules.
+	Format sigtable.Format
+	// Window is the maximum committed-block tuples per segment record.
+	Window int
+	// Tenant namespaces the stream (matches the sigserve tenant).
+	Tenant string
+	// Binding is a free-form run-binding string (workload name, scale,
+	// instruction budget...) the verifier may parse to reconstruct the
+	// signature tables; see cmd/revattest.
+	Binding string
+	// Modules is the attested module map.
+	Modules []ModuleRange
+}
+
+// Outcome is the run result the final record seals into the chain.
+type Outcome struct {
+	Verdict VerdictCode
+	// Halted reports whether the program ran to completion (pass runs).
+	Halted bool
+	// Reason is the core.ViolationReason as a raw byte (violation runs).
+	Reason uint8
+	// BBStart/BBEnd/Target locate the violating block and offending
+	// address (violation runs; zero otherwise).
+	BBStart, BBEnd, Target uint64
+}
+
+// tuple is one committed basic block as carried through the emitter ring
+// and encoded into segment records.
+type tuple struct {
+	end  uint64
+	next uint64
+	arg  uint64 // fence argument (fence tuples only)
+	sig  chash.Sig
+	term isa.Kind
+	kind uint8 // 0 = commit; else the FenceKind
+}
+
+// appendTuple encodes one committed-block tuple (little-endian).
+func appendTuple(b []byte, t tuple) []byte {
+	b = binary.LittleEndian.AppendUint64(b, t.end)
+	b = binary.LittleEndian.AppendUint64(b, t.next)
+	b = append(b, byte(t.term))
+	b = binary.LittleEndian.AppendUint32(b, uint32(t.sig))
+	return b
+}
+
+// chainState computes record chain values: next = trunc16(CubeHash(
+// domainChain || prev || type || seq || payload)). The scratch buffer is
+// reused across records so steady-state chaining does not allocate.
+type chainState struct {
+	cur     [chainSize]byte
+	scratch []byte
+}
+
+// next absorbs one record into the chain and returns the new value.
+func (c *chainState) next(typ uint8, seq uint32, payload []byte) [chainSize]byte {
+	b := c.scratch[:0]
+	b = append(b, domainChain...)
+	b = append(b, c.cur[:]...)
+	b = append(b, typ)
+	b = binary.LittleEndian.AppendUint32(b, seq)
+	b = append(b, payload...)
+	c.scratch = b
+	var out [64]byte
+	chash.SumInto(b, out[:])
+	copy(c.cur[:], out[:chainSize])
+	return c.cur
+}
+
+// pathState is the running path-hash accumulator: each segment flush
+// absorbs the segment's tuples, so the final value commits to the whole
+// committed-block sequence in order.
+type pathState struct {
+	cur     [chainSize]byte
+	scratch []byte
+}
+
+// absorb folds one segment's encoded tuples into the accumulator.
+func (p *pathState) absorb(tuples []byte) [chainSize]byte {
+	b := p.scratch[:0]
+	b = append(b, domainPath...)
+	b = append(b, p.cur[:]...)
+	b = append(b, tuples...)
+	p.scratch = b
+	var out [64]byte
+	chash.SumInto(b, out[:])
+	copy(p.cur[:], out[:chainSize])
+	return p.cur
+}
+
+// ---- payload codecs -------------------------------------------------
+
+// Bounds for hostile-stream decoding.
+const (
+	maxStringLen = 1 << 10
+	maxModules   = 1 << 10
+)
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// fdec is a bounds-checked payload decoder; any overrun flips err and
+// every subsequent read returns zero values.
+type fdec struct {
+	b   []byte
+	err bool
+}
+
+func (d *fdec) take(n int) []byte {
+	if d.err || len(d.b) < n {
+		d.err = true
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *fdec) u8() uint8 {
+	v := d.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+
+func (d *fdec) u16() uint16 {
+	v := d.take(2)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(v)
+}
+
+func (d *fdec) u32() uint32 {
+	v := d.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(v)
+}
+
+func (d *fdec) u64() uint64 {
+	v := d.take(8)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(v)
+}
+
+func (d *fdec) str() string {
+	n := int(d.u16())
+	if n > maxStringLen {
+		d.err = true
+		return ""
+	}
+	v := d.take(n)
+	if v == nil {
+		return ""
+	}
+	return string(v)
+}
+
+// done reports whether the payload decoded cleanly and completely.
+func (d *fdec) done() bool { return !d.err && len(d.b) == 0 }
+
+// encodeGenesis builds the genesis payload.
+func encodeGenesis(g Genesis) []byte {
+	b := make([]byte, 0, 64)
+	b = append(b, g.StreamVersion, byte(g.Format))
+	b = binary.LittleEndian.AppendUint16(b, uint16(g.Window))
+	b = appendStr(b, g.Tenant)
+	b = appendStr(b, g.Binding)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(g.Modules)))
+	for _, m := range g.Modules {
+		b = appendStr(b, m.Name)
+		b = binary.LittleEndian.AppendUint64(b, m.Start)
+		b = binary.LittleEndian.AppendUint64(b, m.Limit)
+	}
+	return b
+}
+
+func decodeGenesis(payload []byte) (Genesis, error) {
+	d := fdec{b: payload}
+	g := Genesis{
+		StreamVersion: d.u8(),
+		Format:        sigtable.Format(d.u8()),
+		Window:        int(d.u16()),
+		Tenant:        d.str(),
+		Binding:       d.str(),
+	}
+	n := int(d.u16())
+	if n > maxModules {
+		return Genesis{}, fmt.Errorf("%w: genesis module count %d", ErrMalformed, n)
+	}
+	for i := 0; i < n && !d.err; i++ {
+		g.Modules = append(g.Modules, ModuleRange{
+			Name:  d.str(),
+			Start: d.u64(),
+			Limit: d.u64(),
+		})
+	}
+	if !d.done() {
+		return Genesis{}, fmt.Errorf("%w: genesis payload does not decode", ErrMalformed)
+	}
+	if g.StreamVersion != StreamVersion {
+		return Genesis{}, fmt.Errorf("%w: genesis stream version %d, want %d",
+			ErrMalformed, g.StreamVersion, StreamVersion)
+	}
+	return g, nil
+}
+
+// segment is a decoded segment record.
+type segment struct {
+	tuples []tuple
+	path   [chainSize]byte
+}
+
+// encodeSegment builds a segment payload from the encoded tuple bytes
+// (count*tupleSize) and the accumulator value after absorbing them.
+func encodeSegment(b []byte, tuples []byte, count int, path [chainSize]byte) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(count))
+	b = append(b, tuples...)
+	return append(b, path[:]...)
+}
+
+func decodeSegment(payload []byte) (segment, error) {
+	d := fdec{b: payload}
+	n := int(d.u16())
+	s := segment{tuples: make([]tuple, 0, n)}
+	for i := 0; i < n && !d.err; i++ {
+		s.tuples = append(s.tuples, tuple{
+			end:  d.u64(),
+			next: d.u64(),
+			term: isa.Kind(d.u8()),
+			sig:  chash.Sig(d.u32()),
+		})
+	}
+	copy(s.path[:], d.take(chainSize))
+	if !d.done() {
+		return segment{}, fmt.Errorf("%w: segment payload does not decode", ErrMalformed)
+	}
+	return s, nil
+}
+
+// fence is a decoded fence record.
+type fence struct {
+	kind FenceKind
+	arg  uint64
+}
+
+func encodeFence(b []byte, k FenceKind, arg uint64) []byte {
+	b = append(b, byte(k))
+	return binary.LittleEndian.AppendUint64(b, arg)
+}
+
+func decodeFence(payload []byte) (fence, error) {
+	d := fdec{b: payload}
+	f := fence{kind: FenceKind(d.u8()), arg: d.u64()}
+	if !d.done() || f.kind < FenceDisable || f.kind > FenceContextSwitch {
+		return fence{}, fmt.Errorf("%w: fence payload does not decode", ErrMalformed)
+	}
+	return f, nil
+}
+
+// final is a decoded final record.
+type final struct {
+	outcome Outcome
+	blocks  uint64
+	path    [chainSize]byte
+}
+
+func encodeFinal(b []byte, o Outcome, blocks uint64, path [chainSize]byte) []byte {
+	halted := byte(0)
+	if o.Halted {
+		halted = 1
+	}
+	b = append(b, byte(o.Verdict), halted, o.Reason)
+	b = binary.LittleEndian.AppendUint64(b, o.BBStart)
+	b = binary.LittleEndian.AppendUint64(b, o.BBEnd)
+	b = binary.LittleEndian.AppendUint64(b, o.Target)
+	b = binary.LittleEndian.AppendUint64(b, blocks)
+	return append(b, path[:]...)
+}
+
+func decodeFinal(payload []byte) (final, error) {
+	d := fdec{b: payload}
+	var f final
+	f.outcome.Verdict = VerdictCode(d.u8())
+	f.outcome.Halted = d.u8() != 0
+	f.outcome.Reason = d.u8()
+	f.outcome.BBStart = d.u64()
+	f.outcome.BBEnd = d.u64()
+	f.outcome.Target = d.u64()
+	f.blocks = d.u64()
+	copy(f.path[:], d.take(chainSize))
+	if !d.done() || f.outcome.Verdict > VerdictAborted {
+		return final{}, fmt.Errorf("%w: final payload does not decode", ErrMalformed)
+	}
+	return f, nil
+}
+
+// rawRecord is one framed record split but not yet payload-decoded.
+type rawRecord struct {
+	typ     uint8
+	seq     uint32
+	payload []byte
+	chain   [chainSize]byte
+}
+
+// parseStream splits a stream into raw records, distinguishing framing
+// grammar violations (ErrMalformed) from clean mid-record cuts
+// (ErrTruncated).
+func parseStream(stream []byte) ([]rawRecord, error) {
+	var recs []rawRecord
+	off := 0
+	for off < len(stream) {
+		if len(stream)-off < 4 {
+			return nil, fmt.Errorf("%w: %d trailing bytes at offset %d", ErrTruncated, len(stream)-off, off)
+		}
+		n := int(binary.LittleEndian.Uint32(stream[off:]))
+		if n < recHeaderSize || n > maxRecordLen {
+			return nil, fmt.Errorf("%w: record length %d at offset %d", ErrMalformed, n, off)
+		}
+		if len(stream)-off-4 < n {
+			return nil, fmt.Errorf("%w: record at offset %d wants %d bytes, %d remain",
+				ErrTruncated, off, n, len(stream)-off-4)
+		}
+		body := stream[off+4 : off+4+n]
+		r := rawRecord{
+			typ:     body[0],
+			seq:     binary.LittleEndian.Uint32(body[1:]),
+			payload: body[5 : n-chainSize],
+		}
+		copy(r.chain[:], body[n-chainSize:])
+		if r.typ < recGenesis || r.typ > recFinal {
+			return nil, fmt.Errorf("%w: unknown record type %#x at offset %d", ErrMalformed, r.typ, off)
+		}
+		recs = append(recs, r)
+		off += 4 + n
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%w: empty stream", ErrTruncated)
+	}
+	return recs, nil
+}
+
+// appendRecord frames one record: [u32 len][type][seq][payload][chain].
+func appendRecord(b []byte, typ uint8, seq uint32, payload []byte, chain [chainSize]byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(recHeaderSize+len(payload)))
+	b = append(b, typ)
+	b = binary.LittleEndian.AppendUint32(b, seq)
+	b = append(b, payload...)
+	return append(b, chain[:]...)
+}

@@ -1,0 +1,362 @@
+package evidence
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"rev/internal/isa"
+	"rev/internal/sigtable"
+)
+
+// VerifyConfig parameterizes offline verification of an evidence stream.
+type VerifyConfig struct {
+	// Tenant, when non-empty, must equal the genesis record's tenant —
+	// the cross-tenant splice check.
+	Tenant string
+	// Binding, when non-empty, must equal the genesis record's binding.
+	Binding string
+	// Modules, when non-nil, must equal the genesis module map exactly
+	// (same names, ranges, order) — binds the stream to the verifier's
+	// independently loaded module layout.
+	Modules []ModuleRange
+	// Sources maps each attested module name to a signature-table lookup
+	// source built (or fetched) by the verifier. Every module named in
+	// the genesis record must be present.
+	Sources map[string]sigtable.Source
+}
+
+// Report is the result of a successful verification: the stream is
+// structurally intact (framing, sequence, chain), bound as expected,
+// and every committed block replayed legal against the verifier's own
+// signature tables. The Outcome is the live run's sealed verdict.
+type Report struct {
+	Genesis  Genesis
+	Records  int
+	Segments int
+	Fences   int
+	// Blocks is the committed-block tuple count (equals the final
+	// record's sealed count; Verify rejects the stream otherwise).
+	Blocks uint64
+	// Outcome is the verdict the final record sealed into the chain.
+	Outcome Outcome
+}
+
+// Peek decodes just the genesis record of a stream — framing and
+// payload only, no chain or replay checks — so a verifier can discover
+// the binding (workload parameters, format, module map) it needs to
+// build its own tables before calling Verify.
+func Peek(stream []byte) (Genesis, error) {
+	recs, err := parseStream(stream)
+	if err != nil {
+		return Genesis{}, err
+	}
+	if recs[0].typ != recGenesis {
+		return Genesis{}, fmt.Errorf("%w: first record is type %#x, want genesis", ErrMalformed, recs[0].typ)
+	}
+	return decodeGenesis(recs[0].payload)
+}
+
+// Verify replays an evidence stream against the verifier's own
+// signature tables and returns a Report, or a typed error naming what
+// broke (see the Err sentinels in this package). Checks run in order:
+// framing, record sequence, hash chain, genesis binding, per-segment
+// path hashes, per-block table replay (signature membership, computed
+// targets, delayed returns — the same rules the live engine enforces,
+// selected by the genesis format), and the final record's accounting.
+//
+// A nil error with Outcome.Verdict == VerdictViolation means the stream
+// is genuine evidence of a run the live engine aborted: the offending
+// block never committed, so the committed prefix replays clean and the
+// verdict is read from the sealed final record.
+func Verify(stream []byte, vc VerifyConfig) (*Report, error) {
+	recs, err := parseStream(stream)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkSequence(recs); err != nil {
+		return nil, err
+	}
+	if err := checkChain(recs); err != nil {
+		return nil, err
+	}
+	if err := checkShape(recs); err != nil {
+		return nil, err
+	}
+	g, err := decodeGenesis(recs[0].payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkBinding(g, vc); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Genesis: g, Records: len(recs)}
+	rp := replayer{g: g, vc: vc}
+	for _, r := range recs[1 : len(recs)-1] {
+		switch r.typ {
+		case recSegment:
+			s, err := decodeSegment(r.payload)
+			if err != nil {
+				return nil, err
+			}
+			if err := rp.segment(r.seq, s); err != nil {
+				return nil, err
+			}
+			rep.Segments++
+		case recFence:
+			f, err := decodeFence(r.payload)
+			if err != nil {
+				return nil, err
+			}
+			rp.fence(f)
+			rep.Fences++
+		}
+	}
+	fin, err := decodeFinal(recs[len(recs)-1].payload)
+	if err != nil {
+		return nil, err
+	}
+	if fin.blocks != rp.blocks {
+		return nil, fmt.Errorf("%w: final record seals %d blocks, stream carries %d",
+			ErrVerdictMismatch, fin.blocks, rp.blocks)
+	}
+	if fin.path != rp.path.cur {
+		return nil, fmt.Errorf("%w: final record's path hash does not equal the replayed accumulator",
+			ErrPathHashMismatch)
+	}
+	rep.Blocks = rp.blocks
+	rep.Outcome = fin.outcome
+	return rep, nil
+}
+
+// checkSequence rejects dropped (missing seq) and reordered (complete
+// but unsorted seq) record sets.
+func checkSequence(recs []rawRecord) error {
+	n := len(recs)
+	seen := make([]bool, n)
+	var missing []uint32
+	dup := false
+	for _, r := range recs {
+		if int(r.seq) >= n {
+			missing = append(missing, r.seq)
+			continue
+		}
+		if seen[r.seq] {
+			dup = true
+			continue
+		}
+		seen[r.seq] = true
+	}
+	if len(missing) > 0 || dup {
+		for i, ok := range seen {
+			if !ok {
+				missing = append(missing, uint32(i))
+			}
+		}
+		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+		return fmt.Errorf("%w: sequence numbers %v are missing from a %d-record stream",
+			ErrRecordDrop, missing, n)
+	}
+	for i, r := range recs {
+		if int(r.seq) != i {
+			return fmt.Errorf("%w: record with sequence %d found at position %d",
+				ErrRecordReorder, r.seq, i)
+		}
+	}
+	return nil
+}
+
+// checkChain recomputes every record's chain value from its predecessor.
+func checkChain(recs []rawRecord) error {
+	var cs chainState
+	for i, r := range recs {
+		want := cs.next(r.typ, r.seq, r.payload)
+		if !bytes.Equal(want[:], r.chain[:]) {
+			return fmt.Errorf("%w: record %d carries a chain value the predecessor chain does not produce",
+				ErrChainMismatch, i)
+		}
+	}
+	return nil
+}
+
+// checkShape enforces the record grammar: exactly one genesis first,
+// exactly one final last, only segments and fences between.
+func checkShape(recs []rawRecord) error {
+	if recs[0].typ != recGenesis {
+		return fmt.Errorf("%w: first record is type %#x, want genesis", ErrMalformed, recs[0].typ)
+	}
+	if recs[len(recs)-1].typ != recFinal {
+		return fmt.Errorf("%w: stream ends without a final record", ErrTruncated)
+	}
+	for i, r := range recs[1 : len(recs)-1] {
+		if r.typ == recGenesis || r.typ == recFinal {
+			return fmt.Errorf("%w: record %d is type %#x, want segment or fence", ErrMalformed, i+1, r.typ)
+		}
+	}
+	return nil
+}
+
+// checkBinding compares the genesis binding against the verifier's
+// expectations and checks source coverage.
+func checkBinding(g Genesis, vc VerifyConfig) error {
+	if vc.Tenant != "" && g.Tenant != vc.Tenant {
+		return fmt.Errorf("%w: stream is bound to tenant %q, verifier expects %q",
+			ErrBindingMismatch, g.Tenant, vc.Tenant)
+	}
+	if vc.Binding != "" && g.Binding != vc.Binding {
+		return fmt.Errorf("%w: stream is bound to %q, verifier expects %q",
+			ErrBindingMismatch, g.Binding, vc.Binding)
+	}
+	if vc.Modules != nil {
+		if len(vc.Modules) != len(g.Modules) {
+			return fmt.Errorf("%w: stream attests %d modules, verifier expects %d",
+				ErrBindingMismatch, len(g.Modules), len(vc.Modules))
+		}
+		for i, m := range vc.Modules {
+			if g.Modules[i] != m {
+				return fmt.Errorf("%w: stream module %d is %s [%#x,%#x], verifier expects %s [%#x,%#x]",
+					ErrBindingMismatch, i,
+					g.Modules[i].Name, g.Modules[i].Start, g.Modules[i].Limit,
+					m.Name, m.Start, m.Limit)
+			}
+		}
+	}
+	for _, m := range g.Modules {
+		if _, ok := vc.Sources[m.Name]; !ok {
+			return fmt.Errorf("evidence: no signature source for attested module %q", m.Name)
+		}
+	}
+	return nil
+}
+
+// replayer re-runs the engine's commit-time validation rules over the
+// committed-block tuples: path-hash recomputation, module-range
+// resolution, signature-table membership, computed-target legality, and
+// delayed return validation with the same fence-clearing points the
+// live engine uses.
+type replayer struct {
+	g      Genesis
+	vc     VerifyConfig
+	path   pathState
+	blocks uint64
+
+	pendingRet    uint64
+	pendingRetSet bool
+
+	tupleBuf []byte
+}
+
+// segment replays one segment record.
+func (rp *replayer) segment(seq uint32, s segment) error {
+	// Recompute the path hash over the re-encoded tuples; any divergence
+	// between the tuples and the carried accumulator is tampering the
+	// chain check cannot attribute (the chain covers the record, the
+	// path covers the cross-record block sequence).
+	b := rp.tupleBuf[:0]
+	for _, t := range s.tuples {
+		b = appendTuple(b, t)
+	}
+	rp.tupleBuf = b
+	if rp.path.absorb(b) != s.path {
+		return fmt.Errorf("%w: segment record %d", ErrPathHashMismatch, seq)
+	}
+	for _, t := range s.tuples {
+		if err := rp.block(t); err != nil {
+			return err
+		}
+		rp.blocks++
+	}
+	return nil
+}
+
+// fence replays a validation-state fence: REV disable and context
+// switches clear the delayed-return latch, exactly as Engine.SysHandler
+// and Engine.OnContextSwitch do.
+func (rp *replayer) fence(f fence) {
+	if f.kind == FenceDisable || f.kind == FenceContextSwitch {
+		rp.pendingRetSet = false
+	}
+}
+
+// block replays one committed block against the signature tables.
+func (rp *replayer) block(t tuple) error {
+	mod, ok := rp.module(t.end)
+	if !ok {
+		return fmt.Errorf("%w: block ending at %#x", ErrUnknownModule, t.end)
+	}
+	src := rp.vc.Sources[mod]
+	if rp.g.Format == sigtable.CFIOnly {
+		return rp.blockCFI(t, src)
+	}
+	entry, _, err := src.LookupAll(t.end, t.sig)
+	if err != nil {
+		if sigtable.IsMiss(err) {
+			return fmt.Errorf("%w: block ending at %#x with signature %#x",
+				ErrUnknownBlock, t.end, uint32(t.sig))
+		}
+		return fmt.Errorf("evidence: signature source for %s: %w", mod, err)
+	}
+	if rp.pendingRetSet && !contains(entry.RetPreds, rp.pendingRet) {
+		return fmt.Errorf("%w: return from %#x landed in block ending at %#x",
+			ErrIllegalReturn, rp.pendingRet, t.end)
+	}
+	if rp.checkTarget(t.term) && !contains(entry.Targets, t.next) {
+		return fmt.Errorf("%w: block ending at %#x transferred to %#x",
+			ErrIllegalTarget, t.end, t.next)
+	}
+	rp.pendingRetSet = t.term == isa.KindRet
+	if rp.pendingRetSet {
+		rp.pendingRet = t.end
+	}
+	return nil
+}
+
+// blockCFI replays a CFI-only commit: only computed edges are recorded
+// and validated; the live engine neither hashes nor latches returns in
+// this format.
+func (rp *replayer) blockCFI(t tuple, src sigtable.Source) error {
+	if _, err := src.LookupEdge(t.end, t.next); err != nil {
+		if !sigtable.IsMiss(err) {
+			return fmt.Errorf("evidence: signature source: %w", err)
+		}
+		if t.term == isa.KindRet {
+			return fmt.Errorf("%w: edge %#x -> %#x", ErrIllegalReturn, t.end, t.next)
+		}
+		return fmt.Errorf("%w: edge %#x -> %#x", ErrIllegalTarget, t.end, t.next)
+	}
+	return nil
+}
+
+// checkTarget reports whether the format validates this terminator's
+// target explicitly — the same selection Engine.validateHashed makes.
+func (rp *replayer) checkTarget(term isa.Kind) bool {
+	switch {
+	case term == isa.KindRet:
+		return false
+	case term.IsComputed():
+		return true
+	case rp.g.Format == sigtable.Aggressive && term.IsControlFlow() && term != isa.KindHalt:
+		return true
+	}
+	return false
+}
+
+// module resolves an address to its attested module name.
+func (rp *replayer) module(addr uint64) (string, bool) {
+	for _, m := range rp.g.Modules {
+		if addr >= m.Start && addr <= m.Limit {
+			return m.Name, true
+		}
+	}
+	return "", false
+}
+
+func contains(list []uint64, a uint64) bool {
+	for _, x := range list {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}

@@ -133,6 +133,10 @@ type Client struct {
 	// reported; RemoteSource compares it with its cache epoch to mark
 	// degraded verdicts stale.
 	serverEpoch atomic.Uint64
+	// negotiated is the protocol version the server's Welcome chose
+	// (0 before first contact). Evidence methods require it to be at
+	// least VersionEvidence.
+	negotiated atomic.Uint32
 
 	mu     sync.Mutex
 	idle   []net.Conn
@@ -232,7 +236,7 @@ func (c *Client) dial() (net.Conn, error) {
 		return nil, err
 	}
 	conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
-	hello := helloMsg{MinVersion: Version, MaxVersion: Version, Tenant: c.cfg.Tenant}
+	hello := helloMsg{MinVersion: MinSupported, MaxVersion: Version, Tenant: c.cfg.Tenant}
 	if err := WriteFrame(conn, Frame{Version: Version, Type: MsgHello, ReqID: c.reqID.Add(1), Payload: hello.encode()}); err != nil {
 		conn.Close()
 		return nil, err
@@ -249,6 +253,11 @@ func (c *Client) dial() (net.Conn, error) {
 			conn.Close()
 			return nil, err
 		}
+		if w.Version < MinSupported || w.Version > Version {
+			conn.Close()
+			return nil, fmt.Errorf("sigserve: server chose version %d, client speaks [%d,%d]", w.Version, MinSupported, Version)
+		}
+		c.negotiated.Store(uint32(w.Version))
 		c.observeEpoch(w.Epoch)
 		conn.SetDeadline(time.Time{})
 		return conn, nil
@@ -375,7 +384,11 @@ func (c *Client) once(typ MsgType, payload []byte) (Frame, error) {
 	id := c.reqID.Add(1)
 	deadline := time.Now().Add(c.cfg.RequestTimeout)
 	conn.SetDeadline(deadline)
-	if err := WriteFrame(conn, Frame{Version: Version, Type: typ, ReqID: id, Payload: payload}); err != nil {
+	ver := uint8(c.negotiated.Load())
+	if ver == 0 {
+		ver = Version
+	}
+	if err := WriteFrame(conn, Frame{Version: ver, Type: typ, ReqID: id, Payload: payload}); err != nil {
 		conn.Close()
 		return Frame{}, err
 	}
@@ -427,6 +440,118 @@ func (c *Client) Ping() error {
 		return fmt.Errorf("sigserve: ping answered with %#x", uint8(f.Type))
 	}
 	return nil
+}
+
+// ErrEvidenceUnsupported is returned by the evidence methods when the
+// connection negotiated a protocol version below VersionEvidence — the
+// server predates the evidence message family. Callers should skip the
+// upload, not fail the run.
+var ErrEvidenceUnsupported = fmt.Errorf("sigserve: server does not support evidence (needs protocol version %d)", VersionEvidence)
+
+// NegotiatedVersion returns the protocol version the server chose at
+// handshake (0 before first contact).
+func (c *Client) NegotiatedVersion() uint8 { return uint8(c.negotiated.Load()) }
+
+// ensureNegotiated forces a handshake if none has happened yet, so the
+// evidence methods can check the negotiated version before encoding.
+func (c *Client) ensureNegotiated() error {
+	if c.negotiated.Load() != 0 {
+		return nil
+	}
+	return c.Ping()
+}
+
+// EvidenceAck reports what the server did with an uploaded stream.
+type EvidenceAck struct {
+	// Bytes is the retained stream length.
+	Bytes uint64
+	// Evicted is how many older streams retention dropped to make room.
+	Evicted int
+}
+
+// UploadEvidence uploads one attestation evidence stream (the bytes an
+// evidence.Emitter wrote) under a name in the tenant's namespace.
+// Requires a server speaking VersionEvidence; older servers yield
+// ErrEvidenceUnsupported.
+func (c *Client) UploadEvidence(name string, stream []byte) (EvidenceAck, error) {
+	if err := c.ensureNegotiated(); err != nil {
+		return EvidenceAck{}, err
+	}
+	if c.NegotiatedVersion() < VersionEvidence {
+		return EvidenceAck{}, ErrEvidenceUnsupported
+	}
+	f, err := c.roundTrip(MsgEvidencePut, evidencePutMsg{Name: name, Stream: stream}.encode())
+	if err != nil {
+		return EvidenceAck{}, err
+	}
+	if f.Type != MsgEvidenceAck {
+		return EvidenceAck{}, fmt.Errorf("sigserve: evidence upload answered with %#x", uint8(f.Type))
+	}
+	ack, err := decodeEvidenceAck(f.Payload)
+	if err != nil {
+		return EvidenceAck{}, err
+	}
+	return EvidenceAck{Bytes: ack.Bytes, Evicted: int(ack.Evicted)}, nil
+}
+
+// EvidenceInfo is one catalogue entry from ListEvidence.
+type EvidenceInfo struct {
+	// Name is the upload name.
+	Name string
+	// Bytes is the retained stream length.
+	Bytes uint64
+}
+
+// ListEvidence lists the tenant's retained evidence streams, oldest
+// first. Requires VersionEvidence.
+func (c *Client) ListEvidence() ([]EvidenceInfo, error) {
+	if err := c.ensureNegotiated(); err != nil {
+		return nil, err
+	}
+	if c.NegotiatedVersion() < VersionEvidence {
+		return nil, ErrEvidenceUnsupported
+	}
+	f, err := c.roundTrip(MsgEvidenceList, nil)
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != MsgEvidenceCatalog {
+		return nil, fmt.Errorf("sigserve: evidence list answered with %#x", uint8(f.Type))
+	}
+	cat, err := decodeEvidenceCatalog(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]EvidenceInfo, len(cat.Streams))
+	for i, s := range cat.Streams {
+		out[i] = EvidenceInfo{Name: s.Name, Bytes: s.Bytes}
+	}
+	return out, nil
+}
+
+// FetchEvidence fetches one retained evidence stream by name, for
+// offline verification (cmd/revattest -fetch). Requires
+// VersionEvidence; an unknown name surfaces as a *ServerError with
+// CodeUnknownEvidence.
+func (c *Client) FetchEvidence(name string) ([]byte, error) {
+	if err := c.ensureNegotiated(); err != nil {
+		return nil, err
+	}
+	if c.NegotiatedVersion() < VersionEvidence {
+		return nil, ErrEvidenceUnsupported
+	}
+	f, err := c.roundTrip(MsgEvidenceGet, evidenceGetMsg{Name: name}.encode())
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != MsgEvidenceData {
+		return nil, fmt.Errorf("sigserve: evidence fetch answered with %#x", uint8(f.Type))
+	}
+	data, err := decodeEvidenceData(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return data.Stream, nil
 }
 
 // ModuleMeta is one catalogue entry from Modules.

@@ -29,9 +29,21 @@ import (
 	"rev/internal/sigtable"
 )
 
-// Version is the only protocol version this implementation speaks.
-// Hello carries a [min,max] range so future revisions can negotiate.
-const Version = 0x01
+// Version is the newest protocol version this implementation speaks;
+// MinSupported is the oldest. Hello carries the client's [min,max]
+// range, the server answers with the highest version both sides share
+// (MsgWelcome.Version), and every later frame on the connection carries
+// the negotiated version. Version 2 added the evidence message family
+// (MsgEvidencePut..MsgEvidenceData); a version-1 connection answers
+// those with CodeBadRequest.
+const (
+	Version      = 0x02
+	MinSupported = 0x01
+	// VersionEvidence is the first version carrying the evidence
+	// messages; Client.UploadEvidence and friends require a connection
+	// negotiated at or above it.
+	VersionEvidence = 0x02
+)
 
 // Frame header geometry (docs/PROTOCOL.md "Frame layout").
 const (
@@ -83,6 +95,21 @@ const (
 	MsgLookupBatchResult MsgType = 0x0C
 	// MsgError reports a request failure: code + detail string.
 	MsgError MsgType = 0x0D
+	// MsgEvidencePut uploads one attestation evidence stream
+	// (internal/evidence) under a name in the tenant's namespace.
+	// Version 2+ only.
+	MsgEvidencePut MsgType = 0x0E
+	// MsgEvidenceAck answers MsgEvidencePut: bytes retained + how many
+	// older streams were evicted to make room.
+	MsgEvidenceAck MsgType = 0x0F
+	// MsgEvidenceList asks for the tenant's retained evidence catalogue.
+	MsgEvidenceList MsgType = 0x10
+	// MsgEvidenceCatalog answers MsgEvidenceList: name + size per stream.
+	MsgEvidenceCatalog MsgType = 0x11
+	// MsgEvidenceGet fetches one retained evidence stream by name.
+	MsgEvidenceGet MsgType = 0x12
+	// MsgEvidenceData answers MsgEvidenceGet with the stream bytes.
+	MsgEvidenceData MsgType = 0x13
 )
 
 // ErrCode classifies a MsgError payload.
@@ -103,6 +130,12 @@ const (
 	CodeShutdown ErrCode = 5
 	// CodeInternal: unexpected server-side failure.
 	CodeInternal ErrCode = 6
+	// CodeEvidenceTooLarge: an uploaded evidence stream exceeds the
+	// server's per-stream retention cap. The stream is not retained.
+	CodeEvidenceTooLarge ErrCode = 7
+	// CodeUnknownEvidence: MsgEvidenceGet named a stream the tenant does
+	// not retain (never uploaded, or already evicted).
+	CodeUnknownEvidence ErrCode = 8
 )
 
 // String renders the code as its wire-spec name (docs/PROTOCOL.md).
@@ -120,6 +153,10 @@ func (c ErrCode) String() string {
 		return "shutdown"
 	case CodeInternal:
 		return "internal"
+	case CodeEvidenceTooLarge:
+		return "evidence-too-large"
+	case CodeUnknownEvidence:
+		return "unknown-evidence"
 	}
 	return fmt.Sprintf("code(%d)", uint16(c))
 }
@@ -641,5 +678,122 @@ func decodeLookupBatchRes(b []byte) (lookupBatchRes, error) {
 	for i := 0; i < n && d.fail == nil; i++ {
 		m.Res = append(m.Res, decodeLookupRes(&d))
 	}
+	return m, d.done()
+}
+
+// evidencePutMsg is MsgEvidencePut's payload: a name (the client's run
+// identifier, unique per upload) and the raw evidence stream bytes.
+type evidencePutMsg struct {
+	Name   string
+	Stream []byte
+}
+
+func (m evidencePutMsg) encode() []byte {
+	var e enc
+	e.str(m.Name)
+	e.u32(uint32(len(m.Stream)))
+	e.b = append(e.b, m.Stream...)
+	return e.b
+}
+
+func decodeEvidencePut(b []byte) (evidencePutMsg, error) {
+	d := dec{b: b}
+	m := evidencePutMsg{Name: d.str("name")}
+	n := int(d.u32("streamLen"))
+	if n > MaxPayload {
+		d.bad("streamLen")
+		n = 0
+	}
+	m.Stream = append([]byte(nil), d.take(n, "stream")...)
+	return m, d.done()
+}
+
+// evidenceAckMsg is MsgEvidenceAck's payload.
+type evidenceAckMsg struct {
+	// Bytes is the retained stream length.
+	Bytes uint64
+	// Evicted is how many older streams were dropped to make room.
+	Evicted uint32
+}
+
+func (m evidenceAckMsg) encode() []byte {
+	var e enc
+	e.u64(m.Bytes)
+	e.u32(m.Evicted)
+	return e.b
+}
+
+func decodeEvidenceAck(b []byte) (evidenceAckMsg, error) {
+	d := dec{b: b}
+	m := evidenceAckMsg{Bytes: d.u64("bytes"), Evicted: d.u32("evicted")}
+	return m, d.done()
+}
+
+// evidenceInfo is one catalogue line in MsgEvidenceCatalog.
+type evidenceInfo struct {
+	Name  string
+	Bytes uint64
+}
+
+// evidenceCatalogMsg is MsgEvidenceCatalog's payload, oldest first.
+type evidenceCatalogMsg struct{ Streams []evidenceInfo }
+
+func (m evidenceCatalogMsg) encode() []byte {
+	var e enc
+	e.u16(uint16(len(m.Streams)))
+	for _, s := range m.Streams {
+		e.str(s.Name)
+		e.u64(s.Bytes)
+	}
+	return e.b
+}
+
+func decodeEvidenceCatalog(b []byte) (evidenceCatalogMsg, error) {
+	d := dec{b: b}
+	n := int(d.u16("count"))
+	if n > maxListLen {
+		d.bad("count")
+		n = 0
+	}
+	var m evidenceCatalogMsg
+	for i := 0; i < n && d.fail == nil; i++ {
+		m.Streams = append(m.Streams, evidenceInfo{Name: d.str("name"), Bytes: d.u64("bytes")})
+	}
+	return m, d.done()
+}
+
+// evidenceGetMsg is MsgEvidenceGet's payload.
+type evidenceGetMsg struct{ Name string }
+
+func (m evidenceGetMsg) encode() []byte {
+	var e enc
+	e.str(m.Name)
+	return e.b
+}
+
+func decodeEvidenceGet(b []byte) (evidenceGetMsg, error) {
+	d := dec{b: b}
+	m := evidenceGetMsg{Name: d.str("name")}
+	return m, d.done()
+}
+
+// evidenceDataMsg is MsgEvidenceData's payload.
+type evidenceDataMsg struct{ Stream []byte }
+
+func (m evidenceDataMsg) encode() []byte {
+	var e enc
+	e.u32(uint32(len(m.Stream)))
+	e.b = append(e.b, m.Stream...)
+	return e.b
+}
+
+func decodeEvidenceData(b []byte) (evidenceDataMsg, error) {
+	d := dec{b: b}
+	n := int(d.u32("streamLen"))
+	if n > MaxPayload {
+		d.bad("streamLen")
+		n = 0
+	}
+	m := evidenceDataMsg{Stream: append([]byte(nil), d.take(n, "stream")...)}
 	return m, d.done()
 }

@@ -2,6 +2,7 @@ package sigserve
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"strings"
 	"sync"
@@ -162,8 +163,8 @@ func TestServerVersionNegotiation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e.Code != CodeBadVersion || !strings.Contains(e.Detail, "version 1") {
-		t.Fatalf("got %+v, want CodeBadVersion naming version 1", e)
+	if e.Code != CodeBadVersion || !strings.Contains(e.Detail, fmt.Sprintf("versions [%d,%d]", MinSupported, Version)) {
+		t.Fatalf("got %+v, want CodeBadVersion naming the server's version range", e)
 	}
 }
 

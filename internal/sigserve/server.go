@@ -27,10 +27,16 @@ type publishedTable struct {
 
 // tenant is one namespace of modules. Module sets are fixed after the
 // first Publish of each name, but each module's table may be hot-swapped
-// at any time.
+// at any time. Each tenant also retains a bounded set of uploaded
+// attestation evidence streams (MsgEvidencePut), evicting oldest-first.
 type tenant struct {
 	mu      sync.RWMutex
 	modules map[string]*atomic.Pointer[publishedTable]
+
+	emu      sync.Mutex
+	evidence map[string][]byte
+	evOrder  []string // upload order; front is evicted first
+	evBytes  uint64
 }
 
 func (t *tenant) slot(module string) *atomic.Pointer[publishedTable] {
@@ -62,19 +68,37 @@ type Server struct {
 	// response. Test hook for the client's degradation path.
 	faultAfter atomic.Int64
 
+	// Evidence retention policy: streams per tenant and bytes per
+	// stream. Read atomically; adjustable while serving.
+	evMaxStreams atomic.Int64
+	evMaxBytes   atomic.Int64
+
 	tel *serverTelemetry
 }
+
+// Evidence retention defaults (see SetEvidenceRetention).
+const (
+	// DefaultEvidenceStreams is how many evidence streams a tenant
+	// retains before oldest-first eviction.
+	DefaultEvidenceStreams = 64
+	// DefaultEvidenceBytes is the per-stream size cap; larger uploads
+	// are rejected with CodeEvidenceTooLarge.
+	DefaultEvidenceBytes = 4 << 20
+)
 
 // serverTelemetry bundles the server-side metric handles (nil when
 // telemetry is disabled; every site nil-checks).
 type serverTelemetry struct {
-	requests  *telemetry.Counter
-	errors    *telemetry.Counter
-	lookups   *telemetry.ShardedCounter
-	snapshots *telemetry.Counter
-	latency   *telemetry.Histogram
-	conns     *telemetry.Gauge
-	swaps     *telemetry.Counter
+	requests    *telemetry.Counter
+	errors      *telemetry.Counter
+	lookups     *telemetry.ShardedCounter
+	snapshots   *telemetry.Counter
+	latency     *telemetry.Histogram
+	conns       *telemetry.Gauge
+	swaps       *telemetry.Counter
+	evUploads   *telemetry.Counter
+	evEvictions *telemetry.Counter
+	evRetained  *telemetry.Gauge
 }
 
 // NewServer returns an empty server. Attach telemetry with
@@ -85,7 +109,22 @@ func NewServer() *Server {
 		conns:   make(map[net.Conn]struct{}),
 	}
 	s.faultAfter.Store(-1)
+	s.evMaxStreams.Store(DefaultEvidenceStreams)
+	s.evMaxBytes.Store(DefaultEvidenceBytes)
 	return s
+}
+
+// SetEvidenceRetention sets the per-tenant evidence retention policy:
+// at most streams retained streams (oldest evicted first) and at most
+// maxBytes per uploaded stream (larger uploads rejected). Zero or
+// negative values keep the current setting.
+func (s *Server) SetEvidenceRetention(streams int, maxBytes int) {
+	if streams > 0 {
+		s.evMaxStreams.Store(int64(streams))
+	}
+	if maxBytes > 0 {
+		s.evMaxBytes.Store(int64(maxBytes))
+	}
 }
 
 // Instrument registers the server's metrics in the Set's registry
@@ -104,6 +143,10 @@ func (s *Server) Instrument(set *telemetry.Set) {
 		latency:   reg.Histogram("sigserve_server_request_ns", "request service time, ns"),
 		conns:     reg.Gauge("sigserve_server_connections", "live client connections"),
 		swaps:     reg.Counter("sigserve_server_hot_swaps_total", "table generations published over live serving"),
+
+		evUploads:   reg.Counter("sigserve_server_evidence_uploads_total", "evidence streams accepted"),
+		evEvictions: reg.Counter("sigserve_server_evidence_evictions_total", "evidence streams evicted by retention"),
+		evRetained:  reg.Gauge("sigserve_server_evidence_retained_bytes", "evidence bytes currently retained, all tenants"),
 	}
 }
 
@@ -241,31 +284,37 @@ func (s *Server) serveConn(conn net.Conn) {
 		defer s.tel.conns.Add(-1)
 	}
 
-	// Handshake.
+	// Handshake. The negotiated version is the highest both sides speak:
+	// min(server Version, client MaxVersion), rejected outright when the
+	// ranges do not overlap.
 	f, err := ReadFrame(conn)
 	if err != nil || f.Type != MsgHello {
 		return
 	}
 	hello, err := decodeHello(f.Payload)
 	if err != nil {
-		s.reply(conn, f.ReqID, MsgError, errorMsg{Code: CodeBadRequest, Detail: err.Error()}.encode())
+		s.reply(conn, Version, f.ReqID, MsgError, errorMsg{Code: CodeBadRequest, Detail: err.Error()}.encode())
 		return
 	}
-	if hello.MinVersion > Version || hello.MaxVersion < Version {
-		s.reply(conn, f.ReqID, MsgError, errorMsg{
+	if hello.MinVersion > Version || hello.MaxVersion < MinSupported {
+		s.reply(conn, Version, f.ReqID, MsgError, errorMsg{
 			Code:   CodeBadVersion,
-			Detail: fmt.Sprintf("server speaks version %d, client offered [%d,%d]", Version, hello.MinVersion, hello.MaxVersion),
+			Detail: fmt.Sprintf("server speaks versions [%d,%d], client offered [%d,%d]", MinSupported, Version, hello.MinVersion, hello.MaxVersion),
 		}.encode())
 		return
+	}
+	ver := uint8(Version)
+	if hello.MaxVersion < ver {
+		ver = hello.MaxVersion
 	}
 	s.mu.Lock()
 	t := s.tenants[hello.Tenant]
 	s.mu.Unlock()
 	if t == nil {
-		s.reply(conn, f.ReqID, MsgError, errorMsg{Code: CodeUnknownTenant, Detail: hello.Tenant}.encode())
+		s.reply(conn, ver, f.ReqID, MsgError, errorMsg{Code: CodeUnknownTenant, Detail: hello.Tenant}.encode())
 		return
 	}
-	if !s.reply(conn, f.ReqID, MsgWelcome, welcomeMsg{Version: Version, Epoch: s.epoch.Load()}.encode()) {
+	if !s.reply(conn, ver, f.ReqID, MsgWelcome, welcomeMsg{Version: ver, Epoch: s.epoch.Load()}.encode()) {
 		return
 	}
 
@@ -274,15 +323,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if !s.handle(conn, t, hello.Tenant, f) {
+		if !s.handle(conn, ver, t, hello.Tenant, f) {
 			return
 		}
 	}
 }
 
-// handle serves one post-handshake request; false tears the connection
-// down.
-func (s *Server) handle(conn net.Conn, t *tenant, tenantName string, f Frame) bool {
+// handle serves one post-handshake request on a connection negotiated
+// at version ver; false tears the connection down.
+func (s *Server) handle(conn net.Conn, ver uint8, t *tenant, tenantName string, f Frame) bool {
 	start := time.Now()
 	if d := s.delay.Load(); d > 0 {
 		time.Sleep(time.Duration(d))
@@ -300,7 +349,7 @@ func (s *Server) handle(conn net.Conn, t *tenant, tenantName string, f Frame) bo
 
 	switch f.Type {
 	case MsgPing:
-		return s.reply(conn, f.ReqID, MsgPong, nil)
+		return s.reply(conn, ver, f.ReqID, MsgPong, nil)
 
 	case MsgModules:
 		var list moduleListMsg
@@ -311,56 +360,143 @@ func (s *Server) handle(conn net.Conn, t *tenant, tenantName string, f Frame) bo
 			}
 		}
 		t.mu.RUnlock()
-		return s.reply(conn, f.ReqID, MsgModuleList, list.encode())
+		return s.reply(conn, ver, f.ReqID, MsgModuleList, list.encode())
 
 	case MsgSnapshot:
 		req, err := decodeSnapshotReq(f.Payload)
 		if err != nil {
-			return s.sendErr(conn, f.ReqID, CodeBadRequest, err.Error())
+			return s.sendErr(conn, ver, f.ReqID, CodeBadRequest, err.Error())
 		}
 		slot := t.slot(req.Module)
 		if slot == nil {
-			return s.sendErr(conn, f.ReqID, CodeUnknownModule, req.Module)
+			return s.sendErr(conn, ver, f.ReqID, CodeUnknownModule, req.Module)
 		}
 		pub := slot.Load()
 		if s.tel != nil {
 			s.tel.snapshots.Inc()
 		}
-		return s.reply(conn, f.ReqID, MsgSnapshotData,
+		return s.reply(conn, ver, f.ReqID, MsgSnapshotData,
 			snapshotData{Table: pub.table, Epoch: pub.epoch, Recs: pub.wire}.encode())
 
 	case MsgLookup:
 		d := dec{b: f.Payload}
 		req := decodeLookupReq(&d)
 		if err := d.done(); err != nil {
-			return s.sendErr(conn, f.ReqID, CodeBadRequest, err.Error())
+			return s.sendErr(conn, ver, f.ReqID, CodeBadRequest, err.Error())
 		}
 		res, code, detail := s.lookup(t, tenantName, req)
 		if code != 0 {
-			return s.sendErr(conn, f.ReqID, code, detail)
+			return s.sendErr(conn, ver, f.ReqID, code, detail)
 		}
 		var e enc
 		res.append(&e)
-		return s.reply(conn, f.ReqID, MsgLookupResult, e.b)
+		return s.reply(conn, ver, f.ReqID, MsgLookupResult, e.b)
 
 	case MsgLookupBatch:
 		batch, err := decodeLookupBatch(f.Payload)
 		if err != nil {
-			return s.sendErr(conn, f.ReqID, CodeBadRequest, err.Error())
+			return s.sendErr(conn, ver, f.ReqID, CodeBadRequest, err.Error())
 		}
 		out := lookupBatchRes{Res: make([]lookupRes, 0, len(batch.Reqs))}
 		for _, req := range batch.Reqs {
 			res, code, detail := s.lookup(t, tenantName, req)
 			if code != 0 {
-				return s.sendErr(conn, f.ReqID, code, detail)
+				return s.sendErr(conn, ver, f.ReqID, code, detail)
 			}
 			out.Res = append(out.Res, res)
 		}
-		return s.reply(conn, f.ReqID, MsgLookupBatchResult, out.encode())
+		return s.reply(conn, ver, f.ReqID, MsgLookupBatchResult, out.encode())
+
+	case MsgEvidencePut, MsgEvidenceList, MsgEvidenceGet:
+		if ver < VersionEvidence {
+			return s.sendErr(conn, ver, f.ReqID, CodeBadRequest,
+				fmt.Sprintf("evidence messages need protocol version %d, connection negotiated %d", VersionEvidence, ver))
+		}
+		return s.handleEvidence(conn, ver, t, f)
 
 	default:
-		return s.sendErr(conn, f.ReqID, CodeBadRequest, fmt.Sprintf("unexpected message type %#x", uint8(f.Type)))
+		return s.sendErr(conn, ver, f.ReqID, CodeBadRequest, fmt.Sprintf("unexpected message type %#x", uint8(f.Type)))
 	}
+}
+
+// handleEvidence serves the version-2 evidence message family against
+// the tenant's bounded retention store.
+func (s *Server) handleEvidence(conn net.Conn, ver uint8, t *tenant, f Frame) bool {
+	switch f.Type {
+	case MsgEvidencePut:
+		put, err := decodeEvidencePut(f.Payload)
+		if err != nil {
+			return s.sendErr(conn, ver, f.ReqID, CodeBadRequest, err.Error())
+		}
+		if put.Name == "" {
+			return s.sendErr(conn, ver, f.ReqID, CodeBadRequest, "evidence upload needs a name")
+		}
+		if max := s.evMaxBytes.Load(); int64(len(put.Stream)) > max {
+			return s.sendErr(conn, ver, f.ReqID, CodeEvidenceTooLarge,
+				fmt.Sprintf("stream is %d bytes, per-stream cap is %d", len(put.Stream), max))
+		}
+		evicted, delta := t.retainEvidence(put.Name, put.Stream, int(s.evMaxStreams.Load()))
+		if s.tel != nil {
+			s.tel.evUploads.Inc()
+			s.tel.evEvictions.Add(uint64(evicted))
+			s.tel.evRetained.Add(delta)
+		}
+		return s.reply(conn, ver, f.ReqID, MsgEvidenceAck,
+			evidenceAckMsg{Bytes: uint64(len(put.Stream)), Evicted: uint32(evicted)}.encode())
+
+	case MsgEvidenceList:
+		var cat evidenceCatalogMsg
+		t.emu.Lock()
+		for _, name := range t.evOrder {
+			cat.Streams = append(cat.Streams, evidenceInfo{Name: name, Bytes: uint64(len(t.evidence[name]))})
+		}
+		t.emu.Unlock()
+		return s.reply(conn, ver, f.ReqID, MsgEvidenceCatalog, cat.encode())
+
+	case MsgEvidenceGet:
+		get, err := decodeEvidenceGet(f.Payload)
+		if err != nil {
+			return s.sendErr(conn, ver, f.ReqID, CodeBadRequest, err.Error())
+		}
+		t.emu.Lock()
+		stream, ok := t.evidence[get.Name]
+		t.emu.Unlock()
+		if !ok {
+			return s.sendErr(conn, ver, f.ReqID, CodeUnknownEvidence, get.Name)
+		}
+		return s.reply(conn, ver, f.ReqID, MsgEvidenceData, evidenceDataMsg{Stream: stream}.encode())
+	}
+	return false
+}
+
+// retainEvidence stores one stream under the retention policy, evicting
+// oldest streams beyond maxStreams. Re-uploading an existing name
+// replaces the stream in place (same retention slot). Returns how many
+// streams were evicted and the net change in retained bytes.
+func (t *tenant) retainEvidence(name string, stream []byte, maxStreams int) (evicted int, delta int64) {
+	t.emu.Lock()
+	defer t.emu.Unlock()
+	if t.evidence == nil {
+		t.evidence = make(map[string][]byte)
+	}
+	if old, ok := t.evidence[name]; ok {
+		t.evBytes -= uint64(len(old))
+		delta -= int64(len(old))
+	} else {
+		t.evOrder = append(t.evOrder, name)
+	}
+	t.evidence[name] = stream
+	t.evBytes += uint64(len(stream))
+	delta += int64(len(stream))
+	for maxStreams > 0 && len(t.evOrder) > maxStreams {
+		oldest := t.evOrder[0]
+		t.evOrder = t.evOrder[1:]
+		t.evBytes -= uint64(len(t.evidence[oldest]))
+		delta -= int64(len(t.evidence[oldest]))
+		delete(t.evidence, oldest)
+		evicted++
+	}
+	return evicted, delta
 }
 
 // lookup answers one lookupReq from the tenant's current table
@@ -428,16 +564,17 @@ func (s *Server) lookup(t *tenant, tenantName string, req lookupReq) (lookupRes,
 	return res, 0, ""
 }
 
-// reply writes one response frame; false tears the connection down.
-func (s *Server) reply(conn net.Conn, reqID uint64, typ MsgType, payload []byte) bool {
+// reply writes one response frame at the connection's negotiated
+// version; false tears the connection down.
+func (s *Server) reply(conn net.Conn, ver uint8, reqID uint64, typ MsgType, payload []byte) bool {
 	if typ == MsgError && s.tel != nil {
 		s.tel.errors.Inc()
 	}
-	return WriteFrame(conn, Frame{Version: Version, Type: typ, ReqID: reqID, Payload: payload}) == nil
+	return WriteFrame(conn, Frame{Version: ver, Type: typ, ReqID: reqID, Payload: payload}) == nil
 }
 
-func (s *Server) sendErr(conn net.Conn, reqID uint64, code ErrCode, detail string) bool {
-	return s.reply(conn, reqID, MsgError, errorMsg{Code: code, Detail: detail}.encode())
+func (s *Server) sendErr(conn net.Conn, ver uint8, reqID uint64, code ErrCode, detail string) bool {
+	return s.reply(conn, ver, reqID, MsgError, errorMsg{Code: code, Detail: detail}.encode())
 }
 
 // shardFor maps a tenant name onto a sharded-counter cell (FNV-1a).

@@ -12,7 +12,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-PKGS="internal/sigserve internal/sigtable internal/fleet internal/telemetry internal/prefetch"
+PKGS="internal/sigserve internal/sigtable internal/fleet internal/telemetry internal/prefetch internal/evidence cmd/revattest"
 
 missing=$(
 	for pkg in $PKGS; do
