@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet doccheck race race-all test-race bench-smoke bench-figures bench-json bench-parallel bench-pipeline bench-telemetry bench-remote bench-prefetch bench-evidence profile clean
+.PHONY: all build test vet doccheck race race-all test-race bench-smoke bench-figures bench-json bench-parallel bench-pipeline bench-scaling bench-telemetry bench-remote bench-prefetch bench-evidence profile clean
 
 all: build vet test
 
@@ -52,11 +52,21 @@ bench-parallel:
 	$(GO) run ./cmd/revbench -exp fig6,fig7 -instrs 120000 -scale 0.05 \
 		-parallel 4 -parjson BENCH_parallel.json
 
-# Regenerate the intra-run pipelining record: serial vs -lanes {1,4} wall
-# times, the byte-identity verdict, and allocations per validated block
-# (exits nonzero if any lane count's result diverges from serial).
+# Quick intra-run pipelining check: serial vs -lanes {1,4} wall times,
+# the byte-identity verdict, and allocations per validated block (exits
+# nonzero if any lane count's result diverges from serial). Writes to
+# /tmp — the committed artifact is the full bench-scaling sweep.
 bench-pipeline:
-	$(GO) run ./cmd/revbench -instrs 300000 -lanesjson BENCH_pipeline.json
+	$(GO) run ./cmd/revbench -instrs 300000 -lanesjson /tmp/pipeline.json
+
+# Regenerate the committed pipeline scaling record: sweeps lanes {1,2,4}
+# x publish-batch {1,16,64} x GOMAXPROCS (powers of two up to NumCPU),
+# checks byte identity and steady-state allocs/run at every point, and
+# writes the self-annotating record (single_cpu / scaling_valid are
+# machine-written from the recording host). Exits nonzero on identity
+# divergence or any point allocating past 0 allocs/run.
+bench-scaling:
+	$(GO) run ./cmd/revbench -instrs 300000 -scalingjson BENCH_pipeline.json
 
 # Regenerate the telemetry-overhead record: interleaved timed rounds of
 # one prepared workload with telemetry disabled / metrics / metrics+trace,

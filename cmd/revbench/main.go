@@ -39,6 +39,16 @@
 // allocations per validated block are written to the given file (the
 // committed BENCH_pipeline.json).
 //
+// With -scalingjson, revbench sweeps the pipelined executor across lanes
+// {1, 2, 4} x publish-batch {1, 16, 64} x GOMAXPROCS (powers of two up to
+// NumCPU), measuring wall time, byte identity against the serial run, and
+// steady-state allocations per run at every point, and writes the
+// self-annotating scaling record (the committed BENCH_pipeline.json): the
+// single_cpu and scaling_valid fields are machine-written from the
+// recording host, so the artifact cannot claim an unproven speedup. Exits
+// nonzero on identity divergence or when any point allocates past
+// -scalingallocs (default 0 — the run-arena contract).
+//
 // With -teljson, revbench probes the telemetry overhead: one REV-protected
 // workload is timed (best of -telrounds) with telemetry disabled, with the
 // metrics registry enabled, and with metrics + tracing enabled; results
@@ -162,8 +172,16 @@ type pipeReport struct {
 	// GOMAXPROCS and AutoLanes record the host-derived sizing inputs:
 	// fleet workers default to GOMAXPROCS and -lanes -1 resolves to
 	// AutoLanes, so the file pins what "auto" meant on this machine.
-	GOMAXPROCS           int          `json:"gomaxprocs"`
-	AutoLanes            int          `json:"auto_lanes"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	AutoLanes  int `json:"auto_lanes"`
+	// SingleCPU and ScalingValid are machine-written host truth (the same
+	// contract as the -scalingjson record): SingleCPU is NumCPU < 2, and
+	// ScalingValid means the speedup columns were measured on a multi-CPU
+	// host with byte identity holding at every probed lane count. CI
+	// asserts SingleCPU against the runner's nproc, so a record produced
+	// on the wrong host class cannot be committed silently.
+	SingleCPU            bool         `json:"single_cpu"`
+	ScalingValid         bool         `json:"scaling_valid"`
 	Blocks               uint64       `json:"blocks"`
 	SerialSeconds        float64      `json:"serial_seconds"`
 	SerialMallocs        uint64       `json:"serial_mallocs"`
@@ -212,6 +230,9 @@ func main() {
 	jsonPath := flag.String("json", "", "write machine-readable timings (e.g. BENCH_hotpath.json)")
 	parJSONPath := flag.String("parjson", "", "write serial-vs-fleet timings (e.g. BENCH_parallel.json)")
 	lanesJSONPath := flag.String("lanesjson", "", "write serial-vs-pipelined lane timings (e.g. BENCH_pipeline.json)")
+	scalingJSONPath := flag.String("scalingjson", "", "write the lanes x batch x GOMAXPROCS scaling sweep (e.g. BENCH_pipeline.json); exits nonzero on identity divergence or allocs past -scalingallocs")
+	scalingRounds := flag.Int("scalingrounds", 3, "timed rounds per sweep point in the -scalingjson probe (best-of)")
+	scalingAllocs := flag.Uint64("scalingallocs", 0, "max tolerated steady-state allocs per run at any -scalingjson sweep point")
 	telJSONPath := flag.String("teljson", "", "write the telemetry-overhead probe record (e.g. BENCH_telemetry.json); exits nonzero past -telthreshold")
 	telThreshold := flag.Float64("telthreshold", 2.0, "max tolerated metrics-enabled overhead percent for -teljson")
 	telRounds := flag.Int("telrounds", 5, "timed rounds per configuration in the -teljson probe (best-of)")
@@ -347,6 +368,21 @@ func main() {
 		if !rep.WithinGate {
 			fmt.Fprintf(os.Stderr, "revbench: best prefetch slowdown %.2fx at 5ms exceeds the %.2fx gate\n",
 				rep.Best5msSlowdown, rep.GateMax)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *scalingJSONPath != "" {
+		rep, err := probeScaling(*instrs, *scale, *scalingRounds, *scalingAllocs)
+		if rep != nil {
+			// A divergence or alloc-budget failure still writes the record:
+			// the artifact self-annotates (scaling_valid=false or the
+			// offending allocs_per_run column) rather than vanishing.
+			writeJSON(*scalingJSONPath, rep)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "revbench: scaling probe: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -511,6 +547,7 @@ func probePipeline(instrs uint64, scale float64) (*pipeReport, error) {
 		CPUs:       runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		AutoLanes:  core.AutoLanes(),
+		SingleCPU:  runtime.NumCPU() < 2,
 	}
 
 	// Prepare once — workload build, CFG extraction, signature-table
@@ -569,6 +606,9 @@ func probePipeline(instrs uint64, scale float64) (*pipeReport, error) {
 		fmt.Printf("lanes=%d    serial %7.3fs  pipelined %7.3fs  speedup %5.2fx  identical %v  allocs/block %.3f\n",
 			lanes, serialWall, wall, lt.Speedup, lt.Identical, lt.AllocsPerBlock)
 	}
+	// Every probed lane count above matched the serial baseline (a
+	// divergence returns early), so validity reduces to the host class.
+	rep.ScalingValid = !rep.SingleCPU
 	if rep.GOMAXPROCS < 2 {
 		rep.Note = fmt.Sprintf(
 			"host has %d CPU(s): pipelined wall-clock speedup needs >=2 CPUs (lanes only add scheduler time-slicing here, and auto-lanes resolves to %d); byte-identity is the hardware-independent check",
@@ -1011,6 +1051,7 @@ type evReport struct {
 // disk.
 type countWriter struct{ n uint64 }
 
+// Write counts and discards the evidence bytes.
 func (w *countWriter) Write(p []byte) (int, error) {
 	w.n += uint64(len(p))
 	return len(p), nil

@@ -64,6 +64,24 @@ func New(cfg Config) *Predictor {
 	}
 }
 
+// Reset returns the predictor to its post-New state for run-arena reuse:
+// counters, history, BTB, RAS, and statistics cleared in place.
+func (p *Predictor) Reset() {
+	for i := range p.counters {
+		p.counters[i] = 0
+	}
+	p.history = 0
+	for i := range p.btbTags {
+		p.btbTags[i] = 0
+		p.btbTargets[i] = 0
+	}
+	for i := range p.ras {
+		p.ras[i] = 0
+	}
+	p.rasTop = 0
+	p.Stats = Stats{}
+}
+
 func (p *Predictor) gshareIndex(pc uint64) int {
 	return int(((pc >> 3) ^ p.history) & uint64(p.cfg.GshareEntries-1))
 }

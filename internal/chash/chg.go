@@ -148,3 +148,10 @@ func (c *CHG) Flush(fromTag uint64) {
 
 // InFlight returns the number of blocks currently in the pipeline.
 func (c *CHG) InFlight() int { return c.live }
+
+// Reset empties the pipeline and zeroes the counters for a new run,
+// keeping the (possibly grown) ring backing — the run-arena reuse path.
+func (c *CHG) Reset() {
+	c.head, c.n, c.live = 0, 0, 0
+	c.Started, c.Flushed = 0, 0
+}

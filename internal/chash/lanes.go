@@ -167,6 +167,14 @@ type LanePool struct {
 	lanes  []laneState
 	codeFn func([]byte) Sig
 	obs    LaneObserver
+	// stride is the progress-publication granularity: a lane stores its
+	// progress atomic once per stride scanned records (and always when it
+	// goes idle, so the producer's MinProgress gate can never deadlock
+	// behind a lane that has caught up but not hit a stride boundary).
+	stride uint64
+	// thunks are the pre-built per-lane goroutine bodies, so Start spawns
+	// without allocating closure wrappers on every (arena-reused) run.
+	thunks []func()
 
 	stop   atomic.Bool
 	closed atomic.Bool
@@ -189,12 +197,45 @@ func NewLanePool(ring *SPSC, jobs []*BlockJob, lanes, memoEntries int, codeFn fu
 	for n < uint64(memoEntries) {
 		n <<= 1
 	}
-	p := &LanePool{ring: ring, jobs: jobs, codeFn: codeFn, lanes: make([]laneState, lanes)}
+	p := &LanePool{ring: ring, jobs: jobs, codeFn: codeFn, stride: 1, lanes: make([]laneState, lanes)}
+	p.thunks = make([]func(), lanes)
 	for i := range p.lanes {
 		p.lanes[i].memo = make([]laneMemoEntry, n)
 		p.lanes[i].mask = n - 1
+		i := i
+		p.thunks[i] = func() { p.run(i) }
 	}
 	return p
+}
+
+// SetStride sets the progress-publication stride (see LanePool.stride);
+// values < 1 select 1 (store on every record, the unbatched protocol).
+// Must be called before Start.
+func (p *LanePool) SetStride(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.stride = uint64(n)
+}
+
+// Reset re-arms a joined pool for another run over the same ring: the
+// stop/closed latches are cleared, per-lane statistics zeroed, the memo
+// shards wiped (epoch counters restart per run, so stale cross-run
+// entries must never hit), and each lane's progress pre-published at the
+// ring's current released count (the ring counters are monotonic across
+// runs). Only safe after Join — no lane goroutine may be live.
+func (p *LanePool) Reset() {
+	p.stop.Store(false)
+	p.closed.Store(false)
+	rel := p.ring.Released()
+	for i := range p.lanes {
+		l := &p.lanes[i]
+		for j := range l.memo {
+			l.memo[j] = laneMemoEntry{}
+		}
+		l.stats = LaneStats{}
+		l.progress.Store(rel)
+	}
 }
 
 // Lanes returns the lane count.
@@ -207,7 +248,7 @@ func (p *LanePool) SetObserver(o LaneObserver) { p.obs = o }
 func (p *LanePool) Start() {
 	for i := range p.lanes {
 		p.wg.Add(1)
-		go p.run(i)
+		go p.thunks[i]()
 	}
 }
 
@@ -264,7 +305,7 @@ func (p *LanePool) run(me int) {
 	defer p.wg.Done()
 	l := &p.lanes[me]
 	lane := int32(me)
-	var next uint64
+	next := l.progress.Load()
 	var b Backoff
 	for {
 		// Skip straight over released sequences: the consumer only releases
@@ -282,10 +323,19 @@ func (p *LanePool) run(me int) {
 				p.process(me, l, j)
 			}
 			next++
-			l.progress.Store(next)
+			// Strided progress publication: the store is the producer-visible
+			// side of the slot-reuse gate, so batching it amortizes the
+			// cross-core traffic; the idle-path store below keeps the gate
+			// live when this lane has caught up mid-stride.
+			if next%p.stride == 0 {
+				l.progress.Store(next)
+			}
 			b.Reset()
 			continue
 		}
+		// Idle (or exiting): publish exact progress first, or the producer's
+		// MinProgress gate could wait forever on a mid-stride lane.
+		l.progress.Store(next)
 		if p.stop.Load() {
 			return
 		}

@@ -81,15 +81,21 @@ func TestSPSCWraparoundUnderLanes(t *testing.T) {
 			var seq uint64
 			for {
 				s, ok := h.ring.TryAcquire()
-				if ok && s >= size && laneGate <= s-size {
+				if !ok {
+					pb.Wait()
+					continue
+				}
+				// Claimed; before touching the slot, wait until every lane's
+				// progress has passed its previous lap's sequence number.
+				for s >= size && laneGate <= s-size {
 					laneGate = h.pool.MinProgress()
-					ok = laneGate > s-size
+					if laneGate > s-size {
+						break
+					}
+					pb.Wait()
 				}
-				if ok {
-					seq = s
-					break
-				}
-				pb.Wait()
+				seq = s
+				break
 			}
 			pb.Reset()
 			slot := h.ring.SlotOf(seq)

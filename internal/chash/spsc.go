@@ -20,6 +20,14 @@ import (
 //	           ...process...
 //	           r.Release()                 // slot reusable by the producer
 //
+// Batched variant: the producer may claim several slots with repeated
+// TryAcquire calls before making them visible in one PublishN(n), and the
+// consumer may retire several records before one ReleaseN(n) — the
+// amortized form of the same ownership transfer. A claimed-but-never-
+// published slot is returned with Unclaim (the producer's abandoned tail
+// slot at stream end). Claims are producer-local bookkeeping: observers
+// never see a slot before its publish.
+//
 // head counts published records, tail counts released records; both only
 // ever increase, so seq doubles as the record's global program-order
 // number. Intermediate observers (the hash lanes) may watch Published()
@@ -43,7 +51,10 @@ type SPSC struct {
 	_    [7]uint64
 
 	cachedTail uint64 // producer-local cache of tail
-	_          [7]uint64
+	// acquired counts claimed slots (producer-local, plain field): always
+	// >= head; the gap is the producer's filled-but-unpublished batch.
+	acquired uint64
+	_        [6]uint64
 
 	cachedHead uint64 // consumer-local cache of head
 	_          [7]uint64
@@ -65,22 +76,37 @@ func (r *SPSC) Cap() int { return int(r.size) }
 // SlotOf maps a sequence number to its slot index.
 func (r *SPSC) SlotOf(seq uint64) int { return int(seq & r.mask) }
 
-// TryAcquire returns the next free sequence number, or ok=false when the
-// ring is full. Producer-only.
+// TryAcquire claims the next free sequence number, or reports ok=false
+// when the ring is full (every slot is claimed or still unreleased).
+// Producer-only. The claim must be resolved by a later Publish/PublishN
+// covering it, or returned with Unclaim.
 func (r *SPSC) TryAcquire() (seq uint64, ok bool) {
-	head := r.head.Load() // own counter: no ordering needed
-	if head-r.cachedTail >= r.size {
+	if r.acquired-r.cachedTail >= r.size {
 		r.cachedTail = r.tail.Load()
-		if head-r.cachedTail >= r.size {
+		if r.acquired-r.cachedTail >= r.size {
 			return 0, false
 		}
 	}
-	return head, true
+	seq = r.acquired
+	r.acquired++
+	return seq, true
 }
 
-// Publish makes the most recently acquired slot visible to the consumer
-// and any intermediate observers. Producer-only.
+// Unclaim returns the most recently claimed, still-unpublished slot (a
+// claimed slot the stream ended before filling). Producer-only.
+func (r *SPSC) Unclaim() { r.acquired-- }
+
+// Pending returns the number of claimed-but-unpublished slots.
+// Producer-only (it reads the producer's plain claim cursor).
+func (r *SPSC) Pending() int { return int(r.acquired - r.head.Load()) }
+
+// Publish makes the oldest claimed slot visible to the consumer and any
+// intermediate observers. Producer-only.
 func (r *SPSC) Publish() { r.head.Add(1) }
+
+// PublishN makes the oldest n claimed slots visible in one release-store —
+// the batched publish. Producer-only; n must not exceed Pending().
+func (r *SPSC) PublishN(n int) { r.head.Add(uint64(n)) }
 
 // TryPeek returns the oldest unreleased sequence number, or ok=false when
 // the ring is empty. Consumer-only.
@@ -97,6 +123,10 @@ func (r *SPSC) TryPeek() (seq uint64, ok bool) {
 
 // Release frees the oldest slot for reuse by the producer. Consumer-only.
 func (r *SPSC) Release() { r.tail.Add(1) }
+
+// ReleaseN frees the oldest n slots in one release-store — the batched
+// retire. Consumer-only; n must not exceed Published()-Released().
+func (r *SPSC) ReleaseN(n int) { r.tail.Add(uint64(n)) }
 
 // Published returns the number of records published so far (observer-safe).
 func (r *SPSC) Published() uint64 { return r.head.Load() }
@@ -119,6 +149,10 @@ func (s *StopFlag) Raise() { s.f.Store(true) }
 
 // Raised reports whether the abort signal is latched (any goroutine).
 func (s *StopFlag) Raised() bool { return s.f.Load() }
+
+// Reset re-arms the latch for a new run. Only safe once every stage that
+// polled the flag has joined (the run-arena reuse path).
+func (s *StopFlag) Reset() { s.f.Store(false) }
 
 // Backoff is the pipeline's cooperative wait strategy: a few raw spins
 // (the counterparty is usually a cache miss away on a multicore), then

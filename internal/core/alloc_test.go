@@ -1,9 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"runtime"
 	"testing"
 
+	"rev/internal/evidence"
 	"rev/internal/sigtable"
 	"rev/internal/workload"
 )
@@ -62,5 +64,128 @@ func TestPreparedRunAllocBudget(t *testing.T) {
 		if perBlock > 0.5 {
 			t.Errorf("lanes=%d: %.3f allocs per validated block, budget is 0.5", lanes, perBlock)
 		}
+	}
+}
+
+// TestRunInstanceZeroAllocs pins the run-arena contract end to end: after
+// warmup, a RunInstance call with a reused Out performs ZERO heap
+// allocations per run — not just zero per block — at serial and pipelined
+// lane×batch points. The arena resets the cloned program, caches,
+// predictor, pipeline, machine, engine (memo, sigcache, SAG, CHG), and
+// the SPSC rig in place instead of rebuilding them (arena.go).
+func TestRunInstanceZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc budget probe is a full run")
+	}
+	p, err := workload.ByName("bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := DefaultRunConfig()
+	rc.MaxInstrs = 100_000
+	rc.REV = revConfig(sigtable.Normal, 32)
+	prep, err := Prepare(p.Builder(), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Result
+	for _, c := range []struct {
+		name         string
+		lanes, batch int
+	}{
+		{"serial", 0, 0},
+		{"lanes=1/batch=1", 1, 1},
+		{"lanes=2/batch=16", 2, 16},
+	} {
+		opts := InstanceOptions{Lanes: c.lanes, Batch: c.batch, Out: &out}
+		// Warm-up: builds the arena (first run) plus this point's lane
+		// pool, and grows every reusable backing to steady-state capacity.
+		for i := 0; i < 2; i++ {
+			if _, err := prep.RunInstance(opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(5, func() {
+			res, err := prep.RunInstance(opts)
+			if err != nil {
+				t.Error(err)
+			} else if res.Violation != nil {
+				t.Errorf("clean workload flagged: %v", res.Violation)
+			}
+		})
+		t.Logf("%s: %.1f allocs/run", c.name, allocs)
+		if allocs != 0 {
+			t.Errorf("%s: RunInstance allocated %.1f times per run, want 0", c.name, allocs)
+		}
+	}
+}
+
+// TestPreparedWrapperAllocBudget pins the allocating convenience
+// wrappers at their documented floors: Run/RunWithLanes allocate only the
+// returned Result box and its Output copy; RunWithEvidence adds the
+// single-use emitter machinery the caller constructs per run. Regressions
+// here mean the arena stopped absorbing per-run state.
+func TestPreparedWrapperAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc budget probe is a full run")
+	}
+	p, err := workload.ByName("bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := DefaultRunConfig()
+	rc.MaxInstrs = 100_000
+	rc.REV = revConfig(sigtable.Normal, 32)
+	prep, err := Prepare(p.Builder(), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prep.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prep.RunWithLanes(1); err != nil {
+		t.Fatal(err)
+	}
+
+	const wrapperBudget = 4 // Result box + Output backing, with slack
+	if allocs := testing.AllocsPerRun(5, func() {
+		if _, err := prep.Run(); err != nil {
+			t.Error(err)
+		}
+	}); allocs > wrapperBudget {
+		t.Errorf("Prepared.Run: %.1f allocs/run, budget %d", allocs, wrapperBudget)
+	}
+	if allocs := testing.AllocsPerRun(5, func() {
+		if _, err := prep.RunWithLanes(1); err != nil {
+			t.Error(err)
+		}
+	}); allocs > wrapperBudget {
+		t.Errorf("RunWithLanes(1): %.1f allocs/run, budget %d", allocs, wrapperBudget)
+	}
+
+	// Evidence emitters are single-use by design, so the per-run floor is
+	// the emitter build plus per-segment machinery (chained MAC state and
+	// encode buffers, one set per sealed segment) — it scales with the
+	// segment count, never with blocks. This workload seals a few dozen
+	// segments (~341 allocs measured against ~8k blocks); the budget
+	// leaves headroom without letting a per-block regression hide.
+	var buf bytes.Buffer
+	var out Result
+	if _, err := prep.RunInstance(InstanceOptions{
+		Evidence: evidence.NewEmitter(&buf, evidence.Config{Tenant: "alloc"}), Out: &out,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const evidenceBudget = 512
+	allocs := testing.AllocsPerRun(5, func() {
+		buf.Reset()
+		em := evidence.NewEmitter(&buf, evidence.Config{Tenant: "alloc"})
+		if _, err := prep.RunInstance(InstanceOptions{Evidence: em, Out: &out}); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Logf("evidence run: %.1f allocs/run (emitter machinery only)", allocs)
+	if allocs > evidenceBudget {
+		t.Errorf("RunInstance with evidence: %.1f allocs/run, budget %d", allocs, evidenceBudget)
 	}
 }

@@ -1,0 +1,169 @@
+// Run arenas: reusable per-instance execution state for Prepared
+// workloads.
+//
+// A Prepared instance run needs a cloned program image, a memory
+// hierarchy, a branch predictor, an out-of-order pipeline, a functional
+// machine, a REV engine over the shared tables, and (pipelined) the SPSC
+// ring with its pooled block records. Before this file, every
+// Prepared.Run built all of that fresh — ~one allocation per mapped page
+// plus the fixed structures, per run. A runArena builds the whole set
+// once and resets it in place between runs, so steady-state instance
+// runs are allocation-free end to end (pinned by TestRunInstanceZeroAllocs):
+//
+//   - prog.Memory.ResetFrom restores the cloned image from the pristine
+//     prototype without reallocating pages (extra pages a run mapped are
+//     zeroed in place — indistinguishable from absent pages through
+//     AddressSpace reads).
+//   - Hierarchy/Predictor/Pipeline/Machine/Engine all expose Reset
+//     methods returning them to their post-construction state in place
+//     (caches flushed, LRU stamps and statistics zeroed, signature memo
+//     and sigcache slabs invalidated, SAG registration replayed, code
+//     watches re-armed so the code-version epoch sequence restarts
+//     exactly as a fresh build's).
+//   - The pipelined rig (ring, slots, lane pools, producer channel, and
+//     the pre-bound hook closures) is cached on the parts and re-armed
+//     per run (pipeline.go); the ring's sequence counters run
+//     monotonically across runs while each pool Reset primes its
+//     progress cursors.
+//
+// Determinism: a reset arena is observationally identical to a fresh
+// build — byte-identical figures, verdicts, forensics, and evidence
+// streams — which TestArenaReuseMatchesFresh pins, including across
+// attacked and self-modifying-code runs.
+//
+// Two run shapes bypass the arena and keep the fresh-build path:
+// PageShadowing (the shadow.Memory epoch holds cross-run promotion
+// state) and telemetry-enabled runs (registry views snapshot per-run
+// Stats structs on demand; reusing the structs across runs would
+// double-count in the additive registry merge).
+package core
+
+import (
+	"fmt"
+
+	"rev/internal/cpu"
+	"rev/internal/crypt"
+	"rev/internal/isa"
+	"rev/internal/prog"
+)
+
+// runArena is one reusable instance of a Prepared workload: the cloned
+// program plus every per-run structure, reset in place between runs.
+// An arena is owned by exactly one goroutine between acquire and
+// release; the Prepared's freelist hands each concurrent caller its own.
+type runArena struct {
+	owner *Prepared
+	p     *parts
+	// measured is the arena's cloned program image, restored from the
+	// owner's pristine prototype between runs.
+	measured *prog.Program
+
+	// Pre-bound installs, created once so per-run re-attachment after the
+	// resets costs plain assignments, never a closure allocation.
+	serialHook func(cpu.BBInfo) (uint64, error) // engine.Hook
+	serialSys  func(int32, uint64)              // engine.SysHandler
+	attackStep func(pc uint64, in isa.Instr)    // wraps rc.AttackHook; nil without one
+}
+
+// acquireArena pops a free arena or builds one. Builds happen on first
+// use and when more runs are in flight concurrently than ever before;
+// the steady state is pure reuse.
+func (p *Prepared) acquireArena() (*runArena, error) {
+	p.arenaMu.Lock()
+	if n := len(p.arenas); n > 0 {
+		a := p.arenas[n-1]
+		p.arenas = p.arenas[:n-1]
+		p.arenaMu.Unlock()
+		return a, nil
+	}
+	p.arenaMu.Unlock()
+	return p.newArena()
+}
+
+// releaseArena returns an arena to the freelist.
+func (p *Prepared) releaseArena(a *runArena) {
+	p.arenaMu.Lock()
+	p.arenas = append(p.arenas, a)
+	p.arenaMu.Unlock()
+}
+
+// newArena performs the fresh build the arena will afterwards reuse:
+// exactly the construction sequence runInstance used before arenas, so
+// run one over a new arena is literally the old fresh-build run.
+func (p *Prepared) newArena() (*runArena, error) {
+	rc := p.rc
+	rc.Lanes, rc.Telemetry, rc.Evidence = 0, nil, nil
+	measured := p.proto.Clone()
+	parts := assemble(measured, rc)
+	ks := crypt.NewKeyStore(crypt.DeriveKey(rc.KeySeed, "cpu-private"))
+	engine := NewEngine(*rc.REV, parts.space, parts.hier, ks)
+	for _, st := range p.Tables {
+		if err := engine.AddSharedModule(st); err != nil {
+			return nil, fmt.Errorf("core: sharing table for %s: %w", st.Module, err)
+		}
+	}
+	parts.attach(engine, rc)
+	a := &runArena{
+		owner:      p,
+		p:          parts,
+		measured:   measured,
+		serialHook: parts.pipe.Hook,
+		serialSys:  engine.SysHandler,
+	}
+	if rc.AttackHook != nil {
+		hook, mach := rc.AttackHook, parts.mach
+		a.attackStep = func(pc uint64, in isa.Instr) { hook(mach, pc, in) }
+	}
+	return a, nil
+}
+
+// reset returns every arena structure to its post-build state, in order:
+// the program image first (which also resets the code watch), then the
+// microarchitectural parts, then the engine — whose Reset re-arms the
+// code watches from its module sources, reproducing a fresh build's
+// epoch sequence exactly.
+func (a *runArena) reset() {
+	p := a.p
+	p.mach.Reset(a.measured)
+	a.measured.Mem.ResetFrom(a.owner.proto.Mem)
+	p.hier.Reset()
+	p.pred.Reset()
+	p.pipe.Reset()
+	if p.engine != nil {
+		p.engine.Reset()
+	}
+	p.tel = nil
+}
+
+// runInto executes one instance run over the arena, copying Output out
+// of the machine backing so the caller's Result stays valid after the
+// arena is reset for its next run. On error the contents of res are
+// unspecified.
+func (a *runArena) runInto(rc RunConfig, res *Result) error {
+	a.reset()
+	p := a.p
+	// Re-attach after the resets cleared the hooks. Pipelined runs
+	// overwrite Hook/SysHandler with the rig's pre-bound versions inside
+	// runMeasured; installing the serial pair first keeps this path
+	// branch-free and harmless (nothing executes in between).
+	p.mach.BeforeStep = a.attackStep
+	if p.engine != nil {
+		p.pipe.Hook = a.serialHook
+		p.mach.SysHandler = a.serialSys
+	}
+	outBuf := res.Output[:0]
+	*res = Result{}
+	if err := executeInto(p, rc, res); err != nil {
+		return err
+	}
+	// res.Output aliases the machine's output backing, which the next run
+	// over this arena will truncate and refill: copy it into the caller's
+	// reusable backing. An empty output stays nil, matching the serial
+	// fresh path (Output is nil until the first OUT instruction retires).
+	if len(res.Output) == 0 {
+		res.Output = nil
+	} else {
+		res.Output = append(outBuf, res.Output...)
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"rev/internal/cpu"
+	"rev/internal/evidence"
+	"rev/internal/isa"
+	"rev/internal/prog"
+	"rev/internal/sigtable"
+)
+
+// TestArenaReuseMatchesFresh pins the arena determinism contract: N
+// back-to-back runs over ONE Prepared — each reusing the same arena, the
+// same SPSC rig, the same lane pools — must be byte-identical to a run
+// on a freshly built Prepared, at serial and at pipelined lane×batch
+// points. Any state a reset fails to clear (cache LRU stamps, memo
+// epochs, ring cursors, store-table contents) shows up here as a figure
+// divergence.
+func TestArenaReuseMatchesFresh(t *testing.T) {
+	for _, format := range []sigtable.Format{sigtable.Normal, sigtable.CFIOnly} {
+		rc := DefaultRunConfig()
+		rc.MaxInstrs = 60_000
+		rc.REV = revConfig(format, 8)
+
+		freshPrep, err := Prepare(builderOf(loopProgram), rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := freshPrep.RunWithLanes(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		prep, err := Prepare(builderOf(loopProgram), rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range []struct {
+			lanes, batch int
+		}{
+			{0, 0}, {1, 1}, {2, 8}, {4, 64},
+		} {
+			tag := format.String() + "/lanes=" + itoa(c.lanes) + "/batch=" + itoa(c.batch)
+			for rep := 0; rep < 3; rep++ {
+				res, err := prep.RunInstance(InstanceOptions{Lanes: c.lanes, Batch: c.batch})
+				if err != nil {
+					t.Fatalf("%s rep=%d: %v", tag, rep, err)
+				}
+				mustMatch(t, tag+"/rep="+itoa(rep), fresh, res)
+			}
+		}
+	}
+}
+
+// TestArenaReuseAttackParity replays an injection attack over a reused
+// arena: the same Prepared must reproduce the identical violation —
+// reason, offending addresses, output at abort, every figure — run after
+// run. The hook is stateless across runs (keyed on the per-run Instret
+// counter), so each replay injects at the same point; what the test
+// checks is that the arena's program-image restore erases the previous
+// run's injected bytes.
+func TestArenaReuseAttackParity(t *testing.T) {
+	inject := func(m *cpu.Machine, pc uint64, in isa.Instr) {
+		if m.Instret == 500 {
+			inj := isa.Instr{Op: isa.ADDI, Rd: 20, Imm: 666}
+			var buf [isa.WordSize]byte
+			inj.EncodeTo(buf[:])
+			m.Mem.WriteBytes(prog.CodeBase+2*isa.WordSize, buf[:])
+		}
+	}
+	rc := DefaultRunConfig()
+	rc.MaxInstrs = 60_000
+	rc.REV = revConfig(sigtable.Normal, 8)
+	rc.AttackHook = inject
+
+	freshPrep, err := Prepare(builderOf(loopProgram), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := freshPrep.RunWithLanes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Violation == nil || fresh.Violation.Reason != ViolationHash {
+		t.Fatalf("reference run missed the attack: %v", fresh.Violation)
+	}
+
+	prep, err := Prepare(builderOf(loopProgram), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lanes := range []int{0, 2} {
+		for rep := 0; rep < 3; rep++ {
+			res, err := prep.RunWithLanes(lanes)
+			if err != nil {
+				t.Fatalf("lanes=%d rep=%d: %v", lanes, rep, err)
+			}
+			mustMatch(t, "attack/lanes="+itoa(lanes)+"/rep="+itoa(rep), fresh, res)
+		}
+	}
+}
+
+// TestArenaReuseSMCWindow reuses one Prepared across self-modifying-code
+// runs: each run patches its own code inside a trusted SysREVEnable
+// window, bumping the code-version epoch. The engine reset must re-arm
+// the code watches so every replay sees the same epoch sequence — and
+// the image restore must revert the patch, or the second run would skip
+// the store's miss traffic and diverge in the cache figures.
+func TestArenaReuseSMCWindow(t *testing.T) {
+	gen := smcWindowProgram(true)
+	rc := DefaultRunConfig()
+	rc.REV = revConfig(sigtable.Normal, 32)
+
+	freshPrep, err := Prepare(builderOf(gen), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := freshPrep.RunWithLanes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Violation != nil {
+		t.Fatalf("windowed reference run flagged: %v", fresh.Violation)
+	}
+
+	prep, err := Prepare(builderOf(gen), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		lanes, batch int
+	}{
+		{0, 0}, {1, 1}, {4, 64},
+	} {
+		tag := "smc/lanes=" + itoa(c.lanes) + "/batch=" + itoa(c.batch)
+		for rep := 0; rep < 3; rep++ {
+			res, err := prep.RunInstance(InstanceOptions{Lanes: c.lanes, Batch: c.batch})
+			if err != nil {
+				t.Fatalf("%s rep=%d: %v", tag, rep, err)
+			}
+			mustMatch(t, tag+"/rep="+itoa(rep), fresh, res)
+		}
+	}
+}
+
+// TestArenaReuseEvidenceBytes pins evidence-stream determinism across
+// arena reuse: the attestation bytes a reused arena emits must be
+// identical to a fresh build's, run after run — commit tuples, segment
+// seals, the final outcome record.
+func TestArenaReuseEvidenceBytes(t *testing.T) {
+	rc := DefaultRunConfig()
+	rc.MaxInstrs = 60_000
+	rc.REV = revConfig(sigtable.Normal, 8)
+
+	emitTo := func(prep *Prepared, lanes int) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		em := evidence.NewEmitter(&buf, evidence.Config{Tenant: "arena"})
+		if _, err := prep.RunInstance(InstanceOptions{Lanes: lanes, Evidence: em}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	freshPrep, err := Prepare(builderOf(loopProgram), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := emitTo(freshPrep, 0)
+	if len(want) == 0 {
+		t.Fatal("reference run emitted no evidence")
+	}
+
+	prep, err := Prepare(builderOf(loopProgram), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lanes := range []int{0, 2} {
+		for rep := 0; rep < 3; rep++ {
+			if got := emitTo(prep, lanes); !bytes.Equal(got, want) {
+				t.Fatalf("lanes=%d rep=%d: evidence stream diverged (%d vs %d bytes)",
+					lanes, rep, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestArenaConcurrentRuns drives one Prepared from several goroutines at
+// once: the freelist must hand each caller a private arena (growing on
+// first contention), and every result must match the single-threaded
+// reference. Run under -race this doubles as the arena ownership check.
+func TestArenaConcurrentRuns(t *testing.T) {
+	rc := DefaultRunConfig()
+	rc.MaxInstrs = 60_000
+	rc.REV = revConfig(sigtable.Normal, 8)
+	prep, err := Prepare(builderOf(loopProgram), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := prep.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	results := make([]*Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Mix serial and pipelined callers to contend for both the
+			// arena freelist and (pipelined) the cached rig per arena.
+			results[w], errs[w] = prep.RunInstance(InstanceOptions{Lanes: w % 2})
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		mustMatch(t, "concurrent/worker="+itoa(w), fresh, results[w])
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"rev/internal/sigtable"
+)
+
+// Batch-boundary edge cases for the batched publish/retire pipeline
+// (pipeline.go). The ring holds 256 slots and these programs retire
+// thousands of blocks, so every sweep crosses ring wraparound mid-batch
+// many times over; the batch sweep below additionally places batch
+// boundaries at every alignment relative to the wrap point (batch sizes
+// 1, 3, 8, 64 are mutually coprime-ish against the 256-slot ring).
+
+// TestBatchIdentitySweep is the lanes×batch×format identity matrix: for
+// every signature-table format, every lane count and every publish batch
+// depth must reproduce the serial run byte-for-byte. Batch 1 degenerates
+// to the unbatched protocol, 8 exercises partial flushes at halt (the
+// tail block count is not a multiple of 8), 64 spans a quarter of the
+// ring so claim-gating under a full ring fires.
+func TestBatchIdentitySweep(t *testing.T) {
+	for _, format := range []sigtable.Format{sigtable.Normal, sigtable.Aggressive, sigtable.CFIOnly} {
+		rc := DefaultRunConfig()
+		rc.MaxInstrs = 60_000
+		rc.REV = revConfig(format, 8)
+		prep, err := Prepare(builderOf(loopProgram), rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := prep.RunWithLanes(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Violation != nil || !serial.Halted {
+			t.Fatalf("%v: serial reference run broken: vio=%v halted=%v",
+				format, serial.Violation, serial.Halted)
+		}
+		for _, lanes := range []int{1, 2, 4} {
+			for _, batch := range []int{1, 8, 64} {
+				tag := format.String() + "/lanes=" + itoa(lanes) + "/batch=" + itoa(batch)
+				piped, err := prep.RunInstance(InstanceOptions{Lanes: lanes, Batch: batch})
+				if err != nil {
+					t.Fatalf("%s: %v", tag, err)
+				}
+				mustMatch(t, tag, serial, piped)
+			}
+		}
+	}
+}
+
+// TestBatchSMCFenceParity puts the SMC epoch fence inside a batch: the
+// code-version bump arrives while the producer holds unpublished claimed
+// slots, so the fence must flush the partial batch before draining the
+// ring — otherwise the drain deadlocks (lanes wait for records the
+// producer is still holding) or the stale-epoch memo leaks across the
+// fence. Batch 64 makes the partial-batch window as wide as possible;
+// batch 1 pins the degenerate flush-every-record protocol.
+func TestBatchSMCFenceParity(t *testing.T) {
+	for _, withWindow := range []bool{true, false} {
+		rc := DefaultRunConfig()
+		rc.REV = revConfig(sigtable.Normal, 32)
+		prep, err := Prepare(builderOf(smcWindowProgram(withWindow)), rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := prep.RunWithLanes(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withWindow {
+			if serial.Violation != nil {
+				t.Fatalf("windowed serial run flagged: %v", serial.Violation)
+			}
+		} else if serial.Violation == nil || serial.Violation.Reason != ViolationHash {
+			t.Fatalf("unwindowed serial run should hash-violate, got %v", serial.Violation)
+		}
+		tag := "smc-window"
+		if !withWindow {
+			tag = "smc-nowindow"
+		}
+		for _, lanes := range []int{1, 4} {
+			for _, batch := range []int{1, 64} {
+				piped, err := prep.RunInstance(InstanceOptions{Lanes: lanes, Batch: batch})
+				if err != nil {
+					t.Fatalf("%s lanes=%d batch=%d: %v", tag, lanes, batch, err)
+				}
+				mustMatch(t, tag+"/lanes="+itoa(lanes)+"/batch="+itoa(batch), serial, piped)
+			}
+		}
+	}
+}
+
+// TestBatchViolationPlacement replays the attack suite across batch
+// depths chosen so the violating block lands at different offsets inside
+// a batch — first slot (batch 1: every block is both first and last),
+// interior (batch 3: the injection point at block ≈500/loop-shape is not
+// aligned), and deep inside a wide batch (64). The violation must abort
+// the run with identical figures wherever the batch boundary falls, and
+// the producer must account for the abandoned claimed slots of the
+// partial batch on the stop path.
+func TestBatchViolationPlacement(t *testing.T) {
+	for _, sc := range attackScenarios() {
+		runOnce := func(lanes, batch int) *Result {
+			t.Helper()
+			rc := DefaultRunConfig()
+			rc.MaxInstrs = 60_000
+			rc.REV = revConfig(sigtable.Normal, 8)
+			rc.AttackHook = sc.newHook()
+			prep, err := Prepare(builderOf(sc.gen), rc)
+			if err != nil {
+				t.Fatalf("%s: %v", sc.name, err)
+			}
+			res, err := prep.RunInstance(InstanceOptions{Lanes: lanes, Batch: batch})
+			if err != nil {
+				t.Fatalf("%s lanes=%d batch=%d: %v", sc.name, lanes, batch, err)
+			}
+			return res
+		}
+		serial := runOnce(0, 0)
+		if serial.Violation == nil {
+			t.Fatalf("%s: serial reference missed the attack", sc.name)
+		}
+		for _, lanes := range []int{1, 4} {
+			for _, batch := range []int{1, 3, 64} {
+				tag := sc.name + "/lanes=" + itoa(lanes) + "/batch=" + itoa(batch)
+				mustMatch(t, tag, serial, runOnce(lanes, batch))
+			}
+		}
+	}
+}
+
+// TestBatchResolution pins the batch-depth resolution rule: zero or
+// negative requests fall back to the default, oversized requests clamp
+// to half the ring so the producer can never claim the whole ring while
+// the consumer starves.
+func TestBatchResolution(t *testing.T) {
+	if got := resolveBatch(0); got != DefaultPublishBatch {
+		t.Errorf("resolveBatch(0) = %d, want DefaultPublishBatch=%d", got, DefaultPublishBatch)
+	}
+	if got := resolveBatch(-5); got != DefaultPublishBatch {
+		t.Errorf("resolveBatch(-5) = %d, want %d", got, DefaultPublishBatch)
+	}
+	if got := resolveBatch(3); got != 3 {
+		t.Errorf("resolveBatch(3) = %d, want 3", got)
+	}
+	if got, max := resolveBatch(1<<20), pipeRingSlots/2; got != max {
+		t.Errorf("resolveBatch(huge) = %d, want clamp at %d", got, max)
+	}
+}

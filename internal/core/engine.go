@@ -99,6 +99,7 @@ const (
 	ViolationBlacklist
 )
 
+// String names the violation class for forensics and error text.
 func (r ViolationReason) String() string {
 	switch r {
 	case ViolationHash:
@@ -123,6 +124,8 @@ type Violation struct {
 	Target  uint64 // offending target/predecessor where applicable
 }
 
+// Error renders the violation with its block extent and offending
+// address.
 func (v *Violation) Error() string {
 	return fmt.Sprintf("rev: validation failed (%s) in block [%#x,%#x], offending address %#x",
 		v.Reason, v.BBStart, v.BBEnd, v.Target)
@@ -202,12 +205,24 @@ type Engine struct {
 	// codeBuf is the reusable scratch for a block's instruction bytes on
 	// the memo-miss path (no per-block allocation).
 	codeBuf []byte
+	// lookScratch is the reusable decode backing for SC-miss table walks:
+	// in-process sources (Reader/Snapshot) fill it instead of allocating
+	// per walk. Entries decoded into it are consumed before the next walk
+	// (timing charge + SC.Fill, which copies into slab-carved MRU lists).
+	lookScratch sigtable.Scratch
+	// edgeBuf backs the one-element target list a CFI-only edge fill
+	// installs, avoiding a per-edge-miss allocation.
+	edgeBuf [1]uint64
 	// deferForensics suppresses in-hook evidence capture; the pipelined
 	// executor sets it and, when pendingCapture was latched by violate,
 	// captures after the producer goroutine joins (capture reads simulated
 	// memory, which the producer still owns when a violation retires).
 	deferForensics bool
 	pendingCapture bool
+
+	// modRanges memoizes moduleRanges (the evidence Begin path), rebuilt
+	// only when a registration changed the source list.
+	modRanges []evidence.ModuleRange
 }
 
 // NewEngine creates a REV engine over a program's memory and hierarchy.
@@ -477,7 +492,7 @@ func (e *Engine) validateHashed(info cpu.BBInfo, sig, codeSig chash.Sig, codeSig
 			Target: need.Target, CheckTarget: need.CheckTarget,
 			Pred: need.Pred, CheckPred: need.CheckPred,
 		}
-		entry, touched, lerr := region.Reader.Lookup(info.End, sig, want)
+		entry, touched, lerr := e.lookupSource(region.Reader, info.End, sig, want)
 		e.Stats.RAMLookups++
 		e.Stats.RecordsTouched += uint64(len(touched))
 		// Timing: the miss walk goes through the memory hierarchy record
@@ -524,6 +539,25 @@ func (e *Engine) validateHashed(info cpu.BBInfo, sig, codeSig chash.Sig, codeSig
 	return ready, nil
 }
 
+// lookupSource dispatches an SC-miss walk, steering in-process sources
+// through the engine's reusable scratch (allocation-free steady state);
+// sources without the scratch interface — remote, or wrapped — keep the
+// allocating path, whose cost transport dominates anyway.
+func (e *Engine) lookupSource(src sigtable.Source, end uint64, sig chash.Sig, want sigtable.Want) (sigtable.Entry, []uint64, error) {
+	if ss, ok := src.(sigtable.ScratchSource); ok {
+		return ss.LookupScratch(end, sig, want, &e.lookScratch)
+	}
+	return src.Lookup(end, sig, want)
+}
+
+// lookupEdgeSource is lookupSource for CFI-only edge walks.
+func (e *Engine) lookupEdgeSource(src sigtable.Source, from, to uint64) ([]uint64, error) {
+	if ss, ok := src.(sigtable.ScratchSource); ok {
+		return ss.LookupEdgeScratch(from, to, &e.lookScratch)
+	}
+	return src.LookupEdge(from, to)
+}
+
 // hookCFIOnly validates only computed control-flow edges (Sec. V.D): no
 // hashes, no direct-branch work, tiny tables. The SC caches recently
 // validated edges keyed by the source block's terminator.
@@ -541,7 +575,7 @@ func (e *Engine) hookCFIOnly(info cpu.BBInfo) (uint64, error) {
 		if e.tel != nil {
 			e.tel.edgeWalkBegin()
 		}
-		touched, lerr := region.Reader.LookupEdge(info.End, info.NextPC)
+		touched, lerr := e.lookupEdgeSource(region.Reader, info.End, info.NextPC)
 		e.Stats.RAMLookups++
 		e.Stats.RecordsTouched += uint64(len(touched))
 		t := info.LastFetch
@@ -564,7 +598,8 @@ func (e *Engine) hookCFIOnly(info cpu.BBInfo) (uint64, error) {
 			}
 			return 0, e.violate(reason, info, info.NextPC)
 		}
-		e.SC.Fill(sigtable.Entry{End: info.End, Hash: 0, Targets: []uint64{info.NextPC}}, need)
+		e.edgeBuf[0] = info.NextPC
+		e.SC.Fill(sigtable.Entry{End: info.End, Hash: 0, Targets: e.edgeBuf[:]}, need)
 	}
 	e.Stats.ValidatedBlocks++
 	if e.commitObs != nil {
@@ -588,13 +623,46 @@ type moduleSource struct {
 
 // moduleRanges returns the registered modules' code ranges in
 // registration order — the module map the evidence genesis record
-// attests (mirroring the SAG limit registers).
+// attests (mirroring the SAG limit registers). Memoized: registrations
+// only ever append, so the slice is rebuilt at most once per module set
+// and an arena-reused engine starts its evidence stream allocation-free.
 func (e *Engine) moduleRanges() []evidence.ModuleRange {
-	mr := make([]evidence.ModuleRange, len(e.sources))
-	for i, ms := range e.sources {
-		mr[i] = evidence.ModuleRange{Name: ms.module, Start: ms.start, Limit: ms.limit}
+	if len(e.modRanges) != len(e.sources) {
+		e.modRanges = make([]evidence.ModuleRange, len(e.sources))
+		for i, ms := range e.sources {
+			e.modRanges[i] = evidence.ModuleRange{Name: ms.module, Start: ms.start, Limit: ms.limit}
+		}
 	}
-	return mr
+	return e.modRanges
+}
+
+// Reset returns the engine to the state it had immediately after
+// construction and module registration, for run-arena reuse. Statistics,
+// the validation latches, forensics, the signature memo, SC, SAG, and
+// CHG all clear in place; the forensics log drops its backing (captures
+// alias Results handed to callers). The caller must have reset the
+// address space first (prog.Memory.ResetFrom): Reset then re-watches
+// every module text range in registration order, reproducing the
+// fresh-build code-version epoch sequence exactly — which is also why
+// the memo must clear (stale entries could hit under recycled epochs).
+func (e *Engine) Reset() {
+	e.Stats = Stats{}
+	e.Log = forensics.Log{}
+	e.tel = nil
+	e.ev = nil
+	e.enabled = true
+	e.pendingRet, e.pendingRetSet = 0, false
+	e.bbTag = 0
+	e.deferForensics, e.pendingCapture = false, false
+	e.memo.clear()
+	e.SC.Reset()
+	e.SAG.Reset()
+	e.CHG.Reset()
+	if e.cv != nil {
+		for _, ms := range e.sources {
+			e.cv.WatchCode(ms.start, ms.limit+uint64(isa.WordSize)-1)
+		}
+	}
 }
 
 // SourceNotes collects the health annotations of every registered

@@ -88,7 +88,7 @@ func TestEvidenceIdentityAcrossConfigs(t *testing.T) {
 				t.Helper()
 				var buf bytes.Buffer
 				em := evidence.NewEmitter(&buf, evidence.Config{Tenant: "t1"})
-				if _, err := prep.runInstance(lanes, nil, em); err != nil {
+				if _, err := prep.RunInstance(InstanceOptions{Lanes: lanes, Evidence: em}); err != nil {
 					t.Fatal(err)
 				}
 				return buf.Bytes()
@@ -186,7 +186,7 @@ func TestEvidenceViolationVerdict(t *testing.T) {
 // fences and the stream still verifies (the unvalidated window commits
 // no tuples).
 func TestEvidenceFencesSMCWindow(t *testing.T) {
-	gen := smcWindowProgram
+	gen := smcWindowProgram(true)
 	rc := DefaultRunConfig()
 	rc.REV = revConfig(sigtable.Normal, 32)
 	var buf bytes.Buffer

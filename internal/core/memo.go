@@ -68,6 +68,16 @@ func (m *sigMemo) slot(start, end uint64) *sigMemoEntry {
 	return &m.entries[h&m.mask]
 }
 
+// clear invalidates every entry in place (run-arena reuse). Mandatory
+// when the code watch restarts its epoch sequence from zero: an entry
+// memoized under a prior run's epoch could otherwise wrongly hit under a
+// recycled epoch number — including an attacked run's tampered bytes.
+func (m *sigMemo) clear() {
+	for i := range m.entries {
+		m.entries[i] = sigMemoEntry{}
+	}
+}
+
 // lookup returns the memoized entry for the block if it is present and
 // still valid under the current code-version epoch.
 func (m *sigMemo) lookup(start, end, epoch uint64) (*sigMemoEntry, bool) {

@@ -73,6 +73,25 @@ func resolveLanes(n int) int {
 // the functional machine can have advanced past the verdict).
 const pipeRingSlots = 256
 
+// DefaultPublishBatch is the publish/retire batch used when
+// RunConfig.Batch is 0: deep enough to amortize the per-block atomic
+// release-stores across cores, shallow enough that the consumer's verdict
+// never trails the producer by a meaningful fraction of the ring.
+const DefaultPublishBatch = 16
+
+// resolveBatch maps a RunConfig.Batch request to an effective batch:
+// <= 0 selects the default; the ceiling keeps at least half the ring
+// circulating so producer, lanes, and consumer always overlap.
+func resolveBatch(n int) int {
+	if n <= 0 {
+		n = DefaultPublishBatch
+	}
+	if n > pipeRingSlots/2 {
+		n = pipeRingSlots / 2
+	}
+	return n
+}
+
 // revEvent is one intercepted SYS call, replayed into the engine by the
 // consumer at the event's program-order position.
 type revEvent struct {
@@ -105,21 +124,33 @@ type pipeSlot struct {
 	codeBuf []byte // pooled backing for job.Code
 }
 
-// pipeRun is one pipelined execution in flight.
+// pipeRun is the pipelined executor's rig: the SPSC ring, the pooled
+// block records, and the lane pools over them. It is built once per parts
+// (newPipeRun) and re-armed per execution (rearm), so the run-arena path
+// reuses every allocation — ring, slots, code buffers, lane memos, the
+// producer's exit channel, and the pre-bound hook/goroutine closures.
 type pipeRun struct {
 	parts *parts
 	rc    RunConfig
 
 	ring  *chash.SPSC
 	slots []pipeSlot
+	jobs  []*chash.BlockJob
 	pool  *chash.LanePool
+	// pools caches one LanePool per requested lane count; the pools share
+	// the ring, the jobs, and (via Reset) the monotonic progress protocol.
+	pools map[int]*chash.LanePool
 
 	// stop is set by the consumer on an abort (violation or internal
 	// error); producer and lanes exit at their next wait.
 	stop chash.StopFlag
 
+	// batch is the resolved publish/retire stride (resolveBatch).
+	batch int
+
 	// Producer-owned state.
 	cur         *pipeSlot // slot being filled
+	pending     int       // finished records not yet published (cur excluded)
 	prodEnabled bool      // functional REV-enable state (SYS-tracked)
 	lastEpoch   uint64
 	laneGate    uint64 // cached LanePool.MinProgress (slot-reuse gate)
@@ -132,70 +163,142 @@ type pipeRun struct {
 	finalHalt bool
 
 	prodErr chan error // producer's exit status (always one send)
+
+	// Pre-bound method values, created once so re-armed runs install hooks
+	// and spawn the producer without allocating closures.
+	hookFn    func(cpu.BBInfo) (uint64, error)
+	sysFn     func(int32, uint64)
+	produceFn func()
+}
+
+// newPipeRun builds the reusable rig for one parts: ring, pooled slots,
+// and the pre-bound closures. Lane pools attach lazily via poolFor.
+func newPipeRun(p *parts) *pipeRun {
+	x := &pipeRun{
+		parts:     p,
+		ring:      chash.NewSPSC(pipeRingSlots),
+		pools:     make(map[int]*chash.LanePool),
+		maxBB:     p.pipe.Cfg.MaxBBInstrs,
+		maxStores: p.pipe.Cfg.MaxBBStores,
+		prodErr:   make(chan error, 1),
+	}
+	x.slots = make([]pipeSlot, x.ring.Cap())
+	x.jobs = make([]*chash.BlockJob, x.ring.Cap())
+	for i := range x.slots {
+		s := &x.slots[i]
+		s.instrs = make([]cpu.DynInstr, 0, x.maxBB)
+		s.codeBuf = make([]byte, x.maxBB*isa.WordSize)
+		x.jobs[i] = &s.job
+	}
+	x.hookFn = x.retireHook
+	x.sysFn = x.sysEvent
+	x.produceFn = x.produce
+	return x
+}
+
+// poolFor returns the cached LanePool for a lane count, building it on
+// first use. Callers must Reset the pool before Start: a pool created
+// after the ring has advanced needs its progress cursors primed at the
+// ring's current released count.
+func (x *pipeRun) poolFor(lanes int) *chash.LanePool {
+	if p, ok := x.pools[lanes]; ok {
+		return p
+	}
+	p := chash.NewLanePool(x.ring, x.jobs, lanes, 0, forensics.CodeSig)
+	x.pools[lanes] = p
+	return p
+}
+
+// rearm readies the rig for one execution: per-run cursors cleared, the
+// stop latch lowered, and the selected (already Reset) pool installed.
+// The ring's sequence counters are monotonic across runs; only the
+// producer's cached lane gate restarts, at the ring's released count.
+func (x *pipeRun) rearm(rc RunConfig, pool *chash.LanePool) {
+	x.rc = rc
+	x.batch = resolveBatch(rc.Batch)
+	x.pool = pool
+	x.stop.Reset()
+	x.cur, x.curRetire = nil, nil
+	x.pending = 0
+	x.prodEnabled = true
+	x.lastEpoch = 0
+	x.laneGate = x.ring.Released()
+	x.finalOut, x.finalHalt = 0, false
+}
+
+// retireHook is the consumer-side validation hook: it validates with the
+// lane-computed signatures of the record being retired, cross-checking
+// block identity so a front-end/producer split divergence can never
+// validate the wrong signature silently.
+func (x *pipeRun) retireHook(info cpu.BBInfo) (uint64, error) {
+	s := x.curRetire
+	if s == nil || !s.complete || info.Start != s.job.Start || info.End != s.job.End {
+		return 0, fmt.Errorf("core: pipelined retire desynchronized at block [%#x,%#x]", info.Start, info.End)
+	}
+	return x.parts.engine.HookPrecomputed(info, &s.job)
+}
+
+// sysEvent runs on the producer (functional) goroutine: SYS calls mutate
+// engine state read at validation time, so they are recorded in the block
+// record and replayed in program order on the consumer.
+func (x *pipeRun) sysEvent(service int32, arg uint64) {
+	if service == isa.SysREVEnable {
+		x.prodEnabled = arg != 0
+	}
+	if x.cur != nil {
+		x.cur.events = append(x.cur.events, revEvent{service: service, arg: arg})
+	}
 }
 
 // executePipelined drives the measured run with the intra-run pipeline.
 // Callers guarantee: lanes >= 1, and when an engine is attached its
 // signature tables are immutable snapshots (the Prepare path) — the
 // consumer must never read simulated memory while the producer runs.
-func executePipelined(p *parts, rc RunConfig, lanes int) (*Result, error) {
+// The rig is cached on parts, so repeated executions over the same parts
+// (the run-arena path) reuse every pipeline allocation.
+func executePipelined(p *parts, rc RunConfig, lanes int, res *Result) error {
+	x := p.rig
+	if x == nil {
+		x = newPipeRun(p)
+		p.rig = x
+	}
+	pool := x.poolFor(lanes)
+	// Reset before every run: wipes the per-lane memo shards (epoch
+	// counters restart per run) and primes the progress cursors at the
+	// ring's current released count (monotonic across arena runs).
+	pool.Reset()
+	x.rearm(rc, pool)
+	pool.SetStride(x.batch)
+	p.tel.initPipeline(lanes)
+	if p.tel != nil && p.tel.lanes != nil {
+		pool.SetObserver(p.tel.lanes)
+	} else {
+		pool.SetObserver(nil)
+	}
+	return x.runMeasured(res)
+}
+
+// runMeasured executes one re-armed pipelined run to completion, writing
+// the figures into res.
+func (x *pipeRun) runMeasured(res *Result) error {
+	p := x.parts
 	mach, pipe, engine := p.mach, p.pipe, p.engine
-	if rc.AttackHook != nil {
+	if x.rc.AttackHook != nil && mach.BeforeStep == nil {
+		// The arena path pre-binds this closure once (arena.go); only
+		// fresh builds reach this install.
+		rc := x.rc
 		mach.BeforeStep = func(pc uint64, in isa.Instr) { rc.AttackHook(mach, pc, in) }
 	}
 	if p.shadowMem != nil {
 		p.shadowMem.Begin()
 	}
-
-	x := &pipeRun{
-		parts:       p,
-		rc:          rc,
-		ring:        chash.NewSPSC(pipeRingSlots),
-		prodEnabled: true,
-		maxBB:       pipe.Cfg.MaxBBInstrs,
-		maxStores:   pipe.Cfg.MaxBBStores,
-		prodErr:     make(chan error, 1),
-	}
 	// A run that publishes zero records (machine already halted, zero
 	// budget) must still report the machine's observable state.
 	x.finalOut, x.finalHalt = len(mach.Output), mach.Halted
-	x.slots = make([]pipeSlot, x.ring.Cap())
-	jobs := make([]*chash.BlockJob, x.ring.Cap())
-	for i := range x.slots {
-		s := &x.slots[i]
-		s.instrs = make([]cpu.DynInstr, 0, x.maxBB)
-		s.codeBuf = make([]byte, x.maxBB*isa.WordSize)
-		jobs[i] = &s.job
-	}
-	x.pool = chash.NewLanePool(x.ring, jobs, lanes, 0, forensics.CodeSig)
-	p.tel.initPipeline(lanes)
-	if p.tel != nil && p.tel.lanes != nil {
-		x.pool.SetObserver(p.tel.lanes)
-	}
 
 	if engine != nil {
-		// The consumer validates with lane-computed signatures; the hook
-		// reads the record being retired. Cross-check block identity so a
-		// front-end/producer split divergence can never validate the
-		// wrong signature silently.
-		pipe.Hook = func(info cpu.BBInfo) (uint64, error) {
-			s := x.curRetire
-			if s == nil || !s.complete || info.Start != s.job.Start || info.End != s.job.End {
-				return 0, fmt.Errorf("core: pipelined retire desynchronized at block [%#x,%#x]", info.Start, info.End)
-			}
-			return engine.HookPrecomputed(info, &s.job)
-		}
-		// SYS calls execute on the producer (functional) goroutine but
-		// mutate engine state read at validation time: record them in the
-		// block record and replay in program order on the consumer.
-		mach.SysHandler = func(service int32, arg uint64) {
-			if service == isa.SysREVEnable {
-				x.prodEnabled = arg != 0
-			}
-			if x.cur != nil {
-				x.cur.events = append(x.cur.events, revEvent{service: service, arg: arg})
-			}
-		}
+		pipe.Hook = x.hookFn
+		mach.SysHandler = x.sysFn
 		engine.deferForensics = true
 		if engine.cv != nil {
 			x.lastEpoch = engine.cv.CodeVersion()
@@ -203,7 +306,7 @@ func executePipelined(p *parts, rc RunConfig, lanes int) (*Result, error) {
 	}
 
 	x.pool.Start()
-	go x.produce()
+	go x.produceFn()
 	vio, err := x.consume()
 
 	// Tear down: wake and join the producer and lanes, whatever state the
@@ -213,8 +316,15 @@ func executePipelined(p *parts, rc RunConfig, lanes int) (*Result, error) {
 	x.pool.Abort()
 	x.pool.Close()
 	x.pool.Join()
+	// Leave the ring quiescent (tail == head): an aborted run strands
+	// published-but-unretired records, and the arena reuse path restarts
+	// lanes against the same monotonic counters. The producer balanced its
+	// claims before exiting, so draining releases every published record.
+	for !x.ring.Drained() {
+		x.ring.Release()
+	}
 	if err != nil {
-		return nil, err
+		return err
 	}
 	_ = perr // producer faults surface through ring records, in order
 
@@ -230,7 +340,8 @@ func executePipelined(p *parts, rc RunConfig, lanes int) (*Result, error) {
 		}
 	}
 
-	return x.assemble(vio), nil
+	x.assembleInto(res, vio)
+	return nil
 }
 
 // produce runs the functional machine ahead of the timing model,
@@ -246,6 +357,22 @@ func (x *pipeRun) produce() {
 	var produced uint64
 	var pb chash.Backoff
 	bbInstrs, bbStores := 0, 0
+
+	// flush publishes every finished-but-unpublished record in one
+	// release-store. Called when the batch fills, before any wait on the
+	// consumer (it cannot retire what it cannot see), at epoch fences, and
+	// at every producer exit path — a record is never stranded unpublished.
+	flush := func() {
+		if x.pending == 0 {
+			return
+		}
+		n := x.pending
+		x.pending = 0
+		x.ring.PublishN(n)
+		if tel != nil {
+			tel.publishSample(x.ring.Published()-x.ring.Released(), n)
+		}
+	}
 
 	finish := func(complete bool) bool {
 		s := x.cur
@@ -271,16 +398,25 @@ func (x *pipeRun) produce() {
 				if engine.cv != nil {
 					j.Epoch = engine.cv.CodeVersion()
 					j.MemoOK = true
-					// Epoch fence: drain every in-flight record before
-					// publishing under a new code version, so lanes (and
+					// Epoch fence: publish the old-epoch batch, then drain
+					// every in-flight record before this block becomes
+					// visible under the new code version, so lanes (and
 					// their memo shards) are quiescent across
-					// self-modifying-code boundaries.
+					// self-modifying-code boundaries. This record joins the
+					// new epoch's first batch.
 					if j.Epoch != x.lastEpoch {
+						flush()
 						if tel != nil {
 							tel.epochFenceBegin()
 						}
 						for !x.ring.Drained() {
 							if x.stop.Raised() {
+								// Abandoned run: publish this record anyway so
+								// the ring's claim accounting stays balanced;
+								// nothing downstream retires it.
+								x.cur = nil
+								x.pending++
+								flush()
 								x.prodErr <- nil
 								return false
 							}
@@ -296,9 +432,13 @@ func (x *pipeRun) produce() {
 			}
 		}
 		x.cur = nil
-		x.ring.Publish()
-		if tel != nil {
-			tel.publishSample(x.ring.Published() - x.ring.Released())
+		x.pending++
+		// Publish when the batch fills, or eagerly whenever the downstream
+		// stages have run dry — batching amortizes synchronization under
+		// backlog without ever making an idle consumer wait on a partial
+		// batch.
+		if x.pending >= x.batch || x.ring.Drained() {
+			flush()
 		}
 		return true
 	}
@@ -310,37 +450,58 @@ func (x *pipeRun) produce() {
 		if x.cur == nil {
 			// Claim (and reset) the next pooled slot before stepping into
 			// a new block, so SYS events always have a record to land in.
+			// Claim exactly once, then gate: retrying TryAcquire after a
+			// veto would claim a fresh sequence each lap and skew the
+			// slot/publish accounting.
 			size := uint64(x.ring.Cap())
+			var seq uint64
 			for {
-				seq, ok := x.ring.TryAcquire()
-				if ok && seq >= size && x.laneGate <= seq-size {
-					// The consumer released the slot's previous record, but
-					// a trailing lane may still be scanning it; wait until
-					// every lane's progress passed the old sequence number.
-					x.laneGate = x.pool.MinProgress()
-					ok = x.laneGate > seq-size
+				s, ok := x.ring.TryAcquire()
+				if !ok {
+					// Ring full with records still unpublished: the consumer
+					// can only free slots it can see, so flush first or this
+					// wait deadlocks.
+					flush()
+					if x.stop.Raised() {
+						x.prodErr <- nil
+						return
+					}
+					pb.Wait()
+					continue
 				}
-				if ok {
-					s := &x.slots[x.ring.SlotOf(seq)]
-					// Field-wise reset: BlockJob embeds an atomic and must
-					// not be copied; all backing storage is reused in place.
-					j := &s.job
-					j.ResetDone()
-					j.Start, j.End, j.Epoch, j.Lane = 0, 0, 0, 0
-					j.NeedHash, j.NeedCode, j.MemoOK = false, false, false
-					j.Code = nil
-					s.instrs = s.instrs[:0]
-					s.events = s.events[:0]
-					s.fail = nil
-					s.complete = false
-					x.cur = s
+				seq = s
+				break
+			}
+			for seq >= size && x.laneGate <= seq-size {
+				// The consumer released the slot's previous record, but a
+				// trailing lane may still be scanning it; wait until every
+				// lane's progress passed the old sequence number.
+				x.laneGate = x.pool.MinProgress()
+				if x.laneGate > seq-size {
 					break
 				}
 				if x.stop.Raised() {
+					x.ring.Unclaim()
+					flush()
 					x.prodErr <- nil
 					return
 				}
 				pb.Wait()
+			}
+			{
+				s := &x.slots[x.ring.SlotOf(seq)]
+				// Field-wise reset: BlockJob embeds an atomic and must
+				// not be copied; all backing storage is reused in place.
+				j := &s.job
+				j.ResetDone()
+				j.Start, j.End, j.Epoch, j.Lane = 0, 0, 0, 0
+				j.NeedHash, j.NeedCode, j.MemoOK = false, false, false
+				j.Code = nil
+				s.instrs = s.instrs[:0]
+				s.events = s.events[:0]
+				s.fail = nil
+				s.complete = false
+				x.cur = s
 			}
 			pb.Reset()
 			bbInstrs, bbStores = 0, 0
@@ -351,6 +512,7 @@ func (x *pipeRun) produce() {
 			// consumer surfaces it at the exact serial program point.
 			x.cur.fail, x.cur.failPC = err, pc
 			finish(false)
+			flush()
 			x.prodErr <- err
 			x.pool.Close()
 			return
@@ -375,9 +537,11 @@ func (x *pipeRun) produce() {
 			// exactly the serial loop's behaviour.
 			finish(false)
 		} else {
-			x.cur = nil // claimed but unused slot: never published
+			x.cur = nil
+			x.ring.Unclaim() // claimed but unused slot: never published
 		}
 	}
+	flush()
 	x.prodErr <- nil
 	x.pool.Close()
 }
@@ -392,9 +556,22 @@ func (x *pipeRun) consume() (*Violation, error) {
 	engine := x.parts.engine
 	tel := x.parts.tel
 	var b chash.Backoff
+	// The consumer walks its own cursor ahead of the released count and
+	// frees retired slots in batch-sized strides: one release-store per
+	// batch instead of per block. Every exit path (and every idle wait)
+	// flushes first, so the producer is never starved behind slots that are
+	// logically retired but not yet visible as free.
+	crt := x.ring.Released()
+	unreleased := 0
+	flushRel := func() {
+		if unreleased > 0 {
+			x.ring.ReleaseN(unreleased)
+			unreleased = 0
+		}
+	}
 	for {
-		seq, ok := x.ring.TryPeek()
-		if !ok {
+		if crt >= x.ring.Published() {
+			flushRel()
 			if x.pool.Closed() && x.ring.Drained() {
 				return nil, nil
 			}
@@ -402,7 +579,7 @@ func (x *pipeRun) consume() (*Violation, error) {
 			continue
 		}
 		b.Reset()
-		s := &x.slots[x.ring.SlotOf(seq)]
+		s := &x.slots[x.ring.SlotOf(crt)]
 		// Wait for the record's lane before touching it (and, crucially,
 		// before releasing its slot back to the producer): the done flag is
 		// the lane's release-store over the whole job.
@@ -428,7 +605,9 @@ func (x *pipeRun) consume() (*Violation, error) {
 			if err := pipe.Next(s.instrs[i]); err != nil {
 				x.curRetire = nil
 				x.finalOut, x.finalHalt = s.outLen, s.halted
-				x.ring.Release()
+				crt++
+				unreleased++
+				flushRel()
 				if v, ok := err.(*Violation); ok {
 					return v, nil
 				}
@@ -437,11 +616,16 @@ func (x *pipeRun) consume() (*Violation, error) {
 		}
 		x.curRetire = nil
 		x.finalOut, x.finalHalt = s.outLen, s.halted
-		// Copy the failure before Release: the producer may reclaim and
-		// rewrite the slot the instant it is released.
+		// Copy the failure before the release below makes the slot
+		// reclaimable: the producer may rewrite it the instant it is freed.
 		fail, failPC := s.fail, s.failPC
-		x.ring.Release()
+		crt++
+		unreleased++
+		if unreleased >= x.batch {
+			flushRel()
+		}
 		if fail != nil {
+			flushRel()
 			// Illegal opcode: the serial loop fed the block's pre-fault
 			// instructions (just replayed above) and then faulted at decode.
 			// With REV the block containing the illegal bytes can never
@@ -455,12 +639,12 @@ func (x *pipeRun) consume() (*Violation, error) {
 	}
 }
 
-// assemble builds the Result after producer and lanes joined, mirroring
-// sim.go:execute. Output and Halted come from the last retired record's
-// snapshot, so producer run-ahead past a violation is invisible.
-func (x *pipeRun) assemble(vio *Violation) *Result {
+// assembleInto fills the Result after producer and lanes joined,
+// mirroring sim.go:executeMeasured. Output and Halted come from the last
+// retired record's snapshot, so producer run-ahead past a violation is
+// invisible.
+func (x *pipeRun) assembleInto(res *Result, vio *Violation) {
 	p := x.parts
-	res := &Result{}
 	res.Pipe = p.pipe.Stats
 	res.Branch = p.pred.Stats
 	res.UniqueBranches = p.pipe.UniqueBranches()
@@ -501,5 +685,4 @@ func (x *pipeRun) assemble(vio *Violation) *Result {
 			MissRate:       s.MissRate(),
 		}
 	}
-	return res
 }

@@ -225,37 +225,43 @@ func TestPipelinedAttackParity(t *testing.T) {
 // mechanisms at once: the SYS event replay (REV disable/enable must reach
 // the consumer in program order) and the epoch fence (the code-version
 // bump must drain in-flight lanes before the memo is reused).
-func TestPipelinedSMCWindowParity(t *testing.T) {
-	gen := func(withWindow bool) func(b *asm.Builder) {
-		return func(b *asm.Builder) {
-			b.Func("main")
-			b.Entry("main")
-			if withWindow {
-				b.LoadImm(4, 0)
-				b.Sys(isa.SysREVEnable, 4)
-			}
-			b.LoadImm(5, 1234)
-			patch := isa.Instr{Op: isa.OUT, Rs1: 5}
-			enc := patch.Encode()
-			var word uint64
-			for i := 7; i >= 0; i-- {
-				word = word<<8 | uint64(enc[i])
-			}
-			b.LoadImm(6, int64(word))
-			b.CodeAddrFixup(7, "patchme")
-			b.Store(6, 7, 0)
-			b.Call("patchme")
-			if withWindow {
-				b.LoadImm(4, 1)
-				b.Sys(isa.SysREVEnable, 4)
-			}
-			b.Out(5)
-			b.Halt()
-			b.Func("patchme")
-			b.Nop()
-			b.Ret()
+// smcWindowProgram builds the self-modifying-code probe: main patches
+// the body of "patchme" with an OUT instruction, optionally inside a
+// trusted SysREVEnable window. Shared by the SMC parity tests here, the
+// arena-reuse suite (arena_test.go), and the batch edge-case suite.
+func smcWindowProgram(withWindow bool) func(b *asm.Builder) {
+	return func(b *asm.Builder) {
+		b.Func("main")
+		b.Entry("main")
+		if withWindow {
+			b.LoadImm(4, 0)
+			b.Sys(isa.SysREVEnable, 4)
 		}
+		b.LoadImm(5, 1234)
+		patch := isa.Instr{Op: isa.OUT, Rs1: 5}
+		enc := patch.Encode()
+		var word uint64
+		for i := 7; i >= 0; i-- {
+			word = word<<8 | uint64(enc[i])
+		}
+		b.LoadImm(6, int64(word))
+		b.CodeAddrFixup(7, "patchme")
+		b.Store(6, 7, 0)
+		b.Call("patchme")
+		if withWindow {
+			b.LoadImm(4, 1)
+			b.Sys(isa.SysREVEnable, 4)
+		}
+		b.Out(5)
+		b.Halt()
+		b.Func("patchme")
+		b.Nop()
+		b.Ret()
 	}
+}
+
+func TestPipelinedSMCWindowParity(t *testing.T) {
+	gen := smcWindowProgram
 	for _, withWindow := range []bool{true, false} {
 		rc := DefaultRunConfig()
 		rc.REV = revConfig(sigtable.Normal, 32)

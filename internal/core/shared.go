@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"rev/internal/cfg"
 	"rev/internal/crypt"
@@ -70,6 +71,14 @@ type Prepared struct {
 	// RunConfig.Prefetch.Depth > 0 over wire-lookup sources); nil
 	// otherwise. Close stops it.
 	pf *prefetch.Prefetcher
+
+	// arenas is the freelist of reusable instance runs (arena.go): each
+	// holds a cloned program plus every per-run structure, reset in place
+	// between runs so steady-state instance runs are allocation-free. The
+	// list grows to the peak number of concurrent runs and is then pure
+	// reuse.
+	arenaMu sync.Mutex
+	arenas  []*runArena
 }
 
 // Prepare performs the per-workload preparation of Run — profiling twin,
@@ -290,11 +299,69 @@ func (p *Prepared) PrefetchStats() (prefetch.Stats, bool) {
 // Config returns a copy of the RunConfig the workload was prepared with.
 func (p *Prepared) Config() RunConfig { return p.rc }
 
-// Run executes one instance of the prepared workload: a fresh program,
-// a fresh engine, the shared tables. Safe to call from many goroutines
-// concurrently — instances share only the immutable Prepared state.
+// InstanceOptions selects the per-instance knobs of one RunInstance
+// call. The zero value runs serially with the default batch, no
+// telemetry, and no evidence — options are the complete instance spec,
+// not deltas against the prepared RunConfig (the Run/RunWith* wrappers
+// fill in the prepared defaults).
+type InstanceOptions struct {
+	// Lanes is the intra-run pipeline width (semantics as
+	// RunConfig.Lanes: <0 auto, 0 serial, n>=1 lanes).
+	Lanes int
+	// Batch is the publish/retire granularity (semantics as
+	// RunConfig.Batch: 0 selects DefaultPublishBatch).
+	Batch int
+	// Telemetry attaches the instance to a metrics registry and/or trace
+	// recorder. Telemetry-enabled instances take the fresh-build path
+	// (registry views snapshot per-run structures), so they are not
+	// allocation-free; results are byte-identical either way.
+	Telemetry *telemetry.Set
+	// Evidence streams the instance's attestation evidence. Emitters are
+	// single-use: pass a fresh one per instance.
+	Evidence *evidence.Emitter
+	// Out, when non-nil, receives the result in place of a fresh
+	// allocation. Reusing one Result (and its Output backing) across
+	// calls makes steady-state instance runs perform zero heap
+	// allocations (pinned by TestRunInstanceZeroAllocs). The previous
+	// contents are overwritten; the Result is valid until the caller
+	// passes it to another run.
+	Out *Result
+}
+
+// RunInstance executes one instance of the prepared workload with
+// explicit per-instance options. Safe to call from many goroutines
+// concurrently — each concurrent call owns a private run arena, and
+// instances share only the immutable Prepared state.
+//
+// Steady state reuses a run arena (arena.go): the cloned program and
+// every per-run structure are reset in place rather than rebuilt, so a
+// call with Out set allocates nothing after warmup. Results, verdicts,
+// forensics, and evidence streams are byte-identical to a fresh build.
+func (p *Prepared) RunInstance(o InstanceOptions) (*Result, error) {
+	res := o.Out
+	if res == nil {
+		res = &Result{}
+	}
+	rc := p.rc
+	rc.Lanes = o.Lanes
+	rc.Batch = o.Batch
+	rc.Telemetry = o.Telemetry
+	rc.Evidence = o.Evidence
+	if err := p.runInstanceInto(rc, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Run executes one instance of the prepared workload over a reused run
+// arena (fresh program state, reset engine, the shared tables). Safe to
+// call from many goroutines concurrently — instances share only the
+// immutable Prepared state.
 func (p *Prepared) Run() (*Result, error) {
-	return p.runInstance(p.rc.Lanes, p.rc.Telemetry, p.rc.Evidence)
+	return p.RunInstance(InstanceOptions{
+		Lanes: p.rc.Lanes, Batch: p.rc.Batch,
+		Telemetry: p.rc.Telemetry, Evidence: p.rc.Evidence,
+	})
 }
 
 // RunWithLanes is Run with an explicit intra-run pipeline width,
@@ -304,7 +371,10 @@ func (p *Prepared) Run() (*Result, error) {
 // pipelined executor requires, so any lane count is safe here; results
 // are byte-identical at every setting.
 func (p *Prepared) RunWithLanes(lanes int) (*Result, error) {
-	return p.runInstance(lanes, p.rc.Telemetry, p.rc.Evidence)
+	return p.RunInstance(InstanceOptions{
+		Lanes: lanes, Batch: p.rc.Batch,
+		Telemetry: p.rc.Telemetry, Evidence: p.rc.Evidence,
+	})
 }
 
 // RunWithTelemetry is Run with a per-instance telemetry Set, overriding
@@ -312,7 +382,10 @@ func (p *Prepared) RunWithLanes(lanes int) (*Result, error) {
 // gives each tenant its own trace tracks while metric registrations land
 // in the shared registry cells (the merged fleet view).
 func (p *Prepared) RunWithTelemetry(set *telemetry.Set) (*Result, error) {
-	return p.runInstance(p.rc.Lanes, set, p.rc.Evidence)
+	return p.RunInstance(InstanceOptions{
+		Lanes: p.rc.Lanes, Batch: p.rc.Batch,
+		Telemetry: set, Evidence: p.rc.Evidence,
+	})
 }
 
 // RunWithEvidence is Run with a per-instance evidence emitter,
@@ -321,27 +394,36 @@ func (p *Prepared) RunWithTelemetry(set *telemetry.Set) (*Result, error) {
 // instance its own emitter here; every instance of the same Prepared
 // produces a byte-identical stream (modulo the writer it lands in).
 func (p *Prepared) RunWithEvidence(em *evidence.Emitter) (*Result, error) {
-	return p.runInstance(p.rc.Lanes, p.rc.Telemetry, em)
+	return p.RunInstance(InstanceOptions{
+		Lanes: p.rc.Lanes, Batch: p.rc.Batch,
+		Telemetry: p.rc.Telemetry, Evidence: em,
+	})
 }
 
-// runInstance executes one instance of the prepared workload with the
-// given lane count, telemetry sinks, and evidence emitter.
-func (p *Prepared) runInstance(lanes int, set *telemetry.Set, em *evidence.Emitter) (*Result, error) {
-	measured := p.proto.Clone()
-	rc := p.rc
-	rc.Lanes = lanes
-	rc.Telemetry = set
-	rc.Evidence = em
-	parts := assemble(measured, rc)
-	ks := crypt.NewKeyStore(crypt.DeriveKey(rc.KeySeed, "cpu-private"))
-	engine := NewEngine(*rc.REV, parts.space, parts.hier, ks)
-	for _, st := range p.Tables {
-		if err := engine.AddSharedModule(st); err != nil {
-			return nil, fmt.Errorf("core: sharing table for %s: %w", st.Module, err)
+// runInstanceInto executes one instance of the prepared workload into
+// res. Page-shadowing and telemetry-enabled instances build fresh parts
+// (see arena.go for why); everything else runs over a reused arena.
+func (p *Prepared) runInstanceInto(rc RunConfig, res *Result) error {
+	if rc.PageShadowing || rc.Telemetry.Enabled() {
+		measured := p.proto.Clone()
+		parts := assemble(measured, rc)
+		ks := crypt.NewKeyStore(crypt.DeriveKey(rc.KeySeed, "cpu-private"))
+		engine := NewEngine(*rc.REV, parts.space, parts.hier, ks)
+		for _, st := range p.Tables {
+			if err := engine.AddSharedModule(st); err != nil {
+				return fmt.Errorf("core: sharing table for %s: %w", st.Module, err)
+			}
 		}
+		parts.attach(engine, rc)
+		*res = Result{}
+		return executeInto(parts, rc, res)
 	}
-	parts.attach(engine, rc)
-	return execute(parts, rc)
+	a, err := p.acquireArena()
+	if err != nil {
+		return err
+	}
+	defer p.releaseArena(a)
+	return a.runInto(rc, res)
 }
 
 // AddSharedModule registers a prebuilt, immutable signature-table

@@ -80,6 +80,19 @@ type RunConfig struct {
 	// through the Prepare path so validation reads immutable table
 	// snapshots instead of live simulated memory.
 	Lanes int
+	// Batch sets the pipelined executor's publish/retire granularity: the
+	// producer makes committed-block records visible to the hash lanes in
+	// groups of up to Batch, the consumer frees retired ring slots in
+	// matching strides, and each lane publishes its progress counter once
+	// per Batch records — amortizing the per-block cross-core
+	// synchronization that otherwise dominates at high lane counts. The
+	// producer still flushes early whenever the downstream stages are
+	// starved, so latency never trails throughput. 0 selects
+	// DefaultPublishBatch; values are clamped to half the ring so the
+	// pipeline always overlaps. Results are byte-identical at any setting
+	// (in-order retirement and the SMC epoch fence are preserved); only
+	// wall-clock scaling changes. Ignored by serial (Lanes = 0) runs.
+	Batch int
 }
 
 // noVersionSpace forwards an AddressSpace while hiding any CodeVersioner
@@ -152,6 +165,10 @@ type parts struct {
 	space     prog.AddressSpace
 	engine    *Engine
 	tel       *runTelemetry
+	// rig caches the pipelined executor's ring, pooled slots, and lane
+	// pools across runs of the same parts (the run-arena reuse path);
+	// executePipelined builds it on first use.
+	rig *pipeRun
 }
 
 // assemble builds the hierarchy, predictor, pipeline, (possibly shadowed)
@@ -261,6 +278,17 @@ func Run(build func() (*prog.Program, error), rc RunConfig) (*Result, error) {
 // engine whose table readers are immutable snapshots (the Prepare path);
 // Run enforces this by rerouting through Prepare.
 func execute(p *parts, rc RunConfig) (*Result, error) {
+	res := &Result{}
+	if err := executeInto(p, rc, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// executeInto is execute writing into a caller-provided Result, the
+// allocation-free seam the run-arena path needs (arena.go). On error the
+// contents of res are unspecified.
+func executeInto(p *parts, rc RunConfig, res *Result) error {
 	// Resolve telemetry once per run: nil handles when disabled, so every
 	// hot-path emission site below costs a single nil check.
 	p.tel = newRunTelemetry(rc.Telemetry)
@@ -272,24 +300,25 @@ func execute(p *parts, rc RunConfig) (*Result, error) {
 	}
 	if rc.Evidence != nil {
 		if p.engine == nil {
-			return nil, fmt.Errorf("core: evidence requires a REV engine (set rc.REV)")
+			return fmt.Errorf("core: evidence requires a REV engine (set rc.REV)")
 		}
 		if err := rc.Evidence.Begin(p.engine.Cfg.Format, p.engine.moduleRanges()); err != nil {
-			return nil, fmt.Errorf("core: starting evidence stream: %w", err)
+			return fmt.Errorf("core: starting evidence stream: %w", err)
 		}
 		p.engine.ev = rc.Evidence
 	}
-	res, err := executeMeasured(p, rc)
+	err := executeMeasured(p, rc, res)
 	if rc.Evidence != nil {
 		p.engine.ev = nil
-		if ferr := rc.Evidence.Finish(evidenceOutcome(res, err)); ferr != nil && err == nil {
+		outRes := res
+		if err != nil {
+			outRes = nil
+		}
+		if ferr := rc.Evidence.Finish(evidenceOutcome(outRes, err)); ferr != nil && err == nil {
 			err = fmt.Errorf("core: sealing evidence stream: %w", ferr)
 		}
 	}
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	return err
 }
 
 // evidenceOutcome maps a run result onto the evidence final record: a
@@ -312,21 +341,31 @@ func evidenceOutcome(res *Result, err error) evidence.Outcome {
 }
 
 // executeMeasured runs the measured execution loop — serial or
-// pipelined — after execute has attached telemetry and evidence.
-func executeMeasured(p *parts, rc RunConfig) (*Result, error) {
+// pipelined — after execute has attached telemetry and evidence, writing
+// the figures into the caller's res.
+//
+// res.Output aliases the functional machine's output backing; the arena
+// reuse path copies it out before the machine is reset (arena.go), while
+// the fresh-build paths hand the machine's backing to the caller as the
+// machine is never touched again.
+func executeMeasured(p *parts, rc RunConfig, res *Result) error {
 	if lanes := resolveLanes(rc.Lanes); lanes > 0 {
-		return executePipelined(p, rc, lanes)
+		return executePipelined(p, rc, lanes, res)
 	}
 	mach, pipe, hier, pred := p.mach, p.pipe, p.hier, p.pred
 	engine, shadowMem := p.engine, p.shadowMem
-	if rc.AttackHook != nil {
-		mach.BeforeStep = func(pc uint64, in isa.Instr) { rc.AttackHook(mach, pc, in) }
+	if rc.AttackHook != nil && mach.BeforeStep == nil {
+		// The arena path pre-binds this closure once (arena.go) so reused
+		// runs stay allocation-free; only fresh builds reach this install.
+		// Capture the hook alone, not rc — a closure over rc would move the
+		// whole RunConfig to the heap on every call, taken branch or not.
+		hook := rc.AttackHook
+		mach.BeforeStep = func(pc uint64, in isa.Instr) { hook(mach, pc, in) }
 	}
 	if shadowMem != nil {
 		shadowMem.Begin()
 	}
 
-	res := &Result{}
 	var vio *Violation
 	for !mach.Halted && pipe.Stats.Instrs < rc.MaxInstrs {
 		pc, in, err := mach.Step()
@@ -338,7 +377,7 @@ func executeMeasured(p *parts, rc RunConfig) (*Result, error) {
 				vio = &Violation{Reason: ViolationHash, BBStart: pc, BBEnd: pc, Target: pc}
 				break
 			}
-			return nil, err
+			return err
 		}
 		// Machine.Step records the executed load/store effective address, so
 		// the timing model needs no separate pre-decode pass.
@@ -348,7 +387,7 @@ func executeMeasured(p *parts, rc RunConfig) (*Result, error) {
 				vio = v
 				break
 			}
-			return nil, err
+			return err
 		}
 	}
 
@@ -387,5 +426,5 @@ func executeMeasured(p *parts, rc RunConfig) (*Result, error) {
 			MissRate:       s.MissRate(),
 		}
 	}
-	return res, nil
+	return nil
 }

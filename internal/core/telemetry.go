@@ -28,6 +28,7 @@ type runTelemetry struct {
 	walkRecords  *telemetry.Histogram // records touched per SC miss walk
 	walkCycles   *telemetry.Histogram // simulated miss-service cycles
 	ringDepth    *telemetry.Histogram // SPSC occupancy sampled at publish
+	publishBatch *telemetry.Histogram // records made visible per publish
 	laneJobs     *telemetry.ShardedCounter
 	laneHashed   *telemetry.ShardedCounter
 	laneMemoHits *telemetry.ShardedCounter
@@ -70,6 +71,7 @@ func newRunTelemetry(set *telemetry.Set) *runTelemetry {
 		walkRecords:   reg.Histogram("rev.sc.walk_records", "signature-table records touched per SC miss walk"),
 		walkCycles:    reg.Histogram("rev.sc.miss_service_cycles", "simulated cycles to service one SC miss"),
 		ringDepth:     reg.Histogram("rev.pipeline.ring_depth", "SPSC ring occupancy sampled at each publish"),
+		publishBatch:  reg.Histogram("rev.pipeline.publish_batch", "committed-block records made visible per batched publish"),
 		validate:      rec.Track(set.TrackName("validate")),
 		nPartialMiss:  rec.Name("sc-partial-miss"),
 		nCompleteMiss: rec.Name("sc-complete-miss"),
@@ -147,10 +149,13 @@ func (t *runTelemetry) violationEvent(reason ViolationReason) {
 	t.validate.InstantArg(t.nViolation, t.nReason, uint64(reason))
 }
 
-// publishSample records the SPSC occupancy right after a publish
-// (producer goroutine; the two loads are the ring's own atomics).
-func (t *runTelemetry) publishSample(depth uint64) {
+// publishSample records the SPSC occupancy and the batch size right after
+// a batched publish (producer goroutine; the two depth loads are the
+// ring's own atomics). Sampled once per flush, not per record, so the
+// telemetry cost amortizes with the batch.
+func (t *runTelemetry) publishSample(depth uint64, batch int) {
 	t.ringDepth.Observe(depth)
+	t.publishBatch.Observe(uint64(batch))
 	t.producer.Count(t.nRingDepth, depth)
 }
 
@@ -184,10 +189,13 @@ type laneTelemetry struct {
 	nHashed  telemetry.NameID
 }
 
+// JobBegin opens the hash-block span on the lane's trace track.
 func (lt *laneTelemetry) JobBegin(lane int) {
 	lt.tracks[lane].Begin(lt.nJob)
 }
 
+// JobEnd closes the lane's hash-block span and bumps the per-lane
+// job/hashed/memo-hit counters.
 func (lt *laneTelemetry) JobEnd(lane int, hashed, memoHit bool) {
 	var h uint64
 	if hashed {

@@ -5,8 +5,6 @@ import (
 	"strings"
 	"testing"
 
-	"rev/internal/asm"
-	"rev/internal/isa"
 	"rev/internal/sigtable"
 	"rev/internal/telemetry"
 	"rev/internal/workload"
@@ -56,7 +54,7 @@ func TestTelemetryByteIdentity(t *testing.T) {
 	// through the same identity contract as untraced pipelined runs.
 	for _, lanes := range []int{1, 4} {
 		set := telSet(1 << 12)
-		got, err := prep.runInstance(lanes, set, nil)
+		got, err := prep.RunInstance(InstanceOptions{Lanes: lanes, Telemetry: set})
 		if err != nil {
 			t.Fatalf("lanes=%d: %v", lanes, err)
 		}
@@ -153,36 +151,6 @@ func TestTelemetryLaneTracks(t *testing.T) {
 	}
 }
 
-// smcWindowProgram assembles the trusted self-modifying-code scenario
-// (the windowed variant of the pipeline SMC parity test): validation is
-// disabled, an instruction is patched, validation is re-enabled, and the
-// patched function runs — a clean run whose store bumps the code-version
-// epoch mid-flight.
-func smcWindowProgram(b *asm.Builder) {
-	b.Func("main")
-	b.Entry("main")
-	b.LoadImm(4, 0)
-	b.Sys(isa.SysREVEnable, 4)
-	b.LoadImm(5, 1234)
-	patch := isa.Instr{Op: isa.OUT, Rs1: 5}
-	enc := patch.Encode()
-	var word uint64
-	for i := 7; i >= 0; i-- {
-		word = word<<8 | uint64(enc[i])
-	}
-	b.LoadImm(6, int64(word))
-	b.CodeAddrFixup(7, "patchme")
-	b.Store(6, 7, 0)
-	b.Call("patchme")
-	b.LoadImm(4, 1)
-	b.Sys(isa.SysREVEnable, 4)
-	b.Out(5)
-	b.Halt()
-	b.Func("patchme")
-	b.Nop()
-	b.Ret()
-}
-
 // TestTelemetryEpochFenceEvents is the satellite edge case for tracing
 // during an SMC epoch fence: the producer must record the fence as a
 // span (events keep flowing while the ring drains), the fence counter
@@ -191,7 +159,7 @@ func smcWindowProgram(b *asm.Builder) {
 func TestTelemetryEpochFenceEvents(t *testing.T) {
 	rc := DefaultRunConfig()
 	rc.REV = revConfig(sigtable.Normal, 32)
-	prep, err := Prepare(builderOf(smcWindowProgram), rc)
+	prep, err := Prepare(builderOf(smcWindowProgram(true)), rc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +171,7 @@ func TestTelemetryEpochFenceEvents(t *testing.T) {
 		t.Fatalf("windowed serial run flagged: %v", serial.Violation)
 	}
 	set := telSet(1 << 12)
-	piped, err := prep.runInstance(2, set, nil)
+	piped, err := prep.RunInstance(InstanceOptions{Lanes: 2, Telemetry: set})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -72,6 +72,27 @@ func NewMachineOver(p *prog.Program, space prog.AddressSpace) *Machine {
 	return m
 }
 
+// Reset returns the machine to its just-constructed state over the same
+// address space (run-arena reuse): registers cleared, SP and PC
+// re-initialized from the program, Output truncated in place. Callers
+// that handed Output to anyone must copy it out first — the backing is
+// reused by the next run.
+func (m *Machine) Reset(p *prog.Program) {
+	m.X = [isa.NumIntRegs]uint64{}
+	m.F = [isa.NumFPRegs]float64{}
+	m.X[isa.RegSP] = prog.StackBase
+	m.PC = 0
+	if main := p.Main(); main != nil {
+		m.PC = main.EntryAddr()
+	}
+	m.Output = m.Output[:0]
+	m.Halted = false
+	m.Instret = 0
+	m.MemAddr = 0
+	m.SysHandler = nil
+	m.BeforeStep = nil
+}
+
 // ReadReg returns an integer register honoring the zero register.
 func (m *Machine) ReadReg(r uint8) uint64 {
 	if r == isa.RegZero {

@@ -261,6 +261,45 @@ func NewPipeline(cfg PipeConfig, h *mem.Hierarchy, p *branch.Predictor) *Pipelin
 	return pl
 }
 
+// Reset returns the timing model to its post-NewPipeline state for
+// run-arena reuse: every cycle counter, scoreboard entry, and occupancy
+// ring is zeroed in place, the hash tables are cleared, and all grown
+// backing is kept, so a reset pipeline replays a run with byte-identical
+// timing and allocates nothing. Hook is cleared; the next run re-attaches
+// its own.
+func (p *Pipeline) Reset() {
+	p.Hook = nil
+	p.Stats = PipeStats{}
+	p.seq, p.nMem, p.nStore = 0, 0, 0
+	p.fetchEarliest, p.fetchCycleCur = 0, 0
+	p.fetchedInCur = 0
+	p.curLine, p.curLineExtra = 0, 0
+	p.regReady = [isa.NumIntRegs + isa.NumFPRegs]uint64{}
+	zeroCycles(p.fuALU)
+	zeroCycles(p.fuFPU)
+	zeroCycles(p.fuLoad)
+	zeroCycles(p.fuStore)
+	zeroCycles(p.robRing)
+	zeroCycles(p.lsqRing)
+	zeroCycles(p.extRing)
+	zeroCycles(p.storeRing)
+	p.lastCommit, p.commitCycle = 0, 0
+	p.commitsInCur = 0
+	p.stores.reset()
+	p.uniqueBranches.reset()
+	p.nextInterrupt = p.Cfg.InterruptInterval
+	p.bbStart, p.bbFirstFetch = 0, 0
+	p.bbInstrs, p.bbStores = 0, 0
+	p.bbValid = false
+	p.uncommitted = p.uncommitted[:0]
+}
+
+func zeroCycles(s []uint64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
 func maxU(a, b uint64) uint64 {
 	if a > b {
 		return a

@@ -52,6 +52,10 @@ type storeTable struct {
 	slots []storeSlot
 	mask  uint64
 	n     int // live slots
+	// spare is the previous backing array, kept so steady-state sweeps
+	// (rehash at unchanged size) ping-pong between two buffers instead of
+	// allocating — the run-arena zero-alloc path depends on this.
+	spare []storeSlot
 }
 
 const storeTableInitial = 64
@@ -111,6 +115,17 @@ func (t *storeTable) setRelease(addr, seq, release uint64) {
 	}
 }
 
+// reset clears the table in place, keeping its (possibly grown) backing.
+// Table capacity is invisible to forwarding decisions — released entries
+// whose cycle has passed can never win a comparison — so a reset table
+// replays a run byte-identically.
+func (t *storeTable) reset() {
+	for i := range t.slots {
+		t.slots[i] = storeSlot{}
+	}
+	t.n = 0
+}
+
 // rehash rebuilds the table keeping only entries that can still influence a
 // future forwarding decision: those not yet released, or released at a
 // cycle still ahead of the current fetch cycle. The table doubles only if
@@ -129,7 +144,15 @@ func (t *storeTable) rehash(now uint64) {
 		size *= 2
 	}
 	old := t.slots
-	t.slots = make([]storeSlot, size)
+	if len(t.spare) == size {
+		t.slots = t.spare
+		for i := range t.slots {
+			t.slots[i] = storeSlot{}
+		}
+	} else {
+		t.slots = make([]storeSlot, size)
+	}
+	t.spare = old
 	t.mask = uint64(size - 1)
 	t.n = 0
 	for i := range old {
@@ -191,6 +214,15 @@ func (s *addrSet) insert(addr uint64) {
 			return
 		}
 	}
+}
+
+// reset clears the set in place, keeping its (possibly grown) backing.
+func (s *addrSet) reset() {
+	for i := range s.slots {
+		s.slots[i] = 0
+	}
+	s.n = 0
+	s.zero = false
 }
 
 func (s *addrSet) len() int {

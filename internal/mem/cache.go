@@ -181,6 +181,15 @@ func (c *Cache) Contains(addr uint64) bool {
 	return false
 }
 
+// Reset returns the cache to its post-NewCache state for run-arena reuse:
+// tags flushed, statistics and the LRU stamp zeroed, backing kept. A
+// reset cache replays a run with byte-identical hit/miss outcomes.
+func (c *Cache) Reset() {
+	c.Flush()
+	c.Stats = CacheStats{}
+	c.stamp = 0
+}
+
 // Flush invalidates the whole cache (used between benchmark runs).
 func (c *Cache) Flush() {
 	for i := range c.tags {

@@ -92,6 +92,13 @@ func (d *DRAM) Access(addr uint64, cycle uint64, class Class) uint64 {
 	return start + lat
 }
 
+// Reset returns main memory to its post-NewDRAM state for run-arena
+// reuse: rows closed, banks idle, statistics zeroed.
+func (d *DRAM) Reset() {
+	d.Flush()
+	d.Stats = DRAMStats{}
+}
+
 // Flush closes all rows and clears bank occupancy.
 func (d *DRAM) Flush() {
 	for i := range d.lastRow {

@@ -143,6 +143,19 @@ func (h *Hierarchy) SC(addr, cycle uint64) uint64 {
 	return h.accessThrough(h.L1D, addr, cycle, ClassSC, false)
 }
 
+// Reset returns the whole hierarchy to its post-New state for run-arena
+// reuse: every level flushed, all statistics and LRU stamps zeroed,
+// nothing allocated.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.DRAM.Reset()
+	h.ITLB.Reset()
+	h.DTLB.Reset()
+	h.L2TLB.Reset()
+}
+
 // Flush clears all cached state (tags, TLBs, DRAM rows).
 func (h *Hierarchy) Flush() {
 	h.L1I.Flush()

@@ -58,3 +58,15 @@ func (t *TLB) Lookup(addr uint64) bool {
 func (t *TLB) Flush() {
 	t.pages = make(map[uint64]uint64, t.cfg.Entries)
 }
+
+// Reset returns the TLB to its post-NewTLB state for run-arena reuse.
+// Unlike Flush it clears the map in place (no allocation); stamps are
+// unique, so LRU victims — and therefore replayed runs — stay
+// deterministic regardless of the map's grown capacity.
+func (t *TLB) Reset() {
+	for pn := range t.pages {
+		delete(t.pages, pn)
+	}
+	t.stamp = 0
+	t.Stats = TLBStats{}
+}

@@ -345,6 +345,41 @@ func (mm *Memory) Clone() *Memory {
 	return c
 }
 
+// ResetFrom rewrites the memory to read byte-identically to src without
+// allocating in the steady state: pages present in both are copied in
+// place, pages this memory materialized beyond src (stack, heap) are
+// zeroed but stay mapped (an absent page and an all-zero page are
+// indistinguishable through AddressSpace), and the code watch, epoch
+// counter, and translation cache return to their post-NewMemory state.
+// This is the run-arena alternative to src.Clone(): same observable
+// contents, zero per-page allocations after the first lap.
+func (mm *Memory) ResetFrom(src *Memory) {
+	for pn, pg := range mm.pages {
+		if sp := src.pages[pn]; sp != nil {
+			*pg = *sp
+		} else {
+			*pg = [PageSize]byte{}
+		}
+	}
+	for pn, sp := range src.pages {
+		if mm.pages[pn] == nil {
+			np := new([PageSize]byte)
+			*np = *sp
+			mm.pages[pn] = np
+		}
+	}
+	mm.watch.reset()
+	mm.lastPN, mm.lastPG = 0, nil
+}
+
+// reset returns the watch to its post-NewMemory state, keeping the grown
+// ranges backing so re-registration does not allocate.
+func (w *CodeWatch) reset() {
+	w.lo, w.hi = ^uint64(0), 0
+	w.ranges = w.ranges[:0]
+	w.version = 0
+}
+
 // WatchCode registers a text range for code-version tracking.
 func (mm *Memory) WatchCode(start, end uint64) { mm.watch.Watch(start, end) }
 

@@ -55,6 +55,10 @@ type Unit struct {
 	stamp   uint64
 	backing []*Region // software-managed spill
 
+	// initial preserves registration order so Reset can restore the exact
+	// post-Register layout after lookups have LRU-shuffled the groups.
+	initial []*Region
+
 	Stats Stats
 }
 
@@ -77,6 +81,7 @@ func (u *Unit) Register(r *Region) error {
 			return fmt.Errorf("sag: region %q overlaps %q", r.Module, ex.Module)
 		}
 	}
+	u.initial = append(u.initial, r)
 	if len(u.regs) < u.cfg.B {
 		u.regs = append(u.regs, r)
 		u.lastUse = append(u.lastUse, u.stamp)
@@ -84,6 +89,27 @@ func (u *Unit) Register(r *Region) error {
 	}
 	u.backing = append(u.backing, r)
 	return nil
+}
+
+// Reset returns the unit to the state a fresh Unit would have after the
+// same Register sequence (run-arena reuse): the first B registrations
+// resident in order, the rest in the backing store, LRU stamps and
+// statistics zeroed, nothing allocated. Assumes registration happened
+// before any lookups, as the engine-build path guarantees.
+func (u *Unit) Reset() {
+	u.regs = u.regs[:0]
+	u.lastUse = u.lastUse[:0]
+	u.backing = u.backing[:0]
+	u.stamp = 0
+	u.Stats = Stats{}
+	for _, r := range u.initial {
+		if len(u.regs) < u.cfg.B {
+			u.regs = append(u.regs, r)
+			u.lastUse = append(u.lastUse, 0)
+		} else {
+			u.backing = append(u.backing, r)
+		}
+	}
 }
 
 // Lookup associatively matches addr against the resident limit-register

@@ -303,6 +303,16 @@ func (c *Cache) mruMerge(resident, legal []uint64, needed uint64, check bool, ma
 	return res
 }
 
+// Reset returns the cache to its post-New state for run-arena reuse:
+// entries flushed, statistics and the LRU stamp zeroed, the slab-carved
+// MRU backing kept. A reset cache replays a run with byte-identical probe
+// outcomes and LRU decisions.
+func (c *Cache) Reset() {
+	c.Flush()
+	c.Stats = Stats{}
+	c.stamp = 0
+}
+
 // Flush empties the SC (context switch in the strictest model; the paper's
 // design keeps entries across switches since tables are per-module and
 // entries are address-tagged — Flush exists for ablations).

@@ -86,6 +86,38 @@ func (r *Reader) cfiRecord(idx uint64, touched *[]uint64) uint64 {
 	return binary.LittleEndian.Uint64(buf[:])
 }
 
+// Scratch holds the reusable backing a lookup decodes into: the touched
+// RAM-address list and the entry's target/predecessor lists. A caller
+// that owns a Scratch and uses the LookupScratch entry points gets
+// allocation-free lookups in the steady state — the backing grows to the
+// longest walk ever seen and is recycled on every call.
+//
+// The Entry and touched slice returned by a scratch lookup ALIAS the
+// Scratch and are valid only until its next use; callers that retain
+// them must copy (the engine's sigcache Fill already copies into its
+// slab-carved MRU lists). The plain Lookup entry points pass a fresh
+// Scratch per call, so their results are caller-owned as before.
+type Scratch struct {
+	touched []uint64
+	targets []uint64
+	preds   []uint64
+}
+
+func (s *Scratch) reset() {
+	s.touched = s.touched[:0]
+	s.targets = s.targets[:0]
+	s.preds = s.preds[:0]
+}
+
+// ScratchSource is the optional interface in-process sources (Reader,
+// Snapshot) implement for allocation-free lookups into caller-owned
+// scratch. Remote sources stay on the allocating Source methods — their
+// per-lookup cost is dominated by transport anyway.
+type ScratchSource interface {
+	LookupScratch(end uint64, sig chash.Sig, want Want, s *Scratch) (Entry, []uint64, error)
+	LookupEdgeScratch(src, dst uint64, s *Scratch) ([]uint64, error)
+}
+
 // Want tells Lookup which addresses the pending validation needs so the
 // spill-chain walk can stop as soon as they are found — the paper's
 // "progressively looked up" semantics (Sec. V.B). Hardware would not keep
@@ -112,34 +144,42 @@ type Want struct {
 // of the chain, in which case the caller's membership test fails and the
 // validation is a violation).
 func (r *Reader) Lookup(end uint64, sig chash.Sig, want Want) (Entry, []uint64, error) {
-	return lookup(r, end, sig, want, false)
+	return lookup(r, end, sig, want, false, new(Scratch))
+}
+
+// LookupScratch is Lookup decoding into caller-owned scratch; the result
+// aliases s until its next use. See Scratch.
+func (r *Reader) LookupScratch(end uint64, sig chash.Sig, want Want, s *Scratch) (Entry, []uint64, error) {
+	return lookup(r, end, sig, want, false, s)
 }
 
 // LookupAll is Lookup with an exhaustive spill walk, returning the entry's
 // complete target and predecessor lists (used by offline tools and tests;
 // the hardware path uses Lookup).
 func (r *Reader) LookupAll(end uint64, sig chash.Sig) (Entry, []uint64, error) {
-	return lookup(r, end, sig, Want{}, true)
+	return lookup(r, end, sig, Want{}, true, new(Scratch))
 }
 
-// lookup is the shared bucket/collision-chain walk over any recordSource.
-func lookup(src recordSource, end uint64, sig chash.Sig, want Want, full bool) (Entry, []uint64, error) {
-	var touched []uint64
+// lookup is the shared bucket/collision-chain walk over any recordSource,
+// decoding into s (reset on entry); the returned Entry and touched list
+// alias s.
+func lookup(src recordSource, end uint64, sig chash.Sig, want Want, full bool, s *Scratch) (Entry, []uint64, error) {
+	s.reset()
 	t := src.geom()
 	if t.Format == CFIOnly {
 		panic("sigtable: Lookup on CFI-only table; use LookupEdge")
 	}
 	idx := bucketOf(end, t.Buckets)
 	for {
-		w := src.record(idx, &touched)
+		w := src.record(idx, &s.touched)
 		typ := w[0] >> recTypeShift & 0xf
 		if typ == recBlock && w[0]&tagMask == tagOf(end) && chash.Sig(w[1]) == sig {
-			e := decodeEntry(src, end, w, &touched, want, full)
-			return e, touched, nil
+			e := decodeEntry(src, end, w, s, want, full)
+			return e, s.touched, nil
 		}
 		next := uint64(w[5])
 		if typ == recInvalid || next == 0 {
-			return Entry{}, touched, ErrMiss
+			return Entry{}, s.touched, ErrMiss
 		}
 		idx = next
 	}
@@ -165,7 +205,7 @@ func containsAddr(list []uint64, a uint64) bool {
 	return false
 }
 
-func decodeEntry(src recordSource, end uint64, w [RecordSize / 4]uint32, touched *[]uint64, want Want, full bool) Entry {
+func decodeEntry(src recordSource, end uint64, w [RecordSize / 4]uint32, s *Scratch, want Want, full bool) Entry {
 	e := Entry{
 		End:  end,
 		Hash: chash.Sig(w[1]),
@@ -174,28 +214,30 @@ func decodeEntry(src recordSource, end uint64, w [RecordSize / 4]uint32, touched
 	nT := int(w[0] >> nInlineTShift & 0x3)
 	nP := int(w[0] >> nInlinePShift & 0x3)
 	for i := 0; i < nT; i++ {
-		e.Targets = append(e.Targets, uint64(w[2+i]))
+		s.targets = append(s.targets, uint64(w[2+i]))
 	}
 	for i := 0; i < nP; i++ {
-		e.RetPreds = append(e.RetPreds, uint64(w[2+nT+i]))
+		s.preds = append(s.preds, uint64(w[2+nT+i]))
 	}
+	e.Targets, e.RetPreds = s.targets, s.preds
 	// Walk the spill chain progressively, no further than needed.
 	for idx := uint64(w[4]); idx != 0; {
 		if !full && satisfied(&e, want) {
 			break
 		}
-		ew := src.record(idx, touched)
+		ew := src.record(idx, &s.touched)
 		if ew[0]>>recTypeShift&0xf != recExtension {
 			break // corrupt chain; treat as end
 		}
 		xnT := int(ew[0] >> extNTShift & 0x7)
 		xnP := int(ew[0] >> extNPShift & 0x7)
 		for i := 0; i < xnT; i++ {
-			e.Targets = append(e.Targets, uint64(ew[1+i]))
+			s.targets = append(s.targets, uint64(ew[1+i]))
 		}
 		for i := 0; i < xnP; i++ {
-			e.RetPreds = append(e.RetPreds, uint64(ew[1+xnT+i]))
+			s.preds = append(s.preds, uint64(ew[1+xnT+i]))
 		}
+		e.Targets, e.RetPreds = s.targets, s.preds
 		idx = uint64(ew[5])
 	}
 	return e
@@ -205,28 +247,34 @@ func decodeEntry(src recordSource, end uint64, w [RecordSize / 4]uint32, touched
 // CFI-only table. It returns the RAM addresses touched and a nil error
 // when the edge is legal, ErrMiss when it definitively is not.
 func (r *Reader) LookupEdge(src, dst uint64) ([]uint64, error) {
-	return lookupEdge(r, src, dst)
+	return lookupEdge(r, src, dst, new(Scratch))
+}
+
+// LookupEdgeScratch is LookupEdge recording touched addresses into
+// caller-owned scratch; the result aliases s until its next use.
+func (r *Reader) LookupEdgeScratch(src, dst uint64, s *Scratch) ([]uint64, error) {
+	return lookupEdge(r, src, dst, s)
 }
 
 // lookupEdge is the shared CFI-only edge walk over any recordSource.
-func lookupEdge(rs recordSource, src, dst uint64) ([]uint64, error) {
+func lookupEdge(rs recordSource, src, dst uint64, s *Scratch) ([]uint64, error) {
+	s.reset()
 	t := rs.geom()
 	if t.Format != CFIOnly {
 		panic("sigtable: LookupEdge on hashed table; use Lookup")
 	}
-	var touched []uint64
 	idx := edgeBucket(src, dst, t.Buckets)
 	for {
-		w := rs.cfiRecord(idx, &touched)
+		w := rs.cfiRecord(idx, &s.touched)
 		if w == 0 {
-			return touched, ErrMiss
+			return s.touched, ErrMiss
 		}
 		if uint32(w) == uint32(dst) && w>>32&0xfff == src>>3&0xfff {
-			return touched, nil
+			return s.touched, nil
 		}
 		next := w >> 44
 		if next == 0 {
-			return touched, ErrMiss
+			return s.touched, ErrMiss
 		}
 		idx = next
 	}

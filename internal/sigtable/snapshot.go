@@ -39,6 +39,9 @@ type Source interface {
 var (
 	_ Source = (*Reader)(nil)
 	_ Source = (*Snapshot)(nil)
+
+	_ ScratchSource = (*Reader)(nil)
+	_ ScratchSource = (*Snapshot)(nil)
 )
 
 // Snapshot is an immutable, fully decrypted copy of a signature table.
@@ -141,19 +144,32 @@ func (s *Snapshot) cfiRecord(idx uint64, touched *[]uint64) uint64 {
 // Lookup finds the entry for (end, sig); see Reader.Lookup. Safe for
 // concurrent use.
 func (s *Snapshot) Lookup(end uint64, sig chash.Sig, want Want) (Entry, []uint64, error) {
-	return lookup(s, end, sig, want, false)
+	return lookup(s, end, sig, want, false, new(Scratch))
+}
+
+// LookupScratch is Lookup decoding into caller-owned scratch; the result
+// aliases sc until its next use. The snapshot itself stays safe for
+// concurrent use — each caller brings its own Scratch.
+func (s *Snapshot) LookupScratch(end uint64, sig chash.Sig, want Want, sc *Scratch) (Entry, []uint64, error) {
+	return lookup(s, end, sig, want, false, sc)
 }
 
 // LookupAll is Lookup with an exhaustive spill walk. Safe for
 // concurrent use.
 func (s *Snapshot) LookupAll(end uint64, sig chash.Sig) (Entry, []uint64, error) {
-	return lookup(s, end, sig, Want{}, true)
+	return lookup(s, end, sig, Want{}, true, new(Scratch))
 }
 
 // LookupEdge validates a computed edge against a CFI-only snapshot.
 // Safe for concurrent use.
 func (s *Snapshot) LookupEdge(src, dst uint64) ([]uint64, error) {
-	return lookupEdge(s, src, dst)
+	return lookupEdge(s, src, dst, new(Scratch))
+}
+
+// LookupEdgeScratch is LookupEdge recording touched addresses into
+// caller-owned scratch; the result aliases sc until its next use.
+func (s *Snapshot) LookupEdgeScratch(src, dst uint64, sc *Scratch) ([]uint64, error) {
+	return lookupEdge(s, src, dst, sc)
 }
 
 // AppendWire appends the snapshot's decrypted records to dst in the
