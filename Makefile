@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet doccheck race race-all test-race bench-smoke bench-figures bench-json bench-parallel bench-pipeline bench-scaling bench-telemetry bench-remote bench-prefetch bench-evidence profile clean
+.PHONY: all build test vet doccheck race race-all test-race bench-smoke bench-figures bench-json bench-parallel bench-pipeline bench-scaling bench-telemetry bench-remote bench-prefetch bench-evidence bench-load profile clean
 
 all: build vet test
 
@@ -105,6 +105,16 @@ bench-prefetch:
 bench-evidence:
 	$(GO) run ./cmd/revbench -instrs 500000 -telrounds 5 \
 		-evidencejson BENCH_evidence.json
+
+# Regenerate the attestation-plane load record: closed-loop phases per
+# message type plus an open-loop offered-rate sweep against a
+# self-hosted server, verifying every remote verdict against a local
+# snapshot copy. Exits nonzero on any protocol error, identity
+# mismatch, or empty latency record (the CI load-smoke job runs a
+# shorter configuration of the same harness).
+bench-load:
+	$(GO) run ./cmd/revload -tenants 4 -workers 2 -duration 2s \
+		-rates 1000,4000,16000 -json BENCH_load.json
 
 # CPU + allocation profiles of the fig6 harness (the per-block validation
 # hot path end to end). Drops cpu.prof / mem.prof / rev.test in the repo

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"math/bits"
+	"time"
+)
+
+// hdrHist is an HDR-style latency histogram: 32 sub-buckets per power of
+// two, giving a fixed ~1.6% relative error across the full uint64 range
+// with a flat 1920-slot array — no allocation per observation, cheap to
+// merge across workers. (The telemetry package's power-of-two histogram
+// is deliberately coarser; a load harness reporting p999 needs the finer
+// grid.)
+type hdrHist struct {
+	counts [hdrSlots]uint64
+	count  uint64
+	sum    uint64
+	max    uint64
+}
+
+const (
+	hdrSubBits = 5
+	hdrSub     = 1 << hdrSubBits // sub-buckets per power of two
+	hdrSlots   = (64 - hdrSubBits) * hdrSub
+)
+
+// hdrIndex maps a value to its slot: exact below hdrSub, then 32
+// log-spaced sub-buckets per octave.
+func hdrIndex(v uint64) int {
+	if v < hdrSub {
+		return int(v)
+	}
+	top := bits.Len64(v) - 1 // MSB position, >= hdrSubBits
+	shift := top - hdrSubBits
+	return (top-hdrSubBits+1)*hdrSub + int((v>>shift)&(hdrSub-1))
+}
+
+// hdrValue returns a slot's representative value (midpoint of its
+// range), inverting hdrIndex.
+func hdrValue(idx int) uint64 {
+	if idx < hdrSub {
+		return uint64(idx)
+	}
+	group := idx / hdrSub
+	sub := uint64(idx % hdrSub)
+	shift := group - 1
+	return (hdrSub+sub)<<shift + (uint64(1)<<shift)/2
+}
+
+func (h *hdrHist) observe(d time.Duration) {
+	v := uint64(d)
+	h.counts[hdrIndex(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// merge folds another histogram into this one.
+func (h *hdrHist) merge(o *hdrHist) {
+	for i, n := range o.counts {
+		h.counts[i] += n
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// quantile returns the q-quantile's representative value (0 when empty).
+func (h *hdrHist) quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.count-1))
+	var cum uint64
+	for i, n := range h.counts {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if rank < cum {
+			v := hdrValue(i)
+			if v > h.max {
+				v = h.max // the top slot's midpoint can overshoot the true max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+func (h *hdrHist) mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// latSummary is the JSON shape of one histogram's quantiles.
+type latSummary struct {
+	P50    uint64  `json:"p50_ns"`
+	P90    uint64  `json:"p90_ns"`
+	P99    uint64  `json:"p99_ns"`
+	P999   uint64  `json:"p999_ns"`
+	Max    uint64  `json:"max_ns"`
+	MeanNS float64 `json:"mean_ns"`
+}
+
+func (h *hdrHist) summary() latSummary {
+	return latSummary{
+		P50:    h.quantile(0.50),
+		P90:    h.quantile(0.90),
+		P99:    h.quantile(0.99),
+		P999:   h.quantile(0.999),
+		Max:    h.max,
+		MeanNS: h.mean(),
+	}
+}

@@ -1,0 +1,540 @@
+// Command revload is the attestation-plane load harness: it drives N
+// concurrent simulated tenants against a revserved endpoint (or a
+// self-hosted in-process server), measures per-message-type latency
+// with HDR-style histograms, sweeps offered load open-loop, and writes
+// the machine-readable BENCH_load.json record the roadmap calls for.
+//
+// Usage:
+//
+//	revload -json BENCH_load.json                 # self-hosted smoke
+//	revload -tenants 8 -workers 4 -duration 5s    # heavier closed loop
+//	revload -addr 127.0.0.1:7415 -tenant default  # external revserved
+//	revload -rates 1000,4000,16000                # offered-load sweep
+//	revload -delay 1ms                            # injected service delay
+//
+// Two loop disciplines run in sequence (docs/OBSERVABILITY.md "revload"):
+//
+//   - Closed loop: every worker issues its next request as soon as the
+//     previous one answers — one phase per message type (lookup, batch,
+//     snapshot, evidence upload), yielding per-type service latency and
+//     saturation throughput.
+//   - Open loop: lookups are dispatched on a fixed schedule at each
+//     offered rate, and latency is measured from the *intended* start
+//     time, so queueing delay under overload is charged to the server
+//     (coordinated-omission-aware), tracing out the throughput-vs-
+//     offered-load curve.
+//
+// Every remote lookup verdict is compared against a locally held copy
+// of the same snapshot — the harness is also an end-to-end byte-identity
+// check under concurrency. revload exits nonzero on any protocol error,
+// any identity mismatch, or an empty latency record, so CI can run it
+// as a load smoke test with no output parsing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rev/internal/chash"
+	"rev/internal/core"
+	"rev/internal/sigserve"
+	"rev/internal/sigtable"
+	"rev/internal/telemetry"
+	"rev/internal/workload"
+)
+
+// hostMeta pins the recording host, matching revbench's records.
+type hostMeta struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+}
+
+func hostInfo() hostMeta {
+	return hostMeta{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+}
+
+// loadConfig echoes the knobs a record was produced under.
+type loadConfig struct {
+	Addr       string  `json:"addr"` // "self-hosted" or the external endpoint
+	Bench      string  `json:"bench"`
+	Scale      float64 `json:"scale"`
+	Instrs     uint64  `json:"instrs"`
+	Tenants    int     `json:"tenants"`
+	Workers    int     `json:"workers_per_tenant"`
+	DurationS  float64 `json:"phase_seconds"`
+	DelayNS    int64   `json:"server_delay_ns"`
+	Seed       int64   `json:"seed"`
+	MaxVersion uint8   `json:"max_version"`
+}
+
+// phaseStats is one closed-loop phase's record.
+type phaseStats struct {
+	Type       string     `json:"type"`
+	Ops        uint64     `json:"ops"`
+	Errors     uint64     `json:"errors"`
+	Degraded   uint64     `json:"degraded"`
+	Checked    uint64     `json:"checked"`
+	Mismatches uint64     `json:"mismatches"`
+	Seconds    float64    `json:"wall_seconds"`
+	Throughput float64    `json:"ops_per_sec"`
+	Latency    latSummary `json:"latency"`
+}
+
+// ratePoint is one open-loop sweep point.
+type ratePoint struct {
+	OfferedOpsSec  float64    `json:"offered_ops_per_sec"`
+	AchievedOpsSec float64    `json:"achieved_ops_per_sec"`
+	Ops            uint64     `json:"ops"`
+	Errors         uint64     `json:"errors"`
+	Latency        latSummary `json:"latency"` // from intended start time
+}
+
+// loadRecord is the BENCH_load.json shape.
+type loadRecord struct {
+	Schema     string            `json:"schema"`
+	Host       hostMeta          `json:"host"`
+	Config     loadConfig        `json:"config"`
+	Negotiated uint8             `json:"negotiated_version"`
+	ClosedLoop []phaseStats      `json:"closed_loop"`
+	RateSweep  []ratePoint       `json:"rate_sweep,omitempty"`
+	Server     map[string]uint64 `json:"server_metrics,omitempty"` // self-hosted only
+}
+
+// tenantCtx is one simulated tenant: its own client, lookup-mode source,
+// and a locally held reference snapshot every remote verdict is checked
+// against.
+type tenantCtx struct {
+	name    string
+	c       *sigserve.Client
+	src     *sigserve.RemoteSource
+	module  string
+	ref     *sigtable.Snapshot
+	refWire []byte
+}
+
+func main() {
+	addr := flag.String("addr", "", "external revserved endpoint (empty = self-hosted in-process server)")
+	tenantFlag := flag.String("tenant", "default", "tenant namespace to use in external mode (self-hosted mode publishes load-<i> per tenant)")
+	bench := flag.String("bench", "bzip2", "workload whose tables the self-hosted server builds and serves")
+	scale := flag.Float64("scale", 0.03, "workload static-size scale for the self-hosted build")
+	instrs := flag.Uint64("instrs", 50_000, "profiling instruction budget for the self-hosted build")
+	tenants := flag.Int("tenants", 4, "concurrent simulated tenants")
+	workers := flag.Int("workers", 2, "closed-loop worker goroutines per tenant")
+	duration := flag.Duration("duration", 2*time.Second, "wall time per phase")
+	rates := flag.String("rates", "", "comma-separated offered lookup rates (ops/sec) for the open-loop sweep (empty = skip)")
+	delay := flag.Duration("delay", 0, "injected per-request service delay on the self-hosted server")
+	seed := flag.Int64("seed", 1, "query-stream seed (same seed = same query sequence)")
+	maxVersion := flag.Int("max-version", 0, "cap the protocol version the clients offer (0 = newest)")
+	jsonPath := flag.String("json", "", "write the load record (e.g. BENCH_load.json)")
+	flag.Parse()
+
+	cfg := loadConfig{
+		Addr: *addr, Bench: *bench, Scale: *scale, Instrs: *instrs,
+		Tenants: *tenants, Workers: *workers, DurationS: duration.Seconds(),
+		DelayNS: int64(*delay), Seed: *seed, MaxVersion: uint8(*maxVersion),
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "self-hosted"
+	}
+
+	// ---- server (self-hosted mode) -----------------------------------
+	var (
+		serverReg *telemetry.Registry
+		endpoint  = *addr
+		names     []string
+	)
+	if *addr == "" {
+		p, err := workload.ByName(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		rc := core.DefaultRunConfig()
+		rc.MaxInstrs = *instrs
+		ccfg := core.DefaultConfig()
+		ccfg.Format = sigtable.Normal
+		rc.REV = &ccfg
+		start := time.Now()
+		prep, err := core.Prepare(p.Scaled(*scale).Builder(), rc)
+		if err != nil {
+			fatal(err)
+		}
+		srv := sigserve.NewServer()
+		serverReg = telemetry.NewRegistry()
+		srv.Instrument(&telemetry.Set{Reg: serverReg})
+		srv.SetDelay(*delay)
+		for i := 0; i < *tenants; i++ {
+			name := fmt.Sprintf("load-%d", i)
+			names = append(names, name)
+			for _, st := range prep.Tables {
+				srv.Publish(name, st.Module, *st.Table, st.Snap)
+			}
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		go srv.Serve(ln)
+		defer srv.Close()
+		endpoint = ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "revload: self-hosted %s on %s (%d tenants, build %.2fs)\n",
+			*bench, endpoint, *tenants, time.Since(start).Seconds())
+	} else {
+		for i := 0; i < *tenants; i++ {
+			names = append(names, *tenantFlag)
+		}
+	}
+
+	// ---- tenant clients ----------------------------------------------
+	tcs := make([]*tenantCtx, *tenants)
+	for i, name := range names {
+		c, err := sigserve.NewClient(sigserve.ClientConfig{
+			Addr: endpoint, Tenant: name, LookupMode: true,
+			MaxVersion: uint8(*maxVersion),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer c.Close()
+		mods, err := c.Modules()
+		if err != nil {
+			fatal(fmt.Errorf("tenant %s: %w", name, err))
+		}
+		if len(mods) == 0 {
+			fatal(fmt.Errorf("tenant %s serves no modules", name))
+		}
+		module := mods[0].Table.Module
+		ref, _, _, err := c.FetchSnapshot(module)
+		if err != nil {
+			fatal(err)
+		}
+		src, err := c.Source(module)
+		if err != nil {
+			fatal(err)
+		}
+		tcs[i] = &tenantCtx{
+			name: name, c: c, src: src, module: module,
+			ref: ref, refWire: ref.AppendWire(nil),
+		}
+	}
+	rec := loadRecord{
+		Schema: "rev-load/v1", Host: hostInfo(), Config: cfg,
+		Negotiated: tcs[0].c.NegotiatedVersion(),
+	}
+
+	// ---- closed-loop phases ------------------------------------------
+	nw := *tenants * *workers
+	rec.ClosedLoop = append(rec.ClosedLoop,
+		closedLoop("lookup", nw, *duration, func(w int, rng *rand.Rand, h *hdrHist) outcome {
+			tc := tcs[w%len(tcs)]
+			end, sig := nextQuery(rng)
+			t0 := time.Now()
+			e, touched, err := tc.src.LookupAll(end, sig)
+			h.observe(time.Since(t0))
+			return verifyLookup(tc.ref, end, sig, e, touched, err)
+		}),
+		closedLoop("lookup_batch", nw, *duration, func(w int, rng *rand.Rand, h *hdrHist) outcome {
+			tc := tcs[w%len(tcs)]
+			reqs := make([]sigtable.BatchReq, 16)
+			for i := range reqs {
+				end, sig := nextQuery(rng)
+				reqs[i] = sigtable.BatchReq{End: end, Sig: sig}
+			}
+			t0 := time.Now()
+			res := tc.src.LookupBatch(reqs)
+			h.observe(time.Since(t0))
+			var out outcome
+			for i, r := range res {
+				if r.Err != nil && !sigtable.IsMiss(r.Err) {
+					out.errs++
+					continue
+				}
+				o := verifyLookup(tc.ref, reqs[i].End, reqs[i].Sig, r.Entry, r.Touched, r.Err)
+				out.checked += o.checked
+				out.mismatches += o.mismatches
+			}
+			return out
+		}),
+		closedLoop("snapshot", nw, *duration, func(w int, rng *rand.Rand, h *hdrHist) outcome {
+			tc := tcs[w%len(tcs)]
+			t0 := time.Now()
+			snap, _, _, err := tc.c.FetchSnapshot(tc.module)
+			h.observe(time.Since(t0))
+			if err != nil {
+				return outcome{errs: 1}
+			}
+			out := outcome{checked: 1}
+			if !wireEqual(snap.AppendWire(nil), tc.refWire) {
+				out.mismatches = 1
+			}
+			return out
+		}),
+		closedLoop("evidence_put", nw, *duration, func(w int, rng *rand.Rand, h *hdrHist) outcome {
+			tc := tcs[w%len(tcs)]
+			stream := make([]byte, 1024)
+			rng.Read(stream)
+			name := fmt.Sprintf("load-%d-%d", w, rng.Intn(8))
+			t0 := time.Now()
+			_, err := tc.c.UploadEvidence(name, stream)
+			h.observe(time.Since(t0))
+			if err != nil {
+				return outcome{errs: 1}
+			}
+			return outcome{}
+		}),
+	)
+	for i := range rec.ClosedLoop {
+		rec.ClosedLoop[i].Degraded = degradedDelta(tcs, i == 0)
+	}
+
+	// ---- open-loop rate sweep ----------------------------------------
+	if *rates != "" {
+		for _, part := range strings.Split(*rates, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil || r <= 0 {
+				fatal(fmt.Errorf("bad -rates entry %q", part))
+			}
+			rec.RateSweep = append(rec.RateSweep, openLoop(tcs, nw, r, *duration, *seed))
+		}
+	}
+
+	// ---- server-side accounting (self-hosted) ------------------------
+	if serverReg != nil {
+		snap := serverReg.Snapshot()
+		rec.Server = map[string]uint64{
+			"requests_total": snap.Counters["sigserve_server_requests_total"],
+			"errors_total":   snap.Counters["sigserve_server_errors_total"],
+			"tenant_rows":    uint64(snap.Gauges["sigserve_server_tenant_rows"]),
+		}
+	}
+
+	// ---- report + self-gate ------------------------------------------
+	for _, p := range rec.ClosedLoop {
+		fmt.Fprintf(os.Stderr, "revload: %-12s %8d ops %10.0f ops/s  p50 %s p99 %s  errs %d mism %d\n",
+			p.Type, p.Ops, p.Throughput, time.Duration(p.Latency.P50), time.Duration(p.Latency.P99),
+			p.Errors, p.Mismatches)
+	}
+	for _, r := range rec.RateSweep {
+		fmt.Fprintf(os.Stderr, "revload: offered %8.0f/s achieved %8.0f/s  p50 %s p99 %s  errs %d\n",
+			r.OfferedOpsSec, r.AchievedOpsSec, time.Duration(r.Latency.P50), time.Duration(r.Latency.P99), r.Errors)
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "revload: wrote %s\n", *jsonPath)
+	}
+	bad := false
+	for _, p := range rec.ClosedLoop {
+		if p.Errors > 0 || p.Mismatches > 0 {
+			fmt.Fprintf(os.Stderr, "revload: FAIL %s: %d errors, %d mismatches\n", p.Type, p.Errors, p.Mismatches)
+			bad = true
+		}
+		if p.Ops == 0 || p.Latency.P99 == 0 {
+			fmt.Fprintf(os.Stderr, "revload: FAIL %s: empty latency record (ops %d, p99 %d)\n", p.Type, p.Ops, p.Latency.P99)
+			bad = true
+		}
+	}
+	for _, r := range rec.RateSweep {
+		if r.Errors > 0 {
+			fmt.Fprintf(os.Stderr, "revload: FAIL sweep @%.0f/s: %d errors\n", r.OfferedOpsSec, r.Errors)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "revload:", err)
+	os.Exit(1)
+}
+
+// nextQuery draws one deterministic pseudo-random query. The stream is
+// miss-heavy on purpose: misses still walk the table spill chain (the
+// honest worst case) and verify byte-identically like hits do.
+func nextQuery(rng *rand.Rand) (uint64, chash.Sig) {
+	end := 0x400000 + uint64(rng.Int63n(1<<20))&^7
+	sig := chash.Sig(rng.Uint64())
+	return end, sig
+}
+
+// outcome is one operation's verification tally.
+type outcome struct {
+	errs       uint64
+	checked    uint64
+	mismatches uint64
+}
+
+// verifyLookup replays the query against the local reference snapshot
+// and compares verdicts field by field.
+func verifyLookup(ref *sigtable.Snapshot, end uint64, sig chash.Sig, e sigtable.Entry, touched []uint64, err error) outcome {
+	if err != nil && !sigtable.IsMiss(err) {
+		return outcome{errs: 1}
+	}
+	le, lt, lerr := ref.LookupAll(end, sig)
+	out := outcome{checked: 1}
+	if (err == nil) != (lerr == nil) ||
+		!u64Equal(touched, lt) ||
+		(err == nil && !entryEqual(e, le)) {
+		out.mismatches = 1
+	}
+	return out
+}
+
+func entryEqual(a, b sigtable.Entry) bool {
+	return a.End == b.End && a.Hash == b.Hash && a.Term == b.Term &&
+		u64Equal(a.Targets, b.Targets) && u64Equal(a.RetPreds, b.RetPreds)
+}
+
+func u64Equal(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func wireEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// degradedDelta sums the clients' degraded-lookup state; only sampled
+// once (after the lookup phase) since RemoteSource latches degradation.
+func degradedDelta(tcs []*tenantCtx, sample bool) uint64 {
+	if !sample {
+		return 0
+	}
+	var n uint64
+	for _, tc := range tcs {
+		if _, ok := tc.src.HealthNote(); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// closedLoop runs one phase: nw workers each looping op back to back for
+// dur, merging per-worker histograms and tallies at the end.
+func closedLoop(name string, nw int, dur time.Duration, op func(w int, rng *rand.Rand, h *hdrHist) outcome) phaseStats {
+	hists := make([]hdrHist, nw)
+	outs := make([]outcome, nw)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(dur)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+			for time.Now().Before(deadline) {
+				o := op(w, rng, &hists[w])
+				outs[w].errs += o.errs
+				outs[w].checked += o.checked
+				outs[w].mismatches += o.mismatches
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	var h hdrHist
+	var total outcome
+	for w := 0; w < nw; w++ {
+		h.merge(&hists[w])
+		total.errs += outs[w].errs
+		total.checked += outs[w].checked
+		total.mismatches += outs[w].mismatches
+	}
+	return phaseStats{
+		Type: name, Ops: h.count, Errors: total.errs,
+		Checked: total.checked, Mismatches: total.mismatches,
+		Seconds: wall, Throughput: float64(h.count) / wall,
+		Latency: h.summary(),
+	}
+}
+
+// openLoop dispatches lookups on a fixed schedule at rate ops/sec for
+// dur, measuring each operation's latency from its *intended* start
+// time: when the server (or the queue in front of it) falls behind, the
+// wait is charged to the measurement instead of silently stretching the
+// schedule (the coordinated-omission correction).
+func openLoop(tcs []*tenantCtx, nw int, rate float64, dur time.Duration, seed int64) ratePoint {
+	interval := time.Duration(float64(time.Second) / rate)
+	capacity := int(rate*dur.Seconds()) + nw + 1
+	queue := make(chan time.Time, capacity)
+	hists := make([]hdrHist, nw)
+	errs := make([]uint64, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed ^ int64(w+1)<<17))
+			tc := tcs[w%len(tcs)]
+			for intended := range queue {
+				end, sig := nextQuery(rng)
+				_, _, err := tc.src.LookupAll(end, sig)
+				hists[w].observe(time.Since(intended))
+				if err != nil && !sigtable.IsMiss(err) {
+					errs[w]++
+				}
+			}
+		}(w)
+	}
+	start := time.Now()
+	next := start
+	for next.Sub(start) < dur {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		queue <- next
+		next = next.Add(interval)
+	}
+	close(queue)
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	var h hdrHist
+	var e uint64
+	for w := 0; w < nw; w++ {
+		h.merge(&hists[w])
+		e += errs[w]
+	}
+	return ratePoint{
+		OfferedOpsSec:  rate,
+		AchievedOpsSec: float64(h.count) / wall,
+		Ops:            h.count,
+		Errors:         e,
+		Latency:        h.summary(),
+	}
+}

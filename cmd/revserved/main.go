@@ -25,6 +25,12 @@
 // evicting oldest-first under the -evidence-streams / -evidence-bytes
 // bounds, and revattest -fetch pulls a retained stream back for offline
 // verification (docs/EVIDENCE.md).
+//
+// SIGINT/SIGTERM drains gracefully: /readyz (on -debug-addr) flips to
+// 503 so load balancers route away, in-flight requests are answered
+// CodeShutdown, and the process waits up to -drain-timeout before
+// force-closing stragglers. -slow-log emits structured JSON lines for
+// requests over a threshold (docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -54,7 +60,11 @@ func main() {
 	delay := flag.Duration("delay", 0, "artificial per-request service delay (latency-ladder benchmarking)")
 	evStreams := flag.Int("evidence-streams", 0, "retained evidence streams per tenant (0 keeps the default; see docs/EVIDENCE.md)")
 	evBytes := flag.Int("evidence-bytes", 0, "per-stream evidence size cap in bytes (0 keeps the default)")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /readyz, /debug/vars and /debug/pprof on this address while running")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown grace: how long SIGINT/SIGTERM waits for in-flight connections before force-closing")
+	tenantRows := flag.Int("tenant-rows", 0, "per-tenant metric row cap before folding into _overflow (0 keeps the default)")
+	slowLog := flag.Duration("slow-log", 0, "log requests slower than this as JSON lines on stderr (0 disables)")
+	slowRate := flag.Int("slow-log-rate", 10, "max slow-request log lines per second (suppressed lines are counted)")
 	flag.Parse()
 
 	if *bench == "" {
@@ -80,9 +90,11 @@ func main() {
 
 	set := &telemetry.Set{Reg: telemetry.NewRegistry()}
 	srv := sigserve.NewServer()
+	srv.SetTenantRows(*tenantRows)
 	srv.Instrument(set)
 	srv.SetDelay(*delay)
 	srv.SetEvidenceRetention(*evStreams, *evBytes)
+	srv.SetSlowLog(os.Stderr, *slowLog, *slowRate)
 
 	rc := core.DefaultRunConfig()
 	rc.MaxInstrs = *instrs
@@ -113,7 +125,10 @@ func main() {
 	}
 
 	if *debugAddr != "" {
-		bound, _, err := telemetry.Serve(*debugAddr, set.Registry())
+		mux := telemetry.NewDebugMux(set.Registry())
+		mux.Handle("/healthz", srv.HealthzHandler())
+		mux.Handle("/readyz", srv.ReadyzHandler())
+		bound, _, err := telemetry.ServeHandler(*debugAddr, mux)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "revserved:", err)
 			os.Exit(1)
@@ -121,12 +136,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "revserved: debug endpoint on http://%s/metrics\n", bound)
 	}
 
-	sigc := make(chan os.Signal, 1)
+	// First signal drains gracefully: /readyz flips unhealthy, in-flight
+	// requests are answered CodeShutdown, and up to -drain-timeout is
+	// spent waiting for connections to finish. A second signal (or the
+	// deadline) force-closes.
+	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigc
-		fmt.Fprintln(os.Stderr, "revserved: shutting down")
-		srv.Close()
+		fmt.Fprintf(os.Stderr, "revserved: draining (up to %v; signal again to force)\n", *drainTimeout)
+		go func() {
+			<-sigc
+			fmt.Fprintln(os.Stderr, "revserved: force close")
+			srv.Close()
+		}()
+		srv.Shutdown(*drainTimeout)
 	}()
 
 	fmt.Fprintf(os.Stderr, "revserved: serving tenant %q on %s (delay %v)\n", *tenant, *listen, *delay)

@@ -48,6 +48,11 @@ type ClientConfig struct {
 	// BatchMax caps how many coalesced lookups ride one batch frame
 	// (default 64).
 	BatchMax int
+	// MaxVersion caps the protocol version offered in the Hello (default
+	// the package Version). Lowering it makes the client byte-identical
+	// to one built before the newer versions existed — the interop lever
+	// TestNegotiateDownByteIdentity pins and cmd/revload exposes.
+	MaxVersion uint8
 	// Telemetry attaches client metrics and trace spans
 	// (docs/OBSERVABILITY.md "sigserve metrics"). Nil disables.
 	Telemetry *telemetry.Set
@@ -87,6 +92,9 @@ func (c *ClientConfig) withDefaults() ClientConfig {
 	if out.BatchMax <= 0 {
 		out.BatchMax = 64
 	}
+	if out.MaxVersion == 0 || out.MaxVersion > Version {
+		out.MaxVersion = Version
+	}
 	return out
 }
 
@@ -115,9 +123,30 @@ type clientTelemetry struct {
 	degraded  *telemetry.Counter
 	breaker   *telemetry.Gauge
 	rtt       *telemetry.Histogram
+	queueWait *telemetry.Histogram
+
+	// track carries the client-side request spans. Spans are emitted
+	// from whichever goroutine completes a round trip — the dispatcher
+	// for channel-fed lookups, the caller for lookupMany and snapshot
+	// fetches — but Track is single-writer, so every emission is a
+	// pre-measured Complete under trackMu (held only for the ring
+	// append).
 	track     *telemetry.Track
+	trackMu   sync.Mutex
 	fetchName telemetry.NameID
 	sizeName  telemetry.NameID
+	queueName telemetry.NameID
+	traceArg  telemetry.NameID
+}
+
+// span emits one pre-measured client span tagged with the wire trace ID.
+func (ct *clientTelemetry) span(name telemetry.NameID, t0, durNS int64, traceID uint64) {
+	if ct == nil || ct.track == nil {
+		return
+	}
+	ct.trackMu.Lock()
+	ct.track.Complete(name, t0, durNS, ct.traceArg, traceID)
+	ct.trackMu.Unlock()
 }
 
 // Client is a resilient connection to one revserved tenant namespace:
@@ -137,6 +166,8 @@ type Client struct {
 	// (0 before first contact). Evidence methods require it to be at
 	// least VersionEvidence.
 	negotiated atomic.Uint32
+	// traceSeq feeds newTraceID when tracing is on.
+	traceSeq atomic.Uint64
 
 	mu     sync.Mutex
 	idle   []net.Conn
@@ -182,6 +213,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 			degraded:  reg.Counter("sigserve_client_degraded_lookups_total", "lookups served from the stale local cache"),
 			breaker:   reg.Gauge("sigserve_client_breaker_state", "circuit breaker state (0 closed, 1 open, 2 half-open)"),
 			rtt:       reg.Histogram("sigserve_client_rtt_ns", "request round-trip time, ns"),
+			queueWait: reg.Histogram("sigserve_client_queue_wait_ns", "lookup wait between enqueue and batch dispatch, ns"),
 		}
 	}
 	if rec := c.cfg.Telemetry.Recorder(); rec != nil {
@@ -198,6 +230,25 @@ func (c *Client) tel2init(rec *telemetry.Recorder) {
 	c.tel.track = rec.Track(c.cfg.Telemetry.TrackName("sigserve/client"))
 	c.tel.fetchName = rec.Name("remote-fetch")
 	c.tel.sizeName = rec.Name("batch")
+	c.tel.queueName = rec.Name("queue-wait")
+	c.tel.traceArg = rec.Name("trace")
+}
+
+// newTraceID mints the wire trace ID for one logical request: non-zero
+// only when tracing is attached, stable across that request's retries.
+// IDs only need to be unique within the trace window, so a scrambled
+// counter (splitmix64) is enough — no global randomness.
+func (c *Client) newTraceID() uint64 {
+	if c.tel == nil || c.tel.track == nil {
+		return 0
+	}
+	z := c.traceSeq.Add(1) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	if z = z ^ (z >> 31); z != 0 {
+		return z
+	}
+	return 1 // 0 means "untraced" on the wire
 }
 
 // Close tears down the dispatcher and every pooled connection. Lookups
@@ -236,8 +287,9 @@ func (c *Client) dial() (net.Conn, error) {
 		return nil, err
 	}
 	conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
-	hello := helloMsg{MinVersion: MinSupported, MaxVersion: Version, Tenant: c.cfg.Tenant}
-	if err := WriteFrame(conn, Frame{Version: Version, Type: MsgHello, ReqID: c.reqID.Add(1), Payload: hello.encode()}); err != nil {
+	max := c.cfg.MaxVersion
+	hello := helloMsg{MinVersion: MinSupported, MaxVersion: max, Tenant: c.cfg.Tenant}
+	if err := WriteFrame(conn, Frame{Version: max, Type: MsgHello, ReqID: c.reqID.Add(1), Payload: hello.encode()}); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -253,9 +305,9 @@ func (c *Client) dial() (net.Conn, error) {
 			conn.Close()
 			return nil, err
 		}
-		if w.Version < MinSupported || w.Version > Version {
+		if w.Version < MinSupported || w.Version > max {
 			conn.Close()
-			return nil, fmt.Errorf("sigserve: server chose version %d, client speaks [%d,%d]", w.Version, MinSupported, Version)
+			return nil, fmt.Errorf("sigserve: server chose version %d, client speaks [%d,%d]", w.Version, MinSupported, max)
 		}
 		c.negotiated.Store(uint32(w.Version))
 		c.observeEpoch(w.Epoch)
@@ -317,16 +369,25 @@ func (c *Client) backoff(n int) time.Duration {
 	return d + j
 }
 
-// roundTrip sends one request with the full resilience stack and returns
-// the matching response frame. A MsgError response is returned as a
-// *ServerError and counts as transport success for the breaker.
+// roundTrip sends one request with the full resilience stack, minting a
+// fresh trace ID when tracing is attached.
 func (c *Client) roundTrip(typ MsgType, payload []byte) (Frame, error) {
+	return c.roundTripTraced(typ, payload, c.newTraceID())
+}
+
+// roundTripTraced sends one request with the full resilience stack and
+// returns the matching response frame. A non-zero traceID rides the
+// request as the FlagTraced payload prefix (on VersionTrace
+// connections), stable across retries so client and server spans line
+// up. A MsgError response is returned as a *ServerError and counts as
+// transport success for the breaker.
+func (c *Client) roundTripTraced(typ MsgType, payload []byte, traceID uint64) (Frame, error) {
 	if err := c.br.Allow(); err != nil {
 		c.noteBreaker()
 		return Frame{}, fmt.Errorf("%w: %v", sigtable.ErrUnavailable, err)
 	}
 	start := time.Now()
-	f, err := c.attempts(typ, payload)
+	f, err := c.attempts(typ, payload, traceID)
 	ok := err == nil
 	if _, isServer := errAsServer(err); isServer {
 		ok = true // the server answered; the transport is healthy
@@ -351,7 +412,7 @@ func errAsServer(err error) (*ServerError, bool) {
 }
 
 // attempts runs the retry loop for one request.
-func (c *Client) attempts(typ MsgType, payload []byte) (Frame, error) {
+func (c *Client) attempts(typ MsgType, payload []byte, traceID uint64) (Frame, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
@@ -363,7 +424,7 @@ func (c *Client) attempts(typ MsgType, payload []byte) (Frame, error) {
 		if c.tel != nil && c.tel.requests != nil {
 			c.tel.requests.Inc()
 		}
-		f, err := c.once(typ, payload)
+		f, err := c.once(typ, payload, traceID)
 		if err == nil {
 			return f, nil
 		}
@@ -376,7 +437,10 @@ func (c *Client) attempts(typ MsgType, payload []byte) (Frame, error) {
 }
 
 // once performs a single request attempt over one pooled connection.
-func (c *Client) once(typ MsgType, payload []byte) (Frame, error) {
+// The trace ID only goes on the wire when the connection negotiated
+// VersionTrace — against older servers the frame stays byte-identical
+// to an untraced client's.
+func (c *Client) once(typ MsgType, payload []byte, traceID uint64) (Frame, error) {
 	conn, err := c.getConn()
 	if err != nil {
 		return Frame{}, err
@@ -386,9 +450,14 @@ func (c *Client) once(typ MsgType, payload []byte) (Frame, error) {
 	conn.SetDeadline(deadline)
 	ver := uint8(c.negotiated.Load())
 	if ver == 0 {
-		ver = Version
+		ver = c.cfg.MaxVersion
 	}
-	if err := WriteFrame(conn, Frame{Version: ver, Type: typ, ReqID: id, Payload: payload}); err != nil {
+	var flags uint16
+	if traceID != 0 && ver >= VersionTrace {
+		flags = FlagTraced
+		payload = withTrace(traceID, payload)
+	}
+	if err := WriteFrame(conn, Frame{Version: ver, Type: typ, Flags: flags, ReqID: id, Payload: payload}); err != nil {
 		conn.Close()
 		return Frame{}, err
 	}
@@ -587,11 +656,12 @@ func (c *Client) Modules() ([]ModuleMeta, error) {
 // an immutable local snapshot, returning it with its metadata and
 // publish epoch.
 func (c *Client) FetchSnapshot(module string) (*sigtable.Snapshot, sigtable.Table, uint64, error) {
+	traceID := c.newTraceID()
 	if c.tel != nil && c.tel.track != nil {
-		c.tel.track.Begin(c.tel.fetchName)
-		defer c.tel.track.End()
+		t0 := c.tel.track.Now()
+		defer func() { c.tel.span(c.tel.fetchName, t0, c.tel.track.Now()-t0, traceID) }()
 	}
-	f, err := c.roundTrip(MsgSnapshot, snapshotReq{Module: module}.encode())
+	f, err := c.roundTripTraced(MsgSnapshot, snapshotReq{Module: module}.encode(), traceID)
 	if err != nil {
 		return nil, sigtable.Table{}, 0, err
 	}
@@ -637,6 +707,9 @@ type pendingLookup struct {
 	done chan struct{}
 	res  lookupRes
 	err  error
+	// enq is when the owner registered the query (zero when telemetry
+	// is off); doBatch turns it into the queue-wait histogram and span.
+	enq time.Time
 }
 
 // lookup resolves one query remotely, coalescing with identical
@@ -657,6 +730,9 @@ func (c *Client) lookup(req lookupReq) (lookupRes, error) {
 		return p.res, p.err
 	}
 	p := &pendingLookup{key: key, req: req, done: make(chan struct{})}
+	if c.tel != nil {
+		p.enq = time.Now()
+	}
 	c.inflight[key] = p
 	c.inflightMu.Unlock()
 	select {
@@ -735,6 +811,9 @@ func (c *Client) lookupMany(reqs []lookupReq) ([]lookupRes, []error) {
 			continue
 		}
 		p := &pendingLookup{key: key, req: req, done: make(chan struct{})}
+		if c.tel != nil {
+			p.enq = time.Now()
+		}
 		c.inflight[key] = p
 		seen[key] = p
 		owned = append(owned, p)
@@ -766,7 +845,12 @@ func (c *Client) lookupMany(reqs []lookupReq) ([]lookupRes, []error) {
 }
 
 // doBatch performs one batch round trip and distributes the results.
+// It runs on the dispatcher goroutine for channel-fed lookups and on
+// the caller's goroutine for lookupMany, so all span emission goes
+// through the mutex-guarded clientTelemetry.span.
 func (c *Client) doBatch(batch []*pendingLookup) {
+	traceID := c.newTraceID()
+	now := time.Now()
 	if c.tel != nil {
 		if c.tel.batches != nil {
 			c.tel.batches.Inc()
@@ -774,16 +858,38 @@ func (c *Client) doBatch(batch []*pendingLookup) {
 		if c.tel.batchSize != nil {
 			c.tel.batchSize.Observe(uint64(len(batch)))
 		}
+		// Queue wait: enqueue-to-dispatch, per pending; the span covers
+		// the longest-waiting member so the trace shows the full stall.
+		var maxWait time.Duration
+		for _, p := range batch {
+			if p.enq.IsZero() {
+				continue
+			}
+			w := now.Sub(p.enq)
+			if w < 0 {
+				w = 0
+			}
+			if c.tel.queueWait != nil {
+				c.tel.queueWait.Observe(uint64(w))
+			}
+			if w > maxWait {
+				maxWait = w
+			}
+		}
 		if c.tel.track != nil {
-			c.tel.track.Begin(c.tel.fetchName)
-			defer func() { c.tel.track.EndArg(c.tel.sizeName, uint64(len(batch))) }()
+			if maxWait > 0 {
+				t1 := c.tel.track.Now()
+				c.tel.span(c.tel.queueName, t1-maxWait.Nanoseconds(), maxWait.Nanoseconds(), traceID)
+			}
+			t0 := c.tel.track.Now()
+			defer func() { c.tel.span(c.tel.fetchName, t0, c.tel.track.Now()-t0, traceID) }()
 		}
 	}
 	reqs := lookupBatch{Reqs: make([]lookupReq, len(batch))}
 	for i, p := range batch {
 		reqs.Reqs[i] = p.req
 	}
-	f, err := c.roundTrip(MsgLookupBatch, reqs.encode())
+	f, err := c.roundTripTraced(MsgLookupBatch, reqs.encode(), traceID)
 	if err != nil {
 		c.finish(batch, nil, err)
 		return

@@ -50,12 +50,12 @@ func Example_lookupRoundTrip() {
 	hexdump(resFrame)
 	// Output:
 	// request (MsgLookup, reqid 7):
-	// 0000  33 00 00 00 02 09 00 00 07 00 00 00 00 00 00 00
+	// 0000  33 00 00 00 03 09 00 00 07 00 00 00 00 00 00 00
 	// 0010  03 00 67 63 63 01 d8 40 00 00 00 00 00 00 b9 79
 	// 0020  37 9e 00 00 00 00 00 00 00 00 00 00 00 00 00 00
 	// 0030  00 00 00 00 00 00 00
 	// response (MsgLookupResult, reqid 7):
-	// 0000  3d 00 00 00 02 0a 00 00 07 00 00 00 00 00 00 00
+	// 0000  3d 00 00 00 03 0a 00 00 07 00 00 00 00 00 00 00
 	// 0010  00 02 00 40 00 30 00 00 00 00 00 58 03 30 00 00
 	// 0020  00 00 00 01 d8 40 00 00 00 00 00 00 b9 79 37 9e
 	// 0030  00 00 00 00 02 00 00 01 00 10 42 00 00 00 00 00

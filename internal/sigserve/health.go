@@ -1,0 +1,39 @@
+package sigserve
+
+import "net/http"
+
+// Health endpoints (docs/OBSERVABILITY.md "Health endpoints"). Mounted
+// by cmd/revserved on its debug mux as /healthz and /readyz; split so
+// an orchestrator can distinguish "restart me" (liveness failing) from
+// "stop routing to me" (readiness failing, e.g. during Shutdown drain).
+
+// HealthzHandler reports process liveness: it answers 200 for as long
+// as the process can serve HTTP at all, including while draining.
+func (s *Server) HealthzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+}
+
+// ReadyzHandler reports readiness to take new connections: 200 while
+// accepting, 503 before Serve and from the moment Shutdown or Close
+// begins (so load balancers drain away before connections are answered
+// with CodeShutdown).
+func (s *Server) ReadyzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.Ready() {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte("ok\n"))
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		if s.Draining() {
+			w.Write([]byte("draining\n"))
+		} else {
+			w.Write([]byte("not serving\n"))
+		}
+	})
+}

@@ -35,15 +35,32 @@ import (
 // (MsgWelcome.Version), and every later frame on the connection carries
 // the negotiated version. Version 2 added the evidence message family
 // (MsgEvidencePut..MsgEvidenceData); a version-1 connection answers
-// those with CodeBadRequest.
+// those with CodeBadRequest. Version 3 added wire-level request tracing
+// (FlagTraced + an 8-byte trace-ID payload prefix); the flag is only
+// interpreted on connections negotiated at or above VersionTrace, so a
+// v1/v2 connection's byte stream is identical to what the older
+// implementations produced (pinned by TestNegotiateDownByteIdentity).
 const (
-	Version      = 0x02
+	Version      = 0x03
 	MinSupported = 0x01
 	// VersionEvidence is the first version carrying the evidence
 	// messages; Client.UploadEvidence and friends require a connection
 	// negotiated at or above it.
 	VersionEvidence = 0x02
+	// VersionTrace is the first version carrying trace IDs. On a
+	// connection negotiated at or above it, a request frame with
+	// FlagTraced set prefixes its payload with an 8-byte trace ID that
+	// correlates the client-side and server-side spans of one request
+	// (docs/PROTOCOL.md "Request tracing").
+	VersionTrace = 0x03
 )
+
+// FlagTraced marks a frame whose payload begins with an 8-byte
+// little-endian trace ID (version >= VersionTrace connections only).
+// The flags field was reserved-as-zero in earlier versions, so setting
+// the bit on a v3 connection cannot be misread by this implementation's
+// v1/v2 handling — those code paths never inspect flags.
+const FlagTraced uint16 = 1 << 0
 
 // Frame header geometry (docs/PROTOCOL.md "Frame layout").
 const (
@@ -229,6 +246,33 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		}
 	}
 	return f, nil
+}
+
+// withTrace returns payload prefixed with the 8-byte little-endian
+// trace ID (the FlagTraced wire shape). The input slice is not aliased.
+func withTrace(id uint64, payload []byte) []byte {
+	out := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint64(out, id)
+	copy(out[8:], payload)
+	return out
+}
+
+// TakeTrace strips the FlagTraced trace-ID prefix from the frame's
+// payload when ver negotiated tracing and the flag is set. It returns
+// the trace ID and true, leaving f.Payload pointing at the logical
+// payload; ok=false with id 0 when the frame is untraced. A flagged
+// frame too short to hold the prefix returns ok=false with traced=true
+// so callers can answer CodeBadRequest.
+func (f *Frame) TakeTrace(ver uint8) (id uint64, ok, traced bool) {
+	if ver < VersionTrace || f.Flags&FlagTraced == 0 {
+		return 0, false, false
+	}
+	if len(f.Payload) < 8 {
+		return 0, false, true
+	}
+	id = binary.LittleEndian.Uint64(f.Payload)
+	f.Payload = f.Payload[8:]
+	return id, true, true
 }
 
 // ---- payload primitives ----------------------------------------------

@@ -2,6 +2,7 @@ package sigserve
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -58,6 +59,22 @@ type Server struct {
 	wg      sync.WaitGroup
 	epoch   atomic.Uint64
 
+	// draining flips on Shutdown: new Hellos and in-flight requests are
+	// answered with CodeShutdown, and ReadyzHandler reports 503 so load
+	// balancers stop routing here while retained connections finish.
+	draining atomic.Bool
+
+	// connSeq hands each connection a stable shard index for its
+	// tenant row's sharded request counter.
+	connSeq atomic.Uint64
+
+	// tenantRows bounds the per-tenant metric table cardinality; read
+	// by Instrument, so set it first (SetTenantRows).
+	tenantRows atomic.Int64
+
+	// slow is the structured slow-request logger (nil = disabled).
+	slow atomic.Pointer[slowLogger]
+
 	// Delay, when positive, is slept before serving each request — the
 	// benchmark harness's injected service latency (loopback ladder in
 	// EXPERIMENTS.md). Read atomically; adjustable while serving.
@@ -94,11 +111,32 @@ type serverTelemetry struct {
 	lookups     *telemetry.ShardedCounter
 	snapshots   *telemetry.Counter
 	latency     *telemetry.Histogram
+	bytesIn     *telemetry.Counter
+	bytesOut    *telemetry.Counter
 	conns       *telemetry.Gauge
 	swaps       *telemetry.Counter
 	evUploads   *telemetry.Counter
 	evEvictions *telemetry.Counter
 	evRetained  *telemetry.Gauge
+
+	// perType holds one handle-latency histogram per request type
+	// (compact index, see reqTypeIndex).
+	perType [numReqTypes]*telemetry.Histogram
+	// errCodes counts MsgError responses by wire error code (index =
+	// code; index 0 unused).
+	errCodes [9]*telemetry.Counter
+	// tenants is the bounded per-tenant metric row table.
+	tenants *tenantTab
+
+	// track carries server-side request spans. Connections are served
+	// on independent goroutines but Track is single-writer, so every
+	// Complete emission holds trackMu; spans are pre-measured, so the
+	// lock is held only for the ring append, never across a request.
+	track     *telemetry.Track
+	trackMu   sync.Mutex
+	spanNames [numReqTypes]telemetry.NameID
+	otherName telemetry.NameID
+	traceArg  telemetry.NameID
 }
 
 // NewServer returns an empty server. Attach telemetry with
@@ -111,6 +149,7 @@ func NewServer() *Server {
 	s.faultAfter.Store(-1)
 	s.evMaxStreams.Store(DefaultEvidenceStreams)
 	s.evMaxBytes.Store(DefaultEvidenceBytes)
+	s.tenantRows.Store(DefaultTenantRows)
 	return s
 }
 
@@ -127,7 +166,30 @@ func (s *Server) SetEvidenceRetention(streams int, maxBytes int) {
 	}
 }
 
-// Instrument registers the server's metrics in the Set's registry
+// SetTenantRows bounds the per-tenant metric table at n rows (tenants
+// beyond the bound fold into the "_overflow" row). Takes effect at the
+// next Instrument call, so set it first. n <= 0 keeps the default.
+func (s *Server) SetTenantRows(n int) {
+	if n > 0 {
+		s.tenantRows.Store(int64(n))
+	}
+}
+
+// SetSlowLog enables the structured slow-request log: any request whose
+// service time reaches threshold emits one JSON line to w, rate-limited
+// to perSec lines per wall-clock second (suppressed lines are counted
+// and reported on the next emitted line). A nil w or non-positive
+// threshold disables the log. Safe to call while serving.
+func (s *Server) SetSlowLog(w io.Writer, threshold time.Duration, perSec int) {
+	if w == nil || threshold <= 0 {
+		s.slow.Store(nil)
+		return
+	}
+	s.slow.Store(&slowLogger{w: w, threshold: threshold, perSec: perSec})
+}
+
+// Instrument registers the server's metrics in the Set's registry and,
+// when the Set carries a trace recorder, opens the server span track
 // (docs/OBSERVABILITY.md "sigserve metrics"). Safe to skip: an
 // uninstrumented server emits nothing.
 func (s *Server) Instrument(set *telemetry.Set) {
@@ -135,19 +197,54 @@ func (s *Server) Instrument(set *telemetry.Set) {
 	if reg == nil {
 		return
 	}
-	s.tel = &serverTelemetry{
+	st := &serverTelemetry{
 		requests:  reg.Counter("sigserve_server_requests_total", "wire requests served"),
 		errors:    reg.Counter("sigserve_server_errors_total", "requests answered with MsgError"),
 		lookups:   reg.Sharded("sigserve_server_lookups_total", "lookup requests served, sharded by tenant", 8),
 		snapshots: reg.Counter("sigserve_server_snapshots_total", "full snapshot fetches served"),
 		latency:   reg.Histogram("sigserve_server_request_ns", "request service time, ns"),
+		bytesIn:   reg.Counter("sigserve_server_bytes_in_total", "request bytes received, post-handshake"),
+		bytesOut:  reg.Counter("sigserve_server_bytes_out_total", "response bytes written, post-handshake"),
 		conns:     reg.Gauge("sigserve_server_connections", "live client connections"),
 		swaps:     reg.Counter("sigserve_server_hot_swaps_total", "table generations published over live serving"),
 
 		evUploads:   reg.Counter("sigserve_server_evidence_uploads_total", "evidence streams accepted"),
 		evEvictions: reg.Counter("sigserve_server_evidence_evictions_total", "evidence streams evicted by retention"),
 		evRetained:  reg.Gauge("sigserve_server_evidence_retained_bytes", "evidence bytes currently retained, all tenants"),
+
+		tenants: newTenantTab(reg, int(s.tenantRows.Load())),
 	}
+	for i, tn := range reqTypeNames {
+		st.perType[i] = reg.Histogram("sigserve_server_req."+tn+"_ns", tn+" service time, ns")
+	}
+	for code := ErrCode(1); code < ErrCode(len(st.errCodes)); code++ {
+		st.errCodes[code] = reg.Counter("sigserve_server_error."+code.String()+"_total",
+			"MsgError responses with code "+code.String())
+	}
+	if rec := set.Recorder(); rec != nil {
+		st.track = rec.Track(set.TrackName("sigserve/server"))
+		for i, tn := range reqTypeNames {
+			st.spanNames[i] = rec.Name("serve " + tn)
+		}
+		st.otherName = rec.Name("serve other")
+		st.traceArg = rec.Name("trace")
+	}
+	s.tel = st
+}
+
+// span emits one pre-measured server request span tagged with the
+// client's trace ID. Nil-safe on a missing track.
+func (st *serverTelemetry) span(typeIdx int, t0, durNS int64, traceID uint64) {
+	if st == nil || st.track == nil {
+		return
+	}
+	name := st.otherName
+	if typeIdx >= 0 {
+		name = st.spanNames[typeIdx]
+	}
+	st.trackMu.Lock()
+	st.track.Complete(name, t0, durNS, st.traceArg, traceID)
+	st.trackMu.Unlock()
 }
 
 // SetDelay installs an artificial per-request service delay (0 disables).
@@ -192,8 +289,8 @@ func (s *Server) Publish(tenantName, module string, tbl sigtable.Table, snap *si
 	return pub.epoch
 }
 
-// Serve accepts connections on ln until Close. It blocks; run it on its
-// own goroutine. Each connection is served concurrently.
+// Serve accepts connections on ln until Close or Shutdown. It blocks;
+// run it on its own goroutine. Each connection is served concurrently.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
@@ -208,7 +305,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			s.mu.Lock()
 			closed := s.closed
 			s.mu.Unlock()
-			if closed {
+			if closed || s.draining.Load() {
 				return nil
 			}
 			return err
@@ -235,7 +332,7 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(ln)
 }
 
-// Addr returns the listener address ("" before Serve).
+// Addr returns the listener address ("" before Serve or after Close).
 func (s *Server) Addr() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -245,22 +342,77 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
+// Ready reports whether the server is accepting and serving new
+// connections: a listener is attached and the server is neither closed
+// nor draining. This is the /readyz predicate.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ln != nil && !s.closed && !s.draining.Load()
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains the server gracefully: it stops accepting (Ready
+// flips false, so /readyz tells load balancers to route elsewhere),
+// answers every new Hello and every in-flight request with CodeShutdown
+// — the wire-spec "retry against another replica" signal — and waits up
+// to grace for connection goroutines to finish their current request.
+// Connections still open at the deadline (or immediately, when grace
+// <= 0) are force-closed. Idempotent with Close; the server cannot be
+// reused afterwards.
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	if grace > 0 {
+		done := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
+		tm := time.NewTimer(grace)
+		select {
+		case <-done:
+		case <-tm.C:
+		}
+		tm.Stop()
+	}
+	s.forceClose(false)
+	return err
+}
+
 // Close stops accepting, tears down live connections, and waits for
 // connection goroutines to drain.
 func (s *Server) Close() error {
+	return s.forceClose(true)
+}
+
+// forceClose is the shared teardown: mark closed, close the listener
+// (unless the caller already did), kill live connections, wait for
+// goroutines.
+func (s *Server) forceClose(closeLn bool) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.wg.Wait()
 		return nil
 	}
 	s.closed = true
 	ln := s.ln
+	s.ln = nil
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
 	var err error
-	if ln != nil {
+	if ln != nil && closeLn {
 		err = ln.Close()
 	}
 	s.wg.Wait()
@@ -273,6 +425,19 @@ func (s *Server) dropConn(conn net.Conn) {
 	delete(s.conns, conn)
 	s.mu.Unlock()
 	s.wg.Done()
+}
+
+// connState is one connection's fixed post-handshake context: the
+// negotiated version, the tenant, and the tenant's metric row — all
+// resolved once at handshake so the per-request path is map-free and
+// allocation-free.
+type connState struct {
+	conn       net.Conn
+	ver        uint8
+	t          *tenant
+	tenantName string
+	row        *tenantRow // nil when telemetry is disabled
+	shard      int        // this connection's cell in row.requests
 }
 
 // serveConn runs one connection: Hello/Welcome handshake, then a
@@ -291,30 +456,38 @@ func (s *Server) serveConn(conn net.Conn) {
 	if err != nil || f.Type != MsgHello {
 		return
 	}
+	cs := &connState{conn: conn, ver: Version}
 	hello, err := decodeHello(f.Payload)
 	if err != nil {
-		s.reply(conn, Version, f.ReqID, MsgError, errorMsg{Code: CodeBadRequest, Detail: err.Error()}.encode())
+		s.sendErr(cs, f.ReqID, CodeBadRequest, err.Error())
+		return
+	}
+	if s.draining.Load() {
+		s.sendErr(cs, f.ReqID, CodeShutdown, "server is draining; retry against another replica")
 		return
 	}
 	if hello.MinVersion > Version || hello.MaxVersion < MinSupported {
-		s.reply(conn, Version, f.ReqID, MsgError, errorMsg{
-			Code:   CodeBadVersion,
-			Detail: fmt.Sprintf("server speaks versions [%d,%d], client offered [%d,%d]", MinSupported, Version, hello.MinVersion, hello.MaxVersion),
-		}.encode())
+		s.sendErr(cs, f.ReqID, CodeBadVersion,
+			fmt.Sprintf("server speaks versions [%d,%d], client offered [%d,%d]", MinSupported, Version, hello.MinVersion, hello.MaxVersion))
 		return
 	}
-	ver := uint8(Version)
-	if hello.MaxVersion < ver {
-		ver = hello.MaxVersion
+	if hello.MaxVersion < cs.ver {
+		cs.ver = hello.MaxVersion
 	}
 	s.mu.Lock()
 	t := s.tenants[hello.Tenant]
 	s.mu.Unlock()
 	if t == nil {
-		s.reply(conn, ver, f.ReqID, MsgError, errorMsg{Code: CodeUnknownTenant, Detail: hello.Tenant}.encode())
+		s.sendErr(cs, f.ReqID, CodeUnknownTenant, hello.Tenant)
 		return
 	}
-	if !s.reply(conn, ver, f.ReqID, MsgWelcome, welcomeMsg{Version: ver, Epoch: s.epoch.Load()}.encode()) {
+	cs.t = t
+	cs.tenantName = hello.Tenant
+	cs.shard = int(s.connSeq.Add(1) % tenantRowShards)
+	if s.tel != nil {
+		cs.row = s.tel.tenants.row(hello.Tenant)
+	}
+	if !s.reply(cs, f.ReqID, MsgWelcome, welcomeMsg{Version: cs.ver, Epoch: s.epoch.Load()}.encode()) {
 		return
 	}
 
@@ -323,16 +496,32 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if !s.handle(conn, ver, t, hello.Tenant, f) {
+		if !s.handle(cs, f) {
 			return
 		}
 	}
 }
 
-// handle serves one post-handshake request on a connection negotiated
-// at version ver; false tears the connection down.
-func (s *Server) handle(conn net.Conn, ver uint8, t *tenant, tenantName string, f Frame) bool {
+// handle serves one post-handshake request; false tears the connection
+// down.
+func (s *Server) handle(cs *connState, f Frame) bool {
 	start := time.Now()
+	tel := s.tel
+	var t0 int64
+	if tel != nil {
+		t0 = tel.track.Now()
+	}
+	bytesIn := headerSize + len(f.Payload)
+	traceID, traceOK, traced := f.TakeTrace(cs.ver)
+	if traced && !traceOK {
+		return s.sendErr(cs, f.ReqID, CodeBadRequest, "FlagTraced frame shorter than a trace ID")
+	}
+	if s.draining.Load() {
+		// Answer, then drop the connection: the client must re-dial a
+		// replica that is not going away.
+		s.sendErr(cs, f.ReqID, CodeShutdown, "server is draining; retry against another replica")
+		return false
+	}
 	if d := s.delay.Load(); d > 0 {
 		time.Sleep(time.Duration(d))
 	}
@@ -342,97 +531,113 @@ func (s *Server) handle(conn net.Conn, ver uint8, t *tenant, tenantName string, 
 			return false          // drop mid-request, no response
 		}
 	}
-	if s.tel != nil {
-		s.tel.requests.Inc()
-		defer func() { s.tel.latency.Observe(uint64(time.Since(start))) }()
-	}
+	typeIdx := reqTypeIndex(f.Type)
+	defer func() {
+		dur := time.Since(start)
+		if tel != nil {
+			tel.requests.Inc()
+			tel.bytesIn.Add(uint64(bytesIn))
+			tel.latency.Observe(uint64(dur))
+			if typeIdx >= 0 {
+				tel.perType[typeIdx].Observe(uint64(dur))
+			}
+			cs.row.observe(typeIdx, cs.shard, bytesIn, uint64(dur))
+			if traceOK {
+				tel.span(typeIdx, t0, int64(dur), traceID)
+			}
+		}
+		if sl := s.slow.Load(); sl != nil {
+			sl.maybe(cs.tenantName, f.Type, f.ReqID, traceID, dur)
+		}
+	}()
 
 	switch f.Type {
 	case MsgPing:
-		return s.reply(conn, ver, f.ReqID, MsgPong, nil)
+		return s.reply(cs, f.ReqID, MsgPong, nil)
 
 	case MsgModules:
 		var list moduleListMsg
-		t.mu.RLock()
-		for _, slot := range t.modules {
+		cs.t.mu.RLock()
+		for _, slot := range cs.t.modules {
 			if pub := slot.Load(); pub != nil {
 				list.Modules = append(list.Modules, moduleInfo{Table: pub.table, Epoch: pub.epoch})
 			}
 		}
-		t.mu.RUnlock()
-		return s.reply(conn, ver, f.ReqID, MsgModuleList, list.encode())
+		cs.t.mu.RUnlock()
+		return s.reply(cs, f.ReqID, MsgModuleList, list.encode())
 
 	case MsgSnapshot:
 		req, err := decodeSnapshotReq(f.Payload)
 		if err != nil {
-			return s.sendErr(conn, ver, f.ReqID, CodeBadRequest, err.Error())
+			return s.sendErr(cs, f.ReqID, CodeBadRequest, err.Error())
 		}
-		slot := t.slot(req.Module)
+		slot := cs.t.slot(req.Module)
 		if slot == nil {
-			return s.sendErr(conn, ver, f.ReqID, CodeUnknownModule, req.Module)
+			return s.sendErr(cs, f.ReqID, CodeUnknownModule, req.Module)
 		}
 		pub := slot.Load()
-		if s.tel != nil {
-			s.tel.snapshots.Inc()
+		if tel != nil {
+			tel.snapshots.Inc()
 		}
-		return s.reply(conn, ver, f.ReqID, MsgSnapshotData,
+		return s.reply(cs, f.ReqID, MsgSnapshotData,
 			snapshotData{Table: pub.table, Epoch: pub.epoch, Recs: pub.wire}.encode())
 
 	case MsgLookup:
 		d := dec{b: f.Payload}
 		req := decodeLookupReq(&d)
 		if err := d.done(); err != nil {
-			return s.sendErr(conn, ver, f.ReqID, CodeBadRequest, err.Error())
+			return s.sendErr(cs, f.ReqID, CodeBadRequest, err.Error())
 		}
-		res, code, detail := s.lookup(t, tenantName, req)
+		res, code, detail := s.lookup(cs.t, cs.tenantName, req)
 		if code != 0 {
-			return s.sendErr(conn, ver, f.ReqID, code, detail)
+			return s.sendErr(cs, f.ReqID, code, detail)
 		}
 		var e enc
 		res.append(&e)
-		return s.reply(conn, ver, f.ReqID, MsgLookupResult, e.b)
+		return s.reply(cs, f.ReqID, MsgLookupResult, e.b)
 
 	case MsgLookupBatch:
 		batch, err := decodeLookupBatch(f.Payload)
 		if err != nil {
-			return s.sendErr(conn, ver, f.ReqID, CodeBadRequest, err.Error())
+			return s.sendErr(cs, f.ReqID, CodeBadRequest, err.Error())
 		}
 		out := lookupBatchRes{Res: make([]lookupRes, 0, len(batch.Reqs))}
 		for _, req := range batch.Reqs {
-			res, code, detail := s.lookup(t, tenantName, req)
+			res, code, detail := s.lookup(cs.t, cs.tenantName, req)
 			if code != 0 {
-				return s.sendErr(conn, ver, f.ReqID, code, detail)
+				return s.sendErr(cs, f.ReqID, code, detail)
 			}
 			out.Res = append(out.Res, res)
 		}
-		return s.reply(conn, ver, f.ReqID, MsgLookupBatchResult, out.encode())
+		return s.reply(cs, f.ReqID, MsgLookupBatchResult, out.encode())
 
 	case MsgEvidencePut, MsgEvidenceList, MsgEvidenceGet:
-		if ver < VersionEvidence {
-			return s.sendErr(conn, ver, f.ReqID, CodeBadRequest,
-				fmt.Sprintf("evidence messages need protocol version %d, connection negotiated %d", VersionEvidence, ver))
+		if cs.ver < VersionEvidence {
+			return s.sendErr(cs, f.ReqID, CodeBadRequest,
+				fmt.Sprintf("evidence messages need protocol version %d, connection negotiated %d", VersionEvidence, cs.ver))
 		}
-		return s.handleEvidence(conn, ver, t, f)
+		return s.handleEvidence(cs, f)
 
 	default:
-		return s.sendErr(conn, ver, f.ReqID, CodeBadRequest, fmt.Sprintf("unexpected message type %#x", uint8(f.Type)))
+		return s.sendErr(cs, f.ReqID, CodeBadRequest, fmt.Sprintf("unexpected message type %#x", uint8(f.Type)))
 	}
 }
 
 // handleEvidence serves the version-2 evidence message family against
 // the tenant's bounded retention store.
-func (s *Server) handleEvidence(conn net.Conn, ver uint8, t *tenant, f Frame) bool {
+func (s *Server) handleEvidence(cs *connState, f Frame) bool {
+	t := cs.t
 	switch f.Type {
 	case MsgEvidencePut:
 		put, err := decodeEvidencePut(f.Payload)
 		if err != nil {
-			return s.sendErr(conn, ver, f.ReqID, CodeBadRequest, err.Error())
+			return s.sendErr(cs, f.ReqID, CodeBadRequest, err.Error())
 		}
 		if put.Name == "" {
-			return s.sendErr(conn, ver, f.ReqID, CodeBadRequest, "evidence upload needs a name")
+			return s.sendErr(cs, f.ReqID, CodeBadRequest, "evidence upload needs a name")
 		}
 		if max := s.evMaxBytes.Load(); int64(len(put.Stream)) > max {
-			return s.sendErr(conn, ver, f.ReqID, CodeEvidenceTooLarge,
+			return s.sendErr(cs, f.ReqID, CodeEvidenceTooLarge,
 				fmt.Sprintf("stream is %d bytes, per-stream cap is %d", len(put.Stream), max))
 		}
 		evicted, delta := t.retainEvidence(put.Name, put.Stream, int(s.evMaxStreams.Load()))
@@ -441,7 +646,7 @@ func (s *Server) handleEvidence(conn net.Conn, ver uint8, t *tenant, f Frame) bo
 			s.tel.evEvictions.Add(uint64(evicted))
 			s.tel.evRetained.Add(delta)
 		}
-		return s.reply(conn, ver, f.ReqID, MsgEvidenceAck,
+		return s.reply(cs, f.ReqID, MsgEvidenceAck,
 			evidenceAckMsg{Bytes: uint64(len(put.Stream)), Evicted: uint32(evicted)}.encode())
 
 	case MsgEvidenceList:
@@ -451,20 +656,20 @@ func (s *Server) handleEvidence(conn net.Conn, ver uint8, t *tenant, f Frame) bo
 			cat.Streams = append(cat.Streams, evidenceInfo{Name: name, Bytes: uint64(len(t.evidence[name]))})
 		}
 		t.emu.Unlock()
-		return s.reply(conn, ver, f.ReqID, MsgEvidenceCatalog, cat.encode())
+		return s.reply(cs, f.ReqID, MsgEvidenceCatalog, cat.encode())
 
 	case MsgEvidenceGet:
 		get, err := decodeEvidenceGet(f.Payload)
 		if err != nil {
-			return s.sendErr(conn, ver, f.ReqID, CodeBadRequest, err.Error())
+			return s.sendErr(cs, f.ReqID, CodeBadRequest, err.Error())
 		}
 		t.emu.Lock()
 		stream, ok := t.evidence[get.Name]
 		t.emu.Unlock()
 		if !ok {
-			return s.sendErr(conn, ver, f.ReqID, CodeUnknownEvidence, get.Name)
+			return s.sendErr(cs, f.ReqID, CodeUnknownEvidence, get.Name)
 		}
-		return s.reply(conn, ver, f.ReqID, MsgEvidenceData, evidenceDataMsg{Stream: stream}.encode())
+		return s.reply(cs, f.ReqID, MsgEvidenceData, evidenceDataMsg{Stream: stream}.encode())
 	}
 	return false
 }
@@ -565,16 +770,26 @@ func (s *Server) lookup(t *tenant, tenantName string, req lookupReq) (lookupRes,
 }
 
 // reply writes one response frame at the connection's negotiated
-// version; false tears the connection down.
-func (s *Server) reply(conn net.Conn, ver uint8, reqID uint64, typ MsgType, payload []byte) bool {
-	if typ == MsgError && s.tel != nil {
-		s.tel.errors.Inc()
+// version; false tears the connection down. Response bytes and error
+// counts land on both the global and the tenant-row metrics.
+func (s *Server) reply(cs *connState, reqID uint64, typ MsgType, payload []byte) bool {
+	isErr := typ == MsgError
+	n := headerSize + len(payload)
+	if s.tel != nil {
+		if isErr {
+			s.tel.errors.Inc()
+		}
+		s.tel.bytesOut.Add(uint64(n))
 	}
-	return WriteFrame(conn, Frame{Version: ver, Type: typ, ReqID: reqID, Payload: payload}) == nil
+	cs.row.wrote(n, isErr)
+	return WriteFrame(cs.conn, Frame{Version: cs.ver, Type: typ, ReqID: reqID, Payload: payload}) == nil
 }
 
-func (s *Server) sendErr(conn net.Conn, ver uint8, reqID uint64, code ErrCode, detail string) bool {
-	return s.reply(conn, ver, reqID, MsgError, errorMsg{Code: code, Detail: detail}.encode())
+func (s *Server) sendErr(cs *connState, reqID uint64, code ErrCode, detail string) bool {
+	if s.tel != nil && int(code) > 0 && int(code) < len(s.tel.errCodes) {
+		s.tel.errCodes[code].Inc()
+	}
+	return s.reply(cs, reqID, MsgError, errorMsg{Code: code, Detail: detail}.encode())
 }
 
 // shardFor maps a tenant name onto a sharded-counter cell (FNV-1a).

@@ -1,0 +1,60 @@
+package sigserve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// slowLogger emits one structured JSON line per slow request
+// (Server.SetSlowLog). Emission is rate-limited per wall-clock second so
+// a latency storm cannot turn the log itself into the bottleneck;
+// suppressed lines are counted and the count rides along on the next
+// line that does get out.
+type slowLogger struct {
+	w         io.Writer
+	threshold time.Duration
+	perSec    int // max lines per second; <= 0 means unlimited
+
+	mu         sync.Mutex
+	sec        int64 // wall-clock second the counter belongs to
+	n          int   // lines emitted this second
+	suppressed uint64
+}
+
+// maybe logs the request if it crossed the threshold and the rate limit
+// has room. The write happens under the mutex: this is already the slow
+// path, and interleaved half-lines from concurrent connections would be
+// worse than the contention.
+func (l *slowLogger) maybe(tenant string, typ MsgType, reqID, traceID uint64, dur time.Duration) {
+	if dur < l.threshold {
+		return
+	}
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if sec := now.Unix(); sec != l.sec {
+		l.sec, l.n = sec, 0
+	}
+	if l.perSec > 0 && l.n >= l.perSec {
+		l.suppressed++
+		return
+	}
+	l.n++
+	sup := l.suppressed
+	l.suppressed = 0
+	fmt.Fprintf(l.w,
+		`{"ts":%q,"kind":"slow_request","tenant":%q,"msg":%q,"req_id":%d,"trace_id":"%016x","dur_ns":%d,"threshold_ns":%d,"suppressed":%d}`+"\n",
+		now.UTC().Format(time.RFC3339Nano), tenant, msgTypeName(typ), reqID, traceID,
+		dur.Nanoseconds(), l.threshold.Nanoseconds(), sup)
+}
+
+// msgTypeName renders a request type for logs (the compact-index name
+// when it has one, else the hex type byte).
+func msgTypeName(t MsgType) string {
+	if i := reqTypeIndex(t); i >= 0 {
+		return reqTypeNames[i]
+	}
+	return fmt.Sprintf("type_%#x", uint8(t))
+}

@@ -1,0 +1,186 @@
+package sigserve
+
+import (
+	"sync"
+
+	"rev/internal/telemetry"
+)
+
+// Per-tenant metrics (docs/OBSERVABILITY.md "Per-tenant server metrics").
+//
+// The server keys a small table of metric rows by tenant name so a
+// multi-tenant deployment can tell which namespace is driving load,
+// errors, or tail latency. Tenant names arrive on the wire, so the
+// table is cardinality-bounded: once TenantRows distinct names have
+// rows, every further name folds into one shared "_overflow" row and a
+// counter records how many distinct names were folded. Rows are
+// resolved once per connection at handshake (the tenant is fixed for a
+// connection's lifetime), so the per-request path touches only
+// preallocated atomic cells — no map lookups, no allocation.
+
+// DefaultTenantRows is the default cardinality bound for the per-tenant
+// metric table (see Server.SetTenantRows).
+const DefaultTenantRows = 64
+
+// OverflowTenant is the reserved row name that absorbs every tenant
+// beyond the cardinality bound.
+const OverflowTenant = "_overflow"
+
+// Request types that get per-tenant counters, in compact-index order.
+// numReqTypes must match reqTypeIndex below.
+const numReqTypes = 8
+
+// reqTypeNames maps the compact request-type index to its metric-name
+// suffix.
+var reqTypeNames = [numReqTypes]string{
+	"ping", "modules", "snapshot", "lookup",
+	"lookup_batch", "evidence_put", "evidence_list", "evidence_get",
+}
+
+// reqTypeIndex maps a request message type to its compact index
+// (-1 for responses and unknown types).
+func reqTypeIndex(t MsgType) int {
+	switch t {
+	case MsgPing:
+		return 0
+	case MsgModules:
+		return 1
+	case MsgSnapshot:
+		return 2
+	case MsgLookup:
+		return 3
+	case MsgLookupBatch:
+		return 4
+	case MsgEvidencePut:
+		return 5
+	case MsgEvidenceList:
+		return 6
+	case MsgEvidenceGet:
+		return 7
+	}
+	return -1
+}
+
+// tenantRow holds one tenant's metric handles. All fields are
+// registry-owned atomics, so a row resolved at handshake may be hit
+// from many connection goroutines without further synchronization.
+type tenantRow struct {
+	requests *telemetry.ShardedCounter
+	errors   *telemetry.Counter
+	bytesIn  *telemetry.Counter
+	bytesOut *telemetry.Counter
+	latency  *telemetry.Histogram
+	byType   [numReqTypes]*telemetry.Counter
+}
+
+// observe records one served request on the row (nil-safe: a nil row is
+// the disabled state).
+func (r *tenantRow) observe(typeIdx, shard int, bytesIn int, durNS uint64) {
+	if r == nil {
+		return
+	}
+	r.requests.Cell(shard).Inc()
+	r.bytesIn.Add(uint64(bytesIn))
+	r.latency.Observe(durNS)
+	if typeIdx >= 0 {
+		r.byType[typeIdx].Inc()
+	}
+}
+
+// wrote records response bytes (and whether the response was an error)
+// on the row.
+func (r *tenantRow) wrote(n int, isErr bool) {
+	if r == nil {
+		return
+	}
+	r.bytesOut.Add(uint64(n))
+	if isErr {
+		r.errors.Inc()
+	}
+}
+
+// tenantRowShards is the shard count for each row's request counter —
+// enough to keep a handful of connections per tenant from bouncing one
+// cache line, small enough that 64 rows stay cheap.
+const tenantRowShards = 8
+
+// tenantTab is the bounded tenant-name -> tenantRow table. Row creation
+// takes the write lock and registers metrics; the steady state is one
+// read-locked map hit per connection handshake.
+type tenantTab struct {
+	reg   *telemetry.Registry
+	limit int
+
+	// folded counts distinct tenant names that landed in the overflow
+	// row; rows gauges the live row count (overflow excluded).
+	folded *telemetry.Counter
+	rows   *telemetry.Gauge
+
+	mu   sync.RWMutex
+	tab  map[string]*tenantRow
+	over *tenantRow // lazily created overflow row
+}
+
+func newTenantTab(reg *telemetry.Registry, limit int) *tenantTab {
+	if limit <= 0 {
+		limit = DefaultTenantRows
+	}
+	return &tenantTab{
+		reg:    reg,
+		limit:  limit,
+		folded: reg.Counter("sigserve_server_tenant_rows_folded_total", "distinct tenant names folded into the _overflow row by the cardinality bound"),
+		rows:   reg.Gauge("sigserve_server_tenant_rows", "live per-tenant metric rows (excluding _overflow)"),
+		tab:    make(map[string]*tenantRow),
+	}
+}
+
+// row resolves (creating if needed) the metric row for a tenant name,
+// folding into the overflow row beyond the cardinality bound. Called
+// once per connection at handshake. Nil-safe: a nil table (telemetry
+// disabled) resolves to a nil row, and every row method is nil-safe.
+func (tt *tenantTab) row(name string) *tenantRow {
+	if tt == nil {
+		return nil
+	}
+	tt.mu.RLock()
+	r := tt.tab[name]
+	tt.mu.RUnlock()
+	if r != nil {
+		return r
+	}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	if r = tt.tab[name]; r != nil {
+		return r
+	}
+	if len(tt.tab) >= tt.limit || name == OverflowTenant {
+		if name != OverflowTenant {
+			tt.folded.Inc()
+		}
+		if tt.over == nil {
+			tt.over = tt.newRow(OverflowTenant)
+		}
+		return tt.over
+	}
+	r = tt.newRow(name)
+	tt.tab[name] = r
+	tt.rows.Add(1)
+	return r
+}
+
+// newRow registers one tenant's metric family. Metric names embed the
+// tenant (sanitized to Prometheus form at exposition by promName).
+func (tt *tenantTab) newRow(name string) *tenantRow {
+	p := "sigserve_tenant." + name + "."
+	r := &tenantRow{
+		requests: tt.reg.Sharded(p+"requests_total", "requests served for tenant "+name, tenantRowShards),
+		errors:   tt.reg.Counter(p+"errors_total", "requests answered with MsgError for tenant "+name),
+		bytesIn:  tt.reg.Counter(p+"bytes_in_total", "request bytes received for tenant "+name),
+		bytesOut: tt.reg.Counter(p+"bytes_out_total", "response bytes written for tenant "+name),
+		latency:  tt.reg.Histogram(p+"request_ns", "request service time for tenant "+name+", ns"),
+	}
+	for i, tn := range reqTypeNames {
+		r.byType[i] = tt.reg.Counter(p+"req."+tn+"_total", tn+" requests for tenant "+name)
+	}
+	return r
+}

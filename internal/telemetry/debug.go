@@ -32,12 +32,19 @@ var expvarOnce sync.Once
 // own goroutine; errors after startup are dropped (the endpoint is a
 // diagnostic aid, never load-bearing).
 func Serve(addr string, reg *Registry) (string, func() error, error) {
+	return ServeHandler(addr, NewDebugMux(reg))
+}
+
+// ServeHandler starts the debug endpoint on addr with a caller-supplied
+// handler — typically NewDebugMux extended with service-specific routes
+// (cmd/revserved mounts /healthz and /readyz this way). Same contract as
+// Serve.
+func ServeHandler(addr string, h http.Handler) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("telemetry: debug endpoint: %w", err)
 	}
-	mux := NewDebugMux(reg)
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{Handler: h}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
 }

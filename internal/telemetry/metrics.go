@@ -123,6 +123,88 @@ func (h *Histogram) Observe(v uint64) {
 	h.sum.Add(v)
 }
 
+// Quantile estimates the q-quantile of the observed values from the
+// power-of-two buckets: the bucket holding the rank-q observation is
+// found by a cumulative walk, then the value is linearly interpolated
+// inside the bucket's [lo, hi] range. The estimate is therefore exact
+// for q positions that land in bucket 0 (zeros) and within one
+// power-of-two bucket otherwise — good enough for latency p50/p99
+// monitoring, and allocation-free. q is clamped to [0, 1]; an empty (or
+// nil) histogram returns 0. Concurrent observers may tear count vs
+// bucket reads slightly; the walk tolerates that by clamping the rank
+// to the bucket mass it actually sees.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var counts [HistBuckets]uint64
+	var total uint64
+	for i := 0; i < HistBuckets; i++ {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	return quantileFromBuckets(q, total, func(yield func(i int, n uint64)) {
+		for i := 0; i < HistBuckets; i++ {
+			if counts[i] > 0 {
+				yield(i, counts[i])
+			}
+		}
+	})
+}
+
+// quantileFromBuckets is the shared rank-walk estimator behind
+// Histogram.Quantile and HistSnapshot.Quantile. buckets must yield
+// non-empty power-of-two buckets in ascending index order, where index
+// i covers [bucketLo(i), bucketBound(i)].
+func quantileFromBuckets(q float64, total uint64, buckets func(yield func(i int, n uint64))) float64 {
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// 1-based rank of the target observation under the "nearest-rank
+	// with interpolation" convention: q=0 is the first observation,
+	// q=1 the last.
+	rank := q * float64(total-1)
+	var cum uint64
+	out := 0.0
+	done := false
+	buckets(func(i int, n uint64) {
+		if done {
+			return
+		}
+		// Observations in this bucket occupy ranks [cum, cum+n-1].
+		if rank <= float64(cum+n-1) {
+			lo, hi := bucketLo(i), bucketBound(i)
+			frac := 0.0
+			if n > 1 {
+				frac = (rank - float64(cum)) / float64(n-1)
+			}
+			out = float64(lo) + frac*(float64(hi)-float64(lo))
+			done = true
+			return
+		}
+		cum += n
+		// Remember the last bucket's upper bound in case torn
+		// concurrent reads leave rank past the walked mass.
+		out = float64(bucketBound(i))
+	})
+	return out
+}
+
+// bucketLo returns bucket i's inclusive lower bound: 0 for the zero
+// bucket, else 2^(i-1) (the counterpart of bucketBound).
+func bucketLo(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return uint64(1) << (i - 1)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {

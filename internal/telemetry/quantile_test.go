@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileEmpty pins the empty and nil cases: no observations means
+// every quantile is 0, and a nil histogram is the disabled no-op.
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil Quantile = %v, want 0", got)
+	}
+	var hs HistSnapshot
+	if got := hs.Quantile(0.99); got != 0 {
+		t.Fatalf("empty snapshot Quantile = %v, want 0", got)
+	}
+}
+
+// TestQuantileSingleBucket pins the single-bucket case: when every
+// observation lands in one power-of-two bucket, every quantile estimate
+// must stay inside that bucket's [lo, hi] range and be monotone in q.
+func TestQuantileSingleBucket(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(100) // bucket [64, 127]
+	}
+	prev := -1.0
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 64 || got > 127 {
+			t.Fatalf("Quantile(%v) = %v, want within bucket [64,127]", q, got)
+		}
+		if got < prev {
+			t.Fatalf("Quantile(%v) = %v < Quantile at lower q %v: not monotone", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestQuantileZeroBucket pins the exact-zero bucket: zeros are exact,
+// not interpolated.
+func TestQuantileZeroBucket(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(0)
+	}
+	if got := h.Quantile(1); got != 0 {
+		t.Fatalf("all-zero Quantile(1) = %v, want 0", got)
+	}
+	// Half zeros, half large: the median splits the buckets.
+	h.Observe(1 << 20)
+	h.Observe(1 << 20)
+	h.Observe(1 << 20)
+	h.Observe(1 << 20)
+	h.Observe(1 << 20)
+	h.Observe(1 << 20)
+	h.Observe(1 << 20)
+	h.Observe(1 << 20)
+	h.Observe(1 << 20)
+	h.Observe(1 << 20)
+	if got := h.Quantile(0.25); got != 0 {
+		t.Fatalf("Quantile(0.25) = %v, want 0 (inside the zero bucket)", got)
+	}
+	if got := h.Quantile(0.9); got < 1<<19 {
+		t.Fatalf("Quantile(0.9) = %v, want inside the 2^20 bucket", got)
+	}
+}
+
+// TestQuantileOverflowBucket pins the top bucket (i = 64, upper bound
+// ^uint64(0)): huge observations neither clip nor overflow the
+// estimator's float math.
+func TestQuantileOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(^uint64(0))
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("Quantile(0) = %v, want 0", got)
+	}
+	got := h.Quantile(1)
+	if got < math.Ldexp(1, 63) {
+		t.Fatalf("Quantile(1) = %v, want >= 2^63 (inside the overflow bucket)", got)
+	}
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("Quantile(1) = %v, want finite", got)
+	}
+}
+
+// TestQuantileAccuracy pins the estimator's error bound on a uniform
+// stream: within one power-of-two bucket of the true quantile.
+func TestQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v <= 1024; v++ {
+		h.Observe(v)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 512}, {0.9, 922}, {0.99, 1014},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.want/2 || got > tc.want*2 {
+			t.Fatalf("Quantile(%v) = %v, want within 2x of %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileLiveMatchesSnapshot pins that the live estimator and the
+// snapshot-side one agree exactly on the same state (they share the
+// rank-walk), and that the snapshot exposes the standard quantiles.
+func TestQuantileLiveMatchesSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q.test_ns", "test")
+	for v := uint64(1); v <= 4096; v += 3 {
+		h.Observe(v)
+	}
+	snap := reg.Snapshot()
+	hs, ok := snap.Histograms["q.test_ns"]
+	if !ok {
+		t.Fatalf("histogram missing from snapshot")
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		live, snapQ := h.Quantile(q), hs.Quantile(q)
+		if live != snapQ {
+			t.Fatalf("Quantile(%v): live %v != snapshot %v", q, live, snapQ)
+		}
+	}
+	for _, k := range []string{"p50", "p90", "p99", "p999"} {
+		if v, ok := hs.Quantiles[k]; !ok || v <= 0 {
+			t.Fatalf("snapshot quantile %s = %v (present %v), want > 0", k, v, ok)
+		}
+	}
+}
+
+// TestQuantileMergeConsistency pins merge-then-quantile consistency:
+// folding two histograms' snapshot buckets together and asking for a
+// quantile gives the same answer as one histogram that observed the
+// union of both streams.
+func TestQuantileMergeConsistency(t *testing.T) {
+	regA, regB, regU := NewRegistry(), NewRegistry(), NewRegistry()
+	a := regA.Histogram("m", "")
+	b := regB.Histogram("m", "")
+	u := regU.Histogram("m", "")
+	for v := uint64(1); v <= 500; v++ {
+		a.Observe(v)
+		u.Observe(v)
+	}
+	for v := uint64(100_000); v <= 100_500; v++ {
+		b.Observe(v)
+		u.Observe(v)
+	}
+	sa := regA.Snapshot().Histograms["m"]
+	sb := regB.Snapshot().Histograms["m"]
+	merged := HistSnapshot{
+		Count:   sa.Count + sb.Count,
+		Sum:     sa.Sum + sb.Sum,
+		Buckets: map[uint64]uint64{},
+	}
+	for bd, n := range sa.Buckets {
+		merged.Buckets[bd] += n
+	}
+	for bd, n := range sb.Buckets {
+		merged.Buckets[bd] += n
+	}
+	su := regU.Snapshot().Histograms["m"]
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got, want := merged.Quantile(q), su.Quantile(q); got != want {
+			t.Fatalf("merged Quantile(%v) = %v, union observed %v", q, got, want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math/bits"
 	"sort"
 	"strings"
 	"time"
@@ -17,6 +18,11 @@ type HistSnapshot struct {
 	// Buckets maps the bucket upper bound to its count; empty buckets
 	// are omitted so snapshots stay small.
 	Buckets map[uint64]uint64 `json:"buckets,omitempty"`
+	// Quantiles carries the standard latency quantiles (p50/p90/p99/
+	// p999), estimated by HistSnapshot.Quantile at snapshot time so
+	// /metrics.json consumers get them without re-deriving the bucket
+	// walk.
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
 }
 
 // Mean returns sum/count (0 when empty).
@@ -25,6 +31,47 @@ func (h *HistSnapshot) Mean() float64 {
 		return 0
 	}
 	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile from the snapshot's buckets — the
+// same rank-walk-with-interpolation estimator as Histogram.Quantile, so
+// a quantile computed live and one computed from a snapshot of the same
+// state agree exactly. An empty snapshot returns 0.
+func (h *HistSnapshot) Quantile(q float64) float64 {
+	var total uint64
+	for _, n := range h.Buckets {
+		total += n
+	}
+	bounds := make([]uint64, 0, len(h.Buckets))
+	for b := range h.Buckets {
+		bounds = append(bounds, b)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	return quantileFromBuckets(q, total, func(yield func(i int, n uint64)) {
+		for _, b := range bounds {
+			yield(bucketIndex(b), h.Buckets[b])
+		}
+	})
+}
+
+// fillQuantiles computes the standard exposition quantiles (nil when
+// the snapshot is empty).
+func (h *HistSnapshot) fillQuantiles() {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return
+	}
+	h.Quantiles = map[string]float64{
+		"p50":  h.Quantile(0.50),
+		"p90":  h.Quantile(0.90),
+		"p99":  h.Quantile(0.99),
+		"p999": h.Quantile(0.999),
+	}
+}
+
+// bucketIndex inverts bucketBound: the bucket index whose inclusive
+// upper bound is b (0 for the zero bucket, else bits.Len64(b)).
+func bucketIndex(b uint64) int {
+	return bits.Len64(b)
 }
 
 // Snapshot is a point-in-time copy of a registry: every registered
@@ -86,6 +133,7 @@ func (r *Registry) Snapshot() *Snapshot {
 					hs.Buckets[bucketBound(b)] += n
 				}
 			}
+			hs.fillQuantiles()
 			s.Histograms[m.name] = hs
 		case kindSharded:
 			s.Counters[m.name] += m.s.Load()
@@ -147,6 +195,7 @@ func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 				dh.Buckets[b] = delta
 			}
 		}
+		dh.fillQuantiles()
 		d.Histograms[name] = dh
 	}
 	for name, cells := range s.Shards {

@@ -232,6 +232,22 @@ func (t *Track) EndArg(argName NameID, arg uint64) {
 	t.emit(event{ts: f.ts, dur: t.rec.Now() - f.ts, name: f.name, argN: argName, arg: arg, kind: evSpan})
 }
 
+// Complete emits one already-measured span (start and duration in
+// recorder-relative nanoseconds, as returned by Now) with an optional
+// named argument (argName = NoName omits it). Unlike Begin/End it does
+// not touch the open-span stack, so callers that serialize access to a
+// shared track with their own mutex — the sigserve client and server
+// wire paths, where several goroutines each complete whole request
+// spans — can emit without violating the single-writer contract. The
+// caller's mutex IS the synchronization; Complete itself stays
+// lock-free and allocation-free.
+func (t *Track) Complete(name NameID, startNS, durNS int64, argName NameID, arg uint64) {
+	if t == nil {
+		return
+	}
+	t.emit(event{ts: startNS, dur: durNS, name: name, argN: argName, arg: arg, kind: evSpan})
+}
+
 // Dropped returns how many events this track lost to ring wraparound or
 // span-stack overflow.
 func (t *Track) Dropped() uint64 {

@@ -12,7 +12,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-PKGS="internal/core internal/chash internal/sigserve internal/sigtable internal/fleet internal/telemetry internal/prefetch internal/evidence cmd/revattest cmd/revbench"
+PKGS="internal/core internal/chash internal/sigserve internal/sigtable internal/fleet internal/telemetry internal/prefetch internal/evidence cmd/revattest cmd/revbench cmd/revload"
 
 missing=$(
 	for pkg in $PKGS; do
