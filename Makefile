@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet doccheck race race-all test-race bench-smoke bench-figures bench-json bench-parallel bench-pipeline bench-scaling bench-telemetry bench-remote bench-prefetch bench-evidence bench-load profile clean
+.PHONY: all build test vet doccheck race race-all test-race bench-smoke bench-figures bench-json bench-parallel bench-pipeline bench-scaling bench-telemetry bench-remote bench-prefetch bench-evidence bench-load bench-load-sharded profile clean
 
 all: build vet test
 
@@ -114,6 +114,19 @@ bench-evidence:
 # shorter configuration of the same harness).
 bench-load:
 	$(GO) run ./cmd/revload -tenants 4 -workers 2 -duration 2s \
+		-rates 1000,4000,16000 -json BENCH_load.json
+
+# Regenerate the sharded section of the load record: the same harness
+# against an in-process 2-shard x 2-replica ring with per-shard
+# admission control, draining one shard halfway through. The record
+# gains a "sharded" block (ring config, drained shard, total admission
+# rejections) and the rate sweep shows the offered-vs-achieved collapse
+# once offered load passes plane capacity — rejections are counted
+# separately from errors, which must stay zero (the CI shard-identity
+# job runs a shorter configuration of the same harness).
+bench-load-sharded:
+	$(GO) run ./cmd/revload -shards 2 -replicas 2 -drain-one \
+		-admit-rate 4000 -tenants 4 -workers 2 -duration 2s \
 		-rates 1000,4000,16000 -json BENCH_load.json
 
 # CPU + allocation profiles of the fig6 harness (the per-block validation

@@ -11,6 +11,9 @@
 //	revload -addr 127.0.0.1:7415 -tenant default  # external revserved
 //	revload -rates 1000,4000,16000                # offered-load sweep
 //	revload -delay 1ms                            # injected service delay
+//	revload -shards 2 -replicas 2                 # sharded in-process plane
+//	revload -shards 2 -drain-one                  # graceful-failover drill
+//	revload -shards 2 -admit-rate 5000            # admission-control curve
 //
 // Two loop disciplines run in sequence (docs/OBSERVABILITY.md "revload"):
 //
@@ -29,10 +32,22 @@
 // check under concurrency. revload exits nonzero on any protocol error,
 // any identity mismatch, or an empty latency record, so CI can run it
 // as a load smoke test with no output parsing.
+//
+// With -shards N the self-hosted server becomes an in-process sharded
+// control plane: N servers share one consistent-hash ring, each tenant
+// client is handed its replica set in preference order, and every
+// invariant above still holds — verdicts and snapshots must stay
+// byte-identical at every shard and replica count. -drain-one
+// gracefully drains one shard mid-run to exercise replica failover
+// (the run must stay clean), and -admit-rate arms per-shard admission
+// control so the open-loop sweep traces the offered-vs-achieved curve
+// under backpressure: CodeOverloaded rejections are counted per sweep
+// point as "rejected", never as errors (docs/DEPLOYMENT.md).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -86,6 +101,7 @@ type phaseStats struct {
 	Type       string     `json:"type"`
 	Ops        uint64     `json:"ops"`
 	Errors     uint64     `json:"errors"`
+	Rejected   uint64     `json:"rejected,omitempty"`
 	Degraded   uint64     `json:"degraded"`
 	Checked    uint64     `json:"checked"`
 	Mismatches uint64     `json:"mismatches"`
@@ -94,13 +110,27 @@ type phaseStats struct {
 	Latency    latSummary `json:"latency"`
 }
 
-// ratePoint is one open-loop sweep point.
+// ratePoint is one open-loop sweep point. Rejected counts requests the
+// plane refused with CodeOverloaded (admission control): backpressure
+// is part of the measured curve, not a failure.
 type ratePoint struct {
 	OfferedOpsSec  float64    `json:"offered_ops_per_sec"`
 	AchievedOpsSec float64    `json:"achieved_ops_per_sec"`
 	Ops            uint64     `json:"ops"`
 	Errors         uint64     `json:"errors"`
+	Rejected       uint64     `json:"rejected,omitempty"`
 	Latency        latSummary `json:"latency"` // from intended start time
+}
+
+// shardedMeta records the sharded plane a run was measured against.
+type shardedMeta struct {
+	Shards        int    `json:"shards"`
+	Replicas      int    `json:"replicas"`
+	VNodes        int    `json:"vnodes"`
+	RingEpoch     uint64 `json:"ring_epoch"`
+	AdmitRate     int    `json:"admit_rate,omitempty"`
+	DrainedShard  string `json:"drained_shard,omitempty"`
+	RejectedTotal uint64 `json:"rejected_total"`
 }
 
 // loadRecord is the BENCH_load.json shape.
@@ -109,6 +139,7 @@ type loadRecord struct {
 	Host       hostMeta          `json:"host"`
 	Config     loadConfig        `json:"config"`
 	Negotiated uint8             `json:"negotiated_version"`
+	Sharded    *shardedMeta      `json:"sharded,omitempty"`
 	ClosedLoop []phaseStats      `json:"closed_loop"`
 	RateSweep  []ratePoint       `json:"rate_sweep,omitempty"`
 	Server     map[string]uint64 `json:"server_metrics,omitempty"` // self-hosted only
@@ -140,6 +171,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "query-stream seed (same seed = same query sequence)")
 	maxVersion := flag.Int("max-version", 0, "cap the protocol version the clients offer (0 = newest)")
 	jsonPath := flag.String("json", "", "write the load record (e.g. BENCH_load.json)")
+	shards := flag.Int("shards", 0, "self-hosted sharded plane: number of shard servers on one ring (0 = single unsharded server)")
+	replicasFlag := flag.Int("replicas", 0, "replica-set size per tenant namespace in sharded mode (0 = ring default)")
+	drainOne := flag.Bool("drain-one", false, "gracefully drain the last shard mid-run (sharded mode, needs replicas >= 2): failover must keep the run clean")
+	admitRate := flag.Int("admit-rate", 0, "arm per-shard admission control at this sustained rate (requests/sec, 0 = off)")
 	flag.Parse()
 
 	cfg := loadConfig{
@@ -153,9 +188,12 @@ func main() {
 
 	// ---- server (self-hosted mode) -----------------------------------
 	var (
-		serverReg *telemetry.Registry
-		endpoint  = *addr
-		names     []string
+		serverRegs []*telemetry.Registry
+		srvs       []*sigserve.Server
+		endpoint   = *addr
+		names      []string
+		addrsFor   func(name string) []string // sharded mode: replica set per tenant
+		shardMeta  *shardedMeta
 	)
 	if *addr == "" {
 		p, err := workload.ByName(*bench)
@@ -172,26 +210,97 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		srv := sigserve.NewServer()
-		serverReg = telemetry.NewRegistry()
-		srv.Instrument(&telemetry.Set{Reg: serverReg})
-		srv.SetDelay(*delay)
 		for i := 0; i < *tenants; i++ {
-			name := fmt.Sprintf("load-%d", i)
-			names = append(names, name)
-			for _, st := range prep.Tables {
-				srv.Publish(name, st.Module, *st.Table, st.Snap)
+			names = append(names, fmt.Sprintf("load-%d", i))
+		}
+		if *shards > 0 {
+			// Sharded plane: N servers on one ring, each publishing only
+			// the tenants the bounded-load placement assigns to it.
+			lns := make([]net.Listener, *shards)
+			nodes := make([]sigserve.RingNode, *shards)
+			for i := range lns {
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					fatal(err)
+				}
+				lns[i] = ln
+				nodes[i] = sigserve.RingNode{ID: fmt.Sprintf("shard-%d", i), Addr: ln.Addr().String()}
 			}
+			ring, err := sigserve.NewRing(nodes, sigserve.RingConfig{Replicas: *replicasFlag, Epoch: 1})
+			if err != nil {
+				fatal(err)
+			}
+			for i := range lns {
+				srv := sigserve.NewServer()
+				reg := telemetry.NewRegistry()
+				srv.Instrument(&telemetry.Set{Reg: reg})
+				srv.SetDelay(*delay)
+				srv.SetAdmission(*admitRate, 0)
+				if err := srv.SetRing(ring, nodes[i].ID, names); err != nil {
+					fatal(err)
+				}
+				for _, name := range names {
+					if !srv.Owns(name) {
+						continue
+					}
+					for _, st := range prep.Tables {
+						srv.Publish(name, st.Module, *st.Table, st.Snap)
+					}
+				}
+				go srv.Serve(lns[i])
+				srvs = append(srvs, srv)
+				serverRegs = append(serverRegs, reg)
+			}
+			addrsFor = func(name string) []string {
+				var out []string
+				for _, n := range ring.Replicas(name) {
+					out = append(out, n.Addr)
+				}
+				return out
+			}
+			rcfg := ring.Config()
+			shardMeta = &shardedMeta{
+				Shards: *shards, Replicas: rcfg.Replicas, VNodes: rcfg.VNodes,
+				RingEpoch: ring.Epoch(), AdmitRate: *admitRate,
+			}
+			fmt.Fprintf(os.Stderr, "revload: self-hosted %s on %d shards x %d replicas (%d tenants, build %.2fs)\n",
+				*bench, *shards, rcfg.Replicas, *tenants, time.Since(start).Seconds())
+			if *drainOne {
+				drain := srvs[len(srvs)-1]
+				shardMeta.DrainedShard = nodes[len(nodes)-1].ID
+				go func() {
+					time.Sleep(*duration / 2)
+					fmt.Fprintf(os.Stderr, "revload: draining shard %s mid-run\n", shardMeta.DrainedShard)
+					drain.Shutdown(5 * time.Second)
+				}()
+			}
+		} else {
+			srv := sigserve.NewServer()
+			reg := telemetry.NewRegistry()
+			srv.Instrument(&telemetry.Set{Reg: reg})
+			srv.SetDelay(*delay)
+			srv.SetAdmission(*admitRate, 0)
+			for _, name := range names {
+				for _, st := range prep.Tables {
+					srv.Publish(name, st.Module, *st.Table, st.Snap)
+				}
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fatal(err)
+			}
+			go srv.Serve(ln)
+			srvs = append(srvs, srv)
+			serverRegs = append(serverRegs, reg)
+			endpoint = ln.Addr().String()
+			fmt.Fprintf(os.Stderr, "revload: self-hosted %s on %s (%d tenants, build %.2fs)\n",
+				*bench, endpoint, *tenants, time.Since(start).Seconds())
 		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			fatal(err)
-		}
-		go srv.Serve(ln)
-		defer srv.Close()
-		endpoint = ln.Addr().String()
-		fmt.Fprintf(os.Stderr, "revload: self-hosted %s on %s (%d tenants, build %.2fs)\n",
-			*bench, endpoint, *tenants, time.Since(start).Seconds())
+		defer func() {
+			for _, s := range srvs {
+				s.Close()
+			}
+		}()
 	} else {
 		for i := 0; i < *tenants; i++ {
 			names = append(names, *tenantFlag)
@@ -201,10 +310,15 @@ func main() {
 	// ---- tenant clients ----------------------------------------------
 	tcs := make([]*tenantCtx, *tenants)
 	for i, name := range names {
-		c, err := sigserve.NewClient(sigserve.ClientConfig{
-			Addr: endpoint, Tenant: name, LookupMode: true,
-			MaxVersion: uint8(*maxVersion),
-		})
+		clcfg := sigserve.ClientConfig{
+			Tenant: name, LookupMode: true, MaxVersion: uint8(*maxVersion),
+		}
+		if addrsFor != nil {
+			clcfg.Addrs = addrsFor(name)
+		} else {
+			clcfg.Addr = endpoint
+		}
+		c, err := sigserve.NewClient(clcfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -259,7 +373,11 @@ func main() {
 			var out outcome
 			for i, r := range res {
 				if r.Err != nil && !sigtable.IsMiss(r.Err) {
-					out.errs++
+					if isOverloaded(r.Err) {
+						out.rejected++
+					} else {
+						out.errs++
+					}
 					continue
 				}
 				o := verifyLookup(tc.ref, reqs[i].End, reqs[i].Sig, r.Entry, r.Touched, r.Err)
@@ -274,6 +392,9 @@ func main() {
 			snap, _, _, err := tc.c.FetchSnapshot(tc.module)
 			h.observe(time.Since(t0))
 			if err != nil {
+				if isOverloaded(err) {
+					return outcome{rejected: 1}
+				}
 				return outcome{errs: 1}
 			}
 			out := outcome{checked: 1}
@@ -291,6 +412,9 @@ func main() {
 			_, err := tc.c.UploadEvidence(name, stream)
 			h.observe(time.Since(t0))
 			if err != nil {
+				if isOverloaded(err) {
+					return outcome{rejected: 1}
+				}
 				return outcome{errs: 1}
 			}
 			return outcome{}
@@ -307,29 +431,41 @@ func main() {
 			if err != nil || r <= 0 {
 				fatal(fmt.Errorf("bad -rates entry %q", part))
 			}
-			rec.RateSweep = append(rec.RateSweep, openLoop(tcs, nw, r, *duration, *seed))
+			before := rejectedTotal(serverRegs)
+			pt := openLoop(tcs, nw, r, *duration, *seed)
+			pt.Rejected = rejectedTotal(serverRegs) - before
+			rec.RateSweep = append(rec.RateSweep, pt)
 		}
 	}
 
 	// ---- server-side accounting (self-hosted) ------------------------
-	if serverReg != nil {
-		snap := serverReg.Snapshot()
-		rec.Server = map[string]uint64{
-			"requests_total": snap.Counters["sigserve_server_requests_total"],
-			"errors_total":   snap.Counters["sigserve_server_errors_total"],
-			"tenant_rows":    uint64(snap.Gauges["sigserve_server_tenant_rows"]),
+	if len(serverRegs) > 0 {
+		totals := map[string]uint64{}
+		var rows float64
+		for _, reg := range serverRegs {
+			snap := reg.Snapshot()
+			totals["requests_total"] += snap.Counters["sigserve_server_requests_total"]
+			totals["errors_total"] += snap.Counters["sigserve_server_errors_total"]
+			totals["admission_rejected_total"] += snap.Counters["sigserve_server_admission_rejected_total"]
+			rows += snap.Gauges["sigserve_server_tenant_rows"]
 		}
+		totals["tenant_rows"] = uint64(rows)
+		rec.Server = totals
+	}
+	if shardMeta != nil {
+		shardMeta.RejectedTotal = rejectedTotal(serverRegs)
+		rec.Sharded = shardMeta
 	}
 
 	// ---- report + self-gate ------------------------------------------
 	for _, p := range rec.ClosedLoop {
-		fmt.Fprintf(os.Stderr, "revload: %-12s %8d ops %10.0f ops/s  p50 %s p99 %s  errs %d mism %d\n",
+		fmt.Fprintf(os.Stderr, "revload: %-12s %8d ops %10.0f ops/s  p50 %s p99 %s  errs %d rej %d mism %d\n",
 			p.Type, p.Ops, p.Throughput, time.Duration(p.Latency.P50), time.Duration(p.Latency.P99),
-			p.Errors, p.Mismatches)
+			p.Errors, p.Rejected, p.Mismatches)
 	}
 	for _, r := range rec.RateSweep {
-		fmt.Fprintf(os.Stderr, "revload: offered %8.0f/s achieved %8.0f/s  p50 %s p99 %s  errs %d\n",
-			r.OfferedOpsSec, r.AchievedOpsSec, time.Duration(r.Latency.P50), time.Duration(r.Latency.P99), r.Errors)
+		fmt.Fprintf(os.Stderr, "revload: offered %8.0f/s achieved %8.0f/s  p50 %s p99 %s  errs %d rej %d\n",
+			r.OfferedOpsSec, r.AchievedOpsSec, time.Duration(r.Latency.P50), time.Duration(r.Latency.P99), r.Errors, r.Rejected)
 	}
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(rec, "", "  ")
@@ -369,6 +505,16 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// rejectedTotal sums admission-control rejections across the
+// self-hosted shard registries (0 in external mode).
+func rejectedTotal(regs []*telemetry.Registry) uint64 {
+	var n uint64
+	for _, reg := range regs {
+		n += reg.Snapshot().Counters["sigserve_server_admission_rejected_total"]
+	}
+	return n
+}
+
 // nextQuery draws one deterministic pseudo-random query. The stream is
 // miss-heavy on purpose: misses still walk the table spill chain (the
 // honest worst case) and verify byte-identically like hits do.
@@ -381,8 +527,17 @@ func nextQuery(rng *rand.Rand) (uint64, chash.Sig) {
 // outcome is one operation's verification tally.
 type outcome struct {
 	errs       uint64
+	rejected   uint64
 	checked    uint64
 	mismatches uint64
+}
+
+// isOverloaded reports whether an error is the plane's admission
+// control saying "later" (CodeOverloaded) — measured backpressure, not
+// a failure.
+func isOverloaded(err error) bool {
+	var se *sigserve.ServerError
+	return errors.As(err, &se) && se.Code == sigserve.CodeOverloaded
 }
 
 // verifyLookup replays the query against the local reference snapshot
@@ -461,6 +616,7 @@ func closedLoop(name string, nw int, dur time.Duration, op func(w int, rng *rand
 			for time.Now().Before(deadline) {
 				o := op(w, rng, &hists[w])
 				outs[w].errs += o.errs
+				outs[w].rejected += o.rejected
 				outs[w].checked += o.checked
 				outs[w].mismatches += o.mismatches
 			}
@@ -473,11 +629,12 @@ func closedLoop(name string, nw int, dur time.Duration, op func(w int, rng *rand
 	for w := 0; w < nw; w++ {
 		h.merge(&hists[w])
 		total.errs += outs[w].errs
+		total.rejected += outs[w].rejected
 		total.checked += outs[w].checked
 		total.mismatches += outs[w].mismatches
 	}
 	return phaseStats{
-		Type: name, Ops: h.count, Errors: total.errs,
+		Type: name, Ops: h.count, Errors: total.errs, Rejected: total.rejected,
 		Checked: total.checked, Mismatches: total.mismatches,
 		Seconds: wall, Throughput: float64(h.count) / wall,
 		Latency: h.summary(),

@@ -31,6 +31,21 @@
 // CodeShutdown, and the process waits up to -drain-timeout before
 // force-closing stragglers. -slow-log emits structured JSON lines for
 // requests over a threshold (docs/OBSERVABILITY.md).
+//
+// A sharded control plane is N revserved processes sharing one -ring:
+//
+//	revserved -bench gcc -tenant team-a,team-b \
+//	    -listen 127.0.0.1:7415 \
+//	    -ring a=127.0.0.1:7415,b=127.0.0.1:7416 -ring-self a
+//
+// Every process is started with the identical -ring / -ring-epoch /
+// -replicas / -vnodes and the identical (comma-separated) -tenant
+// universe; each computes the same bounded-load placement, publishes
+// tables only for the namespaces it owns, and refuses the rest with
+// CodeWrongShard redirects naming the owner (docs/DEPLOYMENT.md walks
+// through the full topology). -admit-rate arms per-shard admission
+// control: load beyond it answers CodeOverloaded with a retry-after
+// hint instead of queueing.
 package main
 
 import (
@@ -65,6 +80,13 @@ func main() {
 	tenantRows := flag.Int("tenant-rows", 0, "per-tenant metric row cap before folding into _overflow (0 keeps the default)")
 	slowLog := flag.Duration("slow-log", 0, "log requests slower than this as JSON lines on stderr (0 disables)")
 	slowRate := flag.Int("slow-log-rate", 10, "max slow-request log lines per second (suppressed lines are counted)")
+	ring := flag.String("ring", "", "control-plane membership as id=addr pairs, comma separated; every shard must be started with the identical list (docs/DEPLOYMENT.md)")
+	ringSelf := flag.String("ring-self", "", "this process's shard id in -ring (required with -ring)")
+	ringEpoch := flag.Uint64("ring-epoch", 1, "topology generation; bump on every membership change, identically on every shard")
+	replicas := flag.Int("replicas", 0, "replica-set size per tenant namespace (0 keeps the ring default)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the ring (0 keeps the ring default)")
+	admitRate := flag.Int("admit-rate", 0, "admission control: sustained requests/second this shard accepts before answering CodeOverloaded (0 disables)")
+	admitBurst := flag.Int("admit-burst", 0, "admission burst allowance in requests (0 defaults to -admit-rate)")
 	flag.Parse()
 
 	if *bench == "" {
@@ -87,6 +109,12 @@ func main() {
 			names = append(names, strings.TrimSpace(n))
 		}
 	}
+	var tenants []string
+	for _, tn := range strings.Split(*tenant, ",") {
+		if tn = strings.TrimSpace(tn); tn != "" {
+			tenants = append(tenants, tn)
+		}
+	}
 
 	set := &telemetry.Set{Reg: telemetry.NewRegistry()}
 	srv := sigserve.NewServer()
@@ -95,6 +123,39 @@ func main() {
 	srv.SetDelay(*delay)
 	srv.SetEvidenceRetention(*evStreams, *evBytes)
 	srv.SetSlowLog(os.Stderr, *slowLog, *slowRate)
+	srv.SetAdmission(*admitRate, *admitBurst)
+
+	if *ring != "" {
+		nodes, err := parseRing(*ring)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "revserved:", err)
+			os.Exit(2)
+		}
+		r, err := sigserve.NewRing(nodes, sigserve.RingConfig{
+			VNodes:   *vnodes,
+			Replicas: *replicas,
+			Epoch:    *ringEpoch,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "revserved:", err)
+			os.Exit(2)
+		}
+		if err := srv.SetRing(r, *ringSelf, tenants); err != nil {
+			fmt.Fprintln(os.Stderr, "revserved:", err)
+			os.Exit(2)
+		}
+	}
+	// A sharded process publishes only the namespaces the ring placed on
+	// it; the unsharded single-server case owns everything.
+	var owned []string
+	for _, tn := range tenants {
+		if srv.Owns(tn) {
+			owned = append(owned, tn)
+		}
+	}
+	if len(owned) == 0 {
+		fmt.Fprintf(os.Stderr, "revserved: shard %q owns none of the configured tenants; serving topology only\n", *ringSelf)
+	}
 
 	rc := core.DefaultRunConfig()
 	rc.MaxInstrs = *instrs
@@ -116,11 +177,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "revserved: preparing %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		for _, st := range prep.Tables {
-			epoch := srv.Publish(*tenant, st.Module, *st.Table, st.Snap)
-			fmt.Fprintf(os.Stderr, "revserved: published %s/%s epoch %d (%s, %d records, %d bytes) in %.2fs\n",
-				*tenant, st.Module, epoch, st.Table.Format, st.Table.Records, st.Table.Size,
-				time.Since(start).Seconds())
+		for _, tn := range owned {
+			for _, st := range prep.Tables {
+				epoch := srv.Publish(tn, st.Module, *st.Table, st.Snap)
+				fmt.Fprintf(os.Stderr, "revserved: published %s/%s epoch %d (%s, %d records, %d bytes) in %.2fs\n",
+					tn, st.Module, epoch, st.Table.Format, st.Table.Records, st.Table.Size,
+					time.Since(start).Seconds())
+			}
 		}
 	}
 
@@ -153,11 +216,36 @@ func main() {
 		srv.Shutdown(*drainTimeout)
 	}()
 
-	fmt.Fprintf(os.Stderr, "revserved: serving tenant %q on %s (delay %v)\n", *tenant, *listen, *delay)
+	if *ring != "" {
+		fmt.Fprintf(os.Stderr, "revserved: shard %q (ring epoch %d) serving tenants %q on %s (delay %v)\n",
+			*ringSelf, srv.RingEpoch(), strings.Join(owned, ","), *listen, *delay)
+	} else {
+		fmt.Fprintf(os.Stderr, "revserved: serving tenant %q on %s (delay %v)\n", *tenant, *listen, *delay)
+	}
 	if err := srv.ListenAndServe(*listen); err != nil {
 		fmt.Fprintln(os.Stderr, "revserved:", err)
 		os.Exit(1)
 	}
+}
+
+// parseRing parses -ring's "id=addr,id=addr" membership list.
+func parseRing(s string) ([]sigserve.RingNode, error) {
+	var nodes []sigserve.RingNode
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -ring entry %q (want id=addr)", part)
+		}
+		nodes = append(nodes, sigserve.RingNode{ID: id, Addr: addr})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("-ring is empty")
+	}
+	return nodes, nil
 }
 
 func parseFormat(s string) (sigtable.Format, error) {

@@ -15,8 +15,18 @@ import (
 // ClientConfig tunes the resilient client. The zero value of every field
 // is replaced by the default documented on it.
 type ClientConfig struct {
-	// Addr is the revserved endpoint ("host:port"). Required.
+	// Addr is the revserved endpoint ("host:port"). Required unless
+	// Addrs is set (Addr then defaults to Addrs[0]).
 	Addr string
+	// Addrs is the replica set for the tenant in preference order
+	// (ring.Replicas). The client sends every request to the first
+	// endpoint whose breaker admits it and fails over down the list on
+	// transport failure or CodeShutdown. Empty means just Addr.
+	Addrs []string
+	// MaxRedirects bounds how many CodeWrongShard redirects one request
+	// follows before surfacing the error (default 3; guards against
+	// mutually-misconfigured shards bouncing a tenant forever).
+	MaxRedirects int
 	// Tenant names the module namespace to bind (default "default").
 	Tenant string
 	// LookupMode, when true, serves engine lookups by remote per-entry
@@ -63,6 +73,15 @@ func (c *ClientConfig) withDefaults() ClientConfig {
 	if out.Tenant == "" {
 		out.Tenant = "default"
 	}
+	if len(out.Addrs) == 0 {
+		out.Addrs = []string{out.Addr}
+	}
+	if out.Addr == "" {
+		out.Addr = out.Addrs[0]
+	}
+	if out.MaxRedirects <= 0 {
+		out.MaxRedirects = 3
+	}
 	if out.DialTimeout <= 0 {
 		out.DialTimeout = 2 * time.Second
 	}
@@ -104,6 +123,21 @@ func (c *ClientConfig) withDefaults() ClientConfig {
 type ServerError struct {
 	Code   ErrCode
 	Detail string
+	// RetryAfterMillis echoes the CodeOverloaded backpressure hint
+	// (0 when the server sent none).
+	RetryAfterMillis uint32
+	// Owner echoes the CodeWrongShard owner-address hint.
+	Owner string
+	// RingEpoch echoes the server's topology generation at rejection.
+	RingEpoch uint64
+}
+
+// asServerError converts a decoded errorMsg, hints included.
+func asServerError(e errorMsg) *ServerError {
+	return &ServerError{
+		Code: e.Code, Detail: e.Detail,
+		RetryAfterMillis: e.RetryAfterMillis, Owner: e.Owner, RingEpoch: e.RingEpoch,
+	}
 }
 
 // Error renders the server's code and detail string.
@@ -149,19 +183,36 @@ func (ct *clientTelemetry) span(name telemetry.NameID, t0, durNS int64, traceID 
 	ct.trackMu.Unlock()
 }
 
+// endpoint is one replica the client can reach: its address, its own
+// circuit breaker, its own idle-connection pool, and a drain mark set
+// when the replica answered CodeShutdown (skipped until the mark
+// expires, so failover sticks while a shard restarts).
+type endpoint struct {
+	addr string
+	br   *breaker
+
+	mu           sync.Mutex
+	idle         []net.Conn
+	drainedUntil time.Time
+}
+
 // Client is a resilient connection to one revserved tenant namespace:
-// pooled connections, per-request deadlines, retries with exponential
-// backoff and jitter, a circuit breaker, and a batching dispatcher that
-// coalesces concurrent identical lookups. Safe for concurrent use by any
-// number of engines.
+// per-endpoint pooled connections and circuit breakers, replica
+// failover in preference order, per-request deadlines, retries with
+// exponential backoff and jitter, and a batching dispatcher that
+// coalesces concurrent identical lookups. Safe for concurrent use by
+// any number of engines.
 type Client struct {
 	cfg   ClientConfig
-	br    *breaker
 	reqID atomic.Uint64
 	// serverEpoch is the highest table generation any response has
 	// reported; RemoteSource compares it with its cache epoch to mark
 	// degraded verdicts stale.
 	serverEpoch atomic.Uint64
+	// ringEpoch is the newest topology generation any Welcome, error
+	// hint, or topology response has reported; it rides outgoing Hellos
+	// so servers can spot a stale-ring client.
+	ringEpoch atomic.Uint64
 	// negotiated is the protocol version the server's Welcome chose
 	// (0 before first contact). Evidence methods require it to be at
 	// least VersionEvidence.
@@ -169,8 +220,11 @@ type Client struct {
 	// traceSeq feeds newTraceID when tracing is on.
 	traceSeq atomic.Uint64
 
-	mu     sync.Mutex
-	idle   []net.Conn
+	// eps is the endpoint preference list: the configured replica set,
+	// reordered when a CodeWrongShard redirect promotes the true owner
+	// to the front. epMu guards the slice, not the endpoints.
+	epMu   sync.Mutex
+	eps    []*endpoint
 	closed bool
 
 	jmu sync.Mutex
@@ -190,8 +244,8 @@ type Client struct {
 // NewClient builds a client. No connection is made until the first
 // request; use Ping to verify reachability eagerly.
 func NewClient(cfg ClientConfig) (*Client, error) {
-	if cfg.Addr == "" {
-		return nil, fmt.Errorf("sigserve: ClientConfig.Addr is required")
+	if cfg.Addr == "" && len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("sigserve: ClientConfig.Addr or Addrs is required")
 	}
 	c := &Client{
 		cfg:      cfg.withDefaults(),
@@ -199,7 +253,15 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		stopCh:   make(chan struct{}),
 		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
-	c.br = newBreaker(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown)
+	for _, addr := range c.cfg.Addrs {
+		if addr == "" {
+			return nil, fmt.Errorf("sigserve: empty address in ClientConfig.Addrs")
+		}
+		c.eps = append(c.eps, &endpoint{
+			addr: addr,
+			br:   newBreaker(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown),
+		})
+	}
 	c.lookupCh = make(chan *pendingLookup, 4*c.cfg.BatchMax)
 	if reg := c.cfg.Telemetry.Registry(); reg != nil {
 		c.tel = &clientTelemetry{
@@ -254,18 +316,23 @@ func (c *Client) newTraceID() uint64 {
 // Close tears down the dispatcher and every pooled connection. Lookups
 // in flight fail with ErrUnavailable-wrapped errors.
 func (c *Client) Close() error {
-	c.mu.Lock()
+	c.epMu.Lock()
 	if c.closed {
-		c.mu.Unlock()
+		c.epMu.Unlock()
 		return nil
 	}
 	c.closed = true
-	idle := c.idle
-	c.idle = nil
-	c.mu.Unlock()
+	eps := c.eps
+	c.epMu.Unlock()
 	close(c.stopCh)
-	for _, conn := range idle {
-		conn.Close()
+	for _, ep := range eps {
+		ep.mu.Lock()
+		idle := ep.idle
+		ep.idle = nil
+		ep.mu.Unlock()
+		for _, conn := range idle {
+			conn.Close()
+		}
 	}
 	c.dispatchWG.Wait()
 	return nil
@@ -275,20 +342,43 @@ func (c *Client) Close() error {
 // reported on any response (0 before first contact).
 func (c *Client) ServerEpoch() uint64 { return c.serverEpoch.Load() }
 
-// BreakerState exposes the circuit breaker position (for reports).
-func (c *Client) BreakerState() BreakerState { return c.br.State() }
+// RingEpoch returns the newest topology generation any response has
+// reported (0 before first contact or against an unsharded server).
+func (c *Client) RingEpoch() uint64 { return c.ringEpoch.Load() }
+
+// BreakerState exposes the preferred endpoint's circuit breaker
+// position (for reports).
+func (c *Client) BreakerState() BreakerState {
+	c.epMu.Lock()
+	ep := c.eps[0]
+	c.epMu.Unlock()
+	return ep.br.State()
+}
+
+// Endpoints returns the client's current endpoint preference order:
+// the configured replica set, with any redirect-discovered owner
+// promoted to the front.
+func (c *Client) Endpoints() []string {
+	c.epMu.Lock()
+	defer c.epMu.Unlock()
+	out := make([]string, len(c.eps))
+	for i, ep := range c.eps {
+		out[i] = ep.addr
+	}
+	return out
+}
 
 // ---- connection pool -------------------------------------------------
 
-// dial opens and handshakes one connection.
-func (c *Client) dial() (net.Conn, error) {
-	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+// dial opens and handshakes one connection to the endpoint.
+func (c *Client) dial(ep *endpoint) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", ep.addr, c.cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
 	conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
 	max := c.cfg.MaxVersion
-	hello := helloMsg{MinVersion: MinSupported, MaxVersion: max, Tenant: c.cfg.Tenant}
+	hello := helloMsg{MinVersion: MinSupported, MaxVersion: max, Tenant: c.cfg.Tenant, RingEpoch: c.ringEpoch.Load()}
 	if err := WriteFrame(conn, Frame{Version: max, Type: MsgHello, ReqID: c.reqID.Add(1), Payload: hello.encode()}); err != nil {
 		conn.Close()
 		return nil, err
@@ -311,6 +401,7 @@ func (c *Client) dial() (net.Conn, error) {
 		}
 		c.negotiated.Store(uint32(w.Version))
 		c.observeEpoch(w.Epoch)
+		c.observeRing(w.RingEpoch)
 		conn.SetDeadline(time.Time{})
 		return conn, nil
 	case MsgError:
@@ -319,37 +410,43 @@ func (c *Client) dial() (net.Conn, error) {
 		if derr != nil {
 			return nil, derr
 		}
-		return nil, &ServerError{Code: e.Code, Detail: e.Detail}
+		c.observeRing(e.RingEpoch)
+		return nil, asServerError(e)
 	default:
 		conn.Close()
 		return nil, fmt.Errorf("sigserve: handshake answered with %#x", uint8(f.Type))
 	}
 }
 
-func (c *Client) getConn() (net.Conn, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+func (c *Client) getConn(ep *endpoint) (net.Conn, error) {
+	c.epMu.Lock()
+	closed := c.closed
+	c.epMu.Unlock()
+	if closed {
 		return nil, fmt.Errorf("sigserve: client closed: %w", sigtable.ErrUnavailable)
 	}
-	if n := len(c.idle); n > 0 {
-		conn := c.idle[n-1]
-		c.idle = c.idle[:n-1]
-		c.mu.Unlock()
+	ep.mu.Lock()
+	if n := len(ep.idle); n > 0 {
+		conn := ep.idle[n-1]
+		ep.idle = ep.idle[:n-1]
+		ep.mu.Unlock()
 		return conn, nil
 	}
-	c.mu.Unlock()
-	return c.dial()
+	ep.mu.Unlock()
+	return c.dial(ep)
 }
 
-func (c *Client) putConn(conn net.Conn) {
-	c.mu.Lock()
-	if !c.closed && len(c.idle) < c.cfg.PoolSize {
-		c.idle = append(c.idle, conn)
-		c.mu.Unlock()
+func (c *Client) putConn(ep *endpoint, conn net.Conn) {
+	c.epMu.Lock()
+	closed := c.closed
+	c.epMu.Unlock()
+	ep.mu.Lock()
+	if !closed && len(ep.idle) < c.cfg.PoolSize {
+		ep.idle = append(ep.idle, conn)
+		ep.mu.Unlock()
 		return
 	}
-	c.mu.Unlock()
+	ep.mu.Unlock()
 	conn.Close()
 }
 
@@ -380,30 +477,24 @@ func (c *Client) roundTrip(typ MsgType, payload []byte) (Frame, error) {
 // request as the FlagTraced payload prefix (on VersionTrace
 // connections), stable across retries so client and server spans line
 // up. A MsgError response is returned as a *ServerError and counts as
-// transport success for the breaker.
+// transport success for the endpoint's breaker.
 func (c *Client) roundTripTraced(typ MsgType, payload []byte, traceID uint64) (Frame, error) {
-	if err := c.br.Allow(); err != nil {
-		c.noteBreaker()
-		return Frame{}, fmt.Errorf("%w: %v", sigtable.ErrUnavailable, err)
-	}
 	start := time.Now()
 	f, err := c.attempts(typ, payload, traceID)
-	ok := err == nil
-	if _, isServer := errAsServer(err); isServer {
-		ok = true // the server answered; the transport is healthy
-	}
-	c.br.Report(ok)
 	c.noteBreaker()
 	if c.tel != nil && c.tel.rtt != nil {
 		c.tel.rtt.Observe(uint64(time.Since(start)))
 	}
-	if err != nil && !ok {
+	if err != nil {
+		if _, isServer := errAsServer(err); isServer {
+			return Frame{}, err // definitive rejection, transport healthy
+		}
 		if c.tel != nil && c.tel.failures != nil {
 			c.tel.failures.Inc()
 		}
 		return Frame{}, fmt.Errorf("%w: %v", sigtable.ErrUnavailable, err)
 	}
-	return f, err
+	return f, nil
 }
 
 func errAsServer(err error) (*ServerError, bool) {
@@ -411,37 +502,195 @@ func errAsServer(err error) (*ServerError, bool) {
 	return se, ok
 }
 
-// attempts runs the retry loop for one request.
+// epOutcome tracks one endpoint admitted during a round trip and the
+// latest outcome observed on it. The breaker sees exactly one Report
+// per admitted endpoint per round trip — retries within the call
+// aggregate, matching the single-endpoint client's behavior — and the
+// Allow/Report pairing the breaker requires holds by construction.
+type epOutcome struct {
+	ep *endpoint
+	ok bool
+}
+
+// pick returns the first usable endpoint in preference order, skipping
+// drain-marked endpoints and any in skip. An endpoint already admitted
+// this round trip (present in admitted) is reused without a second
+// breaker Allow; otherwise the breaker must admit it, and the caller
+// owes its breaker one aggregated Report.
+func (c *Client) pick(admitted []epOutcome, skip map[string]bool) (*endpoint, bool) {
+	c.epMu.Lock()
+	eps := append([]*endpoint(nil), c.eps...)
+	c.epMu.Unlock()
+	now := time.Now()
+	for _, ep := range eps {
+		if skip[ep.addr] {
+			continue
+		}
+		ep.mu.Lock()
+		draining := ep.drainedUntil.After(now)
+		ep.mu.Unlock()
+		if draining {
+			continue
+		}
+		for _, a := range admitted {
+			if a.ep == ep {
+				return ep, false
+			}
+		}
+		if ep.br.Allow() == nil {
+			return ep, true
+		}
+	}
+	return nil, false
+}
+
+// promote moves the endpoint for addr to the front of the preference
+// list, adding it if a CodeWrongShard redirect named a shard the
+// client was not configured with.
+func (c *Client) promote(addr string) {
+	c.epMu.Lock()
+	defer c.epMu.Unlock()
+	for i, ep := range c.eps {
+		if ep.addr == addr {
+			copy(c.eps[1:i+1], c.eps[:i])
+			c.eps[0] = ep
+			return
+		}
+	}
+	ep := &endpoint{addr: addr, br: newBreaker(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown)}
+	c.eps = append([]*endpoint{ep}, c.eps...)
+}
+
+// markDrained skips the endpoint for one breaker cooldown after it
+// answered CodeShutdown, so failover sticks while the shard restarts.
+func (c *Client) markDrained(ep *endpoint) {
+	ep.mu.Lock()
+	ep.drainedUntil = time.Now().Add(c.cfg.BreakerCooldown)
+	ep.mu.Unlock()
+}
+
+// attempts runs the failover/retry loop for one request. Three budgets
+// bound it: transport failures consume the retry budget (with backoff),
+// CodeShutdown answers consume the endpoint (skipped for the rest of
+// the call — failover is free), and CodeWrongShard redirects consume
+// MaxRedirects. Every other ServerError is definitive and returns
+// immediately; CodeOverloaded consumes a retry after sleeping the
+// server's retry-after hint.
 func (c *Client) attempts(typ MsgType, payload []byte, traceID uint64) (Frame, error) {
 	var lastErr error
-	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
-		if attempt > 0 {
-			if c.tel != nil && c.tel.retries != nil {
-				c.tel.retries.Inc()
+	var skip map[string]bool
+	var admitted []epOutcome
+	defer func() {
+		for _, a := range admitted {
+			a.ep.br.Report(a.ok)
+		}
+	}()
+	note := func(ep *endpoint, fresh, ok bool) {
+		if fresh {
+			admitted = append(admitted, epOutcome{ep: ep, ok: ok})
+			return
+		}
+		for i := range admitted {
+			if admitted[i].ep == ep {
+				admitted[i].ok = ok
+				return
 			}
-			time.Sleep(c.backoff(attempt))
+		}
+	}
+	attempt, redirects := 0, 0
+	for {
+		ep, fresh := c.pick(admitted, skip)
+		if ep == nil {
+			if lastErr == nil {
+				lastErr = errBreakerOpen
+			}
+			return Frame{}, lastErr
 		}
 		if c.tel != nil && c.tel.requests != nil {
 			c.tel.requests.Inc()
 		}
-		f, err := c.once(typ, payload, traceID)
+		f, err := c.once(ep, typ, payload, traceID)
 		if err == nil {
+			note(ep, fresh, true)
 			return f, nil
 		}
-		if se, ok := errAsServer(err); ok {
+		se, isServer := errAsServer(err)
+		if !isServer {
+			note(ep, fresh, false)
+			lastErr = err
+			// With another replica available, a dead transport fails
+			// over like a draining one — the endpoint is consumed for
+			// the rest of the call and the retry budget is untouched,
+			// so a retry-after sleep on a healthy replica can never
+			// leave the call without budget to route around a corpse.
+			// A single usable endpoint keeps the retry-with-backoff
+			// behavior, as before.
+			c.epMu.Lock()
+			n := len(c.eps)
+			c.epMu.Unlock()
+			if n-len(skip) > 1 {
+				if skip == nil {
+					skip = make(map[string]bool)
+				}
+				skip[ep.addr] = true
+				continue
+			}
+			attempt++
+			if attempt > c.cfg.Retries {
+				return Frame{}, lastErr
+			}
+			if c.tel != nil && c.tel.retries != nil {
+				c.tel.retries.Inc()
+			}
+			time.Sleep(c.backoff(attempt))
+			continue
+		}
+		// The server answered: the transport is healthy either way.
+		note(ep, fresh, true)
+		switch se.Code {
+		case CodeShutdown:
+			// Replica is draining: fail over down the preference list
+			// without spending the retry budget.
+			c.markDrained(ep)
+			if skip == nil {
+				skip = make(map[string]bool)
+			}
+			skip[ep.addr] = true
+			lastErr = se
+		case CodeWrongShard:
+			c.observeRing(se.RingEpoch)
+			if se.Owner == "" || redirects >= c.cfg.MaxRedirects {
+				return Frame{}, se
+			}
+			redirects++
+			c.promote(se.Owner)
+			lastErr = se
+		case CodeOverloaded:
+			attempt++
+			if attempt > c.cfg.Retries {
+				return Frame{}, se
+			}
+			if c.tel != nil && c.tel.retries != nil {
+				c.tel.retries.Inc()
+			}
+			if se.RetryAfterMillis > 0 {
+				time.Sleep(time.Duration(se.RetryAfterMillis) * time.Millisecond)
+			} else {
+				time.Sleep(c.backoff(attempt))
+			}
+			lastErr = se
+		default:
 			return Frame{}, se // definitive rejection; retrying cannot help
 		}
-		lastErr = err
 	}
-	return Frame{}, lastErr
 }
 
-// once performs a single request attempt over one pooled connection.
-// The trace ID only goes on the wire when the connection negotiated
-// VersionTrace — against older servers the frame stays byte-identical
-// to an untraced client's.
-func (c *Client) once(typ MsgType, payload []byte, traceID uint64) (Frame, error) {
-	conn, err := c.getConn()
+// once performs a single request attempt over one pooled connection to
+// the endpoint. The trace ID only goes on the wire when the connection
+// negotiated VersionTrace — against older servers the frame stays
+// byte-identical to an untraced client's.
+func (c *Client) once(ep *endpoint, typ MsgType, payload []byte, traceID uint64) (Frame, error) {
+	conn, err := c.getConn(ep)
 	if err != nil {
 		return Frame{}, err
 	}
@@ -471,14 +720,24 @@ func (c *Client) once(typ MsgType, payload []byte, traceID uint64) (Frame, error
 		return Frame{}, fmt.Errorf("sigserve: response id %d for request %d", f.ReqID, id)
 	}
 	conn.SetDeadline(time.Time{})
-	c.putConn(conn)
 	if f.Type == MsgError {
 		e, derr := decodeError(f.Payload)
 		if derr != nil {
+			conn.Close()
 			return Frame{}, derr
 		}
-		return Frame{}, &ServerError{Code: e.Code, Detail: e.Detail}
+		// The server tears the connection down after CodeShutdown and
+		// CodeWrongShard; pooling it would hand a later request a dead
+		// conn.
+		if e.Code == CodeShutdown || e.Code == CodeWrongShard {
+			conn.Close()
+		} else {
+			c.putConn(ep, conn)
+		}
+		c.observeRing(e.RingEpoch)
+		return Frame{}, asServerError(e)
 	}
+	c.putConn(ep, conn)
 	return f, nil
 }
 
@@ -491,10 +750,22 @@ func (c *Client) observeEpoch(e uint64) {
 	}
 }
 
-func (c *Client) noteBreaker() {
-	if c.tel != nil && c.tel.breaker != nil {
-		c.tel.breaker.Set(int64(c.br.State()))
+// observeRing folds a reported topology generation into the client's
+// high-water mark (0 reports are ignored).
+func (c *Client) observeRing(e uint64) {
+	for {
+		cur := c.ringEpoch.Load()
+		if e <= cur || c.ringEpoch.CompareAndSwap(cur, e) {
+			return
+		}
 	}
+}
+
+func (c *Client) noteBreaker() {
+	if c.tel == nil || c.tel.breaker == nil {
+		return
+	}
+	c.tel.breaker.Set(int64(c.BreakerState()))
 }
 
 // ---- request helpers -------------------------------------------------
@@ -678,6 +949,79 @@ func (c *Client) FetchSnapshot(module string) (*sigtable.Snapshot, sigtable.Tabl
 	}
 	c.observeEpoch(data.Epoch)
 	return snap, data.Table, data.Epoch, nil
+}
+
+// ErrShardUnsupported is returned by the sharded-plane methods when the
+// connection negotiated a protocol version below VersionShard — the
+// server predates the sharded control plane. Callers should fall back
+// to full snapshot fetches, not fail.
+var ErrShardUnsupported = fmt.Errorf("sigserve: server does not support the sharded plane (needs protocol version %d)", VersionShard)
+
+// Topology is one shard's reported view of control-plane membership
+// (FetchTopology).
+type Topology struct {
+	// RingEpoch is the topology generation (0 = unsharded server).
+	RingEpoch uint64
+	// Replicas is the replica-set size per tenant namespace.
+	Replicas int
+	// VNodes is the per-shard virtual-node count.
+	VNodes int
+	// Self is the responding shard's ring ID ("" when unsharded).
+	Self string
+	// Nodes is the membership, sorted by ID (empty when unsharded).
+	Nodes []RingNode
+}
+
+// FetchTopology asks the connected shard for the control plane's
+// membership, so a client bootstrapped with a single address can
+// discover — and build the ring over — the rest of the plane. Requires
+// a server speaking VersionShard.
+func (c *Client) FetchTopology() (Topology, error) {
+	if err := c.ensureNegotiated(); err != nil {
+		return Topology{}, err
+	}
+	if c.NegotiatedVersion() < VersionShard {
+		return Topology{}, ErrShardUnsupported
+	}
+	f, err := c.roundTrip(MsgTopology, nil)
+	if err != nil {
+		return Topology{}, err
+	}
+	if f.Type != MsgTopologyData {
+		return Topology{}, fmt.Errorf("sigserve: topology answered with %#x", uint8(f.Type))
+	}
+	data, err := decodeTopologyData(f.Payload)
+	if err != nil {
+		return Topology{}, err
+	}
+	c.observeRing(data.RingEpoch)
+	return Topology{
+		RingEpoch: data.RingEpoch,
+		Replicas:  int(data.Replicas),
+		VNodes:    int(data.VNodes),
+		Self:      data.Self,
+		Nodes:     data.Nodes,
+	}, nil
+}
+
+// fetchSnapshotDelta asks for the records changed since the generation
+// the caller holds (RemoteSource.Refresh drives it and applies the
+// patches). Requires a VersionShard connection.
+func (c *Client) fetchSnapshotDelta(module string, haveEpoch, haveHash uint64) (snapshotDeltaData, error) {
+	f, err := c.roundTrip(MsgSnapshotDelta,
+		snapshotDeltaReq{Module: module, HaveEpoch: haveEpoch, HaveHash: haveHash}.encode())
+	if err != nil {
+		return snapshotDeltaData{}, err
+	}
+	if f.Type != MsgSnapshotDeltaData {
+		return snapshotDeltaData{}, fmt.Errorf("sigserve: snapshot delta answered with %#x", uint8(f.Type))
+	}
+	data, err := decodeSnapshotDeltaData(f.Payload)
+	if err != nil {
+		return snapshotDeltaData{}, err
+	}
+	c.observeEpoch(data.Epoch)
+	return data, nil
 }
 
 // ---- lookup coalescing + batching ------------------------------------

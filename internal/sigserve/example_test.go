@@ -50,14 +50,51 @@ func Example_lookupRoundTrip() {
 	hexdump(resFrame)
 	// Output:
 	// request (MsgLookup, reqid 7):
-	// 0000  33 00 00 00 03 09 00 00 07 00 00 00 00 00 00 00
+	// 0000  33 00 00 00 04 09 00 00 07 00 00 00 00 00 00 00
 	// 0010  03 00 67 63 63 01 d8 40 00 00 00 00 00 00 b9 79
 	// 0020  37 9e 00 00 00 00 00 00 00 00 00 00 00 00 00 00
 	// 0030  00 00 00 00 00 00 00
 	// response (MsgLookupResult, reqid 7):
-	// 0000  3d 00 00 00 03 0a 00 00 07 00 00 00 00 00 00 00
+	// 0000  3d 00 00 00 04 0a 00 00 07 00 00 00 00 00 00 00
 	// 0010  00 02 00 40 00 30 00 00 00 00 00 58 03 30 00 00
 	// 0020  00 00 00 01 d8 40 00 00 00 00 00 00 b9 79 37 9e
 	// 0030  00 00 00 00 02 00 00 01 00 10 42 00 00 00 00 00
 	// 0040  00
+}
+
+// Example_snapshotDeltaRoundTrip renders the exact bytes of one
+// snapshot-delta round trip (protocol v4). docs/PROTOCOL.md quotes this
+// output verbatim, so the delta encoding cannot drift from the spec.
+func Example_snapshotDeltaRoundTrip() {
+	req := snapshotDeltaReq{Module: "gcc", HaveEpoch: 3, HaveHash: 0x1122334455667788}
+	reqFrame := AppendFrame(nil, Frame{Version: Version, Type: MsgSnapshotDelta, ReqID: 9, Payload: req.encode()})
+	fmt.Println("request (MsgSnapshotDelta, reqid 9):")
+	hexdump(reqFrame)
+
+	res := snapshotDeltaData{
+		Table:    sigtable.Table{Format: sigtable.CFIOnly, Module: "gcc", Base: 0x400000, Buckets: 4, Records: 4, Size: 64},
+		Epoch:    4,
+		PrevHash: 0x1122334455667788,
+		NewHash:  0x99aabbccddeeff00,
+		Patches: []deltaPatch{
+			{Index: 2, Rec: []byte{0x58, 0x03, 0x30, 0x00, 0x00, 0x00, 0x00, 0x00}},
+		},
+	}
+	resFrame := AppendFrame(nil, Frame{Version: Version, Type: MsgSnapshotDeltaData, ReqID: 9, Payload: res.encode()})
+	fmt.Println("response (MsgSnapshotDeltaData, reqid 9):")
+	hexdump(resFrame)
+	// Output:
+	// request (MsgSnapshotDelta, reqid 9):
+	// 0000  21 00 00 00 04 14 00 00 09 00 00 00 00 00 00 00
+	// 0010  03 00 67 63 63 03 00 00 00 00 00 00 00 88 77 66
+	// 0020  55 44 33 22 11
+	// response (MsgSnapshotDeltaData, reqid 9):
+	// 0000  6d 00 00 00 04 15 00 00 09 00 00 00 00 00 00 00
+	// 0010  02 03 00 67 63 63 00 00 40 00 00 00 00 00 04 00
+	// 0020  00 00 00 00 00 00 04 00 00 00 00 00 00 00 40 00
+	// 0030  00 00 00 00 00 00 00 00 00 00 00 00 00 00 00 00
+	// 0040  00 00 00 00 00 00 04 00 00 00 00 00 00 00 88 77
+	// 0050  66 55 44 33 22 11 00 ff ee dd cc bb aa 99 00 01
+	// 0060  00 00 00 02 00 00 00 08 00 58 03 30 00 00 00 00
+	// 0070  00
 }

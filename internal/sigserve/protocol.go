@@ -40,8 +40,12 @@ import (
 // interpreted on connections negotiated at or above VersionTrace, so a
 // v1/v2 connection's byte stream is identical to what the older
 // implementations produced (pinned by TestNegotiateDownByteIdentity).
+// Version 4 added the sharded control plane: ring epochs on
+// Hello/Welcome, the snapshot-delta and topology message families, and
+// the CodeWrongShard/CodeOverloaded error codes with structured hints —
+// all version-gated the same way, so v1–v3 byte streams are untouched.
 const (
-	Version      = 0x03
+	Version      = 0x04
 	MinSupported = 0x01
 	// VersionEvidence is the first version carrying the evidence
 	// messages; Client.UploadEvidence and friends require a connection
@@ -53,6 +57,11 @@ const (
 	// correlates the client-side and server-side spans of one request
 	// (docs/PROTOCOL.md "Request tracing").
 	VersionTrace = 0x03
+	// VersionShard is the first version carrying the sharded control
+	// plane: Hello/Welcome ring epochs, MsgSnapshotDelta/MsgTopology,
+	// and the CodeWrongShard/CodeOverloaded hint fields
+	// (docs/PROTOCOL.md "Sharding and topology").
+	VersionShard = 0x04
 )
 
 // FlagTraced marks a frame whose payload begins with an 8-byte
@@ -127,6 +136,20 @@ const (
 	MsgEvidenceGet MsgType = 0x12
 	// MsgEvidenceData answers MsgEvidenceGet with the stream bytes.
 	MsgEvidenceData MsgType = 0x13
+	// MsgSnapshotDelta asks for the changes between the client's cached
+	// snapshot (identified by its chain hash) and the module's current
+	// generation. Version 4+ only.
+	MsgSnapshotDelta MsgType = 0x14
+	// MsgSnapshotDeltaData answers MsgSnapshotDelta: either a patch list
+	// chained off the prior snapshot's hash, or (on chain mismatch) the
+	// full record image.
+	MsgSnapshotDeltaData MsgType = 0x15
+	// MsgTopology asks for the serving side's ring topology. Version 4+
+	// only.
+	MsgTopology MsgType = 0x16
+	// MsgTopologyData answers MsgTopology: ring epoch, replication
+	// factor, virtual-node count, and the shard membership list.
+	MsgTopologyData MsgType = 0x17
 )
 
 // ErrCode classifies a MsgError payload.
@@ -153,6 +176,18 @@ const (
 	// CodeUnknownEvidence: MsgEvidenceGet named a stream the tenant does
 	// not retain (never uploaded, or already evicted).
 	CodeUnknownEvidence ErrCode = 8
+	// CodeWrongShard: this shard does not own the tenant under the
+	// current ring placement. On version-4 connections the error carries
+	// the owning shard's address and the server's ring epoch as hints;
+	// clients re-route to the named owner (bounded by
+	// ClientConfig.MaxRedirects).
+	CodeWrongShard ErrCode = 9
+	// CodeOverloaded: the shard's admission token bucket rejected the
+	// request. On version-4 connections the error carries a
+	// retry-after-milliseconds hint; overload is backpressure, not
+	// failure, so clients retry after the hint instead of tripping the
+	// breaker.
+	CodeOverloaded ErrCode = 10
 )
 
 // String renders the code as its wire-spec name (docs/PROTOCOL.md).
@@ -174,6 +209,10 @@ func (c ErrCode) String() string {
 		return "evidence-too-large"
 	case CodeUnknownEvidence:
 		return "unknown-evidence"
+	case CodeWrongShard:
+		return "wrong-shard"
+	case CodeOverloaded:
+		return "overloaded"
 	}
 	return fmt.Sprintf("code(%d)", uint16(c))
 }
@@ -402,10 +441,16 @@ func (d *dec) done() error {
 
 // ---- message payloads ------------------------------------------------
 
-// helloMsg is MsgHello's payload.
+// helloMsg is MsgHello's payload. RingEpoch rides only when the client
+// offers VersionShard or newer (a version-gated trailing field, so a
+// version-capped client's Hello is byte-identical to an older
+// implementation's — the TestNegotiateDownByteIdentity contract).
 type helloMsg struct {
 	MinVersion, MaxVersion uint8
 	Tenant                 string
+	// RingEpoch is the topology generation the client routed by (0 when
+	// the client has no ring). Offered-max >= VersionShard only.
+	RingEpoch uint64
 }
 
 func (m helloMsg) encode() []byte {
@@ -413,6 +458,9 @@ func (m helloMsg) encode() []byte {
 	e.u8(m.MinVersion)
 	e.u8(m.MaxVersion)
 	e.str(m.Tenant)
+	if m.MaxVersion >= VersionShard {
+		e.u64(m.RingEpoch)
+	}
 	return e.b
 }
 
@@ -423,47 +471,93 @@ func decodeHello(b []byte) (helloMsg, error) {
 		MaxVersion: d.u8("maxVersion"),
 		Tenant:     d.str("tenant"),
 	}
+	if m.MaxVersion >= VersionShard {
+		m.RingEpoch = d.u64("ringEpoch")
+	}
 	return m, d.done()
 }
 
-// welcomeMsg is MsgWelcome's payload.
+// welcomeMsg is MsgWelcome's payload. RingEpoch rides only when the
+// chosen version is VersionShard or newer (version-gated trailing
+// field; v1–v3 Welcomes are byte-identical to older implementations').
 type welcomeMsg struct {
 	Version uint8
 	// Epoch is the server's table-generation counter at accept time; a
 	// client comparing it against its cached snapshot epoch learns about
 	// staleness without a separate round trip.
 	Epoch uint64
+	// RingEpoch is the server's topology generation (0 when unsharded).
+	// Chosen version >= VersionShard only.
+	RingEpoch uint64
 }
 
 func (m welcomeMsg) encode() []byte {
 	var e enc
 	e.u8(m.Version)
 	e.u64(m.Epoch)
+	if m.Version >= VersionShard {
+		e.u64(m.RingEpoch)
+	}
 	return e.b
 }
 
 func decodeWelcome(b []byte) (welcomeMsg, error) {
 	d := dec{b: b}
 	m := welcomeMsg{Version: d.u8("version"), Epoch: d.u64("epoch")}
+	if m.Version >= VersionShard {
+		m.RingEpoch = d.u64("ringEpoch")
+	}
 	return m, d.done()
 }
 
-// errorMsg is MsgError's payload.
+// errorMsg is MsgError's payload. The three hint fields are a
+// version-4 trailing extension: encoded only when the connection
+// negotiated VersionShard AND the code defines a hint (CodeWrongShard
+// carries Owner+RingEpoch, CodeOverloaded carries RetryAfterMillis);
+// decoders accept both shapes, so older peers see the classic
+// code+detail payload byte for byte.
 type errorMsg struct {
 	Code   ErrCode
 	Detail string
+	// RetryAfterMillis is the CodeOverloaded backpressure hint: how long
+	// the admission bucket needs before it can admit this request.
+	RetryAfterMillis uint32
+	// Owner is the CodeWrongShard hint: the owning shard's address.
+	Owner string
+	// RingEpoch is the server's topology generation at rejection time.
+	RingEpoch uint64
 }
 
-func (m errorMsg) encode() []byte {
+// hasHints reports whether the code defines version-4 hint fields.
+func (m errorMsg) hasHints() bool {
+	return m.Code == CodeWrongShard || m.Code == CodeOverloaded
+}
+
+func (m errorMsg) encode() []byte { return m.encodeAt(0) }
+
+// encodeAt renders the payload for a connection negotiated at ver:
+// hints ride only on VersionShard+ connections and only for codes that
+// define them.
+func (m errorMsg) encodeAt(ver uint8) []byte {
 	var e enc
 	e.u16(uint16(m.Code))
 	e.str(m.Detail)
+	if ver >= VersionShard && m.hasHints() {
+		e.u32(m.RetryAfterMillis)
+		e.str(m.Owner)
+		e.u64(m.RingEpoch)
+	}
 	return e.b
 }
 
 func decodeError(b []byte) (errorMsg, error) {
 	d := dec{b: b}
 	m := errorMsg{Code: ErrCode(d.u16("code")), Detail: d.str("detail")}
+	if d.fail == nil && d.off < len(d.b) {
+		m.RetryAfterMillis = d.u32("retryAfterMillis")
+		m.Owner = d.str("owner")
+		m.RingEpoch = d.u64("ringEpoch")
+	}
 	return m, d.done()
 }
 
@@ -571,6 +665,178 @@ func decodeSnapshotData(b []byte) (snapshotData, error) {
 	}
 	m.Recs = append([]byte(nil), d.take(n, "recs")...)
 	return m, d.done()
+}
+
+// snapshotDeltaReq is MsgSnapshotDelta's payload: the client names the
+// snapshot generation it already holds (epoch + snapHash of the wire
+// image) and asks for just the records that changed since.
+type snapshotDeltaReq struct {
+	Module    string
+	HaveEpoch uint64
+	HaveHash  uint64
+}
+
+func (m snapshotDeltaReq) encode() []byte {
+	var e enc
+	e.str(m.Module)
+	e.u64(m.HaveEpoch)
+	e.u64(m.HaveHash)
+	return e.b
+}
+
+func decodeSnapshotDeltaReq(b []byte) (snapshotDeltaReq, error) {
+	d := dec{b: b}
+	m := snapshotDeltaReq{
+		Module:    d.str("module"),
+		HaveEpoch: d.u64("haveEpoch"),
+		HaveHash:  d.u64("haveHash"),
+	}
+	return m, d.done()
+}
+
+// deltaPatch is one changed record in a snapshot delta: the record's
+// index in the wire image and its new bytes (one fixed-size record —
+// RecordSize for hashed formats, CFIRecordSize for CFI-only tables).
+type deltaPatch struct {
+	Index uint32
+	Rec   []byte
+}
+
+// snapshotDeltaData is MsgSnapshotDeltaData's payload. When Full is 0
+// the response is a patch list against the client's stated generation:
+// the client resizes its cached wire image to the new record count,
+// overwrites the patched records, and verifies the result hashes to
+// NewHash (PrevHash re-states what the server believes the client
+// holds, chaining the delta off the prior snapshot). When Full is 1 —
+// the server can't produce a delta from the client's generation — Recs
+// carries a complete image, same encoding as snapshotData.
+type snapshotDeltaData struct {
+	Table    sigtable.Table
+	Epoch    uint64
+	PrevHash uint64
+	NewHash  uint64
+	Full     uint8
+	Recs     []byte       // Full == 1
+	Patches  []deltaPatch // Full == 0
+}
+
+func (m snapshotDeltaData) encode() []byte {
+	var e enc
+	encodeTableMeta(&e, m.Table)
+	e.u64(m.Epoch)
+	e.u64(m.PrevHash)
+	e.u64(m.NewHash)
+	e.u8(m.Full)
+	if m.Full != 0 {
+		e.u32(uint32(len(m.Recs)))
+		e.b = append(e.b, m.Recs...)
+		return e.b
+	}
+	e.u32(uint32(len(m.Patches)))
+	for _, p := range m.Patches {
+		e.u32(p.Index)
+		e.u16(uint16(len(p.Rec)))
+		e.b = append(e.b, p.Rec...)
+	}
+	return e.b
+}
+
+func decodeSnapshotDeltaData(b []byte) (snapshotDeltaData, error) {
+	d := dec{b: b}
+	m := snapshotDeltaData{
+		Table:    decodeTableMeta(&d),
+		Epoch:    d.u64("epoch"),
+		PrevHash: d.u64("prevHash"),
+		NewHash:  d.u64("newHash"),
+		Full:     d.u8("full"),
+	}
+	if m.Full != 0 {
+		n := int(d.u32("recsLen"))
+		if n > MaxPayload {
+			d.bad("recsLen")
+			n = 0
+		}
+		m.Recs = append([]byte(nil), d.take(n, "recs")...)
+		return m, d.done()
+	}
+	n := int(d.u32("patchCount"))
+	if n > maxListLen {
+		d.bad("patchCount")
+		n = 0
+	}
+	for i := 0; i < n && d.fail == nil; i++ {
+		idx := d.u32("patch.index")
+		sz := int(d.u16("patch.recLen"))
+		m.Patches = append(m.Patches, deltaPatch{
+			Index: idx,
+			Rec:   append([]byte(nil), d.take(sz, "patch.rec")...),
+		})
+	}
+	return m, d.done()
+}
+
+// topologyData is MsgTopologyData's payload: the serving shard's view
+// of ring membership, so a client bootstrapped with one address can
+// discover the rest of the plane (MsgTopology's request has no
+// payload).
+type topologyData struct {
+	RingEpoch uint64
+	Replicas  uint8
+	VNodes    uint16
+	Self      string     // responding shard's ring ID ("" when unsharded)
+	Nodes     []RingNode // sorted by ID; empty when unsharded
+}
+
+func (m topologyData) encode() []byte {
+	var e enc
+	e.u64(m.RingEpoch)
+	e.u8(m.Replicas)
+	e.u16(m.VNodes)
+	e.str(m.Self)
+	e.u16(uint16(len(m.Nodes)))
+	for _, n := range m.Nodes {
+		e.str(n.ID)
+		e.str(n.Addr)
+	}
+	return e.b
+}
+
+func decodeTopologyData(b []byte) (topologyData, error) {
+	d := dec{b: b}
+	m := topologyData{
+		RingEpoch: d.u64("ringEpoch"),
+		Replicas:  d.u8("replicas"),
+		VNodes:    d.u16("vnodes"),
+		Self:      d.str("self"),
+	}
+	n := int(d.u16("nodeCount"))
+	if n > MaxRingNodes {
+		d.bad("nodeCount")
+		n = 0
+	}
+	for i := 0; i < n && d.fail == nil; i++ {
+		m.Nodes = append(m.Nodes, RingNode{
+			ID:   d.str("node.id"),
+			Addr: d.str("node.addr"),
+		})
+	}
+	return m, d.done()
+}
+
+// snapHash digests a snapshot wire image to the u64 that chains
+// snapshot deltas: the first eight bytes (little-endian) of the
+// repo-wide CubeHash over a domain-separated header (format, module,
+// record count) plus the image. Both sides compute it over the exact
+// bytes of sigtable.AppendWire, so agreement implies bit-identical
+// snapshots.
+func snapHash(t sigtable.Table, wire []byte) uint64 {
+	var e enc
+	e.str("rev/snap\x00")
+	e.u8(uint8(t.Format))
+	e.str(t.Module)
+	e.u64(t.Records)
+	e.b = append(e.b, wire...)
+	return binary.LittleEndian.Uint64(chash.Sum(e.b)[:8])
 }
 
 // Lookup kinds (lookupReq.Kind).

@@ -3,6 +3,7 @@ package sigserve
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rev/internal/chash"
 	"rev/internal/sigtable"
@@ -25,15 +26,21 @@ type RemoteSource struct {
 	module string
 	lookup bool // lookup mode (false = snapshot mode)
 
-	// cache is the snapshot fetched at open: the lookup source in
-	// snapshot mode, the degradation fallback in lookup mode.
-	cache      *sigtable.Snapshot
-	table      sigtable.Table
-	cacheEpoch uint64
+	// gen is the cached snapshot generation: the lookup source in
+	// snapshot mode, the degradation fallback in lookup mode. Swapped
+	// atomically by Refresh, so serving engines never block on it.
+	gen atomic.Pointer[snapGen]
 
 	mu       sync.Mutex
 	degraded bool
 	detail   string
+}
+
+// snapGen is one immutable cached snapshot generation.
+type snapGen struct {
+	snap  *sigtable.Snapshot
+	table sigtable.Table
+	epoch uint64
 }
 
 // Source opens the named module on the client's tenant: fetches table
@@ -44,14 +51,13 @@ func (c *Client) Source(module string) (*RemoteSource, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sigserve: opening %s: %w", module, err)
 	}
-	return &RemoteSource{
-		c:          c,
-		module:     module,
-		lookup:     c.cfg.LookupMode,
-		cache:      snap,
-		table:      tbl,
-		cacheEpoch: epoch,
-	}, nil
+	s := &RemoteSource{
+		c:      c,
+		module: module,
+		lookup: c.cfg.LookupMode,
+	}
+	s.gen.Store(&snapGen{snap: snap, table: tbl, epoch: epoch})
+	return s, nil
 }
 
 // Module resolves a module to its table metadata and lookup source —
@@ -68,10 +74,66 @@ func (c *Client) Module(name string) (*sigtable.Table, sigtable.Source, error) {
 
 // Table returns the module's table metadata (base as assigned by the
 // serving side).
-func (s *RemoteSource) Table() sigtable.Table { return s.table }
+func (s *RemoteSource) Table() sigtable.Table { return s.gen.Load().table }
 
 // Epoch returns the publish generation of the cached snapshot.
-func (s *RemoteSource) Epoch() uint64 { return s.cacheEpoch }
+func (s *RemoteSource) Epoch() uint64 { return s.gen.Load().epoch }
+
+// Refresh brings the cached snapshot up to the server's current
+// generation via snapshot-delta distribution: it names the generation
+// it holds (epoch + hash of the wire image) and applies the returned
+// record patches onto the cached image, verifying the result hashes to
+// the server's stated chain head. Any break in the chain — the server
+// could not delta from our generation, a patch fails the hash check —
+// falls back to one full snapshot fetch. Against a pre-VersionShard
+// server Refresh is a full fetch. The swap is atomic; engines serving
+// from the old generation finish against it.
+func (s *RemoteSource) Refresh() error {
+	if s.c.NegotiatedVersion() < VersionShard {
+		return s.refreshFull()
+	}
+	g := s.gen.Load()
+	wire := g.snap.AppendWire(nil)
+	have := snapHash(g.table, wire)
+	d, err := s.c.fetchSnapshotDelta(s.module, g.epoch, have)
+	if err != nil {
+		return err
+	}
+	if d.Full == 0 && d.Epoch == g.epoch && d.NewHash == have && len(d.Patches) == 0 {
+		return nil // already current
+	}
+	var newWire []byte
+	switch {
+	case d.Full != 0:
+		newWire = d.Recs
+	case d.PrevHash != have:
+		// The server chained this delta off a generation we don't hold.
+		return s.refreshFull()
+	default:
+		newWire, err = applyDelta(wire, d)
+		if err != nil {
+			// Chain mismatch after apply: the cached image drifted from
+			// what the server diffed against. Full fetch re-anchors.
+			return s.refreshFull()
+		}
+	}
+	snap, err := sigtable.SnapshotFromWire(d.Table, newWire)
+	if err != nil {
+		return s.refreshFull()
+	}
+	s.gen.Store(&snapGen{snap: snap, table: d.Table, epoch: d.Epoch})
+	return nil
+}
+
+// refreshFull replaces the cached generation with a full snapshot fetch.
+func (s *RemoteSource) refreshFull() error {
+	snap, tbl, epoch, err := s.c.FetchSnapshot(s.module)
+	if err != nil {
+		return err
+	}
+	s.gen.Store(&snapGen{snap: snap, table: tbl, epoch: epoch})
+	return nil
+}
 
 // HealthNote implements sigtable.HealthReporter: it returns a note only
 // after at least one lookup was served from the local cache because the
@@ -83,11 +145,12 @@ func (s *RemoteSource) HealthNote() (sigtable.SourceNote, bool) {
 	if !s.degraded {
 		return sigtable.SourceNote{}, false
 	}
+	epoch := s.gen.Load().epoch
 	return sigtable.SourceNote{
 		Module:   s.module,
-		Epoch:    s.cacheEpoch,
+		Epoch:    epoch,
 		Degraded: true,
-		Stale:    s.c.ServerEpoch() > s.cacheEpoch,
+		Stale:    s.c.ServerEpoch() > epoch,
 		Detail:   s.detail,
 	}, true
 }
@@ -105,12 +168,21 @@ func (s *RemoteSource) degrade(err error) {
 	}
 }
 
+// transientCode reports whether a server rejection is a plane-health
+// transient (replica draining, shard overloaded, topology churn) rather
+// than a verdict on the request itself. Transients degrade to the
+// cached snapshot — a SourceNotes fact, never a violation — while
+// definitive rejections surface to the caller.
+func transientCode(code ErrCode) bool {
+	return code == CodeShutdown || code == CodeOverloaded || code == CodeWrongShard
+}
+
 // remote performs one wire lookup, degrading to the cache on transport
 // failure. fall runs the identical query against the cached snapshot.
 func (s *RemoteSource) remote(req lookupReq, fall func() (sigtable.Entry, []uint64, error)) (sigtable.Entry, []uint64, error) {
 	res, err := s.c.lookup(req)
 	if err != nil {
-		if _, isServer := errAsServer(err); isServer {
+		if se, isServer := errAsServer(err); isServer && !transientCode(se.Code) {
 			// The server answered and rejected the request: a real
 			// error, not a transport fault. No verdict; surface it.
 			return sigtable.Entry{}, nil, err
@@ -127,7 +199,7 @@ func (s *RemoteSource) remote(req lookupReq, fall func() (sigtable.Entry, []uint
 // Lookup implements sigtable.Source.
 func (s *RemoteSource) Lookup(end uint64, sig chash.Sig, want sigtable.Want) (sigtable.Entry, []uint64, error) {
 	if !s.lookup {
-		return s.cache.Lookup(end, sig, want)
+		return s.gen.Load().snap.Lookup(end, sig, want)
 	}
 	req := lookupReq{Module: s.module, Kind: kindLookup, End: end, Sig: uint64(sig)}
 	if want.CheckTarget {
@@ -139,29 +211,29 @@ func (s *RemoteSource) Lookup(end uint64, sig chash.Sig, want sigtable.Want) (si
 		req.Pred = want.Pred
 	}
 	return s.remote(req, func() (sigtable.Entry, []uint64, error) {
-		return s.cache.Lookup(end, sig, want)
+		return s.gen.Load().snap.Lookup(end, sig, want)
 	})
 }
 
 // LookupAll implements sigtable.Source.
 func (s *RemoteSource) LookupAll(end uint64, sig chash.Sig) (sigtable.Entry, []uint64, error) {
 	if !s.lookup {
-		return s.cache.LookupAll(end, sig)
+		return s.gen.Load().snap.LookupAll(end, sig)
 	}
 	req := lookupReq{Module: s.module, Kind: kindLookupAll, End: end, Sig: uint64(sig)}
 	return s.remote(req, func() (sigtable.Entry, []uint64, error) {
-		return s.cache.LookupAll(end, sig)
+		return s.gen.Load().snap.LookupAll(end, sig)
 	})
 }
 
 // LookupEdge implements sigtable.Source.
 func (s *RemoteSource) LookupEdge(src, dst uint64) ([]uint64, error) {
 	if !s.lookup {
-		return s.cache.LookupEdge(src, dst)
+		return s.gen.Load().snap.LookupEdge(src, dst)
 	}
 	req := lookupReq{Module: s.module, Kind: kindEdge, End: src, Target: dst}
 	_, touched, err := s.remote(req, func() (sigtable.Entry, []uint64, error) {
-		t, e := s.cache.LookupEdge(src, dst)
+		t, e := s.gen.Load().snap.LookupEdge(src, dst)
 		return sigtable.Entry{}, t, e
 	})
 	return touched, err
@@ -196,11 +268,12 @@ func (s *RemoteSource) wireReq(r sigtable.BatchReq) lookupReq {
 func (s *RemoteSource) LookupBatch(reqs []sigtable.BatchReq) []sigtable.BatchRes {
 	out := make([]sigtable.BatchRes, len(reqs))
 	if !s.lookup {
+		snap := s.gen.Load().snap
 		for i, r := range reqs {
 			if r.Kind == sigtable.BatchEdge {
-				out[i].Touched, out[i].Err = s.cache.LookupEdge(r.End, r.Want.Target)
+				out[i].Touched, out[i].Err = snap.LookupEdge(r.End, r.Want.Target)
 			} else {
-				out[i].Entry, out[i].Touched, out[i].Err = s.cache.Lookup(r.End, r.Sig, r.Want)
+				out[i].Entry, out[i].Touched, out[i].Err = snap.Lookup(r.End, r.Sig, r.Want)
 			}
 		}
 		return out

@@ -1,0 +1,250 @@
+package sigserve
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Consistent-hash ring (docs/DEPLOYMENT.md "The ring").
+//
+// The sharded control plane maps tenant namespaces onto shard owners
+// with a consistent-hash ring over virtual nodes: every shard projects
+// VNodes points onto a 64-bit circle, a tenant hashes to one point, and
+// its replica set is the next R distinct shards clockwise. Routing is a
+// pure function of (ring, tenant), so clients and servers built from
+// the same node list agree without any coordination traffic.
+//
+// Placement additionally applies a bounded-load cap (Place): no shard
+// accepts more than ceil(LoadFactor * tenants * replicas / shards)
+// tenant-replicas; a tenant that would overload its walk-preferred
+// shard spills to the next shard with capacity. Spilling requires
+// knowing the whole tenant set, so only the serving side (which is
+// configured with it) computes Place; clients route by the pure walk
+// (Replicas) and learn about spilled or remapped tenants through the
+// typed CodeWrongShard redirect, which names the true owner.
+
+// RingNode is one shard in the ring: a stable identity plus the
+// endpoint clients dial.
+type RingNode struct {
+	// ID is the shard's stable name; it seeds the shard's virtual-node
+	// positions, so renaming a shard remaps its arc.
+	ID string
+	// Addr is the shard's serve endpoint ("host:port").
+	Addr string
+}
+
+// RingConfig tunes ring construction. Zero fields take the documented
+// defaults.
+type RingConfig struct {
+	// VNodes is how many virtual nodes each shard projects onto the
+	// circle (default DefaultVNodes). More vnodes smooth the arcs at the
+	// cost of a larger sorted point table.
+	VNodes int
+	// Replicas is R, the replica-set size per tenant (default
+	// DefaultReplicas, capped at the node count).
+	Replicas int
+	// LoadPct is the bounded-load factor in percent: Place caps each
+	// shard at ceil(LoadPct/100 * fair share). Default
+	// DefaultLoadPct (125 = the classic 1.25 bound).
+	LoadPct int
+	// Epoch is the topology generation this ring describes. Clients and
+	// servers compare epochs to detect stale topology; bump it on every
+	// membership change.
+	Epoch uint64
+}
+
+// Ring defaults (RingConfig).
+const (
+	// DefaultVNodes is the per-shard virtual-node count.
+	DefaultVNodes = 64
+	// DefaultReplicas is the replica-set size per tenant namespace.
+	DefaultReplicas = 2
+	// DefaultLoadPct is the bounded-load cap in percent of fair share.
+	DefaultLoadPct = 125
+	// MaxRingNodes bounds ring membership (the walk's node bitset is a
+	// single word; 64 shards is far past the scale this repo measures).
+	MaxRingNodes = 64
+)
+
+// ringPoint is one virtual node: its position on the circle and the
+// owning shard's index into Ring.nodes.
+type ringPoint struct {
+	pos  uint64
+	node int
+}
+
+// Ring is an immutable consistent-hash ring. Build one with NewRing;
+// all methods are safe for concurrent use.
+type Ring struct {
+	cfg    RingConfig
+	nodes  []RingNode
+	points []ringPoint // sorted by pos
+}
+
+// NewRing builds a ring over the given shards. The node list is copied
+// and sorted by ID, so any permutation of the same membership produces
+// an identical ring. At least one node is required.
+func NewRing(nodes []RingNode, cfg RingConfig) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("sigserve: ring needs at least one node")
+	}
+	if len(nodes) > MaxRingNodes {
+		return nil, fmt.Errorf("sigserve: ring supports at most %d nodes, got %d", MaxRingNodes, len(nodes))
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = DefaultVNodes
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = DefaultReplicas
+	}
+	if cfg.Replicas > len(nodes) {
+		cfg.Replicas = len(nodes)
+	}
+	if cfg.LoadPct <= 0 {
+		cfg.LoadPct = DefaultLoadPct
+	} else if cfg.LoadPct < 100 {
+		return nil, fmt.Errorf("sigserve: ring load factor %d%% is below fair share", cfg.LoadPct)
+	}
+	r := &Ring{cfg: cfg, nodes: append([]RingNode(nil), nodes...)}
+	sort.Slice(r.nodes, func(i, j int) bool { return r.nodes[i].ID < r.nodes[j].ID })
+	seen := make(map[string]bool, len(r.nodes))
+	for _, n := range r.nodes {
+		if n.ID == "" || n.Addr == "" {
+			return nil, fmt.Errorf("sigserve: ring node needs both id and addr (got id=%q addr=%q)", n.ID, n.Addr)
+		}
+		if seen[n.ID] {
+			return nil, fmt.Errorf("sigserve: duplicate ring node id %q", n.ID)
+		}
+		seen[n.ID] = true
+	}
+	r.points = make([]ringPoint, 0, len(r.nodes)*cfg.VNodes)
+	for ni, n := range r.nodes {
+		for v := 0; v < cfg.VNodes; v++ {
+			r.points = append(r.points, ringPoint{
+				pos:  ringHash(fmt.Sprintf("%s#%d", n.ID, v)),
+				node: ni,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// ringHash is FNV-1a 64 — stable, dependency-free, and identical on
+// both sides of the wire (the same function shardFor uses for metric
+// cells).
+func ringHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// Config returns the ring's effective configuration (defaults applied).
+func (r *Ring) Config() RingConfig { return r.cfg }
+
+// Epoch returns the topology generation the ring was built with.
+func (r *Ring) Epoch() uint64 { return r.cfg.Epoch }
+
+// Nodes returns the ring's membership, sorted by ID. The slice is
+// shared; callers must not mutate it.
+func (r *Ring) Nodes() []RingNode { return r.nodes }
+
+// walk returns up to want distinct node indices clockwise from the
+// tenant's hash point, appending to dst.
+func (r *Ring) walk(tenant string, want int, dst []int) []int {
+	start := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].pos >= ringHash(tenant)
+	})
+	var taken uint64 // bitset over node indices; ring membership is small
+	for i := 0; len(dst) < want && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if taken&(1<<uint(p.node)) != 0 {
+			continue
+		}
+		taken |= 1 << uint(p.node)
+		dst = append(dst, p.node)
+	}
+	return dst
+}
+
+// Owner returns the tenant's walk-preferred shard — the first distinct
+// node clockwise from the tenant's hash point.
+func (r *Ring) Owner(tenant string) RingNode {
+	idx := r.walk(tenant, 1, nil)
+	return r.nodes[idx[0]]
+}
+
+// Replicas returns the tenant's replica set in preference order: the
+// first R distinct shards clockwise from the tenant's hash point. This
+// is the pure routing function clients use; the serving side's actual
+// placement may differ for spilled tenants (see Place), which the
+// CodeWrongShard redirect corrects.
+func (r *Ring) Replicas(tenant string) []RingNode {
+	idxs := r.walk(tenant, r.cfg.Replicas, nil)
+	out := make([]RingNode, len(idxs))
+	for i, ni := range idxs {
+		out[i] = r.nodes[ni]
+	}
+	return out
+}
+
+// Place assigns every tenant its replica set under the bounded-load
+// cap: tenants are walked in sorted order, each one's clockwise
+// preference list is filtered through per-shard capacity
+// ceil(LoadPct/100 * tenants*replicas/shards), and a tenant whose
+// preferred shard is full spills to the next shard with room. The
+// result is deterministic for a given (ring, tenant set) — every shard
+// configured with the same inputs computes the same placement.
+func (r *Ring) Place(tenants []string) map[string][]RingNode {
+	sorted := append([]string(nil), tenants...)
+	sort.Strings(sorted)
+	slots := len(sorted) * r.cfg.Replicas
+	cap_ := (r.cfg.LoadPct*slots + 100*len(r.nodes) - 1) / (100 * len(r.nodes))
+	if cap_ < 1 {
+		cap_ = 1
+	}
+	load := make([]int, len(r.nodes))
+	out := make(map[string][]RingNode, len(sorted))
+	for _, tn := range sorted {
+		if _, dup := out[tn]; dup {
+			continue
+		}
+		// Preference list over every node, so a spill always finds the
+		// next-closest shard with capacity.
+		pref := r.walk(tn, len(r.nodes), nil)
+		var set []RingNode
+		var chosen uint64
+		for _, ni := range pref {
+			if len(set) == r.cfg.Replicas {
+				break
+			}
+			if load[ni] >= cap_ {
+				continue
+			}
+			load[ni]++
+			chosen |= 1 << uint(ni)
+			set = append(set, r.nodes[ni])
+		}
+		// Everything at capacity (tiny rings, adversarial caps): fall
+		// back to pure preference so the tenant is never unplaced.
+		for _, ni := range pref {
+			if len(set) == r.cfg.Replicas {
+				break
+			}
+			if chosen&(1<<uint(ni)) != 0 {
+				continue
+			}
+			chosen |= 1 << uint(ni)
+			set = append(set, r.nodes[ni])
+		}
+		out[tn] = set
+	}
+	return out
+}

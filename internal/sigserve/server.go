@@ -24,6 +24,15 @@ type publishedTable struct {
 	snap  *sigtable.Snapshot
 	wire  []byte
 	epoch uint64
+
+	// hash chains snapshot generations for delta distribution
+	// (snapHash of wire); prevEpoch/prevHash name the generation
+	// patches was diffed against (patches nil when no delta exists —
+	// first publish, format change, or too many changed records).
+	hash      uint64
+	prevEpoch uint64
+	prevHash  uint64
+	patches   []deltaPatch
 }
 
 // tenant is one namespace of modules. Module sets are fixed after the
@@ -90,6 +99,15 @@ type Server struct {
 	evMaxStreams atomic.Int64
 	evMaxBytes   atomic.Int64
 
+	// ring, when set, makes this server one shard of a control plane
+	// (SetRing): connections for tenants it does not own are refused
+	// with CodeWrongShard.
+	ring atomic.Pointer[ringState]
+
+	// admit, when set, is the per-shard admission token bucket
+	// (SetAdmission): requests beyond it answer CodeOverloaded.
+	admit atomic.Pointer[tokenBucket]
+
 	tel *serverTelemetry
 }
 
@@ -124,7 +142,15 @@ type serverTelemetry struct {
 	perType [numReqTypes]*telemetry.Histogram
 	// errCodes counts MsgError responses by wire error code (index =
 	// code; index 0 unused).
-	errCodes [9]*telemetry.Counter
+	errCodes [11]*telemetry.Counter
+
+	// Sharded-plane metrics: delta requests answered with a patch list
+	// vs. a full image, the installed topology generation, and requests
+	// refused by the admission bucket.
+	deltaHits     *telemetry.Counter
+	deltaFulls    *telemetry.Counter
+	ringEpoch     *telemetry.Gauge
+	admitRejected *telemetry.Counter
 	// tenants is the bounded per-tenant metric row table.
 	tenants *tenantTab
 
@@ -212,6 +238,11 @@ func (s *Server) Instrument(set *telemetry.Set) {
 		evEvictions: reg.Counter("sigserve_server_evidence_evictions_total", "evidence streams evicted by retention"),
 		evRetained:  reg.Gauge("sigserve_server_evidence_retained_bytes", "evidence bytes currently retained, all tenants"),
 
+		deltaHits:     reg.Counter("sigserve_server_delta_hits_total", "snapshot-delta requests answered with a patch list"),
+		deltaFulls:    reg.Counter("sigserve_server_delta_fulls_total", "snapshot-delta requests answered with a full image"),
+		ringEpoch:     reg.Gauge("sigserve_server_ring_epoch", "installed topology generation (0 = unsharded)"),
+		admitRejected: reg.Counter("sigserve_server_admission_rejected_total", "requests refused by the admission bucket"),
+
 		tenants: newTenantTab(reg, int(s.tenantRows.Load())),
 	}
 	for i, tn := range reqTypeNames {
@@ -228,6 +259,9 @@ func (s *Server) Instrument(set *telemetry.Set) {
 		}
 		st.otherName = rec.Name("serve other")
 		st.traceArg = rec.Name("trace")
+	}
+	if rs := s.ring.Load(); rs != nil {
+		st.ringEpoch.Set(int64(rs.ring.Epoch()))
 	}
 	s.tel = st
 }
@@ -267,6 +301,7 @@ func (s *Server) Publish(tenantName, module string, tbl sigtable.Table, snap *si
 		wire:  snap.AppendWire(nil),
 		epoch: s.epoch.Add(1),
 	}
+	pub.hash = snapHash(tbl, pub.wire)
 	s.mu.Lock()
 	t := s.tenants[tenantName]
 	if t == nil {
@@ -282,6 +317,13 @@ func (s *Server) Publish(tenantName, module string, tbl sigtable.Table, snap *si
 		t.modules[module] = slot
 	}
 	t.mu.Unlock()
+	if old := slot.Load(); old != nil {
+		// Diff against the generation being replaced so rotation ships
+		// only changed records (MsgSnapshotDelta).
+		pub.prevEpoch = old.epoch
+		pub.prevHash = old.hash
+		pub.patches = buildDelta(old, pub)
+	}
 	slot.Store(pub)
 	if swap && s.tel != nil {
 		s.tel.swaps.Inc()
@@ -474,6 +516,23 @@ func (s *Server) serveConn(conn net.Conn) {
 	if hello.MaxVersion < cs.ver {
 		cs.ver = hello.MaxVersion
 	}
+	// Ring ownership comes before the tenant-existence check: a shard
+	// that does not own the namespace has not published its tables, so
+	// answering CodeUnknownTenant here would send the client exactly the
+	// wrong signal. CodeWrongShard names the true owner instead.
+	var ringEpoch uint64
+	if rs := s.ring.Load(); rs != nil {
+		ringEpoch = rs.ring.Epoch()
+		if ok, owner := rs.owned(hello.Tenant); !ok {
+			s.sendErrMsg(cs, f.ReqID, errorMsg{
+				Code:      CodeWrongShard,
+				Detail:    fmt.Sprintf("tenant %q is owned by shard %s", hello.Tenant, owner.ID),
+				Owner:     owner.Addr,
+				RingEpoch: ringEpoch,
+			})
+			return
+		}
+	}
 	s.mu.Lock()
 	t := s.tenants[hello.Tenant]
 	s.mu.Unlock()
@@ -487,7 +546,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	if s.tel != nil {
 		cs.row = s.tel.tenants.row(hello.Tenant)
 	}
-	if !s.reply(cs, f.ReqID, MsgWelcome, welcomeMsg{Version: cs.ver, Epoch: s.epoch.Load()}.encode()) {
+	if !s.reply(cs, f.ReqID, MsgWelcome,
+		welcomeMsg{Version: cs.ver, Epoch: s.epoch.Load(), RingEpoch: ringEpoch}.encode()) {
 		return
 	}
 
@@ -521,6 +581,38 @@ func (s *Server) handle(cs *connState, f Frame) bool {
 		// replica that is not going away.
 		s.sendErr(cs, f.ReqID, CodeShutdown, "server is draining; retry against another replica")
 		return false
+	}
+	// Topology may have changed since handshake (SetRing swap): a shard
+	// that lost this tenant redirects and drops the connection so the
+	// client re-routes against the new ring.
+	if rs := s.ring.Load(); rs != nil {
+		if ok, owner := rs.owned(cs.tenantName); !ok {
+			s.sendErrMsg(cs, f.ReqID, errorMsg{
+				Code:      CodeWrongShard,
+				Detail:    fmt.Sprintf("tenant %q moved to shard %s", cs.tenantName, owner.ID),
+				Owner:     owner.Addr,
+				RingEpoch: rs.ring.Epoch(),
+			})
+			return false
+		}
+	}
+	// Admission: refuse, with a retry-after hint, rather than queue.
+	// The connection stays up — overload is a transient, not a fault.
+	if b := s.admit.Load(); b != nil {
+		if ok, retry := b.take(); !ok {
+			if tel != nil {
+				tel.admitRejected.Inc()
+			}
+			millis := uint32((retry + time.Millisecond - 1) / time.Millisecond)
+			if millis == 0 {
+				millis = 1
+			}
+			return s.sendErrMsg(cs, f.ReqID, errorMsg{
+				Code:             CodeOverloaded,
+				Detail:           "admission bucket empty; slow down",
+				RetryAfterMillis: millis,
+			})
+		}
 	}
 	if d := s.delay.Load(); d > 0 {
 		time.Sleep(time.Duration(d))
@@ -617,6 +709,16 @@ func (s *Server) handle(cs *connState, f Frame) bool {
 				fmt.Sprintf("evidence messages need protocol version %d, connection negotiated %d", VersionEvidence, cs.ver))
 		}
 		return s.handleEvidence(cs, f)
+
+	case MsgSnapshotDelta, MsgTopology:
+		if cs.ver < VersionShard {
+			return s.sendErr(cs, f.ReqID, CodeBadRequest,
+				fmt.Sprintf("sharded-plane messages need protocol version %d, connection negotiated %d", VersionShard, cs.ver))
+		}
+		if f.Type == MsgTopology {
+			return s.handleTopology(cs, f)
+		}
+		return s.handleSnapshotDelta(cs, f)
 
 	default:
 		return s.sendErr(cs, f.ReqID, CodeBadRequest, fmt.Sprintf("unexpected message type %#x", uint8(f.Type)))
@@ -786,10 +888,7 @@ func (s *Server) reply(cs *connState, reqID uint64, typ MsgType, payload []byte)
 }
 
 func (s *Server) sendErr(cs *connState, reqID uint64, code ErrCode, detail string) bool {
-	if s.tel != nil && int(code) > 0 && int(code) < len(s.tel.errCodes) {
-		s.tel.errCodes[code].Inc()
-	}
-	return s.reply(cs, reqID, MsgError, errorMsg{Code: code, Detail: detail}.encode())
+	return s.sendErrMsg(cs, reqID, errorMsg{Code: code, Detail: detail})
 }
 
 // shardFor maps a tenant name onto a sharded-counter cell (FNV-1a).

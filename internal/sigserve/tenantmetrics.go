@@ -28,13 +28,14 @@ const OverflowTenant = "_overflow"
 
 // Request types that get per-tenant counters, in compact-index order.
 // numReqTypes must match reqTypeIndex below.
-const numReqTypes = 8
+const numReqTypes = 10
 
 // reqTypeNames maps the compact request-type index to its metric-name
 // suffix.
 var reqTypeNames = [numReqTypes]string{
 	"ping", "modules", "snapshot", "lookup",
 	"lookup_batch", "evidence_put", "evidence_list", "evidence_get",
+	"snapshot_delta", "topology",
 }
 
 // reqTypeIndex maps a request message type to its compact index
@@ -57,6 +58,10 @@ func reqTypeIndex(t MsgType) int {
 		return 6
 	case MsgEvidenceGet:
 		return 7
+	case MsgSnapshotDelta:
+		return 8
+	case MsgTopology:
+		return 9
 	}
 	return -1
 }

@@ -50,3 +50,20 @@ if [ -n "$missing" ]; then
 	exit 1
 fi
 echo "doccheck: all $total exported declarations documented"
+
+# Doc-map completeness: every file under docs/ must appear as a row in
+# the README documentation map, so a new document cannot land without a
+# discoverable entry point.
+unmapped=$(
+	for f in docs/*; do
+		name=$(basename "$f")
+		grep -q "| \[docs/$name\](docs/$name) |" README.md ||
+			echo "doccheck: docs/$name missing from the README doc map"
+	done
+)
+if [ -n "$unmapped" ]; then
+	echo "$unmapped" >&2
+	exit 1
+fi
+ndocs=$(ls docs/ | wc -l | tr -d ' ')
+echo "doccheck: README doc map covers all $ndocs files in docs/"
