@@ -378,7 +378,7 @@ func (c *Client) dial(ep *endpoint) (net.Conn, error) {
 	}
 	conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
 	max := c.cfg.MaxVersion
-	hello := helloMsg{MinVersion: MinSupported, MaxVersion: max, Tenant: c.cfg.Tenant, RingEpoch: c.ringEpoch.Load()}
+	hello := helloMsg{MinVersion: MinSupported, MaxVersion: max, Tenant: c.cfg.Tenant}
 	if err := WriteFrame(conn, Frame{Version: max, Type: MsgHello, ReqID: c.reqID.Add(1), Payload: hello.encode()}); err != nil {
 		conn.Close()
 		return nil, err
@@ -561,6 +561,33 @@ func (c *Client) promote(addr string) {
 	c.eps = append([]*endpoint{ep}, c.eps...)
 }
 
+// alternates counts the endpoints pick could still try if failed were
+// skipped: not already skipped, not drain-marked, and not sitting
+// behind an open breaker. Consuming the failed endpoint is only free
+// when one of these exists — otherwise a transient transport error
+// would burn the sole usable endpoint and fail the call with retry
+// budget left.
+func (c *Client) alternates(failed *endpoint, skip map[string]bool) int {
+	c.epMu.Lock()
+	eps := append([]*endpoint(nil), c.eps...)
+	c.epMu.Unlock()
+	now := time.Now()
+	n := 0
+	for _, ep := range eps {
+		if ep == failed || skip[ep.addr] {
+			continue
+		}
+		ep.mu.Lock()
+		draining := ep.drainedUntil.After(now)
+		ep.mu.Unlock()
+		if draining || ep.br.State() == BreakerOpen {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
 // markDrained skips the endpoint for one breaker cooldown after it
 // answered CodeShutdown, so failover sticks while the shard restarts.
 func (c *Client) markDrained(ep *endpoint) {
@@ -623,12 +650,10 @@ func (c *Client) attempts(typ MsgType, payload []byte, traceID uint64) (Frame, e
 			// the rest of the call and the retry budget is untouched,
 			// so a retry-after sleep on a healthy replica can never
 			// leave the call without budget to route around a corpse.
-			// A single usable endpoint keeps the retry-with-backoff
-			// behavior, as before.
-			c.epMu.Lock()
-			n := len(c.eps)
-			c.epMu.Unlock()
-			if n-len(skip) > 1 {
+			// No usable alternate (drained and breaker-open replicas
+			// don't count) keeps the retry-with-backoff behavior, as
+			// before.
+			if c.alternates(ep, skip) > 0 {
 				if skip == nil {
 					skip = make(map[string]bool)
 				}

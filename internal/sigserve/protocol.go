@@ -441,16 +441,16 @@ func (d *dec) done() error {
 
 // ---- message payloads ------------------------------------------------
 
-// helloMsg is MsgHello's payload. RingEpoch rides only when the client
-// offers VersionShard or newer (a version-gated trailing field, so a
-// version-capped client's Hello is byte-identical to an older
-// implementation's — the TestNegotiateDownByteIdentity contract).
+// helloMsg is MsgHello's payload. Hello is version-invariant: it is the
+// one message sent before negotiation settles, so every server version
+// ever deployed must parse it — a field gated on the *offered* maximum
+// would make an uncapped new client unreadable to older servers and
+// break negotiating down (the TestNegotiateDownByteIdentity contract).
+// Version-gated data therefore never rides on Hello; the v4 ring epoch
+// travels server→client in Welcome and in error hints instead.
 type helloMsg struct {
 	MinVersion, MaxVersion uint8
 	Tenant                 string
-	// RingEpoch is the topology generation the client routed by (0 when
-	// the client has no ring). Offered-max >= VersionShard only.
-	RingEpoch uint64
 }
 
 func (m helloMsg) encode() []byte {
@@ -458,9 +458,6 @@ func (m helloMsg) encode() []byte {
 	e.u8(m.MinVersion)
 	e.u8(m.MaxVersion)
 	e.str(m.Tenant)
-	if m.MaxVersion >= VersionShard {
-		e.u64(m.RingEpoch)
-	}
 	return e.b
 }
 
@@ -471,8 +468,12 @@ func decodeHello(b []byte) (helloMsg, error) {
 		MaxVersion: d.u8("maxVersion"),
 		Tenant:     d.str("tenant"),
 	}
-	if m.MaxVersion >= VersionShard {
-		m.RingEpoch = d.u64("ringEpoch")
+	// Forward compatibility: a client offering a newer version than this
+	// server speaks may append Hello fields we do not know. The
+	// negotiated version never exceeds ours, so ignoring them is safe —
+	// and it is what lets a future version extend Hello at all.
+	if d.fail == nil && m.MaxVersion > Version {
+		d.off = len(d.b)
 	}
 	return m, d.done()
 }

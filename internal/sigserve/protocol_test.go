@@ -94,6 +94,39 @@ func TestLookupPayloadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHelloVersionInvariant pins that Hello never grows version-gated
+// fields: it is the one message sent before negotiation settles, so an
+// uncapped client's Hello must parse on every server version ever
+// deployed. Its encoding is therefore the pre-v4 shape whatever maximum
+// is offered, and trailing bytes are tolerated only from clients
+// offering a version newer than this server speaks (the seam that lets
+// a future version extend Hello at all).
+func TestHelloVersionInvariant(t *testing.T) {
+	uncapped := helloMsg{MinVersion: MinSupported, MaxVersion: Version, Tenant: "default"}.encode()
+	want := []byte{MinSupported, Version, 7, 0, 'd', 'e', 'f', 'a', 'u', 'l', 't'}
+	if !bytes.Equal(uncapped, want) {
+		t.Fatalf("uncapped Hello encodes to % x, want pre-v4 shape % x", uncapped, want)
+	}
+	if _, err := decodeHello(uncapped); err != nil {
+		t.Fatal(err)
+	}
+	// Trailing bytes from a client offering our version or older stay a
+	// framing violation...
+	if _, err := decodeHello(append(append([]byte(nil), uncapped...), 1, 2, 3)); err == nil {
+		t.Fatal("trailing bytes accepted from a client offering our version")
+	}
+	// ...but from a future-version client they are an unknown extension
+	// and are ignored.
+	future := append([]byte{MinSupported, Version + 1, 7, 0, 'd', 'e', 'f', 'a', 'u', 'l', 't'}, 1, 2, 3)
+	m, err := decodeHello(future)
+	if err != nil {
+		t.Fatalf("future-version Hello with unknown extension rejected: %v", err)
+	}
+	if m.MaxVersion != Version+1 || m.Tenant != "default" {
+		t.Fatalf("future Hello decoded to %+v", m)
+	}
+}
+
 // FuzzReadFrame checks that no byte stream — torn, short, hostile
 // lengths, or random payload bytes fed to every payload decoder — can
 // panic the decode path, and that any frame that does decode re-encodes

@@ -31,6 +31,11 @@ type RemoteSource struct {
 	// atomically by Refresh, so serving engines never block on it.
 	gen atomic.Pointer[snapGen]
 
+	// refreshMu serializes Refresh: two concurrent refreshes could
+	// otherwise race their unconditional gen.Store calls, letting a
+	// slower fetch of an older generation overwrite a newer one.
+	refreshMu sync.Mutex
+
 	mu       sync.Mutex
 	degraded bool
 	detail   string
@@ -87,8 +92,11 @@ func (s *RemoteSource) Epoch() uint64 { return s.gen.Load().epoch }
 // could not delta from our generation, a patch fails the hash check —
 // falls back to one full snapshot fetch. Against a pre-VersionShard
 // server Refresh is a full fetch. The swap is atomic; engines serving
-// from the old generation finish against it.
+// from the old generation finish against it. Concurrent Refresh calls
+// are serialized so an older fetch can never overwrite a newer one.
 func (s *RemoteSource) Refresh() error {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
 	if s.c.NegotiatedVersion() < VersionShard {
 		return s.refreshFull()
 	}

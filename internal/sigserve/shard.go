@@ -207,6 +207,12 @@ func applyDelta(old []byte, d snapshotDeltaData) ([]byte, error) {
 	if d.Table.Format == sigtable.CFIOnly {
 		recSize = sigtable.CFIRecordSize
 	}
+	// Records is an unvalidated wire u64: bound it by the same MaxPayload
+	// ceiling the full-image path enforces before it can size a hostile
+	// allocation (or overflow int on 32-bit).
+	if d.Table.Records > uint64(MaxPayload/recSize) {
+		return nil, fmt.Errorf("sigserve: delta names %d records of %d bytes, exceeding MaxPayload", d.Table.Records, recSize)
+	}
 	out := make([]byte, int(d.Table.Records)*recSize)
 	copy(out, old)
 	for _, p := range d.Patches {

@@ -3,6 +3,7 @@ package sigserve
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -304,6 +305,23 @@ func TestDeltaBuildApplyRoundTrip(t *testing.T) {
 	}
 }
 
+// TestApplyDeltaHostileRecordCount feeds applyDelta record counts no
+// honest server produces — past the payload ceiling, multi-terabyte, or
+// overflowing the allocation size — and requires a clean error (the
+// caller falls back to a full fetch, whose decoder is MaxPayload-bound).
+func TestApplyDeltaHostileRecordCount(t *testing.T) {
+	for _, records := range []uint64{
+		uint64(MaxPayload/sigtable.RecordSize) + 1,
+		1 << 40,
+		1 << 62,
+	} {
+		d := snapshotDeltaData{Table: sigtable.Table{Format: sigtable.Normal, Module: "m", Records: records}}
+		if _, err := applyDelta(nil, d); err == nil {
+			t.Fatalf("records=%d: hostile record count accepted", records)
+		}
+	}
+}
+
 // TestSnapshotDeltaRefresh rotates the published table under a live
 // RemoteSource and checks Refresh lands on the new generation
 // byte-identically via the patch path (server counts a delta hit, not a
@@ -447,6 +465,82 @@ func TestKilledReplicaFailover(t *testing.T) {
 	}
 	if note, ok := src.HealthNote(); ok {
 		t.Fatalf("failover produced a degradation note: %+v", note)
+	}
+}
+
+// TestAlternatesExcludesDrainedAndTripped pins the fail-over guard: an
+// endpoint parked behind a drain mark or an open breaker is not an
+// alternate, so a transport error with no usable alternate keeps the
+// retry-with-backoff budget instead of consuming the sole live
+// endpoint.
+func TestAlternatesExcludesDrainedAndTripped(t *testing.T) {
+	c := newTestClient(t, ClientConfig{
+		Addrs:            []string{"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"},
+		BreakerThreshold: 1, BreakerCooldown: time.Minute,
+	})
+	failed := c.eps[0]
+	if got := c.alternates(failed, nil); got != 2 {
+		t.Fatalf("all healthy: alternates = %d, want 2", got)
+	}
+	if got := c.alternates(failed, map[string]bool{c.eps[1].addr: true}); got != 1 {
+		t.Fatalf("one skipped: alternates = %d, want 1", got)
+	}
+	c.markDrained(c.eps[1])
+	if got := c.alternates(failed, nil); got != 1 {
+		t.Fatalf("one drained: alternates = %d, want 1", got)
+	}
+	if err := c.eps[2].br.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	c.eps[2].br.Report(false) // threshold 1: trips the breaker open
+	if got := c.alternates(failed, nil); got != 0 {
+		t.Fatalf("drained + tripped: alternates = %d, want 0", got)
+	}
+}
+
+// TestConcurrentRefreshKeepsNewestGeneration rotates the published
+// table under bursts of concurrent Refresh calls (meaningful under
+// -race): Refresh is serialized, so the cache must settle on the
+// server's newest generation, never a slower fetch of an older one.
+func TestConcurrentRefreshKeepsNewestGeneration(t *testing.T) {
+	f := fixture(t)
+	st := f.prep.Tables[0]
+	srv := NewServer()
+	srv.Publish("default", st.Module, *st.Table, st.Snap)
+	_, addr := serveOn(t, srv)
+
+	c := newTestClient(t, ClientConfig{Addr: addr})
+	src, err := c.Source(st.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wire := st.Snap.AppendWire(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wire[i*sigtable.RecordSize] ^= 0xa5
+		snap, err := sigtable.SnapshotFromWire(*st.Table, wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Publish("default", st.Module, *st.Table, snap)
+		for j := 0; j < 4; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := src.Refresh(); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	g := src.gen.Load()
+	if g.epoch != 5 {
+		t.Fatalf("settled on epoch %d, want 5", g.epoch)
+	}
+	if got := g.snap.AppendWire(nil); string(got) != string(wire) {
+		t.Fatal("concurrent refreshes left a stale image cached")
 	}
 }
 
